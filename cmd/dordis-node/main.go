@@ -1,0 +1,336 @@
+// Command dordis-node runs one party of a Dordis aggregation round over
+// TCP — the deployment flavor of the protocol stack. Start a server, then
+// clients (one process each, e.g. on different machines):
+//
+//	dordis-node -role server -listen :7700 -clients 1,2,3,4,5 -threshold 3
+//	dordis-node -role client -connect host:7700 -id 1 -clients 1,2,3,4,5 -threshold 3 -value 7
+//
+// Or run the whole round in one process for a smoke test:
+//
+//	dordis-node -role selftest
+//
+// Every client contributes a constant vector of its -value; the server
+// prints the unmasked aggregate. With -tolerance > 0 the round runs
+// XNoise with the given dropout tolerance and target noise level.
+//
+// -protocol lightsecagg runs the LightSecAgg baseline instead (one-shot
+// mask recovery, no DP noise): -tolerance then means the dropout
+// tolerance D and -threshold the privacy threshold T.
+package main
+
+import (
+	"context"
+	"crypto/rand"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/field"
+	"repro/internal/lightsecagg"
+	"repro/internal/ring"
+	"repro/internal/secagg"
+	"repro/internal/transport"
+	"repro/internal/xnoise"
+)
+
+func main() {
+	var (
+		role      = flag.String("role", "selftest", "server | client | selftest")
+		listen    = flag.String("listen", "127.0.0.1:7700", "server listen address")
+		connect   = flag.String("connect", "127.0.0.1:7700", "client: server address")
+		id        = flag.Uint64("id", 0, "client id (must appear in -clients)")
+		clients   = flag.String("clients", "1,2,3,4,5", "comma-separated sampled client ids")
+		threshold = flag.Int("threshold", 3, "SecAgg threshold t")
+		dim       = flag.Int("dim", 64, "vector dimension")
+		value     = flag.Uint64("value", 1, "client: constant vector value")
+		tolerance = flag.Int("tolerance", 1, "XNoise dropout tolerance T (0 = plain SecAgg)")
+		targetMu  = flag.Float64("mu", 25, "XNoise central noise variance target")
+		deadline  = flag.Duration("deadline", 3*time.Second, "per-stage collection deadline")
+		protocol  = flag.String("protocol", "secagg", "secagg | lightsecagg")
+	)
+	flag.Parse()
+
+	ids, err := parseIDs(*clients)
+	if err != nil {
+		fail(err)
+	}
+	if *protocol == "lightsecagg" {
+		lcfg := lightsecagg.Config{
+			ClientIDs: ids, PrivacyT: *threshold, Dropout: *tolerance, Dim: *dim,
+		}
+		if err := lcfg.Validate(); err != nil {
+			fail(err)
+		}
+		switch *role {
+		case "server":
+			runServerLSA(lcfg, *listen, *deadline)
+		case "client":
+			if *id == 0 {
+				fail(fmt.Errorf("client needs -id"))
+			}
+			runClientLSA(lcfg, *connect, *id, *value)
+		case "selftest":
+			selfTestLSA(lcfg, *deadline)
+		default:
+			fail(fmt.Errorf("unknown role %q", *role))
+		}
+		return
+	}
+	if *protocol != "secagg" {
+		fail(fmt.Errorf("unknown protocol %q", *protocol))
+	}
+	cfg := secagg.Config{
+		Round:     1,
+		ClientIDs: ids,
+		Threshold: *threshold,
+		Bits:      20,
+		Dim:       *dim,
+	}
+	if *tolerance > 0 {
+		cfg.XNoise = &xnoise.Plan{
+			NumClients:       len(ids),
+			DropoutTolerance: *tolerance,
+			Threshold:        *threshold,
+			TargetVariance:   *targetMu,
+		}
+	}
+	if err := cfg.Validate(); err != nil {
+		fail(err)
+	}
+
+	switch *role {
+	case "server":
+		runServer(cfg, *listen, *deadline)
+	case "client":
+		if *id == 0 {
+			fail(fmt.Errorf("client needs -id"))
+		}
+		runClient(cfg, *connect, *id, *value)
+	case "selftest":
+		selfTest(cfg, *listen, *deadline)
+	default:
+		fail(fmt.Errorf("unknown role %q", *role))
+	}
+}
+
+func parseIDs(s string) ([]uint64, error) {
+	parts := strings.Split(s, ",")
+	out := make([]uint64, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.ParseUint(strings.TrimSpace(p), 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad client id %q: %w", p, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "dordis-node:", err)
+	os.Exit(1)
+}
+
+func runServer(cfg secagg.Config, listen string, deadline time.Duration) {
+	srv, err := transport.ListenTCP(listen)
+	if err != nil {
+		fail(err)
+	}
+	defer srv.Close()
+	fmt.Printf("server listening on %s, waiting for %d clients...\n", srv.Addr(), len(cfg.ClientIDs))
+	for len(srv.Clients()) < len(cfg.ClientIDs) {
+		time.Sleep(50 * time.Millisecond)
+	}
+	res, err := core.RunWireServer(context.Background(),
+		core.WireServerConfig{SecAgg: cfg, StageDeadline: deadline}, srv)
+	if err != nil {
+		fail(err)
+	}
+	printResult(cfg, res)
+}
+
+func runClient(cfg secagg.Config, addr string, id, value uint64) {
+	conn, err := transport.DialTCP(addr, id)
+	if err != nil {
+		fail(err)
+	}
+	defer conn.Close()
+	input := ring.NewVector(cfg.Bits, cfg.Dim)
+	for i := range input.Data {
+		input.Data[i] = value & input.Mask()
+	}
+	res, err := core.RunWireClient(context.Background(), core.WireClientConfig{
+		SecAgg: cfg, ID: id, Input: input, DropBefore: core.NoDrop, Rand: rand.Reader,
+	}, conn)
+	if err != nil {
+		fail(err)
+	}
+	if res != nil {
+		fmt.Printf("client %d: round complete, %d survivors\n", id, len(res.Survivors))
+	}
+}
+
+func selfTest(cfg secagg.Config, listen string, deadline time.Duration) {
+	srv, err := transport.ListenTCP("127.0.0.1:0")
+	if err != nil {
+		fail(err)
+	}
+	defer srv.Close()
+	var wg sync.WaitGroup
+	for i, id := range cfg.ClientIDs {
+		id := id
+		value := uint64(i + 1)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			conn, err := transport.DialTCP(srv.Addr(), id)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "client", id, "dial:", err)
+				return
+			}
+			defer conn.Close()
+			input := ring.NewVector(cfg.Bits, cfg.Dim)
+			for j := range input.Data {
+				input.Data[j] = value
+			}
+			if _, err := core.RunWireClient(context.Background(), core.WireClientConfig{
+				SecAgg: cfg, ID: id, Input: input, DropBefore: core.NoDrop, Rand: rand.Reader,
+			}, conn); err != nil {
+				fmt.Fprintln(os.Stderr, "client", id, ":", err)
+			}
+		}()
+	}
+	for len(srv.Clients()) < len(cfg.ClientIDs) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	res, err := core.RunWireServer(context.Background(),
+		core.WireServerConfig{SecAgg: cfg, StageDeadline: deadline}, srv)
+	if err != nil {
+		fail(err)
+	}
+	wg.Wait()
+	printResult(cfg, res)
+}
+
+func printResult(cfg secagg.Config, res *secagg.Result) {
+	got := ring.Vector{Bits: cfg.Bits, Data: res.Sum}
+	centered := got.Centered()
+	var mean float64
+	for _, v := range centered {
+		mean += float64(v)
+	}
+	mean /= float64(len(centered))
+	fmt.Printf("round complete: survivors=%v dropped=%v\n", res.Survivors, res.Dropped)
+	fmt.Printf("aggregate per-coordinate mean: %.2f (first 8: %v)\n", mean, centered[:min(8, len(centered))])
+	if len(res.RemovedComponents) > 0 {
+		fmt.Printf("XNoise removed components: %v\n", res.RemovedComponents)
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// --- LightSecAgg roles ---
+
+func lsaInput(dim int, value uint64) []field.Element {
+	out := make([]field.Element, dim)
+	for i := range out {
+		out[i] = lightsecagg.Lift(int64(value))
+	}
+	return out
+}
+
+func printResultLSA(sum []field.Element) {
+	var mean float64
+	for _, e := range sum {
+		mean += float64(lightsecagg.Center(e))
+	}
+	mean /= float64(len(sum))
+	first := make([]int64, 0, 8)
+	for i := 0; i < min(8, len(sum)); i++ {
+		first = append(first, lightsecagg.Center(sum[i]))
+	}
+	fmt.Printf("lightsecagg round complete: per-coordinate mean %.2f (first 8: %v)\n", mean, first)
+}
+
+func runServerLSA(cfg lightsecagg.Config, listen string, deadline time.Duration) {
+	srv, err := transport.ListenTCP(listen)
+	if err != nil {
+		fail(err)
+	}
+	defer srv.Close()
+	fmt.Printf("lightsecagg server on %s, waiting for %d clients...\n", srv.Addr(), len(cfg.ClientIDs))
+	for len(srv.Clients()) < len(cfg.ClientIDs) {
+		time.Sleep(50 * time.Millisecond)
+	}
+	sum, err := lightsecagg.RunWireServer(context.Background(),
+		lightsecagg.WireServerConfig{Config: cfg, StageDeadline: deadline}, srv)
+	if err != nil {
+		fail(err)
+	}
+	printResultLSA(sum)
+}
+
+func runClientLSA(cfg lightsecagg.Config, addr string, id, value uint64) {
+	conn, err := transport.DialTCP(addr, id)
+	if err != nil {
+		fail(err)
+	}
+	defer conn.Close()
+	sum, err := lightsecagg.RunWireClient(context.Background(), lightsecagg.WireClientConfig{
+		Config: cfg, ID: id, Input: lsaInput(cfg.Dim, value), Rand: rand.Reader,
+	}, conn)
+	if err != nil {
+		fail(err)
+	}
+	if sum != nil {
+		fmt.Printf("client %d: round complete\n", id)
+	}
+}
+
+func selfTestLSA(cfg lightsecagg.Config, deadline time.Duration) {
+	srv, err := transport.ListenTCP("127.0.0.1:0")
+	if err != nil {
+		fail(err)
+	}
+	defer srv.Close()
+	var wg sync.WaitGroup
+	for i, id := range cfg.ClientIDs {
+		id := id
+		value := uint64(i + 1)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			conn, err := transport.DialTCP(srv.Addr(), id)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "client", id, "dial:", err)
+				return
+			}
+			defer conn.Close()
+			if _, err := lightsecagg.RunWireClient(context.Background(), lightsecagg.WireClientConfig{
+				Config: cfg, ID: id, Input: lsaInput(cfg.Dim, value), Rand: rand.Reader,
+			}, conn); err != nil {
+				fmt.Fprintln(os.Stderr, "client", id, ":", err)
+			}
+		}()
+	}
+	for len(srv.Clients()) < len(cfg.ClientIDs) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	sum, err := lightsecagg.RunWireServer(context.Background(),
+		lightsecagg.WireServerConfig{Config: cfg, StageDeadline: deadline}, srv)
+	if err != nil {
+		fail(err)
+	}
+	wg.Wait()
+	printResultLSA(sum)
+}

@@ -1,0 +1,10 @@
+// Package repro is a from-scratch Go reproduction of "Dordis: Efficient
+// Federated Learning with Dropout-Resilient Differential Privacy"
+// (Jiang, Wang, Chen — EuroSys 2024).
+//
+// The library lives under internal/ (see DESIGN.md for the system
+// inventory); runnable entry points are cmd/dordis (training CLI),
+// cmd/dordis-bench (regenerates every table and figure), and examples/.
+// The root package exists to host the benchmark harness (bench_test.go),
+// which prints the same rows and series the paper reports.
+package repro

@@ -1,0 +1,53 @@
+// Dropout resilience: train the same federated task under Orig and under
+// XNoise at 30% client dropout and watch the privacy ledgers diverge —
+// Orig silently overruns the ε = 6 budget while XNoise lands on it
+// exactly, at no accuracy cost (paper Figures 1 and 8, Table 2).
+//
+// Run with: go run ./examples/dropout_resilience
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/fl"
+	"repro/internal/prg"
+	"repro/internal/trace"
+)
+
+func main() {
+	seed := prg.NewSeed([]byte("dropout-resilience"))
+	task := fl.CIFAR10Like(seed, fl.TaskScale{Rounds: 30, PerClient: 40})
+	dropout, err := trace.NewBernoulli(0.3, prg.NewSeed(seed[:], []byte("drop")))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("task=%s  budget ε_G=6  per-round dropout=30%%  rounds=%d\n\n",
+		task.Name, task.Rounds)
+	fmt.Printf("%-8s %14s %12s %10s\n", "scheme", "rounds done", "final ε", "accuracy")
+
+	for _, scheme := range []fl.Scheme{fl.SchemeOrig, fl.SchemeEarly, fl.SchemeXNoise} {
+		res, err := fl.Run(task, fl.Config{
+			Scheme:        scheme,
+			EpsilonBudget: 6,
+			Dropout:       dropout,
+			Seed:          prg.NewSeed(seed[:], []byte("run")),
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		note := ""
+		if res.Epsilon > 6.05 {
+			note = "  ← budget overrun!"
+		}
+		if res.StoppedEarly {
+			note = "  ← stopped early, utility lost"
+		}
+		fmt.Printf("%-8s %14d %12.2f %9.1f%%%s\n",
+			res.Scheme, res.RoundsCompleted, res.Epsilon, 100*res.FinalAccuracy, note)
+	}
+
+	fmt.Println("\nXNoise enforces the target noise level in every round (Theorem 1),")
+	fmt.Println("so the ledger closes exactly at the budget with full training length.")
+}

@@ -1,0 +1,77 @@
+// Pipeline speedup: profile the five distributed-DP stages, fit the Eq. 3
+// performance model, solve for the optimal chunk count, and report the
+// plain-vs-pipelined round times for the paper's four workloads (a
+// condensed Figure 10).
+//
+// Run with: go run ./examples/pipeline_speedup
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/cluster"
+	"repro/internal/pipeline"
+)
+
+func main() {
+	workloads := []struct {
+		name    string
+		clients int
+		params  int64
+	}{
+		{"FEMNIST + CNN (1M)", 100, 1_000_000},
+		{"FEMNIST + ResNet-18 (11M)", 100, 11_000_000},
+		{"CIFAR-10 + ResNet-18 (11M)", 16, 11_000_000},
+		{"CIFAR-10 + VGG-19 (20M)", 16, 20_000_000},
+	}
+
+	fmt.Printf("%-28s %12s %12s %9s %4s\n", "workload", "plain (min)", "piped (min)", "speedup", "m*")
+	for _, wl := range workloads {
+		sc := cluster.Scenario{
+			NumSampled:      wl.clients,
+			Neighbors:       wl.clients - 1,
+			ModelParams:     wl.params,
+			BytesPerParam:   2.5,
+			DropoutRate:     0.1,
+			XNoiseTolerance: wl.clients / 2,
+			TrainSeconds:    60,
+			Rates:           cluster.DefaultRates(),
+		}
+		plain, err := sc.PlainRound()
+		if err != nil {
+			log.Fatal(err)
+		}
+		piped, err := sc.PipelinedRound(0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-28s %12.1f %12.1f %8.2fx %4d\n",
+			wl.name, plain.Total()/60, piped.Total()/60,
+			plain.Total()/piped.Total(), piped.Chunks)
+	}
+
+	// Demonstrate the profiling path: fit β from synthetic measurements of
+	// one stage and compare against the generating model.
+	fmt.Println("\nprofiling demo (stage: upload):")
+	sc := cluster.Scenario{
+		NumSampled: 16, Neighbors: 15, ModelParams: 11_000_000,
+		BytesPerParam: 2.5, TrainSeconds: 0, Rates: cluster.DefaultRates(),
+	}
+	pm, err := sc.PerfModel()
+	if err != nil {
+		log.Fatal(err)
+	}
+	var samples []pipeline.Sample
+	for _, d := range []float64{1e6, 5e6, 11e6} {
+		for m := 1; m <= 8; m++ {
+			samples = append(samples, pipeline.Sample{D: d, M: m, Tau: pm.StageTime(1, d, m)})
+		}
+	}
+	fitted, err := pipeline.FitStage(samples)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  true β:   %.3g %.3g %.3g\n", pm.Stages[1][0], pm.Stages[1][1], pm.Stages[1][2])
+	fmt.Printf("  fitted β: %.3g %.3g %.3g\n", fitted[0], fitted[1], fitted[2])
+}

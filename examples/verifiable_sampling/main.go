@@ -1,0 +1,76 @@
+// Verifiable client sampling (paper §7): clients self-select into a round
+// with a VRF lottery, so a malicious server cannot cherry-pick colluding
+// clients into the sampled set. The example runs several rounds of
+// sampling over a population, verifies every claim, and then shows the
+// attacks the verification catches.
+//
+// Run with: go run ./examples/verifiable_sampling
+package main
+
+import (
+	"crypto/rand"
+	"fmt"
+	"log"
+
+	"repro/internal/vrf"
+)
+
+func main() {
+	const (
+		population = 100
+		sampleK    = 10
+		overSelect = 1.5
+	)
+	keys := make(map[uint64]*vrf.Key, population)
+	pubs := make(map[uint64][]byte, population)
+	for i := 1; i <= population; i++ {
+		k, err := vrf.NewKey(rand.Reader)
+		if err != nil {
+			log.Fatal(err)
+		}
+		keys[uint64(i)] = k
+		pubs[uint64(i)] = k.Public()
+	}
+
+	fmt.Printf("population %d, target sample %d, over-selection ×%.1f\n\n",
+		population, sampleK, overSelect)
+	for round := uint64(1); round <= 5; round++ {
+		claims, err := vrf.SampleRound(keys, round, sampleK, overSelect)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ids := make([]uint64, len(claims))
+		for i, c := range claims {
+			ids[i] = c.Client
+		}
+		fmt.Printf("round %d participants (%d): %v\n", round, len(ids), ids)
+	}
+
+	// Attack demos: each is rejected by claim verification.
+	threshold, _ := vrf.Threshold(sampleK, population, overSelect)
+	var claims []vrf.Claim
+	for id, k := range keys {
+		if c, in := vrf.Participates(k, id, 6, threshold); in {
+			claims = append(claims, c)
+		}
+	}
+	fmt.Printf("\nround 6: %d honest claims verify: %v\n",
+		len(claims), vrf.VerifyClaims(pubs, 6, threshold, claims) == nil)
+
+	// 1. The server forges a participant that never won the lottery.
+	phantom := claims[0]
+	phantom.Client = 42424242
+	err := vrf.VerifyClaims(pubs, 6, threshold, append(claims[1:], phantom))
+	fmt.Printf("phantom participant rejected:  %v (%v)\n", err != nil, err)
+
+	// 2. The server replays a winning claim from an earlier round.
+	winner := claims[0].Client
+	staleOut, staleProof := keys[winner].Evaluate(vrf.RoundInput(1))
+	stale := vrf.Claim{Client: winner, Output: staleOut, Proof: staleProof}
+	err = vrf.VerifyClaims(pubs, 6, threshold, append(claims[1:], stale))
+	fmt.Printf("stale-round claim rejected:    %v (%v)\n", err != nil, err)
+
+	// 3. The server admits a client whose lottery ticket lost.
+	err = vrf.VerifyClaims(pubs, 6, threshold/1000, claims)
+	fmt.Printf("losing ticket rejected:        %v (%v)\n", err != nil, err)
+}

@@ -1,0 +1,76 @@
+// Package aead provides the authenticated-encryption scheme AE used by
+// SecAgg (paper Fig. 5): an IND-CPA and INT-CTXT secure scheme that clients
+// use to encrypt Shamir shares for one another over the server-mediated
+// channel. The server relays ciphertexts it cannot read or undetectably
+// modify.
+//
+// The instantiation is AES-256-GCM with a random 12-byte nonce prepended to
+// each ciphertext. Associated data binds the ciphertext to its routing
+// metadata (sender u, receiver v, round), preventing the mix-and-match
+// replay the SecAgg security proof excludes.
+package aead
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// KeySize is the symmetric key length in bytes (AES-256).
+const KeySize = 32
+
+// NonceSize is the GCM nonce length in bytes.
+const NonceSize = 12
+
+// Overhead is the ciphertext expansion: nonce + GCM tag.
+const Overhead = NonceSize + 16
+
+// ErrDecrypt is returned on any authentication or decryption failure; the
+// cause is deliberately not distinguished (a decryption oracle distinction
+// would weaken INT-CTXT in practice).
+var ErrDecrypt = errors.New("aead: decryption failed")
+
+func newGCM(key [KeySize]byte) (cipher.AEAD, error) {
+	block, err := aes.NewCipher(key[:])
+	if err != nil {
+		return nil, fmt.Errorf("aead: %w", err)
+	}
+	g, err := cipher.NewGCM(block)
+	if err != nil {
+		return nil, fmt.Errorf("aead: %w", err)
+	}
+	return g, nil
+}
+
+// Seal encrypts plaintext under key, binding associated data ad. The nonce
+// is drawn from rand and prepended to the returned ciphertext.
+func Seal(key [KeySize]byte, rand io.Reader, plaintext, ad []byte) ([]byte, error) {
+	g, err := newGCM(key)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, NonceSize, NonceSize+len(plaintext)+g.Overhead())
+	if _, err := io.ReadFull(rand, out[:NonceSize]); err != nil {
+		return nil, fmt.Errorf("aead: reading nonce: %w", err)
+	}
+	return g.Seal(out, out[:NonceSize], plaintext, ad), nil
+}
+
+// Open decrypts a ciphertext produced by Seal, verifying the associated
+// data. It returns ErrDecrypt on any failure.
+func Open(key [KeySize]byte, ciphertext, ad []byte) ([]byte, error) {
+	if len(ciphertext) < Overhead {
+		return nil, ErrDecrypt
+	}
+	g, err := newGCM(key)
+	if err != nil {
+		return nil, err
+	}
+	pt, err := g.Open(nil, ciphertext[:NonceSize], ciphertext[NonceSize:], ad)
+	if err != nil {
+		return nil, ErrDecrypt
+	}
+	return pt, nil
+}

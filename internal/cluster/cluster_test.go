@@ -1,0 +1,215 @@
+package cluster
+
+import (
+	"testing"
+)
+
+func baseScenario(n int, params int64) Scenario {
+	return Scenario{
+		NumSampled:    n,
+		Neighbors:     n - 1,
+		ModelParams:   params,
+		BytesPerParam: 2.5,
+		TrainSeconds:  30,
+		Rates:         DefaultRates(),
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := baseScenario(16, 11_000_000).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []func(*Scenario){
+		func(s *Scenario) { s.NumSampled = 1 },
+		func(s *Scenario) { s.Neighbors = 0 },
+		func(s *Scenario) { s.Neighbors = s.NumSampled },
+		func(s *Scenario) { s.ModelParams = 0 },
+		func(s *Scenario) { s.BytesPerParam = 0 },
+		func(s *Scenario) { s.DropoutRate = 1.0 },
+		func(s *Scenario) { s.DropoutRate = -0.1 },
+		func(s *Scenario) { s.XNoiseTolerance = -1 },
+		func(s *Scenario) { s.XNoiseTolerance = s.NumSampled },
+		func(s *Scenario) { s.TrainSeconds = -1 },
+	}
+	for i, mutate := range bad {
+		s := baseScenario(16, 1000)
+		mutate(&s)
+		if err := s.Validate(); err == nil {
+			t.Errorf("case %d should fail", i)
+		}
+	}
+}
+
+func TestAggregationDominatesRound(t *testing.T) {
+	// Figure 2: SecAgg accounts for 86–97% of the round.
+	for _, n := range []int{32, 48, 64} {
+		s := baseScenario(n, 11_000_000)
+		s.DropoutRate = 0.1
+		rt, err := s.PlainRound()
+		if err != nil {
+			t.Fatal(err)
+		}
+		share := rt.AggShare()
+		if share < 0.80 || share > 0.99 {
+			t.Errorf("n=%d: agg share %.2f outside the paper's band", n, share)
+		}
+	}
+}
+
+func TestRoundTimeGrowsWithClients(t *testing.T) {
+	prev := 0.0
+	for _, n := range []int{32, 48, 64} {
+		s := baseScenario(n, 11_000_000)
+		s.DropoutRate = 0.1
+		rt, err := s.PlainRound()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rt.Total() <= prev {
+			t.Fatalf("round time should grow with clients: n=%d → %v (prev %v)", n, rt.Total(), prev)
+		}
+		prev = rt.Total()
+	}
+}
+
+func TestSecAggPlusCheaperThanSecAgg(t *testing.T) {
+	// Figure 2b vs 2a: SecAgg+ rounds are faster at every scale.
+	for _, n := range []int{32, 48, 64} {
+		sa := baseScenario(n, 11_000_000)
+		sa.DropoutRate = 0.1
+		sap := sa
+		sap.Neighbors = 10 // O(log n) degree
+		a, err := sa.PlainRound()
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := sap.PlainRound()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b.AggSeconds >= a.AggSeconds {
+			t.Errorf("n=%d: SecAgg+ (%v) not faster than SecAgg (%v)", n, b.AggSeconds, a.AggSeconds)
+		}
+	}
+}
+
+func TestXNoiseOverheadModestAndShrinksWithDropout(t *testing.T) {
+	// §6.3: XNoise extends the plain round by ≤ ~34% at d=0, less at
+	// higher dropout.
+	base := baseScenario(16, 11_000_000)
+	baseRT, err := base.PlainRound()
+	if err != nil {
+		t.Fatal(err)
+	}
+	prevOverhead := 1.0
+	for _, d := range []float64{0, 0.1, 0.2, 0.3} {
+		s := base
+		s.DropoutRate = d
+		s.XNoiseTolerance = 8 // |U|/2
+		rt, err := s.PlainRound()
+		if err != nil {
+			t.Fatal(err)
+		}
+		noX := base
+		noX.DropoutRate = d
+		noXRT, err := noX.PlainRound()
+		if err != nil {
+			t.Fatal(err)
+		}
+		overhead := rt.AggSeconds / noXRT.AggSeconds
+		if overhead > 1.40 {
+			t.Errorf("d=%v: XNoise overhead ×%.2f too large", d, overhead)
+		}
+		if overhead < 1.0 {
+			t.Errorf("d=%v: XNoise cannot be free (×%.2f)", d, overhead)
+		}
+		if overhead > prevOverhead+1e-9 && d > 0 {
+			t.Errorf("d=%v: overhead ×%.2f grew with dropout (prev ×%.2f)", d, overhead, prevOverhead)
+		}
+		prevOverhead = overhead
+	}
+	_ = baseRT
+}
+
+func TestPipelineSpeedupInPaperBand(t *testing.T) {
+	// Figure 10: pipelining speeds rounds up by ~1.3–2.5×.
+	cases := []struct {
+		n      int
+		params int64
+	}{
+		{16, 11_000_000},  // CIFAR-10 ResNet-18
+		{16, 20_000_000},  // CIFAR-10 VGG-19
+		{100, 11_000_000}, // FEMNIST ResNet-18
+	}
+	for _, c := range cases {
+		s := baseScenario(c.n, c.params)
+		s.DropoutRate = 0.1
+		plain, err := s.PlainRound()
+		if err != nil {
+			t.Fatal(err)
+		}
+		piped, err := s.PipelinedRound(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		speedup := plain.AggSeconds / piped.AggSeconds
+		if speedup < 1.15 || speedup > 3.0 {
+			t.Errorf("n=%d d=%d: speedup %.2f outside plausible band", c.n, c.params, speedup)
+		}
+		if piped.Chunks < 2 {
+			t.Errorf("n=%d: pipelining chose m=%d", c.n, piped.Chunks)
+		}
+	}
+}
+
+func TestLargerModelsLargerSpeedup(t *testing.T) {
+	// §6.4 Amdahl argument: 20M model gains more than 1M model.
+	small := baseScenario(100, 1_000_000)
+	large := baseScenario(100, 20_000_000)
+	speedup := func(s Scenario) float64 {
+		plain, err := s.PlainRound()
+		if err != nil {
+			t.Fatal(err)
+		}
+		piped, err := s.PipelinedRound(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return plain.AggSeconds / piped.AggSeconds
+	}
+	if speedup(large) <= speedup(small) {
+		t.Errorf("larger model should benefit more: %v vs %v", speedup(large), speedup(small))
+	}
+}
+
+func TestMoreClientsLargerSpeedup(t *testing.T) {
+	// §6.4 "Dordis Scales with Number of Sampled Clients": 100 clients
+	// (FEMNIST) gains more than 16 (CIFAR-10), same model.
+	s16 := baseScenario(16, 11_000_000)
+	s100 := baseScenario(100, 11_000_000)
+	speedup := func(s Scenario) float64 {
+		plain, _ := s.PlainRound()
+		piped, _ := s.PipelinedRound(0)
+		return plain.AggSeconds / piped.AggSeconds
+	}
+	if speedup(s100) <= speedup(s16) {
+		t.Errorf("more clients should gain more: 100→%.2f vs 16→%.2f", speedup(s100), speedup(s16))
+	}
+}
+
+func TestDroppedReducesServerRemovalWork(t *testing.T) {
+	// More dropout → fewer components to remove → smaller stage-3 β₁.
+	mk := func(d float64) float64 {
+		s := baseScenario(16, 11_000_000)
+		s.DropoutRate = d
+		s.XNoiseTolerance = 8
+		pm, err := s.PerfModel()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return pm.Stages[2][0]
+	}
+	if !(mk(0.4) < mk(0.0)) {
+		t.Error("stage-3 per-element cost should shrink with dropout under XNoise")
+	}
+}

@@ -1,0 +1,56 @@
+package core
+
+import (
+	"crypto/rand"
+	"fmt"
+	"testing"
+
+	"repro/internal/prg"
+)
+
+// BenchmarkRunRoundChunks is the executor-side chunk ablation: the same
+// real aggregation round (5 clients, 8192-dim, XNoise) at different chunk
+// counts. Wall-clock differences here reflect in-process concurrency, not
+// the deployment latencies the Appendix-C simulator models — the bench
+// demonstrates that chunking adds no meaningful overhead to the real work.
+func BenchmarkRunRoundChunks(b *testing.B) {
+	const n, dim = 5, 8000
+	updates := randomUpdates(n, dim, 0.5)
+	for _, m := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("m=%d", m), func(b *testing.B) {
+			cfg := RoundConfig{
+				Round: 1, Protocol: ProtocolSecAgg, Codec: testCodec(dim, n),
+				Threshold: 3, Chunks: m, Tolerance: 2, TargetMu: 50,
+				Seed: prg.NewSeed([]byte("bench")),
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := RunRound(cfg, updates, []uint64{2}, rand.Reader); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkRunRoundSecAggPlus compares the two protocol substrates on the
+// same round.
+func BenchmarkRunRoundSecAggPlus(b *testing.B) {
+	const n, dim = 12, 4000
+	updates := randomUpdates(n, dim, 0.5)
+	for _, proto := range []Protocol{ProtocolSecAgg, ProtocolSecAggPlus} {
+		b.Run(proto.String(), func(b *testing.B) {
+			cfg := RoundConfig{
+				Round: 1, Protocol: proto, Degree: 6,
+				Codec: testCodec(dim, n), Threshold: 4, Chunks: 2,
+				Seed: prg.NewSeed([]byte("bench2")),
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := RunRound(cfg, updates, nil, rand.Reader); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

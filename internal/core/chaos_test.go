@@ -1,0 +1,164 @@
+package core
+
+import (
+	"context"
+	"crypto/rand"
+	"math"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/prg"
+	"repro/internal/ring"
+	"repro/internal/secagg"
+	"repro/internal/transport"
+	"repro/internal/xnoise"
+)
+
+// chaosRound runs one wire round over a memory network with per-client
+// fault injectors, returning the server result (or error) and the set of
+// clients the server reported dropped.
+func chaosRound(t *testing.T, faults map[uint64]transport.FaultConfig,
+	serverFault *transport.FaultConfig) (*secagg.Result, error) {
+	t.Helper()
+	const n, dim = 5, 32
+	ids := []uint64{1, 2, 3, 4, 5}
+	plan := &xnoise.Plan{NumClients: n, DropoutTolerance: 2, Threshold: 3, TargetVariance: 30}
+	saCfg := secagg.Config{
+		Round: 7, ClientIDs: ids, Threshold: 3, Bits: 20, Dim: dim, XNoise: plan,
+	}
+	net := transport.NewMemoryNetwork(256)
+	clientConns := make(map[uint64]transport.ClientConn, n)
+	for _, id := range ids {
+		c, err := net.Connect(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fc, ok := faults[id]; ok {
+			c = transport.NewFaultInjector(fc).WrapClient(c)
+		}
+		clientConns[id] = c
+	}
+	serverConn := transport.ServerConn(net.Server())
+	if serverFault != nil {
+		serverConn = transport.NewFaultInjector(*serverFault).WrapServer(serverConn)
+	}
+
+	inputs := make(map[uint64]ring.Vector, n)
+	for _, id := range ids {
+		v := ring.NewVector(20, dim)
+		for j := range v.Data {
+			v.Data[j] = id
+		}
+		inputs[id] = v
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	var wg sync.WaitGroup
+	for _, id := range ids {
+		id := id
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			cfg := WireClientConfig{
+				SecAgg: saCfg, ID: id, Input: inputs[id],
+				DropBefore: NoDrop, Rand: rand.Reader,
+			}
+			// Faulty clients may legitimately error (e.g. never receive
+			// the result); the server outcome is what the test asserts.
+			_, _ = RunWireClient(ctx, cfg, clientConns[id])
+		}()
+	}
+	res, err := RunWireServer(ctx,
+		WireServerConfig{SecAgg: saCfg, StageDeadline: 500 * time.Millisecond}, serverConn)
+	cancel() // release any clients still blocked on Recv
+	wg.Wait()
+	return res, err
+}
+
+// TestChaosLossyClientTreatedAsDropout: a client whose uplink dies after
+// its first two sends (advertise + shares) looks to the server exactly
+// like a §6.1 dropout; the round completes with the survivors and the
+// XNoise residual stays near the target.
+func TestChaosLossyClientTreatedAsDropout(t *testing.T) {
+	res, err := chaosRound(t, map[uint64]transport.FaultConfig{
+		4: {DropProb: 1, AfterSend: 2, Seed: prg.NewSeed([]byte("lossy4"))},
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Dropped) != 1 || res.Dropped[0] != 4 {
+		t.Fatalf("dropped = %v, want [4]", res.Dropped)
+	}
+	// Signal: 1+2+3+5 = 11 per coordinate plus noise (std √30).
+	centered := (ring.Vector{Bits: 20, Data: res.Sum}).Centered()
+	var mean float64
+	for _, v := range centered {
+		mean += float64(v) - 11
+	}
+	mean /= float64(len(centered))
+	if math.Abs(mean) > 5 {
+		t.Errorf("aggregate mean offset %v under lossy client", mean)
+	}
+}
+
+// TestChaosDuplicatedFramesHarmless: duplicating every frame in both
+// directions must not corrupt the round — stage collection is keyed by
+// sender, so replays are idempotent.
+func TestChaosDuplicatedFramesHarmless(t *testing.T) {
+	faults := make(map[uint64]transport.FaultConfig)
+	for id := uint64(1); id <= 5; id++ {
+		faults[id] = transport.FaultConfig{DupProb: 1, Seed: prg.NewSeed([]byte{byte(id)})}
+	}
+	res, err := chaosRound(t, faults, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Dropped) != 0 {
+		t.Fatalf("dropped = %v, want none under duplication-only faults", res.Dropped)
+	}
+	centered := (ring.Vector{Bits: 20, Data: res.Sum}).Centered()
+	var mean float64
+	for _, v := range centered {
+		mean += float64(v) - 15 // 1+2+3+4+5
+	}
+	mean /= float64(len(centered))
+	if math.Abs(mean) > 5 {
+		t.Errorf("aggregate mean offset %v under duplication", mean)
+	}
+}
+
+// TestChaosJitterTolerated: bounded per-frame delay on every link slows
+// the round but must not change its outcome.
+func TestChaosJitterTolerated(t *testing.T) {
+	faults := make(map[uint64]transport.FaultConfig)
+	for id := uint64(1); id <= 5; id++ {
+		faults[id] = transport.FaultConfig{DelayMax: 10 * time.Millisecond, Seed: prg.NewSeed([]byte{0x40, byte(id)})}
+	}
+	res, err := chaosRound(t, faults, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Dropped) != 0 {
+		t.Fatalf("dropped = %v, want none under jitter below the stage deadline", res.Dropped)
+	}
+}
+
+// TestChaosTooManyLossyClientsAborts: when enough uplinks die that the
+// survivor count falls below the SecAgg threshold, the server must abort
+// with an error — never hang, never emit an under-noised aggregate.
+func TestChaosTooManyLossyClientsAborts(t *testing.T) {
+	faults := make(map[uint64]transport.FaultConfig)
+	for _, id := range []uint64{2, 3, 4} { // 3 of 5 die; survivors 2 < t = 3
+		faults[id] = transport.FaultConfig{DropProb: 1, AfterSend: 2, Seed: prg.NewSeed([]byte{0x50, byte(id)})}
+	}
+	start := time.Now()
+	_, err := chaosRound(t, faults, nil)
+	if err == nil {
+		t.Fatal("expected abort when survivors fall below threshold")
+	}
+	if elapsed := time.Since(start); elapsed > 20*time.Second {
+		t.Errorf("abort took %v — server should fail fast on starved stages", elapsed)
+	}
+}

@@ -1,0 +1,317 @@
+package core
+
+import (
+	"context"
+	"crypto/rand"
+	"math"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/prg"
+	"repro/internal/ring"
+	"repro/internal/rng"
+	"repro/internal/secagg"
+	"repro/internal/skellam"
+	"repro/internal/transport"
+	"repro/internal/xnoise"
+)
+
+func testCodec(dim, n int) skellam.Params {
+	scale, err := skellam.ChooseScale(dim, 1.0, 20, n, 0.2, 3)
+	if err != nil {
+		panic(err)
+	}
+	return skellam.Params{
+		Dim: dim, Bits: 20, Clip: 1.0, Scale: scale, Beta: math.Exp(-0.5),
+		K: 3, NumClients: n, RotationSeed: prg.NewSeed([]byte("core-rot")),
+	}
+}
+
+func randomUpdates(n, dim int, norm float64) map[uint64][]float64 {
+	s := prg.NewStream(prg.NewSeed([]byte("core-updates")))
+	out := make(map[uint64][]float64, n)
+	for i := 1; i <= n; i++ {
+		x := make([]float64, dim)
+		rng.GaussianVector(s, 1, x)
+		var n2 float64
+		for _, v := range x {
+			n2 += v * v
+		}
+		f := norm / math.Sqrt(n2)
+		for j := range x {
+			x[j] *= f
+		}
+		out[uint64(i)] = x
+	}
+	return out
+}
+
+func sumUpdates(updates map[uint64][]float64, skip map[uint64]bool, dim int) []float64 {
+	out := make([]float64, dim)
+	for id, u := range updates {
+		if skip[id] {
+			continue
+		}
+		for i, v := range u {
+			out[i] += v
+		}
+	}
+	return out
+}
+
+func l2(x []float64) float64 {
+	var s float64
+	for _, v := range x {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}
+
+func TestRunRoundPlainNoNoise(t *testing.T) {
+	const n, dim = 5, 50
+	cfg := RoundConfig{
+		Round: 1, Protocol: ProtocolSecAgg, Codec: testCodec(dim, n),
+		Threshold: 3, Chunks: 1, Seed: prg.NewSeed([]byte("r1")),
+	}
+	updates := randomUpdates(n, dim, 0.8)
+	res, err := RunRound(cfg, updates, nil, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := sumUpdates(updates, nil, dim)
+	diff := make([]float64, dim)
+	for i := range diff {
+		diff[i] = res.Sum[i] - want[i]
+	}
+	if l2(diff) > 0.1 {
+		t.Fatalf("plain round decode error %v", l2(diff))
+	}
+}
+
+func TestRunRoundChunkingInvariance(t *testing.T) {
+	// Without noise, the aggregate must be identical for every chunk
+	// count (chunking only re-partitions the ring vector).
+	const n, dim = 4, 64
+	updates := randomUpdates(n, dim, 0.7)
+	var ref []float64
+	for _, m := range []int{1, 2, 5} {
+		cfg := RoundConfig{
+			Round: 2, Protocol: ProtocolSecAgg, Codec: testCodec(dim, n),
+			Threshold: 3, Chunks: m, Seed: prg.NewSeed([]byte("r2")),
+		}
+		res, err := RunRound(cfg, updates, nil, rand.Reader)
+		if err != nil {
+			t.Fatalf("m=%d: %v", m, err)
+		}
+		if res.Chunks != m {
+			t.Fatalf("m=%d: executed %d chunks", m, res.Chunks)
+		}
+		if ref == nil {
+			ref = res.Sum
+			continue
+		}
+		for i := range ref {
+			if ref[i] != res.Sum[i] {
+				t.Fatalf("m=%d: chunked aggregate differs at %d", m, i)
+			}
+		}
+	}
+}
+
+func TestRunRoundXNoiseVariance(t *testing.T) {
+	// Pipelined XNoise round: residual noise ≈ TargetMu per coordinate,
+	// with and without dropout.
+	const n = 5
+	const dim = 7000 // padded to 8192
+	for _, drops := range [][]uint64{nil, {2}} {
+		codec := testCodec(dim, n)
+		cfg := RoundConfig{
+			Round: 3, Protocol: ProtocolSecAgg, Codec: codec,
+			Threshold: 3, Chunks: 3, Tolerance: 2, TargetMu: 60,
+			Seed: prg.NewSeed([]byte("r3")),
+		}
+		updates := randomUpdates(n, dim, 0.5)
+		res, err := RunRound(cfg, updates, drops, rand.Reader)
+		if err != nil {
+			t.Fatal(err)
+		}
+		skip := map[uint64]bool{}
+		for _, id := range drops {
+			skip[id] = true
+		}
+		want := sumUpdates(updates, skip, dim)
+		// Residual (model units) → grid units via scale; variance ≈ μ.
+		var sum, sumSq float64
+		for i := range want {
+			g := (res.Sum[i] - want[i]) * codec.Scale
+			sum += g
+			sumSq += g * g
+		}
+		mean := sum / float64(dim)
+		variance := sumSq/float64(dim) - mean*mean
+		// Quantization adds ~1/4 + small rounding bias on top of μ.
+		if math.Abs(variance-cfg.TargetMu)/cfg.TargetMu > 0.15 {
+			t.Errorf("drops=%v: residual variance %v, want ≈%v", drops, variance, cfg.TargetMu)
+		}
+		if len(res.Survivors)+len(res.Dropped) != n {
+			t.Errorf("partition broken: %v / %v", res.Survivors, res.Dropped)
+		}
+	}
+}
+
+func TestRunRoundSecAggPlus(t *testing.T) {
+	const n, dim = 8, 40
+	cfg := RoundConfig{
+		Round: 4, Protocol: ProtocolSecAggPlus, Degree: 4,
+		Codec: testCodec(dim, n), Threshold: 3, Chunks: 2,
+		Seed: prg.NewSeed([]byte("r4")),
+	}
+	updates := randomUpdates(n, dim, 0.6)
+	res, err := RunRound(cfg, updates, []uint64{5}, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := sumUpdates(updates, map[uint64]bool{5: true}, dim)
+	diff := make([]float64, dim)
+	for i := range diff {
+		diff[i] = res.Sum[i] - want[i]
+	}
+	if l2(diff) > 0.1 {
+		t.Fatalf("SecAgg+ round decode error %v", l2(diff))
+	}
+}
+
+func TestRunRoundValidation(t *testing.T) {
+	const n, dim = 4, 16
+	base := RoundConfig{
+		Round: 5, Codec: testCodec(dim, n), Threshold: 3, Chunks: 1,
+		Seed: prg.NewSeed([]byte("r5")),
+	}
+	updates := randomUpdates(n, dim, 0.5)
+	if _, err := RunRound(base, map[uint64][]float64{1: updates[1]}, nil, rand.Reader); err == nil {
+		t.Error("single client should error")
+	}
+	bad := base
+	bad.Chunks = 0
+	if _, err := RunRound(bad, updates, nil, rand.Reader); err == nil {
+		t.Error("chunks=0 should error")
+	}
+	if _, err := RunRound(base, updates, []uint64{99}, rand.Reader); err == nil {
+		t.Error("unknown dropped id should error")
+	}
+	tol := base
+	tol.Tolerance = 1
+	tol.TargetMu = 10
+	if _, err := RunRound(tol, updates, []uint64{1, 2}, rand.Reader); err == nil {
+		t.Error("dropouts beyond tolerance should error")
+	}
+}
+
+func TestWireRoundOverMemoryTransport(t *testing.T) {
+	testWireRound(t, func(tb testing.TB, n int) (transport.ServerConn, map[uint64]transport.ClientConn) {
+		net := transport.NewMemoryNetwork(256)
+		clients := make(map[uint64]transport.ClientConn, n)
+		for i := 1; i <= n; i++ {
+			c, err := net.Connect(uint64(i))
+			if err != nil {
+				tb.Fatal(err)
+			}
+			clients[uint64(i)] = c
+		}
+		return net.Server(), clients
+	})
+}
+
+func TestWireRoundOverTCP(t *testing.T) {
+	testWireRound(t, func(tb testing.TB, n int) (transport.ServerConn, map[uint64]transport.ClientConn) {
+		srv, err := transport.ListenTCP("127.0.0.1:0")
+		if err != nil {
+			tb.Fatal(err)
+		}
+		tb.(*testing.T).Cleanup(func() { srv.Close() })
+		clients := make(map[uint64]transport.ClientConn, n)
+		for i := 1; i <= n; i++ {
+			c, err := transport.DialTCP(srv.Addr(), uint64(i))
+			if err != nil {
+				tb.Fatal(err)
+			}
+			clients[uint64(i)] = c
+		}
+		deadline := time.Now().Add(2 * time.Second)
+		for len(srv.Clients()) < n && time.Now().Before(deadline) {
+			time.Sleep(time.Millisecond)
+		}
+		return srv, clients
+	})
+}
+
+func testWireRound(t *testing.T, mkNet func(testing.TB, int) (transport.ServerConn, map[uint64]transport.ClientConn)) {
+	t.Helper()
+	const n, dim = 5, 32
+	plan := &xnoise.Plan{NumClients: n, DropoutTolerance: 1, Threshold: 3, TargetVariance: 30}
+	saCfg := secagg.Config{
+		Round:     11,
+		ClientIDs: []uint64{1, 2, 3, 4, 5},
+		Threshold: 3,
+		Bits:      20,
+		Dim:       dim,
+		XNoise:    plan,
+	}
+	serverConn, clientConns := mkNet(t, n)
+
+	inputs := make(map[uint64]ring.Vector, n)
+	for i := 1; i <= n; i++ {
+		v := ring.NewVector(20, dim)
+		for j := range v.Data {
+			v.Data[j] = uint64(i)
+		}
+		inputs[uint64(i)] = v
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	var wg sync.WaitGroup
+	for i := 1; i <= n; i++ {
+		id := uint64(i)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			cfg := WireClientConfig{
+				SecAgg: saCfg, ID: id, Input: inputs[id],
+				DropBefore: NoDrop, Rand: rand.Reader,
+			}
+			if id == 4 {
+				cfg.DropBefore = secagg.StageMaskedInput
+			}
+			_, err := RunWireClient(ctx, cfg, clientConns[id])
+			if err != nil && id != 4 {
+				t.Errorf("client %d: %v", id, err)
+			}
+		}()
+	}
+
+	res, err := RunWireServer(ctx, WireServerConfig{SecAgg: saCfg, StageDeadline: 1500 * time.Millisecond}, serverConn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+
+	if len(res.Dropped) != 1 || res.Dropped[0] != 4 {
+		t.Fatalf("dropped = %v, want [4]", res.Dropped)
+	}
+	// Expected signal: Σ survivors' constants = 1+2+3+5 = 11, plus noise
+	// (|D| = 1 = T, so nothing removed, noise exactly at target). Check
+	// the mean of the residual is near zero and the value is near 11.
+	got := ring.Vector{Bits: 20, Data: res.Sum}
+	centered := got.Centered()
+	var mean float64
+	for _, v := range centered {
+		mean += float64(v) - 11
+	}
+	mean /= float64(dim)
+	if math.Abs(mean) > 5 { // noise std ≈ √30 ≈ 5.5, dim 32 → se ≈ 1
+		t.Errorf("wire round aggregate mean offset %v", mean)
+	}
+}

@@ -1,0 +1,148 @@
+package core
+
+import (
+	"bytes"
+	"crypto/rand"
+	"testing"
+
+	"repro/internal/field"
+	"repro/internal/prg"
+	"repro/internal/ring"
+	"repro/internal/skellam"
+)
+
+func TestX25519KARoundTrip(t *testing.T) {
+	var ka X25519KA
+	privA, pubA, err := ka.Generate(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	privB, pubB, err := ka.Generate(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sAB, err := ka.Agree(privA, pubB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sBA, err := ka.Agree(privB, pubA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sAB != sBA {
+		t.Fatal("handler key agreement not symmetric")
+	}
+	if _, err := ka.Agree(privA, []byte{1}); err == nil {
+		t.Error("bad peer key should error")
+	}
+}
+
+func TestGCMAERoundTrip(t *testing.T) {
+	var ae GCMAE
+	var key [32]byte
+	key[0] = 9
+	ct, err := ae.Seal(key, rand.Reader, []byte("share"), []byte("route"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt, err := ae.Open(key, ct, []byte("route"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(pt, []byte("share")) {
+		t.Fatal("handler AE round trip failed")
+	}
+	if _, err := ae.Open(key, ct, []byte("other")); err == nil {
+		t.Error("wrong AD should fail")
+	}
+}
+
+func TestCTRPGDeterminism(t *testing.T) {
+	var pg CTRPG
+	seed := prg.NewSeed([]byte("h"))
+	a := make([]byte, 64)
+	b := make([]byte, 64)
+	pg.Stream(seed).Read(a)
+	pg.Stream(seed).Read(b)
+	if !bytes.Equal(a, b) {
+		t.Fatal("handler PRG not deterministic")
+	}
+}
+
+func TestShamirSSRoundTrip(t *testing.T) {
+	var ss ShamirSS
+	xs := []field.Element{1, 2, 3, 4}
+	shares, err := ss.Share(field.New(777), 3, xs, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ss.Reconstruct(shares[:3], 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != field.New(777) {
+		t.Fatal("handler secret sharing round trip failed")
+	}
+}
+
+// TestHandlersSatisfyInterfaces pins the Appendix-D interface contracts at
+// compile time.
+func TestHandlersSatisfyInterfaces(t *testing.T) {
+	var (
+		_ KAHandler = X25519KA{}
+		_ AEHandler = GCMAE{}
+		_ PGHandler = CTRPG{}
+		_ SSHandler = ShamirSS{}
+		_ DPHandler = SkellamDP{}
+	)
+}
+
+// TestSkellamDPRoundTrip: the default DPHandler encodes a batch of client
+// updates whose decoded aggregate matches their true sum to rounding
+// accuracy.
+func TestSkellamDPRoundTrip(t *testing.T) {
+	const n, dim = 4, 96
+	scale, err := skellam.ChooseScale(dim, 1, 20, n, 0.1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := SkellamDP{Params: skellam.Params{
+		Dim: dim, Bits: 20, Clip: 1, Scale: scale, Beta: 0.6065, K: 3,
+		NumClients: n, RotationSeed: prg.NewSeed([]byte("hdl-rot")),
+	}}
+	if h.PaddedDim() != 128 {
+		t.Fatalf("PaddedDim = %d, want 128", h.PaddedDim())
+	}
+	rnd := prg.NewStream(prg.NewSeed([]byte("hdl-enc")))
+	var agg ring.Vector
+	want := make([]float64, dim)
+	for c := 0; c < n; c++ {
+		u := make([]float64, dim)
+		for i := range u {
+			u[i] = 0.01 * float64(c+1)
+			want[i] += u[i]
+		}
+		enc, err := h.Encode(u, rnd)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c == 0 {
+			agg = enc
+		} else if err := agg.AddInPlace(enc); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := h.Decode(agg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if d := got[i] - want[i]; d > 0.05 || d < -0.05 {
+			t.Fatalf("coord %d: decoded %v, want %v", i, got[i], want[i])
+		}
+	}
+	// Dim mismatch must error.
+	if _, err := h.Encode(make([]float64, dim+1), rnd); err == nil {
+		t.Error("Encode accepted wrong dimension")
+	}
+}

@@ -1,0 +1,311 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+
+	"repro/internal/field"
+	"repro/internal/pipeline"
+	"repro/internal/prg"
+	"repro/internal/ring"
+	"repro/internal/secagg"
+	"repro/internal/secaggplus"
+	"repro/internal/skellam"
+	"repro/internal/xnoise"
+)
+
+// Protocol selects the secure-aggregation substrate.
+type Protocol int
+
+// The two protocols the paper evaluates.
+const (
+	ProtocolSecAgg Protocol = iota
+	ProtocolSecAggPlus
+)
+
+// String implements fmt.Stringer.
+func (p Protocol) String() string {
+	if p == ProtocolSecAggPlus {
+		return "secagg+"
+	}
+	return "secagg"
+}
+
+// RoundConfig configures one Dordis aggregation round (paper Fig. 7,
+// steps 2–4: pipeline preparation, client processing, server aggregation).
+type RoundConfig struct {
+	Round     uint64
+	Protocol  Protocol
+	Degree    int // SecAgg+ neighborhood degree; 0 = recommended
+	Codec     skellam.Params
+	Threshold int
+	// Chunks is the pipeline chunk count m (1 = plain execution). The
+	// optimal value comes from pipeline.OptimalChunks via the profiled
+	// performance model (see package cluster).
+	Chunks int
+	// XNoise enables add-then-remove enforcement with tolerance T and
+	// central target TargetMu (grid units); Tolerance 0 disables it
+	// (plain SecAgg aggregation — the Orig substrate).
+	Tolerance int
+	TargetMu  float64
+	Sampler   xnoise.Sampler
+	// Seed drives per-round deterministic randomness (noise seeds, chunk
+	// sub-streams).
+	Seed prg.Seed
+}
+
+// Validate checks the configuration.
+func (c RoundConfig) Validate() error {
+	if err := c.Codec.Validate(); err != nil {
+		return err
+	}
+	if c.Chunks < 1 {
+		return fmt.Errorf("core: chunks %d < 1", c.Chunks)
+	}
+	if c.Tolerance < 0 {
+		return fmt.Errorf("core: tolerance %d < 0", c.Tolerance)
+	}
+	if c.Tolerance > 0 && c.TargetMu <= 0 {
+		return fmt.Errorf("core: XNoise requires TargetMu > 0")
+	}
+	return nil
+}
+
+func (c RoundConfig) sampler() xnoise.Sampler {
+	if c.Sampler != nil {
+		return c.Sampler
+	}
+	return xnoise.SkellamSampler
+}
+
+// RoundResult is the outcome of one aggregation round.
+type RoundResult struct {
+	// Sum is the decoded aggregate (model units): Σ survivors' clipped
+	// updates plus DP noise at the enforced level.
+	Sum []float64
+	// Survivors and Dropped partition the sampled set.
+	Survivors []uint64
+	Dropped   []uint64
+	// Chunks is the chunk count executed.
+	Chunks int
+}
+
+// RunRound executes one full Dordis round in-process with pipeline
+// parallelism: the model update is DSkellam-encoded, split into m chunks,
+// and each chunk-aggregation task flows through the three-resource
+// pipeline (client compute → protocol exchange → server compute) on the
+// real pipeline.Executor. XNoise addition and removal wrap the secure
+// aggregation per chunk, exercising the "self-contained and complementary"
+// deployment mode of §3.3.
+//
+// updates maps sampled client ids to raw model updates (model units,
+// length Codec.Dim). drops lists clients that vanish before uploading
+// (they still complete ShareKeys, matching the §6.1 dropout model).
+func RunRound(cfg RoundConfig, updates map[uint64][]float64, drops []uint64, rand io.Reader) (*RoundResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	ids := sortedKeys(updates)
+	if len(ids) < 2 {
+		return nil, fmt.Errorf("core: need at least 2 clients, got %d", len(ids))
+	}
+	dropSet := make(map[uint64]bool, len(drops))
+	for _, id := range drops {
+		if _, ok := updates[id]; !ok {
+			return nil, fmt.Errorf("core: dropped client %d not in sampled set", id)
+		}
+		dropSet[id] = true
+	}
+	numDropped := len(dropSet)
+	if cfg.Tolerance > 0 && numDropped > cfg.Tolerance {
+		return nil, fmt.Errorf("core: %d dropouts exceed tolerance %d", numDropped, cfg.Tolerance)
+	}
+
+	// XNoise plan for the round (per-coordinate variances, so identical
+	// across chunks).
+	var plan *xnoise.Plan
+	if cfg.Tolerance > 0 {
+		plan = &xnoise.Plan{
+			NumClients:       len(ids),
+			DropoutTolerance: cfg.Tolerance,
+			Threshold:        cfg.Threshold,
+			TargetVariance:   cfg.TargetMu,
+		}
+		if err := plan.Validate(); err != nil {
+			return nil, err
+		}
+	}
+
+	// Encode every client's update once (the rotation spans the whole
+	// vector) and split into chunks.
+	encStream := prg.NewStream(prg.NewSeed(cfg.Seed[:], []byte("encode")))
+	encoded := make(map[uint64]ring.Vector, len(ids))
+	for _, id := range ids {
+		u := updates[id]
+		enc, err := skellam.Encode(cfg.Codec, u, encStream.Fork(fmt.Sprintf("c%d", id)))
+		if err != nil {
+			return nil, fmt.Errorf("core: encoding client %d: %w", id, err)
+		}
+		encoded[id] = enc
+	}
+	m := cfg.Chunks
+	bounds := ring.ChunkBounds(cfg.Codec.PaddedDim(), m)
+	m = len(bounds)
+
+	// Per-(client, chunk) noise seeds, derived deterministically so runs
+	// are reproducible.
+	type chunkNoise struct {
+		client *xnoise.ClientNoise
+	}
+	noise := make([][]chunkNoise, m) // [chunk][clientIdx]
+	if plan != nil {
+		seedStream := prg.NewStream(prg.NewSeed(cfg.Seed[:], []byte("noise-seeds")))
+		for c := 0; c < m; c++ {
+			noise[c] = make([]chunkNoise, len(ids))
+			for i := range ids {
+				cn, err := xnoise.NewClientNoise(*plan, seedStream.Fork(fmt.Sprintf("k%d/%d", c, i)))
+				if err != nil {
+					return nil, err
+				}
+				noise[c][i] = chunkNoise{client: cn}
+			}
+		}
+	}
+
+	// Build the per-chunk SecAgg config.
+	baseCfg := secagg.Config{
+		Round:     cfg.Round,
+		ClientIDs: ids,
+		Threshold: cfg.Threshold,
+		Bits:      cfg.Codec.Bits,
+	}
+	if cfg.Protocol == ProtocolSecAggPlus {
+		var err error
+		baseCfg, err = secaggplus.NewConfig(baseCfg, cfg.Degree)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	schedule := secagg.DropSchedule{}
+	for id := range dropSet {
+		schedule[id] = secagg.StageMaskedInput
+	}
+
+	// Chunk pipeline state.
+	chunkInputs := make([]map[uint64]ring.Vector, m)
+	chunkSums := make([]ring.Vector, m)
+	var mu sync.Mutex
+	var firstErr error
+	setErr := func(err error) error {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+		return err
+	}
+
+	stageClient := func(c int) error {
+		// c-comp: assemble chunk inputs; survivors add their XNoise.
+		inputs := make(map[uint64]ring.Vector, len(ids))
+		for i, id := range ids {
+			chunk := ring.Split(encoded[id], m)[c].Clone()
+			if plan != nil && !dropSet[id] {
+				total, err := noise[c][i].client.TotalNoise(*plan, cfg.sampler(), chunk.Len())
+				if err != nil {
+					return setErr(err)
+				}
+				if err := chunk.AddSignedInPlace(total); err != nil {
+					return setErr(err)
+				}
+			}
+			inputs[id] = chunk
+		}
+		chunkInputs[c] = inputs
+		return nil
+	}
+	stageProtocol := func(c int) error {
+		// comm (+ the protocol's own compute): secure aggregation of the
+		// chunk.
+		chunkCfg := baseCfg
+		chunkCfg.Round = cfg.Round*1000 + uint64(c)
+		chunkCfg.Dim = len(chunkInputs[c][ids[0]].Data)
+		rr, err := secagg.Run(chunkCfg, chunkInputs[c], nil, schedule, rand)
+		if err != nil {
+			return setErr(fmt.Errorf("core: chunk %d aggregation: %w", c, err))
+		}
+		chunkSums[c] = ring.Vector{Bits: cfg.Codec.Bits, Data: rr.Result.Sum}
+		return nil
+	}
+	stageServer := func(c int) error {
+		// s-comp: XNoise removal for the chunk.
+		if plan == nil {
+			return nil
+		}
+		seeds := make(map[uint64]map[int]field.Element)
+		for i, id := range ids {
+			if dropSet[id] {
+				continue
+			}
+			byK := make(map[int]field.Element)
+			for _, k := range plan.RemovalComponents(numDropped) {
+				byK[k] = noise[c][i].client.Seeds[k]
+			}
+			seeds[id] = byK
+		}
+		removal, err := xnoise.RemovalNoise(*plan, cfg.sampler(), seeds, numDropped, chunkSums[c].Len())
+		if err != nil {
+			return setErr(err)
+		}
+		if err := chunkSums[c].SubSignedInPlace(removal); err != nil {
+			return setErr(err)
+		}
+		return nil
+	}
+
+	workflow := pipeline.Workflow{
+		{Name: "client-encode-noise", Resource: pipeline.ClientCompute},
+		{Name: "secure-aggregation", Resource: pipeline.Communication},
+		{Name: "server-noise-removal", Resource: pipeline.ServerCompute},
+	}
+	ex, err := pipeline.NewExecutor(workflow, []pipeline.StageFunc{stageClient, stageProtocol, stageServer})
+	if err != nil {
+		return nil, err
+	}
+	if err := ex.Run(m); err != nil {
+		return nil, err
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+
+	agg, err := ring.Concat(chunkSums)
+	if err != nil {
+		return nil, err
+	}
+	sum, err := skellam.Decode(cfg.Codec, agg)
+	if err != nil {
+		return nil, err
+	}
+	res := &RoundResult{Sum: sum, Chunks: m}
+	for _, id := range ids {
+		if dropSet[id] {
+			res.Dropped = append(res.Dropped, id)
+		} else {
+			res.Survivors = append(res.Survivors, id)
+		}
+	}
+	return res, nil
+}
+
+func sortedKeys(m map[uint64][]float64) []uint64 {
+	out := make([]uint64, 0, len(m))
+	for id := range m {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,421 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/ring"
+	"repro/internal/secagg"
+	"repro/internal/transport"
+)
+
+// Wire driver: runs one SecAgg(+XNoise) round over a transport.Transport,
+// with the server collecting each stage's responses until either every
+// live client answered or the stage deadline fires — the deadline-based
+// collection of the paper's §2.1 ("collects the updates from participants
+// until a certain deadline").
+
+// wire stage tags (transport.Frame.Stage).
+const (
+	wireAdvertise = iota
+	wireRoster
+	wireShares
+	wireDeliver
+	wireMasked
+	wireConsistencyReq
+	wireConsistency
+	wireUnmaskReq
+	wireUnmask
+	wireNoiseReq
+	wireNoise
+	wireResult
+)
+
+func encodePayload(v any) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		return nil, fmt.Errorf("core: encoding payload: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+func decodePayload(p []byte, v any) error {
+	if err := gob.NewDecoder(bytes.NewReader(p)).Decode(v); err != nil {
+		return fmt.Errorf("core: decoding payload: %w", err)
+	}
+	return nil
+}
+
+// WireServerConfig configures the wire server for one round.
+type WireServerConfig struct {
+	SecAgg        secagg.Config
+	StageDeadline time.Duration // per-stage collection deadline
+}
+
+// collect gathers stage frames until every id in expect has answered or
+// the deadline fires; it returns the collected frames keyed by sender.
+func collect(ctx context.Context, conn transport.ServerConn, stage int,
+	expect []uint64, deadline time.Duration) (map[uint64][]byte, error) {
+
+	want := make(map[uint64]bool, len(expect))
+	for _, id := range expect {
+		want[id] = true
+	}
+	out := make(map[uint64][]byte)
+	cctx, cancel := context.WithTimeout(ctx, deadline)
+	defer cancel()
+	for len(out) < len(expect) {
+		f, err := conn.Recv(cctx)
+		if err != nil {
+			break // deadline: proceed with what we have
+		}
+		if f.Stage != stage || !want[f.From] {
+			continue // stale or unexpected frame
+		}
+		if _, dup := out[f.From]; dup {
+			continue
+		}
+		out[f.From] = f.Payload
+	}
+	return out, nil
+}
+
+// broadcast sends the same payload to every id.
+func broadcast(conn transport.ServerConn, ids []uint64, stage int, payload []byte) {
+	for _, id := range ids {
+		// Errors mean the client vanished; the protocol's thresholds
+		// handle that downstream.
+		_ = conn.SendTo(id, transport.Frame{Stage: stage, Payload: payload})
+	}
+}
+
+// RunWireServer drives the server side of one round and returns the
+// aggregation result. ctx bounds the whole round.
+func RunWireServer(ctx context.Context, cfg WireServerConfig, conn transport.ServerConn) (*secagg.Result, error) {
+	if cfg.StageDeadline <= 0 {
+		cfg.StageDeadline = 2 * time.Second
+	}
+	server, err := secagg.NewServer(cfg.SecAgg)
+	if err != nil {
+		return nil, err
+	}
+	ids := cfg.SecAgg.ClientIDs
+
+	// Stage 0: AdvertiseKeys.
+	frames, err := collect(ctx, conn, wireAdvertise, ids, cfg.StageDeadline)
+	if err != nil {
+		return nil, err
+	}
+	var adverts []secagg.AdvertiseMsg
+	for _, p := range frames {
+		var m secagg.AdvertiseMsg
+		if err := decodePayload(p, &m); err != nil {
+			return nil, err
+		}
+		adverts = append(adverts, m)
+	}
+	roster, err := server.CollectAdvertise(adverts)
+	if err != nil {
+		return nil, err
+	}
+	rosterPayload, err := encodePayload(roster)
+	if err != nil {
+		return nil, err
+	}
+	u1 := make([]uint64, 0, len(roster))
+	for _, m := range roster {
+		u1 = append(u1, m.From)
+	}
+	broadcast(conn, u1, wireRoster, rosterPayload)
+
+	// Stage 1: ShareKeys.
+	frames, err = collect(ctx, conn, wireShares, u1, cfg.StageDeadline)
+	if err != nil {
+		return nil, err
+	}
+	perSender := make(map[uint64][]secagg.EncryptedShareMsg, len(frames))
+	for id, p := range frames {
+		var cts []secagg.EncryptedShareMsg
+		if err := decodePayload(p, &cts); err != nil {
+			return nil, err
+		}
+		perSender[id] = cts
+	}
+	deliveries, err := server.CollectShares(perSender)
+	if err != nil {
+		return nil, err
+	}
+	u2 := make([]uint64, 0, len(deliveries))
+	for id, cts := range deliveries {
+		payload, err := encodePayload(cts)
+		if err != nil {
+			return nil, err
+		}
+		_ = conn.SendTo(id, transport.Frame{Stage: wireDeliver, Payload: payload})
+		u2 = append(u2, id)
+	}
+
+	// Stage 2: MaskedInputCollection.
+	frames, err = collect(ctx, conn, wireMasked, u2, cfg.StageDeadline)
+	if err != nil {
+		return nil, err
+	}
+	var maskedMsgs []secagg.MaskedInputMsg
+	for _, p := range frames {
+		var m secagg.MaskedInputMsg
+		if err := decodePayload(p, &m); err != nil {
+			return nil, err
+		}
+		maskedMsgs = append(maskedMsgs, m)
+	}
+	u3, err := server.CollectMasked(maskedMsgs)
+	if err != nil {
+		return nil, err
+	}
+	u3Payload, err := encodePayload(u3)
+	if err != nil {
+		return nil, err
+	}
+	broadcast(conn, u3, wireConsistencyReq, u3Payload)
+
+	// Stage 3: ConsistencyCheck.
+	frames, err = collect(ctx, conn, wireConsistency, u3, cfg.StageDeadline)
+	if err != nil {
+		return nil, err
+	}
+	var consMsgs []secagg.ConsistencyMsg
+	for _, p := range frames {
+		var m secagg.ConsistencyMsg
+		if err := decodePayload(p, &m); err != nil {
+			return nil, err
+		}
+		consMsgs = append(consMsgs, m)
+	}
+	unmaskReq, err := server.CollectConsistency(consMsgs)
+	if err != nil {
+		return nil, err
+	}
+	reqPayload, err := encodePayload(unmaskReq)
+	if err != nil {
+		return nil, err
+	}
+	broadcast(conn, unmaskReq.U4, wireUnmaskReq, reqPayload)
+
+	// Stage 4: Unmasking.
+	frames, err = collect(ctx, conn, wireUnmask, unmaskReq.U4, cfg.StageDeadline)
+	if err != nil {
+		return nil, err
+	}
+	var unmaskMsgs []secagg.UnmaskMsg
+	for _, p := range frames {
+		var m secagg.UnmaskMsg
+		if err := decodePayload(p, &m); err != nil {
+			return nil, err
+		}
+		unmaskMsgs = append(unmaskMsgs, m)
+	}
+	noiseReq, err := server.CollectUnmask(unmaskMsgs)
+	if err != nil {
+		return nil, err
+	}
+
+	// Stage 5: ExcessiveNoiseRemoval, when needed.
+	if noiseReq != nil {
+		nrPayload, err := encodePayload(*noiseReq)
+		if err != nil {
+			return nil, err
+		}
+		broadcast(conn, noiseReq.U5, wireNoiseReq, nrPayload)
+		frames, err = collect(ctx, conn, wireNoise, noiseReq.U5, cfg.StageDeadline)
+		if err != nil {
+			return nil, err
+		}
+		var noiseMsgs []secagg.NoiseShareMsg
+		for _, p := range frames {
+			var m secagg.NoiseShareMsg
+			if err := decodePayload(p, &m); err != nil {
+				return nil, err
+			}
+			noiseMsgs = append(noiseMsgs, m)
+		}
+		if err := server.CollectNoiseShares(noiseMsgs); err != nil {
+			return nil, err
+		}
+	}
+
+	res, err := server.Finalize()
+	if err != nil {
+		return nil, err
+	}
+	resPayload, err := encodePayload(res)
+	if err != nil {
+		return nil, err
+	}
+	broadcast(conn, res.Survivors, wireResult, resPayload)
+	return &res, nil
+}
+
+// NoDrop marks a wire client that never drops out.
+const NoDrop secagg.Stage = -1
+
+// WireClientConfig configures one wire client.
+type WireClientConfig struct {
+	SecAgg secagg.Config
+	ID     uint64
+	Input  ring.Vector
+	// DropBefore makes the client vanish before the given protocol stage
+	// (testing hook matching secagg.DropSchedule). Use NoDrop for a client
+	// that completes the round.
+	DropBefore secagg.Stage
+	Rand       io.Reader
+}
+
+// RunWireClient drives the client side of one round. It returns the
+// decoded round result frame (nil for clients that dropped or when the
+// protocol ended before dispatch).
+func RunWireClient(ctx context.Context, cfg WireClientConfig, conn transport.ClientConn) (*secagg.Result, error) {
+	drop := func(s secagg.Stage) bool {
+		return cfg.DropBefore >= 0 && s >= cfg.DropBefore
+	}
+	client, err := secagg.NewClient(cfg.SecAgg, cfg.ID, cfg.Input, nil, cfg.Rand)
+	if err != nil {
+		return nil, err
+	}
+	if drop(secagg.StageAdvertiseKeys) {
+		return nil, conn.Close()
+	}
+	adv, err := client.AdvertiseKeys()
+	if err != nil {
+		return nil, err
+	}
+	payload, err := encodePayload(adv)
+	if err != nil {
+		return nil, err
+	}
+	if err := conn.Send(transport.Frame{Stage: wireAdvertise, Payload: payload}); err != nil {
+		return nil, err
+	}
+
+	recv := func(stage int, v any) error {
+		for {
+			f, err := conn.Recv(ctx)
+			if err != nil {
+				return err
+			}
+			if f.Stage != stage {
+				continue
+			}
+			return decodePayload(f.Payload, v)
+		}
+	}
+
+	var roster []secagg.AdvertiseMsg
+	if err := recv(wireRoster, &roster); err != nil {
+		return nil, err
+	}
+	if drop(secagg.StageShareKeys) {
+		return nil, conn.Close()
+	}
+	cts, err := client.ShareKeys(roster)
+	if err != nil {
+		return nil, err
+	}
+	if payload, err = encodePayload(cts); err != nil {
+		return nil, err
+	}
+	if err := conn.Send(transport.Frame{Stage: wireShares, Payload: payload}); err != nil {
+		return nil, err
+	}
+
+	var delivered []secagg.EncryptedShareMsg
+	if err := recv(wireDeliver, &delivered); err != nil {
+		return nil, err
+	}
+	if drop(secagg.StageMaskedInput) {
+		return nil, conn.Close()
+	}
+	masked, err := client.MaskedInput(delivered)
+	if err != nil {
+		return nil, err
+	}
+	if payload, err = encodePayload(masked); err != nil {
+		return nil, err
+	}
+	if err := conn.Send(transport.Frame{Stage: wireMasked, Payload: payload}); err != nil {
+		return nil, err
+	}
+
+	var u3 []uint64
+	if err := recv(wireConsistencyReq, &u3); err != nil {
+		return nil, err
+	}
+	if drop(secagg.StageConsistencyCheck) {
+		return nil, conn.Close()
+	}
+	cons, err := client.ConsistencyCheck(u3)
+	if err != nil {
+		return nil, err
+	}
+	if payload, err = encodePayload(cons); err != nil {
+		return nil, err
+	}
+	if err := conn.Send(transport.Frame{Stage: wireConsistency, Payload: payload}); err != nil {
+		return nil, err
+	}
+
+	var unmaskReq secagg.UnmaskRequest
+	if err := recv(wireUnmaskReq, &unmaskReq); err != nil {
+		return nil, err
+	}
+	if drop(secagg.StageUnmasking) {
+		return nil, conn.Close()
+	}
+	um, err := client.Unmask(unmaskReq)
+	if err != nil {
+		return nil, err
+	}
+	if payload, err = encodePayload(um); err != nil {
+		return nil, err
+	}
+	if err := conn.Send(transport.Frame{Stage: wireUnmask, Payload: payload}); err != nil {
+		return nil, err
+	}
+
+	// Either a stage-5 request or the final result arrives next.
+	for {
+		f, err := conn.Recv(ctx)
+		if err != nil {
+			return nil, err
+		}
+		switch f.Stage {
+		case wireNoiseReq:
+			var nr secagg.NoiseShareRequest
+			if err := decodePayload(f.Payload, &nr); err != nil {
+				return nil, err
+			}
+			if drop(secagg.StageNoiseRemoval) {
+				return nil, conn.Close()
+			}
+			ns, err := client.RevealNoiseShares(nr)
+			if err != nil {
+				return nil, err
+			}
+			if payload, err = encodePayload(ns); err != nil {
+				return nil, err
+			}
+			if err := conn.Send(transport.Frame{Stage: wireNoise, Payload: payload}); err != nil {
+				return nil, err
+			}
+		case wireResult:
+			var res secagg.Result
+			if err := decodePayload(f.Payload, &res); err != nil {
+				return nil, err
+			}
+			return &res, nil
+		}
+	}
+}

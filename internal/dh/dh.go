@@ -1,0 +1,98 @@
+// Package dh implements the Diffie–Hellman key agreement used by Dordis to
+// establish secure channels across clients over the server-mediated network
+// (paper §3.3, "Establishment of Secure Channels across Clients").
+//
+// The paper's SecAgg instantiation (Fig. 5) uses a KA scheme composed with a
+// secure hash: KA.gen produces a key pair, KA.agree(skA, pkB) derives a
+// shared secret that both ends compute identically. We instantiate KA with
+// X25519 and derive the symmetric secret with SHA-256 over a domain
+// separator and both public keys, which binds the secret to the channel.
+package dh
+
+import (
+	"crypto/ecdh"
+	"crypto/sha256"
+	"fmt"
+	"io"
+)
+
+// PublicKeySize is the wire size of a public key in bytes.
+const PublicKeySize = 32
+
+// SharedSize is the size of the derived shared secret in bytes.
+const SharedSize = 32
+
+// KeyPair holds an X25519 key pair for one protocol role. The paper's
+// clients hold two pairs per round: c^PK/c^SK for channel encryption and
+// s^PK/s^SK for pairwise mask derivation.
+type KeyPair struct {
+	priv *ecdh.PrivateKey
+}
+
+// Generate creates a key pair with randomness from rand.
+func Generate(rand io.Reader) (*KeyPair, error) {
+	priv, err := ecdh.X25519().GenerateKey(rand)
+	if err != nil {
+		return nil, fmt.Errorf("dh: generating key: %w", err)
+	}
+	return &KeyPair{priv: priv}, nil
+}
+
+// PublicBytes returns the 32-byte public key for transmission.
+func (k *KeyPair) PublicBytes() []byte {
+	return k.priv.PublicKey().Bytes()
+}
+
+// PrivateBytes returns the 32-byte private scalar. SecAgg Shamir-shares it
+// so the server can reconstruct a dropped client's pairwise masks.
+func (k *KeyPair) PrivateBytes() [32]byte {
+	var out [32]byte
+	copy(out[:], k.priv.Bytes())
+	return out
+}
+
+// FromPrivateBytes rebuilds a key pair from a 32-byte private scalar (the
+// server-side reconstruction path).
+func FromPrivateBytes(b [32]byte) (*KeyPair, error) {
+	priv, err := ecdh.X25519().NewPrivateKey(b[:])
+	if err != nil {
+		return nil, fmt.Errorf("dh: rebuilding private key: %w", err)
+	}
+	return &KeyPair{priv: priv}, nil
+}
+
+// Agree computes the shared secret with the peer identified by its public
+// key bytes. Both ends derive the same secret because the hash input orders
+// the two public keys canonically (lexicographically smaller first).
+func (k *KeyPair) Agree(peerPublic []byte) ([SharedSize]byte, error) {
+	var out [SharedSize]byte
+	peer, err := ecdh.X25519().NewPublicKey(peerPublic)
+	if err != nil {
+		return out, fmt.Errorf("dh: invalid peer public key: %w", err)
+	}
+	raw, err := k.priv.ECDH(peer)
+	if err != nil {
+		return out, fmt.Errorf("dh: agreement failed: %w", err)
+	}
+	mine := k.PublicBytes()
+	lo, hi := mine, peerPublic
+	if lessBytes(peerPublic, mine) {
+		lo, hi = peerPublic, mine
+	}
+	h := sha256.New()
+	h.Write([]byte("dordis/dh/agree/v1"))
+	h.Write(raw)
+	h.Write(lo)
+	h.Write(hi)
+	h.Sum(out[:0])
+	return out, nil
+}
+
+func lessBytes(a, b []byte) bool {
+	for i := 0; i < len(a) && i < len(b); i++ {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return len(a) < len(b)
+}

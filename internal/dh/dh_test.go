@@ -1,0 +1,81 @@
+package dh
+
+import (
+	"bytes"
+	"crypto/rand"
+	"testing"
+)
+
+func TestAgreementSymmetric(t *testing.T) {
+	alice, err := Generate(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bob, err := Generate(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sA, err := alice.Agree(bob.PublicBytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sB, err := bob.Agree(alice.PublicBytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sA != sB {
+		t.Fatal("shared secrets differ")
+	}
+}
+
+func TestDistinctPairsDistinctSecrets(t *testing.T) {
+	alice, _ := Generate(rand.Reader)
+	bob, _ := Generate(rand.Reader)
+	carol, _ := Generate(rand.Reader)
+	sAB, _ := alice.Agree(bob.PublicBytes())
+	sAC, _ := alice.Agree(carol.PublicBytes())
+	if sAB == sAC {
+		t.Fatal("secrets with different peers should differ")
+	}
+}
+
+func TestInvalidPeerKey(t *testing.T) {
+	alice, _ := Generate(rand.Reader)
+	if _, err := alice.Agree([]byte{1, 2, 3}); err == nil {
+		t.Fatal("short peer key should error")
+	}
+}
+
+func TestPublicKeySize(t *testing.T) {
+	kp, _ := Generate(rand.Reader)
+	if len(kp.PublicBytes()) != PublicKeySize {
+		t.Fatalf("public key size %d, want %d", len(kp.PublicBytes()), PublicKeySize)
+	}
+}
+
+func TestDeterministicFromSeededRand(t *testing.T) {
+	// Generation from a fixed byte stream is deterministic, which the
+	// simulator relies on for reproducibility.
+	mk := func() *KeyPair {
+		kp, err := Generate(bytes.NewReader(bytes.Repeat([]byte{7}, 64)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return kp
+	}
+	if !bytes.Equal(mk().PublicBytes(), mk().PublicBytes()) {
+		t.Fatal("key generation should be deterministic for a fixed reader")
+	}
+}
+
+func BenchmarkAgree(b *testing.B) {
+	alice, _ := Generate(rand.Reader)
+	bob, _ := Generate(rand.Reader)
+	pk := bob.PublicBytes()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := alice.Agree(pk); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

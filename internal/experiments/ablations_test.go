@@ -1,0 +1,205 @@
+package experiments
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestAblationToleranceShape(t *testing.T) {
+	rows, err := AblationTolerance()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 7 {
+		t.Fatalf("got %d rows, want 7", len(rows))
+	}
+	for i, r := range rows {
+		// Precise enforcement: the residual is the target at both extremes
+		// of the dropout outcome, for every tolerance.
+		if math.Abs(r.AchievedAtZero-1) > 1e-9 || math.Abs(r.AchievedAtT-1) > 1e-9 {
+			t.Errorf("T=%d: residuals %.6f / %.6f, want exactly 1", r.Tolerance, r.AchievedAtZero, r.AchievedAtT)
+		}
+		if i == 0 {
+			continue
+		}
+		prev := rows[i-1]
+		// Resilience costs monotonically more noise and more traffic.
+		if r.PerClientVar <= prev.PerClientVar {
+			t.Errorf("per-client variance not increasing at T=%d", r.Tolerance)
+		}
+		if r.ExtraMiB < prev.ExtraMiB {
+			t.Errorf("share traffic not monotone at T=%d", r.Tolerance)
+		}
+	}
+	// The paper's headline factor: at T = |U|/2 each client adds 2× the
+	// Orig share.
+	for _, r := range rows {
+		if r.Tolerance == 50 && math.Abs(r.InflationOverOrig-2) > 1e-9 {
+			t.Errorf("T=50: inflation %.3f, want 2.0", r.InflationOverOrig)
+		}
+	}
+}
+
+func TestAblationInterventionShape(t *testing.T) {
+	rows, err := AblationIntervention()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows, want 3", len(rows))
+	}
+	for _, r := range rows {
+		// Ignoring the β₂·m penalty can only push the planner to deeper
+		// (or equal) pipelines, and executing its plan can only lose (or
+		// tie) against the full model's choice.
+		if r.NaiveM < r.FullM {
+			t.Errorf("%s: naive m %d < full m %d", r.Workload, r.NaiveM, r.FullM)
+		}
+		if r.RegretPct < -1e-9 {
+			t.Errorf("%s: negative regret %.2f%%", r.Workload, r.RegretPct)
+		}
+		if r.FullSec >= r.PlainSec {
+			t.Errorf("%s: pipelining did not beat plain (%.1f vs %.1f)", r.Workload, r.FullSec, r.PlainSec)
+		}
+	}
+}
+
+func TestAblationProtocolsShape(t *testing.T) {
+	rows, err := AblationProtocols()
+	if err != nil {
+		t.Fatal(err)
+	}
+	byKey := func(proto string, params int64, n int) float64 {
+		for _, r := range rows {
+			if r.Protocol == proto && r.ModelParams == params && r.Sampled == n {
+				return r.UploadMiB
+			}
+		}
+		t.Fatalf("missing row %s/%d/%d", proto, params, n)
+		return 0
+	}
+	for _, n := range []int{100, 200, 300} {
+		for _, params := range []int64{5_000_000, 50_000_000} {
+			sa := byKey("SecAgg", params, n)
+			plus := byKey("SecAgg+", params, n)
+			xn := byKey("SecAgg+XNoise", params, n)
+			lsa := byKey("LightSecAgg", params, n)
+			// §2.3.2: the reduced-round baseline's coded-share traffic is
+			// linear in the model, so it uploads several times more.
+			if lsa < 3*sa {
+				t.Errorf("n=%d params=%d: LightSecAgg %.1f MiB not ≫ SecAgg %.1f MiB", n, params, lsa, sa)
+			}
+			// SecAgg+ trims the share terms (k < n−1) but not the input.
+			if plus > sa+1e-9 {
+				t.Errorf("n=%d params=%d: SecAgg+ %.3f > SecAgg %.3f", n, params, plus, sa)
+			}
+			// XNoise adds traffic, but little.
+			if xn <= sa || xn > sa*1.6 {
+				t.Errorf("n=%d params=%d: XNoise upload %.1f vs SecAgg %.1f out of expected band", n, params, xn, sa)
+			}
+		}
+		// XNoise's *extra* is model-size invariant (Table 3): the absolute
+		// delta at 5M and 50M params must match.
+		d5 := byKey("SecAgg+XNoise", 5_000_000, n) - byKey("SecAgg", 5_000_000, n)
+		d50 := byKey("SecAgg+XNoise", 50_000_000, n) - byKey("SecAgg", 50_000_000, n)
+		if math.Abs(d5-d50) > 1e-6 {
+			t.Errorf("n=%d: XNoise extra varies with model size: %.4f vs %.4f MiB", n, d5, d50)
+		}
+	}
+}
+
+func TestAblationMechanismsShape(t *testing.T) {
+	rows, err := AblationMechanisms()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows, want 3", len(rows))
+	}
+	for _, r := range rows {
+		// Under the same accountant conversion, the Gaussian RDP bound is
+		// tighter than the Skellam one, but only marginally at practical
+		// variances: the planned noise must agree within 2%.
+		if r.NoiseRatio < 0.9 || r.NoiseRatio > 1.02 {
+			t.Errorf("%s: DGauss/Skellam noise ratio %.4f outside [0.9, 1.02]", r.Task, r.NoiseRatio)
+		}
+		// The closeness slack must be negligible versus δ.
+		if r.DGaussTau > r.Delta/1e6 {
+			t.Errorf("%s: τ = %g not negligible vs δ = %g", r.Task, r.DGaussTau, r.Delta)
+		}
+		if r.SkellamMu <= 0 || r.DGaussSigma2 <= 0 {
+			t.Errorf("%s: non-positive planned noise", r.Task)
+		}
+	}
+}
+
+func TestAblationDPModelsShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training ablation skipped in -short mode")
+	}
+	rows, err := AblationDPModels(Scale{Rounds: 6, PerClient: 15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]AblDRow{}
+	for _, r := range rows {
+		byName[r.Model] = r
+	}
+	if np := byName["non-private"]; np.Epsilon != 0 || np.NoisePerRnd != 0 {
+		t.Errorf("non-private consumed ε=%v noise=%v", np.Epsilon, np.NoisePerRnd)
+	}
+	central := byName["central DP"]
+	xn := byName["distributed DP (XNoise)"]
+	local := byName["local DP"]
+	// Distributed DP matches central DP's noise level without the trusted
+	// server — the §2.2 headline.
+	if math.Abs(xn.NoisePerRnd-central.NoisePerRnd) > 1e-6*central.NoisePerRnd {
+		t.Errorf("XNoise noise %v != central %v", xn.NoisePerRnd, central.NoisePerRnd)
+	}
+	if xn.Trusted || !central.Trusted {
+		t.Error("trust flags inverted")
+	}
+	// Local DP accumulates several× the necessary noise (survivors×).
+	if local.NoisePerRnd < 5*central.NoisePerRnd {
+		t.Errorf("local DP noise %v not ≫ central %v", local.NoisePerRnd, central.NoisePerRnd)
+	}
+}
+
+func TestAblationShuffleShape(t *testing.T) {
+	rows, err := AblationShuffle()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows, want 3", len(rows))
+	}
+	for _, r := range rows {
+		// The §2.2 structural gap: shuffle-model noise in the sum is an
+		// order of magnitude above the SecAgg-based central minimum.
+		if r.StdRatio < 10 {
+			t.Errorf("n=%d: shuffle/secagg std ratio %.1f, expected ≫ 10", r.Clients, r.StdRatio)
+		}
+		// Amplification holds: the per-report budget exceeds what a single
+		// central release would dare give each report without shuffling.
+		if r.Epsilon0 <= 0 {
+			t.Errorf("n=%d: non-positive ε₀", r.Clients)
+		}
+	}
+}
+
+func TestAblationRunnersProduceOutput(t *testing.T) {
+	for _, id := range []string{"ablT", "ablI", "ablP", "ablS", "ablU"} {
+		var buf bytes.Buffer
+		if err := Run(id, &buf, QuickScale()); err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if !strings.Contains(buf.String(), id) {
+			t.Errorf("%s output missing header:\n%s", id, buf.String())
+		}
+		if buf.Len() < 100 {
+			t.Errorf("%s output suspiciously short", id)
+		}
+	}
+}

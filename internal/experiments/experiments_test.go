@@ -1,0 +1,235 @@
+package experiments
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{"ablD", "ablI", "ablP", "ablS", "ablT", "ablU", "appendixc", "fig10",
+		"fig1b", "fig1c", "fig1d", "fig2", "fig8", "fig9",
+		"table1", "table2", "table3"}
+	got := IDs()
+	if len(got) != len(want) {
+		t.Fatalf("registry has %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("registry has %v, want %v", got, want)
+		}
+	}
+	for _, id := range got {
+		if Describe(id) == "" {
+			t.Errorf("%s has no description", id)
+		}
+	}
+}
+
+func TestUnknownExperiment(t *testing.T) {
+	if err := Run("nope", &bytes.Buffer{}, QuickScale()); err == nil {
+		t.Fatal("unknown id should error")
+	}
+}
+
+func TestFig1dShape(t *testing.T) {
+	rows, err := Fig1d()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 15 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	// Per budget: ε at d=0 equals the budget (±2%), then grows with d.
+	byBudget := map[float64][]Fig1dRow{}
+	for _, r := range rows {
+		byBudget[r.Budget] = append(byBudget[r.Budget], r)
+	}
+	for budget, series := range byBudget {
+		if math.Abs(series[0].Epsilon-budget)/budget > 0.02 {
+			t.Errorf("budget %v: ε at d=0 is %v", budget, series[0].Epsilon)
+		}
+		for i := 1; i < len(series); i++ {
+			if series[i].Epsilon <= series[i-1].Epsilon {
+				t.Errorf("budget %v: ε not increasing at d=%v", budget, series[i].DropoutRate)
+			}
+		}
+		last := series[len(series)-1]
+		if last.Epsilon < budget*1.3 {
+			t.Errorf("budget %v: 40%% dropout should overrun clearly, ε=%v", budget, last.Epsilon)
+		}
+	}
+}
+
+func TestFig8Shape(t *testing.T) {
+	rows, err := Fig8()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		switch r.Scheme {
+		case "XNoise":
+			if math.Abs(r.Epsilon-6)/6 > 0.02 {
+				t.Errorf("%s XNoise at d=%v: ε=%v, want ≈6", r.Task, r.DropoutRate, r.Epsilon)
+			}
+		case "Orig":
+			if r.DropoutRate >= 0.4 && r.Epsilon < 6.8 {
+				t.Errorf("%s Orig at 40%%: ε=%v should clearly exceed 6", r.Task, r.Epsilon)
+			}
+		}
+	}
+}
+
+func TestFig2Shape(t *testing.T) {
+	rows, err := Fig2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 12 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.AggShare < 0.80 || r.AggShare > 0.99 {
+			t.Errorf("%s n=%d DP=%v: agg share %v outside band", r.Protocol, r.Clients, r.WithDP, r.AggShare)
+		}
+	}
+	// SecAgg+ faster than SecAgg at matched settings.
+	timeOf := func(proto string, n int, dp bool) float64 {
+		for _, r := range rows {
+			if r.Protocol == proto && r.Clients == n && r.WithDP == dp {
+				return r.RoundHours
+			}
+		}
+		t.Fatalf("missing row %s %d %v", proto, n, dp)
+		return 0
+	}
+	for _, n := range []int{32, 48, 64} {
+		if timeOf("SecAgg+", n, false) >= timeOf("SecAgg", n, false) {
+			t.Errorf("n=%d: SecAgg+ should be faster", n)
+		}
+		if timeOf("SecAgg", n, true) <= timeOf("SecAgg", n, false) {
+			t.Errorf("n=%d: DP should add cost", n)
+		}
+	}
+}
+
+func TestFig10Shape(t *testing.T) {
+	rows, err := Fig10()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4*2*2*4 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	var minSpeed, maxSpeed = math.Inf(1), 0.0
+	speedupOf := map[string]float64{}
+	for _, r := range rows {
+		if r.Speedup < 1.0 {
+			t.Errorf("%s %s %s d=%v: speedup %v < 1", r.Workload, r.Protocol, r.Scheme, r.DropoutRate, r.Speedup)
+		}
+		if r.Speedup < minSpeed {
+			minSpeed = r.Speedup
+		}
+		if r.Speedup > maxSpeed {
+			maxSpeed = r.Speedup
+		}
+		if r.DropoutRate == 0.1 && r.Protocol == "SecAgg" && r.Scheme == "XNoise" {
+			speedupOf[r.Workload] = r.Speedup
+		}
+	}
+	if maxSpeed < 1.5 || maxSpeed > 3.0 {
+		t.Errorf("max speedup %v outside the paper's observed band", maxSpeed)
+	}
+	// Larger models and more clients gain more (paper §6.4).
+	if speedupOf["CIFAR10-VGG19-20M"] <= speedupOf["FEMNIST-CNN-1M"] {
+		t.Errorf("VGG-19 (%v) should out-gain the 1M CNN (%v)",
+			speedupOf["CIFAR10-VGG19-20M"], speedupOf["FEMNIST-CNN-1M"])
+	}
+	if speedupOf["FEMNIST-ResNet18-11M"] <= speedupOf["CIFAR10-ResNet18-11M"] {
+		t.Errorf("100-client FEMNIST (%v) should out-gain 16-client CIFAR (%v)",
+			speedupOf["FEMNIST-ResNet18-11M"], speedupOf["CIFAR10-ResNet18-11M"])
+	}
+}
+
+func TestTable3Shape(t *testing.T) {
+	rows, err := Table3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4*3*3 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	for _, r := range rows {
+		// Rebasing grows with model size; at 500M it dwarfs XNoise.
+		if r.ModelParams == 500_000_000 && r.RebasingMiB < 100*r.XNoiseMiB/10 {
+			t.Errorf("rebasing at 500M should dominate: %v vs %v", r.RebasingMiB, r.XNoiseMiB)
+		}
+	}
+}
+
+func TestAppendixCShape(t *testing.T) {
+	rows, err := AppendixC()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 20 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	optCount := 0
+	var optM int
+	var optVal float64
+	for _, r := range rows {
+		if r.Optimal {
+			optCount++
+			optM = r.M
+			optVal = r.Makespan
+		}
+	}
+	if optCount != 1 {
+		t.Fatalf("expected exactly one optimum, got %d", optCount)
+	}
+	for _, r := range rows {
+		if r.Makespan < optVal-1e-9 {
+			t.Errorf("m=%d beats the claimed optimum m=%d", r.M, optM)
+		}
+	}
+	if optM <= 1 {
+		t.Errorf("pipelining should pick m > 1, got %d", optM)
+	}
+}
+
+// TestQuickRunnersProduceOutput smoke-runs the cheap (accounting/model)
+// experiments end to end through the registry.
+func TestQuickRunnersProduceOutput(t *testing.T) {
+	for _, id := range []string{"fig1d", "fig2", "fig8", "fig10", "table1", "table3", "appendixc"} {
+		var buf bytes.Buffer
+		if err := Run(id, &buf, QuickScale()); err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if !strings.Contains(buf.String(), id[:4]) && !strings.Contains(buf.String(), "table") && !strings.Contains(buf.String(), "appendix") {
+			t.Errorf("%s output looks empty:\n%s", id, buf.String())
+		}
+		if buf.Len() < 100 {
+			t.Errorf("%s output suspiciously short", id)
+		}
+	}
+}
+
+// TestTrainingRunnersAtTinyScale smoke-runs the model-training experiments
+// at a very small scale so the suite stays fast.
+func TestTrainingRunnersAtTinyScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training experiments skipped in -short mode")
+	}
+	tiny := Scale{Rounds: 6, PerClient: 15}
+	for _, id := range []string{"fig9", "ablD"} {
+		var buf bytes.Buffer
+		if err := Run(id, &buf, tiny); err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if buf.Len() < 50 {
+			t.Errorf("%s output suspiciously short:\n%s", id, buf.String())
+		}
+	}
+}

@@ -1,0 +1,233 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/cluster"
+	"repro/internal/pipeline"
+	"repro/internal/secaggplus"
+)
+
+// Fig2Row is one bar of Figure 2: the round time and the share of it spent
+// in secure aggregation, for a protocol with/without distributed DP.
+type Fig2Row struct {
+	Protocol   string
+	Clients    int
+	WithDP     bool
+	RoundHours float64
+	AggShare   float64
+}
+
+// Fig2 computes the Figure 2 grid: SecAgg and SecAgg+ at 32/48/64 sampled
+// clients, 10% dropout, 11M-parameter model, with and without the
+// distributed-DP noise machinery.
+func Fig2() ([]Fig2Row, error) {
+	var rows []Fig2Row
+	for _, proto := range []string{"SecAgg", "SecAgg+"} {
+		for _, n := range []int{32, 48, 64} {
+			for _, withDP := range []bool{false, true} {
+				sc := cluster.Scenario{
+					NumSampled:    n,
+					Neighbors:     n - 1,
+					ModelParams:   11_000_000,
+					BytesPerParam: 2.5,
+					DropoutRate:   0.10,
+					TrainSeconds:  30,
+					Rates:         cluster.DefaultRates(),
+				}
+				if proto == "SecAgg+" {
+					sc.Neighbors = secaggplus.RecommendedDegree(n)
+				}
+				if withDP {
+					sc.XNoiseTolerance = n / 2
+				}
+				rt, err := sc.PlainRound()
+				if err != nil {
+					return nil, err
+				}
+				rows = append(rows, Fig2Row{
+					Protocol: proto, Clients: n, WithDP: withDP,
+					RoundHours: rt.Total() / 3600, AggShare: rt.AggShare(),
+				})
+			}
+		}
+	}
+	return rows, nil
+}
+
+// Fig10Row is one bar group of Figure 10: plain vs pipelined round time
+// for one (workload, protocol, scheme, dropout) cell.
+type Fig10Row struct {
+	Workload    string
+	Protocol    string // SecAgg / SecAgg+
+	Scheme      string // Orig / XNoise
+	DropoutRate float64
+	PlainMin    float64
+	PipedMin    float64
+	Speedup     float64
+	Chunks      int
+	AggShare    float64 // plain-execution aggregation share
+}
+
+// fig10Workloads mirrors the paper's four (dataset, model) pairs.
+var fig10Workloads = []struct {
+	name    string
+	clients int
+	params  int64
+	train   float64
+}{
+	{"FEMNIST-CNN-1M", 100, 1_000_000, 30},
+	{"FEMNIST-ResNet18-11M", 100, 11_000_000, 60},
+	{"CIFAR10-ResNet18-11M", 16, 11_000_000, 60},
+	{"CIFAR10-VGG19-20M", 16, 20_000_000, 90},
+}
+
+// Fig10 computes the full Figure 10 grid.
+func Fig10() ([]Fig10Row, error) {
+	var rows []Fig10Row
+	for _, wl := range fig10Workloads {
+		for _, proto := range []string{"SecAgg", "SecAgg+"} {
+			for _, scheme := range []string{"Orig", "XNoise"} {
+				for _, d := range []float64{0, 0.1, 0.2, 0.3} {
+					sc := cluster.Scenario{
+						NumSampled:    wl.clients,
+						Neighbors:     wl.clients - 1,
+						ModelParams:   wl.params,
+						BytesPerParam: 2.5,
+						DropoutRate:   d,
+						TrainSeconds:  wl.train,
+						Rates:         cluster.DefaultRates(),
+					}
+					if proto == "SecAgg+" {
+						sc.Neighbors = secaggplus.RecommendedDegree(wl.clients)
+					}
+					if scheme == "XNoise" {
+						sc.XNoiseTolerance = wl.clients / 2
+					}
+					plain, err := sc.PlainRound()
+					if err != nil {
+						return nil, err
+					}
+					piped, err := sc.PipelinedRound(0)
+					if err != nil {
+						return nil, err
+					}
+					rows = append(rows, Fig10Row{
+						Workload: wl.name, Protocol: proto, Scheme: scheme,
+						DropoutRate: d,
+						PlainMin:    plain.Total() / 60,
+						PipedMin:    piped.Total() / 60,
+						Speedup:     plain.Total() / piped.Total(),
+						Chunks:      piped.Chunks,
+						AggShare:    plain.AggShare(),
+					})
+				}
+			}
+		}
+	}
+	return rows, nil
+}
+
+// Table1 prints the stage decomposition of Table 1.
+func Table1(w io.Writer) error {
+	wf := pipeline.DistributedDPWorkflow()
+	if err := wf.Validate(); err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "table1: staging of the dropout-resilient distributed-DP workflow")
+	fmt.Fprintf(w, "%-6s %-24s %-8s\n", "stage", "operation group", "resource")
+	for i, s := range wf {
+		fmt.Fprintf(w, "%-6d %-24s %-8s\n", i+1, s.Name, s.Resource)
+	}
+	return nil
+}
+
+// AppendixCRow is one point of the optimal-chunk ablation.
+type AppendixCRow struct {
+	M        int
+	Makespan float64
+	Optimal  bool
+}
+
+// AppendixC sweeps m ∈ [1, 20] for the CIFAR-10/ResNet-18 scenario and
+// marks the solver's pick, demonstrating the interior optimum the Eq. 3
+// intervention term creates.
+func AppendixC() ([]AppendixCRow, error) {
+	sc := cluster.Scenario{
+		NumSampled: 16, Neighbors: 15, ModelParams: 11_000_000,
+		BytesPerParam: 2.5, DropoutRate: 0.1, TrainSeconds: 0,
+		XNoiseTolerance: 8, Rates: cluster.DefaultRates(),
+	}
+	pm, err := sc.PerfModel()
+	if err != nil {
+		return nil, err
+	}
+	wf := pipeline.DistributedDPWorkflow()
+	bestM, _, err := pipeline.OptimalChunks(wf, pm, float64(sc.ModelParams), 20)
+	if err != nil {
+		return nil, err
+	}
+	var rows []AppendixCRow
+	for m := 1; m <= 20; m++ {
+		sched, err := pipeline.Simulate(wf, pm.StageTimes(float64(sc.ModelParams), m), m)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, AppendixCRow{M: m, Makespan: sched.Makespan, Optimal: m == bestM})
+	}
+	return rows, nil
+}
+
+func init() {
+	register("fig2", "Round-time share of SecAgg/SecAgg+ at 32/48/64 clients (10% dropout)", func(w io.Writer, _ Scale) error {
+		rows, err := Fig2()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(w, "fig2: impact of secure aggregation on training efficiency")
+		fmt.Fprintf(w, "%-8s %-8s %-6s %12s %10s\n", "proto", "clients", "DP", "round (h)", "agg share")
+		for _, r := range rows {
+			dp := "w/o"
+			if r.WithDP {
+				dp = "w/"
+			}
+			fmt.Fprintf(w, "%-8s %-8d %-6s %12.2f %9.0f%%\n", r.Protocol, r.Clients, dp, r.RoundHours, 100*r.AggShare)
+		}
+		return nil
+	})
+	register("fig10", "Plain vs pipelined round time across workloads, protocols, schemes, dropout", func(w io.Writer, _ Scale) error {
+		rows, err := Fig10()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(w, "fig10: round time, plain vs pipeline-accelerated")
+		fmt.Fprintf(w, "%-22s %-8s %-7s %5s %11s %11s %8s %3s %9s\n",
+			"workload", "proto", "scheme", "d", "plain (min)", "piped (min)", "speedup", "m", "agg share")
+		for _, r := range rows {
+			fmt.Fprintf(w, "%-22s %-8s %-7s %4.0f%% %11.2f %11.2f %7.2fx %3d %8.0f%%\n",
+				r.Workload, r.Protocol, r.Scheme, 100*r.DropoutRate,
+				r.PlainMin, r.PipedMin, r.Speedup, r.Chunks, 100*r.AggShare)
+		}
+		return nil
+	})
+	register("table1", "Stage decomposition of the distributed-DP workflow", func(w io.Writer, _ Scale) error {
+		return Table1(w)
+	})
+	register("appendixc", "Chunk-count sweep and the optimal-m solver's pick", func(w io.Writer, _ Scale) error {
+		rows, err := AppendixC()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(w, "appendixC: makespan vs chunk count m (CIFAR-10 ResNet-18, XNoise)")
+		fmt.Fprintf(w, "%-4s %14s %s\n", "m", "makespan (s)", "")
+		for _, r := range rows {
+			mark := ""
+			if r.Optimal {
+				mark = "  ← optimal"
+			}
+			fmt.Fprintf(w, "%-4d %14.1f%s\n", r.M, r.Makespan, mark)
+		}
+		return nil
+	})
+}

@@ -1,0 +1,78 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/xnoise"
+)
+
+// Table3Row is one cell pair of Table 3: the additional per-round network
+// footprint (MiB) of a surviving client under rebasing and under XNoise.
+type Table3Row struct {
+	ModelParams int64
+	Sampled     int
+	DropoutRate float64
+	RebasingMiB float64
+	XNoiseMiB   float64
+}
+
+// Table3 computes the full grid: model sizes {5M, 50M, 500M}, sampled
+// clients {100, 200, 300}, dropout rates {0, 10, 20, 30}%, with
+// T = |U|/2 and the paper's wire-size constants.
+func Table3() ([]Table3Row, error) {
+	cfg := xnoise.DefaultFootprintConfig()
+	var rows []Table3Row
+	for _, d := range []float64{0, 0.1, 0.2, 0.3} {
+		for _, n := range []int{100, 200, 300} {
+			for _, params := range []int64{5_000_000, 50_000_000, 500_000_000} {
+				sc := xnoise.FootprintScenario{
+					ModelParams:      params,
+					NumSampled:       n,
+					DropoutTolerance: n / 2,
+					DropoutRate:      d,
+				}
+				reb, err := xnoise.RebasingExtraBytes(cfg, sc)
+				if err != nil {
+					return nil, err
+				}
+				xn, err := xnoise.XNoiseExtraBytes(cfg, sc)
+				if err != nil {
+					return nil, err
+				}
+				rows = append(rows, Table3Row{
+					ModelParams: params, Sampled: n, DropoutRate: d,
+					RebasingMiB: xnoise.MiB(reb), XNoiseMiB: xnoise.MiB(xn),
+				})
+			}
+		}
+	}
+	return rows, nil
+}
+
+func init() {
+	register("table3", "Per-client network footprint of rebasing vs XNoise", func(w io.Writer, _ Scale) error {
+		rows, err := Table3()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(w, "table3: additional per-round network footprint (MiB) per surviving client")
+		fmt.Fprintf(w, "%-9s %-9s %-9s %14s %12s\n", "dropout", "sampled", "params", "rebasing MiB", "xnoise MiB")
+		for _, r := range rows {
+			fmt.Fprintf(w, "%-9s %-9d %-9s %14.1f %12.1f\n",
+				fmt.Sprintf("%.0f%%", 100*r.DropoutRate), r.Sampled, humanParams(r.ModelParams), r.RebasingMiB, r.XNoiseMiB)
+		}
+		return nil
+	})
+}
+
+func humanParams(p int64) string {
+	switch {
+	case p >= 1_000_000_000:
+		return fmt.Sprintf("%dB", p/1_000_000_000)
+	case p >= 1_000_000:
+		return fmt.Sprintf("%dM", p/1_000_000)
+	default:
+		return fmt.Sprintf("%d", p)
+	}
+}

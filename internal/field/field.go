@@ -1,0 +1,188 @@
+// Package field implements arithmetic in the prime field GF(p) with
+// p = 2^61 - 1 (a Mersenne prime).
+//
+// The field is used by the Shamir secret-sharing substrate (package shamir)
+// and for sampling noise-component seeds in the XNoise scheme. Elements are
+// represented as uint64 values in the canonical range [0, p). The Mersenne
+// structure of p admits a fast reduction: for any 122-bit product hi·2^64+lo,
+// x mod (2^61-1) is computed with a handful of shifts and adds, with no
+// division.
+package field
+
+import (
+	"errors"
+	"fmt"
+	"math/bits"
+)
+
+// Modulus is the field prime p = 2^61 - 1.
+const Modulus uint64 = (1 << 61) - 1
+
+// Element is a field element in canonical form (value < Modulus).
+type Element uint64
+
+// ErrNotInvertible is returned when attempting to invert zero.
+var ErrNotInvertible = errors.New("field: zero has no multiplicative inverse")
+
+// New returns the element congruent to v mod p.
+func New(v uint64) Element {
+	return Element(reduce64(v))
+}
+
+// Uint64 returns the canonical representative of e.
+func (e Element) Uint64() uint64 { return uint64(e) }
+
+// String implements fmt.Stringer.
+func (e Element) String() string { return fmt.Sprintf("%d", uint64(e)) }
+
+// reduce64 reduces a 64-bit value mod 2^61-1.
+func reduce64(v uint64) uint64 {
+	// v = hi*2^61 + lo with hi < 2^3.
+	v = (v >> 61) + (v & Modulus)
+	if v >= Modulus {
+		v -= Modulus
+	}
+	return v
+}
+
+// Add returns a + b mod p.
+func Add(a, b Element) Element {
+	s := uint64(a) + uint64(b) // < 2^62, no overflow
+	if s >= Modulus {
+		s -= Modulus
+	}
+	return Element(s)
+}
+
+// Sub returns a - b mod p.
+func Sub(a, b Element) Element {
+	if a >= b {
+		return Element(uint64(a) - uint64(b))
+	}
+	return Element(uint64(a) + Modulus - uint64(b))
+}
+
+// Neg returns -a mod p.
+func Neg(a Element) Element {
+	if a == 0 {
+		return 0
+	}
+	return Element(Modulus - uint64(a))
+}
+
+// Mul returns a * b mod p using 128-bit intermediate arithmetic and
+// Mersenne reduction.
+func Mul(a, b Element) Element {
+	hi, lo := bits.Mul64(uint64(a), uint64(b))
+	// a,b < 2^61 so the product < 2^122: hi < 2^58.
+	// product = hi*2^64 + lo = hi*8*2^61 + lo
+	//        ≡ hi*8 + (lo >> 61)*1 + (lo & p)  (mod p)   since 2^61 ≡ 1.
+	r := (hi << 3) | (lo >> 61) // combined high 61 bits; < 2^61
+	s := r + (lo & Modulus)     // < 2^62
+	return Element(reduce64(s))
+}
+
+// Square returns a² mod p.
+func Square(a Element) Element { return Mul(a, a) }
+
+// Pow returns a^e mod p by binary exponentiation.
+func Pow(a Element, e uint64) Element {
+	result := Element(1)
+	base := a
+	for e > 0 {
+		if e&1 == 1 {
+			result = Mul(result, base)
+		}
+		base = Square(base)
+		e >>= 1
+	}
+	return result
+}
+
+// Inv returns the multiplicative inverse of a, computed as a^(p-2) by
+// Fermat's little theorem. Inverting zero returns ErrNotInvertible.
+func Inv(a Element) (Element, error) {
+	if a == 0 {
+		return 0, ErrNotInvertible
+	}
+	return Pow(a, Modulus-2), nil
+}
+
+// MustInv is Inv for callers that have already excluded zero; it panics on
+// zero input.
+func MustInv(a Element) Element {
+	inv, err := Inv(a)
+	if err != nil {
+		panic("field: inverse of zero")
+	}
+	return inv
+}
+
+// Div returns a/b mod p. Dividing by zero returns ErrNotInvertible.
+func Div(a, b Element) (Element, error) {
+	bi, err := Inv(b)
+	if err != nil {
+		return 0, err
+	}
+	return Mul(a, bi), nil
+}
+
+// EvalPoly evaluates the polynomial with the given coefficients
+// (coeffs[0] is the constant term) at point x using Horner's rule.
+func EvalPoly(coeffs []Element, x Element) Element {
+	if len(coeffs) == 0 {
+		return 0
+	}
+	acc := coeffs[len(coeffs)-1]
+	for i := len(coeffs) - 2; i >= 0; i-- {
+		acc = Add(Mul(acc, x), coeffs[i])
+	}
+	return acc
+}
+
+// LagrangeInterpolateAt evaluates, at point x, the unique polynomial of
+// degree < len(xs) passing through the points (xs[i], ys[i]). The xs must be
+// pairwise distinct; otherwise an error is returned. This is the core of
+// Shamir reconstruction (x = 0 recovers the secret).
+func LagrangeInterpolateAt(xs, ys []Element, x Element) (Element, error) {
+	if len(xs) != len(ys) {
+		return 0, fmt.Errorf("field: mismatched point slices: %d xs vs %d ys", len(xs), len(ys))
+	}
+	if len(xs) == 0 {
+		return 0, errors.New("field: interpolation requires at least one point")
+	}
+	for i := range xs {
+		for j := i + 1; j < len(xs); j++ {
+			if xs[i] == xs[j] {
+				return 0, fmt.Errorf("field: duplicate interpolation abscissa %d", xs[i])
+			}
+		}
+	}
+	var acc Element
+	for i := range xs {
+		num := Element(1)
+		den := Element(1)
+		for j := range xs {
+			if j == i {
+				continue
+			}
+			num = Mul(num, Sub(x, xs[j]))
+			den = Mul(den, Sub(xs[i], xs[j]))
+		}
+		li, err := Div(num, den)
+		if err != nil {
+			return 0, err
+		}
+		acc = Add(acc, Mul(ys[i], li))
+	}
+	return acc, nil
+}
+
+// RandomElement maps 8 uniformly random bytes to a near-uniform field
+// element by rejection-free reduction. The bias is < 2^-58 and is
+// irrelevant for seed material.
+func RandomElement(b [8]byte) Element {
+	v := uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24 |
+		uint64(b[4])<<32 | uint64(b[5])<<40 | uint64(b[6])<<48 | uint64(b[7])<<56
+	return New(v & Modulus) // take low 61 bits then canonicalize
+}

@@ -1,0 +1,207 @@
+package field
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewCanonical(t *testing.T) {
+	cases := []struct {
+		in   uint64
+		want uint64
+	}{
+		{0, 0},
+		{1, 1},
+		{Modulus - 1, Modulus - 1},
+		{Modulus, 0},
+		{Modulus + 1, 1},
+		{^uint64(0), (^uint64(0)) % Modulus},
+	}
+	for _, c := range cases {
+		if got := New(c.in).Uint64(); got != c.want {
+			t.Errorf("New(%d) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+func TestAddSubRoundTrip(t *testing.T) {
+	f := func(a, b uint64) bool {
+		x, y := New(a), New(b)
+		return Sub(Add(x, y), y) == x
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNeg(t *testing.T) {
+	f := func(a uint64) bool {
+		x := New(a)
+		return Add(x, Neg(x)) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	if Neg(0) != 0 {
+		t.Error("Neg(0) != 0")
+	}
+}
+
+func TestMulMatchesBigIntSemantics(t *testing.T) {
+	// Cross-check Mul against repeated addition for small values and
+	// against the identity (a*b) mod p computed via 128-bit decomposition.
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 2000; i++ {
+		a := New(rng.Uint64())
+		b := New(uint64(rng.Intn(1000)))
+		want := Element(0)
+		for j := uint64(0); j < b.Uint64(); j++ {
+			want = Add(want, a)
+		}
+		if got := Mul(a, b); got != want {
+			t.Fatalf("Mul(%d,%d) = %d, want %d", a, b, got, want)
+		}
+	}
+}
+
+func TestMulCommutativeAssociative(t *testing.T) {
+	f := func(a, b, c uint64) bool {
+		x, y, z := New(a), New(b), New(c)
+		if Mul(x, y) != Mul(y, x) {
+			return false
+		}
+		return Mul(Mul(x, y), z) == Mul(x, Mul(y, z))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDistributive(t *testing.T) {
+	f := func(a, b, c uint64) bool {
+		x, y, z := New(a), New(b), New(c)
+		return Mul(x, Add(y, z)) == Add(Mul(x, y), Mul(x, z))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInv(t *testing.T) {
+	if _, err := Inv(0); err != ErrNotInvertible {
+		t.Errorf("Inv(0) error = %v, want ErrNotInvertible", err)
+	}
+	f := func(a uint64) bool {
+		x := New(a)
+		if x == 0 {
+			return true
+		}
+		inv, err := Inv(x)
+		if err != nil {
+			return false
+		}
+		return Mul(x, inv) == 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDivByZero(t *testing.T) {
+	if _, err := Div(New(5), 0); err == nil {
+		t.Error("Div by zero should error")
+	}
+}
+
+func TestPow(t *testing.T) {
+	if Pow(New(2), 10) != New(1024) {
+		t.Errorf("2^10 = %d, want 1024", Pow(New(2), 10))
+	}
+	if Pow(New(7), 0) != 1 {
+		t.Error("x^0 should be 1")
+	}
+	// Fermat: a^(p-1) = 1 for a != 0.
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 50; i++ {
+		a := New(rng.Uint64())
+		if a == 0 {
+			continue
+		}
+		if Pow(a, Modulus-1) != 1 {
+			t.Fatalf("Fermat violated for %d", a)
+		}
+	}
+}
+
+func TestEvalPoly(t *testing.T) {
+	// p(x) = 3 + 2x + x^2 at x=5 → 3 + 10 + 25 = 38.
+	coeffs := []Element{New(3), New(2), New(1)}
+	if got := EvalPoly(coeffs, New(5)); got != New(38) {
+		t.Errorf("EvalPoly = %d, want 38", got)
+	}
+	if EvalPoly(nil, New(7)) != 0 {
+		t.Error("empty polynomial should evaluate to 0")
+	}
+}
+
+func TestLagrangeRecoversPolynomial(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		deg := 1 + rng.Intn(6)
+		coeffs := make([]Element, deg+1)
+		for i := range coeffs {
+			coeffs[i] = New(rng.Uint64())
+		}
+		xs := make([]Element, deg+1)
+		ys := make([]Element, deg+1)
+		for i := range xs {
+			xs[i] = New(uint64(i + 1))
+			ys[i] = EvalPoly(coeffs, xs[i])
+		}
+		got, err := LagrangeInterpolateAt(xs, ys, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != coeffs[0] {
+			t.Fatalf("interpolated constant term %d, want %d", got, coeffs[0])
+		}
+	}
+}
+
+func TestLagrangeErrors(t *testing.T) {
+	if _, err := LagrangeInterpolateAt([]Element{1, 1}, []Element{2, 3}, 0); err == nil {
+		t.Error("duplicate xs should error")
+	}
+	if _, err := LagrangeInterpolateAt([]Element{1}, []Element{2, 3}, 0); err == nil {
+		t.Error("mismatched slice lengths should error")
+	}
+	if _, err := LagrangeInterpolateAt(nil, nil, 0); err == nil {
+		t.Error("empty input should error")
+	}
+}
+
+func TestRandomElementCanonical(t *testing.T) {
+	f := func(b [8]byte) bool {
+		return RandomElement(b).Uint64() < Modulus
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkMul(b *testing.B) {
+	x, y := New(0x123456789abcdef), New(0xfedcba987654321)
+	for i := 0; i < b.N; i++ {
+		x = Mul(x, y)
+	}
+	_ = x
+}
+
+func BenchmarkInv(b *testing.B) {
+	x := New(0x123456789abcdef)
+	for i := 0; i < b.N; i++ {
+		x, _ = Inv(x)
+	}
+	_ = x
+}

@@ -1,0 +1,430 @@
+// Package fl is the federated-learning engine: FedAvg rounds over a
+// client population with per-round sampling, client dropout, L2 clipping,
+// DSkellam encoding, and one of the paper's noise-enforcement schemes
+// (§2.3.1 and §3):
+//
+//	SchemeNone          — no DP noise (the non-private reference)
+//	SchemeOrig          — Definition 1: each client adds χ(σ²*/|U|); under
+//	                      dropout the aggregate is under-noised and the
+//	                      ledger overruns the budget
+//	SchemeEarly         — Orig, but training stops when the budget is spent
+//	SchemeConservative  — Orig with noise planned for an assumed dropout
+//	                      rate θ (the Con-θ baselines of Fig. 1)
+//	SchemeXNoise        — Dordis's add-then-remove enforcement (Def. 2)
+//
+// Aggregation is performed in the ℤ_{2^b} ring on DSkellam-encoded updates,
+// exactly the math the secure-aggregation layer computes (SecAgg masking
+// cancels bit-exactly; package secagg proves that separately). A
+// UseSecAgg mode routes rounds through the real protocol for end-to-end
+// validation at small scale.
+package fl
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/data"
+	"repro/internal/dp"
+	"repro/internal/ml"
+	"repro/internal/prg"
+	"repro/internal/ring"
+	"repro/internal/rng"
+	"repro/internal/skellam"
+	"repro/internal/trace"
+	"repro/internal/xnoise"
+)
+
+// Scheme selects the noise-enforcement strategy.
+type Scheme int
+
+// The schemes compared throughout the paper's evaluation.
+const (
+	SchemeNone Scheme = iota
+	SchemeOrig
+	SchemeEarly
+	SchemeConservative
+	SchemeXNoise
+	// SchemeCentralDP is the §2.2 central-DP baseline: clients add no
+	// noise; the (trusted) server perturbs the aggregate with exactly the
+	// target variance. Utility-optimal, but the server sees raw updates —
+	// the trust assumption distributed DP exists to remove.
+	SchemeCentralDP
+	// SchemeLocalDP is the §2.2 local-DP baseline: every client adds
+	// noise sufficient for its own guarantee (the full central target),
+	// so the aggregate accumulates |U|× the necessary noise —
+	// "significantly harming the model utility".
+	SchemeLocalDP
+)
+
+// String implements fmt.Stringer.
+func (s Scheme) String() string {
+	switch s {
+	case SchemeNone:
+		return "none"
+	case SchemeOrig:
+		return "orig"
+	case SchemeEarly:
+		return "early"
+	case SchemeConservative:
+		return "conservative"
+	case SchemeXNoise:
+		return "xnoise"
+	case SchemeCentralDP:
+		return "central-dp"
+	case SchemeLocalDP:
+		return "local-dp"
+	default:
+		return fmt.Sprintf("Scheme(%d)", int(s))
+	}
+}
+
+// Task describes one training task (dataset + model + hyperparameters),
+// mirroring §6.1's per-task configuration.
+type Task struct {
+	Name            string
+	Fed             *data.Federated
+	NewModel        func() ml.Model
+	Rounds          int
+	SGD             ml.SGDConfig
+	Clip            float64 // L2 clipping bound for model updates
+	SampledPerRound int
+	Delta           float64 // DP δ (reciprocal of population size in §6.1)
+	EvalEvery       int     // evaluate test metrics every k rounds (≥1)
+}
+
+// Validate checks the task.
+func (t Task) Validate() error {
+	switch {
+	case t.Fed == nil || t.Fed.NumClients() == 0:
+		return fmt.Errorf("fl: task %q has no data", t.Name)
+	case t.NewModel == nil:
+		return fmt.Errorf("fl: task %q has no model factory", t.Name)
+	case t.Rounds <= 0:
+		return fmt.Errorf("fl: task %q rounds %d", t.Name, t.Rounds)
+	case t.Clip <= 0:
+		return fmt.Errorf("fl: task %q clip %v", t.Name, t.Clip)
+	case t.SampledPerRound < 2 || t.SampledPerRound > t.Fed.NumClients():
+		return fmt.Errorf("fl: task %q samples %d of %d clients", t.Name, t.SampledPerRound, t.Fed.NumClients())
+	case t.Delta <= 0 || t.Delta >= 1:
+		return fmt.Errorf("fl: task %q delta %v", t.Name, t.Delta)
+	case t.EvalEvery < 1:
+		return fmt.Errorf("fl: task %q EvalEvery %d", t.Name, t.EvalEvery)
+	}
+	return t.SGD.Validate()
+}
+
+// Config selects the scheme and environment for one run.
+type Config struct {
+	Scheme            Scheme
+	EpsilonBudget     float64 // ε_G; ignored by SchemeNone
+	ConservativeTheta float64 // assumed dropout rate for SchemeConservative
+	// DropoutToleranceFrac is T/|U| for XNoise (default 0.5, the Table 3
+	// setting).
+	DropoutToleranceFrac float64
+	Dropout              trace.DropoutModel // nil = no dropout
+	Bits                 uint               // ring width (default 20)
+	Seed                 prg.Seed
+}
+
+func (c Config) bits() uint {
+	if c.Bits == 0 {
+		return 20
+	}
+	return c.Bits
+}
+
+func (c Config) toleranceFrac() float64 {
+	if c.DropoutToleranceFrac == 0 {
+		return 0.5
+	}
+	return c.DropoutToleranceFrac
+}
+
+// RoundStats records one round's outcome.
+type RoundStats struct {
+	Round            int
+	Sampled          int
+	Dropped          int
+	Accuracy         float64 // NaN when not evaluated this round
+	MeanLoss         float64 // NaN when not evaluated this round
+	Epsilon          float64 // cumulative ε after this round
+	AchievedVariance float64 // central noise variance (grid units)
+}
+
+// Result is a completed run.
+type Result struct {
+	Task            string
+	Scheme          Scheme
+	Stats           []RoundStats
+	RoundsCompleted int
+	StoppedEarly    bool
+	FinalAccuracy   float64
+	FinalLoss       float64
+	Epsilon         float64
+	Model           ml.Model
+	// PlannedMu is the per-round central noise target σ²* in grid units.
+	PlannedMu float64
+}
+
+// Perplexity returns the language-model metric for the final loss.
+func (r *Result) Perplexity() float64 { return ml.Perplexity(r.FinalLoss) }
+
+// plan bundles everything derived during offline noise planning.
+type plan struct {
+	codec     skellam.Params
+	mu        float64 // per-round central target σ²* (grid units)
+	perClient float64 // per-client noise variance for Orig-style schemes
+	d1, d2    float64
+	q         float64 // sampling rate
+}
+
+// planNoise performs offline noise planning (§2.2): fix the DSkellam codec
+// scale by a 3-step fixed point (scale ↔ noise magnitude), then plan the
+// minimum per-round μ* under subsampling amplification.
+func planNoise(task Task, cfg Config, dim int) (plan, error) {
+	q := float64(task.SampledPerRound) / float64(task.Fed.NumClients())
+	sigmaGuess := task.Clip // model-unit central noise std, refined below
+	var p plan
+	for iter := 0; iter < 3; iter++ {
+		scale, err := skellam.ChooseScale(dim, task.Clip, cfg.bits(), task.SampledPerRound, sigmaGuess, 3)
+		if err != nil {
+			return plan{}, err
+		}
+		codec := skellam.Params{
+			Dim: dim, Bits: cfg.bits(), Clip: task.Clip, Scale: scale,
+			Beta: math.Exp(-0.5), K: 3, NumClients: task.SampledPerRound,
+		}
+		d1, d2 := codec.Sensitivities()
+		if cfg.Scheme == SchemeNone {
+			p = plan{codec: codec, d1: d1, d2: d2, q: q}
+			return p, nil
+		}
+		mu, err := dp.PlanSkellamMuSampled(cfg.EpsilonBudget, task.Delta, d1, d2, task.Rounds, q)
+		if err != nil {
+			return plan{}, err
+		}
+		p = plan{codec: codec, mu: mu, d1: d1, d2: d2, q: q}
+		sigmaGuess = math.Sqrt(mu) / scale
+	}
+	u := float64(task.SampledPerRound)
+	switch cfg.Scheme {
+	case SchemeOrig, SchemeEarly:
+		p.perClient = p.mu / u
+	case SchemeCentralDP:
+		p.perClient = 0 // the server adds the whole target itself
+	case SchemeLocalDP:
+		// A local guarantee cannot lean on aggregation: each client adds
+		// noise at the full central level, accumulating |U|·μ overall.
+		p.perClient = p.mu
+	case SchemeConservative:
+		theta := cfg.ConservativeTheta
+		if theta < 0 || theta >= 1 {
+			return plan{}, fmt.Errorf("fl: conservative θ=%v out of [0,1)", theta)
+		}
+		p.perClient = p.mu / ((1 - theta) * u)
+	}
+	return p, nil
+}
+
+// Run executes the training run.
+func Run(task Task, cfg Config) (*Result, error) {
+	if err := task.Validate(); err != nil {
+		return nil, err
+	}
+	master := prg.NewStream(prg.NewSeed(cfg.Seed[:], []byte("fl/"+task.Name)))
+	model := task.NewModel()
+	dim := model.NumParams()
+
+	np, err := planNoise(task, cfg, dim)
+	if err != nil {
+		return nil, err
+	}
+	tolerance := int(cfg.toleranceFrac() * float64(task.SampledPerRound))
+	if tolerance >= task.SampledPerRound {
+		tolerance = task.SampledPerRound - 1
+	}
+
+	var ledger *dp.SampledLedger
+	if cfg.Scheme != SchemeNone {
+		ledger, err = dp.NewSampledLedger(dp.MechanismSkellam, task.Delta, np.d2, np.d1, np.q)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	res := &Result{Task: task.Name, Scheme: cfg.Scheme, PlannedMu: np.mu,
+		FinalAccuracy: math.NaN(), FinalLoss: math.NaN()}
+	params := make([]float64, dim)
+	model.Params(params)
+
+	sampleStream := master.Fork("sampling")
+	trainStream := master.Fork("training")
+	noiseStream := master.Fork("noise")
+	encodeStream := master.Fork("encode")
+
+	for round := 1; round <= task.Rounds; round++ {
+		// Per-round shared rotation seed (server broadcast).
+		codec := np.codec
+		codec.RotationSeed = prg.NewSeed(cfg.Seed[:], []byte(fmt.Sprintf("rot/%s/%d", task.Name, round)))
+
+		sampled := rng.SampleK(sampleStream, task.Fed.NumClients(), task.SampledPerRound)
+
+		// Dropout: after sampling, before upload (§6.1). XNoise caps at T;
+		// the others observe uncapped dropout.
+		var droppedIdx map[int]bool
+		numDropped := 0
+		if cfg.Dropout != nil {
+			maxDrops := -1
+			if cfg.Scheme == SchemeXNoise {
+				maxDrops = tolerance
+			}
+			dropList := trace.RoundDropouts(cfg.Dropout, round, sampled, maxDrops)
+			droppedIdx = make(map[int]bool, len(dropList))
+			for _, i := range dropList {
+				droppedIdx[i] = true
+			}
+			numDropped = len(dropList)
+		}
+		survivors := task.SampledPerRound - numDropped
+		if survivors < 2 {
+			continue // round aborts; no release, no budget spent
+		}
+
+		// XNoise per-round plan.
+		var xp *xnoise.Plan
+		if cfg.Scheme == SchemeXNoise {
+			xp = &xnoise.Plan{
+				NumClients:       task.SampledPerRound,
+				DropoutTolerance: tolerance,
+				Threshold:        task.SampledPerRound - tolerance,
+				TargetVariance:   np.mu,
+			}
+			if err := xp.Validate(); err != nil {
+				return nil, err
+			}
+		}
+
+		// Local training and aggregation of the survivors.
+		agg := ring.NewVector(cfg.bits(), codec.PaddedDim())
+		for i, clientIdx := range sampled {
+			if droppedIdx[i] {
+				continue
+			}
+			shard := task.Fed.Clients[clientIdx]
+			local := model.Clone()
+			if _, err := ml.TrainLocal(local, task.SGD, shard.X, shard.Y, trainStream); err != nil {
+				return nil, err
+			}
+			after := make([]float64, dim)
+			local.Params(after)
+			delta := ml.Delta(params, after)
+			ml.ClipL2(delta, task.Clip)
+
+			enc, err := skellam.Encode(codec, delta, encodeStream)
+			if err != nil {
+				return nil, err
+			}
+			// Noise addition per scheme.
+			switch cfg.Scheme {
+			case SchemeNone:
+				// no noise
+			case SchemeCentralDP:
+				// no client-side noise: the trusted server perturbs below
+			case SchemeOrig, SchemeEarly, SchemeConservative, SchemeLocalDP:
+				noise := make([]int64, enc.Len())
+				rng.SkellamVector(noiseStream, np.perClient, noise)
+				if err := enc.AddSignedInPlace(noise); err != nil {
+					return nil, err
+				}
+			case SchemeXNoise:
+				// Exact-cancellation shortcut: the server regenerates the
+				// removed components k > |D| from the very seeds the client
+				// used, so addition followed by removal cancels bit-for-bit
+				// (verified end-to-end in packages secagg and core). The
+				// surviving noise is the sum of components k ≤ |D|, whose
+				// variances telescope to σ²*/(|U|−|D|) per client — one
+				// Skellam draw per coordinate instead of T+1.
+				var kept float64
+				for k := 0; k <= numDropped; k++ {
+					cv, err := xp.ComponentVariance(k)
+					if err != nil {
+						return nil, err
+					}
+					kept += cv
+				}
+				noise := make([]int64, enc.Len())
+				rng.SkellamVector(noiseStream, kept, noise)
+				if err := enc.AddSignedInPlace(noise); err != nil {
+					return nil, err
+				}
+			}
+			if err := agg.AddInPlace(enc); err != nil {
+				return nil, err
+			}
+		}
+
+		// Server-side excessive-noise removal (XNoise).
+		achieved := 0.0
+		switch cfg.Scheme {
+		case SchemeNone:
+		case SchemeOrig, SchemeEarly, SchemeConservative, SchemeLocalDP:
+			achieved = np.perClient * float64(survivors)
+		case SchemeCentralDP:
+			// The trusted server adds exactly the target — dropout cannot
+			// dent it because no noise share travels with the clients.
+			noise := make([]int64, agg.Len())
+			rng.SkellamVector(noiseStream, np.mu, noise)
+			if err := agg.AddSignedInPlace(noise); err != nil {
+				return nil, err
+			}
+			achieved = np.mu
+		case SchemeXNoise:
+			// Removal already accounted for by the exact-cancellation
+			// shortcut above; the residual is at the target by Theorem 1.
+			achieved = xp.AchievedVariance(numDropped)
+		}
+
+		// Decode, average, apply.
+		sum, err := skellam.Decode(codec, agg)
+		if err != nil {
+			return nil, err
+		}
+		inv := 1 / float64(survivors)
+		for i := range params {
+			params[i] += sum[i] * inv
+		}
+		model.SetParams(params)
+
+		// Accounting.
+		eps := 0.0
+		if ledger != nil {
+			eps = ledger.RecordRound(np.mu, achieved)
+		}
+
+		stats := RoundStats{
+			Round: round, Sampled: task.SampledPerRound, Dropped: numDropped,
+			Accuracy: math.NaN(), MeanLoss: math.NaN(),
+			Epsilon: eps, AchievedVariance: achieved,
+		}
+		if round%task.EvalEvery == 0 || round == task.Rounds {
+			stats.Accuracy = ml.Accuracy(model, task.Fed.Test.X, task.Fed.Test.Y)
+			stats.MeanLoss = ml.MeanLoss(model, task.Fed.Test.X, task.Fed.Test.Y)
+			res.FinalAccuracy = stats.Accuracy
+			res.FinalLoss = stats.MeanLoss
+		}
+		res.Stats = append(res.Stats, stats)
+		res.RoundsCompleted = round
+		res.Epsilon = eps
+
+		if cfg.Scheme == SchemeEarly && eps >= cfg.EpsilonBudget {
+			res.StoppedEarly = true
+			break
+		}
+	}
+	if math.IsNaN(res.FinalAccuracy) {
+		res.FinalAccuracy = ml.Accuracy(model, task.Fed.Test.X, task.Fed.Test.Y)
+		res.FinalLoss = ml.MeanLoss(model, task.Fed.Test.X, task.Fed.Test.Y)
+	}
+	res.Model = model
+	return res, nil
+}

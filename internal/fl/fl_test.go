@@ -1,0 +1,255 @@
+package fl
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/data"
+	"repro/internal/ml"
+	"repro/internal/prg"
+	"repro/internal/trace"
+)
+
+func tinyTask(t *testing.T, rounds int) Task {
+	t.Helper()
+	seed := prg.NewSeed([]byte("fl-test"))
+	fed, err := data.Generate(data.SynthConfig{
+		NumClasses: 5, Dim: 12, NumClients: 20, PerClient: 40,
+		TestExamples: 300, Alpha: 1.0, ClusterStd: 0.9,
+		Seed: prg.NewSeed(seed[:], []byte("tiny")),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Task{
+		Name:            "tiny",
+		Fed:             fed,
+		NewModel:        func() ml.Model { return ml.NewMLP(12, 8, 5, prg.NewSeed(seed[:], []byte("model"))) },
+		Rounds:          rounds,
+		SGD:             ml.SGDConfig{LearningRate: 0.08, Momentum: 0.9, Epochs: 1, BatchSize: 10},
+		Clip:            2,
+		SampledPerRound: 8,
+		Delta:           1e-2,
+		EvalEvery:       5,
+	}
+}
+
+func TestNonPrivateTraining(t *testing.T) {
+	res, err := Run(tinyTask(t, 20), Config{Scheme: SchemeNone, Seed: prg.NewSeed([]byte("s1"))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FinalAccuracy < 0.5 { // chance is 0.2
+		t.Fatalf("non-private accuracy %v too low", res.FinalAccuracy)
+	}
+	if res.Epsilon != 0 {
+		t.Errorf("SchemeNone should not consume budget, ε=%v", res.Epsilon)
+	}
+	if res.RoundsCompleted != 20 {
+		t.Errorf("completed %d rounds", res.RoundsCompleted)
+	}
+}
+
+func TestXNoiseMeetsBudgetUnderDropout(t *testing.T) {
+	task := tinyTask(t, 25)
+	dropout, err := trace.NewBernoulli(0.3, prg.NewSeed([]byte("drop")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{
+		Scheme: SchemeXNoise, EpsilonBudget: 6, Dropout: dropout,
+		Seed: prg.NewSeed([]byte("s2")),
+	}
+	res, err := Run(task, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Epsilon > 6+1e-6 {
+		t.Errorf("XNoise overran the budget: ε=%v", res.Epsilon)
+	}
+	// Achieved variance equals the plan in every completed round
+	// (Theorem 1), regardless of dropout.
+	for _, s := range res.Stats {
+		if math.Abs(s.AchievedVariance-res.PlannedMu)/res.PlannedMu > 1e-9 {
+			t.Fatalf("round %d: achieved %v != planned %v", s.Round, s.AchievedVariance, res.PlannedMu)
+		}
+	}
+}
+
+func TestOrigOverrunsBudgetUnderDropout(t *testing.T) {
+	task := tinyTask(t, 25)
+	dropout, err := trace.NewBernoulli(0.3, prg.NewSeed([]byte("drop")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(d trace.DropoutModel) float64 {
+		res, err := Run(task, Config{
+			Scheme: SchemeOrig, EpsilonBudget: 6, Dropout: d,
+			Seed: prg.NewSeed([]byte("s3")),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Epsilon
+	}
+	withDrop := run(dropout)
+	noDrop := run(nil)
+	if noDrop > 6+1e-6 {
+		t.Errorf("Orig without dropout should meet the budget exactly: ε=%v", noDrop)
+	}
+	if withDrop <= noDrop {
+		t.Errorf("Orig with dropout (%v) must consume more than without (%v)", withDrop, noDrop)
+	}
+	if withDrop <= 6 {
+		t.Errorf("Orig at 30%% dropout should exceed the budget: ε=%v", withDrop)
+	}
+}
+
+func TestEarlyStopsBeforeBudgetOverrun(t *testing.T) {
+	task := tinyTask(t, 25)
+	dropout, _ := trace.NewBernoulli(0.35, prg.NewSeed([]byte("drop")))
+	res, err := Run(task, Config{
+		Scheme: SchemeEarly, EpsilonBudget: 4, Dropout: dropout,
+		Seed: prg.NewSeed([]byte("s4")),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.StoppedEarly {
+		t.Fatal("Early should stop before the configured horizon at 35% dropout")
+	}
+	if res.RoundsCompleted >= 25 {
+		t.Errorf("Early completed all %d rounds", res.RoundsCompleted)
+	}
+}
+
+func TestConservativeOvershootsWithoutDropout(t *testing.T) {
+	// Con-θ without actual dropout adds more noise than necessary and
+	// therefore under-consumes the budget — the wasted-utility regime of
+	// Fig. 1b (Con8).
+	task := tinyTask(t, 15)
+	res, err := Run(task, Config{
+		Scheme: SchemeConservative, ConservativeTheta: 0.5, EpsilonBudget: 6,
+		Seed: prg.NewSeed([]byte("s5")),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Epsilon >= 6*0.8 {
+		t.Errorf("Con-0.5 without dropout should under-consume: ε=%v", res.Epsilon)
+	}
+	for _, s := range res.Stats {
+		if s.AchievedVariance <= res.PlannedMu {
+			t.Fatalf("round %d: conservative achieved %v should exceed plan %v",
+				s.Round, s.AchievedVariance, res.PlannedMu)
+		}
+	}
+}
+
+func TestXNoiseUtilityMatchesOrig(t *testing.T) {
+	// Table 2's headline: XNoise costs ≤ ~1% accuracy vs Orig (which
+	// under-noises and therefore can only be at least as accurate).
+	task := tinyTask(t, 20)
+	dropout, _ := trace.NewBernoulli(0.2, prg.NewSeed([]byte("drop")))
+	accOf := func(scheme Scheme) float64 {
+		res, err := Run(task, Config{
+			Scheme: scheme, EpsilonBudget: 6, Dropout: dropout,
+			Seed: prg.NewSeed([]byte("s6")),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.FinalAccuracy
+	}
+	orig := accOf(SchemeOrig)
+	xn := accOf(SchemeXNoise)
+	if xn < orig-0.08 {
+		t.Errorf("XNoise accuracy %v too far below Orig %v", xn, orig)
+	}
+}
+
+func TestDeterministicRuns(t *testing.T) {
+	task := tinyTask(t, 8)
+	cfg := Config{Scheme: SchemeXNoise, EpsilonBudget: 6, Seed: prg.NewSeed([]byte("det"))}
+	a, err := Run(task, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(task, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.FinalAccuracy != b.FinalAccuracy || a.Epsilon != b.Epsilon {
+		t.Fatal("runs with identical seeds must be identical")
+	}
+}
+
+func TestNoiseHurtsNoisierSchemesMore(t *testing.T) {
+	// Sanity ordering at zero dropout: None ≥ Orig ≥ Con-0.8 (Con-0.8 uses
+	// 5× the per-client noise). Allow small slack for run-to-run noise.
+	task := tinyTask(t, 20)
+	accOf := func(scheme Scheme, theta float64) float64 {
+		res, err := Run(task, Config{
+			Scheme: scheme, ConservativeTheta: theta, EpsilonBudget: 6,
+			Seed: prg.NewSeed([]byte("s7")),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.FinalAccuracy
+	}
+	clean := accOf(SchemeNone, 0)
+	orig := accOf(SchemeOrig, 0)
+	con8 := accOf(SchemeConservative, 0.8)
+	if orig > clean+0.05 {
+		t.Errorf("Orig (%v) should not beat non-private (%v)", orig, clean)
+	}
+	if con8 > orig+0.05 {
+		t.Errorf("Con-0.8 (%v) should not beat Orig (%v)", con8, orig)
+	}
+}
+
+func TestTaskValidation(t *testing.T) {
+	task := tinyTask(t, 5)
+	bad := []func(*Task){
+		func(ts *Task) { ts.Fed = nil },
+		func(ts *Task) { ts.NewModel = nil },
+		func(ts *Task) { ts.Rounds = 0 },
+		func(ts *Task) { ts.Clip = 0 },
+		func(ts *Task) { ts.SampledPerRound = 1 },
+		func(ts *Task) { ts.SampledPerRound = 1000 },
+		func(ts *Task) { ts.Delta = 0 },
+		func(ts *Task) { ts.EvalEvery = 0 },
+		func(ts *Task) { ts.SGD.LearningRate = 0 },
+	}
+	for i, mutate := range bad {
+		tt := task
+		mutate(&tt)
+		if _, err := Run(tt, Config{Scheme: SchemeNone}); err == nil {
+			t.Errorf("case %d should fail", i)
+		}
+	}
+}
+
+func TestConservativeThetaValidation(t *testing.T) {
+	task := tinyTask(t, 5)
+	if _, err := Run(task, Config{Scheme: SchemeConservative, ConservativeTheta: 1.0, EpsilonBudget: 6}); err == nil {
+		t.Error("θ=1 should error")
+	}
+}
+
+func TestPresetsConstructible(t *testing.T) {
+	seed := prg.NewSeed([]byte("presets"))
+	small := TaskScale{Rounds: 2, PerClient: 10}
+	for _, task := range []Task{
+		CIFAR10Like(seed, small), CIFAR100Like(seed, small),
+		FEMNISTLike(seed, small), RedditLike(seed, small),
+	} {
+		if err := task.Validate(); err != nil {
+			t.Errorf("%s: %v", task.Name, err)
+		}
+		if task.Rounds != 2 {
+			t.Errorf("%s: rounds override ignored", task.Name)
+		}
+	}
+}

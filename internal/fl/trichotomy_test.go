@@ -1,0 +1,100 @@
+package fl
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/prg"
+	"repro/internal/trace"
+)
+
+// TestCentralDPAchievesExactTarget: the central-DP baseline lands the
+// aggregate noise at exactly μ* every round, dropout or not, because the
+// server adds it after aggregation.
+func TestCentralDPAchievesExactTarget(t *testing.T) {
+	task := tinyTask(t, 15)
+	dropout, err := trace.NewBernoulli(0.3, prg.NewSeed([]byte("cdp-drop")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(task, Config{
+		Scheme: SchemeCentralDP, EpsilonBudget: 6, Dropout: dropout,
+		Seed: prg.NewSeed([]byte("cdp")),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, st := range res.Stats {
+		if math.Abs(st.AchievedVariance-res.PlannedMu) > 1e-9 {
+			t.Fatalf("round %d: achieved %v, want exactly μ*=%v", st.Round, st.AchievedVariance, res.PlannedMu)
+		}
+	}
+	if res.Epsilon > 6.0001 {
+		t.Errorf("central DP overran the budget: ε=%v", res.Epsilon)
+	}
+}
+
+// TestLocalDPAccumulatesExcessNoise: each client adds the full central
+// target, so the aggregate carries survivors·μ* — the §2.2 "excessive
+// accumulated noise".
+func TestLocalDPAccumulatesExcessNoise(t *testing.T) {
+	task := tinyTask(t, 10)
+	res, err := Run(task, Config{
+		Scheme: SchemeLocalDP, EpsilonBudget: 6,
+		Seed: prg.NewSeed([]byte("ldp")),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantPerRound := res.PlannedMu * float64(task.SampledPerRound)
+	for _, st := range res.Stats {
+		if math.Abs(st.AchievedVariance-wantPerRound) > 1e-6*wantPerRound {
+			t.Fatalf("round %d: achieved %v, want |U|·μ* = %v", st.Round, st.AchievedVariance, wantPerRound)
+		}
+	}
+}
+
+// TestTrichotomyUtilityOrdering reproduces §2.2's comparison: central and
+// distributed DP (XNoise) track the non-private loss closely, while local
+// DP's |U|-fold noise leaves it strictly worse. Losses, not accuracies,
+// are compared — loss is monotone in the injected noise at tiny scale.
+func TestTrichotomyUtilityOrdering(t *testing.T) {
+	task := tinyTask(t, 20)
+	seed := prg.NewSeed([]byte("tri"))
+	loss := func(scheme Scheme) float64 {
+		res, err := Run(task, Config{Scheme: scheme, EpsilonBudget: 6, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.FinalLoss
+	}
+	none := loss(SchemeNone)
+	central := loss(SchemeCentralDP)
+	local := loss(SchemeLocalDP)
+	if local <= central {
+		t.Errorf("local DP loss %.4f should exceed central DP loss %.4f", local, central)
+	}
+	if local <= none {
+		t.Errorf("local DP loss %.4f should exceed non-private loss %.4f", local, none)
+	}
+	// Central DP's minimal noise costs little utility at this scale: it
+	// must sit much closer to non-private than to local DP.
+	if (central - none) > 0.5*(local-none) {
+		t.Errorf("central DP loss %.4f not close to non-private %.4f (local %.4f)", central, none, local)
+	}
+}
+
+// TestSchemeStrings pins the Stringer output for the new schemes.
+func TestSchemeStrings(t *testing.T) {
+	cases := map[Scheme]string{
+		SchemeCentralDP: "central-dp",
+		SchemeLocalDP:   "local-dp",
+		SchemeXNoise:    "xnoise",
+		Scheme(99):      "Scheme(99)",
+	}
+	for s, want := range cases {
+		if got := s.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int(s), got, want)
+		}
+	}
+}

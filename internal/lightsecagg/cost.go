@@ -1,0 +1,42 @@
+package lightsecagg
+
+import "fmt"
+
+// Cost is the analytic per-client communication model used by the
+// protocol-comparison ablation. Units are bytes; constants follow the
+// paper's Table 3 conventions (model weights 2.5 B under the 20-bit
+// encoding; field elements on the wire are 8 B).
+type Cost struct {
+	OfflineShareBytes float64 // step 1: n coded shares of L elements each
+	MaskedUploadBytes float64 // step 2: d weights
+	RecoveryBytes     float64 // step 3: one aggregate share of L elements
+}
+
+// Total returns the full per-client upload for one round.
+func (c Cost) Total() float64 {
+	return c.OfflineShareBytes + c.MaskedUploadBytes + c.RecoveryBytes
+}
+
+// fieldElementBytes is the wire size of one GF(2^61−1) element.
+const fieldElementBytes = 8.0
+
+// ClientCost returns the per-client upload cost of one LightSecAgg round
+// over a d-parameter model with weightBytes per parameter. The structural
+// contrast with SecAgg+XNoise (Table 3) is that the share traffic scales
+// with d/(U−T) — linear in the model — where XNoise ships constant-size
+// seeds.
+func ClientCost(cfg Config, weightBytes float64) (Cost, error) {
+	if err := cfg.Validate(); err != nil {
+		return Cost{}, err
+	}
+	if weightBytes <= 0 {
+		return Cost{}, fmt.Errorf("lightsecagg: weightBytes must be positive, got %v", weightBytes)
+	}
+	n := float64(len(cfg.ClientIDs))
+	l := float64(cfg.SubVectorLen())
+	return Cost{
+		OfflineShareBytes: n * l * fieldElementBytes,
+		MaskedUploadBytes: float64(cfg.Dim) * weightBytes,
+		RecoveryBytes:     l * fieldElementBytes,
+	}, nil
+}

@@ -1,0 +1,334 @@
+package lightsecagg
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/field"
+	"repro/internal/prg"
+)
+
+func testConfig(n, t, d, dim int) Config {
+	ids := make([]uint64, n)
+	for i := range ids {
+		ids[i] = uint64(i + 1)
+	}
+	return Config{ClientIDs: ids, PrivacyT: t, Dropout: d, Dim: dim}
+}
+
+func liftAll(vs []int64) []field.Element {
+	out := make([]field.Element, len(vs))
+	for i, v := range vs {
+		out[i] = Lift(v)
+	}
+	return out
+}
+
+func rng(label string) *prg.Stream {
+	return prg.NewStream(prg.NewSeed([]byte("lsa-test"), []byte(label)))
+}
+
+// makeInputs builds deterministic signed inputs and their expected sum
+// over an arbitrary surviving subset.
+func makeInputs(cfg Config) (map[uint64][]field.Element, func(exclude map[uint64]bool) []int64) {
+	raw := make(map[uint64][]int64, len(cfg.ClientIDs))
+	inputs := make(map[uint64][]field.Element, len(cfg.ClientIDs))
+	for _, id := range cfg.ClientIDs {
+		v := make([]int64, cfg.Dim)
+		for i := range v {
+			v[i] = int64(id)*100 + int64(i) - 50 // mixed signs
+		}
+		raw[id] = v
+		inputs[id] = liftAll(v)
+	}
+	wantSum := func(exclude map[uint64]bool) []int64 {
+		sum := make([]int64, cfg.Dim)
+		for _, id := range cfg.ClientIDs {
+			if exclude[id] {
+				continue
+			}
+			for i, v := range raw[id] {
+				sum[i] += v
+			}
+		}
+		return sum
+	}
+	return inputs, wantSum
+}
+
+func checkSum(t *testing.T, got []field.Element, want []int64) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("result length %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if Center(got[i]) != want[i] {
+			t.Fatalf("coord %d: got %d, want %d", i, Center(got[i]), want[i])
+		}
+	}
+}
+
+func TestRoundNoDropout(t *testing.T) {
+	cfg := testConfig(6, 2, 2, 37) // d not divisible by U−T: padding path
+	inputs, wantSum := makeInputs(cfg)
+	got, err := Run(cfg, inputs, nil, nil, rng("nodrop"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkSum(t, got, wantSum(nil))
+}
+
+func TestRoundDropBeforeUpload(t *testing.T) {
+	cfg := testConfig(6, 2, 2, 16)
+	inputs, wantSum := makeInputs(cfg)
+	drops := map[uint64]bool{2: true, 5: true} // exactly D dropouts
+	got, err := Run(cfg, inputs, drops, nil, rng("drop2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkSum(t, got, wantSum(drops))
+}
+
+// TestRoundDropDuringRecovery: survivors beyond the recovery threshold may
+// also vanish before answering the one-shot recovery; the round still
+// completes from any U responses.
+func TestRoundDropDuringRecovery(t *testing.T) {
+	cfg := testConfig(8, 2, 2, 16) // U = 6
+	inputs, wantSum := makeInputs(cfg)
+	uploadDrops := map[uint64]bool{3: true}   // 7 survivors ≥ U
+	recoveryDrops := map[uint64]bool{7: true} // 6 responders = U exactly
+	got, err := Run(cfg, inputs, uploadDrops, recoveryDrops, rng("recdrop"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkSum(t, got, wantSum(uploadDrops))
+}
+
+func TestRoundAbortsBeyondTolerance(t *testing.T) {
+	cfg := testConfig(6, 1, 1, 8) // U = 5
+	inputs, _ := makeInputs(cfg)
+	drops := map[uint64]bool{1: true, 4: true} // 2 > D = 1
+	if _, err := Run(cfg, inputs, drops, nil, rng("over")); err == nil {
+		t.Fatal("expected abort when dropouts exceed tolerance")
+	}
+}
+
+func TestRoundAbortsWhenRecoveryStarved(t *testing.T) {
+	cfg := testConfig(6, 1, 1, 8) // U = 5
+	inputs, _ := makeInputs(cfg)
+	recoveryDrops := map[uint64]bool{1: true, 2: true} // 4 responders < U
+	if _, err := Run(cfg, inputs, nil, recoveryDrops, rng("starve")); err == nil {
+		t.Fatal("expected abort when recovery responses fall below U")
+	}
+}
+
+// TestShareConsistency: interpolating a client's own shares at the data
+// points recovers its mask — the MDS property the recovery step relies on.
+func TestShareConsistency(t *testing.T) {
+	cfg := testConfig(5, 1, 1, 12) // U = 4, parts = 3
+	c, err := NewClient(cfg, 3, rng("consist"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	shares, err := c.EncodeShares()
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := cfg.RecoveryThreshold()
+	xs := make([]field.Element, u)
+	ys := make([][]field.Element, u)
+	for i := 0; i < u; i++ {
+		xs[i] = cfg.alpha(i)
+		ys[i] = shares[cfg.ClientIDs[i]]
+	}
+	l := cfg.SubVectorLen()
+	parts := u - cfg.PrivacyT
+	for k := 0; k < parts; k++ {
+		ws, err := lagrangeWeightsAt(xs, cfg.beta(k+1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for tt := 0; tt < l; tt++ {
+			var got field.Element
+			for i := range xs {
+				got = field.Add(got, field.Mul(ws[i], ys[i][tt]))
+			}
+			if got != c.mask[k*l+tt] {
+				t.Fatalf("piece %d coord %d: interpolated %v, mask %v", k, tt, got, c.mask[k*l+tt])
+			}
+		}
+	}
+}
+
+// TestPrivacyTSharesUniform: with privacy threshold T, any T shares are
+// uniformly distributed regardless of the mask — checked empirically by
+// comparing the first share byte distribution across two clients with
+// maximally different masks. This is a smoke check of the Lagrange-coding
+// noise padding, not a proof.
+func TestPrivacyTSharesUniform(t *testing.T) {
+	cfg := testConfig(5, 2, 1, 4) // T = 2 noise pieces
+	const trials = 2000
+	var lowBitOnes int
+	for i := 0; i < trials; i++ {
+		c, err := NewClient(cfg, 1, rng(fmt.Sprintf("priv%d", i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		shares, err := c.EncodeShares()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if shares[2][0].Uint64()&1 == 1 {
+			lowBitOnes++
+		}
+	}
+	frac := float64(lowBitOnes) / trials
+	if frac < 0.45 || frac > 0.55 {
+		t.Errorf("share low bit frequency %.3f, want ≈0.5 (uniformity)", frac)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		testConfig(1, 0, 0, 4),                 // too few clients
+		testConfig(4, 0, 0, 0),                 // dim 0
+		testConfig(4, -1, 0, 4),                // negative T
+		testConfig(4, 0, -1, 4),                // negative D
+		testConfig(4, 2, 2, 4),                 // U = 2 ≤ T = 2
+		{ClientIDs: []uint64{3, 3, 4}, Dim: 4}, // duplicate ids
+		{ClientIDs: []uint64{4, 3, 5}, Dim: 4}, // unsorted ids
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("case %d: Validate accepted %+v", i, cfg)
+		}
+	}
+	if err := testConfig(6, 2, 2, 10).Validate(); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+}
+
+func TestGeometry(t *testing.T) {
+	cfg := testConfig(8, 2, 3, 100) // U = 5, parts = 3
+	if got := cfg.RecoveryThreshold(); got != 5 {
+		t.Errorf("U = %d, want 5", got)
+	}
+	if got := cfg.SubVectorLen(); got != 34 { // ceil(100/3)
+		t.Errorf("L = %d, want 34", got)
+	}
+	if got := cfg.PaddedDim(); got != 102 {
+		t.Errorf("padded = %d, want 102", got)
+	}
+}
+
+func TestLiftCenterRoundTrip(t *testing.T) {
+	f := func(v int32) bool {
+		return Center(Lift(int64(v))) == int64(v)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestLiftAdditive: Lift is a homomorphism — sums in ℤ map to sums in F.
+func TestLiftAdditive(t *testing.T) {
+	f := func(a, b int32) bool {
+		lhs := field.Add(Lift(int64(a)), Lift(int64(b)))
+		return Center(lhs) == int64(a)+int64(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickRoundRandomDropouts: property test — for random geometry and
+// any dropout set within tolerance, the round reproduces the survivors'
+// exact sum.
+func TestQuickRoundRandomDropouts(t *testing.T) {
+	f := func(seed uint64, nQ, tQ, dQ uint8) bool {
+		n := int(nQ%6) + 4         // 4..9
+		T := int(tQ) % (n / 2)     // keep U > T feasible
+		D := int(dQ) % (n - T - 1) // n − D > T
+		cfg := testConfig(n, T, D, 9)
+		inputs, wantSum := makeInputs(cfg)
+		s := prg.NewStream(prg.NewSeed([]byte{byte(seed), byte(seed >> 8), byte(nQ), byte(tQ), byte(dQ)}))
+		drops := map[uint64]bool{}
+		for _, id := range cfg.ClientIDs {
+			if len(drops) < D && s.Uint64n(2) == 1 {
+				drops[id] = true
+			}
+		}
+		got, err := Run(cfg, inputs, drops, nil, s)
+		if err != nil {
+			return false
+		}
+		want := wantSum(drops)
+		for i := range want {
+			if Center(got[i]) != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestClientCost(t *testing.T) {
+	cfg := testConfig(100, 10, 10, 1_000_000) // U = 90, parts = 80
+	c, err := ClientCost(cfg, 2.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := float64(cfg.SubVectorLen())
+	if want := 100 * l * 8; c.OfflineShareBytes != want {
+		t.Errorf("offline share bytes %.0f, want %.0f", c.OfflineShareBytes, want)
+	}
+	if want := 1_000_000 * 2.5; c.MaskedUploadBytes != want {
+		t.Errorf("masked upload bytes %.0f, want %.0f", c.MaskedUploadBytes, want)
+	}
+	if c.Total() <= c.MaskedUploadBytes {
+		t.Error("total must exceed the masked upload alone")
+	}
+	// The §2.3.2 claim: share traffic grows linearly with the model.
+	cfg2 := cfg
+	cfg2.Dim = 2 * cfg.Dim
+	c2, err := ClientCost(cfg2, 2.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c2.OfflineShareBytes < 1.9*c.OfflineShareBytes {
+		t.Errorf("share traffic should scale with model size: %v then %v",
+			c.OfflineShareBytes, c2.OfflineShareBytes)
+	}
+	if _, err := ClientCost(cfg, 0); err == nil {
+		t.Error("expected error for non-positive weightBytes")
+	}
+}
+
+func BenchmarkRound8x1024(b *testing.B) {
+	cfg := testConfig(8, 2, 2, 1024)
+	inputs, _ := makeInputs(cfg)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(cfg, inputs, nil, nil, rng("bench")); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEncodeShares16x4096(b *testing.B) {
+	cfg := testConfig(16, 4, 4, 4096)
+	c, err := NewClient(cfg, 1, rng("bench-enc"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.EncodeShares(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,397 @@
+package lightsecagg
+
+// Wire driver: one LightSecAgg round over a transport.Transport, mirroring
+// package core's driver for SecAgg. Coded mask shares relay through the
+// untrusted server (the star topology of §3.3), so they travel inside
+// pairwise authenticated-encryption envelopes keyed by X25519 agreement —
+// otherwise the server could collect U of them and unmask every client.
+//
+// Stages:
+//
+//	0 advertise   client → server: X25519 public key
+//	1 roster      server → clients: all public keys
+//	2 shares      client → server: AEAD-sealed coded shares, one per peer
+//	3 deliver     server → client: the envelopes addressed to it
+//	4 masked      client → server: y_i = x_i + z_i
+//	5 survivors   server → clients: ids that uploaded
+//	6 aggshare    client → server: Σ_{i∈survivors} f_i(α_me)
+//	7 result      server → clients: the aggregate
+
+import (
+	"bytes"
+	"context"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/aead"
+	"repro/internal/dh"
+	"repro/internal/field"
+	"repro/internal/transport"
+)
+
+// Wire stage tags (transport.Frame.Stage).
+const (
+	wireAdvertise = iota
+	wireRoster
+	wireShares
+	wireDeliver
+	wireMasked
+	wireSurvivors
+	wireAggShare
+	wireResult
+)
+
+// WireStage identifies a point in the client lifecycle for dropout
+// injection.
+type WireStage int
+
+// Dropout injection points (the client vanishes before this action).
+const (
+	WireNoDrop WireStage = iota
+	WireDropBeforeMasked
+	WireDropBeforeAggShare
+)
+
+type envelope struct {
+	To         uint64
+	Ciphertext []byte
+}
+
+type sharesMsg struct{ Envelopes []envelope }
+
+type rosterMsg struct {
+	Pubs map[uint64][]byte
+}
+
+type survivorsMsg struct{ IDs []uint64 }
+
+type resultMsg struct{ Sum []field.Element }
+
+func gobEncode(v any) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		return nil, fmt.Errorf("lightsecagg: encoding payload: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+func gobDecode(p []byte, v any) error {
+	if err := gob.NewDecoder(bytes.NewReader(p)).Decode(v); err != nil {
+		return fmt.Errorf("lightsecagg: decoding payload: %w", err)
+	}
+	return nil
+}
+
+// WireServerConfig configures the wire server for one round.
+type WireServerConfig struct {
+	Config        Config
+	StageDeadline time.Duration // per-stage collection deadline
+}
+
+// collect gathers stage frames until every id in expect answered or the
+// deadline fired.
+func collect(ctx context.Context, conn transport.ServerConn, stage int,
+	expect []uint64, deadline time.Duration) map[uint64][]byte {
+
+	want := make(map[uint64]bool, len(expect))
+	for _, id := range expect {
+		want[id] = true
+	}
+	out := make(map[uint64][]byte)
+	cctx, cancel := context.WithTimeout(ctx, deadline)
+	defer cancel()
+	for len(out) < len(expect) {
+		f, err := conn.Recv(cctx)
+		if err != nil {
+			break // deadline: proceed with what we have
+		}
+		if f.Stage != stage || !want[f.From] {
+			continue
+		}
+		if _, dup := out[f.From]; dup {
+			continue
+		}
+		out[f.From] = f.Payload
+	}
+	return out
+}
+
+func broadcast(conn transport.ServerConn, ids []uint64, stage int, payload []byte) {
+	for _, id := range ids {
+		_ = conn.SendTo(id, transport.Frame{Stage: stage, Payload: payload})
+	}
+}
+
+// RunWireServer drives the server side of one LightSecAgg round.
+func RunWireServer(ctx context.Context, cfg WireServerConfig, conn transport.ServerConn) ([]field.Element, error) {
+	if err := cfg.Config.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.StageDeadline <= 0 {
+		cfg.StageDeadline = 2 * time.Second
+	}
+	c := cfg.Config
+	ids := c.ClientIDs
+	u := c.RecoveryThreshold()
+
+	// Stage 0/1: public keys; the offline phase needs every sampled
+	// client (the §6.1 dropout model has clients vanish later).
+	adverts := collect(ctx, conn, wireAdvertise, ids, cfg.StageDeadline)
+	if len(adverts) < len(ids) {
+		return nil, fmt.Errorf("lightsecagg: only %d/%d clients advertised keys", len(adverts), len(ids))
+	}
+	roster := rosterMsg{Pubs: make(map[uint64][]byte, len(adverts))}
+	for id, pub := range adverts {
+		roster.Pubs[id] = pub
+	}
+	rosterPayload, err := gobEncode(roster)
+	if err != nil {
+		return nil, err
+	}
+	broadcast(conn, ids, wireRoster, rosterPayload)
+
+	// Stage 2/3: relay the sealed share envelopes.
+	shareFrames := collect(ctx, conn, wireShares, ids, cfg.StageDeadline)
+	if len(shareFrames) < len(ids) {
+		return nil, fmt.Errorf("lightsecagg: only %d/%d clients shared masks", len(shareFrames), len(ids))
+	}
+	perClient := make(map[uint64][]envelope, len(ids))
+	for from, payload := range shareFrames {
+		var msg sharesMsg
+		if err := gobDecode(payload, &msg); err != nil {
+			return nil, fmt.Errorf("lightsecagg: shares from %d: %w", from, err)
+		}
+		for _, env := range msg.Envelopes {
+			// Stamp the true origin so a malicious peer cannot spoof;
+			// the AEAD associated data binds (from, to) as well.
+			perClient[env.To] = append(perClient[env.To], envelope{To: from, Ciphertext: env.Ciphertext})
+		}
+	}
+	for id, envs := range perClient {
+		payload, err := gobEncode(sharesMsg{Envelopes: envs})
+		if err != nil {
+			return nil, err
+		}
+		_ = conn.SendTo(id, transport.Frame{Stage: wireDeliver, Payload: payload})
+	}
+
+	// Stage 4/5: masked inputs from whoever is still alive.
+	server, err := NewServer(c)
+	if err != nil {
+		return nil, err
+	}
+	maskedFrames := collect(ctx, conn, wireMasked, ids, cfg.StageDeadline)
+	for id, payload := range maskedFrames {
+		var y []field.Element
+		if err := gobDecode(payload, &y); err != nil {
+			return nil, fmt.Errorf("lightsecagg: masked input from %d: %w", id, err)
+		}
+		if err := server.CollectMasked(id, y); err != nil {
+			return nil, err
+		}
+	}
+	survivors := server.Survivors()
+	if len(survivors) < u {
+		return nil, fmt.Errorf("lightsecagg: %d survivors below recovery threshold %d", len(survivors), u)
+	}
+	survPayload, err := gobEncode(survivorsMsg{IDs: survivors})
+	if err != nil {
+		return nil, err
+	}
+	broadcast(conn, survivors, wireSurvivors, survPayload)
+
+	// Stage 6: one-shot aggregate shares from ≥ U responders.
+	aggFrames := collect(ctx, conn, wireAggShare, survivors, cfg.StageDeadline)
+	aggShares := make(map[uint64][]field.Element, len(aggFrames))
+	for id, payload := range aggFrames {
+		var s []field.Element
+		if err := gobDecode(payload, &s); err != nil {
+			return nil, fmt.Errorf("lightsecagg: aggregate share from %d: %w", id, err)
+		}
+		aggShares[id] = s
+	}
+	sum, err := server.Reconstruct(aggShares)
+	if err != nil {
+		return nil, err
+	}
+	resPayload, err := gobEncode(resultMsg{Sum: sum})
+	if err != nil {
+		return nil, err
+	}
+	broadcast(conn, survivors, wireResult, resPayload)
+	return sum, nil
+}
+
+// WireClientConfig configures one wire client.
+type WireClientConfig struct {
+	Config     Config
+	ID         uint64
+	Input      []field.Element
+	DropBefore WireStage
+	Rand       io.Reader
+}
+
+// RunWireClient drives one client through the round. It returns the
+// aggregate (nil when the client drops or is excluded from the result
+// broadcast).
+func RunWireClient(ctx context.Context, cfg WireClientConfig, conn transport.ClientConn) ([]field.Element, error) {
+	if err := cfg.Config.Validate(); err != nil {
+		return nil, err
+	}
+	client, err := NewClient(cfg.Config, cfg.ID, cfg.Rand)
+	if err != nil {
+		return nil, err
+	}
+	kp, err := dh.Generate(cfg.Rand)
+	if err != nil {
+		return nil, err
+	}
+
+	// Stage 0/1: advertise the channel key, learn the roster.
+	if err := conn.Send(transport.Frame{Stage: wireAdvertise, Payload: kp.PublicBytes()}); err != nil {
+		return nil, err
+	}
+	f, err := recvStage(ctx, conn, wireRoster)
+	if err != nil {
+		return nil, err
+	}
+	var roster rosterMsg
+	if err := gobDecode(f.Payload, &roster); err != nil {
+		return nil, err
+	}
+
+	// Stage 2: seal one coded share per peer. The AD binds sender and
+	// recipient so the relay cannot re-route envelopes undetected.
+	shares, err := client.EncodeShares()
+	if err != nil {
+		return nil, err
+	}
+	msg := sharesMsg{Envelopes: make([]envelope, 0, len(shares))}
+	for to, share := range shares {
+		pub, ok := roster.Pubs[to]
+		if !ok {
+			return nil, fmt.Errorf("lightsecagg: no channel key for peer %d", to)
+		}
+		key, err := kp.Agree(pub)
+		if err != nil {
+			return nil, err
+		}
+		pt, err := gobEncode(share)
+		if err != nil {
+			return nil, err
+		}
+		ct, err := aead.Seal(key, cfg.Rand, pt, routeAD(cfg.ID, to))
+		if err != nil {
+			return nil, err
+		}
+		msg.Envelopes = append(msg.Envelopes, envelope{To: to, Ciphertext: ct})
+	}
+	payload, err := gobEncode(msg)
+	if err != nil {
+		return nil, err
+	}
+	if err := conn.Send(transport.Frame{Stage: wireShares, Payload: payload}); err != nil {
+		return nil, err
+	}
+
+	// Stage 3: unseal the envelopes addressed to us.
+	f, err = recvStage(ctx, conn, wireDeliver)
+	if err != nil {
+		return nil, err
+	}
+	var inbox sharesMsg
+	if err := gobDecode(f.Payload, &inbox); err != nil {
+		return nil, err
+	}
+	for _, env := range inbox.Envelopes {
+		from := env.To // server stamped the origin here
+		pub, ok := roster.Pubs[from]
+		if !ok {
+			return nil, fmt.Errorf("lightsecagg: envelope from unknown peer %d", from)
+		}
+		key, err := kp.Agree(pub)
+		if err != nil {
+			return nil, err
+		}
+		pt, err := aead.Open(key, env.Ciphertext, routeAD(from, cfg.ID))
+		if err != nil {
+			return nil, fmt.Errorf("lightsecagg: envelope from %d failed authentication: %w", from, err)
+		}
+		var share []field.Element
+		if err := gobDecode(pt, &share); err != nil {
+			return nil, err
+		}
+		if err := client.ReceiveShare(from, share); err != nil {
+			return nil, err
+		}
+	}
+
+	// Stage 4: masked upload (dropout injection point).
+	if cfg.DropBefore == WireDropBeforeMasked {
+		return nil, conn.Close()
+	}
+	y, err := client.MaskedInput(cfg.Input)
+	if err != nil {
+		return nil, err
+	}
+	yPayload, err := gobEncode(y)
+	if err != nil {
+		return nil, err
+	}
+	if err := conn.Send(transport.Frame{Stage: wireMasked, Payload: yPayload}); err != nil {
+		return nil, err
+	}
+
+	// Stage 5/6: survivors, then the one-shot aggregate share.
+	f, err = recvStage(ctx, conn, wireSurvivors)
+	if err != nil {
+		return nil, err
+	}
+	var surv survivorsMsg
+	if err := gobDecode(f.Payload, &surv); err != nil {
+		return nil, err
+	}
+	if cfg.DropBefore == WireDropBeforeAggShare {
+		return nil, conn.Close()
+	}
+	agg, err := client.AggregateShare(surv.IDs)
+	if err != nil {
+		return nil, err
+	}
+	aggPayload, err := gobEncode(agg)
+	if err != nil {
+		return nil, err
+	}
+	if err := conn.Send(transport.Frame{Stage: wireAggShare, Payload: aggPayload}); err != nil {
+		return nil, err
+	}
+
+	// Stage 7: the result.
+	f, err = recvStage(ctx, conn, wireResult)
+	if err != nil {
+		return nil, err
+	}
+	var res resultMsg
+	if err := gobDecode(f.Payload, &res); err != nil {
+		return nil, err
+	}
+	return res.Sum, nil
+}
+
+func recvStage(ctx context.Context, conn transport.ClientConn, stage int) (transport.Frame, error) {
+	for {
+		f, err := conn.Recv(ctx)
+		if err != nil {
+			return transport.Frame{}, err
+		}
+		if f.Stage == stage {
+			return f, nil
+		}
+	}
+}
+
+func routeAD(from, to uint64) []byte {
+	return []byte(fmt.Sprintf("lsa/%d/%d", from, to))
+}

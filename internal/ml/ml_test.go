@@ -1,0 +1,252 @@
+package ml
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/prg"
+	"repro/internal/rng"
+)
+
+func stream(label string) *prg.Stream {
+	return prg.NewStream(prg.NewSeed([]byte(label)))
+}
+
+// twoBlobs generates a linearly separable 2-class dataset.
+func twoBlobs(s *prg.Stream, n int) ([][]float64, []int) {
+	xs := make([][]float64, n)
+	ys := make([]int, n)
+	for i := range xs {
+		y := i % 2
+		cx := 2.0
+		if y == 0 {
+			cx = -2.0
+		}
+		xs[i] = []float64{cx + rng.Gaussian(s, 0, 0.5), rng.Gaussian(s, 0, 0.5)}
+		ys[i] = y
+	}
+	return xs, ys
+}
+
+func TestLinearLearnsSeparableData(t *testing.T) {
+	s := stream("blobs")
+	xs, ys := twoBlobs(s, 400)
+	m := NewLinear(2, 2)
+	cfg := SGDConfig{LearningRate: 0.5, Momentum: 0.9, Epochs: 10, BatchSize: 32}
+	if _, err := TrainLocal(m, cfg, xs, ys, s); err != nil {
+		t.Fatal(err)
+	}
+	if acc := Accuracy(m, xs, ys); acc < 0.98 {
+		t.Fatalf("linear model accuracy %v on separable data", acc)
+	}
+}
+
+func TestMLPLearnsXOR(t *testing.T) {
+	// XOR is not linearly separable; only the MLP can fit it.
+	xs := [][]float64{{0, 0}, {0, 1}, {1, 0}, {1, 1}}
+	ys := []int{0, 1, 1, 0}
+	// Replicate for batching.
+	var bx [][]float64
+	var by []int
+	for i := 0; i < 100; i++ {
+		bx = append(bx, xs...)
+		by = append(by, ys...)
+	}
+	m := NewMLP(2, 16, 2, prg.NewSeed([]byte("xor")))
+	cfg := SGDConfig{LearningRate: 0.3, Momentum: 0.9, Epochs: 50, BatchSize: 16}
+	if _, err := TrainLocal(m, cfg, bx, by, stream("xor-train")); err != nil {
+		t.Fatal(err)
+	}
+	if acc := Accuracy(m, xs, ys); acc != 1.0 {
+		t.Fatalf("MLP should solve XOR, accuracy %v", acc)
+	}
+	lin := NewLinear(2, 2)
+	if _, err := TrainLocal(lin, cfg, bx, by, stream("xor-lin")); err != nil {
+		t.Fatal(err)
+	}
+	if acc := Accuracy(lin, xs, ys); acc > 0.76 {
+		t.Fatalf("linear model should NOT solve XOR, accuracy %v", acc)
+	}
+}
+
+func TestParamsRoundTrip(t *testing.T) {
+	for _, m := range []Model{NewLinear(5, 3), NewMLP(5, 7, 3, prg.NewSeed([]byte("p")))} {
+		n := m.NumParams()
+		in := make([]float64, n)
+		for i := range in {
+			in[i] = float64(i) * 0.1
+		}
+		m.SetParams(in)
+		out := make([]float64, n)
+		m.Params(out)
+		for i := range in {
+			if out[i] != in[i] {
+				t.Fatalf("param %d: %v != %v", i, out[i], in[i])
+			}
+		}
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	m := NewMLP(3, 4, 2, prg.NewSeed([]byte("c")))
+	c := m.Clone()
+	p := make([]float64, m.NumParams())
+	m.Params(p)
+	p[0] += 100
+	m.SetParams(p)
+	cp := make([]float64, c.NumParams())
+	c.Params(cp)
+	if cp[0] == p[0] {
+		t.Fatal("clone shares storage with original")
+	}
+}
+
+// TestGradientNumerically verifies analytic gradients against central
+// finite differences for both models.
+func TestGradientNumerically(t *testing.T) {
+	s := stream("grad")
+	xs := [][]float64{
+		{0.5, -1.2, 0.3}, {1.1, 0.7, -0.4}, {-0.9, 0.2, 1.5},
+	}
+	ys := []int{0, 2, 1}
+	models := []Model{NewLinear(3, 3), NewMLP(3, 5, 3, prg.NewSeed([]byte("g")))}
+	for mi, m := range models {
+		n := m.NumParams()
+		params := make([]float64, n)
+		for i := range params {
+			params[i] = rng.Gaussian(s, 0, 0.5)
+		}
+		m.SetParams(params)
+		grad := make([]float64, n)
+		m.Gradient(xs, ys, grad)
+		const h = 1e-6
+		lossAt := func(p []float64) float64 {
+			mm := m.Clone()
+			mm.SetParams(p)
+			g := make([]float64, n)
+			return mm.Gradient(xs, ys, g)
+		}
+		// Spot-check a spread of coordinates.
+		for i := 0; i < n; i += 1 + n/17 {
+			pp := append([]float64(nil), params...)
+			pp[i] += h
+			up := lossAt(pp)
+			pp[i] -= 2 * h
+			down := lossAt(pp)
+			numeric := (up - down) / (2 * h)
+			if math.Abs(numeric-grad[i]) > 1e-4*(1+math.Abs(numeric)) {
+				t.Fatalf("model %d param %d: analytic %v vs numeric %v", mi, i, grad[i], numeric)
+			}
+		}
+	}
+}
+
+func TestTrainingReducesLoss(t *testing.T) {
+	s := stream("loss")
+	xs, ys := twoBlobs(s, 200)
+	m := NewMLP(2, 8, 2, prg.NewSeed([]byte("l")))
+	before := MeanLoss(m, xs, ys)
+	cfg := SGDConfig{LearningRate: 0.1, Momentum: 0.9, Epochs: 5, BatchSize: 20}
+	if _, err := TrainLocal(m, cfg, xs, ys, s); err != nil {
+		t.Fatal(err)
+	}
+	after := MeanLoss(m, xs, ys)
+	if after >= before {
+		t.Fatalf("loss did not decrease: %v → %v", before, after)
+	}
+}
+
+func TestTrainDeterministic(t *testing.T) {
+	xs, ys := twoBlobs(stream("data"), 100)
+	run := func() []float64 {
+		m := NewMLP(2, 8, 2, prg.NewSeed([]byte("det")))
+		cfg := SGDConfig{LearningRate: 0.1, Momentum: 0.9, Epochs: 3, BatchSize: 16}
+		if _, err := TrainLocal(m, cfg, xs, ys, stream("det-train")); err != nil {
+			t.Fatal(err)
+		}
+		p := make([]float64, m.NumParams())
+		m.Params(p)
+		return p
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("training must be bit-deterministic for fixed seeds")
+		}
+	}
+}
+
+func TestSGDConfigValidation(t *testing.T) {
+	bad := []SGDConfig{
+		{LearningRate: 0, Momentum: 0.9, Epochs: 1, BatchSize: 1},
+		{LearningRate: 0.1, Momentum: 1.0, Epochs: 1, BatchSize: 1},
+		{LearningRate: 0.1, Momentum: 0.9, Epochs: 0, BatchSize: 1},
+		{LearningRate: 0.1, Momentum: 0.9, Epochs: 1, BatchSize: 0},
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("case %d should fail", i)
+		}
+	}
+	m := NewLinear(2, 2)
+	good := SGDConfig{LearningRate: 0.1, Momentum: 0.9, Epochs: 1, BatchSize: 4}
+	if _, err := TrainLocal(m, good, nil, nil, stream("x")); err == nil {
+		t.Error("empty dataset should error")
+	}
+}
+
+func TestClipL2(t *testing.T) {
+	v := []float64{3, 4} // norm 5
+	if norm := ClipL2(v, 10); norm != 5 {
+		t.Errorf("pre-clip norm %v", norm)
+	}
+	if v[0] != 3 || v[1] != 4 {
+		t.Error("under-norm vector should be unchanged")
+	}
+	ClipL2(v, 1)
+	var n2 float64
+	for _, x := range v {
+		n2 += x * x
+	}
+	if math.Abs(math.Sqrt(n2)-1) > 1e-12 {
+		t.Errorf("clipped norm %v, want 1", math.Sqrt(n2))
+	}
+	zero := []float64{0, 0}
+	ClipL2(zero, 1) // must not divide by zero
+	if zero[0] != 0 {
+		t.Error("zero vector mangled")
+	}
+}
+
+func TestDelta(t *testing.T) {
+	d := Delta([]float64{1, 2, 3}, []float64{2, 1, 6})
+	want := []float64{1, -1, 3}
+	for i := range want {
+		if d[i] != want[i] {
+			t.Fatalf("delta %v", d)
+		}
+	}
+}
+
+func TestPerplexity(t *testing.T) {
+	if p := Perplexity(0); p != 1 {
+		t.Errorf("perplexity of zero loss = %v", p)
+	}
+	if p := Perplexity(math.Log(100)); math.Abs(p-100) > 1e-9 {
+		t.Errorf("perplexity %v, want 100", p)
+	}
+}
+
+func BenchmarkMLPGradient(b *testing.B) {
+	s := stream("bench")
+	xs, ys := twoBlobs(s, 64)
+	m := NewMLP(2, 32, 2, prg.NewSeed([]byte("b")))
+	grad := make([]float64, m.NumParams())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := range grad {
+			grad[j] = 0
+		}
+		m.Gradient(xs, ys, grad)
+	}
+}

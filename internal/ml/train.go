@@ -1,0 +1,136 @@
+package ml
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/prg"
+	"repro/internal/rng"
+)
+
+// SGDConfig configures local training: the paper uses mini-batch SGD with
+// momentum 0.9 (AdamW for Reddit; we keep momentum-SGD for all tasks).
+type SGDConfig struct {
+	LearningRate float64
+	Momentum     float64
+	Epochs       int
+	BatchSize    int
+}
+
+// Validate checks the configuration.
+func (c SGDConfig) Validate() error {
+	switch {
+	case c.LearningRate <= 0:
+		return fmt.Errorf("ml: learning rate %v", c.LearningRate)
+	case c.Momentum < 0 || c.Momentum >= 1:
+		return fmt.Errorf("ml: momentum %v out of [0,1)", c.Momentum)
+	case c.Epochs <= 0:
+		return fmt.Errorf("ml: epochs %d", c.Epochs)
+	case c.BatchSize <= 0:
+		return fmt.Errorf("ml: batch size %d", c.BatchSize)
+	}
+	return nil
+}
+
+// TrainLocal runs E epochs of minibatch SGD on (xs, ys) starting from
+// model (which is mutated) and returns the average loss of the final
+// epoch. Shuffling is driven by the stream for reproducibility.
+func TrainLocal(model Model, cfg SGDConfig, xs [][]float64, ys []int, s *prg.Stream) (float64, error) {
+	if err := cfg.Validate(); err != nil {
+		return 0, err
+	}
+	if len(xs) == 0 || len(xs) != len(ys) {
+		return 0, fmt.Errorf("ml: bad dataset: %d xs, %d ys", len(xs), len(ys))
+	}
+	n := model.NumParams()
+	grad := make([]float64, n)
+	vel := make([]float64, n)
+	params := make([]float64, n)
+	var lastLoss float64
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		perm := rng.Perm(s, len(xs))
+		var epochLoss float64
+		batches := 0
+		for start := 0; start < len(perm); start += cfg.BatchSize {
+			end := start + cfg.BatchSize
+			if end > len(perm) {
+				end = len(perm)
+			}
+			bx := make([][]float64, 0, end-start)
+			by := make([]int, 0, end-start)
+			for _, idx := range perm[start:end] {
+				bx = append(bx, xs[idx])
+				by = append(by, ys[idx])
+			}
+			for i := range grad {
+				grad[i] = 0
+			}
+			loss := model.Gradient(bx, by, grad)
+			epochLoss += loss
+			batches++
+			model.Params(params)
+			for i := range params {
+				vel[i] = cfg.Momentum*vel[i] + grad[i]
+				params[i] -= cfg.LearningRate * vel[i]
+			}
+			model.SetParams(params)
+		}
+		lastLoss = epochLoss / float64(batches)
+	}
+	return lastLoss, nil
+}
+
+// Delta returns after − before element-wise (the model update a client
+// reports).
+func Delta(before, after []float64) []float64 {
+	out := make([]float64, len(before))
+	for i := range out {
+		out[i] = after[i] - before[i]
+	}
+	return out
+}
+
+// ClipL2 scales v in place to have L2 norm at most c and returns the
+// pre-clip norm.
+func ClipL2(v []float64, c float64) float64 {
+	var norm2 float64
+	for _, x := range v {
+		norm2 += x * x
+	}
+	norm := math.Sqrt(norm2)
+	if norm > c && norm > 0 {
+		f := c / norm
+		for i := range v {
+			v[i] *= f
+		}
+	}
+	return norm
+}
+
+// Accuracy returns the fraction of examples the model classifies
+// correctly.
+func Accuracy(model Model, xs [][]float64, ys []int) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	correct := 0
+	for i, x := range xs {
+		if model.Predict(x) == ys[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(xs))
+}
+
+// MeanLoss returns the average cross-entropy loss over a dataset.
+func MeanLoss(model Model, xs [][]float64, ys []int) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	grad := make([]float64, model.NumParams())
+	return model.Gradient(xs, ys, grad)
+}
+
+// Perplexity converts a mean cross-entropy loss to perplexity, the metric
+// the paper reports for the Reddit language-modeling task.
+func Perplexity(meanLoss float64) float64 { return math.Exp(meanLoss) }

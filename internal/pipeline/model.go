@@ -1,0 +1,147 @@
+package pipeline
+
+import (
+	"fmt"
+	"math"
+)
+
+// Betas are the three profiled coefficients of Eq. 3 for one stage:
+// τ_s = β₁·d/m + β₂·m + β₃ — partition-size cost, inter-task intervention
+// cost, and constant per-sub-task cost.
+type Betas [3]float64
+
+// PerfModel predicts per-stage sub-task latency as a function of the
+// update size d and chunk count m (Eq. 3).
+type PerfModel struct {
+	Stages []Betas // one per workflow stage
+}
+
+// Validate checks the model covers a workflow.
+func (pm PerfModel) Validate(w Workflow) error {
+	if len(pm.Stages) != len(w) {
+		return fmt.Errorf("pipeline: model has %d stages, workflow %d", len(pm.Stages), len(w))
+	}
+	for s, b := range pm.Stages {
+		for i, v := range b {
+			if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+				return fmt.Errorf("pipeline: stage %d β%d = %v invalid", s, i+1, v)
+			}
+		}
+	}
+	return nil
+}
+
+// StageTime returns τ_s for one sub-task at the given d and m.
+func (pm PerfModel) StageTime(stage int, d float64, m int) float64 {
+	b := pm.Stages[stage]
+	return b[0]*d/float64(m) + b[1]*float64(m) + b[2]
+}
+
+// StageTimes returns τ for every stage at (d, m).
+func (pm PerfModel) StageTimes(d float64, m int) []float64 {
+	out := make([]float64, len(pm.Stages))
+	for s := range pm.Stages {
+		out[s] = pm.StageTime(s, d, m)
+	}
+	return out
+}
+
+// Sample is one profiling observation for a stage: executing a sub-task of
+// a d-sized update split into m chunks took Tau time units.
+type Sample struct {
+	D   float64
+	M   int
+	Tau float64
+}
+
+// FitStage estimates a stage's β coefficients from profiling samples by
+// ordinary least squares on the design (d/m, m, 1). At least three
+// non-degenerate samples are required; coefficients are clamped at zero
+// (negative β has no physical meaning and destabilizes the optimizer).
+// This is the "linear regression with offline micro-benchmarking" of §4.2.
+func FitStage(samples []Sample) (Betas, error) {
+	if len(samples) < 3 {
+		return Betas{}, fmt.Errorf("pipeline: need ≥3 samples, got %d", len(samples))
+	}
+	// Normal equations A^T A x = A^T y for A rows (d/m, m, 1).
+	var ata [3][3]float64
+	var aty [3]float64
+	for _, s := range samples {
+		if s.M < 1 {
+			return Betas{}, fmt.Errorf("pipeline: sample with m=%d", s.M)
+		}
+		row := [3]float64{s.D / float64(s.M), float64(s.M), 1}
+		for i := 0; i < 3; i++ {
+			for j := 0; j < 3; j++ {
+				ata[i][j] += row[i] * row[j]
+			}
+			aty[i] += row[i] * s.Tau
+		}
+	}
+	x, err := solve3(ata, aty)
+	if err != nil {
+		return Betas{}, err
+	}
+	var b Betas
+	for i := range x {
+		if x[i] < 0 {
+			x[i] = 0
+		}
+		b[i] = x[i]
+	}
+	return b, nil
+}
+
+// solve3 solves a 3×3 linear system by Gaussian elimination with partial
+// pivoting.
+func solve3(a [3][3]float64, y [3]float64) ([3]float64, error) {
+	// Augment.
+	var m [3][4]float64
+	for i := 0; i < 3; i++ {
+		copy(m[i][:3], a[i][:])
+		m[i][3] = y[i]
+	}
+	for col := 0; col < 3; col++ {
+		// Pivot.
+		p := col
+		for r := col + 1; r < 3; r++ {
+			if math.Abs(m[r][col]) > math.Abs(m[p][col]) {
+				p = r
+			}
+		}
+		if math.Abs(m[p][col]) < 1e-12 {
+			return [3]float64{}, fmt.Errorf("pipeline: singular profiling system (degenerate samples)")
+		}
+		m[col], m[p] = m[p], m[col]
+		for r := 0; r < 3; r++ {
+			if r == col {
+				continue
+			}
+			f := m[r][col] / m[col][col]
+			for c := col; c < 4; c++ {
+				m[r][c] -= f * m[col][c]
+			}
+		}
+	}
+	var x [3]float64
+	for i := 0; i < 3; i++ {
+		x[i] = m[i][3] / m[i][i]
+	}
+	return x, nil
+}
+
+// FitModel fits every stage of a workflow from per-stage sample sets.
+func FitModel(w Workflow, perStage [][]Sample) (PerfModel, error) {
+	if len(perStage) != len(w) {
+		return PerfModel{}, fmt.Errorf("pipeline: %d sample sets for %d stages", len(perStage), len(w))
+	}
+	pm := PerfModel{Stages: make([]Betas, len(w))}
+	for s := range w {
+		b, err := FitStage(perStage[s])
+		if err != nil {
+			return PerfModel{}, fmt.Errorf("stage %d (%s): %w", s, w[s].Name, err)
+		}
+		pm.Stages[s] = b
+	}
+	return pm, nil
+}

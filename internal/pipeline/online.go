@@ -1,0 +1,142 @@
+package pipeline
+
+import (
+	"fmt"
+	"sync"
+)
+
+// OnlineProfiler implements the §4.2 remark that "such lightweight
+// profiling can also be conducted online by interleaving it with the
+// training workflow": it accumulates observed (d, m, τ) stage timings
+// across rounds in bounded windows and refits the Eq.-3 coefficients on
+// demand, so the optimal chunk count tracks drifting conditions (slow
+// clients joining, bandwidth changes) without a dedicated offline
+// micro-benchmark phase.
+//
+// It is safe for concurrent use: measurement callbacks may arrive from the
+// executor's chunk goroutines.
+type OnlineProfiler struct {
+	workflow Workflow
+	window   int
+
+	mu      sync.Mutex
+	samples [][]Sample // per stage, ring-buffered to window
+	next    []int      // per stage, next overwrite position
+	full    []bool     // per stage, whether the window wrapped
+}
+
+// NewOnlineProfiler creates a profiler for the workflow keeping the most
+// recent window samples per stage (window ≤ 0 selects 64).
+func NewOnlineProfiler(w Workflow, window int) (*OnlineProfiler, error) {
+	if err := w.Validate(); err != nil {
+		return nil, err
+	}
+	if window <= 0 {
+		window = 64
+	}
+	p := &OnlineProfiler{
+		workflow: w,
+		window:   window,
+		samples:  make([][]Sample, len(w)),
+		next:     make([]int, len(w)),
+		full:     make([]bool, len(w)),
+	}
+	for s := range p.samples {
+		p.samples[s] = make([]Sample, 0, window)
+	}
+	return p, nil
+}
+
+// Observe records one measured sub-task execution.
+func (p *OnlineProfiler) Observe(stage int, d float64, m int, tau float64) error {
+	if stage < 0 || stage >= len(p.workflow) {
+		return fmt.Errorf("pipeline: stage %d out of range", stage)
+	}
+	if m < 1 || tau < 0 {
+		return fmt.Errorf("pipeline: invalid observation m=%d τ=%v", m, tau)
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	s := Sample{D: d, M: m, Tau: tau}
+	if len(p.samples[stage]) < p.window {
+		p.samples[stage] = append(p.samples[stage], s)
+	} else {
+		p.samples[stage][p.next[stage]] = s
+		p.full[stage] = true
+	}
+	p.next[stage] = (p.next[stage] + 1) % p.window
+	return nil
+}
+
+// SampleCount returns the number of retained observations for a stage.
+func (p *OnlineProfiler) SampleCount(stage int) int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.samples[stage])
+}
+
+// Ready reports whether every stage has enough diverse samples to fit.
+func (p *OnlineProfiler) Ready() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for s := range p.samples {
+		if len(p.samples[s]) < 3 {
+			return false
+		}
+	}
+	return true
+}
+
+// Fit refits the performance model from the retained windows.
+func (p *OnlineProfiler) Fit() (PerfModel, error) {
+	p.mu.Lock()
+	perStage := make([][]Sample, len(p.samples))
+	for s := range p.samples {
+		perStage[s] = append([]Sample(nil), p.samples[s]...)
+	}
+	p.mu.Unlock()
+	return FitModel(p.workflow, perStage)
+}
+
+// AutoTuner combines the online profiler with the optimal-m solver: each
+// round it recommends a chunk count from the freshest fit (falling back to
+// a default until the profiler is ready), and ingests that round's stage
+// timings afterwards. This is the closed loop of Fig. 7's
+// Profiling → Scheduling → Pipelining path.
+type AutoTuner struct {
+	profiler *OnlineProfiler
+	maxM     int
+	defaultM int
+}
+
+// NewAutoTuner creates a tuner. defaultM is used until the profiler has
+// enough observations; maxM bounds the solver (≤ 0 = DefaultMaxChunks).
+func NewAutoTuner(w Workflow, window, defaultM, maxM int) (*AutoTuner, error) {
+	if defaultM < 1 {
+		return nil, fmt.Errorf("pipeline: defaultM %d < 1", defaultM)
+	}
+	prof, err := NewOnlineProfiler(w, window)
+	if err != nil {
+		return nil, err
+	}
+	return &AutoTuner{profiler: prof, maxM: maxM, defaultM: defaultM}, nil
+}
+
+// Profiler exposes the underlying profiler for observation feeding.
+func (t *AutoTuner) Profiler() *OnlineProfiler { return t.profiler }
+
+// Recommend returns the chunk count to use for an update of size d.
+func (t *AutoTuner) Recommend(d float64) int {
+	if !t.profiler.Ready() {
+		return t.defaultM
+	}
+	pm, err := t.profiler.Fit()
+	if err != nil {
+		return t.defaultM
+	}
+	m, _, err := OptimalChunks(t.profiler.workflow, pm, d, t.maxM)
+	if err != nil {
+		return t.defaultM
+	}
+	return m
+}

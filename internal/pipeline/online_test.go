@@ -1,0 +1,160 @@
+package pipeline
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func feedModel(t *testing.T, p *OnlineProfiler, pm PerfModel, ds []float64, ms []int) {
+	t.Helper()
+	for s := range pm.Stages {
+		for _, d := range ds {
+			for _, m := range ms {
+				if err := p.Observe(s, d, m, pm.StageTime(s, d, m)); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+}
+
+func TestOnlineProfilerRecoversModel(t *testing.T) {
+	w := DistributedDPWorkflow()
+	truth := pipelineModel()
+	p, err := NewOnlineProfiler(w, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Ready() {
+		t.Fatal("empty profiler should not be ready")
+	}
+	feedModel(t, p, truth, []float64{1e6, 5e6, 11e6}, []int{1, 2, 4, 8})
+	if !p.Ready() {
+		t.Fatal("profiler with 12 samples per stage should be ready")
+	}
+	fitted, err := p.Fit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := range truth.Stages {
+		for i := 0; i < 3; i++ {
+			want := truth.Stages[s][i]
+			got := fitted.Stages[s][i]
+			if math.Abs(got-want) > 1e-6*(1+want) {
+				t.Errorf("stage %d β%d: fitted %v, want %v", s, i+1, got, want)
+			}
+		}
+	}
+}
+
+func TestOnlineProfilerWindowEviction(t *testing.T) {
+	w := DistributedDPWorkflow()
+	p, err := NewOnlineProfiler(w, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := p.Observe(0, float64(1000+i), 1+i%3, float64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := p.SampleCount(0); got != 4 {
+		t.Fatalf("window should cap at 4, got %d", got)
+	}
+}
+
+func TestOnlineProfilerTracksDrift(t *testing.T) {
+	// The environment slows down (β₁ doubles); with a small window the
+	// refit reflects the new regime, not the stale one.
+	w := DistributedDPWorkflow()
+	old := pipelineModel()
+	slow := pipelineModel()
+	for s := range slow.Stages {
+		slow.Stages[s][0] *= 2
+	}
+	p, err := NewOnlineProfiler(w, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	feedModel(t, p, old, []float64{1e6, 5e6}, []int{1, 2, 4})
+	feedModel(t, p, slow, []float64{1e6, 5e6, 11e6}, []int{1, 2, 4, 8})
+	fitted, err := p.Fit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := range slow.Stages {
+		want := slow.Stages[s][0]
+		if math.Abs(fitted.Stages[s][0]-want) > 0.05*want {
+			t.Errorf("stage %d β₁ %v did not track drift to %v", s, fitted.Stages[s][0], want)
+		}
+	}
+}
+
+func TestOnlineProfilerValidation(t *testing.T) {
+	w := DistributedDPWorkflow()
+	p, _ := NewOnlineProfiler(w, 8)
+	if err := p.Observe(99, 1, 1, 1); err == nil {
+		t.Error("out-of-range stage should error")
+	}
+	if err := p.Observe(0, 1, 0, 1); err == nil {
+		t.Error("m=0 should error")
+	}
+	if err := p.Observe(0, 1, 1, -1); err == nil {
+		t.Error("negative τ should error")
+	}
+	if _, err := NewOnlineProfiler(Workflow{}, 8); err == nil {
+		t.Error("empty workflow should error")
+	}
+}
+
+func TestOnlineProfilerConcurrentObserve(t *testing.T) {
+	w := DistributedDPWorkflow()
+	p, _ := NewOnlineProfiler(w, 128)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				_ = p.Observe(g%len(w), float64(1000+i), 1+i%5, float64(i))
+			}
+		}(g)
+	}
+	wg.Wait()
+	for s := range w {
+		if p.SampleCount(s) == 0 {
+			t.Fatalf("stage %d lost all samples", s)
+		}
+	}
+}
+
+func TestAutoTunerLifecycle(t *testing.T) {
+	w := DistributedDPWorkflow()
+	tuner, err := NewAutoTuner(w, 64, 1, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const d = 11e6
+	// Cold: default.
+	if m := tuner.Recommend(d); m != 1 {
+		t.Fatalf("cold tuner should return default, got %d", m)
+	}
+	// Warm it with the true model; recommendation should match the
+	// offline solver.
+	truth := pipelineModel()
+	feedModel(t, tuner.Profiler(), truth, []float64{1e6, 5e6, 11e6}, []int{1, 2, 4, 8})
+	wantM, _, err := OptimalChunks(w, truth, d, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m := tuner.Recommend(d); m != wantM {
+		t.Fatalf("warm tuner recommends %d, offline solver %d", m, wantM)
+	}
+}
+
+func TestAutoTunerValidation(t *testing.T) {
+	if _, err := NewAutoTuner(DistributedDPWorkflow(), 8, 0, 20); err == nil {
+		t.Error("defaultM=0 should error")
+	}
+}

@@ -1,0 +1,172 @@
+// Package prg provides a deterministic, seekable pseudorandom generator
+// built on AES-128 in counter mode.
+//
+// In the Dordis protocol (paper Fig. 5) PRGs are used in three roles, all of
+// which require that two parties holding the same seed expand bit-identical
+// streams:
+//
+//   - pairwise masks p_{u,v} = PRG(s_{u,v}) in SecAgg,
+//   - self masks p_u = PRG(b_u),
+//   - XNoise noise components n_{u,k} sampled from PRG(g_{u,k}).
+//
+// A Stream implements io.Reader and exposes typed draws (Uint64, Float64,
+// bounded integers) used by package rng's distribution samplers.
+package prg
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"repro/internal/field"
+)
+
+// SeedSize is the canonical seed length in bytes. Seeds of other lengths are
+// accepted and hashed down to SeedSize.
+const SeedSize = 32
+
+// Seed is PRG key material. The protocol treats some seeds as field elements
+// (so they can be Shamir-shared); FromFieldElement/ToFieldElement convert.
+type Seed [SeedSize]byte
+
+// NewSeed derives a Seed from arbitrary bytes via SHA-256. It is used both
+// to canonicalize raw entropy and to derive sub-seeds with domain
+// separation: NewSeed(parent[:], label...).
+func NewSeed(parts ...[]byte) Seed {
+	h := sha256.New()
+	for _, p := range parts {
+		h.Write(p)
+	}
+	var s Seed
+	h.Sum(s[:0])
+	return s
+}
+
+// FromFieldElement derives a Seed from a GF(2^61-1) element. XNoise stores
+// noise seeds as field elements so they can be secret-shared; expansion to
+// key material goes through this deterministic map.
+func FromFieldElement(e field.Element) Seed {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], e.Uint64())
+	return NewSeed([]byte("dordis/prg/from-field/v1"), b[:])
+}
+
+// ToFieldElement compresses a Seed into a field element, used when a
+// uniformly random field value is needed from seed material.
+func ToFieldElement(s Seed) field.Element {
+	var b [8]byte
+	copy(b[:], s[:8])
+	return field.RandomElement(b)
+}
+
+// Stream is a deterministic pseudorandom byte/word stream: AES-128-CTR over
+// a zero plaintext, keyed by the first 16 bytes of the seed with the next
+// 16 bytes as the initial counter block. It is NOT safe for concurrent use.
+type Stream struct {
+	ctr cipher.Stream
+	buf [512]byte
+	pos int // next unread byte in buf; len(buf) means empty
+}
+
+// NewStream constructs a Stream from a seed.
+func NewStream(seed Seed) *Stream {
+	block, err := aes.NewCipher(seed[:16])
+	if err != nil {
+		// aes.NewCipher only fails on invalid key length; 16 is valid.
+		panic(fmt.Sprintf("prg: %v", err))
+	}
+	s := &Stream{ctr: cipher.NewCTR(block, seed[16:32])}
+	s.pos = len(s.buf)
+	return s
+}
+
+// NewStreamFromElement is shorthand for NewStream(FromFieldElement(e)).
+func NewStreamFromElement(e field.Element) *Stream {
+	return NewStream(FromFieldElement(e))
+}
+
+func (s *Stream) refill() {
+	for i := range s.buf {
+		s.buf[i] = 0
+	}
+	s.ctr.XORKeyStream(s.buf[:], s.buf[:])
+	s.pos = 0
+}
+
+// Read fills p with pseudorandom bytes. It never fails.
+func (s *Stream) Read(p []byte) (int, error) {
+	n := len(p)
+	for len(p) > 0 {
+		if s.pos == len(s.buf) {
+			s.refill()
+		}
+		c := copy(p, s.buf[s.pos:])
+		s.pos += c
+		p = p[c:]
+	}
+	return n, nil
+}
+
+var _ io.Reader = (*Stream)(nil)
+
+// Uint64 returns the next 8 stream bytes as a little-endian uint64.
+func (s *Stream) Uint64() uint64 {
+	var b [8]byte
+	s.Read(b[:])
+	return binary.LittleEndian.Uint64(b[:])
+}
+
+// Uint32 returns the next 4 stream bytes as a little-endian uint32.
+func (s *Stream) Uint32() uint32 {
+	var b [4]byte
+	s.Read(b[:])
+	return binary.LittleEndian.Uint32(b[:])
+}
+
+// Uint64n returns a uniform value in [0, n) via unbiased rejection
+// sampling (Lemire-style threshold rejection on the modulus).
+func (s *Stream) Uint64n(n uint64) uint64 {
+	if n == 0 {
+		panic("prg: Uint64n(0)")
+	}
+	if n&(n-1) == 0 { // power of two
+		return s.Uint64() & (n - 1)
+	}
+	// Rejection threshold: largest multiple of n that fits in 2^64.
+	limit := -n % n // == 2^64 mod n
+	for {
+		v := s.Uint64()
+		if v >= limit {
+			return v % n
+		}
+	}
+}
+
+// Int63 returns a uniform value in [0, 2^63).
+func (s *Stream) Int63() int64 {
+	return int64(s.Uint64() >> 1)
+}
+
+// Float64 returns a uniform float64 in [0, 1) with 53 bits of precision.
+func (s *Stream) Float64() float64 {
+	return float64(s.Uint64()>>11) / (1 << 53)
+}
+
+// FieldElement returns a (near-)uniform GF(2^61-1) element.
+func (s *Stream) FieldElement() field.Element {
+	var b [8]byte
+	s.Read(b[:])
+	return field.RandomElement(b)
+}
+
+// Fork derives an independent child stream with domain separation, so a
+// single per-round seed can drive many independent sub-streams (one per
+// noise component, per chunk, ...) without overlap.
+func (s *Stream) Fork(label string) *Stream {
+	var material [32]byte
+	s.Read(material[:])
+	return NewStream(NewSeed([]byte("dordis/prg/fork/"+label), material[:]))
+}

@@ -1,0 +1,291 @@
+package ring
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/prg"
+)
+
+func vecOf(bits uint, vals ...uint64) Vector {
+	v := NewVector(bits, len(vals))
+	m := v.Mask()
+	for i, x := range vals {
+		v.Data[i] = x & m
+	}
+	return v
+}
+
+func TestAddSubInverse(t *testing.T) {
+	f := func(a, b []uint64) bool {
+		if len(a) > len(b) {
+			a = a[:len(b)]
+		} else {
+			b = b[:len(a)]
+		}
+		if len(a) == 0 {
+			return true
+		}
+		va := vecOf(20, a...)
+		vb := vecOf(20, b...)
+		orig := va.Clone()
+		if err := va.AddInPlace(vb); err != nil {
+			return false
+		}
+		if err := va.SubInPlace(vb); err != nil {
+			return false
+		}
+		return Equal(va, orig)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWrapAround(t *testing.T) {
+	v := vecOf(8, 250)
+	w := vecOf(8, 10)
+	if err := v.AddInPlace(w); err != nil {
+		t.Fatal(err)
+	}
+	if v.Data[0] != 4 { // (250+10) mod 256
+		t.Fatalf("got %d, want 4", v.Data[0])
+	}
+}
+
+func TestIncompatibleVectors(t *testing.T) {
+	a := NewVector(20, 3)
+	b := NewVector(16, 3)
+	if err := a.AddInPlace(b); err == nil {
+		t.Error("bit width mismatch should error")
+	}
+	c := NewVector(20, 4)
+	if err := a.AddInPlace(c); err == nil {
+		t.Error("dimension mismatch should error")
+	}
+}
+
+func TestSignedAddSubRoundTrip(t *testing.T) {
+	v := vecOf(20, 5, 100, 1<<19)
+	noise := []int64{-7, 3, -(1 << 18)}
+	orig := v.Clone()
+	if err := v.AddSignedInPlace(noise); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.SubSignedInPlace(noise); err != nil {
+		t.Fatal(err)
+	}
+	if !Equal(v, orig) {
+		t.Fatal("signed add/sub should round-trip")
+	}
+}
+
+func TestSignedDimensionCheck(t *testing.T) {
+	v := NewVector(20, 3)
+	if err := v.AddSignedInPlace([]int64{1}); err == nil {
+		t.Error("dimension mismatch should error")
+	}
+	if err := v.SubSignedInPlace([]int64{1}); err == nil {
+		t.Error("dimension mismatch should error")
+	}
+}
+
+func TestCentered(t *testing.T) {
+	v := vecOf(8, 0, 1, 127, 128, 255)
+	got := v.Centered()
+	want := []int64{0, 1, 127, -128, -1}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Centered()[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestCenteredSignedRoundTrip(t *testing.T) {
+	// Encoding a small signed value into the ring and centering recovers it.
+	f := func(x int16) bool {
+		v := NewVector(20, 1)
+		v.Data[0] = uint64(int64(x)) & v.Mask()
+		return v.Centered()[0] == int64(x)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMaskCancellation(t *testing.T) {
+	// p_{u,v} + p_{v,u} = 0: adding with sign +1 then -1 using the same
+	// seed restores the vector — the heart of SecAgg masking.
+	seed := prg.NewSeed([]byte("pairwise"))
+	v := vecOf(20, 11, 22, 33, 44)
+	orig := v.Clone()
+	if err := v.MaskInPlace(prg.NewStream(seed), 1); err != nil {
+		t.Fatal(err)
+	}
+	if Equal(v, orig) {
+		t.Fatal("mask should change the vector")
+	}
+	if err := v.MaskInPlace(prg.NewStream(seed), -1); err != nil {
+		t.Fatal(err)
+	}
+	if !Equal(v, orig) {
+		t.Fatal("opposite-sign masks with same seed must cancel")
+	}
+}
+
+func TestMaskSignValidation(t *testing.T) {
+	v := NewVector(20, 1)
+	if err := v.MaskInPlace(prg.NewStream(prg.NewSeed([]byte("x"))), 0); err == nil {
+		t.Error("sign 0 should be rejected")
+	}
+}
+
+func TestSum(t *testing.T) {
+	vs := []Vector{vecOf(20, 1, 2), vecOf(20, 10, 20), vecOf(20, 100, 200)}
+	got, err := Sum(vs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Data[0] != 111 || got.Data[1] != 222 {
+		t.Fatalf("Sum = %v", got.Data)
+	}
+	if _, err := Sum(nil); err == nil {
+		t.Error("Sum of nothing should error")
+	}
+}
+
+func TestChunkBounds(t *testing.T) {
+	cases := []struct {
+		dim, m int
+		want   [][2]int
+	}{
+		{10, 3, [][2]int{{0, 4}, {4, 7}, {7, 10}}},
+		{10, 1, [][2]int{{0, 10}}},
+		{3, 5, [][2]int{{0, 1}, {1, 2}, {2, 3}}}, // m clamped to dim
+		{6, 3, [][2]int{{0, 2}, {2, 4}, {4, 6}}},
+		{0, 3, [][2]int{{0, 0}}},
+		{5, 0, [][2]int{{0, 5}}}, // m clamped to 1
+	}
+	for _, c := range cases {
+		got := ChunkBounds(c.dim, c.m)
+		if len(got) != len(c.want) {
+			t.Fatalf("ChunkBounds(%d,%d) = %v, want %v", c.dim, c.m, got, c.want)
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Fatalf("ChunkBounds(%d,%d) = %v, want %v", c.dim, c.m, got, c.want)
+			}
+		}
+	}
+}
+
+func TestChunkBoundsCoverProperty(t *testing.T) {
+	f := func(dim, m uint8) bool {
+		d := int(dim)
+		bounds := ChunkBounds(d, int(m))
+		// Contiguous cover of [0, d).
+		pos := 0
+		for _, b := range bounds {
+			if b[0] != pos || b[1] < b[0] {
+				return false
+			}
+			pos = b[1]
+		}
+		return pos == d || (d == 0 && pos == 0)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSplitConcatRoundTrip(t *testing.T) {
+	v := NewVector(20, 103)
+	for i := range v.Data {
+		v.Data[i] = uint64(i * 7)
+	}
+	for _, m := range []int{1, 2, 3, 7, 103, 200} {
+		chunks := Split(v, m)
+		back, err := Concat(chunks)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !Equal(v, back) {
+			t.Fatalf("m=%d: split/concat round trip failed", m)
+		}
+	}
+}
+
+func TestSplitSharesStorage(t *testing.T) {
+	v := NewVector(20, 10)
+	chunks := Split(v, 2)
+	chunks[1].Data[0] = 42
+	if v.Data[5] != 42 {
+		t.Fatal("chunks should alias the parent vector")
+	}
+}
+
+func TestConcatErrors(t *testing.T) {
+	if _, err := Concat(nil); err == nil {
+		t.Error("empty concat should error")
+	}
+	if _, err := Concat([]Vector{NewVector(20, 1), NewVector(16, 1)}); err == nil {
+		t.Error("mixed widths should error")
+	}
+}
+
+func TestChunkwiseAggregationEqualsWhole(t *testing.T) {
+	// Σ_i Δ_i == (Σ_i Δ_i,1) ∥ ... ∥ (Σ_i Δ_i,m)  — §4.1 correctness.
+	const dim, nClients, m = 57, 5, 4
+	clients := make([]Vector, nClients)
+	s := prg.NewStream(prg.NewSeed([]byte("agg")))
+	for i := range clients {
+		clients[i] = NewVector(20, dim)
+		for j := range clients[i].Data {
+			clients[i].Data[j] = s.Uint64() & clients[i].Mask()
+		}
+	}
+	whole, err := Sum(clients)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chunkSums := make([]Vector, m)
+	for c := 0; c < m; c++ {
+		parts := make([]Vector, nClients)
+		for i := range clients {
+			parts[i] = Split(clients[i], m)[c]
+		}
+		chunkSums[c], err = Sum(parts)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	assembled, err := Concat(chunkSums)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Equal(whole, assembled) {
+		t.Fatal("chunk-wise aggregation differs from whole-vector aggregation")
+	}
+}
+
+func BenchmarkAdd1M(b *testing.B) {
+	v := NewVector(20, 1<<20)
+	w := NewVector(20, 1<<20)
+	b.SetBytes(8 << 20)
+	for i := 0; i < b.N; i++ {
+		if err := v.AddInPlace(w); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMask1M(b *testing.B) {
+	v := NewVector(20, 1<<20)
+	s := prg.NewStream(prg.NewSeed([]byte("bench")))
+	b.SetBytes(8 << 20)
+	for i := 0; i < b.N; i++ {
+		if err := v.MaskInPlace(s, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,253 @@
+// Package rng implements deterministic distribution samplers driven by a
+// prg.Stream.
+//
+// Dordis needs reproducible, seed-addressable randomness in several places:
+//
+//   - Skellam noise for the DSkellam distributed-DP mechanism (§5): a
+//     Skellam(μ/2, μ/2) variate is the difference of two Poisson(μ/2)
+//     variates; it is integer-valued and closed under summation, the
+//     property XNoise relies on (§3).
+//   - Gaussian noise for the continuous-Gaussian DP path and for synthetic
+//     dataset generation.
+//   - Zipf variates for the client compute/bandwidth heterogeneity model
+//     (§6.1 sets a=1.2).
+//   - Dirichlet for the non-IID (LDA) data partitioner.
+//
+// Every sampler takes the stream explicitly so noise components can be
+// regenerated bit-for-bit from their seeds by the server during XNoise
+// removal.
+package rng
+
+import (
+	"math"
+
+	"repro/internal/prg"
+)
+
+// Gaussian returns one N(mean, stdDev²) variate using the Box–Muller
+// transform. Two stream draws produce one output (the second branch is
+// discarded to keep the stream-position/value mapping simple and exactly
+// reproducible).
+func Gaussian(s *prg.Stream, mean, stdDev float64) float64 {
+	// Draw u1 in (0,1] to avoid log(0).
+	u1 := 1.0 - s.Float64()
+	u2 := s.Float64()
+	z := math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+	return mean + stdDev*z
+}
+
+// GaussianVector fills out with n iid N(0, stdDev²) samples.
+func GaussianVector(s *prg.Stream, stdDev float64, out []float64) {
+	for i := range out {
+		out[i] = Gaussian(s, 0, stdDev)
+	}
+}
+
+// Poisson returns one Poisson(lambda) variate. For small lambda it uses
+// Knuth's product-of-uniforms method; for large lambda the PTRS
+// (transformed rejection with squeeze) algorithm of Hörmann (1993),
+// which is O(1) per sample.
+func Poisson(s *prg.Stream, lambda float64) int64 {
+	switch {
+	case lambda <= 0:
+		return 0
+	case lambda < 30:
+		return poissonKnuth(s, lambda)
+	default:
+		return poissonPTRS(s, lambda)
+	}
+}
+
+func poissonKnuth(s *prg.Stream, lambda float64) int64 {
+	limit := math.Exp(-lambda)
+	var k int64
+	p := 1.0
+	for {
+		p *= s.Float64()
+		if p <= limit {
+			return k
+		}
+		k++
+	}
+}
+
+// poissonPTRS implements Hörmann's transformed rejection method with
+// squeeze for Poisson(λ), λ ≥ 10. Reference: W. Hörmann, "The transformed
+// rejection method for generating Poisson random variables", Insurance:
+// Mathematics and Economics 12 (1993). This is the same variant used by
+// NumPy's generator.
+func poissonPTRS(s *prg.Stream, lambda float64) int64 {
+	slam := math.Sqrt(lambda)
+	loglam := math.Log(lambda)
+	b := 0.931 + 2.53*slam
+	a := -0.059 + 0.02483*b
+	invalpha := 1.1239 + 1.1328/(b-3.4)
+	vr := 0.9277 - 3.6224/(b-2)
+	for {
+		u := s.Float64() - 0.5
+		v := s.Float64()
+		us := 0.5 - math.Abs(u)
+		kf := math.Floor((2*a/us+b)*u + lambda + 0.43)
+		if us >= 0.07 && v <= vr {
+			return int64(kf)
+		}
+		if kf < 0 || (us < 0.013 && v > us) {
+			continue
+		}
+		lg, _ := math.Lgamma(kf + 1)
+		if math.Log(v)+math.Log(invalpha)-math.Log(a/(us*us)+b) <= -lambda+kf*loglam-lg {
+			return int64(kf)
+		}
+	}
+}
+
+// Skellam returns one Skellam variate with mean 0 and variance mu: the
+// difference of two independent Poisson(mu/2) variates. Skellam noise is
+// closed under summation (sum of Skellam(μ1), Skellam(μ2) is
+// Skellam(μ1+μ2)), the property Theorem 1 requires of χ(σ²).
+func Skellam(s *prg.Stream, mu float64) int64 {
+	if mu <= 0 {
+		return 0
+	}
+	return Poisson(s, mu/2) - Poisson(s, mu/2)
+}
+
+// SkellamVector fills out with iid Skellam(mu) samples.
+func SkellamVector(s *prg.Stream, mu float64, out []int64) {
+	for i := range out {
+		out[i] = Skellam(s, mu)
+	}
+}
+
+// Zipf draws a rank in [1, n] following a Zipf distribution with exponent
+// a > 1: P(rank=i) ∝ i^-a. Used for the client heterogeneity model
+// (paper §6.1: latency of the i-th slowest client ∝ i^-1.2). Sampling is by
+// inverse transform over the exact normalized CDF for the (small) n used in
+// deployments.
+type Zipf struct {
+	cdf []float64 // cdf[i] = P(rank <= i+1)
+}
+
+// NewZipf precomputes the CDF for ranks 1..n with exponent a.
+func NewZipf(n int, a float64) *Zipf {
+	if n <= 0 {
+		panic("rng: Zipf needs n >= 1")
+	}
+	cdf := make([]float64, n)
+	acc := 0.0
+	for i := 1; i <= n; i++ {
+		acc += math.Pow(float64(i), -a)
+		cdf[i-1] = acc
+	}
+	for i := range cdf {
+		cdf[i] /= acc
+	}
+	cdf[n-1] = 1.0
+	return &Zipf{cdf: cdf}
+}
+
+// Rank draws a rank in [1, len(cdf)].
+func (z *Zipf) Rank(s *prg.Stream) int {
+	u := s.Float64()
+	lo, hi := 0, len(z.cdf)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cdf[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo + 1
+}
+
+// Weight returns the normalized probability mass of rank i (1-based).
+func (z *Zipf) Weight(i int) float64 {
+	if i == 1 {
+		return z.cdf[0]
+	}
+	return z.cdf[i-1] - z.cdf[i-2]
+}
+
+// Dirichlet draws one sample from Dirichlet(alpha, ..., alpha) of the given
+// dimension, via normalized Gamma(alpha, 1) variates. Used by the LDA
+// non-IID partitioner (paper §6.1, concentration 1.0).
+func Dirichlet(s *prg.Stream, alpha float64, dim int) []float64 {
+	out := make([]float64, dim)
+	var sum float64
+	for i := range out {
+		g := Gamma(s, alpha)
+		out[i] = g
+		sum += g
+	}
+	if sum == 0 {
+		// Degenerate draw (possible only for pathological alpha); fall back
+		// to uniform.
+		for i := range out {
+			out[i] = 1 / float64(dim)
+		}
+		return out
+	}
+	for i := range out {
+		out[i] /= sum
+	}
+	return out
+}
+
+// Gamma draws a Gamma(shape, 1) variate using the Marsaglia–Tsang method,
+// with the standard alpha<1 boost.
+func Gamma(s *prg.Stream, shape float64) float64 {
+	if shape <= 0 {
+		return 0
+	}
+	if shape < 1 {
+		// Boost: Gamma(a) = Gamma(a+1) * U^(1/a).
+		u := 1.0 - s.Float64() // (0,1]
+		return Gamma(s, shape+1) * math.Pow(u, 1/shape)
+	}
+	d := shape - 1.0/3.0
+	c := 1 / math.Sqrt(9*d)
+	for {
+		x := Gaussian(s, 0, 1)
+		v := 1 + c*x
+		if v <= 0 {
+			continue
+		}
+		v = v * v * v
+		u := 1.0 - s.Float64()
+		if u < 1-0.0331*x*x*x*x {
+			return d * v
+		}
+		if math.Log(u) < 0.5*x*x+d*(1-v+math.Log(v)) {
+			return d * v
+		}
+	}
+}
+
+// Perm returns a deterministic pseudorandom permutation of [0, n) via
+// Fisher–Yates. Used for client sampling.
+func Perm(s *prg.Stream, n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := int(s.Uint64n(uint64(i + 1)))
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// SampleK draws k distinct indices uniformly from [0, n) (the server's
+// per-round client sampling).
+func SampleK(s *prg.Stream, n, k int) []int {
+	if k > n {
+		k = n
+	}
+	return Perm(s, n)[:k]
+}
+
+// Bernoulli returns true with probability p.
+func Bernoulli(s *prg.Stream, p float64) bool {
+	return s.Float64() < p
+}

@@ -1,0 +1,64 @@
+package secagg
+
+import (
+	"crypto/rand"
+	"fmt"
+	"testing"
+
+	"repro/internal/ring"
+	"repro/internal/xnoise"
+)
+
+// benchRound runs one full aggregation round for n clients at the given
+// dimension, with or without XNoise.
+func benchRound(b *testing.B, n, dim int, withXNoise bool, dropped int) {
+	b.Helper()
+	var plan *xnoise.Plan
+	tol := n / 4
+	if withXNoise {
+		plan = &xnoise.Plan{
+			NumClients: n, DropoutTolerance: tol,
+			Threshold: n - tol, TargetVariance: 100,
+		}
+	}
+	ids := make([]uint64, n)
+	for i := range ids {
+		ids[i] = uint64(i + 1)
+	}
+	cfg := Config{
+		Round: 1, ClientIDs: ids, Threshold: n - tol, Bits: 20, Dim: dim,
+		XNoise: plan,
+	}
+	inputs := make(map[uint64]ring.Vector, n)
+	for _, id := range ids {
+		inputs[id] = ring.NewVector(20, dim)
+	}
+	drops := DropSchedule{}
+	for i := 0; i < dropped; i++ {
+		drops[ids[i]] = StageMaskedInput
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(cfg, inputs, nil, drops, rand.Reader); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRoundPlain8x4096(b *testing.B)   { benchRound(b, 8, 4096, false, 0) }
+func BenchmarkRoundPlain16x4096(b *testing.B)  { benchRound(b, 16, 4096, false, 0) }
+func BenchmarkRoundXNoise8x4096(b *testing.B)  { benchRound(b, 8, 4096, true, 0) }
+func BenchmarkRoundXNoise16x4096(b *testing.B) { benchRound(b, 16, 4096, true, 0) }
+func BenchmarkRoundXNoiseDropout16x4096(b *testing.B) {
+	benchRound(b, 16, 4096, true, 3)
+}
+
+// BenchmarkRoundScaling reports how the full-round cost scales with client
+// count — the O(n²) pairwise-mask behavior motivating SecAgg+ (§2.3.2).
+func BenchmarkRoundScaling(b *testing.B) {
+	for _, n := range []int{8, 16, 32} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			benchRound(b, n, 1024, false, 0)
+		})
+	}
+}

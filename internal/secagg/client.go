@@ -1,0 +1,557 @@
+package secagg
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/aead"
+	"repro/internal/dh"
+	"repro/internal/field"
+	"repro/internal/prg"
+	"repro/internal/ring"
+	"repro/internal/shamir"
+	"repro/internal/sig"
+	"repro/internal/xnoise"
+)
+
+// Client is one participant's state machine for a single aggregation
+// round. Methods must be called in stage order; any verification failure
+// returns an error, which corresponds to the client aborting (Fig. 5).
+type Client struct {
+	cfg   Config
+	id    uint64
+	input ring.Vector
+	rand  io.Reader
+
+	signer *sig.Signer // nil when semi-honest
+
+	cipherKey *dh.KeyPair // c^PK / c^SK
+	maskKey   *dh.KeyPair // s^PK / s^SK
+	selfSeed  field.Element
+
+	noise *xnoise.ClientNoise // nil without XNoise
+
+	roster     map[uint64]AdvertiseMsg // U1 view
+	u1         []uint64
+	u2         []uint64
+	u3         []uint64
+	channelKey map[uint64][aead.KeySize]byte // peer → AE key
+	received   map[uint64]ShareBundle        // decrypted bundles from peers
+	pendingCts map[uint64][]byte             // peer → ciphertext (decrypted lazily at unmask)
+}
+
+// NewClient constructs a participant for the round. signer may be nil in
+// the semi-honest setting; with cfg.Malicious it is required and its
+// public key must be registered in cfg.Registry.
+func NewClient(cfg Config, id uint64, input ring.Vector, signer *sig.Signer, rand io.Reader) (*Client, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if _, err := cfg.indexOf(id); err != nil {
+		return nil, err
+	}
+	if input.Bits != cfg.Bits || input.Len() != cfg.Dim {
+		return nil, fmt.Errorf("secagg: client %d input %d×%db, config wants %d×%db",
+			id, input.Len(), input.Bits, cfg.Dim, cfg.Bits)
+	}
+	if cfg.Malicious && signer == nil {
+		return nil, fmt.Errorf("secagg: malicious mode requires a signer for client %d", id)
+	}
+	c := &Client{cfg: cfg, id: id, input: input.Clone(), rand: rand, signer: signer}
+	if cfg.XNoise != nil {
+		noise, err := xnoise.NewClientNoise(*cfg.XNoise, rand)
+		if err != nil {
+			return nil, err
+		}
+		c.noise = noise
+	}
+	return c, nil
+}
+
+// ID returns the client identity.
+func (c *Client) ID() uint64 { return c.id }
+
+// NoiseSeeds exposes the client's XNoise seeds for white-box protocol
+// tests; production code never reads them outside the state machine.
+func (c *Client) NoiseSeeds() []field.Element {
+	if c.noise == nil {
+		return nil
+	}
+	out := make([]field.Element, len(c.noise.Seeds))
+	copy(out, c.noise.Seeds)
+	return out
+}
+
+// AdvertiseKeys runs stage 0: generate the two ephemeral key pairs and
+// advertise the public halves.
+func (c *Client) AdvertiseKeys() (AdvertiseMsg, error) {
+	var err error
+	if c.cipherKey, err = dh.Generate(c.rand); err != nil {
+		return AdvertiseMsg{}, err
+	}
+	if c.maskKey, err = dh.Generate(c.rand); err != nil {
+		return AdvertiseMsg{}, err
+	}
+	var buf [8]byte
+	if _, err := io.ReadFull(c.rand, buf[:]); err != nil {
+		return AdvertiseMsg{}, fmt.Errorf("secagg: sampling self seed: %w", err)
+	}
+	c.selfSeed = field.RandomElement(buf)
+
+	msg := AdvertiseMsg{
+		From:      c.id,
+		CipherPub: c.cipherKey.PublicBytes(),
+		MaskPub:   c.maskKey.PublicBytes(),
+	}
+	if c.cfg.Malicious {
+		msg.Signature = c.signer.Sign(msg.advertisePayload())
+	}
+	return msg, nil
+}
+
+// ShareKeys runs stage 1: verify the roster, Shamir-share the mask secret
+// key, the self-mask seed, and the removable noise seeds, and encrypt each
+// peer's bundle.
+func (c *Client) ShareKeys(roster []AdvertiseMsg) ([]EncryptedShareMsg, error) {
+	if len(roster) < c.cfg.Threshold {
+		return nil, fmt.Errorf("secagg: client %d saw |U1|=%d < t=%d", c.id, len(roster), c.cfg.Threshold)
+	}
+	c.roster = make(map[uint64]AdvertiseMsg, len(roster))
+	seenKeys := make(map[string]struct{}, 2*len(roster))
+	for _, m := range roster {
+		if _, dup := c.roster[m.From]; dup {
+			return nil, fmt.Errorf("secagg: duplicate roster entry for %d", m.From)
+		}
+		// "Assert that all the public key pairs are different."
+		for _, k := range [][]byte{m.CipherPub, m.MaskPub} {
+			if _, dup := seenKeys[string(k)]; dup {
+				return nil, fmt.Errorf("secagg: repeated public key in roster (client %d)", m.From)
+			}
+			seenKeys[string(k)] = struct{}{}
+		}
+		if c.cfg.Malicious {
+			if !c.cfg.Registry.VerifyFrom(m.From, m.advertisePayload(), m.Signature) {
+				return nil, fmt.Errorf("secagg: bad advertise signature from %d", m.From)
+			}
+		}
+		c.roster[m.From] = m
+	}
+	if _, ok := c.roster[c.id]; !ok {
+		return nil, fmt.Errorf("secagg: client %d missing from roster", c.id)
+	}
+	c.u1 = sortedIDs(c.roster)
+
+	// Share recipients: the client's live neighborhood plus itself. Under
+	// the complete graph (classic SecAgg) this is all of U1; under a
+	// SecAgg+ graph it is the O(log n) neighborhood.
+	nbrSet := toSet(c.cfg.neighborhood(c.id))
+	peers := make([]uint64, 0, len(nbrSet)+1)
+	for _, id := range c.u1 {
+		if _, ok := nbrSet[id]; ok || id == c.id {
+			peers = append(peers, id)
+		}
+	}
+	if len(peers) < c.cfg.Threshold {
+		return nil, fmt.Errorf("secagg: client %d has %d live neighbors < t=%d",
+			c.id, len(peers), c.cfg.Threshold)
+	}
+
+	// Shamir abscissas: the global 1-based index of each peer within the
+	// sampled set, so all parties agree on share coordinates.
+	xs := make([]field.Element, len(peers))
+	for i, id := range peers {
+		idx, err := c.cfg.indexOf(id)
+		if err != nil {
+			return nil, err
+		}
+		xs[i] = field.New(uint64(idx))
+	}
+
+	maskShares, err := shareKey(c.maskKey.PrivateBytes(), c.cfg.Threshold, xs, c.rand)
+	if err != nil {
+		return nil, err
+	}
+	selfShares, err := shamir.Split(c.selfSeed, c.cfg.Threshold, xs, c.rand)
+	if err != nil {
+		return nil, err
+	}
+	var noiseShares [][]shamir.Share // [k][participant]
+	if c.noise != nil {
+		noiseShares, err = c.noise.ShareSeeds(*c.cfg.XNoise, xs, c.rand)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	c.channelKey = make(map[uint64][aead.KeySize]byte, len(peers))
+	var out []EncryptedShareMsg
+	for i, peer := range peers {
+		if peer == c.id {
+			// Keep own shares locally so they participate in unmasking.
+			bundle := ShareBundle{From: c.id, To: c.id, MaskKey: maskShares[i], SelfSeed: selfShares[i]}
+			if c.noise != nil {
+				bundle.NoiseSeeds = sliceNoiseShares(noiseShares, i)
+			}
+			if c.received == nil {
+				c.received = make(map[uint64]ShareBundle)
+			}
+			c.received[c.id] = bundle
+			continue
+		}
+		secret, err := c.cipherKey.Agree(c.roster[peer].CipherPub)
+		if err != nil {
+			return nil, fmt.Errorf("secagg: channel key agreement with %d: %w", peer, err)
+		}
+		c.channelKey[peer] = secret
+		bundle := ShareBundle{From: c.id, To: peer, MaskKey: maskShares[i], SelfSeed: selfShares[i]}
+		if c.noise != nil {
+			bundle.NoiseSeeds = sliceNoiseShares(noiseShares, i)
+		}
+		pt, err := encodeBundle(bundle)
+		if err != nil {
+			return nil, err
+		}
+		ct, err := aead.Seal(secret, c.rand, pt, shareAD(c.cfg.Round, c.id, peer))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, EncryptedShareMsg{From: c.id, To: peer, Ciphertext: ct})
+	}
+	return out, nil
+}
+
+// sliceNoiseShares extracts participant i's share of each removable seed.
+func sliceNoiseShares(noiseShares [][]shamir.Share, i int) []shamir.Share {
+	if noiseShares == nil {
+		return nil
+	}
+	out := make([]shamir.Share, 0, len(noiseShares)-1)
+	for k := 1; k < len(noiseShares); k++ {
+		out = append(out, noiseShares[k][i])
+	}
+	return out
+}
+
+// MaskedInput runs stage 2: store the relayed ciphertexts, derive the
+// pairwise and self masks, add the XNoise components, and emit the masked
+// input y_u.
+func (c *Client) MaskedInput(ciphertexts []EncryptedShareMsg) (MaskedInputMsg, error) {
+	if len(ciphertexts)+1 < c.cfg.Threshold { // +1: own bundle kept locally
+		return MaskedInputMsg{}, fmt.Errorf("secagg: client %d received %d share ciphertexts < t-1=%d",
+			c.id, len(ciphertexts), c.cfg.Threshold-1)
+	}
+	c.pendingCts = make(map[uint64][]byte, len(ciphertexts))
+	u2set := map[uint64]struct{}{c.id: {}}
+	for _, m := range ciphertexts {
+		if m.To != c.id {
+			return MaskedInputMsg{}, fmt.Errorf("secagg: misrouted ciphertext for %d at %d", m.To, c.id)
+		}
+		if _, known := c.roster[m.From]; !known {
+			return MaskedInputMsg{}, fmt.Errorf("secagg: ciphertext from unknown client %d", m.From)
+		}
+		c.pendingCts[m.From] = m.Ciphertext
+		u2set[m.From] = struct{}{}
+	}
+	c.u2 = setToSorted(u2set)
+
+	y := c.input.Clone()
+	// XNoise: add the full excessive noise before masking (Fig. 5 setup:
+	// Δ̃_u = Δ_u + Σ_k n_{u,k}).
+	if c.noise != nil {
+		total, err := c.noise.TotalNoise(*c.cfg.XNoise, c.cfg.sampler(), c.cfg.Dim)
+		if err != nil {
+			return MaskedInputMsg{}, err
+		}
+		if err := y.AddSignedInPlace(total); err != nil {
+			return MaskedInputMsg{}, err
+		}
+	}
+	// Self mask p_u = PRG(b_u).
+	if err := y.MaskInPlace(prg.NewStreamFromElement(c.selfSeed), 1); err != nil {
+		return MaskedInputMsg{}, err
+	}
+	// Pairwise masks p_{u,v} over u2 (the set that holds shares of our
+	// key, hence can unmask us if we die).
+	for _, peer := range c.u2 {
+		if peer == c.id {
+			continue
+		}
+		stream, sign, err := pairMaskStream(c.maskKey, c.roster[peer].MaskPub, c.id, peer)
+		if err != nil {
+			return MaskedInputMsg{}, err
+		}
+		if err := y.MaskInPlace(stream, sign); err != nil {
+			return MaskedInputMsg{}, err
+		}
+	}
+	return MaskedInputMsg{From: c.id, Y: y.Data}, nil
+}
+
+// pairMaskStream derives the PRG stream and sign for the pairwise mask
+// between u and v: s_{u,v} = KA.agree(s^SK_u, s^PK_v), γ = +1 iff u > v.
+func pairMaskStream(own *dh.KeyPair, peerPub []byte, u, v uint64) (*prg.Stream, int, error) {
+	secret, err := own.Agree(peerPub)
+	if err != nil {
+		return nil, 0, fmt.Errorf("secagg: mask key agreement %d↔%d: %w", u, v, err)
+	}
+	sign := 1
+	if u < v {
+		sign = -1
+	}
+	return prg.NewStream(prg.NewSeed([]byte("dordis/secagg/pairmask/v1"), secret[:])), sign, nil
+}
+
+// checkU3 verifies the parts of a claimed U3 the client can vouch for: a
+// neighbor can only appear in U3 if it reached ShareKeys (is in the
+// client's U2). Under the complete graph this is the full U3 ⊆ U2 check of
+// Fig. 5; under a SecAgg+ graph it is the neighborhood-restricted variant.
+func (c *Client) checkU3(u3 []uint64) error {
+	nbrs := toSet(c.cfg.neighborhood(c.id))
+	nbrs[c.id] = struct{}{}
+	u2set := toSet(c.u2)
+	for _, v := range u3 {
+		if _, mine := nbrs[v]; !mine {
+			continue
+		}
+		if _, ok := u2set[v]; !ok {
+			return fmt.Errorf("secagg: U3 member %d not in U2 at client %d", v, c.id)
+		}
+	}
+	return nil
+}
+
+// ConsistencyCheck runs stage 3 (malicious mode): sign (round ∥ U3).
+func (c *Client) ConsistencyCheck(u3 []uint64) (ConsistencyMsg, error) {
+	if len(u3) < c.cfg.Threshold {
+		return ConsistencyMsg{}, fmt.Errorf("secagg: client %d saw |U3|=%d < t", c.id, len(u3))
+	}
+	if err := c.checkU3(u3); err != nil {
+		return ConsistencyMsg{}, err
+	}
+	c.u3 = append([]uint64(nil), u3...)
+	if !c.cfg.Malicious {
+		return ConsistencyMsg{From: c.id}, nil
+	}
+	return ConsistencyMsg{
+		From:      c.id,
+		Signature: c.signer.Sign(consistencyPayload(c.cfg.Round, u3)),
+	}, nil
+}
+
+// Unmask runs stage 4: verify the server's survivor claims (malicious
+// mode: every signature in the request, |U4| ≥ t, U4 ⊆ U3), decrypt the
+// stored share ciphertexts, and reveal exactly the shares prescribed by
+// Fig. 5 plus this client's own removable noise seeds.
+func (c *Client) Unmask(req UnmaskRequest) (UnmaskMsg, error) {
+	if c.u3 == nil {
+		// Semi-honest flow without a distinct stage 3: adopt U3 from the
+		// request after the subset check.
+		if err := c.checkU3(req.U3); err != nil {
+			return UnmaskMsg{}, err
+		}
+		if len(req.U3) < c.cfg.Threshold {
+			return UnmaskMsg{}, fmt.Errorf("secagg: |U3|=%d < t at client %d", len(req.U3), c.id)
+		}
+		c.u3 = append([]uint64(nil), req.U3...)
+	} else if !equalIDs(req.U3, c.u3) {
+		return UnmaskMsg{}, fmt.Errorf("secagg: server changed U3 at client %d", c.id)
+	}
+	if len(req.U4) < c.cfg.Threshold {
+		return UnmaskMsg{}, fmt.Errorf("secagg: |U4|=%d < t at client %d", len(req.U4), c.id)
+	}
+	if !subset(req.U4, c.u3) {
+		return UnmaskMsg{}, fmt.Errorf("secagg: U4 ⊄ U3 at client %d", c.id)
+	}
+	if c.cfg.Malicious {
+		// The dropout-understatement defense (§3.3): every claimed
+		// survivor must present a valid signature over (round, U3).
+		payload := consistencyPayload(c.cfg.Round, req.U3)
+		for _, v := range req.U4 {
+			if !c.cfg.Registry.VerifyFrom(v, payload, req.Signatures[v]) {
+				return UnmaskMsg{}, fmt.Errorf("secagg: client %d: invalid consistency signature for %d", c.id, v)
+			}
+		}
+	}
+
+	out := UnmaskMsg{
+		From:           c.id,
+		MaskKeyShares:  make(map[uint64][numKeyChunks]shamir.Share),
+		SelfSeedShares: make(map[uint64]shamir.Share),
+	}
+	u3set := toSet(c.u3)
+	for _, v := range c.u2 {
+		bundle, err := c.bundleFrom(v)
+		if err != nil {
+			return UnmaskMsg{}, err
+		}
+		if _, live := u3set[v]; live {
+			out.SelfSeedShares[v] = bundle.SelfSeed
+		} else {
+			out.MaskKeyShares[v] = bundle.MaskKey
+		}
+	}
+	if c.noise != nil {
+		numDropped := len(c.cfg.ClientIDs) - len(c.u3)
+		out.OwnNoiseSeeds = make(map[int]field.Element)
+		for _, k := range c.cfg.XNoise.RemovalComponents(numDropped) {
+			out.OwnNoiseSeeds[k] = c.noise.Seeds[k]
+		}
+	}
+	return out, nil
+}
+
+// holdsBundleFrom reports whether this client received (or locally kept) a
+// share bundle from v.
+func (c *Client) holdsBundleFrom(v uint64) bool {
+	if _, ok := c.received[v]; ok {
+		return true
+	}
+	_, ok := c.pendingCts[v]
+	return ok
+}
+
+// bundleFrom returns (decrypting on first use) the share bundle peer v sent
+// to this client.
+func (c *Client) bundleFrom(v uint64) (ShareBundle, error) {
+	if b, ok := c.received[v]; ok {
+		return b, nil
+	}
+	ct, ok := c.pendingCts[v]
+	if !ok {
+		return ShareBundle{}, fmt.Errorf("secagg: client %d has no ciphertext from %d", c.id, v)
+	}
+	key, ok := c.channelKey[v]
+	if !ok {
+		secret, err := c.cipherKey.Agree(c.roster[v].CipherPub)
+		if err != nil {
+			return ShareBundle{}, err
+		}
+		key = secret
+		c.channelKey[v] = key
+	}
+	pt, err := aead.Open(key, ct, shareAD(c.cfg.Round, v, c.id))
+	if err != nil {
+		return ShareBundle{}, fmt.Errorf("secagg: client %d cannot decrypt bundle from %d: %w", c.id, v, err)
+	}
+	bundle, err := decodeBundle(pt)
+	if err != nil {
+		return ShareBundle{}, err
+	}
+	if bundle.From != v || bundle.To != c.id {
+		return ShareBundle{}, fmt.Errorf("secagg: bundle routing mismatch (%d→%d, expected %d→%d)",
+			bundle.From, bundle.To, v, c.id)
+	}
+	c.received[v] = bundle
+	return bundle, nil
+}
+
+// RevealNoiseShares runs stage 5: surrender shares of the removable noise
+// seeds of clients in U3\U5 (included in the aggregate but dead before
+// reporting their seeds).
+func (c *Client) RevealNoiseShares(req NoiseShareRequest) (NoiseShareMsg, error) {
+	if c.noise == nil {
+		return NoiseShareMsg{From: c.id}, nil
+	}
+	if len(req.U5) < c.cfg.Threshold {
+		return NoiseShareMsg{}, fmt.Errorf("secagg: |U5|=%d < t at client %d", len(req.U5), c.id)
+	}
+	if !subset(req.U5, c.u3) {
+		return NoiseShareMsg{}, fmt.Errorf("secagg: U5 ⊄ U3 at client %d", c.id)
+	}
+	numDropped := len(c.cfg.ClientIDs) - len(c.u3)
+	ks := c.cfg.XNoise.RemovalComponents(numDropped)
+	u5set := toSet(req.U5)
+	out := NoiseShareMsg{From: c.id, Shares: make(map[uint64]map[int]shamir.Share)}
+	for _, v := range c.u3 {
+		if _, live := u5set[v]; live {
+			continue
+		}
+		if !c.holdsBundleFrom(v) {
+			// Not a neighbor (SecAgg+): this client holds no shares for v.
+			continue
+		}
+		bundle, err := c.bundleFrom(v)
+		if err != nil {
+			return NoiseShareMsg{}, err
+		}
+		m := make(map[int]shamir.Share, len(ks))
+		for _, k := range ks {
+			// bundle.NoiseSeeds is indexed k-1 (k starts at 1).
+			if k-1 >= len(bundle.NoiseSeeds) {
+				return NoiseShareMsg{}, fmt.Errorf("secagg: bundle from %d lacks noise share %d", v, k)
+			}
+			m[k] = bundle.NoiseSeeds[k-1]
+		}
+		out.Shares[v] = m
+	}
+	return out, nil
+}
+
+// --- small helpers ---
+
+func encodeBundle(b ShareBundle) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(b); err != nil {
+		return nil, fmt.Errorf("secagg: encoding bundle: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+func decodeBundle(p []byte) (ShareBundle, error) {
+	var b ShareBundle
+	if err := gob.NewDecoder(bytes.NewReader(p)).Decode(&b); err != nil {
+		return ShareBundle{}, fmt.Errorf("secagg: decoding bundle: %w", err)
+	}
+	return b, nil
+}
+
+func sortedIDs[V any](m map[uint64]V) []uint64 {
+	out := make([]uint64, 0, len(m))
+	for id := range m {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func setToSorted(s map[uint64]struct{}) []uint64 {
+	out := make([]uint64, 0, len(s))
+	for id := range s {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func toSet(ids []uint64) map[uint64]struct{} {
+	s := make(map[uint64]struct{}, len(ids))
+	for _, id := range ids {
+		s[id] = struct{}{}
+	}
+	return s
+}
+
+func subset(sub, super []uint64) bool {
+	s := toSet(super)
+	for _, id := range sub {
+		if _, ok := s[id]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func equalIDs(a, b []uint64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

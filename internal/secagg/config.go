@@ -1,0 +1,195 @@
+// Package secagg implements the SecAgg secure-aggregation protocol of
+// Bonawitz et al. (CCS 2017) integrated with Dordis's XNoise noise
+// enforcement, following the combined protocol of the paper's Figure 5.
+//
+// The protocol is expressed as two explicit state machines — Client and
+// Server — whose per-stage methods consume the previous stage's messages
+// and produce the next. A thin orchestrator (Run) drives a full round
+// in-process with configurable dropout injection; the same state machines
+// are driven over a real transport by package core.
+//
+// Stages (Fig. 5):
+//
+//	0 AdvertiseKeys          client → server: c^PK, s^PK [, signature]
+//	1 ShareKeys              client → server: encrypted Shamir shares of
+//	                         s^SK, b, and the XNoise seeds g_{u,k} (k ≥ 1)
+//	2 MaskedInputCollection  client → server: masked (and, with XNoise,
+//	                         excessively noised) input y_u
+//	3 ConsistencyCheck       [malicious only] signatures over (round, U3)
+//	4 Unmasking              client → server: shares unmasking the dead and
+//	                         the live, plus the client's own removable
+//	                         noise seeds
+//	5 ExcessiveNoiseRemoval  [XNoise only] shares of noise seeds of clients
+//	                         that died between stages 2 and 4
+package secagg
+
+import (
+	"fmt"
+
+	"repro/internal/sig"
+	"repro/internal/xnoise"
+)
+
+// Stage identifies a protocol stage; used for dropout injection and
+// message tagging.
+type Stage int
+
+// Protocol stages in execution order.
+const (
+	StageAdvertiseKeys Stage = iota
+	StageShareKeys
+	StageMaskedInput
+	StageConsistencyCheck
+	StageUnmasking
+	StageNoiseRemoval
+	stageCount
+)
+
+// String implements fmt.Stringer.
+func (s Stage) String() string {
+	names := [...]string{"AdvertiseKeys", "ShareKeys", "MaskedInput",
+		"ConsistencyCheck", "Unmasking", "NoiseRemoval"}
+	if s < 0 || int(s) >= len(names) {
+		return fmt.Sprintf("Stage(%d)", int(s))
+	}
+	return names[s]
+}
+
+// Config fixes one aggregation round's parameters; all parties must agree
+// on it (the server distributes it out of band with the round
+// announcement).
+type Config struct {
+	Round     uint64   // current round index r
+	ClientIDs []uint64 // sampled set U, sorted ascending
+	Threshold int      // SecAgg threshold t
+	Bits      uint     // ring bit width b
+	Dim       int      // input vector dimension (padded)
+
+	// Malicious enables the signature machinery of the malicious threat
+	// model: signed key advertisements and the ConsistencyCheck stage.
+	Malicious bool
+	// Registry is the PKI; required when Malicious.
+	Registry *sig.Registry
+
+	// XNoise, when non-nil, enables Dordis's add-then-remove noise
+	// enforcement with the given plan. The plan's NumClients and Threshold
+	// must match this config.
+	XNoise *xnoise.Plan
+	// Sampler draws noise components; defaults to xnoise.SkellamSampler.
+	Sampler xnoise.Sampler
+
+	// Graph restricts pairwise masking and secret sharing to each client's
+	// neighborhood, as in SecAgg+ (Bell et al., CCS 2020). nil means the
+	// complete graph — classic SecAgg. The graph must be undirected
+	// (symmetric neighborhoods) and every neighborhood must have at least
+	// Threshold members including the client itself.
+	Graph Graph
+}
+
+// Graph describes the communication topology for masking and sharing.
+type Graph interface {
+	// Neighbors returns the ids adjacent to id, excluding id itself.
+	Neighbors(id uint64) []uint64
+}
+
+// Validate checks config consistency.
+func (c Config) Validate() error {
+	n := len(c.ClientIDs)
+	if n < 2 {
+		return fmt.Errorf("secagg: need at least 2 clients, got %d", n)
+	}
+	seen := make(map[uint64]struct{}, n)
+	for i, id := range c.ClientIDs {
+		if _, dup := seen[id]; dup {
+			return fmt.Errorf("secagg: duplicate client id %d", id)
+		}
+		seen[id] = struct{}{}
+		if i > 0 && c.ClientIDs[i-1] >= id {
+			return fmt.Errorf("secagg: client ids must be sorted ascending")
+		}
+	}
+	if c.Threshold < 2 || c.Threshold > n {
+		return fmt.Errorf("secagg: threshold %d out of [2, %d]", c.Threshold, n)
+	}
+	// Malicious security requires 2t > |U| (+ |C∩U|, unknowable here);
+	// enforce the base bound 2t > |U| as the paper's footnote 3 prescribes.
+	if c.Malicious && 2*c.Threshold <= n {
+		return fmt.Errorf("secagg: malicious mode needs 2t > |U| (t=%d, |U|=%d)", c.Threshold, n)
+	}
+	if c.Malicious && c.Registry == nil {
+		return fmt.Errorf("secagg: malicious mode requires a PKI registry")
+	}
+	if c.Bits < 2 || c.Bits > 63 {
+		return fmt.Errorf("secagg: bits %d out of [2,63]", c.Bits)
+	}
+	if c.Dim <= 0 {
+		return fmt.Errorf("secagg: dim must be positive, got %d", c.Dim)
+	}
+	if c.XNoise != nil {
+		if err := c.XNoise.Validate(); err != nil {
+			return err
+		}
+		if c.XNoise.NumClients != n {
+			return fmt.Errorf("secagg: XNoise plan for %d clients, config has %d", c.XNoise.NumClients, n)
+		}
+		if c.XNoise.Threshold != c.Threshold {
+			return fmt.Errorf("secagg: XNoise threshold %d != config threshold %d", c.XNoise.Threshold, c.Threshold)
+		}
+	}
+	if c.Graph != nil {
+		for _, id := range c.ClientIDs {
+			nbrs := c.Graph.Neighbors(id)
+			if len(nbrs)+1 < c.Threshold {
+				return fmt.Errorf("secagg: neighborhood of %d has %d members < t=%d",
+					id, len(nbrs)+1, c.Threshold)
+			}
+			for _, v := range nbrs {
+				if v == id {
+					return fmt.Errorf("secagg: client %d lists itself as neighbor", id)
+				}
+				if _, ok := seen[v]; !ok {
+					return fmt.Errorf("secagg: client %d has unknown neighbor %d", id, v)
+				}
+				if !contains(c.Graph.Neighbors(v), id) {
+					return fmt.Errorf("secagg: graph not symmetric: %d→%d", id, v)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// neighborhood returns the sorted neighbor set of id under the configured
+// graph (all other clients when Graph is nil), excluding id itself.
+func (c Config) neighborhood(id uint64) []uint64 {
+	if c.Graph == nil {
+		out := make([]uint64, 0, len(c.ClientIDs)-1)
+		for _, v := range c.ClientIDs {
+			if v != id {
+				out = append(out, v)
+			}
+		}
+		return out
+	}
+	nbrs := append([]uint64(nil), c.Graph.Neighbors(id)...)
+	return nbrs
+}
+
+// sampler returns the configured noise sampler or the default.
+func (c Config) sampler() xnoise.Sampler {
+	if c.Sampler != nil {
+		return c.Sampler
+	}
+	return xnoise.SkellamSampler
+}
+
+// indexOf returns the 1-based Shamir abscissa index of a client id within
+// the sampled set (its position in ClientIDs plus one).
+func (c Config) indexOf(id uint64) (int, error) {
+	for i, cid := range c.ClientIDs {
+		if cid == id {
+			return i + 1, nil
+		}
+	}
+	return 0, fmt.Errorf("secagg: client %d not in sampled set", id)
+}

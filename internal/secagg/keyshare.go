@@ -1,0 +1,88 @@
+package secagg
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/field"
+	"repro/internal/shamir"
+)
+
+// numKeyChunks is the number of field elements needed to carry a 32-byte
+// X25519 secret key: 5 chunks of up to 7 bytes each (56 bits < 61-bit
+// field) cover 35 ≥ 32 bytes.
+const numKeyChunks = 5
+
+const keyChunkBytes = 7
+
+// bytesToChunks packs a 32-byte secret into field elements.
+func bytesToChunks(secret [32]byte) [numKeyChunks]field.Element {
+	var out [numKeyChunks]field.Element
+	for i := 0; i < numKeyChunks; i++ {
+		var v uint64
+		for j := 0; j < keyChunkBytes; j++ {
+			idx := i*keyChunkBytes + j
+			if idx >= len(secret) {
+				break
+			}
+			v |= uint64(secret[idx]) << (8 * j)
+		}
+		out[i] = field.New(v)
+	}
+	return out
+}
+
+// chunksToBytes unpacks field elements back into the 32-byte secret.
+func chunksToBytes(chunks [numKeyChunks]field.Element) [32]byte {
+	var out [32]byte
+	for i := 0; i < numKeyChunks; i++ {
+		v := chunks[i].Uint64()
+		for j := 0; j < keyChunkBytes; j++ {
+			idx := i*keyChunkBytes + j
+			if idx >= len(out) {
+				break
+			}
+			out[idx] = byte(v >> (8 * j))
+		}
+	}
+	return out
+}
+
+// shareKey produces per-participant share bundles of a 32-byte secret:
+// result[i] is participant xs[i]'s share vector (one share per chunk).
+func shareKey(secret [32]byte, t int, xs []field.Element, rand io.Reader) ([][numKeyChunks]shamir.Share, error) {
+	chunks := bytesToChunks(secret)
+	perChunk := make([][]shamir.Share, numKeyChunks)
+	for c := 0; c < numKeyChunks; c++ {
+		shares, err := shamir.Split(chunks[c], t, xs, rand)
+		if err != nil {
+			return nil, fmt.Errorf("secagg: sharing key chunk %d: %w", c, err)
+		}
+		perChunk[c] = shares
+	}
+	out := make([][numKeyChunks]shamir.Share, len(xs))
+	for i := range xs {
+		for c := 0; c < numKeyChunks; c++ {
+			out[i][c] = perChunk[c][i]
+		}
+	}
+	return out, nil
+}
+
+// reconstructKey recovers the 32-byte secret from at least t share
+// bundles.
+func reconstructKey(bundles [][numKeyChunks]shamir.Share, t int) ([32]byte, error) {
+	var chunks [numKeyChunks]field.Element
+	for c := 0; c < numKeyChunks; c++ {
+		shares := make([]shamir.Share, len(bundles))
+		for i := range bundles {
+			shares[i] = bundles[i][c]
+		}
+		v, err := shamir.Reconstruct(shares, t)
+		if err != nil {
+			return [32]byte{}, fmt.Errorf("secagg: reconstructing key chunk %d: %w", c, err)
+		}
+		chunks[c] = v
+	}
+	return chunksToBytes(chunks), nil
+}

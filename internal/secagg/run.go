@@ -1,0 +1,175 @@
+package secagg
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/ring"
+	"repro/internal/sig"
+)
+
+// DropSchedule maps a client id to the stage *before* which it vanishes:
+// a client with DropSchedule[id] = StageMaskedInput completes AdvertiseKeys
+// and ShareKeys but never uploads its masked input (the paper's §6.1
+// dropout model: "they drop out after being sampled but before sending
+// their masked and perturbed update"). Clients absent from the map never
+// drop.
+type DropSchedule map[uint64]Stage
+
+// participates reports whether the client is still alive at the stage.
+func (d DropSchedule) participates(id uint64, s Stage) bool {
+	dropStage, drops := d[id]
+	return !drops || s < dropStage
+}
+
+// RunResult bundles the round outcome with the protocol actors, which
+// white-box tests inspect.
+type RunResult struct {
+	Result  Result
+	Server  *Server
+	Clients map[uint64]*Client
+}
+
+// Run executes one full aggregation round in-process: every live client's
+// stage methods are invoked in order, messages are routed exactly as the
+// server would, and dropouts are injected per the schedule. signers may be
+// nil in the semi-honest setting.
+func Run(cfg Config, inputs map[uint64]ring.Vector, signers map[uint64]*sig.Signer,
+	drops DropSchedule, rand io.Reader) (*RunResult, error) {
+
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	server, err := NewServer(cfg)
+	if err != nil {
+		return nil, err
+	}
+	clients := make(map[uint64]*Client, len(cfg.ClientIDs))
+	for _, id := range cfg.ClientIDs {
+		input, ok := inputs[id]
+		if !ok {
+			return nil, fmt.Errorf("secagg: no input for client %d", id)
+		}
+		var signer *sig.Signer
+		if signers != nil {
+			signer = signers[id]
+		}
+		c, err := NewClient(cfg, id, input, signer, rand)
+		if err != nil {
+			return nil, err
+		}
+		clients[id] = c
+	}
+
+	// Stage 0: AdvertiseKeys.
+	var adverts []AdvertiseMsg
+	for _, id := range cfg.ClientIDs {
+		if !drops.participates(id, StageAdvertiseKeys) {
+			continue
+		}
+		m, err := clients[id].AdvertiseKeys()
+		if err != nil {
+			return nil, fmt.Errorf("client %d advertise: %w", id, err)
+		}
+		adverts = append(adverts, m)
+	}
+	roster, err := server.CollectAdvertise(adverts)
+	if err != nil {
+		return nil, err
+	}
+
+	// Stage 1: ShareKeys.
+	perSender := make(map[uint64][]EncryptedShareMsg)
+	for _, m := range roster {
+		id := m.From
+		if !drops.participates(id, StageShareKeys) {
+			continue
+		}
+		cts, err := clients[id].ShareKeys(roster)
+		if err != nil {
+			return nil, fmt.Errorf("client %d share keys: %w", id, err)
+		}
+		perSender[id] = cts
+	}
+	deliveries, err := server.CollectShares(perSender)
+	if err != nil {
+		return nil, err
+	}
+
+	// Stage 2: MaskedInputCollection.
+	var maskedMsgs []MaskedInputMsg
+	for id, cts := range deliveries {
+		if !drops.participates(id, StageMaskedInput) {
+			continue
+		}
+		m, err := clients[id].MaskedInput(cts)
+		if err != nil {
+			return nil, fmt.Errorf("client %d masked input: %w", id, err)
+		}
+		maskedMsgs = append(maskedMsgs, m)
+	}
+	u3, err := server.CollectMasked(maskedMsgs)
+	if err != nil {
+		return nil, err
+	}
+
+	// Stage 3: ConsistencyCheck (uniform flow; signatures empty when
+	// semi-honest).
+	var consMsgs []ConsistencyMsg
+	for _, id := range u3 {
+		if !drops.participates(id, StageConsistencyCheck) {
+			continue
+		}
+		m, err := clients[id].ConsistencyCheck(u3)
+		if err != nil {
+			return nil, fmt.Errorf("client %d consistency: %w", id, err)
+		}
+		consMsgs = append(consMsgs, m)
+	}
+	unmaskReq, err := server.CollectConsistency(consMsgs)
+	if err != nil {
+		return nil, err
+	}
+
+	// Stage 4: Unmasking.
+	var unmaskMsgs []UnmaskMsg
+	for _, id := range unmaskReq.U4 {
+		if !drops.participates(id, StageUnmasking) {
+			continue
+		}
+		m, err := clients[id].Unmask(unmaskReq)
+		if err != nil {
+			return nil, fmt.Errorf("client %d unmask: %w", id, err)
+		}
+		unmaskMsgs = append(unmaskMsgs, m)
+	}
+	noiseReq, err := server.CollectUnmask(unmaskMsgs)
+	if err != nil {
+		return nil, err
+	}
+
+	// Stage 5: ExcessiveNoiseRemoval (only when survivors died between
+	// stages 2 and 4).
+	if noiseReq != nil {
+		var noiseMsgs []NoiseShareMsg
+		for _, id := range noiseReq.U5 {
+			if !drops.participates(id, StageNoiseRemoval) {
+				continue
+			}
+			m, err := clients[id].RevealNoiseShares(*noiseReq)
+			if err != nil {
+				return nil, fmt.Errorf("client %d noise shares: %w", id, err)
+			}
+			noiseMsgs = append(noiseMsgs, m)
+		}
+		if err := server.CollectNoiseShares(noiseMsgs); err != nil {
+			return nil, err
+		}
+	}
+
+	res, err := server.Finalize()
+	if err != nil {
+		return nil, err
+	}
+	return &RunResult{Result: res, Server: server, Clients: clients}, nil
+}

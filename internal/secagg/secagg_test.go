@@ -1,0 +1,502 @@
+package secagg
+
+import (
+	"crypto/rand"
+	"math"
+	"testing"
+
+	"repro/internal/field"
+	"repro/internal/ring"
+	"repro/internal/sig"
+	"repro/internal/xnoise"
+)
+
+// mkConfig builds a round config for n clients with ids 1..n.
+func mkConfig(n, t int, plan *xnoise.Plan) Config {
+	ids := make([]uint64, n)
+	for i := range ids {
+		ids[i] = uint64(i + 1)
+	}
+	return Config{
+		Round:     7,
+		ClientIDs: ids,
+		Threshold: t,
+		Bits:      20,
+		Dim:       64,
+		XNoise:    plan,
+	}
+}
+
+// mkInputs creates deterministic small inputs: client i's vector is
+// constant i (in ring representation).
+func mkInputs(cfg Config) map[uint64]ring.Vector {
+	out := make(map[uint64]ring.Vector, len(cfg.ClientIDs))
+	for _, id := range cfg.ClientIDs {
+		v := ring.NewVector(cfg.Bits, cfg.Dim)
+		for j := range v.Data {
+			v.Data[j] = id & v.Mask()
+		}
+		out[id] = v
+	}
+	return out
+}
+
+// expectedSum returns the ring sum of the inputs of the given survivors.
+func expectedSum(cfg Config, inputs map[uint64]ring.Vector, survivors []uint64) ring.Vector {
+	acc := ring.NewVector(cfg.Bits, cfg.Dim)
+	for _, id := range survivors {
+		if err := acc.AddInPlace(inputs[id]); err != nil {
+			panic(err)
+		}
+	}
+	return acc
+}
+
+func TestPlainRoundNoDropout(t *testing.T) {
+	cfg := mkConfig(5, 3, nil)
+	inputs := mkInputs(cfg)
+	rr, err := Run(cfg, inputs, nil, nil, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := expectedSum(cfg, inputs, cfg.ClientIDs)
+	got := ring.Vector{Bits: cfg.Bits, Data: rr.Result.Sum}
+	if !ring.Equal(got, want) {
+		t.Fatalf("aggregate mismatch: got %v want %v", got.Data[:4], want.Data[:4])
+	}
+	if len(rr.Result.Dropped) != 0 {
+		t.Errorf("dropped = %v, want none", rr.Result.Dropped)
+	}
+}
+
+func TestPlainRoundDropBeforeMaskedInput(t *testing.T) {
+	// The paper's canonical dropout point: after ShareKeys, before upload.
+	cfg := mkConfig(6, 3, nil)
+	inputs := mkInputs(cfg)
+	drops := DropSchedule{2: StageMaskedInput, 5: StageMaskedInput}
+	rr, err := Run(cfg, inputs, nil, drops, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := expectedSum(cfg, inputs, []uint64{1, 3, 4, 6})
+	got := ring.Vector{Bits: cfg.Bits, Data: rr.Result.Sum}
+	if !ring.Equal(got, want) {
+		t.Fatal("aggregate should equal the survivors' sum (dead pairwise masks cancelled)")
+	}
+	if len(rr.Result.Dropped) != 2 {
+		t.Errorf("dropped = %v", rr.Result.Dropped)
+	}
+}
+
+func TestPlainRoundDropAtEveryStage(t *testing.T) {
+	for _, stage := range []Stage{StageAdvertiseKeys, StageShareKeys, StageMaskedInput, StageUnmasking} {
+		cfg := mkConfig(6, 3, nil)
+		inputs := mkInputs(cfg)
+		drops := DropSchedule{4: stage}
+		rr, err := Run(cfg, inputs, nil, drops, rand.Reader)
+		if err != nil {
+			t.Fatalf("stage %v: %v", stage, err)
+		}
+		// A client dropping at or before MaskedInput is excluded from the
+		// sum; dropping later it is included (its masked input arrived).
+		var surv []uint64
+		for _, id := range cfg.ClientIDs {
+			if id != 4 || stage > StageMaskedInput {
+				surv = append(surv, id)
+			}
+		}
+		want := expectedSum(cfg, inputs, surv)
+		got := ring.Vector{Bits: cfg.Bits, Data: rr.Result.Sum}
+		if !ring.Equal(got, want) {
+			t.Fatalf("stage %v: aggregate mismatch", stage)
+		}
+	}
+}
+
+func TestAbortWhenBelowThreshold(t *testing.T) {
+	cfg := mkConfig(4, 3, nil)
+	inputs := mkInputs(cfg)
+	drops := DropSchedule{1: StageMaskedInput, 2: StageMaskedInput}
+	if _, err := Run(cfg, inputs, nil, drops, rand.Reader); err == nil {
+		t.Fatal("round with |U3| < t must abort")
+	}
+}
+
+func TestXNoiseExactRemoval(t *testing.T) {
+	// White-box exactness: with XNoise, the aggregate equals
+	// Σ_{u∈U3} (Δ_u + Σ_k n_{u,k}) − Σ_{u∈U3} Σ_{k>|D|} n_{u,k}, computed
+	// independently from the clients' seeds.
+	plan := &xnoise.Plan{NumClients: 5, DropoutTolerance: 2, Threshold: 3, TargetVariance: 50}
+	cfg := mkConfig(5, 3, plan)
+	inputs := mkInputs(cfg)
+	drops := DropSchedule{2: StageMaskedInput}
+	rr, err := Run(cfg, inputs, nil, drops, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	survivors := rr.Result.Survivors
+	numDropped := len(cfg.ClientIDs) - len(survivors)
+
+	want := expectedSum(cfg, inputs, survivors)
+	keep := map[int]bool{}
+	for k := 0; k <= numDropped; k++ {
+		keep[k] = true
+	}
+	for _, id := range survivors {
+		seeds := rr.Clients[id].NoiseSeeds()
+		for k := 0; k <= plan.DropoutTolerance; k++ {
+			if !keep[k] {
+				continue // removed by the server
+			}
+			comp, err := xnoise.ComponentNoise(*plan, xnoise.SkellamSampler, seeds[k], k, cfg.Dim)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := want.AddSignedInPlace(comp); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	got := ring.Vector{Bits: cfg.Bits, Data: rr.Result.Sum}
+	if !ring.Equal(got, want) {
+		t.Fatal("XNoise removal is not exact")
+	}
+	if len(rr.Result.RemovedComponents) != plan.DropoutTolerance-numDropped {
+		t.Errorf("removed components %v", rr.Result.RemovedComponents)
+	}
+}
+
+func TestXNoiseResidualVariance(t *testing.T) {
+	// Statistical check of Theorem 1 through the full protocol: residual
+	// noise variance ≈ σ²* for dropout 0, 1, 2.
+	const dim = 16384
+	for _, numDropped := range []int{0, 1, 2} {
+		plan := &xnoise.Plan{NumClients: 5, DropoutTolerance: 2, Threshold: 3, TargetVariance: 100}
+		cfg := mkConfig(5, 3, plan)
+		cfg.Dim = dim
+		inputs := mkInputs(cfg)
+		drops := DropSchedule{}
+		for i := 0; i < numDropped; i++ {
+			drops[uint64(i+1)] = StageMaskedInput
+		}
+		rr, err := Run(cfg, inputs, nil, drops, rand.Reader)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := expectedSum(cfg, inputs, rr.Result.Survivors)
+		got := ring.Vector{Bits: cfg.Bits, Data: rr.Result.Sum}
+		if err := got.SubInPlace(want); err != nil {
+			t.Fatal(err)
+		}
+		residual := got.Centered()
+		var sum, sumSq float64
+		for _, v := range residual {
+			f := float64(v)
+			sum += f
+			sumSq += f * f
+		}
+		mean := sum / float64(dim)
+		variance := sumSq/float64(dim) - mean*mean
+		if math.Abs(variance-plan.TargetVariance)/plan.TargetVariance > 0.1 {
+			t.Errorf("|D|=%d: residual variance %v, want ≈%v", numDropped, variance, plan.TargetVariance)
+		}
+	}
+}
+
+func TestXNoiseMidRemovalDropout(t *testing.T) {
+	// A client that uploaded its masked input but dies before Unmasking
+	// (U3\U5): the server reconstructs its seeds via stage 5 and removal
+	// still lands exactly on target.
+	plan := &xnoise.Plan{NumClients: 5, DropoutTolerance: 2, Threshold: 3, TargetVariance: 50}
+	cfg := mkConfig(5, 3, plan)
+	inputs := mkInputs(cfg)
+	drops := DropSchedule{3: StageUnmasking} // in U3, not in U5
+	rr, err := Run(cfg, inputs, nil, drops, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Client 3 IS a survivor (its input is in the sum), and |D| = 0, so
+	// all components k ∈ {1,2} of every survivor (incl. 3) are removed.
+	if len(rr.Result.Survivors) != 5 {
+		t.Fatalf("survivors = %v", rr.Result.Survivors)
+	}
+	want := expectedSum(cfg, inputs, rr.Result.Survivors)
+	for _, id := range rr.Result.Survivors {
+		seeds := rr.Clients[id].NoiseSeeds()
+		comp, err := xnoise.ComponentNoise(*plan, xnoise.SkellamSampler, seeds[0], 0, cfg.Dim)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := want.AddSignedInPlace(comp); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := ring.Vector{Bits: cfg.Bits, Data: rr.Result.Sum}
+	if !ring.Equal(got, want) {
+		t.Fatal("mid-removal dropout: reconstruction-based removal not exact")
+	}
+}
+
+func TestMaliciousModeHappyPath(t *testing.T) {
+	cfg := mkConfig(5, 4, nil) // 2t > |U|
+	cfg.Malicious = true
+	cfg.Registry = sig.NewRegistry()
+	signers := make(map[uint64]*sig.Signer)
+	for _, id := range cfg.ClientIDs {
+		s, err := sig.NewSigner(rand.Reader)
+		if err != nil {
+			t.Fatal(err)
+		}
+		signers[id] = s
+		if err := cfg.Registry.Register(id, s.Public()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	inputs := mkInputs(cfg)
+	rr, err := Run(cfg, inputs, signers, nil, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := expectedSum(cfg, inputs, cfg.ClientIDs)
+	got := ring.Vector{Bits: cfg.Bits, Data: rr.Result.Sum}
+	if !ring.Equal(got, want) {
+		t.Fatal("malicious-mode aggregate mismatch")
+	}
+}
+
+func TestMaliciousDetectsForgedAdvertisement(t *testing.T) {
+	cfg := mkConfig(4, 3, nil)
+	cfg.Malicious = true
+	cfg.Registry = sig.NewRegistry()
+	signers := make(map[uint64]*sig.Signer)
+	for _, id := range cfg.ClientIDs {
+		s, _ := sig.NewSigner(rand.Reader)
+		signers[id] = s
+		cfg.Registry.Register(id, s.Public())
+	}
+	inputs := mkInputs(cfg)
+
+	// Build clients manually; tamper with client 2's advertisement as a
+	// malicious server would when impersonating.
+	c1, err := NewClient(cfg, 1, inputs[1], signers[1], rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var roster []AdvertiseMsg
+	for _, id := range cfg.ClientIDs {
+		c, err := NewClient(cfg, id, inputs[id], signers[id], rand.Reader)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := c.AdvertiseKeys()
+		if err != nil {
+			t.Fatal(err)
+		}
+		roster = append(roster, m)
+	}
+	// Swap client 2's mask key for an attacker-chosen one, keeping the
+	// stale signature.
+	evil, _ := NewClient(cfg, 2, inputs[2], signers[2], rand.Reader)
+	em, _ := evil.AdvertiseKeys()
+	roster[1].MaskPub = em.MaskPub
+
+	if _, err := c1.ShareKeys(roster); err == nil {
+		t.Fatal("client must reject a roster entry with an invalid signature")
+	}
+}
+
+func TestMaliciousDetectsUnderstatedDropout(t *testing.T) {
+	// §3.3 headline attack: the server claims a dropped client survived
+	// (to trick survivors into removing more noise). Clients must reject
+	// the unmask request because the phantom survivor has no valid
+	// consistency signature.
+	plan := &xnoise.Plan{NumClients: 5, DropoutTolerance: 2, Threshold: 3, TargetVariance: 50}
+	cfg := mkConfig(5, 3, plan)
+	cfg.Malicious = true
+	cfg.Registry = sig.NewRegistry()
+	signers := make(map[uint64]*sig.Signer)
+	for _, id := range cfg.ClientIDs {
+		s, _ := sig.NewSigner(rand.Reader)
+		signers[id] = s
+		cfg.Registry.Register(id, s.Public())
+	}
+	inputs := mkInputs(cfg)
+
+	clients := make(map[uint64]*Client)
+	server, err := NewServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var adverts []AdvertiseMsg
+	for _, id := range cfg.ClientIDs {
+		c, err := NewClient(cfg, id, inputs[id], signers[id], rand.Reader)
+		if err != nil {
+			t.Fatal(err)
+		}
+		clients[id] = c
+		m, err := c.AdvertiseKeys()
+		if err != nil {
+			t.Fatal(err)
+		}
+		adverts = append(adverts, m)
+	}
+	roster, err := server.CollectAdvertise(adverts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perSender := make(map[uint64][]EncryptedShareMsg)
+	for _, id := range cfg.ClientIDs {
+		cts, err := clients[id].ShareKeys(roster)
+		if err != nil {
+			t.Fatal(err)
+		}
+		perSender[id] = cts
+	}
+	deliveries, err := server.CollectShares(perSender)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Client 5 drops before masked input.
+	var maskedMsgs []MaskedInputMsg
+	for id, cts := range deliveries {
+		if id == 5 {
+			continue
+		}
+		m, err := clients[id].MaskedInput(cts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		maskedMsgs = append(maskedMsgs, m)
+	}
+	u3, err := server.CollectMasked(maskedMsgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The malicious server LIES: it claims client 5 is in U3.
+	lyingU3 := append(append([]uint64(nil), u3...), 5)
+	var consMsgs []ConsistencyMsg
+	for _, id := range u3 {
+		m, err := clients[id].ConsistencyCheck(lyingU3)
+		if err == nil {
+			consMsgs = append(consMsgs, m)
+		}
+	}
+	// ConsistencyCheck itself rejects (5 ∉ client's U2? it IS in U2 —
+	// 5 completed ShareKeys). So the rejection happens at Unmask: the
+	// server cannot produce 5's signature over (round, lyingU3).
+	sigs := make(map[uint64][]byte)
+	for _, m := range consMsgs {
+		sigs[m.From] = m.Signature
+	}
+	req := UnmaskRequest{U3: lyingU3, U4: lyingU3, Signatures: sigs}
+	for _, id := range u3 {
+		if _, err := clients[id].Unmask(req); err == nil {
+			t.Fatalf("client %d accepted an understated dropout outcome", id)
+		}
+	}
+}
+
+func TestClientRejectsShrunkU3(t *testing.T) {
+	// Server claiming fewer survivors than the client knows signed U3
+	// (overstated dropout → removing less noise is safe for privacy but
+	// U3 change between stages must still be caught).
+	cfg := mkConfig(4, 3, nil)
+	inputs := mkInputs(cfg)
+	clients := make(map[uint64]*Client)
+	server, _ := NewServer(cfg)
+	var adverts []AdvertiseMsg
+	for _, id := range cfg.ClientIDs {
+		c, _ := NewClient(cfg, id, inputs[id], nil, rand.Reader)
+		clients[id] = c
+		m, _ := c.AdvertiseKeys()
+		adverts = append(adverts, m)
+	}
+	roster, _ := server.CollectAdvertise(adverts)
+	perSender := make(map[uint64][]EncryptedShareMsg)
+	for _, id := range cfg.ClientIDs {
+		cts, _ := clients[id].ShareKeys(roster)
+		perSender[id] = cts
+	}
+	deliveries, _ := server.CollectShares(perSender)
+	var maskedMsgs []MaskedInputMsg
+	for id, cts := range deliveries {
+		m, err := clients[id].MaskedInput(cts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		maskedMsgs = append(maskedMsgs, m)
+	}
+	u3, _ := server.CollectMasked(maskedMsgs)
+	if _, err := clients[1].ConsistencyCheck(u3); err != nil {
+		t.Fatal(err)
+	}
+	// Doctored request: U3 shrunk after the client pinned it.
+	req := UnmaskRequest{U3: u3[:3], U4: u3[:3]}
+	if _, err := clients[1].Unmask(req); err == nil {
+		t.Fatal("client accepted a changed U3")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	good := mkConfig(4, 3, nil)
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cases := []func(*Config){
+		func(c *Config) { c.ClientIDs = c.ClientIDs[:1] },
+		func(c *Config) { c.ClientIDs = []uint64{3, 1, 2, 4} },
+		func(c *Config) { c.ClientIDs = []uint64{1, 1, 2, 3} },
+		func(c *Config) { c.Threshold = 1 },
+		func(c *Config) { c.Threshold = 9 },
+		func(c *Config) { c.Bits = 1 },
+		func(c *Config) { c.Dim = 0 },
+		func(c *Config) { c.Malicious = true },                                                  // no registry
+		func(c *Config) { c.Malicious = true; c.Registry = sig.NewRegistry(); c.Threshold = 2 }, // 2t <= |U|
+		func(c *Config) {
+			c.XNoise = &xnoise.Plan{NumClients: 3, DropoutTolerance: 0, Threshold: 3, TargetVariance: 1}
+		},
+		func(c *Config) {
+			c.XNoise = &xnoise.Plan{NumClients: 4, DropoutTolerance: 0, Threshold: 2, TargetVariance: 1}
+		},
+	}
+	for i, mutate := range cases {
+		c := mkConfig(4, 3, nil)
+		mutate(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d should fail validation", i)
+		}
+	}
+}
+
+func TestKeyChunkRoundTrip(t *testing.T) {
+	var secret [32]byte
+	for i := range secret {
+		secret[i] = byte(i*7 + 3)
+	}
+	if back := chunksToBytes(bytesToChunks(secret)); back != secret {
+		t.Fatal("chunk round trip failed")
+	}
+}
+
+func TestKeyShareReconstruct(t *testing.T) {
+	var secret [32]byte
+	copy(secret[:], []byte("a 32 byte x25519 private scalar!"))
+	xs := make([]field.Element, 5)
+	for i := range xs {
+		xs[i] = field.New(uint64(i + 1))
+	}
+	bundles, err := shareKey(secret, 3, xs, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := reconstructKey(bundles[1:4], 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != secret {
+		t.Fatal("key reconstruction mismatch")
+	}
+	if _, err := reconstructKey(bundles[:2], 3); err == nil {
+		t.Fatal("sub-threshold reconstruction should fail")
+	}
+}

@@ -1,0 +1,369 @@
+package secagg
+
+import (
+	"fmt"
+
+	"repro/internal/dh"
+	"repro/internal/field"
+	"repro/internal/prg"
+	"repro/internal/ring"
+	"repro/internal/shamir"
+	"repro/internal/xnoise"
+)
+
+// Server is the aggregator's state machine for one round. Like Client, its
+// methods are called in stage order and return an error when the protocol
+// must abort (fewer than t responses at any stage).
+type Server struct {
+	cfg Config
+
+	roster map[uint64]AdvertiseMsg
+	u1     []uint64
+	u2     []uint64
+	u3     []uint64
+	u4     []uint64
+	u5     []uint64
+
+	outbox map[uint64][]EncryptedShareMsg // recipient → relayed ciphertexts
+	masked map[uint64]ring.Vector
+	sigs   map[uint64][]byte // stage-3 signatures
+
+	// Unmasking state.
+	maskKeyShares  map[uint64][][numKeyChunks]shamir.Share // dropped v → collected bundles
+	selfSeedShares map[uint64][]shamir.Share               // live v → collected shares
+	noiseSeeds     map[uint64]map[int]field.Element        // client → k → seed
+	noiseShares    map[uint64]map[int][]shamir.Share       // U3\U5 client → k → shares
+
+	sum ring.Vector
+}
+
+// NewServer constructs the aggregator for a round.
+func NewServer(cfg Config) (*Server, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Server{cfg: cfg}, nil
+}
+
+// CollectAdvertise ingests stage-0 messages and returns the roster
+// broadcast for stage 1. Fewer than t advertisements abort the round.
+func (s *Server) CollectAdvertise(msgs []AdvertiseMsg) ([]AdvertiseMsg, error) {
+	s.roster = make(map[uint64]AdvertiseMsg, len(msgs))
+	for _, m := range msgs {
+		if _, err := s.cfg.indexOf(m.From); err != nil {
+			return nil, err
+		}
+		if _, dup := s.roster[m.From]; dup {
+			return nil, fmt.Errorf("secagg: duplicate advertisement from %d", m.From)
+		}
+		s.roster[m.From] = m
+	}
+	if len(s.roster) < s.cfg.Threshold {
+		return nil, fmt.Errorf("secagg: |U1|=%d < t=%d, aborting", len(s.roster), s.cfg.Threshold)
+	}
+	s.u1 = sortedIDs(s.roster)
+	out := make([]AdvertiseMsg, 0, len(s.u1))
+	for _, id := range s.u1 {
+		out = append(out, s.roster[id])
+	}
+	return out, nil
+}
+
+// CollectShares ingests stage-1 ciphertext lists (one list per sender) and
+// routes each ciphertext to its recipient's outbox. The senders form U2.
+func (s *Server) CollectShares(perSender map[uint64][]EncryptedShareMsg) (map[uint64][]EncryptedShareMsg, error) {
+	if len(perSender) < s.cfg.Threshold {
+		return nil, fmt.Errorf("secagg: |U2|=%d < t=%d, aborting", len(perSender), s.cfg.Threshold)
+	}
+	s.outbox = make(map[uint64][]EncryptedShareMsg)
+	u2set := make(map[uint64]struct{}, len(perSender))
+	for sender, cts := range perSender {
+		if _, inU1 := s.roster[sender]; !inU1 {
+			return nil, fmt.Errorf("secagg: shares from client %d outside U1", sender)
+		}
+		u2set[sender] = struct{}{}
+		for _, ct := range cts {
+			if ct.From != sender {
+				return nil, fmt.Errorf("secagg: ciphertext spoofing: %d claimed by %d", ct.From, sender)
+			}
+			s.outbox[ct.To] = append(s.outbox[ct.To], ct)
+		}
+	}
+	s.u2 = setToSorted(u2set)
+	// Deliver to each recipient only ciphertexts from members of U2 (a
+	// recipient cannot use shares from clients that never sent theirs).
+	deliver := make(map[uint64][]EncryptedShareMsg, len(s.u2))
+	for _, recipient := range s.u2 {
+		var list []EncryptedShareMsg
+		for _, ct := range s.outbox[recipient] {
+			if _, ok := u2set[ct.From]; ok {
+				list = append(list, ct)
+			}
+		}
+		deliver[recipient] = list
+	}
+	return deliver, nil
+}
+
+// CollectMasked ingests stage-2 masked inputs; the senders form U3.
+func (s *Server) CollectMasked(msgs []MaskedInputMsg) ([]uint64, error) {
+	s.masked = make(map[uint64]ring.Vector, len(msgs))
+	u3set := make(map[uint64]struct{}, len(msgs))
+	for _, m := range msgs {
+		if !contains(s.u2, m.From) {
+			return nil, fmt.Errorf("secagg: masked input from %d outside U2", m.From)
+		}
+		if len(m.Y) != s.cfg.Dim {
+			return nil, fmt.Errorf("secagg: masked input from %d has dim %d, want %d", m.From, len(m.Y), s.cfg.Dim)
+		}
+		v := ring.Vector{Bits: s.cfg.Bits, Data: append([]uint64(nil), m.Y...)}
+		s.masked[m.From] = v
+		u3set[m.From] = struct{}{}
+	}
+	if len(u3set) < s.cfg.Threshold {
+		return nil, fmt.Errorf("secagg: |U3|=%d < t=%d, aborting", len(u3set), s.cfg.Threshold)
+	}
+	s.u3 = setToSorted(u3set)
+	return append([]uint64(nil), s.u3...), nil
+}
+
+// CollectConsistency ingests stage-3 signatures (malicious mode) and
+// returns the stage-4 unmask request. In semi-honest mode, call it with
+// one ConsistencyMsg per live client carrying no signature.
+func (s *Server) CollectConsistency(msgs []ConsistencyMsg) (UnmaskRequest, error) {
+	s.sigs = make(map[uint64][]byte, len(msgs))
+	u4set := make(map[uint64]struct{}, len(msgs))
+	for _, m := range msgs {
+		if !contains(s.u3, m.From) {
+			return UnmaskRequest{}, fmt.Errorf("secagg: consistency from %d outside U3", m.From)
+		}
+		u4set[m.From] = struct{}{}
+		s.sigs[m.From] = m.Signature
+	}
+	if len(u4set) < s.cfg.Threshold {
+		return UnmaskRequest{}, fmt.Errorf("secagg: |U4|=%d < t=%d, aborting", len(u4set), s.cfg.Threshold)
+	}
+	s.u4 = setToSorted(u4set)
+	req := UnmaskRequest{
+		U3: append([]uint64(nil), s.u3...),
+		U4: append([]uint64(nil), s.u4...),
+	}
+	if s.cfg.Malicious {
+		req.Signatures = make(map[uint64][]byte, len(s.sigs))
+		for id, sg := range s.sigs {
+			req.Signatures[id] = sg
+		}
+	}
+	return req, nil
+}
+
+// CollectUnmask ingests stage-4 responses (the senders form U5), unmasks
+// the aggregate, and returns the stage-5 request (XNoise) or nil when no
+// stage 5 is needed.
+func (s *Server) CollectUnmask(msgs []UnmaskMsg) (*NoiseShareRequest, error) {
+	s.maskKeyShares = make(map[uint64][][numKeyChunks]shamir.Share)
+	s.selfSeedShares = make(map[uint64][]shamir.Share)
+	s.noiseSeeds = make(map[uint64]map[int]field.Element)
+	u5set := make(map[uint64]struct{}, len(msgs))
+	for _, m := range msgs {
+		if !contains(s.u4, m.From) {
+			return nil, fmt.Errorf("secagg: unmask response from %d outside U4", m.From)
+		}
+		u5set[m.From] = struct{}{}
+		for v, sh := range m.MaskKeyShares {
+			s.maskKeyShares[v] = append(s.maskKeyShares[v], sh)
+		}
+		for v, sh := range m.SelfSeedShares {
+			s.selfSeedShares[v] = append(s.selfSeedShares[v], sh)
+		}
+		if m.OwnNoiseSeeds != nil {
+			seeds := make(map[int]field.Element, len(m.OwnNoiseSeeds))
+			for k, g := range m.OwnNoiseSeeds {
+				seeds[k] = g
+			}
+			s.noiseSeeds[m.From] = seeds
+		}
+	}
+	if len(u5set) < s.cfg.Threshold {
+		return nil, fmt.Errorf("secagg: |U5|=%d < t=%d, aborting", len(u5set), s.cfg.Threshold)
+	}
+	s.u5 = setToSorted(u5set)
+
+	if err := s.unmask(); err != nil {
+		return nil, err
+	}
+
+	if s.cfg.XNoise == nil {
+		return nil, nil
+	}
+	// Stage 5 is needed when some aggregated client died before reporting
+	// its seeds (U3 \ U5 ≠ ∅).
+	if len(s.u3) == len(s.u5) {
+		return nil, nil
+	}
+	return &NoiseShareRequest{U5: append([]uint64(nil), s.u5...)}, nil
+}
+
+// unmask computes z = Σ_{u∈U3} y_u − Σ_{u∈U3} p_u + Σ_{u∈U3, v∈U2\U3} p_{v,u}.
+func (s *Server) unmask() error {
+	z := ring.NewVector(s.cfg.Bits, s.cfg.Dim)
+	for _, u := range s.u3 {
+		if err := z.AddInPlace(s.masked[u]); err != nil {
+			return err
+		}
+	}
+	// Remove self masks of live clients via reconstructed b_u.
+	for _, u := range s.u3 {
+		shares := s.selfSeedShares[u]
+		b, err := shamir.Reconstruct(shares, s.cfg.Threshold)
+		if err != nil {
+			return fmt.Errorf("secagg: reconstructing b_%d: %w", u, err)
+		}
+		if err := z.MaskInPlace(prg.NewStreamFromElement(b), -1); err != nil {
+			return err
+		}
+	}
+	// Remove the unpaired pairwise masks of dropped clients v ∈ U2\U3.
+	for _, v := range s.u2 {
+		if contains(s.u3, v) {
+			continue
+		}
+		bundles := s.maskKeyShares[v]
+		keyBytes, err := reconstructKey(bundles, s.cfg.Threshold)
+		if err != nil {
+			return fmt.Errorf("secagg: reconstructing s^SK_%d: %w", v, err)
+		}
+		kp, err := dh.FromPrivateBytes(keyBytes)
+		if err != nil {
+			return err
+		}
+		// Sanity: the rebuilt key must match the advertised public key —
+		// detects clients that shared a wrong key (malicious behavior).
+		if adv := s.roster[v].MaskPub; !equalBytes(kp.PublicBytes(), adv) {
+			return fmt.Errorf("secagg: reconstructed key of %d does not match advertisement", v)
+		}
+		// Only v's neighbors masked with v.
+		vNbrs := toSet(s.cfg.neighborhood(v))
+		for _, u := range s.u3 {
+			if _, ok := vNbrs[u]; !ok {
+				continue
+			}
+			stream, uSign, err := pairMaskStream(kp, s.roster[u].MaskPub, u, v)
+			if err != nil {
+				return err
+			}
+			// Client u added γ_{u,v}·PRG; cancel it.
+			if err := z.MaskInPlace(stream, -uSign); err != nil {
+				return err
+			}
+		}
+	}
+	s.sum = z
+	return nil
+}
+
+// CollectNoiseShares ingests stage-5 responses and reconstructs the
+// removable seeds of clients in U3\U5.
+func (s *Server) CollectNoiseShares(msgs []NoiseShareMsg) error {
+	if s.cfg.XNoise == nil {
+		return nil
+	}
+	if len(msgs) < s.cfg.Threshold {
+		return fmt.Errorf("secagg: |U6|=%d < t=%d, aborting", len(msgs), s.cfg.Threshold)
+	}
+	s.noiseShares = make(map[uint64]map[int][]shamir.Share)
+	for _, m := range msgs {
+		if !contains(s.u5, m.From) {
+			return fmt.Errorf("secagg: noise shares from %d outside U5", m.From)
+		}
+		for v, byK := range m.Shares {
+			if contains(s.u5, v) || !contains(s.u3, v) {
+				return fmt.Errorf("secagg: unsolicited noise shares for %d", v)
+			}
+			if s.noiseShares[v] == nil {
+				s.noiseShares[v] = make(map[int][]shamir.Share)
+			}
+			for k, sh := range byK {
+				s.noiseShares[v][k] = append(s.noiseShares[v][k], sh)
+			}
+		}
+	}
+	numDropped := len(s.cfg.ClientIDs) - len(s.u3)
+	ks := s.cfg.XNoise.RemovalComponents(numDropped)
+	for _, v := range s.u3 {
+		if contains(s.u5, v) {
+			continue
+		}
+		seeds := make(map[int]field.Element, len(ks))
+		for _, k := range ks {
+			g, err := shamir.Reconstruct(s.noiseShares[v][k], s.cfg.Threshold)
+			if err != nil {
+				return fmt.Errorf("secagg: reconstructing g_{%d,%d}: %w", v, k, err)
+			}
+			seeds[k] = g
+		}
+		s.noiseSeeds[v] = seeds
+	}
+	return nil
+}
+
+// Finalize removes the excessive XNoise components (if configured) and
+// returns the round result.
+func (s *Server) Finalize() (Result, error) {
+	if s.sum.Data == nil {
+		return Result{}, fmt.Errorf("secagg: Finalize before unmasking")
+	}
+	res := Result{
+		Survivors: append([]uint64(nil), s.u3...),
+	}
+	for _, id := range s.cfg.ClientIDs {
+		if !contains(s.u3, id) {
+			res.Dropped = append(res.Dropped, id)
+		}
+	}
+	if s.cfg.XNoise != nil {
+		numDropped := len(res.Dropped)
+		ks := s.cfg.XNoise.RemovalComponents(numDropped)
+		res.RemovedComponents = ks
+		if len(ks) > 0 {
+			seedsByClient := make(map[uint64]map[int]field.Element, len(s.u3))
+			for _, u := range s.u3 {
+				seeds, ok := s.noiseSeeds[u]
+				if !ok {
+					return Result{}, fmt.Errorf("secagg: missing noise seeds for survivor %d", u)
+				}
+				seedsByClient[u] = seeds
+			}
+			removal, err := xnoise.RemovalNoise(*s.cfg.XNoise, s.cfg.sampler(), seedsByClient, numDropped, s.cfg.Dim)
+			if err != nil {
+				return Result{}, err
+			}
+			if err := s.sum.SubSignedInPlace(removal); err != nil {
+				return Result{}, err
+			}
+		}
+	}
+	res.Sum = append([]uint64(nil), s.sum.Data...)
+	return res, nil
+}
+
+func contains(ids []uint64, id uint64) bool {
+	for _, v := range ids {
+		if v == id {
+			return true
+		}
+	}
+	return false
+}
+
+func equalBytes(a, b []byte) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,253 @@
+package secaggplus
+
+import (
+	"crypto/rand"
+	"math"
+	"testing"
+
+	"repro/internal/ring"
+	"repro/internal/secagg"
+	"repro/internal/xnoise"
+)
+
+func ids(n int) []uint64 {
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = uint64(i + 1)
+	}
+	return out
+}
+
+func TestCirculantGraphProperties(t *testing.T) {
+	g, err := NewCirculantGraph(ids(20), 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range ids(20) {
+		nbrs := g.Neighbors(id)
+		if len(nbrs) != 6 {
+			t.Fatalf("node %d degree %d, want 6", id, len(nbrs))
+		}
+		for _, v := range nbrs {
+			if v == id {
+				t.Fatalf("node %d is its own neighbor", id)
+			}
+			// Symmetry.
+			found := false
+			for _, back := range g.Neighbors(v) {
+				if back == id {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("asymmetric edge %d→%d", id, v)
+			}
+		}
+	}
+}
+
+func TestCirculantGraphConnected(t *testing.T) {
+	g, err := NewCirculantGraph(ids(31), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	visited := map[uint64]bool{1: true}
+	frontier := []uint64{1}
+	for len(frontier) > 0 {
+		next := frontier[0]
+		frontier = frontier[1:]
+		for _, v := range g.Neighbors(next) {
+			if !visited[v] {
+				visited[v] = true
+				frontier = append(frontier, v)
+			}
+		}
+	}
+	if len(visited) != 31 {
+		t.Fatalf("graph not connected: reached %d of 31", len(visited))
+	}
+}
+
+func TestCirculantGraphClamping(t *testing.T) {
+	// Odd degree rounds up; degree ≥ n clamps to complete.
+	g, err := NewCirculantGraph(ids(10), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Degree() != 4 {
+		t.Errorf("odd degree should round to 4, got %d", g.Degree())
+	}
+	g2, err := NewCirculantGraph(ids(5), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.Degree() != 4 {
+		t.Errorf("degree should clamp to n-1=4, got %d", g2.Degree())
+	}
+	if len(g2.Neighbors(3)) != 4 {
+		t.Errorf("complete neighborhoods expected")
+	}
+}
+
+func TestCirculantGraphErrors(t *testing.T) {
+	if _, err := NewCirculantGraph(ids(1), 2); err == nil {
+		t.Error("n=1 should error")
+	}
+	if _, err := NewCirculantGraph(ids(5), 1); err == nil {
+		t.Error("degree 1 should error")
+	}
+	if _, err := NewCirculantGraph([]uint64{1, 1, 2}, 2); err == nil {
+		t.Error("duplicate ids should error")
+	}
+	g, _ := NewCirculantGraph(ids(5), 2)
+	if g.Neighbors(99) != nil {
+		t.Error("unknown node should have no neighbors")
+	}
+}
+
+func TestRecommendedDegreeGrowsLogarithmically(t *testing.T) {
+	d100 := RecommendedDegree(100)
+	d10000 := RecommendedDegree(10000)
+	if d10000 <= d100 {
+		t.Errorf("degree should grow with n: %d vs %d", d100, d10000)
+	}
+	// log₂(10000)/log₂(100) = 2, so roughly doubles, not ×100.
+	if d10000 > 3*d100 {
+		t.Errorf("degree growth not logarithmic: %d vs %d", d100, d10000)
+	}
+	if RecommendedDegree(2) != 2 {
+		t.Errorf("tiny n should floor at 2")
+	}
+	if d := RecommendedDegree(16); d%2 != 0 {
+		t.Errorf("degree should be even, got %d", d)
+	}
+}
+
+func TestSecAggPlusRoundNoDropout(t *testing.T) {
+	base := secagg.Config{
+		Round: 3, ClientIDs: ids(12), Threshold: 5, Bits: 20, Dim: 32,
+	}
+	cfg, err := NewConfig(base, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	inputs := make(map[uint64]ring.Vector)
+	want := ring.NewVector(cfg.Bits, cfg.Dim)
+	for _, id := range cfg.ClientIDs {
+		v := ring.NewVector(cfg.Bits, cfg.Dim)
+		for j := range v.Data {
+			v.Data[j] = (id*31 + uint64(j)) & v.Mask()
+		}
+		inputs[id] = v
+		want.AddInPlace(v)
+	}
+	rr, err := secagg.Run(cfg, inputs, nil, nil, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := ring.Vector{Bits: cfg.Bits, Data: rr.Result.Sum}
+	if !ring.Equal(got, want) {
+		t.Fatal("SecAgg+ aggregate mismatch")
+	}
+}
+
+func TestSecAggPlusRoundWithDropout(t *testing.T) {
+	base := secagg.Config{
+		Round: 3, ClientIDs: ids(12), Threshold: 4, Bits: 20, Dim: 32,
+	}
+	cfg, err := NewConfig(base, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inputs := make(map[uint64]ring.Vector)
+	for _, id := range cfg.ClientIDs {
+		v := ring.NewVector(cfg.Bits, cfg.Dim)
+		for j := range v.Data {
+			v.Data[j] = id & v.Mask()
+		}
+		inputs[id] = v
+	}
+	drops := secagg.DropSchedule{4: secagg.StageMaskedInput, 9: secagg.StageMaskedInput}
+	rr, err := secagg.Run(cfg, inputs, nil, drops, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := ring.NewVector(cfg.Bits, cfg.Dim)
+	for _, id := range cfg.ClientIDs {
+		if id == 4 || id == 9 {
+			continue
+		}
+		want.AddInPlace(inputs[id])
+	}
+	got := ring.Vector{Bits: cfg.Bits, Data: rr.Result.Sum}
+	if !ring.Equal(got, want) {
+		t.Fatal("SecAgg+ dropout aggregate mismatch")
+	}
+}
+
+func TestSecAggPlusWithXNoise(t *testing.T) {
+	// Dordis's generality claim: XNoise composes with SecAgg+ unchanged.
+	n := 10
+	plan := &xnoise.Plan{NumClients: n, DropoutTolerance: 3, Threshold: 5, TargetVariance: 80}
+	base := secagg.Config{
+		Round: 1, ClientIDs: ids(n), Threshold: 5, Bits: 20, Dim: 8192, XNoise: plan,
+	}
+	cfg, err := NewConfig(base, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inputs := make(map[uint64]ring.Vector)
+	for _, id := range cfg.ClientIDs {
+		inputs[id] = ring.NewVector(cfg.Bits, cfg.Dim)
+	}
+	drops := secagg.DropSchedule{2: secagg.StageMaskedInput}
+	rr, err := secagg.Run(cfg, inputs, nil, drops, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Inputs are zero, so the sum is pure residual noise at σ²*.
+	got := ring.Vector{Bits: cfg.Bits, Data: rr.Result.Sum}
+	residual := got.Centered()
+	var sum, sumSq float64
+	for _, v := range residual {
+		f := float64(v)
+		sum += f
+		sumSq += f * f
+	}
+	mean := sum / float64(len(residual))
+	variance := sumSq/float64(len(residual)) - mean*mean
+	if math.Abs(variance-plan.TargetVariance)/plan.TargetVariance > 0.1 {
+		t.Errorf("residual variance %v, want ≈%v", variance, plan.TargetVariance)
+	}
+}
+
+func TestNewConfigLowersThresholdToNeighborhood(t *testing.T) {
+	base := secagg.Config{Round: 1, ClientIDs: ids(100), Threshold: 51, Bits: 20, Dim: 8}
+	cfg, err := NewConfig(base, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Threshold > 11 {
+		t.Errorf("threshold %d should fit neighborhood size 11", cfg.Threshold)
+	}
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCostsAsymptotics(t *testing.T) {
+	sa, sap := Costs(1000, 0)
+	if sa.Neighbors != 999 {
+		t.Errorf("SecAgg neighbors %d", sa.Neighbors)
+	}
+	if sap.Neighbors >= sa.Neighbors/10 {
+		t.Errorf("SecAgg+ neighbors %d not ≪ SecAgg %d", sap.Neighbors, sa.Neighbors)
+	}
+	if sap.MaskExpansions != sap.Neighbors+1 {
+		t.Errorf("mask expansions should be degree+1")
+	}
+}

@@ -1,0 +1,38 @@
+package shamir
+
+import (
+	"crypto/rand"
+	"fmt"
+	"testing"
+
+	"repro/internal/field"
+)
+
+// BenchmarkThresholdSweep is the ablation DESIGN.md calls out: how share
+// and reconstruction cost scale with the threshold t at fixed n = 100 —
+// the knob trading SecAgg robustness (small t) against collusion
+// resistance (large t, §3.4 requires 2t > |U|).
+func BenchmarkThresholdSweep(b *testing.B) {
+	const n = 100
+	secret := field.New(123456789)
+	for _, t := range []int{34, 51, 67, 90} {
+		b.Run(fmt.Sprintf("share/t=%d", t), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := SplitIndexed(secret, t, n, rand.Reader); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		shares, err := SplitIndexed(secret, t, n, rand.Reader)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("reconstruct/t=%d", t), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := Reconstruct(shares[:t], t); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,124 @@
+// Package shamir implements Shamir's t-out-of-n secret sharing over the
+// prime field GF(2^61 - 1).
+//
+// It is used by the Dordis protocol stack in two places mirroring the paper
+// (Fig. 5): SecAgg secret-shares each client's masking key s^SK and
+// self-mask seed b_u, and XNoise secret-shares the noise-component seeds
+// g_{u,k} so the server can still remove excessive noise when a client drops
+// out mid-protocol (§3.2, "Dropout-Resilient Noise Removal with Secret
+// Sharing").
+//
+// A share is bound to a participant index x (a non-zero field element); the
+// dealer evaluates a random degree-(t-1) polynomial with constant term equal
+// to the secret. Any t shares reconstruct via Lagrange interpolation at 0;
+// fewer than t shares reveal nothing (information-theoretically).
+package shamir
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/field"
+)
+
+// Share is one participant's share of a secret: the evaluation Y of the
+// dealer's polynomial at abscissa X.
+type Share struct {
+	X field.Element
+	Y field.Element
+}
+
+// Errors returned by the package.
+var (
+	ErrThreshold    = errors.New("shamir: threshold must satisfy 1 <= t <= n")
+	ErrTooFewShares = errors.New("shamir: not enough shares to reconstruct")
+	ErrDuplicateX   = errors.New("shamir: duplicate share abscissa")
+	ErrZeroX        = errors.New("shamir: share abscissa must be non-zero")
+)
+
+// Split shares secret among the participants identified by the non-zero,
+// pairwise-distinct abscissas xs, with reconstruction threshold t. Randomness
+// for the polynomial coefficients is drawn from rand.
+func Split(secret field.Element, t int, xs []field.Element, rand io.Reader) ([]Share, error) {
+	n := len(xs)
+	if t < 1 || t > n {
+		return nil, fmt.Errorf("%w: t=%d n=%d", ErrThreshold, t, n)
+	}
+	seen := make(map[field.Element]struct{}, n)
+	for _, x := range xs {
+		if x == 0 {
+			return nil, ErrZeroX
+		}
+		if _, dup := seen[x]; dup {
+			return nil, fmt.Errorf("%w: %v", ErrDuplicateX, x)
+		}
+		seen[x] = struct{}{}
+	}
+
+	coeffs := make([]field.Element, t)
+	coeffs[0] = secret
+	var buf [8]byte
+	for i := 1; i < t; i++ {
+		if _, err := io.ReadFull(rand, buf[:]); err != nil {
+			return nil, fmt.Errorf("shamir: reading randomness: %w", err)
+		}
+		coeffs[i] = field.RandomElement(buf)
+	}
+
+	shares := make([]Share, n)
+	for i, x := range xs {
+		shares[i] = Share{X: x, Y: field.EvalPoly(coeffs, x)}
+	}
+	return shares, nil
+}
+
+// SplitIndexed is a convenience wrapper that assigns abscissas 1..n.
+func SplitIndexed(secret field.Element, t, n int, rand io.Reader) ([]Share, error) {
+	xs := make([]field.Element, n)
+	for i := range xs {
+		xs[i] = field.New(uint64(i + 1))
+	}
+	return Split(secret, t, xs, rand)
+}
+
+// Reconstruct recovers the secret from at least t shares. Extra shares are
+// used (they must be consistent abscissa-wise, i.e. distinct); passing shares
+// from different sharings yields garbage, as with any Shamir scheme.
+func Reconstruct(shares []Share, t int) (field.Element, error) {
+	if len(shares) < t {
+		return 0, fmt.Errorf("%w: have %d, need %d", ErrTooFewShares, len(shares), t)
+	}
+	use := shares[:t]
+	xs := make([]field.Element, t)
+	ys := make([]field.Element, t)
+	for i, s := range use {
+		if s.X == 0 {
+			return 0, ErrZeroX
+		}
+		xs[i] = s.X
+		ys[i] = s.Y
+	}
+	v, err := field.LagrangeInterpolateAt(xs, ys, 0)
+	if err != nil {
+		return 0, fmt.Errorf("shamir: %w", err)
+	}
+	return v, nil
+}
+
+// Combine adds two sharings of the same participant set point-wise,
+// producing shares of the sum of the underlying secrets. Both inputs must
+// have matching abscissas in matching order.
+func Combine(a, b []Share) ([]Share, error) {
+	if len(a) != len(b) {
+		return nil, fmt.Errorf("shamir: combine length mismatch %d vs %d", len(a), len(b))
+	}
+	out := make([]Share, len(a))
+	for i := range a {
+		if a[i].X != b[i].X {
+			return nil, fmt.Errorf("shamir: combine abscissa mismatch at %d", i)
+		}
+		out[i] = Share{X: a[i].X, Y: field.Add(a[i].Y, b[i].Y)}
+	}
+	return out, nil
+}

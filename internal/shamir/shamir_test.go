@@ -1,0 +1,202 @@
+package shamir
+
+import (
+	"crypto/rand"
+	"errors"
+	mrand "math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/field"
+)
+
+func TestSplitReconstructExact(t *testing.T) {
+	secret := field.New(0xdeadbeefcafe)
+	shares, err := SplitIndexed(secret, 3, 5, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Reconstruct(shares[:3], 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != secret {
+		t.Fatalf("reconstructed %v, want %v", got, secret)
+	}
+}
+
+func TestReconstructFromAnySubset(t *testing.T) {
+	secret := field.New(42424242)
+	n, th := 7, 4
+	shares, err := SplitIndexed(secret, th, n, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := mrand.New(mrand.NewSource(9))
+	for trial := 0; trial < 30; trial++ {
+		perm := rng.Perm(n)
+		subset := make([]Share, th)
+		for i := 0; i < th; i++ {
+			subset[i] = shares[perm[i]]
+		}
+		got, err := Reconstruct(subset, th)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != secret {
+			t.Fatalf("subset %v reconstructed %v, want %v", perm[:th], got, secret)
+		}
+	}
+}
+
+func TestReconstructWithExtraShares(t *testing.T) {
+	secret := field.New(777)
+	shares, err := SplitIndexed(secret, 2, 5, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Reconstruct(shares, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != secret {
+		t.Fatalf("got %v want %v", got, secret)
+	}
+}
+
+func TestTooFewShares(t *testing.T) {
+	shares, err := SplitIndexed(field.New(1), 3, 5, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Reconstruct(shares[:2], 3); !errors.Is(err, ErrTooFewShares) {
+		t.Errorf("want ErrTooFewShares, got %v", err)
+	}
+}
+
+func TestThresholdValidation(t *testing.T) {
+	if _, err := SplitIndexed(field.New(1), 0, 5, rand.Reader); !errors.Is(err, ErrThreshold) {
+		t.Errorf("t=0: want ErrThreshold, got %v", err)
+	}
+	if _, err := SplitIndexed(field.New(1), 6, 5, rand.Reader); !errors.Is(err, ErrThreshold) {
+		t.Errorf("t>n: want ErrThreshold, got %v", err)
+	}
+}
+
+func TestZeroAbscissaRejected(t *testing.T) {
+	xs := []field.Element{0, 1, 2}
+	if _, err := Split(field.New(1), 2, xs, rand.Reader); !errors.Is(err, ErrZeroX) {
+		t.Errorf("want ErrZeroX, got %v", err)
+	}
+}
+
+func TestDuplicateAbscissaRejected(t *testing.T) {
+	xs := []field.Element{1, 2, 2}
+	if _, err := Split(field.New(1), 2, xs, rand.Reader); !errors.Is(err, ErrDuplicateX) {
+		t.Errorf("want ErrDuplicateX, got %v", err)
+	}
+}
+
+// TestSecrecy checks that t-1 shares are statistically independent of the
+// secret in the strongest testable sense: for two different secrets, the
+// same polynomial randomness cannot be observed, but any t-1 shares of a
+// random secret are consistent with every candidate secret (there exists an
+// interpolating polynomial). We verify consistency structurally.
+func TestSecrecyDegreesOfFreedom(t *testing.T) {
+	secretA := field.New(1111)
+	secretB := field.New(999999)
+	th := 3
+	sharesA, err := SplitIndexed(secretA, th, 5, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Take t-1 = 2 shares of A; together with (0, secretB) they define a
+	// unique degree-2 polynomial — i.e. the observed shares are perfectly
+	// consistent with secretB as well.
+	xs := []field.Element{0, sharesA[0].X, sharesA[1].X}
+	ys := []field.Element{secretB, sharesA[0].Y, sharesA[1].Y}
+	// Evaluate that polynomial at a fresh point; existence is what matters.
+	if _, err := field.LagrangeInterpolateAt(xs, ys, field.New(100)); err != nil {
+		t.Fatalf("t-1 shares not consistent with alternate secret: %v", err)
+	}
+}
+
+func TestCombineIsAdditive(t *testing.T) {
+	f := func(a, b uint64) bool {
+		sa := field.New(a)
+		sb := field.New(b)
+		sharesA, err := SplitIndexed(sa, 3, 5, rand.Reader)
+		if err != nil {
+			return false
+		}
+		sharesB, err := SplitIndexed(sb, 3, 5, rand.Reader)
+		if err != nil {
+			return false
+		}
+		sum, err := Combine(sharesA, sharesB)
+		if err != nil {
+			return false
+		}
+		got, err := Reconstruct(sum[:3], 3)
+		if err != nil {
+			return false
+		}
+		return got == field.Add(sa, sb)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCombineValidation(t *testing.T) {
+	sharesA, _ := SplitIndexed(field.New(1), 2, 3, rand.Reader)
+	sharesB, _ := SplitIndexed(field.New(2), 2, 4, rand.Reader)
+	if _, err := Combine(sharesA, sharesB); err == nil {
+		t.Error("length mismatch should error")
+	}
+	sharesC, _ := SplitIndexed(field.New(3), 2, 3, rand.Reader)
+	sharesC[0].X, sharesC[1].X = sharesC[1].X, sharesC[0].X
+	if _, err := Combine(sharesA, sharesC); err == nil {
+		t.Error("abscissa mismatch should error")
+	}
+}
+
+func TestWrongSharesGiveWrongSecret(t *testing.T) {
+	secret := field.New(31337)
+	shares, err := SplitIndexed(secret, 3, 5, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt one share.
+	shares[1].Y = field.Add(shares[1].Y, 1)
+	got, err := Reconstruct(shares[:3], 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got == secret {
+		t.Error("corrupted share should not reconstruct the true secret")
+	}
+}
+
+func BenchmarkSplit100(b *testing.B) {
+	secret := field.New(12345)
+	for i := 0; i < b.N; i++ {
+		if _, err := SplitIndexed(secret, 51, 100, rand.Reader); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkReconstruct51of100(b *testing.B) {
+	secret := field.New(12345)
+	shares, err := SplitIndexed(secret, 51, 100, rand.Reader)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Reconstruct(shares[:51], 51); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

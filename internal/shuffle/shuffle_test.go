@@ -1,0 +1,275 @@
+package shuffle
+
+import (
+	"crypto/rand"
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/prg"
+)
+
+func stream(label string) *prg.Stream {
+	return prg.NewStream(prg.NewSeed([]byte("shuffle-test"), []byte(label)))
+}
+
+// TestAmplifiedEpsilonShrinks: shuffling must amplify — the central ε is
+// far below the local ε₀ and decreases as n grows.
+func TestAmplifiedEpsilonShrinks(t *testing.T) {
+	const eps0, delta = 1.0, 1e-6
+	prev := math.Inf(1)
+	for _, n := range []int{1000, 10000, 100000} {
+		eps, err := AmplifiedEpsilon(eps0, n, delta)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if eps >= eps0 {
+			t.Errorf("n=%d: amplified ε=%v not below ε₀=%v", n, eps, eps0)
+		}
+		if eps >= prev {
+			t.Errorf("n=%d: ε=%v not decreasing (prev %v)", n, eps, prev)
+		}
+		prev = eps
+	}
+}
+
+// TestAmplifiedEpsilonValidity: the FMT bound refuses ε₀ beyond its
+// validity range and bad arguments.
+func TestAmplifiedEpsilonValidity(t *testing.T) {
+	if _, err := AmplifiedEpsilon(20, 100, 1e-6); err == nil {
+		t.Error("expected validity-range error for huge ε₀")
+	}
+	for _, bad := range []struct {
+		e0    float64
+		n     int
+		delta float64
+	}{{0, 100, 1e-6}, {1, 1, 1e-6}, {1, 100, 0}, {1, 100, 1}} {
+		if _, err := AmplifiedEpsilon(bad.e0, bad.n, bad.delta); err == nil {
+			t.Errorf("accepted invalid %+v", bad)
+		}
+	}
+}
+
+// TestRequiredEpsilon0RoundTrip: the inverse planner lands within the
+// budget, and slightly more local budget would overshoot.
+func TestRequiredEpsilon0RoundTrip(t *testing.T) {
+	const eps, delta = 0.5, 1e-6
+	const n = 10000
+	e0, err := RequiredEpsilon0(eps, n, delta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := AmplifiedEpsilon(e0, n, delta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got > eps*1.001 {
+		t.Errorf("planned ε₀=%v yields ε=%v > budget %v", e0, got, eps)
+	}
+	if over, err := AmplifiedEpsilon(e0*1.2, n, delta); err == nil && over <= eps {
+		t.Errorf("1.2·ε₀ should overshoot, got ε=%v", over)
+	}
+}
+
+// TestRequiredEpsilon0SaturatesAtValidityLimit: with a generous budget the
+// planner returns the largest valid ε₀ rather than exceeding the bound.
+func TestRequiredEpsilon0SaturatesAtValidityLimit(t *testing.T) {
+	const n, delta = 10000, 1e-6
+	limit := math.Log(float64(n) / (16 * math.Log(2/delta)))
+	e0, err := RequiredEpsilon0(100, n, delta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(e0-limit) > 1e-9 {
+		t.Errorf("ε₀=%v, want validity limit %v", e0, limit)
+	}
+}
+
+// TestRandomizeUnbiasedWithVariance: the local randomizer is centered on
+// the input and matches the discrete-Laplace variance formula.
+func TestRandomizeUnbiasedWithVariance(t *testing.T) {
+	const dim = 60000
+	const sens, eps0 = 4, 0.5
+	update := make([]int64, dim)
+	for i := range update {
+		update[i] = int64(i % 7)
+	}
+	rep, err := Randomize(update, sens, eps0, stream("rand"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mean, variance float64
+	for i := range update {
+		d := float64(rep.Values[i] - update[i])
+		mean += d
+		variance += d * d
+	}
+	mean /= dim
+	variance = variance/dim - mean*mean
+	want, err := SumNoiseVariance(1, sens, eps0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(mean) > 6*math.Sqrt(want/dim) {
+		t.Errorf("noise mean %.3f, want ≈0", mean)
+	}
+	if math.Abs(variance-want)/want > 0.05 {
+		t.Errorf("noise variance %.2f, want ≈%.2f", variance, want)
+	}
+}
+
+func TestRandomizeInvalidArgs(t *testing.T) {
+	if _, err := Randomize([]int64{1}, 0, 1, stream("bad")); err == nil {
+		t.Error("accepted sens=0")
+	}
+	if _, err := Randomize([]int64{1}, 1, 0, stream("bad")); err == nil {
+		t.Error("accepted ε₀=0")
+	}
+}
+
+// TestShufflePermutes: the shuffler outputs exactly the input multiset in
+// an order that (for a sizable batch) differs from the input order.
+func TestShufflePermutes(t *testing.T) {
+	sh, err := NewShuffler(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 256
+	in := make([]Report, n)
+	for i := range in {
+		in[i] = Report{Values: []int64{int64(i)}}
+	}
+	out := sh.Shuffle(in)
+	if len(out) != n {
+		t.Fatalf("shuffled %d reports, want %d", len(out), n)
+	}
+	var vals []int
+	moved := false
+	for i, r := range out {
+		vals = append(vals, int(r.Values[0]))
+		if int(r.Values[0]) != i {
+			moved = true
+		}
+	}
+	sort.Ints(vals)
+	for i, v := range vals {
+		if v != i {
+			t.Fatalf("multiset broken: position %d has %d", i, v)
+		}
+	}
+	if !moved {
+		t.Error("identity permutation on 256 elements — shuffler not shuffling")
+	}
+}
+
+// TestShuffleUniformish: over many shuffles of 3 elements, all 6 orders
+// appear with roughly equal frequency.
+func TestShuffleUniformish(t *testing.T) {
+	sh, err := NewShuffler(stream("uniform"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[[3]int64]int{}
+	const trials = 6000
+	in := []Report{{Values: []int64{0}}, {Values: []int64{1}}, {Values: []int64{2}}}
+	for i := 0; i < trials; i++ {
+		out := sh.Shuffle(in)
+		counts[[3]int64{out[0].Values[0], out[1].Values[0], out[2].Values[0]}]++
+	}
+	if len(counts) != 6 {
+		t.Fatalf("saw %d of 6 permutations", len(counts))
+	}
+	for perm, c := range counts {
+		if c < trials/6-200 || c > trials/6+200 {
+			t.Errorf("permutation %v frequency %d departs from uniform %d", perm, c, trials/6)
+		}
+	}
+}
+
+// TestAggregateSum: aggregation is the plain coordinate-wise sum and
+// rejects ragged reports.
+func TestAggregateSum(t *testing.T) {
+	sum, err := Aggregate([]Report{
+		{Values: []int64{1, 2}}, {Values: []int64{10, 20}}, {Values: []int64{-5, 5}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum[0] != 6 || sum[1] != 27 {
+		t.Errorf("sum = %v, want [6 27]", sum)
+	}
+	if _, err := Aggregate(nil); err == nil {
+		t.Error("accepted empty batch")
+	}
+	if _, err := Aggregate([]Report{{Values: []int64{1}}, {Values: []int64{1, 2}}}); err == nil {
+		t.Error("accepted ragged batch")
+	}
+}
+
+// TestEndToEndShuffledSum: randomize → shuffle → aggregate returns the
+// true sum plus noise of the predicted variance.
+func TestEndToEndShuffledSum(t *testing.T) {
+	const n, dim = 40, 4000
+	const sens, eps0 = 2, 1.0
+	s := stream("e2e")
+	var want int64 = 0
+	reports := make([]Report, n)
+	for c := 0; c < n; c++ {
+		update := make([]int64, dim)
+		for i := range update {
+			update[i] = int64(c % 3)
+		}
+		want = 0
+		for c2 := 0; c2 < n; c2++ {
+			want += int64(c2 % 3)
+		}
+		rep, err := Randomize(update, sens, eps0, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reports[c] = rep
+	}
+	sh, err := NewShuffler(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, err := Aggregate(sh.Shuffle(reports))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mean, variance float64
+	for _, v := range sum {
+		d := float64(v - want)
+		mean += d
+		variance += d * d
+	}
+	mean /= dim
+	variance = variance/dim - mean*mean
+	predicted, err := SumNoiseVariance(n, sens, eps0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(variance-predicted)/predicted > 0.1 {
+		t.Errorf("aggregate noise variance %.1f, predicted %.1f", variance, predicted)
+	}
+}
+
+// TestQuickAmplificationMonotone: property test — ε grows with ε₀ and
+// shrinks with n, wherever the bound is valid.
+func TestQuickAmplificationMonotone(t *testing.T) {
+	f := func(e0Q uint16, nQ uint16) bool {
+		e0 := 0.1 + float64(e0Q%20)/10 // 0.1 .. 2.0
+		n := 2000 + int(nQ)*10
+		eps1, err1 := AmplifiedEpsilon(e0, n, 1e-6)
+		eps2, err2 := AmplifiedEpsilon(e0+0.1, n, 1e-6)
+		eps3, err3 := AmplifiedEpsilon(e0, 2*n, 1e-6)
+		if err1 != nil || err2 != nil || err3 != nil {
+			return true // outside validity — nothing to check
+		}
+		return eps2 > eps1 && eps3 < eps1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,87 @@
+package skellam
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/prg"
+)
+
+// TestEncodeDecodeErrorBoundProperty: for any update within the clip
+// bound, the decode error of a single encoding is bounded by the
+// quantization budget — ‖decode(encode(x)) − x‖₂ ≤ √p / (2·scale) · safety.
+func TestEncodeDecodeErrorBoundProperty(t *testing.T) {
+	f := func(seedWord uint64, dimRaw uint8, normRaw uint8) bool {
+		dim := int(dimRaw%100) + 2
+		norm := 0.1 + float64(normRaw%90)/100 // within clip 1
+		p := testParams(dim, 4)
+		var sb [8]byte
+		for i := range sb {
+			sb[i] = byte(seedWord >> (8 * i))
+		}
+		s := prg.NewStream(prg.NewSeed(sb[:]))
+		x := randomUpdate(s, dim, norm)
+		enc, err := Encode(p, x, s.Fork("round"))
+		if err != nil {
+			return false
+		}
+		dec, err := Decode(p, enc)
+		if err != nil {
+			return false
+		}
+		var errNorm float64
+		for i := range x {
+			d := dec[i] - x[i]
+			errNorm += d * d
+		}
+		errNorm = math.Sqrt(errNorm)
+		// Rounding moves each padded coordinate by < 1 grid unit; in model
+		// units the error norm is ≤ √p/scale (loose but always valid).
+		bound := math.Sqrt(float64(p.PaddedDim())) / p.Scale
+		return errNorm <= bound
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestRotationLinearityProperty: Rotate is linear, so rotating the sum
+// equals summing the rotations — the property that makes chunked
+// aggregation of rotated vectors meaningful.
+func TestRotationLinearityProperty(t *testing.T) {
+	seed := prg.NewSeed([]byte("lin"))
+	f := func(a, b int8) bool {
+		x := []float64{float64(a), 1, -2, float64(b), 0.5}
+		y := []float64{0.25, float64(b), 3, -1, float64(a)}
+		sum := make([]float64, len(x))
+		for i := range sum {
+			sum[i] = x[i] + y[i]
+		}
+		rx := Rotate(seed, x)
+		ry := Rotate(seed, y)
+		rsum := Rotate(seed, sum)
+		for i := range rsum {
+			if math.Abs(rsum[i]-(rx[i]+ry[i])) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSensitivityMonotoneInScale: the inflated clip (Δ₂) grows with the
+// scale, as the accounting requires.
+func TestSensitivityMonotoneInScale(t *testing.T) {
+	base := testParams(64, 4)
+	small := base
+	small.Scale = base.Scale / 2
+	_, d2Small := small.Sensitivities()
+	_, d2Base := base.Sensitivities()
+	if d2Small >= d2Base {
+		t.Errorf("Δ₂ should grow with scale: %v (s/2) vs %v", d2Small, d2Base)
+	}
+}

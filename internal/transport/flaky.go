@@ -1,0 +1,135 @@
+package transport
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"repro/internal/prg"
+)
+
+// FaultConfig parameterizes deterministic fault injection for chaos tests:
+// the paper's client dynamics ("network errors, low battery, or changes in
+// eligibility … at any time") translate into lost, duplicated, and delayed
+// frames at the transport layer. All faults are drawn from a seeded PRG so
+// failures reproduce exactly.
+type FaultConfig struct {
+	DropProb  float64       // probability a frame is silently discarded
+	DupProb   float64       // probability a frame is delivered twice
+	DelayMax  time.Duration // per-frame delay uniform in [0, DelayMax]
+	Seed      prg.Seed      // drives all fault draws
+	AfterSend int           // faults apply only after this many clean sends (0 = immediately)
+}
+
+// FaultInjector wraps transport endpoints with FaultConfig behavior. One
+// injector may wrap many endpoints; its random stream is shared and
+// mutex-protected, so the global fault sequence is deterministic for a
+// fixed wrapping and send order.
+type FaultInjector struct {
+	cfg FaultConfig
+
+	mu    sync.Mutex
+	s     *prg.Stream
+	sends int
+
+	// Drops counts discarded frames; Dups counts extra deliveries.
+	drops int
+	dups  int
+}
+
+// NewFaultInjector builds an injector from the config.
+func NewFaultInjector(cfg FaultConfig) *FaultInjector {
+	return &FaultInjector{cfg: cfg, s: prg.NewStream(cfg.Seed)}
+}
+
+// Counts reports the faults injected so far (drops, duplicates).
+func (fi *FaultInjector) Counts() (drops, dups int) {
+	fi.mu.Lock()
+	defer fi.mu.Unlock()
+	return fi.drops, fi.dups
+}
+
+// decide draws the fate of one frame: (drop, duplicate, delay).
+func (fi *FaultInjector) decide() (bool, bool, time.Duration) {
+	fi.mu.Lock()
+	defer fi.mu.Unlock()
+	fi.sends++
+	if fi.sends <= fi.cfg.AfterSend {
+		return false, false, 0
+	}
+	drop := fi.s.Float64() < fi.cfg.DropProb
+	dup := !drop && fi.s.Float64() < fi.cfg.DupProb
+	var delay time.Duration
+	if fi.cfg.DelayMax > 0 {
+		delay = time.Duration(fi.s.Float64() * float64(fi.cfg.DelayMax))
+	}
+	if drop {
+		fi.drops++
+	}
+	if dup {
+		fi.dups++
+	}
+	return drop, dup, delay
+}
+
+// WrapClient returns a ClientConn whose Send path is subject to faults.
+// Recv and Close pass through.
+func (fi *FaultInjector) WrapClient(c ClientConn) ClientConn {
+	return &flakyClient{inner: c, fi: fi}
+}
+
+// WrapServer returns a ServerConn whose SendTo path is subject to faults.
+func (fi *FaultInjector) WrapServer(s ServerConn) ServerConn {
+	return &flakyServer{inner: s, fi: fi}
+}
+
+type flakyClient struct {
+	inner ClientConn
+	fi    *FaultInjector
+}
+
+func (c *flakyClient) Send(f Frame) error {
+	drop, dup, delay := c.fi.decide()
+	if delay > 0 {
+		time.Sleep(delay)
+	}
+	if drop {
+		return nil // silently lost: sender believes it succeeded
+	}
+	if err := c.inner.Send(f); err != nil {
+		return err
+	}
+	if dup {
+		return c.inner.Send(f)
+	}
+	return nil
+}
+
+func (c *flakyClient) Recv(ctx context.Context) (Frame, error) { return c.inner.Recv(ctx) }
+func (c *flakyClient) Close() error                            { return c.inner.Close() }
+
+type flakyServer struct {
+	inner ServerConn
+	fi    *FaultInjector
+}
+
+func (s *flakyServer) SendTo(client uint64, f Frame) error {
+	drop, dup, delay := s.fi.decide()
+	if delay > 0 {
+		time.Sleep(delay)
+	}
+	if drop {
+		return nil
+	}
+	if err := s.inner.SendTo(client, f); err != nil {
+		return err
+	}
+	if dup {
+		return s.inner.SendTo(client, f)
+	}
+	return nil
+}
+
+func (s *flakyServer) Recv(ctx context.Context) (Frame, error) { return s.inner.Recv(ctx) }
+func (s *flakyServer) Clients() []uint64                       { return s.inner.Clients() }
+func (s *flakyServer) Close() error                            { return s.inner.Close() }

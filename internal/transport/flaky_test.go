@@ -1,0 +1,172 @@
+package transport
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/prg"
+)
+
+func drain(t *testing.T, s ServerConn, wait time.Duration) []Frame {
+	t.Helper()
+	var out []Frame
+	for {
+		ctx, cancel := context.WithTimeout(context.Background(), wait)
+		f, err := s.Recv(ctx)
+		cancel()
+		if err != nil {
+			return out
+		}
+		out = append(out, f)
+	}
+}
+
+func TestFlakyDropAll(t *testing.T) {
+	n := NewMemoryNetwork(16)
+	fi := NewFaultInjector(FaultConfig{DropProb: 1, Seed: prg.NewSeed([]byte("dropall"))})
+	c, err := n.Connect(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fc := fi.WrapClient(c)
+	for i := 0; i < 5; i++ {
+		if err := fc.Send(Frame{Stage: i}); err != nil {
+			t.Fatalf("send %d: %v", i, err)
+		}
+	}
+	if got := drain(t, n.Server(), 20*time.Millisecond); len(got) != 0 {
+		t.Fatalf("received %d frames through a drop-all link", len(got))
+	}
+	if drops, _ := fi.Counts(); drops != 5 {
+		t.Errorf("drops = %d, want 5", drops)
+	}
+}
+
+func TestFlakyDuplicates(t *testing.T) {
+	n := NewMemoryNetwork(64)
+	fi := NewFaultInjector(FaultConfig{DupProb: 1, Seed: prg.NewSeed([]byte("dupall"))})
+	c, err := n.Connect(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fc := fi.WrapClient(c)
+	const sent = 4
+	for i := 0; i < sent; i++ {
+		if err := fc.Send(Frame{Stage: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := drain(t, n.Server(), 20*time.Millisecond)
+	if len(got) != 2*sent {
+		t.Fatalf("received %d frames, want %d (every frame duplicated)", len(got), 2*sent)
+	}
+	if _, dups := fi.Counts(); dups != sent {
+		t.Errorf("dups = %d, want %d", dups, sent)
+	}
+}
+
+func TestFlakyAfterSendGrace(t *testing.T) {
+	n := NewMemoryNetwork(16)
+	fi := NewFaultInjector(FaultConfig{DropProb: 1, AfterSend: 3, Seed: prg.NewSeed([]byte("grace"))})
+	c, err := n.Connect(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fc := fi.WrapClient(c)
+	for i := 0; i < 6; i++ {
+		if err := fc.Send(Frame{Stage: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := drain(t, n.Server(), 20*time.Millisecond)
+	if len(got) != 3 {
+		t.Fatalf("received %d frames, want the 3 grace-period sends", len(got))
+	}
+	for i, f := range got {
+		if f.Stage != i {
+			t.Errorf("frame %d has stage %d, want %d (order preserved)", i, f.Stage, i)
+		}
+	}
+}
+
+// TestFlakyDeterministic: identical seeds produce identical fault
+// sequences — the property that makes chaos runs reproducible.
+func TestFlakyDeterministic(t *testing.T) {
+	pattern := func() []bool {
+		n := NewMemoryNetwork(64)
+		fi := NewFaultInjector(FaultConfig{DropProb: 0.5, Seed: prg.NewSeed([]byte("det"))})
+		c, _ := n.Connect(1)
+		fc := fi.WrapClient(c)
+		const sends = 32
+		for i := 0; i < sends; i++ {
+			fc.Send(Frame{Stage: i})
+		}
+		arrived := make([]bool, sends)
+		for _, f := range drain(t, n.Server(), 20*time.Millisecond) {
+			arrived[f.Stage] = true
+		}
+		return arrived
+	}
+	a, b := pattern(), pattern()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("fault pattern diverged at frame %d", i)
+		}
+	}
+	// And the pattern must actually mix drops with deliveries.
+	var delivered int
+	for _, ok := range a {
+		if ok {
+			delivered++
+		}
+	}
+	if delivered == 0 || delivered == len(a) {
+		t.Fatalf("p=0.5 delivered %d/%d — injector not randomizing", delivered, len(a))
+	}
+}
+
+func TestFlakyDelayBounded(t *testing.T) {
+	n := NewMemoryNetwork(16)
+	const maxDelay = 30 * time.Millisecond
+	fi := NewFaultInjector(FaultConfig{DelayMax: maxDelay, Seed: prg.NewSeed([]byte("delay"))})
+	c, err := n.Connect(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fc := fi.WrapClient(c)
+	start := time.Now()
+	for i := 0; i < 5; i++ {
+		if err := fc.Send(Frame{Stage: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	elapsed := time.Since(start)
+	if elapsed > 6*maxDelay {
+		t.Errorf("5 delayed sends took %v, want < %v", elapsed, 6*maxDelay)
+	}
+	if got := drain(t, n.Server(), 20*time.Millisecond); len(got) != 5 {
+		t.Fatalf("received %d frames, want 5 (delay must not lose frames)", len(got))
+	}
+}
+
+func TestFlakyServerSide(t *testing.T) {
+	n := NewMemoryNetwork(16)
+	fi := NewFaultInjector(FaultConfig{DropProb: 1, Seed: prg.NewSeed([]byte("srv"))})
+	c, err := n.Connect(9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := fi.WrapServer(n.Server())
+	if err := fs.SendTo(9, Frame{Stage: 1}); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if _, err := c.Recv(ctx); err == nil {
+		t.Fatal("frame arrived through a drop-all server link")
+	}
+	if len(fs.Clients()) != 1 {
+		t.Errorf("Clients() should pass through, got %v", fs.Clients())
+	}
+}

@@ -1,0 +1,144 @@
+package transport
+
+import (
+	"context"
+	"sort"
+	"sync"
+)
+
+// MemoryNetwork is an in-process star network: one server endpoint and any
+// number of client endpoints, connected by buffered channels. It is safe
+// for concurrent use.
+type MemoryNetwork struct {
+	mu       sync.Mutex
+	toServer chan Frame
+	toClient map[uint64]chan Frame
+	closed   bool
+}
+
+// NewMemoryNetwork creates a network with the given per-direction buffer.
+func NewMemoryNetwork(buffer int) *MemoryNetwork {
+	if buffer < 1 {
+		buffer = 64
+	}
+	return &MemoryNetwork{
+		toServer: make(chan Frame, buffer),
+		toClient: make(map[uint64]chan Frame),
+	}
+}
+
+// memoryClient implements ClientConn.
+type memoryClient struct {
+	id  uint64
+	net *MemoryNetwork
+	in  chan Frame
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// memoryServer implements ServerConn.
+type memoryServer struct {
+	net *MemoryNetwork
+}
+
+// Connect attaches a client with the given id and returns its endpoint.
+func (n *MemoryNetwork) Connect(id uint64) (ClientConn, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		return nil, ErrClosed
+	}
+	if _, dup := n.toClient[id]; dup {
+		return nil, ErrClosed
+	}
+	in := make(chan Frame, cap(n.toServer))
+	n.toClient[id] = in
+	return &memoryClient{id: id, net: n, in: in}, nil
+}
+
+// Server returns the server endpoint.
+func (n *MemoryNetwork) Server() ServerConn {
+	return &memoryServer{net: n}
+}
+
+func (c *memoryClient) Send(f Frame) error {
+	c.mu.Lock()
+	closed := c.closed
+	c.mu.Unlock()
+	if closed {
+		return ErrClosed
+	}
+	f.From = c.id
+	select {
+	case c.net.toServer <- f:
+		return nil
+	default:
+	}
+	// Block if the buffer is full (back-pressure).
+	c.net.toServer <- f
+	return nil
+}
+
+func (c *memoryClient) Recv(ctx context.Context) (Frame, error) {
+	select {
+	case f, ok := <-c.in:
+		if !ok {
+			return Frame{}, ErrClosed
+		}
+		return f, nil
+	case <-ctx.Done():
+		return Frame{}, ctx.Err()
+	}
+}
+
+func (c *memoryClient) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil
+	}
+	c.closed = true
+	c.net.mu.Lock()
+	delete(c.net.toClient, c.id)
+	c.net.mu.Unlock()
+	return nil
+}
+
+func (s *memoryServer) SendTo(client uint64, f Frame) error {
+	s.net.mu.Lock()
+	ch, ok := s.net.toClient[client]
+	s.net.mu.Unlock()
+	if !ok {
+		return ErrClosed
+	}
+	ch <- f
+	return nil
+}
+
+func (s *memoryServer) Recv(ctx context.Context) (Frame, error) {
+	select {
+	case f := <-s.net.toServer:
+		return f, nil
+	case <-ctx.Done():
+		return Frame{}, ctx.Err()
+	}
+}
+
+func (s *memoryServer) Clients() []uint64 {
+	s.net.mu.Lock()
+	defer s.net.mu.Unlock()
+	out := make([]uint64, 0, len(s.net.toClient))
+	for id := range s.net.toClient {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func (s *memoryServer) Close() error {
+	s.net.mu.Lock()
+	defer s.net.mu.Unlock()
+	s.net.closed = true
+	return nil
+}

@@ -1,0 +1,221 @@
+package transport
+
+import (
+	"context"
+	"encoding/binary"
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+)
+
+// TCPServer is the server endpoint of the TCP transport. Clients dial in
+// and introduce themselves with an 8-byte id preamble; every subsequent
+// exchange is a length-prefixed Frame.
+type TCPServer struct {
+	ln net.Listener
+
+	mu      sync.Mutex
+	conns   map[uint64]net.Conn
+	inbox   chan Frame
+	closed  bool
+	readers sync.WaitGroup
+}
+
+// ListenTCP starts a server on addr (e.g. "127.0.0.1:0").
+func ListenTCP(addr string) (*TCPServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen: %w", err)
+	}
+	s := &TCPServer{
+		ln:    ln,
+		conns: make(map[uint64]net.Conn),
+		inbox: make(chan Frame, 1024),
+	}
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the listen address (for clients to dial).
+func (s *TCPServer) Addr() string { return s.ln.Addr().String() }
+
+func (s *TCPServer) acceptLoop() {
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		go s.handshake(conn)
+	}
+}
+
+func (s *TCPServer) handshake(conn net.Conn) {
+	var idBuf [8]byte
+	if _, err := readFull(conn, idBuf[:]); err != nil {
+		conn.Close()
+		return
+	}
+	id := binary.LittleEndian.Uint64(idBuf[:])
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		conn.Close()
+		return
+	}
+	if old, dup := s.conns[id]; dup {
+		old.Close()
+	}
+	s.conns[id] = conn
+	s.readers.Add(1)
+	s.mu.Unlock()
+
+	go func() {
+		defer s.readers.Done()
+		for {
+			f, err := readFrame(conn)
+			if err != nil {
+				s.mu.Lock()
+				if s.conns[id] == conn {
+					delete(s.conns, id)
+				}
+				s.mu.Unlock()
+				conn.Close()
+				return
+			}
+			f.From = id // trust the connection, not the frame header
+			s.inbox <- f
+		}
+	}()
+}
+
+func readFull(conn net.Conn, buf []byte) (int, error) {
+	total := 0
+	for total < len(buf) {
+		n, err := conn.Read(buf[total:])
+		total += n
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}
+
+// SendTo implements ServerConn.
+func (s *TCPServer) SendTo(client uint64, f Frame) error {
+	s.mu.Lock()
+	conn, ok := s.conns[client]
+	s.mu.Unlock()
+	if !ok {
+		return ErrClosed
+	}
+	return writeFrame(conn, f)
+}
+
+// Recv implements ServerConn.
+func (s *TCPServer) Recv(ctx context.Context) (Frame, error) {
+	select {
+	case f := <-s.inbox:
+		return f, nil
+	case <-ctx.Done():
+		return Frame{}, ctx.Err()
+	}
+}
+
+// Clients implements ServerConn.
+func (s *TCPServer) Clients() []uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]uint64, 0, len(s.conns))
+	for id := range s.conns {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Close implements ServerConn.
+func (s *TCPServer) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	conns := make([]net.Conn, 0, len(s.conns))
+	for _, c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.conns = map[uint64]net.Conn{}
+	s.mu.Unlock()
+	for _, c := range conns {
+		c.Close()
+	}
+	return s.ln.Close()
+}
+
+// TCPClient is a client endpoint.
+type TCPClient struct {
+	id   uint64
+	conn net.Conn
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// DialTCP connects to the server and introduces the client id.
+func DialTCP(addr string, id uint64) (*TCPClient, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial: %w", err)
+	}
+	var idBuf [8]byte
+	binary.LittleEndian.PutUint64(idBuf[:], id)
+	if _, err := conn.Write(idBuf[:]); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("transport: handshake: %w", err)
+	}
+	return &TCPClient{id: id, conn: conn}, nil
+}
+
+// Send implements ClientConn.
+func (c *TCPClient) Send(f Frame) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return ErrClosed
+	}
+	f.From = c.id
+	return writeFrame(c.conn, f)
+}
+
+// Recv implements ClientConn.
+func (c *TCPClient) Recv(ctx context.Context) (Frame, error) {
+	type result struct {
+		f   Frame
+		err error
+	}
+	ch := make(chan result, 1)
+	go func() {
+		f, err := readFrame(c.conn)
+		ch <- result{f, err}
+	}()
+	select {
+	case r := <-ch:
+		return r.f, r.err
+	case <-ctx.Done():
+		return Frame{}, ctx.Err()
+	}
+}
+
+// Close implements ClientConn.
+func (c *TCPClient) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil
+	}
+	c.closed = true
+	return c.conn.Close()
+}
+
+var (
+	_ ServerConn = (*TCPServer)(nil)
+	_ ClientConn = (*TCPClient)(nil)
+)

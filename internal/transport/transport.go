@@ -1,0 +1,94 @@
+// Package transport carries protocol messages between the server and
+// clients over a star topology (all client↔client traffic is relayed by
+// the server, as in the paper's server-mediated network, §3.3).
+//
+// Two implementations are provided: an in-memory transport (channels) used
+// by simulations and tests, and a TCP transport (length-prefixed gob
+// frames) used by the deployment-flavor binaries. Both present the same
+// interfaces, so the protocol drivers in package core are transport-
+// agnostic.
+package transport
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Frame is one protocol message on the wire. Payload encoding is the
+// caller's concern (package core uses gob).
+type Frame struct {
+	From    uint64
+	Stage   int
+	Payload []byte
+}
+
+// ClientConn is a client's connection to the server.
+type ClientConn interface {
+	// Send delivers a frame to the server.
+	Send(Frame) error
+	// Recv blocks for the next frame from the server.
+	Recv(ctx context.Context) (Frame, error)
+	// Close severs the connection (used to exercise dropout).
+	Close() error
+}
+
+// ServerConn is the server's endpoint.
+type ServerConn interface {
+	// SendTo delivers a frame to one client.
+	SendTo(client uint64, f Frame) error
+	// Recv blocks for the next frame from any client. Frames from closed
+	// clients stop arriving; callers use deadlines/thresholds, as the
+	// protocol prescribes.
+	Recv(ctx context.Context) (Frame, error)
+	// Clients lists the currently connected client ids.
+	Clients() []uint64
+	// Close shuts the server endpoint down.
+	Close() error
+}
+
+// ErrClosed is returned on use of a closed connection.
+var ErrClosed = errors.New("transport: connection closed")
+
+// --- wire framing (shared by the TCP transport) ---
+
+const maxFrameBytes = 1 << 28 // 256 MiB: above any chunked update we send
+
+// writeFrame writes a length-prefixed frame.
+func writeFrame(w io.Writer, f Frame) error {
+	var hdr [20]byte
+	if len(f.Payload) > maxFrameBytes {
+		return fmt.Errorf("transport: frame of %d bytes exceeds limit", len(f.Payload))
+	}
+	binary.LittleEndian.PutUint64(hdr[0:], f.From)
+	binary.LittleEndian.PutUint32(hdr[8:], uint32(f.Stage))
+	binary.LittleEndian.PutUint64(hdr[12:], uint64(len(f.Payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(f.Payload)
+	return err
+}
+
+// readFrame reads a length-prefixed frame.
+func readFrame(r io.Reader) (Frame, error) {
+	var hdr [20]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return Frame{}, err
+	}
+	n := binary.LittleEndian.Uint64(hdr[12:])
+	if n > maxFrameBytes {
+		return Frame{}, fmt.Errorf("transport: declared frame size %d exceeds limit", n)
+	}
+	f := Frame{
+		From:    binary.LittleEndian.Uint64(hdr[0:]),
+		Stage:   int(int32(binary.LittleEndian.Uint32(hdr[8:]))),
+		Payload: make([]byte, n),
+	}
+	if _, err := io.ReadFull(r, f.Payload); err != nil {
+		return Frame{}, err
+	}
+	return f, nil
+}

@@ -1,0 +1,213 @@
+package transport
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func testPair(t *testing.T, server ServerConn, clients map[uint64]ClientConn) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+
+	// Client → server.
+	payload := []byte("hello from 7")
+	if err := clients[7].Send(Frame{Stage: 2, Payload: payload}); err != nil {
+		t.Fatal(err)
+	}
+	f, err := server.Recv(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.From != 7 || f.Stage != 2 || !bytes.Equal(f.Payload, payload) {
+		t.Fatalf("server received %+v", f)
+	}
+
+	// Server → clients.
+	for id, c := range clients {
+		msg := Frame{Stage: 3, Payload: []byte{byte(id)}}
+		if err := server.SendTo(id, msg); err != nil {
+			t.Fatal(err)
+		}
+		got, err := c.Recv(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Stage != 3 || got.Payload[0] != byte(id) {
+			t.Fatalf("client %d received %+v", id, got)
+		}
+	}
+
+	// Spoofing protection: the From field is overwritten by the endpoint.
+	if err := clients[9].Send(Frame{From: 7, Stage: 1, Payload: []byte("spoof")}); err != nil {
+		t.Fatal(err)
+	}
+	f, err = server.Recv(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.From != 9 {
+		t.Fatalf("spoofed From accepted: %d", f.From)
+	}
+}
+
+func TestMemoryTransport(t *testing.T) {
+	n := NewMemoryNetwork(16)
+	clients := map[uint64]ClientConn{}
+	for _, id := range []uint64{7, 9} {
+		c, err := n.Connect(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		clients[id] = c
+	}
+	testPair(t, n.Server(), clients)
+}
+
+func TestMemoryDuplicateID(t *testing.T) {
+	n := NewMemoryNetwork(4)
+	if _, err := n.Connect(1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Connect(1); err == nil {
+		t.Fatal("duplicate id should be rejected")
+	}
+}
+
+func TestMemoryClosedClient(t *testing.T) {
+	n := NewMemoryNetwork(4)
+	c, _ := n.Connect(1)
+	c.Close()
+	if err := c.Send(Frame{}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("send after close: %v", err)
+	}
+	if err := n.Server().SendTo(1, Frame{}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("send to closed client: %v", err)
+	}
+}
+
+func TestTCPTransport(t *testing.T) {
+	srv, err := ListenTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	clients := map[uint64]ClientConn{}
+	for _, id := range []uint64{7, 9} {
+		c, err := DialTCP(srv.Addr(), id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Close()
+		clients[id] = c
+	}
+	// Give the handshakes a moment to register.
+	deadline := time.Now().Add(2 * time.Second)
+	for len(srv.Clients()) < 2 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	testPair(t, srv, clients)
+}
+
+func TestTCPLargeFrame(t *testing.T) {
+	srv, err := ListenTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	c, err := DialTCP(srv.Addr(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	big := make([]byte, 1<<20)
+	for i := range big {
+		big[i] = byte(i)
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if err := c.Send(Frame{Stage: 1, Payload: big}); err != nil {
+			t.Error(err)
+		}
+	}()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	f, err := srv.Recv(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	if !bytes.Equal(f.Payload, big) {
+		t.Fatal("large frame corrupted")
+	}
+}
+
+func TestTCPClientDisappears(t *testing.T) {
+	srv, err := ListenTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	c, err := DialTCP(srv.Addr(), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for len(srv.Clients()) < 1 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	c.Close()
+	// Eventually the server drops the client from its roster.
+	for time.Now().Before(deadline) {
+		if len(srv.Clients()) == 0 {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatal("server never noticed the dropped client")
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	in := Frame{From: 42, Stage: 5, Payload: []byte("payload")}
+	if err := writeFrame(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := readFrame(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.From != in.From || out.Stage != in.Stage || !bytes.Equal(out.Payload, in.Payload) {
+		t.Fatalf("round trip %+v → %+v", in, out)
+	}
+}
+
+func TestFrameSizeLimit(t *testing.T) {
+	var buf bytes.Buffer
+	// Forge an oversized header.
+	hdr := make([]byte, 20)
+	hdr[12] = 0xff
+	hdr[13] = 0xff
+	hdr[14] = 0xff
+	hdr[15] = 0xff
+	hdr[16] = 0x01
+	buf.Write(hdr)
+	if _, err := readFrame(&buf); err == nil {
+		t.Fatal("oversized frame header should be rejected")
+	}
+}
+
+func TestServerRecvTimeout(t *testing.T) {
+	n := NewMemoryNetwork(4)
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if _, err := n.Server().Recv(ctx); err == nil {
+		t.Fatal("Recv should respect the context deadline")
+	}
+}

@@ -1,0 +1,101 @@
+package vrf
+
+import (
+	"fmt"
+	"sort"
+)
+
+// The sampling protocol of §7: the server announces a round; every client
+// evaluates its VRF on the round index and joins if its ticket falls below
+// the agreed threshold; the server broadcasts the claims for mutual
+// verification and trims over-selection by ticket order (an
+// "indiscriminate criterion on their randomness").
+
+// Claim is one client's participation claim for a round.
+type Claim struct {
+	Client uint64
+	Output [OutputSize]byte
+	Proof  []byte
+}
+
+// Ticket returns the claim's lottery value in [0, 1).
+func (c Claim) Ticket() float64 { return Uniform(c.Output) }
+
+// Participates evaluates a client's lottery for the round and returns its
+// claim when the ticket falls under threshold.
+func Participates(k *Key, client uint64, round uint64, threshold float64) (Claim, bool) {
+	out, proof := k.Evaluate(RoundInput(round))
+	claim := Claim{Client: client, Output: out, Proof: proof}
+	return claim, claim.Ticket() < threshold
+}
+
+// VerifyClaims checks every claim against the registered public keys and
+// the round's threshold, returning an error naming the first invalid
+// claim. A sampled client runs this on the server's broadcast before
+// proceeding with training (§7: "a participant proceeds with the training
+// only if all verification tests are successfully passed").
+func VerifyClaims(keys map[uint64][]byte, round uint64, threshold float64, claims []Claim) error {
+	input := RoundInput(round)
+	seen := make(map[uint64]bool, len(claims))
+	for _, c := range claims {
+		if seen[c.Client] {
+			return fmt.Errorf("vrf: duplicate claim from client %d", c.Client)
+		}
+		seen[c.Client] = true
+		pub, ok := keys[c.Client]
+		if !ok {
+			return fmt.Errorf("vrf: claim from unregistered client %d", c.Client)
+		}
+		if !Verify(pub, input, c.Proof, c.Output) {
+			return fmt.Errorf("vrf: invalid proof from client %d", c.Client)
+		}
+		if c.Ticket() >= threshold {
+			return fmt.Errorf("vrf: client %d ticket %.4f above threshold %.4f",
+				c.Client, c.Ticket(), threshold)
+		}
+	}
+	return nil
+}
+
+// Trim deterministically reduces an over-selected claim set to at most k
+// participants by ascending ticket (ties broken by client id), the
+// indiscriminate criterion of §7. The input is not modified.
+func Trim(claims []Claim, k int) []Claim {
+	out := append([]Claim(nil), claims...)
+	sort.Slice(out, func(i, j int) bool {
+		ti, tj := out[i].Ticket(), out[j].Ticket()
+		if ti != tj {
+			return ti < tj
+		}
+		return out[i].Client < out[j].Client
+	})
+	if len(out) > k {
+		out = out[:k]
+	}
+	return out
+}
+
+// SampleRound runs the full client-side + server-side sampling for one
+// round over a population of keys, returning the verified, trimmed
+// participant set. It is the reference implementation tests compare
+// adversarial behavior against.
+func SampleRound(keys map[uint64]*Key, round uint64, k int, overSelect float64) ([]Claim, error) {
+	threshold, err := Threshold(k, len(keys), overSelect)
+	if err != nil {
+		return nil, err
+	}
+	var claims []Claim
+	for id, key := range keys {
+		if c, in := Participates(key, id, round, threshold); in {
+			claims = append(claims, c)
+		}
+	}
+	pubs := make(map[uint64][]byte, len(keys))
+	for id, key := range keys {
+		pubs[id] = key.Public()
+	}
+	if err := VerifyClaims(pubs, round, threshold, claims); err != nil {
+		return nil, err
+	}
+	return Trim(claims, k), nil
+}

@@ -1,0 +1,265 @@
+package vrf
+
+import (
+	"crypto/rand"
+	"math"
+	"testing"
+)
+
+func TestEvaluateVerify(t *testing.T) {
+	k, err := NewKey(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	input := RoundInput(42)
+	out, proof := k.Evaluate(input)
+	if !Verify(k.Public(), input, proof, out) {
+		t.Fatal("valid evaluation rejected")
+	}
+}
+
+func TestDeterministicUniqueOutput(t *testing.T) {
+	k, _ := NewKey(rand.Reader)
+	input := RoundInput(7)
+	o1, p1 := k.Evaluate(input)
+	o2, p2 := k.Evaluate(input)
+	if o1 != o2 || string(p1) != string(p2) {
+		t.Fatal("VRF must be deterministic")
+	}
+	// Different inputs give different outputs.
+	o3, _ := k.Evaluate(RoundInput(8))
+	if o1 == o3 {
+		t.Fatal("distinct inputs collided")
+	}
+}
+
+func TestVerifyRejectsTampering(t *testing.T) {
+	k, _ := NewKey(rand.Reader)
+	other, _ := NewKey(rand.Reader)
+	input := RoundInput(3)
+	out, proof := k.Evaluate(input)
+
+	if Verify(other.Public(), input, proof, out) {
+		t.Error("wrong key accepted")
+	}
+	if Verify(k.Public(), RoundInput(4), proof, out) {
+		t.Error("wrong input accepted")
+	}
+	bad := append([]byte(nil), proof...)
+	bad[0] ^= 1
+	if Verify(k.Public(), input, bad, out) {
+		t.Error("tampered proof accepted")
+	}
+	var wrongOut [OutputSize]byte
+	if Verify(k.Public(), input, proof, wrongOut) {
+		t.Error("forged output accepted")
+	}
+	if Verify(k.Public()[:5], input, proof, out) {
+		t.Error("short key accepted")
+	}
+	if Verify(k.Public(), input, proof[:5], out) {
+		t.Error("short proof accepted")
+	}
+}
+
+func TestUniformRange(t *testing.T) {
+	k, _ := NewKey(rand.Reader)
+	var sum float64
+	const n = 2000
+	for i := 0; i < n; i++ {
+		out, _ := k.Evaluate(RoundInput(uint64(i)))
+		u := Uniform(out)
+		if u < 0 || u >= 1 {
+			t.Fatalf("ticket %v out of [0,1)", u)
+		}
+		sum += u
+	}
+	if mean := sum / n; math.Abs(mean-0.5) > 0.03 {
+		t.Errorf("ticket mean %v, want ≈0.5", mean)
+	}
+}
+
+func TestThreshold(t *testing.T) {
+	th, err := Threshold(16, 100, 1.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(th-0.2) > 1e-12 {
+		t.Errorf("threshold %v, want 0.2", th)
+	}
+	if th, _ := Threshold(90, 100, 2); th != 1 {
+		t.Errorf("threshold should clamp to 1, got %v", th)
+	}
+	if _, err := Threshold(0, 100, 1); err == nil {
+		t.Error("k=0 should error")
+	}
+	if _, err := Threshold(10, 5, 1); err == nil {
+		t.Error("k>n should error")
+	}
+	if _, err := Threshold(5, 100, 0.5); err == nil {
+		t.Error("overSelect<1 should error")
+	}
+}
+
+func population(t *testing.T, n int) map[uint64]*Key {
+	t.Helper()
+	keys := make(map[uint64]*Key, n)
+	for i := 1; i <= n; i++ {
+		k, err := NewKey(rand.Reader)
+		if err != nil {
+			t.Fatal(err)
+		}
+		keys[uint64(i)] = k
+	}
+	return keys
+}
+
+func TestSampleRoundSizeAndValidity(t *testing.T) {
+	keys := population(t, 200)
+	var total int
+	const rounds = 30
+	for r := uint64(1); r <= rounds; r++ {
+		claims, err := SampleRound(keys, r, 16, 1.5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(claims) > 16 {
+			t.Fatalf("round %d sampled %d > k", r, len(claims))
+		}
+		total += len(claims)
+		seen := map[uint64]bool{}
+		for _, c := range claims {
+			if seen[c.Client] {
+				t.Fatal("duplicate participant")
+			}
+			seen[c.Client] = true
+		}
+	}
+	// With 1.5× over-selection the trim should usually fill k.
+	if avg := float64(total) / rounds; avg < 13 {
+		t.Errorf("average sample size %v too small", avg)
+	}
+}
+
+func TestSamplingUnbiasedAcrossClients(t *testing.T) {
+	// No client is structurally favored: participation counts across many
+	// rounds concentrate around the expectation.
+	keys := population(t, 50)
+	counts := map[uint64]int{}
+	const rounds = 200
+	for r := uint64(1); r <= rounds; r++ {
+		claims, err := SampleRound(keys, r, 10, 1.3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, c := range claims {
+			counts[c.Client]++
+		}
+	}
+	// Expectation ≈ rounds·k/n = 40. Flag only gross bias.
+	for id, c := range counts {
+		if c < 10 || c > 80 {
+			t.Errorf("client %d participated %d times (expected ≈40)", id, c)
+		}
+	}
+}
+
+func TestVerifyClaimsRejectsAdversarialServer(t *testing.T) {
+	keys := population(t, 20)
+	pubs := make(map[uint64][]byte, len(keys))
+	for id, k := range keys {
+		pubs[id] = k.Public()
+	}
+	threshold, _ := Threshold(5, 20, 2)
+	var claims []Claim
+	for id, k := range keys {
+		if c, in := Participates(k, id, 9, threshold); in {
+			claims = append(claims, c)
+		}
+	}
+	if len(claims) == 0 {
+		t.Skip("no participants this round (improbable)")
+	}
+	if err := VerifyClaims(pubs, 9, threshold, claims); err != nil {
+		t.Fatal(err)
+	}
+
+	// 1. Server injects a phantom client with a forged claim.
+	phantom := claims[0]
+	phantom.Client = 999
+	if err := VerifyClaims(pubs, 9, threshold, append(claims[1:], phantom)); err == nil {
+		t.Error("unregistered claim accepted")
+	}
+	// 2. Server replays a stale round's claim.
+	k := keys[claims[0].Client]
+	staleOut, staleProof := k.Evaluate(RoundInput(8))
+	stale := Claim{Client: claims[0].Client, Output: staleOut, Proof: staleProof}
+	if err := VerifyClaims(pubs, 9, threshold, append(claims[1:], stale)); err == nil {
+		t.Error("stale-round claim accepted")
+	}
+	// 3. Server includes a client whose ticket is above threshold.
+	if err := VerifyClaims(pubs, 9, 1e-9, claims); err == nil {
+		t.Error("above-threshold ticket accepted")
+	}
+	// 4. Duplicate claims.
+	if err := VerifyClaims(pubs, 9, threshold, append(claims, claims[0])); err == nil {
+		t.Error("duplicate claim accepted")
+	}
+}
+
+func TestTrimDeterministicAndOrdered(t *testing.T) {
+	keys := population(t, 100)
+	threshold, _ := Threshold(30, 100, 2)
+	var claims []Claim
+	for id, k := range keys {
+		if c, in := Participates(k, id, 5, threshold); in {
+			claims = append(claims, c)
+		}
+	}
+	a := Trim(claims, 10)
+	b := Trim(claims, 10)
+	for i := range a {
+		if a[i].Client != b[i].Client {
+			t.Fatal("trim must be deterministic")
+		}
+	}
+	for i := 1; i < len(a); i++ {
+		if a[i-1].Ticket() > a[i].Ticket() {
+			t.Fatal("trim must keep the smallest tickets")
+		}
+	}
+	// Trimmed-out claims have larger tickets than kept ones.
+	if len(claims) > 10 {
+		maxKept := a[len(a)-1].Ticket()
+		kept := map[uint64]bool{}
+		for _, c := range a {
+			kept[c.Client] = true
+		}
+		for _, c := range claims {
+			if !kept[c.Client] && c.Ticket() < maxKept {
+				t.Fatal("trim dropped a smaller ticket than one it kept")
+			}
+		}
+	}
+}
+
+func BenchmarkEvaluate(b *testing.B) {
+	k, _ := NewKey(rand.Reader)
+	input := RoundInput(1)
+	for i := 0; i < b.N; i++ {
+		_, _ = k.Evaluate(input)
+	}
+}
+
+func BenchmarkVerify(b *testing.B) {
+	k, _ := NewKey(rand.Reader)
+	input := RoundInput(1)
+	out, proof := k.Evaluate(input)
+	pub := k.Public()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !Verify(pub, input, proof, out) {
+			b.Fatal("verify failed")
+		}
+	}
+}

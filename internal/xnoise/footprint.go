@@ -1,0 +1,73 @@
+package xnoise
+
+import "fmt"
+
+// FootprintConfig holds the wire-size constants of §6.3 / Table 3: "the
+// size of a model weight, noise seed, Shamir share of seed, ciphertext of a
+// share ... are set to 2.5, 32, 16, and 120 in bytes, respectively."
+type FootprintConfig struct {
+	WeightBytes     float64 // per model parameter (2.5 B: 20-bit encoding)
+	SeedBytes       float64 // per noise seed (32 B)
+	ShareBytes      float64 // per Shamir share (16 B)
+	CiphertextBytes float64 // per encrypted share (120 B)
+}
+
+// DefaultFootprintConfig returns the paper's Table 3 constants.
+func DefaultFootprintConfig() FootprintConfig {
+	return FootprintConfig{WeightBytes: 2.5, SeedBytes: 32, ShareBytes: 16, CiphertextBytes: 120}
+}
+
+// FootprintScenario describes one Table 3 cell.
+type FootprintScenario struct {
+	ModelParams      int64   // model size (number of parameters)
+	NumSampled       int     // |U|
+	DropoutTolerance int     // T
+	DropoutRate      float64 // d, fraction of sampled clients dropping
+	MidRemovalDrops  int     // clients dropping between Unmasking and noise removal (0 in Table 3)
+}
+
+// NumDropped returns ⌊d·|U|⌋, the dropouts the scenario realizes.
+func (s FootprintScenario) NumDropped() int {
+	return int(s.DropoutRate * float64(s.NumSampled))
+}
+
+// XNoiseExtraBytes returns the additional per-round network footprint of a
+// surviving client under XNoise, relative to Orig (§6.3). The costs are:
+//
+//  1. ShareKeys: one encrypted share of each removable seed g_{u,k}
+//     (k ∈ [1, T]) to each of the |U| participants: |U|·T ciphertexts.
+//  2. Unmasking: the client uploads its own seeds for the components being
+//     removed, k ∈ [|D|+1, T]: (T − |D|) seeds.
+//  3. ExcessiveNoiseRemoval: for each client that dropped *after* its
+//     masked update was included (mid-removal dropouts), the survivor
+//     uploads the relevant shares: midDrops·(T − |D|) shares.
+//
+// Note what is absent: nothing scales with the model size — that is the
+// paper's headline claim for this table.
+func XNoiseExtraBytes(cfg FootprintConfig, sc FootprintScenario) (float64, error) {
+	if sc.NumSampled <= 0 || sc.DropoutTolerance < 0 || sc.DropoutTolerance >= sc.NumSampled {
+		return 0, fmt.Errorf("xnoise: bad scenario %+v", sc)
+	}
+	d := sc.NumDropped()
+	removable := sc.DropoutTolerance - d
+	if removable < 0 {
+		removable = 0
+	}
+	shareKeys := float64(sc.NumSampled) * float64(sc.DropoutTolerance) * cfg.CiphertextBytes
+	seedUpload := float64(removable) * cfg.SeedBytes
+	midRemoval := float64(sc.MidRemovalDrops) * float64(removable) * cfg.ShareBytes
+	return shareKeys + seedUpload + midRemoval, nil
+}
+
+// RebasingExtraBytes returns the additional per-round footprint of a
+// surviving client under the rebasing baseline: one dense correction
+// vector n_u − n_o of the full model size.
+func RebasingExtraBytes(cfg FootprintConfig, sc FootprintScenario) (float64, error) {
+	if sc.ModelParams <= 0 {
+		return 0, fmt.Errorf("xnoise: bad model size %d", sc.ModelParams)
+	}
+	return float64(sc.ModelParams) * cfg.WeightBytes, nil
+}
+
+// MiB converts bytes to mebibytes, the unit Table 3 reports.
+func MiB(bytes float64) float64 { return bytes / (1 << 20) }

@@ -1,0 +1,148 @@
+package xnoise
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/field"
+	"repro/internal/prg"
+	"repro/internal/rng"
+	"repro/internal/shamir"
+)
+
+// Sampler draws dim iid noise values of the given variance into out,
+// deterministically from the stream. The distribution must be closed under
+// summation w.r.t. the variance (paper §3 assumption); the package default
+// is Skellam, matching the DSkellam instantiation.
+type Sampler func(s *prg.Stream, variance float64, out []int64)
+
+// SkellamSampler is the default integer noise sampler.
+func SkellamSampler(s *prg.Stream, variance float64, out []int64) {
+	rng.SkellamVector(s, variance, out)
+}
+
+// RoundedGaussianSampler draws Gaussian noise rounded to the nearest
+// integer. Its variance is variance + 1/12 + o(1) rather than exact, so it
+// is offered for experimentation (the paper's χ must be closed under
+// summation; rounded Gaussians are approximately so at the variances used).
+func RoundedGaussianSampler(s *prg.Stream, variance float64, out []int64) {
+	if variance <= 0 {
+		for i := range out {
+			out[i] = 0
+		}
+		return
+	}
+	std := math.Sqrt(variance)
+	for i := range out {
+		out[i] = int64(math.Round(rng.Gaussian(s, 0, std)))
+	}
+}
+
+// ComponentNoise regenerates noise component k of the client holding seed:
+// dim iid draws of variance ComponentVariance(k). Client (addition) and
+// server (removal) call this with the same seed and obtain bit-identical
+// vectors — the property that makes seed-transfer removal exact.
+func ComponentNoise(p Plan, sampler Sampler, seed field.Element, k, dim int) ([]int64, error) {
+	v, err := p.ComponentVariance(k)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]int64, dim)
+	sampler(prg.NewStreamFromElement(seed), v, out)
+	return out, nil
+}
+
+// ClientNoise holds one client's per-round noise state: the T+1 component
+// seeds g_{u,k}. Seeds are field elements so they can be Shamir-shared.
+type ClientNoise struct {
+	Seeds []field.Element // index k in [0, T]
+}
+
+// NewClientNoise draws fresh seeds for all T+1 components from rand.
+func NewClientNoise(p Plan, rand io.Reader) (*ClientNoise, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	seeds := make([]field.Element, p.NumComponents())
+	var buf [8]byte
+	for i := range seeds {
+		if _, err := io.ReadFull(rand, buf[:]); err != nil {
+			return nil, fmt.Errorf("xnoise: reading seed randomness: %w", err)
+		}
+		seeds[i] = field.RandomElement(buf)
+	}
+	return &ClientNoise{Seeds: seeds}, nil
+}
+
+// TotalNoise returns the sum of all T+1 components — what the client adds
+// to its encoded update before masking (Definition 2: Δ̃_i = Δ_i + Σ_k n_{i,k}).
+func (cn *ClientNoise) TotalNoise(p Plan, sampler Sampler, dim int) ([]int64, error) {
+	if len(cn.Seeds) != p.NumComponents() {
+		return nil, fmt.Errorf("xnoise: have %d seeds, plan needs %d", len(cn.Seeds), p.NumComponents())
+	}
+	total := make([]int64, dim)
+	for k := range cn.Seeds {
+		comp, err := ComponentNoise(p, sampler, cn.Seeds[k], k, dim)
+		if err != nil {
+			return nil, err
+		}
+		for i := range total {
+			total[i] += comp[i]
+		}
+	}
+	return total, nil
+}
+
+// ShareSeeds produces, for each removable component k ∈ [1, T], a t-out-of-n
+// Shamir sharing of g_{u,k} across the participant abscissas xs. Component
+// 0 is never removed and therefore never shared (Fig. 5 ShareKeys shares
+// g_{u,k} only for k ≥ 1).
+func (cn *ClientNoise) ShareSeeds(p Plan, xs []field.Element, rand io.Reader) ([][]shamir.Share, error) {
+	if len(cn.Seeds) != p.NumComponents() {
+		return nil, fmt.Errorf("xnoise: have %d seeds, plan needs %d", len(cn.Seeds), p.NumComponents())
+	}
+	out := make([][]shamir.Share, p.DropoutTolerance+1) // index k; k=0 unused (nil)
+	for k := 1; k <= p.DropoutTolerance; k++ {
+		shares, err := shamir.Split(cn.Seeds[k], p.Threshold, xs, rand)
+		if err != nil {
+			return nil, fmt.Errorf("xnoise: sharing seed %d: %w", k, err)
+		}
+		out[k] = shares
+	}
+	return out, nil
+}
+
+// RemovalNoise computes the total noise vector the server subtracts from
+// the aggregate: for every surviving client's seed set, the components
+// k ∈ [numDropped+1, T]. seedsByClient maps a surviving client to its
+// removable seeds indexed by k (only the needed ks must be present).
+func RemovalNoise(p Plan, sampler Sampler, seedsByClient map[uint64]map[int]field.Element, numDropped, dim int) ([]int64, error) {
+	if numDropped > p.DropoutTolerance {
+		return make([]int64, dim), nil // beyond tolerance: nothing to remove
+	}
+	ks := p.RemovalComponents(numDropped)
+	total := make([]int64, dim)
+	for client, seeds := range seedsByClient {
+		for _, k := range ks {
+			seed, ok := seeds[k]
+			if !ok {
+				return nil, fmt.Errorf("xnoise: client %d missing seed for component %d", client, k)
+			}
+			comp, err := ComponentNoise(p, sampler, seed, k, dim)
+			if err != nil {
+				return nil, err
+			}
+			for i := range total {
+				total[i] += comp[i]
+			}
+		}
+	}
+	return total, nil
+}
+
+// RecoverSeed reconstructs a dropped client's component seed from at least
+// t shares collected from live clients (the extra round of §3.2).
+func RecoverSeed(p Plan, shares []shamir.Share) (field.Element, error) {
+	return shamir.Reconstruct(shares, p.Threshold)
+}

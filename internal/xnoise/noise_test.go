@@ -1,0 +1,284 @@
+package xnoise
+
+import (
+	"crypto/rand"
+	"math"
+	"testing"
+
+	"repro/internal/field"
+	"repro/internal/shamir"
+)
+
+// empiricalVariance runs the full add-then-remove flow over many trials and
+// returns the measured per-coordinate variance of the residual noise.
+func empiricalVariance(t *testing.T, p Plan, numDropped, dim, trials int) float64 {
+	t.Helper()
+	var sum, sumSq float64
+	n := 0
+	for trial := 0; trial < trials; trial++ {
+		clients := make([]*ClientNoise, p.NumClients)
+		for i := range clients {
+			cn, err := NewClientNoise(p, rand.Reader)
+			if err != nil {
+				t.Fatal(err)
+			}
+			clients[i] = cn
+		}
+		// Drop the first numDropped clients (before upload).
+		agg := make([]int64, dim)
+		survivorSeeds := make(map[uint64]map[int]field.Element)
+		for i := numDropped; i < p.NumClients; i++ {
+			total, err := clients[i].TotalNoise(p, SkellamSampler, dim)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for j := range agg {
+				agg[j] += total[j]
+			}
+			seeds := make(map[int]field.Element)
+			for _, k := range p.RemovalComponents(numDropped) {
+				seeds[k] = clients[i].Seeds[k]
+			}
+			survivorSeeds[uint64(i)] = seeds
+		}
+		removal, err := RemovalNoise(p, SkellamSampler, survivorSeeds, numDropped, dim)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := range agg {
+			v := float64(agg[j] - removal[j])
+			sum += v
+			sumSq += v * v
+			n++
+		}
+	}
+	mean := sum / float64(n)
+	return sumSq/float64(n) - mean*mean
+}
+
+func TestEndToEndVarianceNoDropout(t *testing.T) {
+	p := Plan{NumClients: 6, DropoutTolerance: 2, Threshold: 4, TargetVariance: 40}
+	got := empiricalVariance(t, p, 0, 400, 30)
+	if math.Abs(got-p.TargetVariance) > 0.08*p.TargetVariance {
+		t.Errorf("residual variance %v, want ≈%v", got, p.TargetVariance)
+	}
+}
+
+func TestEndToEndVarianceWithDropout(t *testing.T) {
+	p := Plan{NumClients: 6, DropoutTolerance: 2, Threshold: 4, TargetVariance: 40}
+	for d := 1; d <= 2; d++ {
+		got := empiricalVariance(t, p, d, 400, 30)
+		if math.Abs(got-p.TargetVariance) > 0.08*p.TargetVariance {
+			t.Errorf("|D|=%d: residual variance %v, want ≈%v", d, got, p.TargetVariance)
+		}
+	}
+}
+
+func TestServerRegeneratesIdenticalComponents(t *testing.T) {
+	p := Plan{NumClients: 5, DropoutTolerance: 2, Threshold: 3, TargetVariance: 10}
+	cn, err := NewClientNoise(p, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k <= p.DropoutTolerance; k++ {
+		a, err := ComponentNoise(p, SkellamSampler, cn.Seeds[k], k, 100)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := ComponentNoise(p, SkellamSampler, cn.Seeds[k], k, 100)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("component %d not reproducible at %d", k, i)
+			}
+		}
+	}
+}
+
+func TestTotalNoiseIsSumOfComponents(t *testing.T) {
+	p := Plan{NumClients: 5, DropoutTolerance: 2, Threshold: 3, TargetVariance: 10}
+	cn, err := NewClientNoise(p, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const dim = 64
+	total, err := cn.TotalNoise(p, SkellamSampler, dim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := make([]int64, dim)
+	for k := 0; k <= p.DropoutTolerance; k++ {
+		comp, err := ComponentNoise(p, SkellamSampler, cn.Seeds[k], k, dim)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range sum {
+			sum[i] += comp[i]
+		}
+	}
+	for i := range sum {
+		if sum[i] != total[i] {
+			t.Fatalf("total != Σ components at %d", i)
+		}
+	}
+}
+
+func TestShareAndRecoverSeeds(t *testing.T) {
+	p := Plan{NumClients: 5, DropoutTolerance: 2, Threshold: 3, TargetVariance: 10}
+	cn, err := NewClientNoise(p, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xs := make([]field.Element, p.NumClients)
+	for i := range xs {
+		xs[i] = field.New(uint64(i + 1))
+	}
+	shared, err := cn.ShareSeeds(p, xs, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shared[0] != nil {
+		t.Error("component 0 must not be shared")
+	}
+	for k := 1; k <= p.DropoutTolerance; k++ {
+		// Any Threshold of the shares recover the seed.
+		got, err := RecoverSeed(p, shared[k][1:4])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != cn.Seeds[k] {
+			t.Fatalf("component %d: recovered %v, want %v", k, got, cn.Seeds[k])
+		}
+		// Fewer than Threshold fail.
+		if _, err := RecoverSeed(p, shared[k][:2]); err == nil {
+			t.Fatal("sub-threshold recovery should fail")
+		}
+	}
+}
+
+func TestDroppedSurvivorRecoveredViaShares(t *testing.T) {
+	// The §3.2 robustness scenario: a survivor included in aggregation
+	// drops before reporting its seeds; the server reconstructs them from
+	// other clients' shares and removal still lands exactly.
+	p := Plan{NumClients: 4, DropoutTolerance: 2, Threshold: 2, TargetVariance: 25}
+	clients := make([]*ClientNoise, p.NumClients)
+	xs := make([]field.Element, p.NumClients)
+	for i := range xs {
+		xs[i] = field.New(uint64(i + 1))
+	}
+	allShares := make([][][]shamir.Share, p.NumClients)
+	for i := range clients {
+		cn, err := NewClientNoise(p, rand.Reader)
+		if err != nil {
+			t.Fatal(err)
+		}
+		clients[i] = cn
+		sh, err := cn.ShareSeeds(p, xs, rand.Reader)
+		if err != nil {
+			t.Fatal(err)
+		}
+		allShares[i] = sh
+	}
+	// Nobody drops before aggregation (|D| = 0); client 3 drops before
+	// reporting seeds. Server needs its components k ∈ {1,2}.
+	numDropped := 0
+	seedsByClient := make(map[uint64]map[int]field.Element)
+	for i := 0; i < 3; i++ {
+		m := map[int]field.Element{}
+		for _, k := range p.RemovalComponents(numDropped) {
+			m[k] = clients[i].Seeds[k]
+		}
+		seedsByClient[uint64(i)] = m
+	}
+	recovered := map[int]field.Element{}
+	for _, k := range p.RemovalComponents(numDropped) {
+		// Shares of client 3's seed k held by clients 0 and 1.
+		got, err := RecoverSeed(p, []shamir.Share{allShares[3][k][0], allShares[3][k][1]})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != clients[3].Seeds[k] {
+			t.Fatalf("recovered seed mismatch for k=%d", k)
+		}
+		recovered[k] = got
+	}
+	seedsByClient[3] = recovered
+	dim := 50
+	removal, err := RemovalNoise(p, SkellamSampler, seedsByClient, numDropped, dim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cross-check against direct regeneration from the true seeds.
+	want := make([]int64, dim)
+	for i := 0; i < 4; i++ {
+		for _, k := range p.RemovalComponents(numDropped) {
+			comp, _ := ComponentNoise(p, SkellamSampler, clients[i].Seeds[k], k, dim)
+			for j := range want {
+				want[j] += comp[j]
+			}
+		}
+	}
+	for j := range want {
+		if removal[j] != want[j] {
+			t.Fatalf("removal vector mismatch at %d", j)
+		}
+	}
+}
+
+func TestRemovalNoiseMissingSeed(t *testing.T) {
+	p := Plan{NumClients: 4, DropoutTolerance: 2, Threshold: 2, TargetVariance: 1}
+	seeds := map[uint64]map[int]field.Element{7: {1: field.New(9)}} // missing k=2
+	if _, err := RemovalNoise(p, SkellamSampler, seeds, 0, 10); err == nil {
+		t.Error("missing component seed should error")
+	}
+}
+
+func TestRemovalNoiseBeyondTolerance(t *testing.T) {
+	p := Plan{NumClients: 4, DropoutTolerance: 1, Threshold: 3, TargetVariance: 1}
+	out, err := RemovalNoise(p, SkellamSampler, nil, 2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range out {
+		if v != 0 {
+			t.Error("beyond tolerance nothing should be removed")
+		}
+	}
+}
+
+func TestRoundedGaussianSampler(t *testing.T) {
+	p := Plan{NumClients: 4, DropoutTolerance: 1, Threshold: 3, TargetVariance: 400}
+	cn, err := NewClientNoise(p, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := cn.TotalNoise(p, RoundedGaussianSampler, 5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sumSq float64
+	for _, v := range out {
+		sumSq += float64(v) * float64(v)
+	}
+	variance := sumSq / float64(len(out))
+	want := p.PerClientVariance()
+	if math.Abs(variance-want) > 0.15*want {
+		t.Errorf("rounded-gaussian per-client variance %v, want ≈%v", variance, want)
+	}
+	// Zero variance path.
+	zero := make([]int64, 4)
+	RoundedGaussianSampler(nil, 0, zero)
+	for _, v := range zero {
+		if v != 0 {
+			t.Error("zero variance should produce zeros")
+		}
+	}
+}
+
+func TestNewClientNoiseValidatesPlan(t *testing.T) {
+	if _, err := NewClientNoise(Plan{}, rand.Reader); err == nil {
+		t.Error("invalid plan should error")
+	}
+}
