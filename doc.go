@@ -7,4 +7,44 @@
 // cmd/dordis-bench (regenerates every table and figure), and examples/.
 // The root package exists to host the benchmark harness (bench_test.go),
 // which prints the same rows and series the paper reports.
+//
+// # Performance architecture
+//
+// Secure aggregation dominates round time (paper Fig. 2), so the
+// mask-expansion/aggregation data path is built as a bulk, parallel
+// pipeline with the following contracts:
+//
+// Bulk PRG. prg.Stream exposes Fill, FillUint64, and FillUint64Masked,
+// which keystream directly into the caller's buffer at the cipher's bulk
+// rate. The logical byte stream is a pure function of the seed — the
+// internal 512-byte buffer is lookahead only — so scalar (Uint64/Read) and
+// bulk expansion interleave freely and still produce bit-identical draws.
+// That identity is pinned by a golden-keystream test
+// (prg.TestGoldenKeystream): any change that alters the byte stream breaks
+// client/server mask agreement and must fail there. Word draws are
+// little-endian on every platform (big-endian hosts byte-swap in place).
+//
+// Bulk masking. ring.Vector.MaskInPlace expands masks through a pooled
+// keystream scratch and a fused add/sub loop, element-identical to the
+// seed's scalar Uint64()&mask loop (property-tested in package ring) while
+// running ~5x faster; AddManyInPlace/SubManyInPlace fold many vectors into
+// an accumulator in cache-resident blocks.
+//
+// Parallel unmasking. The server's unmask step and the client's masking
+// step fan their independent PRG expansions (key agreement included)
+// across a bounded worker pool, each worker accumulating into a private
+// partial vector; partials merge once at the end. Correctness rests on
+// mask removals being independent and commutative in Z_2^b, so the merged
+// result is exactly the sequential one; the pools are exercised under
+// -race in CI. Self-mask seeds and XNoise noise seeds reconstruct through
+// shamir.ReconstructBatch, which computes the Lagrange-at-zero
+// coefficients once per survivor cohort (one batched inversion) and reuses
+// them across all secrets.
+//
+// Wire codec. The two dim-length payloads — stage-2 masked inputs and the
+// final result broadcast — use a hand-rolled length-prefixed little-endian
+// codec (internal/core/codec.go) with a magic/tag prefix; low-rate control
+// messages stay on gob. transport.AppendUint64sLE/DecodeUint64sLE move
+// word slabs with a single memmove on little-endian hosts, and TCP frames
+// go out header+payload in one gathered write.
 package repro

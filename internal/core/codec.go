@@ -1,0 +1,136 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/secagg"
+	"repro/internal/transport"
+)
+
+// Binary payload codec for the hot vector-carrying wire messages.
+//
+// Gob's reflective encoding costs milliseconds and megabytes of garbage per
+// 100k-dim masked input; the two messages that actually carry dim-length
+// vectors — the stage-2 masked input and the final result broadcast — use
+// the hand-rolled length-prefixed little-endian layout below instead. All
+// low-rate control messages (key advertisements, share ciphertexts,
+// survivor sets) stay on gob: their cost is irrelevant and gob's tolerance
+// of structural evolution is worth keeping there.
+//
+// Layout (all integers little-endian):
+//
+//	masked input: [magic][tagMaskedInput][From:8][n:4][Y: n×8]
+//	result:       [magic][tagResult]
+//	              [n:4][Sum: n×8] [n:4][Survivors: n×8] [n:4][Dropped: n×8]
+//	              [n:4][RemovedComponents: n×8, as uint64]
+//
+// The magic byte distinguishes the binary codec from a gob stream (gob
+// payloads begin with a length varint; protocol payloads are never empty),
+// so a mixed-version peer fails loudly rather than mis-decoding.
+const (
+	codecMagic     = 0xD0
+	tagMaskedInput = 0x01
+	tagResult      = 0x02
+)
+
+// maxWireElems caps decoded slice lengths so a hostile length prefix
+// cannot force a huge allocation. It is sized to the transport's 256 MiB
+// frame cap (a maximal slab plus codec headers slightly exceeds the frame
+// cap, so framing, not this cap, is the binding limit near the boundary).
+const maxWireElems = 1 << 25
+
+func appendUint32(dst []byte, v uint32) []byte {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], v)
+	return append(dst, b[:]...)
+}
+
+func appendUint64Slab(dst []byte, xs []uint64) ([]byte, error) {
+	if len(xs) > maxWireElems {
+		return nil, fmt.Errorf("core: slab of %d elements exceeds wire cap", len(xs))
+	}
+	dst = appendUint32(dst, uint32(len(xs)))
+	return transport.AppendUint64sLE(dst, xs), nil
+}
+
+func decodeUint64Slab(src []byte) ([]uint64, []byte, error) {
+	if len(src) < 4 {
+		return nil, nil, fmt.Errorf("core: slab header truncated")
+	}
+	n := int(binary.LittleEndian.Uint32(src))
+	if n > maxWireElems {
+		return nil, nil, fmt.Errorf("core: declared slab of %d elements exceeds wire cap", n)
+	}
+	return transport.DecodeUint64sLE(src[4:], n)
+}
+
+// encodeMaskedInput encodes the stage-2 masked input message.
+func encodeMaskedInput(m secagg.MaskedInputMsg) ([]byte, error) {
+	out := make([]byte, 0, 2+8+4+8*len(m.Y))
+	out = append(out, codecMagic, tagMaskedInput)
+	var from [8]byte
+	binary.LittleEndian.PutUint64(from[:], m.From)
+	out = append(out, from[:]...)
+	return appendUint64Slab(out, m.Y)
+}
+
+// decodeMaskedInput decodes the stage-2 masked input message.
+func decodeMaskedInput(p []byte) (secagg.MaskedInputMsg, error) {
+	if len(p) < 10 || p[0] != codecMagic || p[1] != tagMaskedInput {
+		return secagg.MaskedInputMsg{}, fmt.Errorf("core: not a binary masked-input payload")
+	}
+	m := secagg.MaskedInputMsg{From: binary.LittleEndian.Uint64(p[2:])}
+	y, rest, err := decodeUint64Slab(p[10:])
+	if err != nil {
+		return secagg.MaskedInputMsg{}, fmt.Errorf("core: masked input: %w", err)
+	}
+	if len(rest) != 0 {
+		return secagg.MaskedInputMsg{}, fmt.Errorf("core: masked input: %d trailing bytes", len(rest))
+	}
+	m.Y = y
+	return m, nil
+}
+
+// encodeResult encodes the final result broadcast.
+func encodeResult(r secagg.Result) ([]byte, error) {
+	out := make([]byte, 0, 2+16+8*(len(r.Sum)+len(r.Survivors)+len(r.Dropped)+len(r.RemovedComponents)))
+	out = append(out, codecMagic, tagResult)
+	var err error
+	for _, slab := range [][]uint64{r.Sum, r.Survivors, r.Dropped} {
+		if out, err = appendUint64Slab(out, slab); err != nil {
+			return nil, err
+		}
+	}
+	ks := make([]uint64, len(r.RemovedComponents))
+	for i, k := range r.RemovedComponents {
+		ks[i] = uint64(k)
+	}
+	return appendUint64Slab(out, ks)
+}
+
+// decodeResult decodes the final result broadcast.
+func decodeResult(p []byte) (secagg.Result, error) {
+	if len(p) < 2 || p[0] != codecMagic || p[1] != tagResult {
+		return secagg.Result{}, fmt.Errorf("core: not a binary result payload")
+	}
+	rest := p[2:]
+	var slabs [4][]uint64
+	var err error
+	for i := range slabs {
+		if slabs[i], rest, err = decodeUint64Slab(rest); err != nil {
+			return secagg.Result{}, fmt.Errorf("core: result: %w", err)
+		}
+	}
+	if len(rest) != 0 {
+		return secagg.Result{}, fmt.Errorf("core: result: %d trailing bytes", len(rest))
+	}
+	r := secagg.Result{Sum: slabs[0], Survivors: slabs[1], Dropped: slabs[2]}
+	if len(slabs[3]) > 0 {
+		r.RemovedComponents = make([]int, len(slabs[3]))
+		for i, k := range slabs[3] {
+			r.RemovedComponents[i] = int(k)
+		}
+	}
+	return r, nil
+}

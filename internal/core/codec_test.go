@@ -1,0 +1,115 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/secagg"
+)
+
+func TestMaskedInputCodecRoundTrip(t *testing.T) {
+	for _, dim := range []int{0, 1, 7, 4096} {
+		msg := secagg.MaskedInputMsg{From: 1<<63 + 5, Y: make([]uint64, dim)}
+		for i := range msg.Y {
+			msg.Y[i] = uint64(i*i+1) & ((1 << 20) - 1)
+		}
+		p, err := encodeMaskedInput(msg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := decodeMaskedInput(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.From != msg.From || len(got.Y) != len(msg.Y) {
+			t.Fatalf("dim %d: round trip mangled header: %+v", dim, got)
+		}
+		for i := range msg.Y {
+			if got.Y[i] != msg.Y[i] {
+				t.Fatalf("dim %d: Y[%d] = %d, want %d", dim, i, got.Y[i], msg.Y[i])
+			}
+		}
+	}
+}
+
+func TestResultCodecRoundTrip(t *testing.T) {
+	res := secagg.Result{
+		Sum:               []uint64{1, 2, 1 << 19, 0},
+		Survivors:         []uint64{2, 3, 5},
+		Dropped:           []uint64{7},
+		RemovedComponents: []int{2, 3, 4},
+	}
+	p, err := encodeResult(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := decodeResult(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Sum) != 4 || got.Sum[2] != 1<<19 ||
+		len(got.Survivors) != 3 || got.Survivors[2] != 5 ||
+		len(got.Dropped) != 1 || got.Dropped[0] != 7 ||
+		len(got.RemovedComponents) != 3 || got.RemovedComponents[0] != 2 {
+		t.Fatalf("round trip mangled result: %+v", got)
+	}
+
+	empty := secagg.Result{Survivors: []uint64{1, 2}}
+	p, err = encodeResult(empty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err = decodeResult(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Sum != nil || got.RemovedComponents != nil || len(got.Survivors) != 2 {
+		t.Fatalf("empty-field round trip: %+v", got)
+	}
+}
+
+// TestCodecRejectsMalformed: truncated, mis-tagged, and trailing-garbage
+// payloads must error, and a gob payload must not pass the magic check.
+func TestCodecRejectsMalformed(t *testing.T) {
+	msg := secagg.MaskedInputMsg{From: 9, Y: []uint64{1, 2, 3}}
+	p, err := encodeMaskedInput(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string][]byte{
+		"empty":        {},
+		"short":        p[:5],
+		"truncated":    p[:len(p)-1],
+		"trailing":     append(append([]byte(nil), p...), 0xFF),
+		"wrong tag":    append([]byte{codecMagic, tagResult}, p[2:]...),
+		"no magic":     append([]byte{0x00}, p[1:]...),
+		"length lie":   append(p[:10], 0xFF, 0xFF, 0xFF, 0x7F),
+		"gob payload":  mustGob(t, msg),
+		"result bytes": mustEncodeResult(t),
+	}
+	for name, bad := range cases {
+		if _, err := decodeMaskedInput(bad); err == nil {
+			t.Errorf("%s: decodeMaskedInput accepted malformed payload", name)
+		}
+	}
+	if _, err := decodeResult(p); err == nil {
+		t.Error("decodeResult accepted a masked-input payload")
+	}
+}
+
+func mustGob(t *testing.T, v any) []byte {
+	t.Helper()
+	p, err := encodePayload(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func mustEncodeResult(t *testing.T) []byte {
+	t.Helper()
+	p, err := encodeResult(secagg.Result{Sum: []uint64{1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}

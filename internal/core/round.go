@@ -209,10 +209,16 @@ func RunRound(cfg RoundConfig, updates map[uint64][]float64, drops []uint64, ran
 	}
 
 	stageClient := func(c int) error {
-		// c-comp: assemble chunk inputs; survivors add their XNoise.
+		// c-comp: assemble chunk inputs; survivors add their XNoise. The
+		// chunk geometry is read off the precomputed bounds — no per-chunk
+		// re-splitting of every client's full vector.
+		lo, hi := bounds[c][0], bounds[c][1]
 		inputs := make(map[uint64]ring.Vector, len(ids))
 		for i, id := range ids {
-			chunk := ring.Split(encoded[id], m)[c].Clone()
+			chunk := ring.Vector{
+				Bits: encoded[id].Bits,
+				Data: append([]uint64(nil), encoded[id].Data[lo:hi]...),
+			}
 			if plan != nil && !dropSet[id] {
 				total, err := noise[c][i].client.TotalNoise(*plan, cfg.sampler(), chunk.Len())
 				if err != nil {

@@ -159,15 +159,16 @@ func RunWireServer(ctx context.Context, cfg WireServerConfig, conn transport.Ser
 		u2 = append(u2, id)
 	}
 
-	// Stage 2: MaskedInputCollection.
+	// Stage 2: MaskedInputCollection. The dim-length masked inputs ride the
+	// binary codec, not gob: this is the round's dominant payload.
 	frames, err = collect(ctx, conn, wireMasked, u2, cfg.StageDeadline)
 	if err != nil {
 		return nil, err
 	}
 	var maskedMsgs []secagg.MaskedInputMsg
 	for _, p := range frames {
-		var m secagg.MaskedInputMsg
-		if err := decodePayload(p, &m); err != nil {
+		m, err := decodeMaskedInput(p)
+		if err != nil {
 			return nil, err
 		}
 		maskedMsgs = append(maskedMsgs, m)
@@ -251,7 +252,7 @@ func RunWireServer(ctx context.Context, cfg WireServerConfig, conn transport.Ser
 	if err != nil {
 		return nil, err
 	}
-	resPayload, err := encodePayload(res)
+	resPayload, err := encodeResult(res)
 	if err != nil {
 		return nil, err
 	}
@@ -342,7 +343,7 @@ func RunWireClient(ctx context.Context, cfg WireClientConfig, conn transport.Cli
 	if err != nil {
 		return nil, err
 	}
-	if payload, err = encodePayload(masked); err != nil {
+	if payload, err = encodeMaskedInput(masked); err != nil {
 		return nil, err
 	}
 	if err := conn.Send(transport.Frame{Stage: wireMasked, Payload: payload}); err != nil {
@@ -411,8 +412,8 @@ func RunWireClient(ctx context.Context, cfg WireClientConfig, conn transport.Cli
 				return nil, err
 			}
 		case wireResult:
-			var res secagg.Result
-			if err := decodePayload(f.Payload, &res); err != nil {
+			res, err := decodeResult(f.Payload)
+			if err != nil {
 				return nil, err
 			}
 			return &res, nil

@@ -1,0 +1,14 @@
+// Package endian exposes the host byte order for the bulk word codecs:
+// packages prg and transport reinterpret []uint64 backing memory as wire
+// bytes when — and only when — the host is little-endian, falling back to
+// explicit per-word encoding otherwise.
+package endian
+
+import "unsafe"
+
+// HostLittle reports whether uint64s are stored little-endian, i.e.
+// whether word backing memory already carries the wire byte order.
+var HostLittle = func() bool {
+	var x uint16 = 1
+	return *(*byte)(unsafe.Pointer(&x)) == 1
+}()

@@ -178,6 +178,61 @@ func LagrangeInterpolateAt(xs, ys []Element, x Element) (Element, error) {
 	return acc, nil
 }
 
+// LagrangeCoefficientsAt returns the Lagrange basis coefficients
+// l_i = Π_{j≠i} (x - xs[j]) / (xs[i] - xs[j]) for evaluation at x, so that
+// the interpolated value is Σ ys[i]·l_i. Computing the coefficients once
+// and reusing them across many secrets shared over the same abscissa set
+// turns K reconstructions from K·O(t²) multiplications into one O(t²)
+// coefficient pass plus K·O(t) dot products — the shape of XNoise seed
+// recovery, where the survivor set is identical for all K noise seeds.
+//
+// The denominators are inverted in a single batch (Montgomery's trick):
+// one modular inversion total instead of t.
+func LagrangeCoefficientsAt(xs []Element, x Element) ([]Element, error) {
+	n := len(xs)
+	if n == 0 {
+		return nil, errors.New("field: interpolation requires at least one point")
+	}
+	for i := range xs {
+		for j := i + 1; j < n; j++ {
+			if xs[i] == xs[j] {
+				return nil, fmt.Errorf("field: duplicate interpolation abscissa %d", xs[i])
+			}
+		}
+	}
+	num := make([]Element, n) // num[i] = Π_{j≠i} (x - xs[j])
+	den := make([]Element, n) // den[i] = Π_{j≠i} (xs[i] - xs[j])
+	for i := range xs {
+		ni := Element(1)
+		di := Element(1)
+		for j := range xs {
+			if j == i {
+				continue
+			}
+			ni = Mul(ni, Sub(x, xs[j]))
+			di = Mul(di, Sub(xs[i], xs[j]))
+		}
+		num[i] = ni
+		den[i] = di
+	}
+	// Batch-invert the denominators: prefix products, one Inv, unwind.
+	prefix := make([]Element, n+1)
+	prefix[0] = 1
+	for i := 0; i < n; i++ {
+		prefix[i+1] = Mul(prefix[i], den[i])
+	}
+	inv, err := Inv(prefix[n])
+	if err != nil {
+		return nil, err // a zero denominator implies duplicate abscissas
+	}
+	coeffs := make([]Element, n)
+	for i := n - 1; i >= 0; i-- {
+		coeffs[i] = Mul(num[i], Mul(inv, prefix[i]))
+		inv = Mul(inv, den[i])
+	}
+	return coeffs, nil
+}
+
 // RandomElement maps 8 uniformly random bytes to a near-uniform field
 // element by rejection-free reduction. The bias is < 2^-58 and is
 // irrelevant for seed material.

@@ -205,3 +205,46 @@ func BenchmarkInv(b *testing.B) {
 	}
 	_ = x
 }
+
+func TestLagrangeCoefficientsMatchInterpolation(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + int(rng.Uint64()%10)
+		xs := make([]Element, n)
+		ys := make([]Element, n)
+		seen := map[Element]bool{}
+		for i := range xs {
+			for {
+				x := New(rng.Uint64())
+				if x != 0 && !seen[x] {
+					seen[x] = true
+					xs[i] = x
+					break
+				}
+			}
+			ys[i] = New(rng.Uint64())
+		}
+		at := New(rng.Uint64())
+		want, err := LagrangeInterpolateAt(xs, ys, at)
+		if err != nil {
+			t.Fatal(err)
+		}
+		coeffs, err := LagrangeCoefficientsAt(xs, at)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got Element
+		for i := range coeffs {
+			got = Add(got, Mul(ys[i], coeffs[i]))
+		}
+		if got != want {
+			t.Fatalf("trial %d: coefficient dot product %v != interpolation %v", trial, got, want)
+		}
+	}
+	if _, err := LagrangeCoefficientsAt(nil, 0); err == nil {
+		t.Error("empty abscissas should error")
+	}
+	if _, err := LagrangeCoefficientsAt([]Element{1, 1}, 0); err == nil {
+		t.Error("duplicate abscissas should error")
+	}
+}

@@ -20,7 +20,9 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"unsafe"
 
+	"repro/internal/endian"
 	"repro/internal/field"
 )
 
@@ -88,15 +90,26 @@ func NewStreamFromElement(e field.Element) *Stream {
 	return NewStream(FromFieldElement(e))
 }
 
+// bulkChunk is the quantum of the bulk keystream paths: large enough to
+// amortize the CTR call overhead, small enough that a chunk plus its zero
+// source stay cache-resident.
+const bulkChunk = 32768
+
+// zeroChunk is a read-only all-zero XORKeyStream source: XORing the
+// keystream with zeros writes the raw keystream into dst in a single pass,
+// replacing the seed's zero-then-XOR double pass over the refill buffer.
+var zeroChunk [bulkChunk]byte
+
 func (s *Stream) refill() {
-	for i := range s.buf {
-		s.buf[i] = 0
-	}
-	s.ctr.XORKeyStream(s.buf[:], s.buf[:])
+	s.ctr.XORKeyStream(s.buf[:], zeroChunk[:len(s.buf)])
 	s.pos = 0
 }
 
-// Read fills p with pseudorandom bytes. It never fails.
+// Read fills p with pseudorandom bytes. It never fails. It serves entirely
+// from the lookahead buffer: typed 8-byte draws stay allocation-free (p is
+// never passed to the cipher, so callers' stack buffers do not escape).
+// Bulk consumers should use Fill, which streams into large buffers
+// directly.
 func (s *Stream) Read(p []byte) (int, error) {
 	n := len(p)
 	for len(p) > 0 {
@@ -108,6 +121,62 @@ func (s *Stream) Read(p []byte) (int, error) {
 		p = p[c:]
 	}
 	return n, nil
+}
+
+// Fill overwrites dst with the next len(dst) stream bytes, keystreaming
+// directly into the caller's buffer. The logical byte stream is identical
+// to a sequence of Read calls consuming the same total — the internal
+// buffer is pure lookahead — so client and server may freely mix scalar and
+// bulk expansion and still coincide bit-for-bit.
+func (s *Stream) Fill(dst []byte) {
+	// Serve buffered lookahead first so the logical position is contiguous.
+	if s.pos < len(s.buf) {
+		c := copy(dst, s.buf[s.pos:])
+		s.pos += c
+		dst = dst[c:]
+	}
+	// Stream the rest straight from the CTR; small residues go through the
+	// buffer so typed 8-byte draws keep their amortization.
+	for len(dst) >= len(s.buf) {
+		n := len(dst)
+		if n > bulkChunk {
+			n = bulkChunk
+		}
+		s.ctr.XORKeyStream(dst[:n], zeroChunk[:n])
+		dst = dst[n:]
+	}
+	if len(dst) > 0 {
+		s.refill()
+		s.pos = copy(dst, s.buf[:])
+	}
+}
+
+// FillUint64 overwrites dst with the next len(dst) little-endian uint64
+// draws — the bulk form of a Uint64() loop, consuming exactly 8·len(dst)
+// stream bytes. The keystream lands in dst's backing memory; on
+// little-endian hosts that already is the protocol value sequence, on
+// big-endian hosts each word is byte-swapped in place, so all platforms
+// observe the identical draw sequence.
+func (s *Stream) FillUint64(dst []uint64) {
+	if len(dst) == 0 {
+		return
+	}
+	b := unsafe.Slice((*byte)(unsafe.Pointer(unsafe.SliceData(dst))), len(dst)*8)
+	s.Fill(b)
+	if !endian.HostLittle {
+		for i := range dst {
+			dst[i] = binary.LittleEndian.Uint64(b[i*8:])
+		}
+	}
+}
+
+// FillUint64Masked is FillUint64 with each draw ANDed with mask — the bulk
+// form of the Uint64()&mask loop at the heart of SecAgg mask expansion.
+func (s *Stream) FillUint64Masked(dst []uint64, mask uint64) {
+	s.FillUint64(dst)
+	for i := range dst {
+		dst[i] &= mask
+	}
 }
 
 var _ io.Reader = (*Stream)(nil)

@@ -1,0 +1,78 @@
+package ring
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/prg"
+)
+
+// maskInPlaceScalarRef is the seed implementation of MaskInPlace: one
+// buffered 8-byte draw per element. It is kept here as the reference the
+// bulk path is benchmarked (and property-tested) against.
+func maskInPlaceScalarRef(v Vector, s *prg.Stream, sign int) {
+	m := v.Mask()
+	if sign == 1 {
+		for i := range v.Data {
+			v.Data[i] = (v.Data[i] + (s.Uint64() & m)) & m
+		}
+	} else {
+		for i := range v.Data {
+			v.Data[i] = (v.Data[i] - (s.Uint64() & m)) & m
+		}
+	}
+}
+
+func benchMask(b *testing.B, dim int, fn func(v Vector, s *prg.Stream)) {
+	v := NewVector(20, dim)
+	s := prg.NewStream(prg.NewSeed([]byte("mask-bench")))
+	b.SetBytes(int64(dim) * 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fn(v, s)
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(dim), "ns/elem")
+}
+
+func BenchmarkMaskInPlace(b *testing.B) {
+	for _, dim := range []int{4096, 100000} {
+		b.Run(fmt.Sprintf("dim=%d", dim), func(b *testing.B) {
+			benchMask(b, dim, func(v Vector, s *prg.Stream) {
+				if err := v.MaskInPlace(s, 1); err != nil {
+					b.Fatal(err)
+				}
+			})
+		})
+	}
+}
+
+func BenchmarkMaskInPlaceScalarRef(b *testing.B) {
+	for _, dim := range []int{4096, 100000} {
+		b.Run(fmt.Sprintf("dim=%d", dim), func(b *testing.B) {
+			benchMask(b, dim, func(v Vector, s *prg.Stream) {
+				maskInPlaceScalarRef(v, s, 1)
+			})
+		})
+	}
+}
+
+func BenchmarkSum(b *testing.B) {
+	const dim = 4096
+	for _, n := range []int{16, 64} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			vs := make([]Vector, n)
+			for i := range vs {
+				vs[i] = NewVector(20, dim)
+				for j := range vs[i].Data {
+					vs[i].Data[j] = uint64(i*j) & vs[i].Mask()
+				}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := Sum(vs); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

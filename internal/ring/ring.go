@@ -13,6 +13,7 @@ package ring
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/prg"
 )
@@ -124,22 +125,112 @@ func (v Vector) Centered() []int64 {
 	return out
 }
 
+// maskScratchLen is the per-chunk element count of the bulk masking path:
+// 16 KiB of keystream per chunk amortizes the cipher call while keeping
+// scratch, the PRG's zero source, and the vector chunk cache-resident.
+const maskScratchLen = 2048
+
+// maskScratch pools keystream chunks so concurrent maskers (the parallel
+// unmask workers, the client's per-peer expansion) never allocate per call.
+var maskScratch = sync.Pool{New: func() any {
+	b := make([]uint64, maskScratchLen)
+	return &b
+}}
+
 // MaskInPlace adds (sign=+1) or subtracts (sign=-1) a PRG-expanded mask:
 // the SecAgg pairwise mask p_{u,v} = γ_{u,v}·PRG(s_{u,v}) or the self mask
-// p_u = PRG(b_u). The stream is consumed for exactly Len() draws, so client
-// and server expansions coincide.
+// p_u = PRG(b_u). The stream is consumed for exactly Len() 8-byte draws, so
+// client and server expansions coincide; the bulk expansion below is
+// element-identical to the seed's scalar Uint64()&mask loop.
 func (v Vector) MaskInPlace(s *prg.Stream, sign int) error {
 	if sign != 1 && sign != -1 {
 		return fmt.Errorf("ring: mask sign must be ±1, got %d", sign)
 	}
+	sp := maskScratch.Get().(*[]uint64)
+	full := *sp
 	m := v.Mask()
-	if sign == 1 {
-		for i := range v.Data {
-			v.Data[i] = (v.Data[i] + (s.Uint64() & m)) & m
+	data := v.Data
+	for len(data) > 0 {
+		n := len(data)
+		if n > maskScratchLen {
+			n = maskScratchLen
 		}
-	} else {
-		for i := range v.Data {
-			v.Data[i] = (v.Data[i] - (s.Uint64() & m)) & m
+		ks := full[:n]
+		s.FillUint64(ks)
+		chunk := data[:n:n]
+		// (x ± (k&m)) & m == (x ± k) & m: carries/borrows propagate upward
+		// only, so the raw keystream word adds without pre-masking.
+		if sign == 1 {
+			i := 0
+			for ; i+4 <= len(chunk); i += 4 {
+				chunk[i] = (chunk[i] + ks[i]) & m
+				chunk[i+1] = (chunk[i+1] + ks[i+1]) & m
+				chunk[i+2] = (chunk[i+2] + ks[i+2]) & m
+				chunk[i+3] = (chunk[i+3] + ks[i+3]) & m
+			}
+			for ; i < len(chunk); i++ {
+				chunk[i] = (chunk[i] + ks[i]) & m
+			}
+		} else {
+			i := 0
+			for ; i+4 <= len(chunk); i += 4 {
+				chunk[i] = (chunk[i] - ks[i]) & m
+				chunk[i+1] = (chunk[i+1] - ks[i+1]) & m
+				chunk[i+2] = (chunk[i+2] - ks[i+2]) & m
+				chunk[i+3] = (chunk[i+3] - ks[i+3]) & m
+			}
+			for ; i < len(chunk); i++ {
+				chunk[i] = (chunk[i] - ks[i]) & m
+			}
+		}
+		data = data[n:]
+	}
+	maskScratch.Put(sp)
+	return nil
+}
+
+// AddManyInPlace sets v += Σ os (mod 2^b) in cache-friendly blocks: each
+// block of v is kept hot while every addend streams through it once, so the
+// accumulator's cache lines are touched once per block rather than once per
+// vector.
+func (v Vector) AddManyInPlace(os []Vector) error {
+	return v.fusedManyInPlace(os, 1)
+}
+
+// SubManyInPlace sets v -= Σ os (mod 2^b), the removal-side dual of
+// AddManyInPlace.
+func (v Vector) SubManyInPlace(os []Vector) error {
+	return v.fusedManyInPlace(os, -1)
+}
+
+// fusedBlock is the accumulator block size of the fused many-vector loops:
+// 16 KiB of accumulator stays L1-resident across all addend passes.
+const fusedBlock = 2048
+
+func (v Vector) fusedManyInPlace(os []Vector, sign int) error {
+	for _, o := range os {
+		if err := v.compatible(o); err != nil {
+			return err
+		}
+	}
+	m := v.Mask()
+	for start := 0; start < len(v.Data); start += fusedBlock {
+		end := start + fusedBlock
+		if end > len(v.Data) {
+			end = len(v.Data)
+		}
+		acc := v.Data[start:end]
+		for _, o := range os {
+			src := o.Data[start:end]
+			if sign == 1 {
+				for i := range acc {
+					acc[i] = (acc[i] + src[i]) & m
+				}
+			} else {
+				for i := range acc {
+					acc[i] = (acc[i] - src[i]) & m
+				}
+			}
 		}
 	}
 	return nil
@@ -152,10 +243,8 @@ func Sum(vs []Vector) (Vector, error) {
 		return Vector{}, fmt.Errorf("ring: Sum of zero vectors")
 	}
 	acc := vs[0].Clone()
-	for _, v := range vs[1:] {
-		if err := acc.AddInPlace(v); err != nil {
-			return Vector{}, err
-		}
+	if err := acc.AddManyInPlace(vs[1:]); err != nil {
+		return Vector{}, err
 	}
 	return acc, nil
 }

@@ -289,3 +289,99 @@ func BenchmarkMask1M(b *testing.B) {
 		}
 	}
 }
+
+// TestMaskInPlaceMatchesScalarRef: the bulk mask expansion is
+// element-identical to the seed's scalar Uint64()&mask loop, across odd
+// dimensions (scratch-boundary straddling) and both signs, and a +1 then
+// -1 round trip restores the original vector.
+func TestMaskInPlaceMatchesScalarRef(t *testing.T) {
+	dims := []int{0, 1, 7, 63, 512, 2047, 2048, 2049, 5000, 10000}
+	for _, dim := range dims {
+		for _, sign := range []int{1, -1} {
+			seed := prg.NewSeed([]byte("bulk-vs-scalar"), []byte{byte(dim), byte(sign + 2)})
+			want := NewVector(20, dim)
+			got := NewVector(20, dim)
+			for i := 0; i < dim; i++ {
+				want.Data[i] = uint64(i*7+1) & want.Mask()
+				got.Data[i] = want.Data[i]
+			}
+			orig := got.Clone()
+			maskInPlaceScalarRef(want, prg.NewStream(seed), sign)
+			if err := got.MaskInPlace(prg.NewStream(seed), sign); err != nil {
+				t.Fatal(err)
+			}
+			if !Equal(want, got) {
+				t.Fatalf("dim %d sign %+d: bulk mask differs from scalar reference", dim, sign)
+			}
+			if err := got.MaskInPlace(prg.NewStream(seed), -sign); err != nil {
+				t.Fatal(err)
+			}
+			if !Equal(got, orig) {
+				t.Fatalf("dim %d sign %+d: +/- mask round trip does not restore vector", dim, sign)
+			}
+		}
+	}
+}
+
+// TestMaskInPlaceStreamPosition: bulk masking consumes exactly 8·dim
+// stream bytes, so draws after masking coincide with the scalar path.
+func TestMaskInPlaceStreamPosition(t *testing.T) {
+	seed := prg.NewSeed([]byte("position"))
+	const dim = 777
+	sBulk := prg.NewStream(seed)
+	sScalar := prg.NewStream(seed)
+	v := NewVector(20, dim)
+	if err := v.MaskInPlace(sBulk, 1); err != nil {
+		t.Fatal(err)
+	}
+	w := NewVector(20, dim)
+	maskInPlaceScalarRef(w, sScalar, 1)
+	for i := 0; i < 16; i++ {
+		if a, b := sBulk.Uint64(), sScalar.Uint64(); a != b {
+			t.Fatalf("draw %d after masking: bulk stream at %#x, scalar at %#x", i, a, b)
+		}
+	}
+}
+
+func TestAddSubManyInPlace(t *testing.T) {
+	const dim = 4999 // straddles the fused block size
+	acc := NewVector(20, dim)
+	ref := NewVector(20, dim)
+	for i := 0; i < dim; i++ {
+		acc.Data[i] = uint64(i) & acc.Mask()
+		ref.Data[i] = acc.Data[i]
+	}
+	os := make([]Vector, 5)
+	for k := range os {
+		os[k] = NewVector(20, dim)
+		for i := 0; i < dim; i++ {
+			os[k].Data[i] = uint64(i*13+k*999983) & acc.Mask()
+		}
+	}
+	if err := acc.AddManyInPlace(os); err != nil {
+		t.Fatal(err)
+	}
+	for _, o := range os {
+		if err := ref.AddInPlace(o); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !Equal(acc, ref) {
+		t.Fatal("AddManyInPlace differs from sequential AddInPlace")
+	}
+	if err := acc.SubManyInPlace(os); err != nil {
+		t.Fatal(err)
+	}
+	for _, o := range os {
+		if err := ref.SubInPlace(o); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !Equal(acc, ref) {
+		t.Fatal("SubManyInPlace differs from sequential SubInPlace")
+	}
+	bad := NewVector(20, dim+1)
+	if err := acc.AddManyInPlace([]Vector{bad}); err == nil {
+		t.Error("dimension mismatch should be rejected")
+	}
+}

@@ -48,54 +48,100 @@ func GaussianVector(s *prg.Stream, stdDev float64, out []float64) {
 // (transformed rejection with squeeze) algorithm of Hörmann (1993),
 // which is O(1) per sample.
 func Poisson(s *prg.Stream, lambda float64) int64 {
-	switch {
-	case lambda <= 0:
+	if lambda <= 0 {
 		return 0
-	case lambda < 30:
-		return poissonKnuth(s, lambda)
-	default:
-		return poissonPTRS(s, lambda)
 	}
+	ps := newPoissonSampler(lambda)
+	return ps.draw(s.Float64)
 }
 
-func poissonKnuth(s *prg.Stream, lambda float64) int64 {
-	limit := math.Exp(-lambda)
-	var k int64
-	p := 1.0
-	for {
-		p *= s.Float64()
-		if p <= limit {
-			return k
-		}
-		k++
-	}
+// uniformBatch prefetches uniform draws in bulk (FillUint64) so the
+// variable-rate consumers below pay the cipher's bulk rate rather than one
+// buffered 8-byte read per draw. Prefetching consumes the underlying
+// stream in batch quanta: the draw VALUE sequence is identical to scalar
+// Float64 calls, but the stream position after a vector fill is not —
+// vector samplers therefore require a dedicated stream (which is how every
+// protocol call site uses them: one seed-derived stream per noise
+// component).
+type uniformBatch struct {
+	s   *prg.Stream
+	buf [512]uint64
+	pos int
 }
 
-// poissonPTRS implements Hörmann's transformed rejection method with
-// squeeze for Poisson(λ), λ ≥ 10. Reference: W. Hörmann, "The transformed
-// rejection method for generating Poisson random variables", Insurance:
-// Mathematics and Economics 12 (1993). This is the same variant used by
-// NumPy's generator.
-func poissonPTRS(s *prg.Stream, lambda float64) int64 {
+func newUniformBatch(s *prg.Stream) *uniformBatch {
+	b := &uniformBatch{s: s}
+	b.pos = len(b.buf)
+	return b
+}
+
+func (b *uniformBatch) float64() float64 {
+	if b.pos == len(b.buf) {
+		b.s.FillUint64(b.buf[:])
+		b.pos = 0
+	}
+	v := b.buf[b.pos]
+	b.pos++
+	return float64(v>>11) / (1 << 53)
+}
+
+// poissonSampler holds the λ-dependent constants of both Poisson
+// algorithms so vector fills with a fixed λ compute them once, not per
+// element (SkellamVector previously paid two math.Exp per output).
+type poissonSampler struct {
+	lambda float64
+	knuth  bool
+	limit  float64 // Knuth: e^-λ
+	// PTRS constants (Hörmann 1993).
+	loglam, b, a, invalpha, vr float64
+}
+
+func newPoissonSampler(lambda float64) poissonSampler {
+	ps := poissonSampler{lambda: lambda}
+	if lambda < 30 {
+		ps.knuth = true
+		ps.limit = math.Exp(-lambda)
+		return ps
+	}
 	slam := math.Sqrt(lambda)
-	loglam := math.Log(lambda)
-	b := 0.931 + 2.53*slam
-	a := -0.059 + 0.02483*b
-	invalpha := 1.1239 + 1.1328/(b-3.4)
-	vr := 0.9277 - 3.6224/(b-2)
+	ps.loglam = math.Log(lambda)
+	ps.b = 0.931 + 2.53*slam
+	ps.a = -0.059 + 0.02483*ps.b
+	ps.invalpha = 1.1239 + 1.1328/(ps.b-3.4)
+	ps.vr = 0.9277 - 3.6224/(ps.b-2)
+	return ps
+}
+
+// draw produces one variate, consuming uniforms from next. The draw
+// sequence is identical to the seed implementation's
+// poissonKnuth/poissonPTRS.
+func (ps *poissonSampler) draw(next func() float64) int64 {
+	if ps.knuth {
+		var k int64
+		p := 1.0
+		for {
+			p *= next()
+			if p <= ps.limit {
+				return k
+			}
+			k++
+		}
+	}
+	// PTRS: transformed rejection with squeeze, the same variant used by
+	// NumPy's generator.
 	for {
-		u := s.Float64() - 0.5
-		v := s.Float64()
-		us := 0.5 - math.Abs(u)
-		kf := math.Floor((2*a/us+b)*u + lambda + 0.43)
-		if us >= 0.07 && v <= vr {
+		uu := next() - 0.5
+		v := next()
+		us := 0.5 - math.Abs(uu)
+		kf := math.Floor((2*ps.a/us+ps.b)*uu + ps.lambda + 0.43)
+		if us >= 0.07 && v <= ps.vr {
 			return int64(kf)
 		}
 		if kf < 0 || (us < 0.013 && v > us) {
 			continue
 		}
 		lg, _ := math.Lgamma(kf + 1)
-		if math.Log(v)+math.Log(invalpha)-math.Log(a/(us*us)+b) <= -lambda+kf*loglam-lg {
+		if math.Log(v)+math.Log(ps.invalpha)-math.Log(ps.a/(us*us)+ps.b) <= -ps.lambda+kf*ps.loglam-lg {
 			return int64(kf)
 		}
 	}
@@ -112,10 +158,31 @@ func Skellam(s *prg.Stream, mu float64) int64 {
 	return Poisson(s, mu/2) - Poisson(s, mu/2)
 }
 
-// SkellamVector fills out with iid Skellam(mu) samples.
+// SkellamVector fills out with iid Skellam(mu) samples. The λ-dependent
+// sampler constants are computed once for the whole vector and the
+// uniforms are prefetched in bulk, so a fill runs at the PRG's bulk rate.
+//
+// Stream-consumption contract: the underlying stream is consumed in batch
+// quanta (leftover prefetched draws are discarded at the end of the fill),
+// so the stream position afterwards differs from a loop of Skellam(s, mu)
+// calls. The samples are iid Skellam(mu) either way, but callers needing
+// two parties to regenerate identical noise must give each vector fill a
+// dedicated seed-derived stream — the XNoise add/remove path does exactly
+// that (one stream per noise component, xnoise.ComponentNoise). Call sites
+// that keep drawing from a shared stream across fills (the fl experiment
+// harness) get a different — equally distributed — noise sequence than a
+// scalar-draw implementation would produce.
 func SkellamVector(s *prg.Stream, mu float64, out []int64) {
+	if mu <= 0 {
+		for i := range out {
+			out[i] = 0
+		}
+		return
+	}
+	ps := newPoissonSampler(mu / 2)
+	next := newUniformBatch(s).float64
 	for i := range out {
-		out[i] = Skellam(s, mu)
+		out[i] = ps.draw(next) - ps.draw(next)
 	}
 }
 

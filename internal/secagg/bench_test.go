@@ -62,3 +62,13 @@ func BenchmarkRoundScaling(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkRound64QuickScale is the end-to-end 64-client round at the
+// QuickScale dimension with XNoise and dropout — the hot path the paper's
+// Fig. 2 shows dominating round time.
+func BenchmarkRound64QuickScale(b *testing.B) { benchRound(b, 64, 4096, true, 8) }
+
+// BenchmarkRound64LargeModel is the same round at a large-model dimension
+// (65536 ≈ the paper's CNN update scale after chunking), where per-element
+// compute dominates the fixed per-pair key-agreement cost.
+func BenchmarkRound64LargeModel(b *testing.B) { benchRound(b, 64, 65536, true, 8) }

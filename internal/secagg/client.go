@@ -269,23 +269,32 @@ func (c *Client) MaskedInput(ciphertexts []EncryptedShareMsg) (MaskedInputMsg, e
 			return MaskedInputMsg{}, err
 		}
 	}
-	// Self mask p_u = PRG(b_u).
-	if err := y.MaskInPlace(prg.NewStreamFromElement(c.selfSeed), 1); err != nil {
-		return MaskedInputMsg{}, err
-	}
-	// Pairwise masks p_{u,v} over u2 (the set that holds shares of our
-	// key, hence can unmask us if we die).
+	// Self mask p_u = PRG(b_u) plus pairwise masks p_{u,v} over u2 (the set
+	// that holds shares of our key, hence can unmask us if we die). Each
+	// mask is an independent PRG expansion — key agreement included — so
+	// they fan out across the worker pool and merge commutatively.
+	tasks := make([]maskTask, 0, len(c.u2))
+	selfSeed := c.selfSeed
+	tasks = append(tasks, maskTask{sign: 1, make: func() (*prg.Stream, error) {
+		return prg.NewStreamFromElement(selfSeed), nil
+	}})
 	for _, peer := range c.u2 {
 		if peer == c.id {
 			continue
 		}
-		stream, sign, err := pairMaskStream(c.maskKey, c.roster[peer].MaskPub, c.id, peer)
-		if err != nil {
-			return MaskedInputMsg{}, err
-		}
-		if err := y.MaskInPlace(stream, sign); err != nil {
-			return MaskedInputMsg{}, err
-		}
+		peer := peer
+		peerPub := c.roster[peer].MaskPub
+		tasks = append(tasks, maskTask{sign: pairMaskSign(c.id, peer), make: func() (*prg.Stream, error) {
+			stream, _, err := pairMaskStream(c.maskKey, peerPub, c.id, peer)
+			return stream, err
+		}})
+	}
+	delta, err := applyMaskTasks(c.cfg.Bits, c.cfg.Dim, tasks)
+	if err != nil {
+		return MaskedInputMsg{}, err
+	}
+	if err := y.AddInPlace(delta); err != nil {
+		return MaskedInputMsg{}, err
 	}
 	return MaskedInputMsg{From: c.id, Y: y.Data}, nil
 }
@@ -297,11 +306,7 @@ func pairMaskStream(own *dh.KeyPair, peerPub []byte, u, v uint64) (*prg.Stream, 
 	if err != nil {
 		return nil, 0, fmt.Errorf("secagg: mask key agreement %d↔%d: %w", u, v, err)
 	}
-	sign := 1
-	if u < v {
-		sign = -1
-	}
-	return prg.NewStream(prg.NewSeed([]byte("dordis/secagg/pairmask/v1"), secret[:])), sign, nil
+	return prg.NewStream(prg.NewSeed([]byte("dordis/secagg/pairmask/v1"), secret[:])), pairMaskSign(u, v), nil
 }
 
 // checkU3 verifies the parts of a claimed U3 the client can vouch for: a

@@ -70,19 +70,22 @@ func shareKey(secret [32]byte, t int, xs []field.Element, rand io.Reader) ([][nu
 }
 
 // reconstructKey recovers the 32-byte secret from at least t share
-// bundles.
+// bundles. All chunks of one bundle share the same abscissa, so the five
+// chunk sharings reconstruct with a single Lagrange coefficient pass.
 func reconstructKey(bundles [][numKeyChunks]shamir.Share, t int) ([32]byte, error) {
-	var chunks [numKeyChunks]field.Element
+	sets := make([][]shamir.Share, numKeyChunks)
 	for c := 0; c < numKeyChunks; c++ {
 		shares := make([]shamir.Share, len(bundles))
 		for i := range bundles {
 			shares[i] = bundles[i][c]
 		}
-		v, err := shamir.Reconstruct(shares, t)
-		if err != nil {
-			return [32]byte{}, fmt.Errorf("secagg: reconstructing key chunk %d: %w", c, err)
-		}
-		chunks[c] = v
+		sets[c] = shares
 	}
+	recovered, err := shamir.ReconstructBatch(sets, t)
+	if err != nil {
+		return [32]byte{}, fmt.Errorf("secagg: reconstructing key chunks: %w", err)
+	}
+	var chunks [numKeyChunks]field.Element
+	copy(chunks[:], recovered)
 	return chunksToBytes(chunks), nil
 }

@@ -1,0 +1,137 @@
+package secagg
+
+import (
+	"encoding/binary"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/field"
+	"repro/internal/prg"
+	"repro/internal/ring"
+	"repro/internal/shamir"
+)
+
+// maskTask is one independent mask expansion: build a PRG stream (any key
+// agreement or share reconstruction happens on the worker) and fold its
+// expansion into an accumulator with the given sign.
+type maskTask struct {
+	sign int
+	make func() (*prg.Stream, error)
+}
+
+// applyMaskTasks expands every task and returns Δ = Σ sign_i·PRG_i as a
+// fresh vector. Mask removals/additions are independent and commutative in
+// ℤ_{2^b}, so tasks fan out across a bounded worker pool, each worker
+// accumulating into a private partial vector; the partials are merged once
+// at the end. With a single worker (or a single task) the pool is skipped
+// entirely, so the sequential hot path pays no synchronization.
+func applyMaskTasks(bits uint, dim int, tasks []maskTask) (ring.Vector, error) {
+	delta := ring.NewVector(bits, dim)
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(tasks) {
+		workers = len(tasks)
+	}
+	if workers <= 1 {
+		for _, t := range tasks {
+			s, err := t.make()
+			if err != nil {
+				return ring.Vector{}, err
+			}
+			if err := delta.MaskInPlace(s, t.sign); err != nil {
+				return ring.Vector{}, err
+			}
+		}
+		return delta, nil
+	}
+
+	var (
+		next    int
+		nextMu  sync.Mutex
+		wg      sync.WaitGroup
+		errOnce sync.Once
+		firstEr error
+		failed  atomic.Bool
+	)
+	partials := make([]ring.Vector, workers)
+	for w := 0; w < workers; w++ {
+		partials[w] = ring.NewVector(bits, dim)
+		wg.Add(1)
+		go func(p ring.Vector) {
+			defer wg.Done()
+			for {
+				nextMu.Lock()
+				i := next
+				next++
+				nextMu.Unlock()
+				// Stop claiming work once any worker failed: the round is
+				// aborting, no point burning key agreements and expansions.
+				if i >= len(tasks) || failed.Load() {
+					return
+				}
+				s, err := tasks[i].make()
+				if err == nil {
+					err = p.MaskInPlace(s, tasks[i].sign)
+				}
+				if err != nil {
+					errOnce.Do(func() { firstEr = err })
+					failed.Store(true)
+					return
+				}
+			}
+		}(partials[w])
+	}
+	wg.Wait()
+	if firstEr != nil {
+		return ring.Vector{}, firstEr
+	}
+	if err := delta.AddManyInPlace(partials); err != nil {
+		return ring.Vector{}, err
+	}
+	return delta, nil
+}
+
+// abscissaKey packs the first t share abscissas into a comparable string,
+// identifying a reconstruction cohort.
+func abscissaKey(shares []shamir.Share, t int) string {
+	b := make([]byte, 8*t)
+	for i, s := range shares[:t] {
+		binary.LittleEndian.PutUint64(b[i*8:], s.X.Uint64())
+	}
+	return string(b)
+}
+
+// reconstructGrouped recovers one secret per id, batching ids whose share
+// lists present the same abscissa cohort so the Lagrange coefficients are
+// computed once per cohort rather than once per id. Under the complete
+// graph every live client's self-seed shares come from the same survivor
+// set, collapsing |U3| reconstructions into a single coefficient pass;
+// under a SecAgg+ graph each neighborhood cohort batches separately.
+func reconstructGrouped(ids []uint64, sharesOf func(uint64) []shamir.Share, t int) (map[uint64]field.Element, error) {
+	groups := make(map[string][]uint64)
+	for _, id := range ids {
+		shares := sharesOf(id)
+		if len(shares) < t {
+			return nil, fmt.Errorf("secagg: client %d: %w (have %d, need %d)",
+				id, shamir.ErrTooFewShares, len(shares), t)
+		}
+		k := abscissaKey(shares, t)
+		groups[k] = append(groups[k], id)
+	}
+	out := make(map[uint64]field.Element, len(ids))
+	for _, members := range groups {
+		sets := make([][]shamir.Share, len(members))
+		for i, id := range members {
+			sets[i] = sharesOf(id)
+		}
+		secrets, err := shamir.ReconstructBatch(sets, t)
+		if err != nil {
+			return nil, err
+		}
+		for i, id := range members {
+			out[id] = secrets[i]
+		}
+	}
+	return out, nil
+}

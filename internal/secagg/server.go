@@ -205,29 +205,47 @@ func (s *Server) CollectUnmask(msgs []UnmaskMsg) (*NoiseShareRequest, error) {
 }
 
 // unmask computes z = Σ_{u∈U3} y_u − Σ_{u∈U3} p_u + Σ_{u∈U3, v∈U2\U3} p_{v,u}.
+//
+// The mask removals are independent and commutative, so the expansion work
+// fans out across a bounded worker pool (applyMaskTasks); the self-mask
+// seeds b_u are recovered with one batched Lagrange pass per survivor
+// cohort rather than one quadratic interpolation per client.
 func (s *Server) unmask() error {
 	z := ring.NewVector(s.cfg.Bits, s.cfg.Dim)
+	inputs := make([]ring.Vector, 0, len(s.u3))
 	for _, u := range s.u3 {
-		if err := z.AddInPlace(s.masked[u]); err != nil {
-			return err
-		}
+		inputs = append(inputs, s.masked[u])
 	}
+	if err := z.AddManyInPlace(inputs); err != nil {
+		return err
+	}
+
+	// Reconstruct the self-mask seeds of live clients in one batch per
+	// abscissa cohort.
+	selfSeeds, err := reconstructGrouped(s.u3, func(u uint64) []shamir.Share {
+		return s.selfSeedShares[u]
+	}, s.cfg.Threshold)
+	if err != nil {
+		return fmt.Errorf("secagg: reconstructing self seeds: %w", err)
+	}
+
+	var tasks []maskTask
 	// Remove self masks of live clients via reconstructed b_u.
 	for _, u := range s.u3 {
-		shares := s.selfSeedShares[u]
-		b, err := shamir.Reconstruct(shares, s.cfg.Threshold)
-		if err != nil {
-			return fmt.Errorf("secagg: reconstructing b_%d: %w", u, err)
-		}
-		if err := z.MaskInPlace(prg.NewStreamFromElement(b), -1); err != nil {
-			return err
-		}
+		b := selfSeeds[u]
+		tasks = append(tasks, maskTask{sign: -1, make: func() (*prg.Stream, error) {
+			return prg.NewStreamFromElement(b), nil
+		}})
 	}
-	// Remove the unpaired pairwise masks of dropped clients v ∈ U2\U3.
+	// Remove the unpaired pairwise masks of dropped clients v ∈ U2\U3. Key
+	// reconstruction and verification run inline (one per dropped client);
+	// the per-neighbor key agreements and mask expansions — the bulk of the
+	// work — run on the workers.
 	for _, v := range s.u2 {
 		if contains(s.u3, v) {
 			continue
 		}
+		v := v
 		bundles := s.maskKeyShares[v]
 		keyBytes, err := reconstructKey(bundles, s.cfg.Threshold)
 		if err != nil {
@@ -248,18 +266,33 @@ func (s *Server) unmask() error {
 			if _, ok := vNbrs[u]; !ok {
 				continue
 			}
-			stream, uSign, err := pairMaskStream(kp, s.roster[u].MaskPub, u, v)
-			if err != nil {
-				return err
-			}
+			u := u
+			uPub := s.roster[u].MaskPub
 			// Client u added γ_{u,v}·PRG; cancel it.
-			if err := z.MaskInPlace(stream, -uSign); err != nil {
-				return err
-			}
+			tasks = append(tasks, maskTask{sign: -pairMaskSign(u, v), make: func() (*prg.Stream, error) {
+				stream, _, err := pairMaskStream(kp, uPub, u, v)
+				return stream, err
+			}})
 		}
+	}
+	delta, err := applyMaskTasks(s.cfg.Bits, s.cfg.Dim, tasks)
+	if err != nil {
+		return err
+	}
+	if err := z.AddInPlace(delta); err != nil {
+		return err
 	}
 	s.sum = z
 	return nil
+}
+
+// pairMaskSign returns γ_{u,v} (+1 iff u > v), mirroring pairMaskStream's
+// sign without performing the key agreement.
+func pairMaskSign(u, v uint64) int {
+	if u < v {
+		return -1
+	}
+	return 1
 }
 
 // CollectNoiseShares ingests stage-5 responses and reconstructs the
@@ -294,13 +327,30 @@ func (s *Server) CollectNoiseShares(msgs []NoiseShareMsg) error {
 		if contains(s.u5, v) {
 			continue
 		}
-		seeds := make(map[int]field.Element, len(ks))
-		for _, k := range ks {
-			g, err := shamir.Reconstruct(s.noiseShares[v][k], s.cfg.Threshold)
-			if err != nil {
-				return fmt.Errorf("secagg: reconstructing g_{%d,%d}: %w", v, k, err)
+		// All K seed sharings of one client are normally reported by the
+		// same responder cohort in the same order, so one Lagrange
+		// coefficient pass recovers every component (§3.2 recovery shape).
+		// If a partial or misbehaving responder makes the cohorts diverge
+		// across components, fall back to independent per-component
+		// reconstruction, which only needs ≥t shares per component.
+		sets := make([][]shamir.Share, len(ks))
+		for i, k := range ks {
+			sets[i] = s.noiseShares[v][k]
+		}
+		recovered, err := shamir.ReconstructBatch(sets, s.cfg.Threshold)
+		if err != nil {
+			recovered = make([]field.Element, len(ks))
+			for i, k := range ks {
+				g, err := shamir.Reconstruct(s.noiseShares[v][k], s.cfg.Threshold)
+				if err != nil {
+					return fmt.Errorf("secagg: reconstructing g_{%d,%d}: %w", v, k, err)
+				}
+				recovered[i] = g
 			}
-			seeds[k] = g
+		}
+		seeds := make(map[int]field.Element, len(ks))
+		for i, k := range ks {
+			seeds[k] = recovered[i]
 		}
 		s.noiseSeeds[v] = seeds
 	}

@@ -36,3 +36,48 @@ func BenchmarkThresholdSweep(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkReconstructMany measures recovering K secrets shared over the
+// same abscissa set — the exact shape of XNoise seed recovery (§3.2), where
+// the survivor set is identical across all K noise seeds.
+func BenchmarkReconstructMany(b *testing.B) {
+	const n, t, k = 64, 48, 16
+	sets := make([][]Share, k)
+	for i := range sets {
+		shares, err := SplitIndexed(field.New(uint64(1000+i)), t, n, rand.Reader)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sets[i] = shares[:t]
+	}
+	b.Run("loop-of-Reconstruct", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, shares := range sets {
+				if _, err := Reconstruct(shares, t); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+}
+
+// BenchmarkReconstructBatch is the batched counterpart of
+// BenchmarkReconstructMany: one Lagrange coefficient pass shared by all
+// K secrets.
+func BenchmarkReconstructBatch(b *testing.B) {
+	const n, t, k = 64, 48, 16
+	sets := make([][]Share, k)
+	for i := range sets {
+		shares, err := SplitIndexed(field.New(uint64(1000+i)), t, n, rand.Reader)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sets[i] = shares[:t]
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ReconstructBatch(sets, t); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

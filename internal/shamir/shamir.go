@@ -106,6 +106,50 @@ func Reconstruct(shares []Share, t int) (field.Element, error) {
 	return v, nil
 }
 
+// ReconstructBatch recovers K secrets that were shared over the same
+// abscissa set: shareSets[k] holds the shares of secret k, and every set
+// must present the same abscissas in the same order (the natural shape
+// when one survivor cohort reports shares for many secrets — XNoise seed
+// recovery, chunked key reconstruction). The Lagrange-at-zero coefficients
+// are computed once from the first t shares and reused across all K
+// secrets, turning K·O(t²) work into O(t²) + K·O(t).
+func ReconstructBatch(shareSets [][]Share, t int) ([]field.Element, error) {
+	if len(shareSets) == 0 {
+		return nil, nil
+	}
+	first := shareSets[0]
+	if len(first) < t {
+		return nil, fmt.Errorf("%w: have %d, need %d", ErrTooFewShares, len(first), t)
+	}
+	xs := make([]field.Element, t)
+	for i, s := range first[:t] {
+		if s.X == 0 {
+			return nil, ErrZeroX
+		}
+		xs[i] = s.X
+	}
+	coeffs, err := field.LagrangeCoefficientsAt(xs, 0)
+	if err != nil {
+		return nil, fmt.Errorf("shamir: %w", err)
+	}
+	out := make([]field.Element, len(shareSets))
+	for k, shares := range shareSets {
+		if len(shares) < t {
+			return nil, fmt.Errorf("%w: set %d has %d, need %d", ErrTooFewShares, k, len(shares), t)
+		}
+		var acc field.Element
+		for i, s := range shares[:t] {
+			if s.X != xs[i] {
+				return nil, fmt.Errorf("shamir: batch abscissa mismatch at set %d index %d: %v vs %v",
+					k, i, s.X, xs[i])
+			}
+			acc = field.Add(acc, field.Mul(s.Y, coeffs[i]))
+		}
+		out[k] = acc
+	}
+	return out, nil
+}
+
 // Combine adds two sharings of the same participant set point-wise,
 // producing shares of the sum of the underlying secrets. Both inputs must
 // have matching abscissas in matching order.

@@ -200,3 +200,50 @@ func BenchmarkReconstruct51of100(b *testing.B) {
 		}
 	}
 }
+
+// TestReconstructBatch: batch reconstruction over a shared abscissa set
+// equals per-secret Reconstruct, and malformed batches are rejected.
+func TestReconstructBatch(t *testing.T) {
+	const n, tt, k = 12, 7, 9
+	sets := make([][]Share, k)
+	want := make([]field.Element, k)
+	for i := range sets {
+		secret := field.New(uint64(31337 * (i + 1)))
+		shares, err := SplitIndexed(secret, tt, n, rand.Reader)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Same survivor subset for every secret, as in XNoise recovery.
+		sets[i] = shares[2 : 2+tt]
+		want[i] = secret
+	}
+	got, err := ReconstructBatch(sets, tt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("secret %d: batch got %v, want %v", i, got[i], want[i])
+		}
+		single, err := Reconstruct(sets[i], tt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got[i] != single {
+			t.Fatalf("secret %d: batch %v != single %v", i, got[i], single)
+		}
+	}
+
+	if out, err := ReconstructBatch(nil, tt); err != nil || out != nil {
+		t.Errorf("empty batch: got %v, %v", out, err)
+	}
+	if _, err := ReconstructBatch([][]Share{sets[0][:tt-1]}, tt); err == nil {
+		t.Error("too few shares should be rejected")
+	}
+	// Mismatched abscissa order must be detected, not silently mis-summed.
+	bad := append([]Share(nil), sets[1]...)
+	bad[0], bad[1] = bad[1], bad[0]
+	if _, err := ReconstructBatch([][]Share{sets[0], bad}, tt); err == nil {
+		t.Error("abscissa mismatch should be rejected")
+	}
+}

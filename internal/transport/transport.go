@@ -15,6 +15,10 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"net"
+	"unsafe"
+
+	"repro/internal/endian"
 )
 
 // Frame is one protocol message on the wire. Payload encoding is the
@@ -56,7 +60,9 @@ var ErrClosed = errors.New("transport: connection closed")
 
 const maxFrameBytes = 1 << 28 // 256 MiB: above any chunked update we send
 
-// writeFrame writes a length-prefixed frame.
+// writeFrame writes a length-prefixed frame. Header and payload go out in
+// one gathered write (writev on TCP connections), so a frame never splits
+// into a 20-byte segment followed by the payload.
 func writeFrame(w io.Writer, f Frame) error {
 	var hdr [20]byte
 	if len(f.Payload) > maxFrameBytes {
@@ -65,10 +71,8 @@ func writeFrame(w io.Writer, f Frame) error {
 	binary.LittleEndian.PutUint64(hdr[0:], f.From)
 	binary.LittleEndian.PutUint32(hdr[8:], uint32(f.Stage))
 	binary.LittleEndian.PutUint64(hdr[12:], uint64(len(f.Payload)))
-	if _, err := w.Write(hdr[:]); err != nil {
-		return err
-	}
-	_, err := w.Write(f.Payload)
+	bufs := net.Buffers{hdr[:], f.Payload}
+	_, err := bufs.WriteTo(w)
 	return err
 }
 
@@ -91,4 +95,47 @@ func readFrame(r io.Reader) (Frame, error) {
 		return Frame{}, err
 	}
 	return f, nil
+}
+
+// --- bulk little-endian word codecs (shared by the binary payload codecs) ---
+
+// AppendUint64sLE appends xs to dst in little-endian wire order. On
+// little-endian hosts the word slab is copied in one memmove; the
+// big-endian fallback encodes per element.
+func AppendUint64sLE(dst []byte, xs []uint64) []byte {
+	if len(xs) == 0 {
+		return dst
+	}
+	if endian.HostLittle {
+		src := unsafe.Slice((*byte)(unsafe.Pointer(unsafe.SliceData(xs))), len(xs)*8)
+		return append(dst, src...)
+	}
+	off := len(dst)
+	dst = append(dst, make([]byte, len(xs)*8)...)
+	for i, x := range xs {
+		binary.LittleEndian.PutUint64(dst[off+i*8:], x)
+	}
+	return dst
+}
+
+// DecodeUint64sLE decodes n little-endian uint64 words from src into a
+// fresh slice, returning the remaining bytes. It is the inverse of
+// AppendUint64sLE.
+func DecodeUint64sLE(src []byte, n int) ([]uint64, []byte, error) {
+	if n < 0 || len(src) < n*8 {
+		return nil, nil, fmt.Errorf("transport: word slab truncated: need %d bytes, have %d", n*8, len(src))
+	}
+	if n == 0 {
+		return nil, src, nil
+	}
+	out := make([]uint64, n)
+	if endian.HostLittle {
+		dst := unsafe.Slice((*byte)(unsafe.Pointer(unsafe.SliceData(out))), n*8)
+		copy(dst, src[:n*8])
+	} else {
+		for i := range out {
+			out[i] = binary.LittleEndian.Uint64(src[i*8:])
+		}
+	}
+	return out, src[n*8:], nil
 }

@@ -44,13 +44,23 @@ func RoundedGaussianSampler(s *prg.Stream, variance float64, out []int64) {
 // server (removal) call this with the same seed and obtain bit-identical
 // vectors — the property that makes seed-transfer removal exact.
 func ComponentNoise(p Plan, sampler Sampler, seed field.Element, k, dim int) ([]int64, error) {
-	v, err := p.ComponentVariance(k)
-	if err != nil {
+	out := make([]int64, dim)
+	if err := ComponentNoiseInto(p, sampler, seed, k, out); err != nil {
 		return nil, err
 	}
-	out := make([]int64, dim)
-	sampler(prg.NewStreamFromElement(seed), v, out)
 	return out, nil
+}
+
+// ComponentNoiseInto is ComponentNoise sampling into a caller-owned buffer,
+// so accumulation loops (TotalNoise, RemovalNoise) regenerate many
+// components without one allocation each.
+func ComponentNoiseInto(p Plan, sampler Sampler, seed field.Element, k int, out []int64) error {
+	v, err := p.ComponentVariance(k)
+	if err != nil {
+		return err
+	}
+	sampler(prg.NewStreamFromElement(seed), v, out)
+	return nil
 }
 
 // ClientNoise holds one client's per-round noise state: the T+1 component
@@ -82,9 +92,9 @@ func (cn *ClientNoise) TotalNoise(p Plan, sampler Sampler, dim int) ([]int64, er
 		return nil, fmt.Errorf("xnoise: have %d seeds, plan needs %d", len(cn.Seeds), p.NumComponents())
 	}
 	total := make([]int64, dim)
+	comp := make([]int64, dim)
 	for k := range cn.Seeds {
-		comp, err := ComponentNoise(p, sampler, cn.Seeds[k], k, dim)
-		if err != nil {
+		if err := ComponentNoiseInto(p, sampler, cn.Seeds[k], k, comp); err != nil {
 			return nil, err
 		}
 		for i := range total {
@@ -123,14 +133,14 @@ func RemovalNoise(p Plan, sampler Sampler, seedsByClient map[uint64]map[int]fiel
 	}
 	ks := p.RemovalComponents(numDropped)
 	total := make([]int64, dim)
+	comp := make([]int64, dim)
 	for client, seeds := range seedsByClient {
 		for _, k := range ks {
 			seed, ok := seeds[k]
 			if !ok {
 				return nil, fmt.Errorf("xnoise: client %d missing seed for component %d", client, k)
 			}
-			comp, err := ComponentNoise(p, sampler, seed, k, dim)
-			if err != nil {
+			if err := ComponentNoiseInto(p, sampler, seed, k, comp); err != nil {
 				return nil, err
 			}
 			for i := range total {
