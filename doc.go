@@ -41,10 +41,35 @@
 // coefficients once per survivor cohort (one batched inversion) and reuses
 // them across all secrets.
 //
-// Wire codec. The two dim-length payloads — stage-2 masked inputs and the
-// final result broadcast — use a hand-rolled length-prefixed little-endian
-// codec (internal/core/codec.go) with a magic/tag prefix; low-rate control
-// messages stay on gob. transport.AppendUint64sLE/DecodeUint64sLE move
-// word slabs with a single memmove on little-endian hosts, and TCP frames
-// go out header+payload in one gathered write.
+// Wire codec. The dim-length payloads — stage-2 masked inputs and the
+// final result broadcast — and the n² stage-1 encrypted share bundles use
+// a hand-rolled length-prefixed little-endian codec
+// (internal/core/codec.go) with a magic/tag prefix; the remaining
+// low-rate control messages stay on gob.
+// transport.AppendUint64sLE/DecodeUint64sLE move word slabs with a single
+// memmove on little-endian hosts, and TCP frames go out header+payload in
+// one gathered write.
+//
+// Streaming stage collection. Both round drivers — core.RunWireServer
+// (real transport) and secagg.Run (in-process clients as goroutines) —
+// drive stages through the shared round engine (internal/engine), the
+// runtime counterpart of the paper's §4.1 claim that aggregation latency
+// hides when stage work is pipelined rather than barriered. The engine's
+// Collect admits one stage's messages until every expected sender
+// answered or the stage deadline fired; admitted frames decode
+// concurrently across a bounded worker pool, and each decoded message
+// feeds secagg.Server's incremental per-message API (AddAdvertise,
+// AddShare, AddMasked, AddConsistency, AddUnmask, AddNoiseShare) in
+// admission order, serialized by a pipeline.Gate — the same FIFO
+// resource-gate primitive the chunk executor schedules with. Masked
+// inputs fold into a running partial aggregate in small
+// ring.AddManyInPlace batches as they arrive, so sealing the stage (the
+// per-stage Seal* methods, which also enforce the protocol thresholds)
+// costs an O(1) tail merge instead of n decodes plus n vector adds at a
+// stage barrier: the 64-client masked-stage close drops ~6-7x (see
+// BENCH_SECAGG_HOTPATH.json). The batch Collect* methods remain as thin
+// wrappers over Add*/Seal* for white-box tests and non-streaming callers.
+// Frame hygiene (stale-stage, duplicate, out-of-order, unknown-sender
+// admission filtering) lives in the engine and is chaos-tested under
+// -race in internal/core.
 package repro

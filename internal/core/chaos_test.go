@@ -145,6 +145,154 @@ func TestChaosJitterTolerated(t *testing.T) {
 	}
 }
 
+// frameStormClient wraps a client uplink so every Send also injects, mid-
+// collection, the frame patterns the concurrent collector must shrug off:
+// a replay of the client's first-ever frame (a stale advertise arriving
+// during later stages, i.e. out-of-order delivery), an exact duplicate of
+// the current frame, and a frame with a stage tag no stage ever collects.
+type frameStormClient struct {
+	transport.ClientConn
+
+	mu    sync.Mutex
+	first *transport.Frame
+}
+
+func (c *frameStormClient) Send(f transport.Frame) error {
+	c.mu.Lock()
+	if c.first == nil {
+		cp := f
+		cp.Payload = append([]byte(nil), f.Payload...)
+		c.first = &cp
+	}
+	stale := *c.first
+	c.mu.Unlock()
+
+	// Out-of-order/stale: the round's first frame again, ahead of the
+	// real one.
+	if err := c.ClientConn.Send(stale); err != nil {
+		return err
+	}
+	if err := c.ClientConn.Send(f); err != nil {
+		return err
+	}
+	// Duplicate of the live frame.
+	if err := c.ClientConn.Send(f); err != nil {
+		return err
+	}
+	// Unknown stage tag with junk payload: must be discarded, not decoded.
+	return c.ClientConn.Send(transport.Frame{Stage: 999, Payload: []byte{0xDE, 0xAD}})
+}
+
+// TestChaosStaleDupOutOfOrderFrames: every client's uplink replays stale
+// frames, duplicates every message, and interleaves unknown-stage junk —
+// all landing mid-collection in the engine's concurrent admission loop.
+// The round must complete with no spurious dropouts and the exact
+// expected aggregate distribution. Run under -race in CI: this is the
+// torture test for the collector's admission/decode/apply overlap.
+func TestChaosStaleDupOutOfOrderFrames(t *testing.T) {
+	storm := func(inner transport.ClientConn) transport.ClientConn {
+		return &frameStormClient{ClientConn: inner}
+	}
+	res, err := chaosRoundWrapped(t, nil, storm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Dropped) != 0 {
+		t.Fatalf("dropped = %v, want none under frame storm", res.Dropped)
+	}
+	centered := (ring.Vector{Bits: 20, Data: res.Sum}).Centered()
+	var mean float64
+	for _, v := range centered {
+		mean += float64(v) - 15 // 1+2+3+4+5
+	}
+	mean /= float64(len(centered))
+	if math.Abs(mean) > 5 {
+		t.Errorf("aggregate mean offset %v under frame storm", mean)
+	}
+}
+
+// TestChaosFrameStormWithDropout: the same hostile frame patterns plus a
+// genuine mid-round dropout (client 4 dies after shares): stale replays
+// of the dead client's early frames keep arriving while later stages
+// collect, and must not resurrect it or stall the threshold abort logic.
+func TestChaosFrameStormWithDropout(t *testing.T) {
+	storm := func(inner transport.ClientConn) transport.ClientConn {
+		return &frameStormClient{ClientConn: inner}
+	}
+	res, err := chaosRoundWrapped(t, map[uint64]transport.FaultConfig{
+		4: {DropProb: 1, AfterSend: 2, Seed: prg.NewSeed([]byte("storm4"))},
+	}, storm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Dropped) != 1 || res.Dropped[0] != 4 {
+		t.Fatalf("dropped = %v, want [4]", res.Dropped)
+	}
+	centered := (ring.Vector{Bits: 20, Data: res.Sum}).Centered()
+	var mean float64
+	for _, v := range centered {
+		mean += float64(v) - 11 // 1+2+3+5
+	}
+	mean /= float64(len(centered))
+	if math.Abs(mean) > 5 {
+		t.Errorf("aggregate mean offset %v under storm+dropout", mean)
+	}
+}
+
+// chaosRoundWrapped is chaosRound with an extra per-client conn wrapper
+// applied outside the fault injector (wrapper sees what the injector lets
+// through; the injector's AfterSend counts the wrapper's extra sends).
+func chaosRoundWrapped(t *testing.T, faults map[uint64]transport.FaultConfig,
+	wrap func(transport.ClientConn) transport.ClientConn) (*secagg.Result, error) {
+	t.Helper()
+	const n, dim = 5, 32
+	ids := []uint64{1, 2, 3, 4, 5}
+	plan := &xnoise.Plan{NumClients: n, DropoutTolerance: 2, Threshold: 3, TargetVariance: 30}
+	saCfg := secagg.Config{
+		Round: 9, ClientIDs: ids, Threshold: 3, Bits: 20, Dim: dim, XNoise: plan,
+	}
+	net := transport.NewMemoryNetwork(256)
+	clientConns := make(map[uint64]transport.ClientConn, n)
+	for _, id := range ids {
+		c, err := net.Connect(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fc, ok := faults[id]; ok {
+			c = transport.NewFaultInjector(fc).WrapClient(c)
+		}
+		clientConns[id] = wrap(c)
+	}
+	inputs := make(map[uint64]ring.Vector, n)
+	for _, id := range ids {
+		v := ring.NewVector(20, dim)
+		for j := range v.Data {
+			v.Data[j] = id
+		}
+		inputs[id] = v
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	var wg sync.WaitGroup
+	for _, id := range ids {
+		id := id
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			cfg := WireClientConfig{
+				SecAgg: saCfg, ID: id, Input: inputs[id],
+				DropBefore: NoDrop, Rand: rand.Reader,
+			}
+			_, _ = RunWireClient(ctx, cfg, clientConns[id])
+		}()
+	}
+	res, err := RunWireServer(ctx,
+		WireServerConfig{SecAgg: saCfg, StageDeadline: 500 * time.Millisecond}, net.Server())
+	cancel()
+	wg.Wait()
+	return res, err
+}
+
 // TestChaosTooManyLossyClientsAborts: when enough uplinks die that the
 // survivor count falls below the SecAgg threshold, the server must abort
 // with an error — never hang, never emit an under-noised aggregate.

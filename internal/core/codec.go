@@ -8,15 +8,23 @@ import (
 	"repro/internal/transport"
 )
 
-// Binary payload codec for the hot vector-carrying wire messages.
+// Binary payload codec for the hot wire messages.
 //
 // Gob's reflective encoding costs milliseconds and megabytes of garbage per
-// 100k-dim masked input; the two messages that actually carry dim-length
-// vectors — the stage-2 masked input and the final result broadcast — use
-// the hand-rolled length-prefixed little-endian layout below instead. All
-// low-rate control messages (key advertisements, share ciphertexts,
-// survivor sets) stay on gob: their cost is irrelevant and gob's tolerance
-// of structural evolution is worth keeping there.
+// 100k-dim masked input; the messages that dominate the round's byte and
+// message volume use the hand-rolled length-prefixed little-endian layouts
+// below instead:
+//
+//   - the stage-2 masked input and the final result broadcast (dim-length
+//     vectors — the round's dominant payload), and
+//   - the stage-1 encrypted share bundles (the n² small messages per
+//     round: every client uploads one ciphertext per neighbor, and the
+//     server relays each recipient's list back down). These were the last
+//     reflective codec on the round path.
+//
+// The remaining low-rate control messages (key advertisements, survivor
+// sets, unmask shares) stay on gob: their cost is irrelevant and gob's
+// tolerance of structural evolution is worth keeping there.
 //
 // Layout (all integers little-endian):
 //
@@ -24,6 +32,8 @@ import (
 //	result:       [magic][tagResult]
 //	              [n:4][Sum: n×8] [n:4][Survivors: n×8] [n:4][Dropped: n×8]
 //	              [n:4][RemovedComponents: n×8, as uint64]
+//	share msgs:   [magic][tagShareMsgs][n:4]
+//	              n × ([From:8][To:8][ctLen:4][Ciphertext: ctLen bytes])
 //
 // The magic byte distinguishes the binary codec from a gob stream (gob
 // payloads begin with a length varint; protocol payloads are never empty),
@@ -32,6 +42,7 @@ const (
 	codecMagic     = 0xD0
 	tagMaskedInput = 0x01
 	tagResult      = 0x02
+	tagShareMsgs   = 0x03
 )
 
 // maxWireElems caps decoded slice lengths so a hostile length prefix
@@ -90,6 +101,93 @@ func decodeMaskedInput(p []byte) (secagg.MaskedInputMsg, error) {
 	}
 	m.Y = y
 	return m, nil
+}
+
+// maxShareMsgs caps the declared message count of a share-bundle list and
+// maxShareCtBytes the declared length of one ciphertext, so hostile
+// prefixes cannot force huge allocations. Both sit far above protocol
+// reality (n−1 messages per list; a ciphertext carries a few Shamir
+// shares plus AEAD overhead) while staying within the transport frame cap.
+const (
+	maxShareMsgs    = 1 << 20
+	maxShareCtBytes = 1 << 24
+)
+
+// encodeShareMsgs encodes a stage-1 encrypted-share list (uplink: one
+// sender's ciphertexts; downlink: one recipient's delivery).
+func encodeShareMsgs(msgs []secagg.EncryptedShareMsg) ([]byte, error) {
+	if len(msgs) > maxShareMsgs {
+		return nil, fmt.Errorf("core: share list of %d messages exceeds wire cap", len(msgs))
+	}
+	size := 2 + 4
+	for _, m := range msgs {
+		size += 8 + 8 + 4 + len(m.Ciphertext)
+	}
+	out := make([]byte, 0, size)
+	out = append(out, codecMagic, tagShareMsgs)
+	out = appendUint32(out, uint32(len(msgs)))
+	var b [8]byte
+	for _, m := range msgs {
+		if len(m.Ciphertext) > maxShareCtBytes {
+			return nil, fmt.Errorf("core: share ciphertext of %d bytes exceeds wire cap", len(m.Ciphertext))
+		}
+		binary.LittleEndian.PutUint64(b[:], m.From)
+		out = append(out, b[:]...)
+		binary.LittleEndian.PutUint64(b[:], m.To)
+		out = append(out, b[:]...)
+		out = appendUint32(out, uint32(len(m.Ciphertext)))
+		out = append(out, m.Ciphertext...)
+	}
+	return out, nil
+}
+
+// decodeShareMsgs decodes a stage-1 encrypted-share list.
+func decodeShareMsgs(p []byte) ([]secagg.EncryptedShareMsg, error) {
+	if len(p) < 6 || p[0] != codecMagic || p[1] != tagShareMsgs {
+		return nil, fmt.Errorf("core: not a binary share-list payload")
+	}
+	n := int(binary.LittleEndian.Uint32(p[2:]))
+	if n > maxShareMsgs {
+		return nil, fmt.Errorf("core: declared share list of %d messages exceeds wire cap", n)
+	}
+	rest := p[6:]
+	// Each message costs at least its 20-byte header, so a count prefix
+	// the remaining bytes cannot carry is rejected before the slice
+	// allocation, not after — a 6-byte frame must not reserve memory for
+	// 2^20 messages.
+	if n > len(rest)/20 {
+		return nil, fmt.Errorf("core: declared share list of %d messages exceeds payload", n)
+	}
+	var msgs []secagg.EncryptedShareMsg
+	if n > 0 {
+		msgs = make([]secagg.EncryptedShareMsg, 0, n)
+	}
+	for i := 0; i < n; i++ {
+		if len(rest) < 20 {
+			return nil, fmt.Errorf("core: share message %d header truncated", i)
+		}
+		m := secagg.EncryptedShareMsg{
+			From: binary.LittleEndian.Uint64(rest),
+			To:   binary.LittleEndian.Uint64(rest[8:]),
+		}
+		ctLen := int(binary.LittleEndian.Uint32(rest[16:]))
+		if ctLen > maxShareCtBytes {
+			return nil, fmt.Errorf("core: declared ciphertext of %d bytes exceeds wire cap", ctLen)
+		}
+		rest = rest[20:]
+		if len(rest) < ctLen {
+			return nil, fmt.Errorf("core: share message %d ciphertext truncated", i)
+		}
+		if ctLen > 0 {
+			m.Ciphertext = append([]byte(nil), rest[:ctLen]...)
+		}
+		rest = rest[ctLen:]
+		msgs = append(msgs, m)
+	}
+	if len(rest) != 0 {
+		return nil, fmt.Errorf("core: share list: %d trailing bytes", len(rest))
+	}
+	return msgs, nil
 }
 
 // encodeResult encodes the final result broadcast.

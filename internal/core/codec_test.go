@@ -1,8 +1,10 @@
 package core
 
 import (
+	"bytes"
 	"testing"
 
+	"repro/internal/prg"
 	"repro/internal/secagg"
 )
 
@@ -93,6 +95,125 @@ func TestCodecRejectsMalformed(t *testing.T) {
 	}
 	if _, err := decodeResult(p); err == nil {
 		t.Error("decodeResult accepted a masked-input payload")
+	}
+}
+
+func TestShareMsgsCodecRoundTrip(t *testing.T) {
+	cases := [][]secagg.EncryptedShareMsg{
+		nil,
+		{},
+		{{From: 1, To: 2, Ciphertext: []byte{0xAA}}},
+		{
+			{From: 1 << 63, To: 7, Ciphertext: make([]byte, 113)},
+			{From: 3, To: 4, Ciphertext: nil}, // empty ciphertext survives
+			{From: 5, To: 6, Ciphertext: []byte("share bundle ct")},
+		},
+	}
+	for ci, msgs := range cases {
+		p, err := encodeShareMsgs(msgs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := decodeShareMsgs(p)
+		if err != nil {
+			t.Fatalf("case %d: %v", ci, err)
+		}
+		if len(got) != len(msgs) {
+			t.Fatalf("case %d: %d messages, want %d", ci, len(got), len(msgs))
+		}
+		for i, m := range msgs {
+			g := got[i]
+			if g.From != m.From || g.To != m.To || !bytes.Equal(g.Ciphertext, m.Ciphertext) {
+				t.Fatalf("case %d message %d mangled: %+v != %+v", ci, i, g, m)
+			}
+		}
+	}
+}
+
+// TestShareMsgsCodecRejectsMalformed: structured corruptions of a valid
+// payload must error, never panic or mis-decode silently.
+func TestShareMsgsCodecRejectsMalformed(t *testing.T) {
+	msgs := []secagg.EncryptedShareMsg{
+		{From: 2, To: 3, Ciphertext: []byte{1, 2, 3, 4}},
+		{From: 2, To: 5, Ciphertext: []byte{9, 8}},
+	}
+	p, err := encodeShareMsgs(msgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	countLie := append([]byte(nil), p...)
+	countLie[2], countLie[3], countLie[4], countLie[5] = 0xFF, 0xFF, 0xFF, 0x7F
+	ctLie := append([]byte(nil), p...)
+	ctLie[6+16], ctLie[6+17], ctLie[6+18], ctLie[6+19] = 0xFF, 0xFF, 0xFF, 0x7F
+	cases := map[string][]byte{
+		"empty":       {},
+		"magic only":  {codecMagic},
+		"short":       p[:5],
+		"header cut":  p[:8],
+		"ct cut":      p[:len(p)-1],
+		"trailing":    append(append([]byte(nil), p...), 0x00),
+		"wrong tag":   append([]byte{codecMagic, tagMaskedInput}, p[2:]...),
+		"no magic":    append([]byte{0x13}, p[1:]...),
+		"count lie":   countLie,
+		"ctlen lie":   ctLie,
+		"gob payload": mustGob(t, msgs),
+	}
+	for name, bad := range cases {
+		if _, err := decodeShareMsgs(bad); err == nil {
+			t.Errorf("%s: decodeShareMsgs accepted malformed payload", name)
+		}
+	}
+}
+
+// TestShareMsgsCodecFuzz: random truncations and byte flips over a pool
+// of valid payloads must round-trip exactly or error — never panic, never
+// allocate absurdly. Deterministic fuzz (seeded PRG) so failures replay.
+func TestShareMsgsCodecFuzz(t *testing.T) {
+	s := prg.NewStream(prg.NewSeed([]byte("share-codec-fuzz")))
+	mkMsgs := func() []secagg.EncryptedShareMsg {
+		n := int(s.Uint64() % 6)
+		msgs := make([]secagg.EncryptedShareMsg, n)
+		for i := range msgs {
+			ct := make([]byte, s.Uint64()%40)
+			if _, err := s.Read(ct); err != nil {
+				t.Fatal(err)
+			}
+			msgs[i] = secagg.EncryptedShareMsg{From: s.Uint64(), To: s.Uint64(), Ciphertext: ct}
+		}
+		return msgs
+	}
+	for round := 0; round < 300; round++ {
+		msgs := mkMsgs()
+		p, err := encodeShareMsgs(msgs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Clean decode must round-trip.
+		got, err := decodeShareMsgs(p)
+		if err != nil {
+			t.Fatalf("round %d: clean decode: %v", round, err)
+		}
+		if len(got) != len(msgs) {
+			t.Fatalf("round %d: %d messages, want %d", round, len(got), len(msgs))
+		}
+		// Mutate: truncate at a random point or flip a random byte.
+		mutated := append([]byte(nil), p...)
+		switch s.Uint64() % 2 {
+		case 0:
+			mutated = mutated[:s.Uint64()%uint64(len(mutated)+1)]
+		case 1:
+			if len(mutated) > 0 {
+				mutated[s.Uint64()%uint64(len(mutated))] ^= byte(1 + s.Uint64()%255)
+			}
+		}
+		dec, err := decodeShareMsgs(mutated) // must not panic
+		if err == nil {
+			// A flip that lands in From/To/ciphertext bytes still decodes;
+			// structure must stay sane.
+			if len(dec) > maxShareMsgs {
+				t.Fatalf("round %d: mutated decode produced %d messages", round, len(dec))
+			}
+		}
 	}
 }
 

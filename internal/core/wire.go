@@ -8,6 +8,7 @@ import (
 	"io"
 	"time"
 
+	"repro/internal/engine"
 	"repro/internal/ring"
 	"repro/internal/secagg"
 	"repro/internal/transport"
@@ -18,6 +19,14 @@ import (
 // live client answered or the stage deadline fires — the deadline-based
 // collection of the paper's §2.1 ("collects the updates from participants
 // until a certain deadline").
+//
+// Collection streams through the shared round engine (internal/engine): a
+// fan-in goroutine drains the transport continuously, admitted frames are
+// decoded concurrently across a worker pool, and each decoded message
+// feeds the incremental secagg.Server in admission order while later
+// frames are still in flight. The masked-input stage therefore costs
+// collection time plus an O(1) tail merge instead of collection time plus
+// n decodes plus n vector adds at a stage barrier.
 
 // wire stage tags (transport.Frame.Stage).
 const (
@@ -56,32 +65,41 @@ type WireServerConfig struct {
 	StageDeadline time.Duration // per-stage collection deadline
 }
 
-// collect gathers stage frames until every id in expect has answered or
-// the deadline fires; it returns the collected frames keyed by sender.
-func collect(ctx context.Context, conn transport.ServerConn, stage int,
-	expect []uint64, deadline time.Duration) (map[uint64][]byte, error) {
+// fanIn drains the server connection into a buffered channel for the
+// round's whole lifetime, so slow stage processing (decode pool full,
+// apply in progress) never backpressures the transport mid-collection.
+func fanIn(ctx context.Context, conn transport.ServerConn) <-chan transport.Frame {
+	frames := make(chan transport.Frame, 256)
+	go func() {
+		defer close(frames)
+		for {
+			f, err := conn.Recv(ctx)
+			if err != nil {
+				return // round over (ctx) or endpoint closed
+			}
+			select {
+			case frames <- f:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+	return frames
+}
 
-	want := make(map[uint64]bool, len(expect))
-	for _, id := range expect {
-		want[id] = true
+// frameRecv adapts the fan-in channel to the engine's message source.
+func frameRecv(frames <-chan transport.Frame) engine.RecvFunc {
+	return func(ctx context.Context) (engine.Msg, error) {
+		select {
+		case f, ok := <-frames:
+			if !ok {
+				return engine.Msg{}, transport.ErrClosed
+			}
+			return engine.Msg{From: f.From, Stage: f.Stage, Body: f.Payload}, nil
+		case <-ctx.Done():
+			return engine.Msg{}, ctx.Err()
+		}
 	}
-	out := make(map[uint64][]byte)
-	cctx, cancel := context.WithTimeout(ctx, deadline)
-	defer cancel()
-	for len(out) < len(expect) {
-		f, err := conn.Recv(cctx)
-		if err != nil {
-			break // deadline: proceed with what we have
-		}
-		if f.Stage != stage || !want[f.From] {
-			continue // stale or unexpected frame
-		}
-		if _, dup := out[f.From]; dup {
-			continue
-		}
-		out[f.From] = f.Payload
-	}
-	return out, nil
 }
 
 // broadcast sends the same payload to every id.
@@ -93,8 +111,18 @@ func broadcast(conn transport.ServerConn, ids []uint64, stage int, payload []byt
 	}
 }
 
-// RunWireServer drives the server side of one round and returns the
-// aggregation result. ctx bounds the whole round.
+// gobDecode adapts a gob control-message decode to an engine stage.
+func gobDecode[T any](m engine.Msg) (any, error) {
+	var v T
+	if err := decodePayload(m.Body.([]byte), &v); err != nil {
+		return nil, err
+	}
+	return v, nil
+}
+
+// RunWireServer drives the server side of one round through the shared
+// round engine and returns the aggregation result. ctx bounds the whole
+// round; cfg.StageDeadline bounds each stage's collection.
 func RunWireServer(ctx context.Context, cfg WireServerConfig, conn transport.ServerConn) (*secagg.Result, error) {
 	if cfg.StageDeadline <= 0 {
 		cfg.StageDeadline = 2 * time.Second
@@ -105,20 +133,27 @@ func RunWireServer(ctx context.Context, cfg WireServerConfig, conn transport.Ser
 	}
 	ids := cfg.SecAgg.ClientIDs
 
+	roundCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	eng := engine.New(frameRecv(fanIn(roundCtx, conn)))
+	collect := func(name string, tag int, expect []uint64,
+		decode func(m engine.Msg) (any, error), apply func(from uint64, body any) error) error {
+		_, err := eng.Collect(roundCtx, engine.Stage{
+			Name: name, Tag: tag, Expect: expect, Deadline: cfg.StageDeadline,
+			Decode: decode, Apply: apply,
+		})
+		return err
+	}
+
 	// Stage 0: AdvertiseKeys.
-	frames, err := collect(ctx, conn, wireAdvertise, ids, cfg.StageDeadline)
+	err = collect("advertise", wireAdvertise, ids, gobDecode[secagg.AdvertiseMsg],
+		func(_ uint64, body any) error {
+			return server.AddAdvertise(body.(secagg.AdvertiseMsg))
+		})
 	if err != nil {
 		return nil, err
 	}
-	var adverts []secagg.AdvertiseMsg
-	for _, p := range frames {
-		var m secagg.AdvertiseMsg
-		if err := decodePayload(p, &m); err != nil {
-			return nil, err
-		}
-		adverts = append(adverts, m)
-	}
-	roster, err := server.CollectAdvertise(adverts)
+	roster, err := server.SealAdvertise()
 	if err != nil {
 		return nil, err
 	}
@@ -132,26 +167,23 @@ func RunWireServer(ctx context.Context, cfg WireServerConfig, conn transport.Ser
 	}
 	broadcast(conn, u1, wireRoster, rosterPayload)
 
-	// Stage 1: ShareKeys.
-	frames, err = collect(ctx, conn, wireShares, u1, cfg.StageDeadline)
+	// Stage 1: ShareKeys. The n² encrypted share bundles ride the binary
+	// codec; each sender's list routes into recipient outboxes on arrival.
+	err = collect("shares", wireShares, u1,
+		func(m engine.Msg) (any, error) { return decodeShareMsgs(m.Body.([]byte)) },
+		func(from uint64, body any) error {
+			return server.AddShare(from, body.([]secagg.EncryptedShareMsg))
+		})
 	if err != nil {
 		return nil, err
 	}
-	perSender := make(map[uint64][]secagg.EncryptedShareMsg, len(frames))
-	for id, p := range frames {
-		var cts []secagg.EncryptedShareMsg
-		if err := decodePayload(p, &cts); err != nil {
-			return nil, err
-		}
-		perSender[id] = cts
-	}
-	deliveries, err := server.CollectShares(perSender)
+	deliveries, err := server.SealShares()
 	if err != nil {
 		return nil, err
 	}
 	u2 := make([]uint64, 0, len(deliveries))
 	for id, cts := range deliveries {
-		payload, err := encodePayload(cts)
+		payload, err := encodeShareMsgs(cts)
 		if err != nil {
 			return nil, err
 		}
@@ -159,21 +191,19 @@ func RunWireServer(ctx context.Context, cfg WireServerConfig, conn transport.Ser
 		u2 = append(u2, id)
 	}
 
-	// Stage 2: MaskedInputCollection. The dim-length masked inputs ride the
-	// binary codec, not gob: this is the round's dominant payload.
-	frames, err = collect(ctx, conn, wireMasked, u2, cfg.StageDeadline)
+	// Stage 2: MaskedInputCollection. The dim-length masked inputs ride
+	// the binary codec and fold into the server's partial aggregate as
+	// they decode — the round's dominant payload never waits for a stage
+	// barrier.
+	err = collect("masked", wireMasked, u2,
+		func(m engine.Msg) (any, error) { return decodeMaskedInput(m.Body.([]byte)) },
+		func(_ uint64, body any) error {
+			return server.AddMasked(body.(secagg.MaskedInputMsg))
+		})
 	if err != nil {
 		return nil, err
 	}
-	var maskedMsgs []secagg.MaskedInputMsg
-	for _, p := range frames {
-		m, err := decodeMaskedInput(p)
-		if err != nil {
-			return nil, err
-		}
-		maskedMsgs = append(maskedMsgs, m)
-	}
-	u3, err := server.CollectMasked(maskedMsgs)
+	u3, err := server.SealMasked()
 	if err != nil {
 		return nil, err
 	}
@@ -184,19 +214,14 @@ func RunWireServer(ctx context.Context, cfg WireServerConfig, conn transport.Ser
 	broadcast(conn, u3, wireConsistencyReq, u3Payload)
 
 	// Stage 3: ConsistencyCheck.
-	frames, err = collect(ctx, conn, wireConsistency, u3, cfg.StageDeadline)
+	err = collect("consistency", wireConsistency, u3, gobDecode[secagg.ConsistencyMsg],
+		func(_ uint64, body any) error {
+			return server.AddConsistency(body.(secagg.ConsistencyMsg))
+		})
 	if err != nil {
 		return nil, err
 	}
-	var consMsgs []secagg.ConsistencyMsg
-	for _, p := range frames {
-		var m secagg.ConsistencyMsg
-		if err := decodePayload(p, &m); err != nil {
-			return nil, err
-		}
-		consMsgs = append(consMsgs, m)
-	}
-	unmaskReq, err := server.CollectConsistency(consMsgs)
+	unmaskReq, err := server.SealConsistency()
 	if err != nil {
 		return nil, err
 	}
@@ -206,20 +231,16 @@ func RunWireServer(ctx context.Context, cfg WireServerConfig, conn transport.Ser
 	}
 	broadcast(conn, unmaskReq.U4, wireUnmaskReq, reqPayload)
 
-	// Stage 4: Unmasking.
-	frames, err = collect(ctx, conn, wireUnmask, unmaskReq.U4, cfg.StageDeadline)
+	// Stage 4: Unmasking. Share bundles index into reconstruction cohorts
+	// on arrival.
+	err = collect("unmask", wireUnmask, unmaskReq.U4, gobDecode[secagg.UnmaskMsg],
+		func(_ uint64, body any) error {
+			return server.AddUnmask(body.(secagg.UnmaskMsg))
+		})
 	if err != nil {
 		return nil, err
 	}
-	var unmaskMsgs []secagg.UnmaskMsg
-	for _, p := range frames {
-		var m secagg.UnmaskMsg
-		if err := decodePayload(p, &m); err != nil {
-			return nil, err
-		}
-		unmaskMsgs = append(unmaskMsgs, m)
-	}
-	noiseReq, err := server.CollectUnmask(unmaskMsgs)
+	noiseReq, err := server.SealUnmask()
 	if err != nil {
 		return nil, err
 	}
@@ -231,19 +252,14 @@ func RunWireServer(ctx context.Context, cfg WireServerConfig, conn transport.Ser
 			return nil, err
 		}
 		broadcast(conn, noiseReq.U5, wireNoiseReq, nrPayload)
-		frames, err = collect(ctx, conn, wireNoise, noiseReq.U5, cfg.StageDeadline)
+		err = collect("noise-shares", wireNoise, noiseReq.U5, gobDecode[secagg.NoiseShareMsg],
+			func(_ uint64, body any) error {
+				return server.AddNoiseShare(body.(secagg.NoiseShareMsg))
+			})
 		if err != nil {
 			return nil, err
 		}
-		var noiseMsgs []secagg.NoiseShareMsg
-		for _, p := range frames {
-			var m secagg.NoiseShareMsg
-			if err := decodePayload(p, &m); err != nil {
-				return nil, err
-			}
-			noiseMsgs = append(noiseMsgs, m)
-		}
-		if err := server.CollectNoiseShares(noiseMsgs); err != nil {
+		if err := server.SealNoiseShares(); err != nil {
 			return nil, err
 		}
 	}
@@ -301,17 +317,25 @@ func RunWireClient(ctx context.Context, cfg WireClientConfig, conn transport.Cli
 		return nil, err
 	}
 
-	recv := func(stage int, v any) error {
+	// recvFrame blocks for the next frame with the given stage tag,
+	// discarding anything else (stale broadcasts, replays).
+	recvFrame := func(stage int) ([]byte, error) {
 		for {
 			f, err := conn.Recv(ctx)
 			if err != nil {
-				return err
+				return nil, err
 			}
-			if f.Stage != stage {
-				continue
+			if f.Stage == stage {
+				return f.Payload, nil
 			}
-			return decodePayload(f.Payload, v)
 		}
+	}
+	recv := func(stage int, v any) error {
+		p, err := recvFrame(stage)
+		if err != nil {
+			return err
+		}
+		return decodePayload(p, v)
 	}
 
 	var roster []secagg.AdvertiseMsg
@@ -325,15 +349,19 @@ func RunWireClient(ctx context.Context, cfg WireClientConfig, conn transport.Cli
 	if err != nil {
 		return nil, err
 	}
-	if payload, err = encodePayload(cts); err != nil {
+	if payload, err = encodeShareMsgs(cts); err != nil {
 		return nil, err
 	}
 	if err := conn.Send(transport.Frame{Stage: wireShares, Payload: payload}); err != nil {
 		return nil, err
 	}
 
-	var delivered []secagg.EncryptedShareMsg
-	if err := recv(wireDeliver, &delivered); err != nil {
+	deliverPayload, err := recvFrame(wireDeliver)
+	if err != nil {
+		return nil, err
+	}
+	delivered, err := decodeShareMsgs(deliverPayload)
+	if err != nil {
 		return nil, err
 	}
 	if drop(secagg.StageMaskedInput) {

@@ -1,0 +1,197 @@
+// Package engine is the concurrent round engine shared by the protocol
+// drivers: deadline-bounded, streaming collection of one stage's messages
+// at a time.
+//
+// The paper's central systems claim (§4.1, Appendix C schedule) is that
+// aggregation latency hides when stage work is pipelined rather than
+// barriered. The engine realizes that on the server's collection path:
+// instead of buffering a whole stage's messages and then decoding and
+// aggregating them in one barrier, Collect admits messages as they
+// arrive, decodes them concurrently across a bounded worker pool, and
+// feeds an incremental per-message sink (secagg.Server's Add* methods)
+// behind a pipeline.Gate, which serializes the sink in admission order
+// while the next arrivals are still being decoded. A 64-client masked-
+// input stage therefore costs collection time plus an O(1) tail merge,
+// not collection time plus n decodes plus n vector adds.
+//
+// The engine is protocol-agnostic: message bodies are opaque (raw frame
+// payloads on the wire, typed messages in-process), and the stage spec
+// supplies the decode and apply steps. Both core.RunWireServer and
+// secagg.Run drive their rounds through it.
+package engine
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/pipeline"
+)
+
+// Msg is one protocol message offered to the engine. Body is opaque: the
+// wire driver passes the raw frame payload ([]byte), the in-process
+// driver passes typed protocol messages (or an error, which the driver's
+// Apply surfaces to abort the round).
+type Msg struct {
+	From  uint64
+	Stage int
+	Body  any
+}
+
+// RecvFunc blocks for the next message from any participant. It must
+// honor ctx cancellation; the engine treats any error as "no more
+// messages for this stage" (deadline semantics), leaving abort decisions
+// to the per-stage threshold checks in the sink's Seal step.
+type RecvFunc func(ctx context.Context) (Msg, error)
+
+// Stage describes one deadline-bounded collection stage.
+type Stage struct {
+	// Name labels the stage in errors and traces.
+	Name string
+	// Tag is the message stage tag to admit; mismatched messages are
+	// discarded (stale retransmits, out-of-order or hostile frames).
+	Tag int
+	// Expect lists the senders whose messages the stage waits for.
+	// Messages from other senders are discarded; duplicates from an
+	// admitted sender are discarded (replay idempotence).
+	Expect []uint64
+	// Deadline bounds the collection. The stage ends when every expected
+	// sender was admitted or the deadline fires, whichever is first; ≤0
+	// means the stage is bounded only by ctx (in-process rounds, where
+	// every expected participant deterministically answers or errors).
+	Deadline time.Duration
+	// Decode transforms an admitted message body. Decodes run
+	// concurrently across the engine's worker pool — this is the
+	// decode→aggregate overlap. nil passes the body through and applies
+	// inline on the admission loop.
+	Decode func(m Msg) (any, error)
+	// Apply feeds one decoded body to the stage sink. The engine
+	// serializes Apply calls in admission order (pipeline.Gate), so the
+	// sink needs no internal locking.
+	Apply func(from uint64, body any) error
+}
+
+// Engine drives stage collection over one message source. An Engine is
+// bound to one round; Collect must be called for one stage at a time, in
+// protocol order, from a single goroutine.
+type Engine struct {
+	recv    RecvFunc
+	workers int
+}
+
+// Option configures an Engine.
+type Option func(*Engine)
+
+// WithWorkers bounds the concurrent decode pool (default GOMAXPROCS).
+func WithWorkers(n int) Option {
+	return func(e *Engine) {
+		if n >= 1 {
+			e.workers = n
+		}
+	}
+}
+
+// New builds an engine over the message source.
+func New(recv RecvFunc, opts ...Option) *Engine {
+	e := &Engine{recv: recv, workers: runtime.GOMAXPROCS(0)}
+	for _, o := range opts {
+		o(e)
+	}
+	if e.workers < 1 {
+		e.workers = 1
+	}
+	return e
+}
+
+// Collect runs one stage: it admits matching messages until every
+// expected sender answered or the deadline fired, overlapping Decode and
+// Apply as described on Stage, and returns the senders admitted in
+// admission order. A Decode or Apply error aborts the stage (remaining
+// in-flight work drains first); a deadline is not an error — the caller's
+// Seal step decides whether the partial stage clears the protocol
+// threshold.
+func (e *Engine) Collect(ctx context.Context, s Stage) ([]uint64, error) {
+	var cancel context.CancelFunc
+	if s.Deadline > 0 {
+		ctx, cancel = context.WithTimeout(ctx, s.Deadline)
+	} else {
+		ctx, cancel = context.WithCancel(ctx)
+	}
+	defer cancel()
+
+	want := make(map[uint64]bool, len(s.Expect))
+	for _, id := range s.Expect {
+		want[id] = true
+	}
+	admitted := make([]uint64, 0, len(want))
+	seen := make(map[uint64]bool, len(want))
+
+	var (
+		gate = pipeline.NewGate()
+		sem  = make(chan struct{}, e.workers)
+		wg   sync.WaitGroup
+
+		errMu    sync.Mutex
+		firstErr error
+	)
+	fail := func(err error) {
+		errMu.Lock()
+		if firstErr == nil {
+			firstErr = err
+			cancel() // unblock recv: the stage is aborting
+		}
+		errMu.Unlock()
+	}
+	failed := func() bool {
+		errMu.Lock()
+		defer errMu.Unlock()
+		return firstErr != nil
+	}
+
+	for len(seen) < len(want) {
+		m, err := e.recv(ctx)
+		if err != nil {
+			break // deadline or abort: proceed with what we have
+		}
+		if m.Stage != s.Tag || !want[m.From] || seen[m.From] {
+			continue // stale, out-of-order, unexpected, or duplicate
+		}
+		seen[m.From] = true
+		admitted = append(admitted, m.From)
+
+		if s.Decode == nil {
+			// Nothing to overlap: apply inline, no goroutine hop.
+			if err := s.Apply(m.From, m.Body); err != nil {
+				fail(err)
+				break
+			}
+			continue
+		}
+		// Reserve the apply slot now (admission order), decode on a
+		// worker, then apply behind the gate. Decoding of later arrivals
+		// overlaps the serialized applies of earlier ones.
+		ticket := gate.Reserve()
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(m Msg, ticket pipeline.Ticket) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			body, err := s.Decode(m)
+			gate.Wait(ticket)
+			defer gate.Release()
+			if err == nil && !failed() {
+				err = s.Apply(m.From, body)
+			}
+			if err != nil {
+				fail(err)
+			}
+		}(m, ticket)
+	}
+	wg.Wait()
+
+	errMu.Lock()
+	err := firstErr
+	errMu.Unlock()
+	return admitted, err
+}

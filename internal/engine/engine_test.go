@@ -1,0 +1,225 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// chanRecv adapts a channel to a RecvFunc.
+func chanRecv(ch <-chan Msg) RecvFunc {
+	return func(ctx context.Context) (Msg, error) {
+		select {
+		case m, ok := <-ch:
+			if !ok {
+				return Msg{}, errors.New("source closed")
+			}
+			return m, nil
+		case <-ctx.Done():
+			return Msg{}, ctx.Err()
+		}
+	}
+}
+
+// TestCollectAppliesInAdmissionOrder: decodes finish wildly out of order
+// (earlier admissions sleep longer), yet applies must land in admission
+// order — the pipeline.Gate contract the incremental server relies on.
+func TestCollectAppliesInAdmissionOrder(t *testing.T) {
+	const n = 8
+	ch := make(chan Msg, n)
+	for i := 1; i <= n; i++ {
+		ch <- Msg{From: uint64(i), Stage: 1, Body: i}
+	}
+	expect := make([]uint64, n)
+	for i := range expect {
+		expect[i] = uint64(i + 1)
+	}
+	var mu sync.Mutex
+	var applied []uint64
+	eng := New(chanRecv(ch), WithWorkers(4))
+	admitted, err := eng.Collect(context.Background(), Stage{
+		Tag: 1, Expect: expect,
+		Decode: func(m Msg) (any, error) {
+			// Earlier admissions decode slower: completion order is the
+			// reverse of admission order.
+			time.Sleep(time.Duration(n-m.Body.(int)) * 3 * time.Millisecond)
+			return m.Body, nil
+		},
+		Apply: func(from uint64, body any) error {
+			mu.Lock()
+			applied = append(applied, from)
+			mu.Unlock()
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(admitted) != n || len(applied) != n {
+		t.Fatalf("admitted %d applied %d, want %d", len(admitted), len(applied), n)
+	}
+	for i := range admitted {
+		if applied[i] != admitted[i] {
+			t.Fatalf("apply order %v != admission order %v", applied, admitted)
+		}
+	}
+}
+
+// TestCollectFiltersStaleDupUnexpected: wrong-tag, unknown-sender, and
+// duplicate messages are discarded without reaching Apply.
+func TestCollectFiltersStaleDupUnexpected(t *testing.T) {
+	ch := make(chan Msg, 16)
+	ch <- Msg{From: 1, Stage: 0, Body: "stale"}   // wrong tag
+	ch <- Msg{From: 9, Stage: 2, Body: "unknown"} // unexpected sender
+	ch <- Msg{From: 1, Stage: 2, Body: "first"}
+	ch <- Msg{From: 1, Stage: 2, Body: "dup"} // duplicate
+	ch <- Msg{From: 2, Stage: 99, Body: "future"}
+	ch <- Msg{From: 2, Stage: 2, Body: "second"}
+	var got []string
+	eng := New(chanRecv(ch))
+	admitted, err := eng.Collect(context.Background(), Stage{
+		Tag: 2, Expect: []uint64{1, 2},
+		Apply: func(from uint64, body any) error {
+			got = append(got, body.(string))
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(admitted) != 2 || got[0] != "first" || got[1] != "second" {
+		t.Fatalf("admitted %v applied %v", admitted, got)
+	}
+}
+
+// TestCollectDeadlinePartial: a never-answering sender must not hang the
+// stage; Collect returns the partial admission set without error (the
+// caller's Seal enforces thresholds).
+func TestCollectDeadlinePartial(t *testing.T) {
+	ch := make(chan Msg, 2)
+	ch <- Msg{From: 1, Stage: 3, Body: nil}
+	start := time.Now()
+	eng := New(chanRecv(ch))
+	admitted, err := eng.Collect(context.Background(), Stage{
+		Tag: 3, Expect: []uint64{1, 2}, Deadline: 50 * time.Millisecond,
+		Apply: func(uint64, any) error { return nil },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(admitted) != 1 || admitted[0] != 1 {
+		t.Fatalf("admitted %v, want [1]", admitted)
+	}
+	if el := time.Since(start); el > 2*time.Second {
+		t.Fatalf("deadline took %v", el)
+	}
+}
+
+// TestCollectAbortsOnApplyError: an Apply error aborts the stage promptly
+// even though more expected senders never answer (no deadline wait).
+func TestCollectAbortsOnApplyError(t *testing.T) {
+	ch := make(chan Msg, 2)
+	ch <- Msg{From: 1, Stage: 4, Body: []byte{1}}
+	boom := errors.New("boom")
+	start := time.Now()
+	eng := New(chanRecv(ch))
+	_, err := eng.Collect(context.Background(), Stage{
+		Tag: 4, Expect: []uint64{1, 2}, Deadline: 30 * time.Second,
+		Decode: func(m Msg) (any, error) { return m.Body, nil },
+		Apply:  func(uint64, any) error { return boom },
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if el := time.Since(start); el > 5*time.Second {
+		t.Fatalf("abort took %v, should not wait out the deadline", el)
+	}
+}
+
+// TestCollectAbortsOnDecodeError: same for a Decode error raised on a
+// worker while other decodes are in flight.
+func TestCollectAbortsOnDecodeError(t *testing.T) {
+	const n = 6
+	ch := make(chan Msg, n)
+	expect := make([]uint64, n)
+	for i := 1; i <= n; i++ {
+		ch <- Msg{From: uint64(i), Stage: 5, Body: i}
+		expect[i-1] = uint64(i)
+	}
+	bad := errors.New("bad frame")
+	var applies int
+	var mu sync.Mutex
+	eng := New(chanRecv(ch), WithWorkers(3))
+	_, err := eng.Collect(context.Background(), Stage{
+		Tag: 5, Expect: expect, Deadline: 30 * time.Second,
+		Decode: func(m Msg) (any, error) {
+			if m.Body.(int) == 2 {
+				return nil, bad
+			}
+			return m.Body, nil
+		},
+		Apply: func(uint64, any) error {
+			mu.Lock()
+			applies++
+			mu.Unlock()
+			return nil
+		},
+	})
+	if !errors.Is(err, bad) {
+		t.Fatalf("err = %v, want bad frame", err)
+	}
+	if applies >= n {
+		t.Fatalf("all %d applies ran despite decode error", applies)
+	}
+}
+
+// TestCollectConcurrentSenders: many goroutines racing frames (with
+// duplicates and stale tags) into the source; every expected sender lands
+// exactly once and the stage terminates. Exercised with -race in CI.
+func TestCollectConcurrentSenders(t *testing.T) {
+	const n = 32
+	ch := make(chan Msg, 4*n)
+	expect := make([]uint64, n)
+	var sendWG sync.WaitGroup
+	for i := 1; i <= n; i++ {
+		expect[i-1] = uint64(i)
+		sendWG.Add(1)
+		go func(id uint64) {
+			defer sendWG.Done()
+			ch <- Msg{From: id, Stage: 6, Body: fmt.Sprintf("stale-%d", id)} // wrong tag
+			ch <- Msg{From: id, Stage: 7, Body: id}
+			ch <- Msg{From: id, Stage: 7, Body: id} // duplicate
+		}(uint64(i))
+	}
+	counts := make(map[uint64]int, n)
+	var mu sync.Mutex
+	eng := New(chanRecv(ch), WithWorkers(4))
+	admitted, err := eng.Collect(context.Background(), Stage{
+		Tag: 7, Expect: expect, Deadline: 30 * time.Second,
+		Decode: func(m Msg) (any, error) { return m.Body, nil },
+		Apply: func(from uint64, body any) error {
+			if body.(uint64) != from {
+				return fmt.Errorf("body %v from %d", body, from)
+			}
+			mu.Lock()
+			counts[from]++
+			mu.Unlock()
+			return nil
+		},
+	})
+	sendWG.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(admitted) != n {
+		t.Fatalf("admitted %d senders, want %d", len(admitted), n)
+	}
+	for id, c := range counts {
+		if c != 1 {
+			t.Fatalf("sender %d applied %d times", id, c)
+		}
+	}
+}

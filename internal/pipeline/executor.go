@@ -35,34 +35,56 @@ func NewExecutor(w Workflow, fns []StageFunc) (*Executor, error) {
 	return &Executor{workflow: w, fns: fns}, nil
 }
 
-// resourceGate serializes access to one resource and preserves FIFO
-// admission order by ticket number.
-type resourceGate struct {
+// Ticket is a position in a Gate's FIFO admission order.
+type Ticket uint64
+
+// Gate serializes access to one resource and preserves FIFO admission
+// order by ticket number. It is the schedule's resource-exclusivity
+// primitive (Appendix C): the pipeline executor uses one Gate per
+// resource, and the round engine reuses the same semantics to order the
+// aggregate-apply step behind concurrent decodes.
+type Gate struct {
 	mu      sync.Mutex
 	cond    *sync.Cond
 	next    uint64 // next ticket to issue
 	serving uint64 // ticket currently allowed to run
 }
 
-func newResourceGate() *resourceGate {
-	g := &resourceGate{}
+// NewGate returns an open gate serving ticket 0 first.
+func NewGate() *Gate {
+	g := &Gate{}
 	g.cond = sync.NewCond(&g.mu)
 	return g
 }
 
-// acquire takes a ticket and blocks until it is served.
-func (g *resourceGate) acquire() {
+// Reserve takes the next ticket without waiting. Call it at admission
+// time (from the admitting goroutine) so concurrent workers are later
+// served in admission order, not completion order.
+func (g *Gate) Reserve() Ticket {
 	g.mu.Lock()
-	ticket := g.next
+	t := Ticket(g.next)
 	g.next++
-	for g.serving != ticket {
+	g.mu.Unlock()
+	return t
+}
+
+// Wait blocks until the ticket is served. Every reserved ticket must be
+// waited on and released exactly once, or the gate stalls.
+func (g *Gate) Wait(t Ticket) {
+	g.mu.Lock()
+	for Ticket(g.serving) != t {
 		g.cond.Wait()
 	}
 	g.mu.Unlock()
 }
 
-// release admits the next ticket.
-func (g *resourceGate) release() {
+// Acquire reserves a ticket and blocks until it is served.
+func (g *Gate) Acquire() {
+	g.Wait(g.Reserve())
+}
+
+// Release admits the next ticket.
+func (g *Gate) Release() {
 	g.mu.Lock()
 	g.serving++
 	g.mu.Unlock()
@@ -78,9 +100,9 @@ func (e *Executor) Run(m int) error {
 	if m < 1 {
 		return fmt.Errorf("pipeline: m must be ≥ 1, got %d", m)
 	}
-	gates := make([]*resourceGate, numResources)
+	gates := make([]*Gate, numResources)
 	for i := range gates {
-		gates[i] = newResourceGate()
+		gates[i] = NewGate()
 	}
 	// doneCh[s][c] closes when stage s of chunk c completes; chunk c's
 	// worker waits for its predecessor chunk at the same stage before
@@ -113,9 +135,9 @@ func (e *Executor) Run(m int) error {
 					}
 				}
 				g := gates[e.workflow[s].Resource]
-				g.acquire()
+				g.Acquire()
 				err := e.fns[s](chunk)
-				g.release()
+				g.Release()
 				close(done[s][chunk])
 				if err != nil {
 					errCh <- fmt.Errorf("pipeline: stage %s chunk %d: %w", e.workflow[s].Name, chunk, err)

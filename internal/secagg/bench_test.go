@@ -72,3 +72,70 @@ func BenchmarkRound64QuickScale(b *testing.B) { benchRound(b, 64, 4096, true, 8)
 // (65536 ≈ the paper's CNN update scale after chunking), where per-element
 // compute dominates the fixed per-pair key-agreement cost.
 func BenchmarkRound64LargeModel(b *testing.B) { benchRound(b, 64, 65536, true, 8) }
+
+// benchMaskedStageTail measures the masked-input stage-close tail: the
+// server-side latency between the last masked input becoming available
+// and U3 being sealed. Streamed (engine path): arrivals already folded
+// into the partial aggregate, the tail is one AddMasked plus an O(1)
+// merge of ≤ maskedFoldBatch pending vectors. Barriered (pre-engine
+// path): the tail is all n vector adds at once. The wire driver adds one
+// binary payload decode per message on top of each shape (see the codec
+// benches); total CPU is identical — the streamed shape just hides it
+// under collection, which is the §4.1 pipelining claim.
+func benchMaskedStageTail(b *testing.B, dim int, streamed bool) {
+	const n = 64
+	ids := make([]uint64, n)
+	for i := range ids {
+		ids[i] = uint64(i + 1)
+	}
+	cfg := Config{Round: 1, ClientIDs: ids, Threshold: 48, Bits: 20, Dim: dim}
+	msgs := make([]MaskedInputMsg, n)
+	for i := range msgs {
+		y := make([]uint64, dim)
+		for j := range y {
+			y[j] = uint64(i*j) & ((1 << 20) - 1)
+		}
+		msgs[i] = MaskedInputMsg{From: ids[i], Y: y}
+	}
+	mkServer := func() *Server {
+		s, err := NewServer(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		// White-box: place the server just past SealShares with all
+		// clients in U2, as the round engine would have.
+		s.u2 = ids
+		s.u2set = toSet(ids)
+		return s
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		s := mkServer()
+		if streamed {
+			for _, m := range msgs[:n-1] {
+				if err := s.AddMasked(m); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		b.StartTimer()
+		if streamed {
+			if err := s.AddMasked(msgs[n-1]); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := s.SealMasked(); err != nil {
+				b.Fatal(err)
+			}
+		} else {
+			if _, err := s.CollectMasked(msgs); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func BenchmarkMaskedStageTail64Streamed4096(b *testing.B)   { benchMaskedStageTail(b, 4096, true) }
+func BenchmarkMaskedStageTail64Barriered4096(b *testing.B)  { benchMaskedStageTail(b, 4096, false) }
+func BenchmarkMaskedStageTail64Streamed65536(b *testing.B)  { benchMaskedStageTail(b, 65536, true) }
+func BenchmarkMaskedStageTail64Barriered65536(b *testing.B) { benchMaskedStageTail(b, 65536, false) }

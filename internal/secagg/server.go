@@ -11,9 +11,28 @@ import (
 	"repro/internal/xnoise"
 )
 
-// Server is the aggregator's state machine for one round. Like Client, its
-// methods are called in stage order and return an error when the protocol
-// must abort (fewer than t responses at any stage).
+// maskedFoldBatch is how many pending masked inputs accumulate before
+// AddMasked folds them into the running aggregate with one fused
+// AddManyInPlace pass (cache-resident blocks across the batch).
+const maskedFoldBatch = 8
+
+// Server is the aggregator's state machine for one round. It exposes two
+// equivalent collection surfaces per stage:
+//
+//   - incremental: AddAdvertise/AddShare/AddMasked/AddConsistency/
+//     AddUnmask/AddNoiseShare ingest one message on arrival (decoding,
+//     share indexing, and partial masked-input accumulation happen
+//     immediately), and the per-stage Seal* methods close the stage,
+//     enforce the threshold, and emit the next broadcast. This is what
+//     the streaming round engine drives: by the time the last message of
+//     a stage arrives, the per-message work is already done and Seal is
+//     an O(1) (or O(t)) tail.
+//   - batch: the Collect* methods are thin wrappers (Add* in a loop, then
+//     Seal*) kept for white-box tests and non-streaming callers.
+//
+// Methods must be called in stage order. A Server is not safe for
+// concurrent use; the round engine serializes Add* calls in admission
+// order (engine.Stage.Apply contract).
 type Server struct {
 	cfg Config
 
@@ -25,13 +44,23 @@ type Server struct {
 	u5     []uint64
 
 	outbox map[uint64][]EncryptedShareMsg // recipient → relayed ciphertexts
-	masked map[uint64]ring.Vector
-	sigs   map[uint64][]byte // stage-3 signatures
+	u2set  map[uint64]struct{}            // stage-1 senders
+	sigs   map[uint64][]byte              // stage-3 signatures
+	u4set  map[uint64]struct{}
+
+	// Streaming masked-input aggregation: arrivals fold into maskedSum in
+	// maskedFoldBatch-sized AddManyInPlace passes; pendingMasked holds the
+	// unfolded tail.
+	u3set         map[uint64]struct{}
+	maskedSum     ring.Vector
+	pendingMasked []ring.Vector
 
 	// Unmasking state.
+	u5set          map[uint64]struct{}
 	maskKeyShares  map[uint64][][numKeyChunks]shamir.Share // dropped v → collected bundles
 	selfSeedShares map[uint64][]shamir.Share               // live v → collected shares
 	noiseSeeds     map[uint64]map[int]field.Element        // client → k → seed
+	nsSenders      map[uint64]struct{}                     // stage-5 responders
 	noiseShares    map[uint64]map[int][]shamir.Share       // U3\U5 client → k → shares
 
 	sum ring.Vector
@@ -45,19 +74,24 @@ func NewServer(cfg Config) (*Server, error) {
 	return &Server{cfg: cfg}, nil
 }
 
-// CollectAdvertise ingests stage-0 messages and returns the roster
-// broadcast for stage 1. Fewer than t advertisements abort the round.
-func (s *Server) CollectAdvertise(msgs []AdvertiseMsg) ([]AdvertiseMsg, error) {
-	s.roster = make(map[uint64]AdvertiseMsg, len(msgs))
-	for _, m := range msgs {
-		if _, err := s.cfg.indexOf(m.From); err != nil {
-			return nil, err
-		}
-		if _, dup := s.roster[m.From]; dup {
-			return nil, fmt.Errorf("secagg: duplicate advertisement from %d", m.From)
-		}
-		s.roster[m.From] = m
+// AddAdvertise ingests one stage-0 advertisement on arrival.
+func (s *Server) AddAdvertise(m AdvertiseMsg) error {
+	if s.roster == nil {
+		s.roster = make(map[uint64]AdvertiseMsg, len(s.cfg.ClientIDs))
 	}
+	if _, err := s.cfg.indexOf(m.From); err != nil {
+		return err
+	}
+	if _, dup := s.roster[m.From]; dup {
+		return fmt.Errorf("secagg: duplicate advertisement from %d", m.From)
+	}
+	s.roster[m.From] = m
+	return nil
+}
+
+// SealAdvertise closes stage 0 and returns the roster broadcast for stage
+// 1. Fewer than t advertisements abort the round.
+func (s *Server) SealAdvertise() ([]AdvertiseMsg, error) {
 	if len(s.roster) < s.cfg.Threshold {
 		return nil, fmt.Errorf("secagg: |U1|=%d < t=%d, aborting", len(s.roster), s.cfg.Threshold)
 	}
@@ -69,34 +103,54 @@ func (s *Server) CollectAdvertise(msgs []AdvertiseMsg) ([]AdvertiseMsg, error) {
 	return out, nil
 }
 
-// CollectShares ingests stage-1 ciphertext lists (one list per sender) and
-// routes each ciphertext to its recipient's outbox. The senders form U2.
-func (s *Server) CollectShares(perSender map[uint64][]EncryptedShareMsg) (map[uint64][]EncryptedShareMsg, error) {
-	if len(perSender) < s.cfg.Threshold {
-		return nil, fmt.Errorf("secagg: |U2|=%d < t=%d, aborting", len(perSender), s.cfg.Threshold)
-	}
-	s.outbox = make(map[uint64][]EncryptedShareMsg)
-	u2set := make(map[uint64]struct{}, len(perSender))
-	for sender, cts := range perSender {
-		if _, inU1 := s.roster[sender]; !inU1 {
-			return nil, fmt.Errorf("secagg: shares from client %d outside U1", sender)
-		}
-		u2set[sender] = struct{}{}
-		for _, ct := range cts {
-			if ct.From != sender {
-				return nil, fmt.Errorf("secagg: ciphertext spoofing: %d claimed by %d", ct.From, sender)
-			}
-			s.outbox[ct.To] = append(s.outbox[ct.To], ct)
+// CollectAdvertise ingests stage-0 messages and returns the roster
+// broadcast for stage 1 (batch wrapper over AddAdvertise/SealAdvertise).
+func (s *Server) CollectAdvertise(msgs []AdvertiseMsg) ([]AdvertiseMsg, error) {
+	s.roster = make(map[uint64]AdvertiseMsg, len(msgs))
+	for _, m := range msgs {
+		if err := s.AddAdvertise(m); err != nil {
+			return nil, err
 		}
 	}
-	s.u2 = setToSorted(u2set)
-	// Deliver to each recipient only ciphertexts from members of U2 (a
-	// recipient cannot use shares from clients that never sent theirs).
+	return s.SealAdvertise()
+}
+
+// AddShare ingests one sender's stage-1 ciphertext list on arrival,
+// routing each ciphertext to its recipient's outbox.
+func (s *Server) AddShare(sender uint64, cts []EncryptedShareMsg) error {
+	if s.outbox == nil {
+		s.outbox = make(map[uint64][]EncryptedShareMsg)
+		s.u2set = make(map[uint64]struct{}, len(s.u1))
+	}
+	if _, inU1 := s.roster[sender]; !inU1 {
+		return fmt.Errorf("secagg: shares from client %d outside U1", sender)
+	}
+	if _, dup := s.u2set[sender]; dup {
+		return fmt.Errorf("secagg: duplicate share list from %d", sender)
+	}
+	s.u2set[sender] = struct{}{}
+	for _, ct := range cts {
+		if ct.From != sender {
+			return fmt.Errorf("secagg: ciphertext spoofing: %d claimed by %d", ct.From, sender)
+		}
+		s.outbox[ct.To] = append(s.outbox[ct.To], ct)
+	}
+	return nil
+}
+
+// SealShares closes stage 1: the senders form U2, and each U2 recipient's
+// delivery is filtered to ciphertexts from U2 members (a recipient cannot
+// use shares from clients that never sent theirs).
+func (s *Server) SealShares() (map[uint64][]EncryptedShareMsg, error) {
+	if len(s.u2set) < s.cfg.Threshold {
+		return nil, fmt.Errorf("secagg: |U2|=%d < t=%d, aborting", len(s.u2set), s.cfg.Threshold)
+	}
+	s.u2 = setToSorted(s.u2set)
 	deliver := make(map[uint64][]EncryptedShareMsg, len(s.u2))
 	for _, recipient := range s.u2 {
 		var list []EncryptedShareMsg
 		for _, ct := range s.outbox[recipient] {
-			if _, ok := u2set[ct.From]; ok {
+			if _, ok := s.u2set[ct.From]; ok {
 				list = append(list, ct)
 			}
 		}
@@ -105,45 +159,111 @@ func (s *Server) CollectShares(perSender map[uint64][]EncryptedShareMsg) (map[ui
 	return deliver, nil
 }
 
-// CollectMasked ingests stage-2 masked inputs; the senders form U3.
-func (s *Server) CollectMasked(msgs []MaskedInputMsg) ([]uint64, error) {
-	s.masked = make(map[uint64]ring.Vector, len(msgs))
-	u3set := make(map[uint64]struct{}, len(msgs))
-	for _, m := range msgs {
-		if !contains(s.u2, m.From) {
-			return nil, fmt.Errorf("secagg: masked input from %d outside U2", m.From)
-		}
-		if len(m.Y) != s.cfg.Dim {
-			return nil, fmt.Errorf("secagg: masked input from %d has dim %d, want %d", m.From, len(m.Y), s.cfg.Dim)
-		}
-		v := ring.Vector{Bits: s.cfg.Bits, Data: append([]uint64(nil), m.Y...)}
-		s.masked[m.From] = v
-		u3set[m.From] = struct{}{}
+// CollectShares ingests stage-1 ciphertext lists (one list per sender) and
+// routes each ciphertext to its recipient's outbox. The senders form U2.
+func (s *Server) CollectShares(perSender map[uint64][]EncryptedShareMsg) (map[uint64][]EncryptedShareMsg, error) {
+	if len(perSender) < s.cfg.Threshold {
+		return nil, fmt.Errorf("secagg: |U2|=%d < t=%d, aborting", len(perSender), s.cfg.Threshold)
 	}
-	if len(u3set) < s.cfg.Threshold {
-		return nil, fmt.Errorf("secagg: |U3|=%d < t=%d, aborting", len(u3set), s.cfg.Threshold)
+	for sender, cts := range perSender {
+		if err := s.AddShare(sender, cts); err != nil {
+			return nil, err
+		}
 	}
-	s.u3 = setToSorted(u3set)
+	return s.SealShares()
+}
+
+// AddMasked ingests one stage-2 masked input on arrival, folding it into
+// the running partial aggregate so sealing the stage costs an O(1) tail
+// merge instead of |U3| vector adds at the barrier.
+//
+// AddMasked takes ownership of m.Y until SealMasked: up to
+// maskedFoldBatch arrivals are held unfolded, so the caller must not
+// reuse the backing array afterwards. Both drivers satisfy this for free
+// (the wire codec decodes into a fresh slice per frame; in-process
+// clients hand over their own masked vector and never touch it again),
+// which is why the dominant payload is not defensively copied.
+func (s *Server) AddMasked(m MaskedInputMsg) error {
+	if s.u3set == nil {
+		s.u3set = make(map[uint64]struct{}, len(s.u2))
+		s.maskedSum = ring.NewVector(s.cfg.Bits, s.cfg.Dim)
+	}
+	if _, inU2 := s.u2set[m.From]; !inU2 {
+		return fmt.Errorf("secagg: masked input from %d outside U2", m.From)
+	}
+	if _, dup := s.u3set[m.From]; dup {
+		return fmt.Errorf("secagg: duplicate masked input from %d", m.From)
+	}
+	if len(m.Y) != s.cfg.Dim {
+		return fmt.Errorf("secagg: masked input from %d has dim %d, want %d", m.From, len(m.Y), s.cfg.Dim)
+	}
+	s.u3set[m.From] = struct{}{}
+	s.pendingMasked = append(s.pendingMasked, ring.Vector{Bits: s.cfg.Bits, Data: m.Y})
+	if len(s.pendingMasked) >= maskedFoldBatch {
+		return s.foldPendingMasked()
+	}
+	return nil
+}
+
+// foldPendingMasked merges the unfolded arrivals into the running sum.
+func (s *Server) foldPendingMasked() error {
+	if len(s.pendingMasked) == 0 {
+		return nil
+	}
+	if err := s.maskedSum.AddManyInPlace(s.pendingMasked); err != nil {
+		return err
+	}
+	s.pendingMasked = s.pendingMasked[:0]
+	return nil
+}
+
+// SealMasked closes stage 2: the senders form U3.
+func (s *Server) SealMasked() ([]uint64, error) {
+	if err := s.foldPendingMasked(); err != nil {
+		return nil, err
+	}
+	if len(s.u3set) < s.cfg.Threshold {
+		return nil, fmt.Errorf("secagg: |U3|=%d < t=%d, aborting", len(s.u3set), s.cfg.Threshold)
+	}
+	s.u3 = setToSorted(s.u3set)
 	return append([]uint64(nil), s.u3...), nil
 }
 
-// CollectConsistency ingests stage-3 signatures (malicious mode) and
-// returns the stage-4 unmask request. In semi-honest mode, call it with
-// one ConsistencyMsg per live client carrying no signature.
-func (s *Server) CollectConsistency(msgs []ConsistencyMsg) (UnmaskRequest, error) {
-	s.sigs = make(map[uint64][]byte, len(msgs))
-	u4set := make(map[uint64]struct{}, len(msgs))
+// CollectMasked ingests stage-2 masked inputs; the senders form U3 (batch
+// wrapper over AddMasked/SealMasked, inheriting AddMasked's ownership of
+// each message's Y).
+func (s *Server) CollectMasked(msgs []MaskedInputMsg) ([]uint64, error) {
 	for _, m := range msgs {
-		if !contains(s.u3, m.From) {
-			return UnmaskRequest{}, fmt.Errorf("secagg: consistency from %d outside U3", m.From)
+		if err := s.AddMasked(m); err != nil {
+			return nil, err
 		}
-		u4set[m.From] = struct{}{}
-		s.sigs[m.From] = m.Signature
 	}
-	if len(u4set) < s.cfg.Threshold {
-		return UnmaskRequest{}, fmt.Errorf("secagg: |U4|=%d < t=%d, aborting", len(u4set), s.cfg.Threshold)
+	return s.SealMasked()
+}
+
+// AddConsistency ingests one stage-3 signature on arrival.
+func (s *Server) AddConsistency(m ConsistencyMsg) error {
+	if s.sigs == nil {
+		s.sigs = make(map[uint64][]byte, len(s.u3))
+		s.u4set = make(map[uint64]struct{}, len(s.u3))
 	}
-	s.u4 = setToSorted(u4set)
+	if _, inU3 := s.u3set[m.From]; !inU3 {
+		return fmt.Errorf("secagg: consistency from %d outside U3", m.From)
+	}
+	if _, dup := s.u4set[m.From]; dup {
+		return fmt.Errorf("secagg: duplicate consistency from %d", m.From)
+	}
+	s.u4set[m.From] = struct{}{}
+	s.sigs[m.From] = m.Signature
+	return nil
+}
+
+// SealConsistency closes stage 3 and returns the stage-4 unmask request.
+func (s *Server) SealConsistency() (UnmaskRequest, error) {
+	if len(s.u4set) < s.cfg.Threshold {
+		return UnmaskRequest{}, fmt.Errorf("secagg: |U4|=%d < t=%d, aborting", len(s.u4set), s.cfg.Threshold)
+	}
+	s.u4 = setToSorted(s.u4set)
 	req := UnmaskRequest{
 		U3: append([]uint64(nil), s.u3...),
 		U4: append([]uint64(nil), s.u4...),
@@ -157,37 +277,58 @@ func (s *Server) CollectConsistency(msgs []ConsistencyMsg) (UnmaskRequest, error
 	return req, nil
 }
 
-// CollectUnmask ingests stage-4 responses (the senders form U5), unmasks
-// the aggregate, and returns the stage-5 request (XNoise) or nil when no
-// stage 5 is needed.
-func (s *Server) CollectUnmask(msgs []UnmaskMsg) (*NoiseShareRequest, error) {
-	s.maskKeyShares = make(map[uint64][][numKeyChunks]shamir.Share)
-	s.selfSeedShares = make(map[uint64][]shamir.Share)
-	s.noiseSeeds = make(map[uint64]map[int]field.Element)
-	u5set := make(map[uint64]struct{}, len(msgs))
+// CollectConsistency ingests stage-3 signatures (malicious mode) and
+// returns the stage-4 unmask request. In semi-honest mode, call it with
+// one ConsistencyMsg per live client carrying no signature.
+func (s *Server) CollectConsistency(msgs []ConsistencyMsg) (UnmaskRequest, error) {
 	for _, m := range msgs {
-		if !contains(s.u4, m.From) {
-			return nil, fmt.Errorf("secagg: unmask response from %d outside U4", m.From)
-		}
-		u5set[m.From] = struct{}{}
-		for v, sh := range m.MaskKeyShares {
-			s.maskKeyShares[v] = append(s.maskKeyShares[v], sh)
-		}
-		for v, sh := range m.SelfSeedShares {
-			s.selfSeedShares[v] = append(s.selfSeedShares[v], sh)
-		}
-		if m.OwnNoiseSeeds != nil {
-			seeds := make(map[int]field.Element, len(m.OwnNoiseSeeds))
-			for k, g := range m.OwnNoiseSeeds {
-				seeds[k] = g
-			}
-			s.noiseSeeds[m.From] = seeds
+		if err := s.AddConsistency(m); err != nil {
+			return UnmaskRequest{}, err
 		}
 	}
-	if len(u5set) < s.cfg.Threshold {
-		return nil, fmt.Errorf("secagg: |U5|=%d < t=%d, aborting", len(u5set), s.cfg.Threshold)
+	return s.SealConsistency()
+}
+
+// AddUnmask ingests one stage-4 response on arrival, indexing its share
+// bundles by target client so reconstruction cohorts are ready at Seal.
+func (s *Server) AddUnmask(m UnmaskMsg) error {
+	if s.u5set == nil {
+		s.u5set = make(map[uint64]struct{}, len(s.u4))
+		s.maskKeyShares = make(map[uint64][][numKeyChunks]shamir.Share)
+		s.selfSeedShares = make(map[uint64][]shamir.Share)
+		s.noiseSeeds = make(map[uint64]map[int]field.Element)
 	}
-	s.u5 = setToSorted(u5set)
+	if _, inU4 := s.u4set[m.From]; !inU4 {
+		return fmt.Errorf("secagg: unmask response from %d outside U4", m.From)
+	}
+	if _, dup := s.u5set[m.From]; dup {
+		return fmt.Errorf("secagg: duplicate unmask response from %d", m.From)
+	}
+	s.u5set[m.From] = struct{}{}
+	for v, sh := range m.MaskKeyShares {
+		s.maskKeyShares[v] = append(s.maskKeyShares[v], sh)
+	}
+	for v, sh := range m.SelfSeedShares {
+		s.selfSeedShares[v] = append(s.selfSeedShares[v], sh)
+	}
+	if m.OwnNoiseSeeds != nil {
+		seeds := make(map[int]field.Element, len(m.OwnNoiseSeeds))
+		for k, g := range m.OwnNoiseSeeds {
+			seeds[k] = g
+		}
+		s.noiseSeeds[m.From] = seeds
+	}
+	return nil
+}
+
+// SealUnmask closes stage 4 (the responders form U5), unmasks the
+// aggregate, and returns the stage-5 request (XNoise) or nil when no
+// stage 5 is needed.
+func (s *Server) SealUnmask() (*NoiseShareRequest, error) {
+	if len(s.u5set) < s.cfg.Threshold {
+		return nil, fmt.Errorf("secagg: |U5|=%d < t=%d, aborting", len(s.u5set), s.cfg.Threshold)
+	}
+	s.u5 = setToSorted(s.u5set)
 
 	if err := s.unmask(); err != nil {
 		return nil, err
@@ -204,6 +345,18 @@ func (s *Server) CollectUnmask(msgs []UnmaskMsg) (*NoiseShareRequest, error) {
 	return &NoiseShareRequest{U5: append([]uint64(nil), s.u5...)}, nil
 }
 
+// CollectUnmask ingests stage-4 responses (the senders form U5), unmasks
+// the aggregate, and returns the stage-5 request (XNoise) or nil when no
+// stage 5 is needed (batch wrapper over AddUnmask/SealUnmask).
+func (s *Server) CollectUnmask(msgs []UnmaskMsg) (*NoiseShareRequest, error) {
+	for _, m := range msgs {
+		if err := s.AddUnmask(m); err != nil {
+			return nil, err
+		}
+	}
+	return s.SealUnmask()
+}
+
 // unmask computes z = Σ_{u∈U3} y_u − Σ_{u∈U3} p_u + Σ_{u∈U3, v∈U2\U3} p_{v,u}.
 //
 // The mask removals are independent and commutative, so the expansion work
@@ -211,14 +364,9 @@ func (s *Server) CollectUnmask(msgs []UnmaskMsg) (*NoiseShareRequest, error) {
 // seeds b_u are recovered with one batched Lagrange pass per survivor
 // cohort rather than one quadratic interpolation per client.
 func (s *Server) unmask() error {
-	z := ring.NewVector(s.cfg.Bits, s.cfg.Dim)
-	inputs := make([]ring.Vector, 0, len(s.u3))
-	for _, u := range s.u3 {
-		inputs = append(inputs, s.masked[u])
-	}
-	if err := z.AddManyInPlace(inputs); err != nil {
-		return err
-	}
+	// Σ_{u∈U3} y_u was accumulated incrementally as masked inputs arrived
+	// (AddMasked); only the mask removal remains.
+	z := s.maskedSum
 
 	// Reconstruct the self-mask seeds of live clients in one batch per
 	// abscissa cohort.
@@ -295,31 +443,47 @@ func pairMaskSign(u, v uint64) int {
 	return 1
 }
 
-// CollectNoiseShares ingests stage-5 responses and reconstructs the
-// removable seeds of clients in U3\U5.
-func (s *Server) CollectNoiseShares(msgs []NoiseShareMsg) error {
+// AddNoiseShare ingests one stage-5 response on arrival, indexing the
+// shares by target client and component.
+func (s *Server) AddNoiseShare(m NoiseShareMsg) error {
 	if s.cfg.XNoise == nil {
 		return nil
 	}
-	if len(msgs) < s.cfg.Threshold {
-		return fmt.Errorf("secagg: |U6|=%d < t=%d, aborting", len(msgs), s.cfg.Threshold)
+	if s.nsSenders == nil {
+		s.nsSenders = make(map[uint64]struct{}, len(s.u5))
+		s.noiseShares = make(map[uint64]map[int][]shamir.Share)
 	}
-	s.noiseShares = make(map[uint64]map[int][]shamir.Share)
-	for _, m := range msgs {
-		if !contains(s.u5, m.From) {
-			return fmt.Errorf("secagg: noise shares from %d outside U5", m.From)
+	if _, inU5 := s.u5set[m.From]; !inU5 {
+		return fmt.Errorf("secagg: noise shares from %d outside U5", m.From)
+	}
+	if _, dup := s.nsSenders[m.From]; dup {
+		return fmt.Errorf("secagg: duplicate noise shares from %d", m.From)
+	}
+	s.nsSenders[m.From] = struct{}{}
+	for v, byK := range m.Shares {
+		_, inU5 := s.u5set[v]
+		_, inU3 := s.u3set[v]
+		if inU5 || !inU3 {
+			return fmt.Errorf("secagg: unsolicited noise shares for %d", v)
 		}
-		for v, byK := range m.Shares {
-			if contains(s.u5, v) || !contains(s.u3, v) {
-				return fmt.Errorf("secagg: unsolicited noise shares for %d", v)
-			}
-			if s.noiseShares[v] == nil {
-				s.noiseShares[v] = make(map[int][]shamir.Share)
-			}
-			for k, sh := range byK {
-				s.noiseShares[v][k] = append(s.noiseShares[v][k], sh)
-			}
+		if s.noiseShares[v] == nil {
+			s.noiseShares[v] = make(map[int][]shamir.Share)
 		}
+		for k, sh := range byK {
+			s.noiseShares[v][k] = append(s.noiseShares[v][k], sh)
+		}
+	}
+	return nil
+}
+
+// SealNoiseShares closes stage 5 and reconstructs the removable seeds of
+// clients in U3\U5.
+func (s *Server) SealNoiseShares() error {
+	if s.cfg.XNoise == nil {
+		return nil
+	}
+	if len(s.nsSenders) < s.cfg.Threshold {
+		return fmt.Errorf("secagg: |U6|=%d < t=%d, aborting", len(s.nsSenders), s.cfg.Threshold)
 	}
 	numDropped := len(s.cfg.ClientIDs) - len(s.u3)
 	ks := s.cfg.XNoise.RemovalComponents(numDropped)
@@ -355,6 +519,24 @@ func (s *Server) CollectNoiseShares(msgs []NoiseShareMsg) error {
 		s.noiseSeeds[v] = seeds
 	}
 	return nil
+}
+
+// CollectNoiseShares ingests stage-5 responses and reconstructs the
+// removable seeds of clients in U3\U5 (batch wrapper over
+// AddNoiseShare/SealNoiseShares).
+func (s *Server) CollectNoiseShares(msgs []NoiseShareMsg) error {
+	if s.cfg.XNoise == nil {
+		return nil
+	}
+	if len(msgs) < s.cfg.Threshold {
+		return fmt.Errorf("secagg: |U6|=%d < t=%d, aborting", len(msgs), s.cfg.Threshold)
+	}
+	for _, m := range msgs {
+		if err := s.AddNoiseShare(m); err != nil {
+			return err
+		}
+	}
+	return s.SealNoiseShares()
 }
 
 // Finalize removes the excessive XNoise components (if configured) and
