@@ -72,4 +72,50 @@
 // Frame hygiene (stale-stage, duplicate, out-of-order, unknown-sender
 // admission filtering) lives in the engine and is chaos-tested under
 // -race in internal/core.
+//
+// Key-agreement amortization. X25519 agreement is the dominant fixed cost
+// of a round (~57% of a 64-client dim-4096 round before this layer), and
+// the per-chunk drivers used to multiply it: m pipeline chunks meant m
+// independent secagg rounds and m·n·k agreements over identical pairs.
+// secagg.Session / secagg.ServerSession cache one key generation and the
+// pairwise secrets it produces, so agreement happens once per (round,
+// pair); per-chunk mask seeds fork from the cached secret by
+// domain-separated HKDF expansion (dh.Expand with Config.MaskEpoch = chunk
+// index — epoch 0 is byte-identical to the session-less derivation,
+// pinned by a golden test), and m-chunk rounds driven through a
+// core.SessionPool perform n·k agreements instead of m·n·k (3.5x on the
+// 64-client 8-chunk dim-4096 round; 2.5x on the SecAgg+ graph, which
+// composes both levers; see BENCH_SECAGG_HOTPATH.json). Consecutive rounds sharing a pool reuse the keys
+// for up to RatchetRounds rounds: every cached secret advances one
+// dh.Ratchet step per round (Config.KeyRatchet), and the advertise stage
+// is skipped outright on the cached roster — both drivers support the
+// skip (secagg.RunWithSessions resumes automatically; the wire driver via
+// the Resume flags).
+//
+// Threat-model caveats of session reuse: (1) cross-round reuse
+// (RatchetRounds > 1) is retroactively fragile: the ratchet is a public
+// HKDF chain over the raw agreement output, and the unchanged root mask
+// key is re-Shamir-shared every round, so a client that drops in round
+// r+1 hands the server its raw private key — from which the server can
+// re-derive that client's pairwise masks for round r too and (having
+// legitimately reconstructed the round-r self-mask seeds) unmask its
+// round-r individual update. Ratcheting therefore separates the mask
+// streams of healthy rounds; it does not protect past rounds of a client
+// that later drops, and it gives no forward secrecy against endpoint
+// compromise either. Deployments whose threat model cannot accept that
+// exposure must keep RatchetRounds ≤ 1 — fresh keys per round,
+// amortization within the round's chunks only, which is the SecAgg+ model
+// of one key-agreement phase per round and the conservative default.
+// (2) A client that drops mid-round may have had its mask key
+// reconstructed by the server, so its session must never serve another
+// round — core.SessionPool taints every scheduled dropper (before the
+// round runs, so aborted rounds taint too) and re-keys the pool before
+// the next round. (3) Each (KeyRatchet, MaskEpoch) derivation point may
+// serve at most one aggregation — repeating one would repeat every
+// pairwise mask stream and let the server difference the two uploads;
+// secagg.RoundSessions enforces this, and wire deployments driving
+// sessions directly must guarantee it themselves. (4) Within one logical
+// round, reusing one key generation across chunks is exactly the paper's
+// chunked-pipeline setting — the per-chunk sub-rounds are one aggregation
+// split for latency, not independent privacy epochs.
 package repro

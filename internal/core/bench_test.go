@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"testing"
 
+	"repro/internal/dh"
 	"repro/internal/prg"
 )
 
@@ -31,6 +32,57 @@ func BenchmarkRunRoundChunks(b *testing.B) {
 			}
 		})
 	}
+}
+
+// benchRound64Chunk8 is the acceptance benchmark of the key-agreement
+// amortization: a 64-client, 8-chunk, dim-4096 XNoise round with 8
+// dropouts, with fresh keys per chunk (m·n·k X25519 agreements — the
+// historical behavior) or one session set per round (n·k agreements,
+// per-chunk mask streams forked by KDF). Run on either substrate;
+// BENCH_SECAGG_HOTPATH.json records the measured delta.
+func benchRound64Chunk8(b *testing.B, proto Protocol, amortized bool) {
+	const n, dim, chunks = 64, 4096, 8
+	updates := randomUpdates(n, dim, 0.5)
+	drops := make([]uint64, 8)
+	for i := range drops {
+		drops[i] = uint64(i*n/len(drops) + 1)
+	}
+	cfg := RoundConfig{
+		Round: 1, Protocol: proto, Codec: testCodec(dim, n),
+		Threshold: 48, Chunks: chunks, Tolerance: 16, TargetMu: 100,
+		Seed: prg.NewSeed([]byte("bench64x8")),
+	}
+	a0 := dh.AgreeCount()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if amortized {
+			// A fresh pool per round keeps iterations independent (no
+			// cross-round ratchet), isolating the within-round m·n·k → n·k win.
+			cfg.Sessions = NewSessionPool(1)
+		}
+		if _, err := RunRound(cfg, updates, drops, rand.Reader); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(dh.AgreeCount()-a0)/float64(b.N), "agreements/op")
+}
+
+func BenchmarkRound64Chunk8PerChunkKeys(b *testing.B) {
+	benchRound64Chunk8(b, ProtocolSecAgg, false)
+}
+
+func BenchmarkRound64Chunk8Amortized(b *testing.B) {
+	benchRound64Chunk8(b, ProtocolSecAgg, true)
+}
+
+// The SecAgg+ sparse-graph variants compose both levers: O(n·k) pairs from
+// the graph, one agreement per pair from the session.
+func BenchmarkRound64Chunk8SecAggPlusPerChunkKeys(b *testing.B) {
+	benchRound64Chunk8(b, ProtocolSecAggPlus, false)
+}
+
+func BenchmarkRound64Chunk8SecAggPlusAmortized(b *testing.B) {
+	benchRound64Chunk8(b, ProtocolSecAggPlus, true)
 }
 
 // BenchmarkRunRoundSecAggPlus compares the two protocol substrates on the

@@ -11,6 +11,7 @@ import (
 	"repro/internal/prg"
 	"repro/internal/ring"
 	"repro/internal/secagg"
+	"repro/internal/secaggplus"
 	"repro/internal/transport"
 	"repro/internal/xnoise"
 )
@@ -291,6 +292,88 @@ func chaosRoundWrapped(t *testing.T, faults map[uint64]transport.FaultConfig,
 	cancel()
 	wg.Wait()
 	return res, err
+}
+
+// TestChaosFrameStormSecAggPlusGraph: the frame-storm patterns against a
+// SecAgg+ sparse-graph round running on live key-agreement sessions —
+// stale replays, duplicates, and unknown-stage junk land mid-collection
+// while the per-neighborhood session caches serve concurrent mask workers,
+// and a genuine dropout forces the server through reconstruction under the
+// storm. Run under -race in CI.
+func TestChaosFrameStormSecAggPlusGraph(t *testing.T) {
+	const n, dim, degree = 8, 32, 4
+	ids := make([]uint64, n)
+	for i := range ids {
+		ids[i] = uint64(i + 1)
+	}
+	base := secagg.Config{Round: 13, ClientIDs: ids, Threshold: 3, Bits: 20, Dim: dim}
+	saCfg, err := secaggplus.NewConfig(base, degree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serverSess := secagg.NewServerSession()
+	clientSess := make(map[uint64]*secagg.Session, n)
+	for _, id := range ids {
+		s, err := secagg.NewSession(rand.Reader)
+		if err != nil {
+			t.Fatal(err)
+		}
+		clientSess[id] = s
+	}
+
+	net := transport.NewMemoryNetwork(256)
+	clientConns := make(map[uint64]transport.ClientConn, n)
+	for _, id := range ids {
+		c, err := net.Connect(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		clientConns[id] = &frameStormClient{ClientConn: c}
+	}
+	inputs := make(map[uint64]ring.Vector, n)
+	for _, id := range ids {
+		v := ring.NewVector(20, dim)
+		for j := range v.Data {
+			v.Data[j] = id
+		}
+		inputs[id] = v
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	var wg sync.WaitGroup
+	for _, id := range ids {
+		id := id
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			cfg := WireClientConfig{
+				SecAgg: saCfg, ID: id, Input: inputs[id],
+				DropBefore: NoDrop, Rand: rand.Reader, Session: clientSess[id],
+			}
+			if id == 6 { // dies after sharing: reconstruction under storm
+				cfg.DropBefore = secagg.StageMaskedInput
+			}
+			_, _ = RunWireClient(ctx, cfg, clientConns[id])
+		}()
+	}
+	res, err := RunWireServer(ctx, WireServerConfig{
+		SecAgg: saCfg, StageDeadline: 500 * time.Millisecond, Session: serverSess,
+	}, net.Server())
+	cancel()
+	wg.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Dropped) != 1 || res.Dropped[0] != 6 {
+		t.Fatalf("dropped = %v, want [6]", res.Dropped)
+	}
+	want := float64(1 + 2 + 3 + 4 + 5 + 7 + 8)
+	centered := (ring.Vector{Bits: 20, Data: res.Sum}).Centered()
+	for i, v := range centered {
+		if float64(v) != want {
+			t.Fatalf("sum[%d] = %v, want %v (no noise in this round)", i, v, want)
+		}
+	}
 }
 
 // TestChaosTooManyLossyClientsAborts: when enough uplinks die that the

@@ -3,8 +3,12 @@ package core
 import (
 	"encoding/binary"
 	"fmt"
+	"math"
+	"sort"
 
+	"repro/internal/field"
 	"repro/internal/secagg"
+	"repro/internal/shamir"
 	"repro/internal/transport"
 )
 
@@ -34,6 +38,11 @@ import (
 //	              [n:4][RemovedComponents: n×8, as uint64]
 //	share msgs:   [magic][tagShareMsgs][n:4]
 //	              n × ([From:8][To:8][ctLen:4][Ciphertext: ctLen bytes])
+//	unmask:       [magic][tagUnmask][From:8]
+//	              [n:4] n × ([v:8][NumKeyChunks × (X:8)(Y:8)])   mask-key shares
+//	              [n:4] n × ([v:8][X:8][Y:8])                    self-seed shares
+//	              [n:4] n × ([k:8][g:8])                         own noise seeds
+//	              (each section sorted by key; a zero count decodes as nil)
 //
 // The magic byte distinguishes the binary codec from a gob stream (gob
 // payloads begin with a length varint; protocol payloads are never empty),
@@ -43,6 +52,7 @@ const (
 	tagMaskedInput = 0x01
 	tagResult      = 0x02
 	tagShareMsgs   = 0x03
+	tagUnmask      = 0x04
 )
 
 // maxWireElems caps decoded slice lengths so a hostile length prefix
@@ -188,6 +198,180 @@ func decodeShareMsgs(p []byte) ([]secagg.EncryptedShareMsg, error) {
 		return nil, fmt.Errorf("core: share list: %d trailing bytes", len(rest))
 	}
 	return msgs, nil
+}
+
+// maxUnmaskEntries caps the per-section entry counts of an unmask payload:
+// protocol reality is at most n entries per section (one share per peer,
+// one seed per noise component), so 2^20 sits far above any real round
+// while keeping a hostile count prefix from forcing a huge allocation.
+const maxUnmaskEntries = 1 << 20
+
+// elementsPerMaskBundle is the word count of one mask-key share bundle on
+// the wire: NumKeyChunks (X, Y) pairs.
+const elementsPerMaskBundle = 2 * secagg.NumKeyChunks
+
+func appendElement(dst []byte, e field.Element) []byte {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], e.Uint64())
+	return append(dst, b[:]...)
+}
+
+// encodeUnmask encodes the stage-4 unmask response — the per-survivor
+// share maps that were the last high-volume gob payload on the wire path.
+// Map sections are emitted in ascending key order so the encoding is
+// deterministic.
+func encodeUnmask(m secagg.UnmaskMsg) ([]byte, error) {
+	if len(m.MaskKeyShares) > maxUnmaskEntries || len(m.SelfSeedShares) > maxUnmaskEntries ||
+		len(m.OwnNoiseSeeds) > maxUnmaskEntries {
+		return nil, fmt.Errorf("core: unmask section exceeds wire cap")
+	}
+	size := 2 + 8 +
+		4 + len(m.MaskKeyShares)*(8+8*elementsPerMaskBundle) +
+		4 + len(m.SelfSeedShares)*(8+16) +
+		4 + len(m.OwnNoiseSeeds)*16
+	out := make([]byte, 0, size)
+	out = append(out, codecMagic, tagUnmask)
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], m.From)
+	out = append(out, b[:]...)
+
+	out = appendUint32(out, uint32(len(m.MaskKeyShares)))
+	for _, v := range sortedMapKeys(m.MaskKeyShares) {
+		binary.LittleEndian.PutUint64(b[:], v)
+		out = append(out, b[:]...)
+		bundle := m.MaskKeyShares[v]
+		for _, sh := range bundle {
+			out = appendElement(out, sh.X)
+			out = appendElement(out, sh.Y)
+		}
+	}
+	out = appendUint32(out, uint32(len(m.SelfSeedShares)))
+	for _, v := range sortedMapKeys(m.SelfSeedShares) {
+		binary.LittleEndian.PutUint64(b[:], v)
+		out = append(out, b[:]...)
+		sh := m.SelfSeedShares[v]
+		out = appendElement(out, sh.X)
+		out = appendElement(out, sh.Y)
+	}
+	out = appendUint32(out, uint32(len(m.OwnNoiseSeeds)))
+	ks := make([]int, 0, len(m.OwnNoiseSeeds))
+	for k := range m.OwnNoiseSeeds {
+		ks = append(ks, k)
+	}
+	sort.Ints(ks)
+	for _, k := range ks {
+		if k < 0 {
+			return nil, fmt.Errorf("core: negative noise component %d", k)
+		}
+		binary.LittleEndian.PutUint64(b[:], uint64(k))
+		out = append(out, b[:]...)
+		out = appendElement(out, m.OwnNoiseSeeds[k])
+	}
+	return out, nil
+}
+
+// unmaskSectionHeader reads one section's count prefix and rejects counts
+// the remaining payload cannot carry (entrySize is the minimum bytes per
+// entry), so a lying prefix fails before the map allocation.
+func unmaskSectionHeader(src []byte, entrySize int) (int, []byte, error) {
+	if len(src) < 4 {
+		return 0, nil, fmt.Errorf("core: unmask section header truncated")
+	}
+	n := int(binary.LittleEndian.Uint32(src))
+	rest := src[4:]
+	if n > maxUnmaskEntries {
+		return 0, nil, fmt.Errorf("core: declared unmask section of %d entries exceeds wire cap", n)
+	}
+	if n > 0 && n > len(rest)/entrySize {
+		return 0, nil, fmt.Errorf("core: declared unmask section of %d entries exceeds payload", n)
+	}
+	return n, rest, nil
+}
+
+func decodeElement(src []byte) (field.Element, []byte) {
+	return field.New(binary.LittleEndian.Uint64(src)), src[8:]
+}
+
+// decodeUnmask decodes a stage-4 unmask response.
+func decodeUnmask(p []byte) (secagg.UnmaskMsg, error) {
+	if len(p) < 10 || p[0] != codecMagic || p[1] != tagUnmask {
+		return secagg.UnmaskMsg{}, fmt.Errorf("core: not a binary unmask payload")
+	}
+	m := secagg.UnmaskMsg{From: binary.LittleEndian.Uint64(p[2:])}
+	rest := p[10:]
+
+	n, rest, err := unmaskSectionHeader(rest, 8+8*elementsPerMaskBundle)
+	if err != nil {
+		return secagg.UnmaskMsg{}, err
+	}
+	if n > 0 {
+		m.MaskKeyShares = make(map[uint64][secagg.NumKeyChunks]shamir.Share, n)
+		for i := 0; i < n; i++ {
+			v := binary.LittleEndian.Uint64(rest)
+			rest = rest[8:]
+			if _, dup := m.MaskKeyShares[v]; dup {
+				return secagg.UnmaskMsg{}, fmt.Errorf("core: duplicate mask-key share target %d", v)
+			}
+			var bundle [secagg.NumKeyChunks]shamir.Share
+			for c := range bundle {
+				bundle[c].X, rest = decodeElement(rest)
+				bundle[c].Y, rest = decodeElement(rest)
+			}
+			m.MaskKeyShares[v] = bundle
+		}
+	}
+
+	n, rest, err = unmaskSectionHeader(rest, 8+16)
+	if err != nil {
+		return secagg.UnmaskMsg{}, err
+	}
+	if n > 0 {
+		m.SelfSeedShares = make(map[uint64]shamir.Share, n)
+		for i := 0; i < n; i++ {
+			v := binary.LittleEndian.Uint64(rest)
+			rest = rest[8:]
+			if _, dup := m.SelfSeedShares[v]; dup {
+				return secagg.UnmaskMsg{}, fmt.Errorf("core: duplicate self-seed share target %d", v)
+			}
+			var sh shamir.Share
+			sh.X, rest = decodeElement(rest)
+			sh.Y, rest = decodeElement(rest)
+			m.SelfSeedShares[v] = sh
+		}
+	}
+
+	n, rest, err = unmaskSectionHeader(rest, 16)
+	if err != nil {
+		return secagg.UnmaskMsg{}, err
+	}
+	if n > 0 {
+		m.OwnNoiseSeeds = make(map[int]field.Element, n)
+		for i := 0; i < n; i++ {
+			k64 := binary.LittleEndian.Uint64(rest)
+			rest = rest[8:]
+			if k64 > math.MaxInt32 {
+				return secagg.UnmaskMsg{}, fmt.Errorf("core: noise component %d out of range", k64)
+			}
+			k := int(k64)
+			if _, dup := m.OwnNoiseSeeds[k]; dup {
+				return secagg.UnmaskMsg{}, fmt.Errorf("core: duplicate noise component %d", k)
+			}
+			m.OwnNoiseSeeds[k], rest = decodeElement(rest)
+		}
+	}
+	if len(rest) != 0 {
+		return secagg.UnmaskMsg{}, fmt.Errorf("core: unmask: %d trailing bytes", len(rest))
+	}
+	return m, nil
+}
+
+func sortedMapKeys[V any](m map[uint64]V) []uint64 {
+	out := make([]uint64, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
 }
 
 // encodeResult encodes the final result broadcast.

@@ -4,8 +4,10 @@ import (
 	"bytes"
 	"testing"
 
+	"repro/internal/field"
 	"repro/internal/prg"
 	"repro/internal/secagg"
+	"repro/internal/shamir"
 )
 
 func TestMaskedInputCodecRoundTrip(t *testing.T) {
@@ -212,6 +214,166 @@ func TestShareMsgsCodecFuzz(t *testing.T) {
 			// structure must stay sane.
 			if len(dec) > maxShareMsgs {
 				t.Fatalf("round %d: mutated decode produced %d messages", round, len(dec))
+			}
+		}
+	}
+}
+
+func sampleUnmaskMsg() secagg.UnmaskMsg {
+	bundle := func(base uint64) (b [secagg.NumKeyChunks]shamir.Share) {
+		for c := range b {
+			b[c] = shamir.Share{X: field.New(base), Y: field.New(base*100 + uint64(c))}
+		}
+		return b
+	}
+	return secagg.UnmaskMsg{
+		From: 1<<63 + 9,
+		MaskKeyShares: map[uint64][secagg.NumKeyChunks]shamir.Share{
+			4: bundle(4), 7: bundle(7),
+		},
+		SelfSeedShares: map[uint64]shamir.Share{
+			1: {X: field.New(1), Y: field.New(11)},
+			2: {X: field.New(2), Y: field.New(22)},
+			3: {X: field.New(3), Y: field.New(33)},
+		},
+		OwnNoiseSeeds: map[int]field.Element{2: field.New(200), 5: field.New(500)},
+	}
+}
+
+func TestUnmaskCodecRoundTrip(t *testing.T) {
+	cases := []secagg.UnmaskMsg{
+		sampleUnmaskMsg(),
+		{From: 3}, // all-nil maps
+		{From: 4, SelfSeedShares: map[uint64]shamir.Share{9: {X: field.New(9), Y: field.New(90)}}},
+	}
+	for ci, msg := range cases {
+		p, err := encodeUnmask(msg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := decodeUnmask(p)
+		if err != nil {
+			t.Fatalf("case %d: %v", ci, err)
+		}
+		if got.From != msg.From ||
+			len(got.MaskKeyShares) != len(msg.MaskKeyShares) ||
+			len(got.SelfSeedShares) != len(msg.SelfSeedShares) ||
+			len(got.OwnNoiseSeeds) != len(msg.OwnNoiseSeeds) {
+			t.Fatalf("case %d: round trip mangled shape: %+v", ci, got)
+		}
+		for v, b := range msg.MaskKeyShares {
+			if got.MaskKeyShares[v] != b {
+				t.Fatalf("case %d: mask-key bundle %d mangled", ci, v)
+			}
+		}
+		for v, sh := range msg.SelfSeedShares {
+			if got.SelfSeedShares[v] != sh {
+				t.Fatalf("case %d: self-seed share %d mangled", ci, v)
+			}
+		}
+		for k, g := range msg.OwnNoiseSeeds {
+			if got.OwnNoiseSeeds[k] != g {
+				t.Fatalf("case %d: noise seed %d mangled", ci, k)
+			}
+		}
+	}
+	// Deterministic encoding (map iteration order must not leak through).
+	a, _ := encodeUnmask(sampleUnmaskMsg())
+	b, _ := encodeUnmask(sampleUnmaskMsg())
+	if !bytes.Equal(a, b) {
+		t.Fatal("encodeUnmask is not deterministic")
+	}
+}
+
+// TestUnmaskCodecRejectsMalformed: structured corruptions of a valid
+// payload must error, never panic or silently mis-decode.
+func TestUnmaskCodecRejectsMalformed(t *testing.T) {
+	p, err := encodeUnmask(sampleUnmaskMsg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	countLie := append([]byte(nil), p...)
+	countLie[10], countLie[11], countLie[12], countLie[13] = 0xFF, 0xFF, 0xFF, 0x7F
+	dupTarget := append([]byte(nil), p...)
+	// The two mask-key bundles start at offset 14; make the second's id
+	// equal the first's.
+	copy(dupTarget[14+8+8*elementsPerMaskBundle:], dupTarget[14:14+8])
+	cases := map[string][]byte{
+		"empty":       {},
+		"magic only":  {codecMagic},
+		"short":       p[:9],
+		"section cut": p[:12],
+		"entry cut":   p[:len(p)-1],
+		"trailing":    append(append([]byte(nil), p...), 0x00),
+		"wrong tag":   append([]byte{codecMagic, tagShareMsgs}, p[2:]...),
+		"no magic":    append([]byte{0x42}, p[1:]...),
+		"count lie":   countLie,
+		"dup target":  dupTarget,
+		"gob payload": mustGob(t, sampleUnmaskMsg()),
+	}
+	for name, bad := range cases {
+		if _, err := decodeUnmask(bad); err == nil {
+			t.Errorf("%s: decodeUnmask accepted malformed payload", name)
+		}
+	}
+	if _, err := decodeMaskedInput(p); err == nil {
+		t.Error("decodeMaskedInput accepted an unmask payload")
+	}
+}
+
+// TestUnmaskCodecFuzz: random truncations and byte flips over valid
+// payloads must round-trip exactly or error — never panic. Deterministic
+// fuzz (seeded PRG) so failures replay.
+func TestUnmaskCodecFuzz(t *testing.T) {
+	s := prg.NewStream(prg.NewSeed([]byte("unmask-codec-fuzz")))
+	mkMsg := func() secagg.UnmaskMsg {
+		m := secagg.UnmaskMsg{From: s.Uint64()}
+		if n := int(s.Uint64() % 4); n > 0 {
+			m.MaskKeyShares = make(map[uint64][secagg.NumKeyChunks]shamir.Share, n)
+			for i := 0; i < n; i++ {
+				var b [secagg.NumKeyChunks]shamir.Share
+				for c := range b {
+					b[c] = shamir.Share{X: s.FieldElement(), Y: s.FieldElement()}
+				}
+				m.MaskKeyShares[s.Uint64()] = b
+			}
+		}
+		if n := int(s.Uint64() % 4); n > 0 {
+			m.SelfSeedShares = make(map[uint64]shamir.Share, n)
+			for i := 0; i < n; i++ {
+				m.SelfSeedShares[s.Uint64()] = shamir.Share{X: s.FieldElement(), Y: s.FieldElement()}
+			}
+		}
+		if n := int(s.Uint64() % 3); n > 0 {
+			m.OwnNoiseSeeds = make(map[int]field.Element, n)
+			for i := 0; i < n; i++ {
+				m.OwnNoiseSeeds[int(s.Uint64()%64)] = s.FieldElement()
+			}
+		}
+		return m
+	}
+	for round := 0; round < 300; round++ {
+		msg := mkMsg()
+		p, err := encodeUnmask(msg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := decodeUnmask(p); err != nil {
+			t.Fatalf("round %d: clean decode: %v", round, err)
+		}
+		mutated := append([]byte(nil), p...)
+		switch s.Uint64() % 2 {
+		case 0:
+			mutated = mutated[:s.Uint64()%uint64(len(mutated)+1)]
+		case 1:
+			mutated[s.Uint64()%uint64(len(mutated))] ^= byte(1 + s.Uint64()%255)
+		}
+		dec, err := decodeUnmask(mutated) // must not panic
+		if err == nil {
+			if len(dec.MaskKeyShares) > maxUnmaskEntries ||
+				len(dec.SelfSeedShares) > maxUnmaskEntries ||
+				len(dec.OwnNoiseSeeds) > maxUnmaskEntries {
+				t.Fatalf("round %d: mutated decode produced absurd shape", round)
 			}
 		}
 	}

@@ -3,7 +3,6 @@ package core
 import (
 	"fmt"
 	"io"
-	"sort"
 	"sync"
 
 	"repro/internal/field"
@@ -19,18 +18,48 @@ import (
 // Protocol selects the secure-aggregation substrate.
 type Protocol int
 
-// The two protocols the paper evaluates.
+// The protocol substrates. ProtocolAuto is the zero value, so round
+// configs that do not pin a substrate scale automatically: classic SecAgg
+// below SecAggPlusAutoMin sampled clients, SecAgg+ at the recommended
+// O(log n) degree at or above it — the complete graph's O(n²) key
+// agreements dominate the round well before 64 clients. Note that on the
+// SecAgg+ substrate a Threshold larger than the neighborhood is re-derived
+// to the per-neighborhood reconstruction threshold (secaggplus.NewConfig);
+// callers whose dropout-security margin depends on the configured global
+// threshold should pin ProtocolSecAgg explicitly. RoundResult.Protocol
+// reports the substrate a round actually used.
 const (
-	ProtocolSecAgg Protocol = iota
+	ProtocolAuto Protocol = iota
+	ProtocolSecAgg
 	ProtocolSecAggPlus
 )
 
+// SecAggPlusAutoMin is the sampled-set size at which ProtocolAuto switches
+// from classic SecAgg to the SecAgg+ sparse-graph substrate.
+const SecAggPlusAutoMin = 32
+
+// ResolveProtocol maps ProtocolAuto to the recommended substrate for n
+// sampled clients; pinned protocols pass through unchanged.
+func ResolveProtocol(p Protocol, n int) Protocol {
+	if p != ProtocolAuto {
+		return p
+	}
+	if n >= SecAggPlusAutoMin {
+		return ProtocolSecAggPlus
+	}
+	return ProtocolSecAgg
+}
+
 // String implements fmt.Stringer.
 func (p Protocol) String() string {
-	if p == ProtocolSecAggPlus {
+	switch p {
+	case ProtocolSecAggPlus:
 		return "secagg+"
+	case ProtocolSecAgg:
+		return "secagg"
+	default:
+		return "auto"
 	}
-	return "secagg"
 }
 
 // RoundConfig configures one Dordis aggregation round (paper Fig. 7,
@@ -54,6 +83,20 @@ type RoundConfig struct {
 	// Seed drives per-round deterministic randomness (noise seeds, chunk
 	// sub-streams).
 	Seed prg.Seed
+	// DropSchedule injects per-stage dropouts: id → the protocol stage
+	// *before* which the client vanishes (secagg.DropSchedule semantics).
+	// Clients dropping before MaskedInput are excluded from the aggregate;
+	// clients dropping at a later stage (e.g. StageUnmasking) are included
+	// — their update and noise are in the sum and the removal accounts for
+	// them. The drops argument of RunRound remains the shorthand for the
+	// paper's §6.1 model (drop before MaskedInput) and merges into this.
+	DropSchedule secagg.DropSchedule
+	// Sessions, when non-nil, amortizes X25519 key agreement across the
+	// round's chunks (agree once per pair, fork per-chunk mask streams by
+	// KDF) and, when the pool allows, across consecutive RunRound calls
+	// (ratcheted secrets, skipped advertise stage). nil runs every chunk
+	// with fresh keys — the historical behavior.
+	Sessions *SessionPool
 }
 
 // Validate checks the configuration.
@@ -85,11 +128,17 @@ type RoundResult struct {
 	// Sum is the decoded aggregate (model units): Σ survivors' clipped
 	// updates plus DP noise at the enforced level.
 	Sum []float64
-	// Survivors and Dropped partition the sampled set.
-	Survivors []uint64
-	Dropped   []uint64
+	// Survivors and Dropped partition the sampled set by whether the
+	// client's update is in the aggregate (it reached the masked-input
+	// stage). LateDropped ⊆ Survivors lists clients that uploaded their
+	// masked input but vanished at a later stage (e.g. before unmasking).
+	Survivors   []uint64
+	Dropped     []uint64
+	LateDropped []uint64
 	// Chunks is the chunk count executed.
 	Chunks int
+	// Protocol is the substrate actually used (ProtocolAuto resolved).
+	Protocol Protocol
 }
 
 // RunRound executes one full Dordis round in-process with pipeline
@@ -107,18 +156,38 @@ func RunRound(cfg RoundConfig, updates map[uint64][]float64, drops []uint64, ran
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	ids := sortedKeys(updates)
+	ids := sortedMapKeys(updates)
 	if len(ids) < 2 {
 		return nil, fmt.Errorf("core: need at least 2 clients, got %d", len(ids))
 	}
-	dropSet := make(map[uint64]bool, len(drops))
+	// Merge the shorthand drops list (§6.1 model: vanish before the masked
+	// upload) into the per-stage schedule.
+	schedule := make(secagg.DropSchedule, len(cfg.DropSchedule)+len(drops))
+	for id, st := range cfg.DropSchedule {
+		if _, ok := updates[id]; !ok {
+			return nil, fmt.Errorf("core: scheduled dropout %d not in sampled set", id)
+		}
+		schedule[id] = st
+	}
 	for _, id := range drops {
 		if _, ok := updates[id]; !ok {
 			return nil, fmt.Errorf("core: dropped client %d not in sampled set", id)
 		}
-		dropSet[id] = true
+		if _, ok := schedule[id]; !ok {
+			schedule[id] = secagg.StageMaskedInput
+		}
 	}
-	numDropped := len(dropSet)
+	// A client is aggregated iff it reaches the masked-input stage; only
+	// earlier drops dent the noise level and count against the tolerance.
+	aggregated := func(id uint64) bool {
+		return schedule.Participates(id, secagg.StageMaskedInput)
+	}
+	numDropped := 0
+	for id := range schedule {
+		if !aggregated(id) {
+			numDropped++
+		}
+	}
 	if cfg.Tolerance > 0 && numDropped > cfg.Tolerance {
 		return nil, fmt.Errorf("core: %d dropouts exceed tolerance %d", numDropped, cfg.Tolerance)
 	}
@@ -181,7 +250,8 @@ func RunRound(cfg RoundConfig, updates map[uint64][]float64, drops []uint64, ran
 		Threshold: cfg.Threshold,
 		Bits:      cfg.Codec.Bits,
 	}
-	if cfg.Protocol == ProtocolSecAggPlus {
+	proto := ResolveProtocol(cfg.Protocol, len(ids))
+	if proto == ProtocolSecAggPlus {
 		var err error
 		baseCfg, err = secaggplus.NewConfig(baseCfg, cfg.Degree)
 		if err != nil {
@@ -189,9 +259,28 @@ func RunRound(cfg RoundConfig, updates map[uint64][]float64, drops []uint64, ran
 		}
 	}
 
-	schedule := secagg.DropSchedule{}
-	for id := range dropSet {
-		schedule[id] = secagg.StageMaskedInput
+	// Key-agreement amortization: one session set serves every chunk (and,
+	// when the pool permits, consecutive rounds at increasing ratchet
+	// steps), so pairwise X25519 agreement happens n·k times per round
+	// instead of m·n·k. Chunk independence of the masks comes from the
+	// per-chunk MaskEpoch fork, round independence from the ratchet step.
+	var sess *secagg.RoundSessions
+	var ratchet uint64
+	if cfg.Sessions != nil {
+		var err error
+		if sess, ratchet, err = cfg.Sessions.acquire(ids, rand); err != nil {
+			return nil, err
+		}
+		// Taint scheduled droppers up front, before any chunk runs: the
+		// server may reconstruct a dropper's mask key mid-round, and an
+		// aborted round must not leave its session eligible for reuse.
+		if len(schedule) > 0 {
+			dropped := make([]uint64, 0, len(schedule))
+			for id := range schedule {
+				dropped = append(dropped, id)
+			}
+			cfg.Sessions.invalidate(dropped)
+		}
 	}
 
 	// Chunk pipeline state.
@@ -219,7 +308,7 @@ func RunRound(cfg RoundConfig, updates map[uint64][]float64, drops []uint64, ran
 				Bits: encoded[id].Bits,
 				Data: append([]uint64(nil), encoded[id].Data[lo:hi]...),
 			}
-			if plan != nil && !dropSet[id] {
+			if plan != nil && aggregated(id) {
 				total, err := noise[c][i].client.TotalNoise(*plan, cfg.sampler(), chunk.Len())
 				if err != nil {
 					return setErr(err)
@@ -239,7 +328,9 @@ func RunRound(cfg RoundConfig, updates map[uint64][]float64, drops []uint64, ran
 		chunkCfg := baseCfg
 		chunkCfg.Round = cfg.Round*1000 + uint64(c)
 		chunkCfg.Dim = len(chunkInputs[c][ids[0]].Data)
-		rr, err := secagg.Run(chunkCfg, chunkInputs[c], nil, schedule, rand)
+		chunkCfg.MaskEpoch = uint64(c)
+		chunkCfg.KeyRatchet = ratchet
+		rr, err := secagg.RunWithSessions(chunkCfg, chunkInputs[c], nil, schedule, rand, sess)
 		if err != nil {
 			return setErr(fmt.Errorf("core: chunk %d aggregation: %w", c, err))
 		}
@@ -253,7 +344,7 @@ func RunRound(cfg RoundConfig, updates map[uint64][]float64, drops []uint64, ran
 		}
 		seeds := make(map[uint64]map[int]field.Element)
 		for i, id := range ids {
-			if dropSet[id] {
+			if !aggregated(id) {
 				continue
 			}
 			byK := make(map[int]field.Element)
@@ -296,22 +387,16 @@ func RunRound(cfg RoundConfig, updates map[uint64][]float64, drops []uint64, ran
 	if err != nil {
 		return nil, err
 	}
-	res := &RoundResult{Sum: sum, Chunks: m}
+	res := &RoundResult{Sum: sum, Chunks: m, Protocol: proto}
 	for _, id := range ids {
-		if dropSet[id] {
+		if !aggregated(id) {
 			res.Dropped = append(res.Dropped, id)
-		} else {
-			res.Survivors = append(res.Survivors, id)
+			continue
+		}
+		res.Survivors = append(res.Survivors, id)
+		if _, late := schedule[id]; late {
+			res.LateDropped = append(res.LateDropped, id)
 		}
 	}
 	return res, nil
-}
-
-func sortedKeys(m map[uint64][]float64) []uint64 {
-	out := make([]uint64, 0, len(m))
-	for id := range m {
-		out = append(out, id)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
 }

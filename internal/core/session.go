@@ -1,0 +1,105 @@
+package core
+
+import (
+	"io"
+	"sync"
+
+	"repro/internal/secagg"
+)
+
+// SessionPool owns the key-agreement sessions RunRound amortizes over: one
+// secagg.Session per sampled client plus the server's cache. Within one
+// RunRound every chunk shares the pool's sessions, so the m-chunk pipeline
+// performs n·k X25519 agreements instead of m·n·k; across RunRound calls
+// the pool reuses the same key generation for up to RatchetRounds rounds,
+// ratcheting every cached secret one step per round (and skipping the
+// advertise stage) instead of re-advertising.
+//
+// Threat-model gate: cross-round reuse is only sound when the deployment
+// accepts that one X25519 key generation serves several rounds. The masks
+// of healthy rounds stay independent through the ratchet, but the
+// protection is not retroactive: a client that drops in a later round
+// hands the server its raw root key (the unchanged private key is
+// re-shared every round), from which the server can re-derive that
+// client's masks for the earlier rounds of the same key generation and
+// unmask its past updates (doc.go, caveat 1). RatchetRounds ≤ 1 confines
+// the pool to within-round amortization — the SecAgg+ assumption of one
+// key-agreement phase per round — which is the conservative default. The
+// pool also regenerates the sessions of clients scheduled to drop
+// (tainted before the round runs, so aborted rounds taint too): their
+// mask keys may have been reconstructed by the server, so reusing them
+// next round would hand the server their future pairwise masks.
+type SessionPool struct {
+	// RatchetRounds is the number of consecutive rounds one key generation
+	// may serve. Values ≤ 1 mean within-round amortization only.
+	RatchetRounds int
+
+	mu         sync.Mutex
+	sess       *secagg.RoundSessions
+	ids        []uint64
+	roundsUsed int
+	tainted    map[uint64]bool // clients whose keys the server may know
+}
+
+// NewSessionPool returns a pool that reuses each key generation for up to
+// ratchetRounds consecutive rounds (≤ 1: within-round amortization only).
+func NewSessionPool(ratchetRounds int) *SessionPool {
+	return &SessionPool{RatchetRounds: ratchetRounds}
+}
+
+// acquire returns the sessions for a round over ids plus the ratchet step
+// the round must run at. It reuses the pooled sessions when the client set
+// is unchanged, no member is tainted, and the key generation has rounds
+// left; otherwise it generates fresh sessions (step 0).
+func (p *SessionPool) acquire(ids []uint64, rand io.Reader) (*secagg.RoundSessions, uint64, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	max := p.RatchetRounds
+	if max < 1 {
+		max = 1
+	}
+	if p.sess != nil && p.roundsUsed < max && sameIDs(p.ids, ids) && len(p.tainted) == 0 {
+		step := uint64(p.roundsUsed)
+		p.roundsUsed++
+		return p.sess, step, nil
+	}
+	sess, err := secagg.NewRoundSessions(ids, rand)
+	if err != nil {
+		return nil, 0, err
+	}
+	p.sess = sess
+	p.ids = append([]uint64(nil), ids...)
+	p.roundsUsed = 1
+	p.tainted = nil
+	return sess, 0, nil
+}
+
+// invalidate marks clients whose sessions must not survive into the next
+// round (the server reconstructed — or may have reconstructed — their mask
+// keys). The next acquire regenerates every session: a partial roster
+// cannot skip the advertise stage anyway.
+func (p *SessionPool) invalidate(ids []uint64) {
+	if len(ids) == 0 {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.tainted == nil {
+		p.tainted = make(map[uint64]bool, len(ids))
+	}
+	for _, id := range ids {
+		p.tainted[id] = true
+	}
+}
+
+func sameIDs(a, b []uint64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

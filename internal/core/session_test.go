@@ -1,0 +1,290 @@
+package core
+
+import (
+	"context"
+	"crypto/rand"
+	"math"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/dh"
+	"repro/internal/prg"
+	"repro/internal/ring"
+	"repro/internal/secagg"
+	"repro/internal/transport"
+)
+
+// TestRunRoundAmortizesKeyAgreementAcrossChunks: with a session pool, an
+// m-chunk round performs the X25519 work of roughly one chunk (n·k
+// agreements) instead of m·n·k, and the aggregate is bit-identical to the
+// per-chunk-keys path (same deterministic XNoise, masks cancel in both).
+func TestRunRoundAmortizesKeyAgreementAcrossChunks(t *testing.T) {
+	const n, dim, chunks = 8, 256, 4
+	updates := randomUpdates(n, dim, 0.5)
+	mkCfg := func() RoundConfig {
+		return RoundConfig{
+			Round: 21, Protocol: ProtocolSecAgg, Codec: testCodec(dim, n),
+			Threshold: 4, Chunks: chunks, Tolerance: 2, TargetMu: 40,
+			Seed: prg.NewSeed([]byte("amortize")),
+		}
+	}
+
+	a0 := dh.AgreeCount()
+	plain, err := RunRound(mkCfg(), updates, []uint64{3}, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perChunkAgrees := dh.AgreeCount() - a0
+
+	cfg := mkCfg()
+	cfg.Sessions = NewSessionPool(1)
+	a0 = dh.AgreeCount()
+	amortized, err := RunRound(cfg, updates, []uint64{3}, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	amortizedAgrees := dh.AgreeCount() - a0
+
+	for i := range plain.Sum {
+		if plain.Sum[i] != amortized.Sum[i] {
+			t.Fatalf("sum[%d]: per-chunk %v != amortized %v", i, plain.Sum[i], amortized.Sum[i])
+		}
+	}
+	// The per-chunk path pays ~m× the agreements; the amortized path pays
+	// one chunk's worth. Allow slack for the worker pool's racy duplicate
+	// cache fills, which are bounded but nonzero.
+	if amortizedAgrees*2 > perChunkAgrees {
+		t.Fatalf("amortized path did %d agreements vs %d per-chunk — no amortization",
+			amortizedAgrees, perChunkAgrees)
+	}
+	if want := perChunkAgrees / chunks * 2; amortizedAgrees > want {
+		t.Fatalf("amortized path did %d agreements, want ≤ %d (≈ one chunk's worth)",
+			amortizedAgrees, want)
+	}
+}
+
+// TestSessionPoolAcrossRounds: consecutive rounds on one pool reuse the
+// key generation — the second round performs zero agreements and zero key
+// generations (ratcheted secrets, skipped advertise) — until a dropout
+// taints the pool, which forces fresh sessions.
+func TestSessionPoolAcrossRounds(t *testing.T) {
+	const n, dim = 6, 128
+	updates := randomUpdates(n, dim, 0.5)
+	pool := NewSessionPool(3)
+	cfg := RoundConfig{
+		Protocol: ProtocolSecAgg, Codec: testCodec(dim, n),
+		Threshold: 3, Chunks: 2, Seed: prg.NewSeed([]byte("pool")),
+		Sessions: pool,
+	}
+
+	check := func(res *RoundResult, err error) *RoundResult {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := sumUpdates(updates, nil, dim)
+		diff := make([]float64, dim)
+		for i := range diff {
+			diff[i] = res.Sum[i] - want[i]
+		}
+		if l2(diff) > 0.1 {
+			t.Fatalf("round decode error %v", l2(diff))
+		}
+		return res
+	}
+
+	cfg.Round = 1
+	res, err := RunRound(cfg, updates, nil, rand.Reader)
+	check(res, err)
+
+	a0, g0 := dh.AgreeCount(), dh.GenerateCount()
+	cfg.Round = 2
+	res, err = RunRound(cfg, updates, nil, rand.Reader)
+	check(res, err)
+	if d := dh.AgreeCount() - a0; d != 0 {
+		t.Fatalf("ratcheted round performed %d agreements, want 0", d)
+	}
+	if d := dh.GenerateCount() - g0; d != 0 {
+		t.Fatalf("ratcheted round generated %d key pairs, want 0", d)
+	}
+
+	// A dropout taints the pool: the next round must re-key.
+	cfg.Round = 3
+	if _, err := RunRound(cfg, updates, []uint64{2}, rand.Reader); err != nil {
+		t.Fatal(err)
+	}
+	g0 = dh.GenerateCount()
+	cfg.Round = 4
+	res, err = RunRound(cfg, updates, nil, rand.Reader)
+	check(res, err)
+	if d := dh.GenerateCount() - g0; d != uint64(2*n) {
+		t.Fatalf("post-dropout round generated %d key pairs, want %d (fresh sessions)", d, 2*n)
+	}
+}
+
+// TestRunRoundPerStageDropSchedule: stage-2 (before sharing) and stage-4
+// (before unmasking) dropouts flow through RoundConfig.DropSchedule — the
+// early dropper is excluded from the aggregate, the late dropper's update
+// and noise are in it, and the partition reports both correctly.
+func TestRunRoundPerStageDropSchedule(t *testing.T) {
+	const n, dim = 6, 7000
+	codec := testCodec(dim, n)
+	cfg := RoundConfig{
+		Round: 31, Protocol: ProtocolSecAgg, Codec: codec,
+		Threshold: 3, Chunks: 2, Tolerance: 2, TargetMu: 60,
+		Seed: prg.NewSeed([]byte("stages")),
+		DropSchedule: secagg.DropSchedule{
+			2: secagg.StageShareKeys, // drops before sharing → excluded
+			5: secagg.StageUnmasking, // drops after upload → included
+		},
+	}
+	updates := randomUpdates(n, dim, 0.5)
+	res, err := RunRound(cfg, updates, nil, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Dropped) != 1 || res.Dropped[0] != 2 {
+		t.Fatalf("dropped = %v, want [2]", res.Dropped)
+	}
+	if len(res.LateDropped) != 1 || res.LateDropped[0] != 5 {
+		t.Fatalf("late dropped = %v, want [5]", res.LateDropped)
+	}
+	if len(res.Survivors) != n-1 {
+		t.Fatalf("survivors = %v, want all but client 2", res.Survivors)
+	}
+	// Client 5's update is in the sum, client 2's is not, and the XNoise
+	// residual sits at the target: numDropped = 1 (only pre-mask drops
+	// dent the noise), so the removal accounts for exactly that.
+	want := sumUpdates(updates, map[uint64]bool{2: true}, dim)
+	var sum, sumSq float64
+	for i := range want {
+		g := (res.Sum[i] - want[i]) * codec.Scale
+		sum += g
+		sumSq += g * g
+	}
+	mean := sum / float64(dim)
+	variance := sumSq/float64(dim) - mean*mean
+	if math.Abs(variance-cfg.TargetMu)/cfg.TargetMu > 0.15 {
+		t.Errorf("residual variance %v, want ≈%v", variance, cfg.TargetMu)
+	}
+}
+
+// TestWireRoundSessionResume: two consecutive wire rounds share sessions;
+// the second sets Resume on both ends, skips the advertise stage, and
+// performs zero X25519 agreements while still producing the right
+// aggregate.
+func TestWireRoundSessionResume(t *testing.T) {
+	const n, dim = 4, 32
+	ids := []uint64{1, 2, 3, 4}
+	baseCfg := secagg.Config{
+		Round: 41, ClientIDs: ids, Threshold: 3, Bits: 20, Dim: dim,
+	}
+	serverSess := secagg.NewServerSession()
+	clientSess := make(map[uint64]*secagg.Session, n)
+	for _, id := range ids {
+		s, err := secagg.NewSession(rand.Reader)
+		if err != nil {
+			t.Fatal(err)
+		}
+		clientSess[id] = s
+	}
+	inputs := make(map[uint64]ring.Vector, n)
+	for _, id := range ids {
+		v := ring.NewVector(20, dim)
+		for j := range v.Data {
+			v.Data[j] = id
+		}
+		inputs[id] = v
+	}
+
+	runOnce := func(round uint64, ratchet uint64, resume bool) *secagg.Result {
+		t.Helper()
+		saCfg := baseCfg
+		saCfg.Round = round
+		saCfg.KeyRatchet = ratchet
+		net := transport.NewMemoryNetwork(64)
+		clientConns := make(map[uint64]transport.ClientConn, n)
+		for _, id := range ids {
+			c, err := net.Connect(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			clientConns[id] = c
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		var wg sync.WaitGroup
+		for _, id := range ids {
+			id := id
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				cfg := WireClientConfig{
+					SecAgg: saCfg, ID: id, Input: inputs[id],
+					DropBefore: NoDrop, Rand: rand.Reader,
+					Session: clientSess[id], Resume: resume,
+				}
+				if _, err := RunWireClient(ctx, cfg, clientConns[id]); err != nil {
+					t.Errorf("client %d: %v", id, err)
+				}
+			}()
+		}
+		res, err := RunWireServer(ctx, WireServerConfig{
+			SecAgg: saCfg, StageDeadline: 2 * time.Second,
+			Session: serverSess, Resume: resume,
+		}, net.Server())
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Wait()
+		return res
+	}
+
+	checkSum := func(res *secagg.Result) {
+		t.Helper()
+		for i, got := range res.Sum {
+			if got != 10 { // 1+2+3+4
+				t.Fatalf("sum[%d] = %d, want 10", i, got)
+			}
+		}
+	}
+	checkSum(runOnce(41, 0, false))
+
+	a0 := dh.AgreeCount()
+	checkSum(runOnce(42, 1, true))
+	if d := dh.AgreeCount() - a0; d != 0 {
+		t.Fatalf("resumed wire round performed %d agreements, want 0", d)
+	}
+}
+
+// TestResolveProtocolAuto pins the auto substrate switch: classic SecAgg
+// below SecAggPlusAutoMin sampled clients, SecAgg+ at or above.
+func TestResolveProtocolAuto(t *testing.T) {
+	if got := ResolveProtocol(ProtocolAuto, SecAggPlusAutoMin-1); got != ProtocolSecAgg {
+		t.Fatalf("auto at n=%d resolved to %v", SecAggPlusAutoMin-1, got)
+	}
+	if got := ResolveProtocol(ProtocolAuto, SecAggPlusAutoMin); got != ProtocolSecAggPlus {
+		t.Fatalf("auto at n=%d resolved to %v", SecAggPlusAutoMin, got)
+	}
+	if got := ResolveProtocol(ProtocolSecAgg, 1000); got != ProtocolSecAgg {
+		t.Fatalf("pinned secagg resolved to %v", got)
+	}
+	if got := ResolveProtocol(ProtocolSecAggPlus, 4); got != ProtocolSecAggPlus {
+		t.Fatalf("pinned secagg+ resolved to %v", got)
+	}
+	// The zero-value RoundConfig scales automatically and reports the
+	// substrate it used.
+	const n, dim = 5, 40
+	updates := randomUpdates(n, dim, 0.5)
+	res, err := RunRound(RoundConfig{
+		Round: 51, Codec: testCodec(dim, n), Threshold: 3, Chunks: 1,
+		Seed: prg.NewSeed([]byte("auto")),
+	}, updates, nil, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Protocol != ProtocolSecAgg {
+		t.Fatalf("auto round at n=%d used %v", n, res.Protocol)
+	}
+}

@@ -63,6 +63,13 @@ func decodePayload(p []byte, v any) error {
 type WireServerConfig struct {
 	SecAgg        secagg.Config
 	StageDeadline time.Duration // per-stage collection deadline
+
+	// Session, when non-nil, carries the server's key-agreement caches
+	// across the rounds that share it; with Resume, the advertise stage is
+	// skipped entirely and the round starts from the session's cached
+	// roster (the deployment must set the matching flags on every client).
+	Session *secagg.ServerSession
+	Resume  bool
 }
 
 // fanIn drains the server connection into a buffered channel for the
@@ -127,7 +134,10 @@ func RunWireServer(ctx context.Context, cfg WireServerConfig, conn transport.Ser
 	if cfg.StageDeadline <= 0 {
 		cfg.StageDeadline = 2 * time.Second
 	}
-	server, err := secagg.NewServer(cfg.SecAgg)
+	if cfg.Resume && cfg.Session == nil {
+		return nil, fmt.Errorf("core: resume requires a server session")
+	}
+	server, err := secagg.NewSessionServer(cfg.SecAgg, cfg.Session)
 	if err != nil {
 		return nil, err
 	}
@@ -145,27 +155,44 @@ func RunWireServer(ctx context.Context, cfg WireServerConfig, conn transport.Ser
 		return err
 	}
 
-	// Stage 0: AdvertiseKeys.
-	err = collect("advertise", wireAdvertise, ids, gobDecode[secagg.AdvertiseMsg],
-		func(_ uint64, body any) error {
-			return server.AddAdvertise(body.(secagg.AdvertiseMsg))
-		})
-	if err != nil {
-		return nil, err
-	}
-	roster, err := server.SealAdvertise()
-	if err != nil {
-		return nil, err
-	}
-	rosterPayload, err := encodePayload(roster)
-	if err != nil {
-		return nil, err
+	// Stage 0: AdvertiseKeys — collected over the wire, or skipped when
+	// resuming on a session whose cached roster covers this client set (the
+	// clients skip symmetrically and reuse their own cached rosters).
+	var roster []secagg.AdvertiseMsg
+	if cfg.Resume {
+		roster = cfg.Session.RosterFor(ids)
+		if roster == nil {
+			return nil, fmt.Errorf("core: resume without a cached roster for this client set")
+		}
+		if err := server.InstallRoster(roster); err != nil {
+			return nil, err
+		}
+	} else {
+		err = collect("advertise", wireAdvertise, ids, gobDecode[secagg.AdvertiseMsg],
+			func(_ uint64, body any) error {
+				return server.AddAdvertise(body.(secagg.AdvertiseMsg))
+			})
+		if err != nil {
+			return nil, err
+		}
+		if roster, err = server.SealAdvertise(); err != nil {
+			return nil, err
+		}
+		if cfg.Session != nil {
+			cfg.Session.StoreRoster(roster, ids)
+		}
 	}
 	u1 := make([]uint64, 0, len(roster))
 	for _, m := range roster {
 		u1 = append(u1, m.From)
 	}
-	broadcast(conn, u1, wireRoster, rosterPayload)
+	if !cfg.Resume {
+		rosterPayload, err := encodePayload(roster)
+		if err != nil {
+			return nil, err
+		}
+		broadcast(conn, u1, wireRoster, rosterPayload)
+	}
 
 	// Stage 1: ShareKeys. The n² encrypted share bundles ride the binary
 	// codec; each sender's list routes into recipient outboxes on arrival.
@@ -231,9 +258,11 @@ func RunWireServer(ctx context.Context, cfg WireServerConfig, conn transport.Ser
 	}
 	broadcast(conn, unmaskReq.U4, wireUnmaskReq, reqPayload)
 
-	// Stage 4: Unmasking. Share bundles index into reconstruction cohorts
-	// on arrival.
-	err = collect("unmask", wireUnmask, unmaskReq.U4, gobDecode[secagg.UnmaskMsg],
+	// Stage 4: Unmasking. The per-survivor share maps ride the binary
+	// codec (the last high-volume payload to leave gob); bundles index into
+	// reconstruction cohorts on arrival.
+	err = collect("unmask", wireUnmask, unmaskReq.U4,
+		func(m engine.Msg) (any, error) { return decodeUnmask(m.Body.([]byte)) },
 		func(_ uint64, body any) error {
 			return server.AddUnmask(body.(secagg.UnmaskMsg))
 		})
@@ -289,6 +318,13 @@ type WireClientConfig struct {
 	// that completes the round.
 	DropBefore secagg.Stage
 	Rand       io.Reader
+
+	// Session, when non-nil, carries this client's key pairs and pairwise
+	// secrets across the rounds that share it; with Resume, the advertise
+	// round trip is skipped and the client resumes on its cached roster
+	// (the deployment must set the matching flags on the server).
+	Session *secagg.Session
+	Resume  bool
 }
 
 // RunWireClient drives the client side of one round. It returns the
@@ -298,23 +334,15 @@ func RunWireClient(ctx context.Context, cfg WireClientConfig, conn transport.Cli
 	drop := func(s secagg.Stage) bool {
 		return cfg.DropBefore >= 0 && s >= cfg.DropBefore
 	}
-	client, err := secagg.NewClient(cfg.SecAgg, cfg.ID, cfg.Input, nil, cfg.Rand)
+	if cfg.Resume && cfg.Session == nil {
+		return nil, fmt.Errorf("core: resume requires a client session")
+	}
+	client, err := secagg.NewSessionClient(cfg.SecAgg, cfg.ID, cfg.Input, nil, cfg.Rand, cfg.Session)
 	if err != nil {
 		return nil, err
 	}
 	if drop(secagg.StageAdvertiseKeys) {
 		return nil, conn.Close()
-	}
-	adv, err := client.AdvertiseKeys()
-	if err != nil {
-		return nil, err
-	}
-	payload, err := encodePayload(adv)
-	if err != nil {
-		return nil, err
-	}
-	if err := conn.Send(transport.Frame{Stage: wireAdvertise, Payload: payload}); err != nil {
-		return nil, err
 	}
 
 	// recvFrame blocks for the next frame with the given stage tag,
@@ -338,9 +366,35 @@ func RunWireClient(ctx context.Context, cfg WireClientConfig, conn transport.Cli
 		return decodePayload(p, v)
 	}
 
+	// Stage 0: AdvertiseKeys, or the session-resumed skip: install the
+	// session's keys locally and reuse the roster cached when a previous
+	// round on this session sealed it.
+	var payload []byte
 	var roster []secagg.AdvertiseMsg
-	if err := recv(wireRoster, &roster); err != nil {
-		return nil, err
+	if cfg.Resume {
+		if roster = cfg.Session.Roster(); roster == nil {
+			return nil, fmt.Errorf("core: resume without a cached roster at client %d", cfg.ID)
+		}
+		if err := client.SkipAdvertise(); err != nil {
+			return nil, err
+		}
+	} else {
+		adv, err := client.AdvertiseKeys()
+		if err != nil {
+			return nil, err
+		}
+		if payload, err = encodePayload(adv); err != nil {
+			return nil, err
+		}
+		if err := conn.Send(transport.Frame{Stage: wireAdvertise, Payload: payload}); err != nil {
+			return nil, err
+		}
+		if err := recv(wireRoster, &roster); err != nil {
+			return nil, err
+		}
+		if cfg.Session != nil {
+			cfg.Session.StoreRoster(roster)
+		}
 	}
 	if drop(secagg.StageShareKeys) {
 		return nil, conn.Close()
@@ -407,7 +461,7 @@ func RunWireClient(ctx context.Context, cfg WireClientConfig, conn transport.Cli
 	if err != nil {
 		return nil, err
 	}
-	if payload, err = encodePayload(um); err != nil {
+	if payload, err = encodeUnmask(um); err != nil {
 		return nil, err
 	}
 	if err := conn.Send(transport.Frame{Stage: wireUnmask, Payload: payload}); err != nil {

@@ -137,8 +137,8 @@ func runBarrieredWireServer(ctx context.Context, cfg WireServerConfig, conn tran
 
 	var unmaskMsgs []secagg.UnmaskMsg
 	for _, p := range collect(wireUnmask, unmaskReq.U4) {
-		var m secagg.UnmaskMsg
-		if err := decodePayload(p, &m); err != nil {
+		m, err := decodeUnmask(p)
+		if err != nil {
 			return nil, err
 		}
 		unmaskMsgs = append(unmaskMsgs, m)

@@ -11,9 +11,11 @@ package dh
 
 import (
 	"crypto/ecdh"
+	"crypto/hmac"
 	"crypto/sha256"
 	"fmt"
 	"io"
+	"sync/atomic"
 )
 
 // PublicKeySize is the wire size of a public key in bytes.
@@ -31,6 +33,7 @@ type KeyPair struct {
 
 // Generate creates a key pair with randomness from rand.
 func Generate(rand io.Reader) (*KeyPair, error) {
+	generateCalls.Add(1)
 	priv, err := ecdh.X25519().GenerateKey(rand)
 	if err != nil {
 		return nil, fmt.Errorf("dh: generating key: %w", err)
@@ -65,6 +68,7 @@ func FromPrivateBytes(b [32]byte) (*KeyPair, error) {
 // key bytes. Both ends derive the same secret because the hash input orders
 // the two public keys canonically (lexicographically smaller first).
 func (k *KeyPair) Agree(peerPublic []byte) ([SharedSize]byte, error) {
+	agreeCalls.Add(1)
 	var out [SharedSize]byte
 	peer, err := ecdh.X25519().NewPublicKey(peerPublic)
 	if err != nil {
@@ -96,3 +100,65 @@ func lessBytes(a, b []byte) bool {
 	}
 	return len(a) < len(b)
 }
+
+// hkdfSalt is the fixed extract salt for Expand. Agree outputs are already
+// uniform hash outputs, but the extract step keeps the construction a
+// textbook HKDF so Expand is safe on any shared-secret-shaped input.
+var hkdfSalt = []byte("dordis/dh/hkdf/v1")
+
+// Expand derives a labeled subkey from a shared secret via HKDF-SHA256
+// (extract under a fixed protocol salt, then one expand block — SharedSize
+// is exactly one SHA-256 output). It is the KDF fork used to derive
+// per-chunk pairwise mask seeds from a single key agreement: distinct info
+// labels yield computationally independent subkeys, so one X25519
+// agreement can safely serve many domain-separated PRG streams.
+func Expand(secret [SharedSize]byte, info []byte) [SharedSize]byte {
+	ext := hmac.New(sha256.New, hkdfSalt)
+	ext.Write(secret[:])
+	prk := ext.Sum(nil)
+	exp := hmac.New(sha256.New, prk)
+	exp.Write(info)
+	exp.Write([]byte{0x01})
+	var out [SharedSize]byte
+	exp.Sum(out[:0])
+	return out
+}
+
+// ratchetInfo is the Expand label that advances a cached shared secret one
+// round forward.
+var ratchetInfo = []byte("dordis/dh/ratchet/v1")
+
+// Ratchet advances a cached shared secret one round forward. A session that
+// reuses key agreements across consecutive rounds ratchets each cached
+// secret once per round instead of re-running X25519, so two rounds never
+// mask with the same PRG seeds. The step is one-way (HKDF), but note the
+// threat-model caveat: the X25519 private keys themselves persist for
+// re-sharing, so ratcheting provides per-round mask separation and bounded
+// key lifetime, not forward secrecy against endpoint-state compromise.
+func Ratchet(secret [SharedSize]byte) [SharedSize]byte {
+	return Expand(secret, ratchetInfo)
+}
+
+// RatchetN applies Ratchet n times. n = 0 returns the secret unchanged, so
+// ratchet step 0 is byte-identical to the raw agreement output.
+func RatchetN(secret [SharedSize]byte, n uint64) [SharedSize]byte {
+	for ; n > 0; n-- {
+		secret = Ratchet(secret)
+	}
+	return secret
+}
+
+// Process-wide telemetry counters. X25519 is the dominant fixed cost of a
+// SecAgg round, so tests and benches assert amortization bounds (n·k
+// agreements per round, not m·n·k across m pipeline chunks) against these.
+var (
+	agreeCalls    atomic.Uint64
+	generateCalls atomic.Uint64
+)
+
+// AgreeCount returns the number of Agree calls performed process-wide.
+func AgreeCount() uint64 { return agreeCalls.Load() }
+
+// GenerateCount returns the number of Generate calls performed
+// process-wide.
+func GenerateCount() uint64 { return generateCalls.Load() }

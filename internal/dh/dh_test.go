@@ -68,6 +68,74 @@ func TestDeterministicFromSeededRand(t *testing.T) {
 	}
 }
 
+func TestExpandDeterministicAndSeparated(t *testing.T) {
+	alice, _ := Generate(rand.Reader)
+	bob, _ := Generate(rand.Reader)
+	s, _ := alice.Agree(bob.PublicBytes())
+
+	a := Expand(s, []byte("chunk/0"))
+	b := Expand(s, []byte("chunk/0"))
+	if a != b {
+		t.Fatal("Expand is not deterministic")
+	}
+	c := Expand(s, []byte("chunk/1"))
+	if a == c {
+		t.Fatal("distinct info labels must yield distinct subkeys")
+	}
+	var other [SharedSize]byte
+	other[0] = 1
+	if Expand(other, []byte("chunk/0")) == a {
+		t.Fatal("distinct secrets must yield distinct subkeys")
+	}
+	if a == s {
+		t.Fatal("Expand must not be the identity")
+	}
+}
+
+func TestRatchetChain(t *testing.T) {
+	alice, _ := Generate(rand.Reader)
+	bob, _ := Generate(rand.Reader)
+	s, _ := alice.Agree(bob.PublicBytes())
+
+	if RatchetN(s, 0) != s {
+		t.Fatal("RatchetN(·, 0) must be the identity")
+	}
+	r1 := Ratchet(s)
+	if r1 == s {
+		t.Fatal("ratchet step must change the secret")
+	}
+	if RatchetN(s, 1) != r1 {
+		t.Fatal("RatchetN(·, 1) must equal one Ratchet step")
+	}
+	if RatchetN(s, 3) != Ratchet(Ratchet(Ratchet(s))) {
+		t.Fatal("RatchetN must compose Ratchet")
+	}
+	// Ratcheting is symmetric: both ends of the agreement reach the same
+	// chain because the chain depends only on the shared secret.
+	sB, _ := bob.Agree(alice.PublicBytes())
+	if RatchetN(sB, 5) != RatchetN(s, 5) {
+		t.Fatal("ratchet chains diverge across the two ends")
+	}
+}
+
+func TestAgreeAndGenerateCounters(t *testing.T) {
+	g0, a0 := GenerateCount(), AgreeCount()
+	alice, _ := Generate(rand.Reader)
+	bob, _ := Generate(rand.Reader)
+	if _, err := alice.Agree(bob.PublicBytes()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := bob.Agree(alice.PublicBytes()); err != nil {
+		t.Fatal(err)
+	}
+	if d := GenerateCount() - g0; d < 2 {
+		t.Fatalf("GenerateCount advanced by %d, want ≥ 2", d)
+	}
+	if d := AgreeCount() - a0; d < 2 {
+		t.Fatalf("AgreeCount advanced by %d, want ≥ 2", d)
+	}
+}
+
 func BenchmarkAgree(b *testing.B) {
 	alice, _ := Generate(rand.Reader)
 	bob, _ := Generate(rand.Reader)

@@ -45,6 +45,10 @@ func TestTrainingThroughRealProtocol(t *testing.T) {
 	}
 	sgd := ml.SGDConfig{LearningRate: 0.1, Momentum: 0.9, Epochs: 1, BatchSize: 10}
 	trainStream := prg.NewStream(prg.NewSeed(seed[:], []byte("train")))
+	// One session pool across the whole run: chunks share one key
+	// agreement per pair, and dropout-free consecutive rounds ratchet the
+	// cached secrets instead of re-advertising.
+	pool := core.NewSessionPool(3)
 
 	params := make([]float64, dim)
 	model.Params(params)
@@ -76,16 +80,20 @@ func TestTrainingThroughRealProtocol(t *testing.T) {
 		}
 		res, err := core.RunRound(core.RoundConfig{
 			Round:     uint64(round),
-			Protocol:  core.ProtocolSecAgg,
+			Protocol:  core.ProtocolAuto, // n = 6 < 32 resolves to classic SecAgg
 			Codec:     codec,
 			Threshold: 4,
 			Chunks:    2,
 			Tolerance: 1,
 			TargetMu:  targetMu,
 			Seed:      prg.NewSeed(seed[:], []byte{0xAA, byte(round)}),
+			Sessions:  pool,
 		}, updates, drops, rand.Reader)
 		if err != nil {
 			t.Fatalf("round %d: %v", round, err)
+		}
+		if res.Protocol != core.ProtocolSecAgg {
+			t.Fatalf("round %d resolved to %v", round, res.Protocol)
 		}
 		inv := 1 / float64(len(res.Survivors))
 		for i := range params {

@@ -1,0 +1,27 @@
+package fl
+
+import (
+	"repro/internal/core"
+	"repro/internal/secaggplus"
+)
+
+// Protocol selection for protocol-backed aggregation: fl defers to core's
+// auto substrate rule, so rounds over large sampled sets default to the
+// SecAgg+ sparse graph — the complete graph's O(n²) X25519 agreements
+// dominate round time well before 64 clients (paper §2.3.2, Fig. 2).
+
+// SecAggPlusMinClients is the sampled-set size at which fl's
+// protocol-backed rounds default to the SecAgg+ substrate.
+const SecAggPlusMinClients = core.SecAggPlusAutoMin
+
+// RecommendedProtocol returns the secure-aggregation substrate and graph
+// degree fl uses for a round over n sampled clients: classic SecAgg below
+// SecAggPlusMinClients, SecAgg+ at secaggplus.RecommendedDegree(n) at or
+// above it. Pass the result into core.RoundConfig's Protocol and Degree
+// (or leave Protocol as ProtocolAuto, which applies the same rule).
+func RecommendedProtocol(n int) (core.Protocol, int) {
+	if p := core.ResolveProtocol(core.ProtocolAuto, n); p == core.ProtocolSecAggPlus {
+		return p, secaggplus.RecommendedDegree(n)
+	}
+	return core.ProtocolSecAgg, 0
+}

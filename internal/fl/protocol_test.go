@@ -1,0 +1,29 @@
+package fl
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/secaggplus"
+)
+
+// TestRecommendedProtocolSwitch pins fl's substrate default: classic
+// SecAgg below 32 sampled clients, SecAgg+ at the recommended O(log n)
+// degree at or above.
+func TestRecommendedProtocolSwitch(t *testing.T) {
+	for _, n := range []int{2, 8, SecAggPlusMinClients - 1} {
+		p, deg := RecommendedProtocol(n)
+		if p != core.ProtocolSecAgg || deg != 0 {
+			t.Fatalf("n=%d: got (%v, %d), want (secagg, 0)", n, p, deg)
+		}
+	}
+	for _, n := range []int{SecAggPlusMinClients, 64, 1000} {
+		p, deg := RecommendedProtocol(n)
+		if p != core.ProtocolSecAggPlus {
+			t.Fatalf("n=%d: got %v, want secagg+", n, p)
+		}
+		if want := secaggplus.RecommendedDegree(n); deg != want {
+			t.Fatalf("n=%d: degree %d, want %d", n, deg, want)
+		}
+	}
+}

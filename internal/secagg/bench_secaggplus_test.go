@@ -73,3 +73,49 @@ func BenchmarkRound64QuickScaleSecAggPlus(b *testing.B) {
 func BenchmarkRound64LargeModelSecAggPlus(b *testing.B) {
 	benchRoundGraph(b, 64, 65536, secaggplus.RecommendedDegree(64), 8)
 }
+
+// BenchmarkRound64SecAggPlusSessionResumed measures the steady state of
+// per-neighborhood session reuse on the circulant graph: every iteration
+// is a full round (advertise skipped, zero X25519 agreements, masks forked
+// at an advancing epoch) on sessions warmed by one priming round. Compare
+// with BenchmarkRound64QuickScaleSecAggPlus, which pays the key agreements
+// every round.
+func BenchmarkRound64SecAggPlusSessionResumed(b *testing.B) {
+	const n, dim = 64, 4096
+	tol := n / 4
+	plan := &xnoise.Plan{
+		NumClients: n, DropoutTolerance: tol,
+		Threshold: n - tol, TargetVariance: 100,
+	}
+	ids := make([]uint64, n)
+	for i := range ids {
+		ids[i] = uint64(i + 1)
+	}
+	cfg := secagg.Config{
+		Round: 1, ClientIDs: ids, Threshold: n - tol, Bits: 20, Dim: dim,
+		XNoise: plan,
+	}
+	cfg, err := secaggplus.NewConfig(cfg, secaggplus.RecommendedDegree(n))
+	if err != nil {
+		b.Fatal(err)
+	}
+	inputs := make(map[uint64]ring.Vector, n)
+	for _, id := range ids {
+		inputs[id] = ring.NewVector(20, dim)
+	}
+	sess, err := secagg.NewRoundSessions(ids, rand.Reader)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := secagg.RunWithSessions(cfg, inputs, nil, nil, rand.Reader, sess); err != nil {
+		b.Fatal(err) // priming round: agreements + roster
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := cfg
+		c.MaskEpoch = uint64(i + 1)
+		if _, err := secagg.RunWithSessions(c, inputs, nil, nil, rand.Reader, sess); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -32,6 +32,11 @@ type Client struct {
 	maskKey   *dh.KeyPair // s^PK / s^SK
 	selfSeed  field.Element
 
+	// session, when non-nil, supplies the key pairs and caches pairwise
+	// secrets across the sub-rounds that share it (key-agreement
+	// amortization); nil means ephemeral per-round keys, the classic flow.
+	session *Session
+
 	noise *xnoise.ClientNoise // nil without XNoise
 
 	roster     map[uint64]AdvertiseMsg // U1 view
@@ -47,6 +52,16 @@ type Client struct {
 // the semi-honest setting; with cfg.Malicious it is required and its
 // public key must be registered in cfg.Registry.
 func NewClient(cfg Config, id uint64, input ring.Vector, signer *sig.Signer, rand io.Reader) (*Client, error) {
+	return NewSessionClient(cfg, id, input, signer, rand, nil)
+}
+
+// NewSessionClient is NewClient with an optional key-agreement session:
+// when sess is non-nil the client advertises the session's key pairs
+// instead of generating fresh ones and reuses its cached pairwise secrets,
+// so the X25519 work of this round is only paid on cache misses. The
+// session must be the same object across every sub-round that shares it
+// and must belong to this client.
+func NewSessionClient(cfg Config, id uint64, input ring.Vector, signer *sig.Signer, rand io.Reader, sess *Session) (*Client, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -60,7 +75,7 @@ func NewClient(cfg Config, id uint64, input ring.Vector, signer *sig.Signer, ran
 	if cfg.Malicious && signer == nil {
 		return nil, fmt.Errorf("secagg: malicious mode requires a signer for client %d", id)
 	}
-	c := &Client{cfg: cfg, id: id, input: input.Clone(), rand: rand, signer: signer}
+	c := &Client{cfg: cfg, id: id, input: input.Clone(), rand: rand, signer: signer, session: sess}
 	if cfg.XNoise != nil {
 		noise, err := xnoise.NewClientNoise(*cfg.XNoise, rand)
 		if err != nil {
@@ -85,22 +100,46 @@ func (c *Client) NoiseSeeds() []field.Element {
 	return out
 }
 
-// AdvertiseKeys runs stage 0: generate the two ephemeral key pairs and
-// advertise the public halves.
-func (c *Client) AdvertiseKeys() (AdvertiseMsg, error) {
-	var err error
-	if c.cipherKey, err = dh.Generate(c.rand); err != nil {
-		return AdvertiseMsg{}, err
-	}
-	if c.maskKey, err = dh.Generate(c.rand); err != nil {
-		return AdvertiseMsg{}, err
+// installKeys sets the round's key pairs — the session's (amortized flow)
+// or freshly generated ephemeral ones — and samples a fresh self-mask
+// seed. The self seed is always fresh: it is cheap and its shares are
+// re-dealt every sub-round anyway.
+func (c *Client) installKeys() error {
+	if c.session != nil {
+		c.cipherKey, c.maskKey = c.session.cipherKey, c.session.maskKey
+	} else {
+		var err error
+		if c.cipherKey, err = dh.Generate(c.rand); err != nil {
+			return err
+		}
+		if c.maskKey, err = dh.Generate(c.rand); err != nil {
+			return err
+		}
 	}
 	var buf [8]byte
 	if _, err := io.ReadFull(c.rand, buf[:]); err != nil {
-		return AdvertiseMsg{}, fmt.Errorf("secagg: sampling self seed: %w", err)
+		return fmt.Errorf("secagg: sampling self seed: %w", err)
 	}
 	c.selfSeed = field.RandomElement(buf)
+	return nil
+}
 
+// SkipAdvertise installs the session's keys and a fresh self-mask seed
+// without emitting a stage-0 message, for drivers that resume a live
+// session on a cached roster (the skippable advertise stage).
+func (c *Client) SkipAdvertise() error {
+	if c.session == nil {
+		return fmt.Errorf("secagg: client %d cannot skip advertise without a session", c.id)
+	}
+	return c.installKeys()
+}
+
+// AdvertiseKeys runs stage 0: generate (or, with a session, reuse) the two
+// key pairs and advertise the public halves.
+func (c *Client) AdvertiseKeys() (AdvertiseMsg, error) {
+	if err := c.installKeys(); err != nil {
+		return AdvertiseMsg{}, err
+	}
 	msg := AdvertiseMsg{
 		From:      c.id,
 		CipherPub: c.cipherKey.PublicBytes(),
@@ -201,7 +240,7 @@ func (c *Client) ShareKeys(roster []AdvertiseMsg) ([]EncryptedShareMsg, error) {
 			c.received[c.id] = bundle
 			continue
 		}
-		secret, err := c.cipherKey.Agree(c.roster[peer].CipherPub)
+		secret, err := c.channelSecret(c.roster[peer].CipherPub)
 		if err != nil {
 			return nil, fmt.Errorf("secagg: channel key agreement with %d: %w", peer, err)
 		}
@@ -285,8 +324,11 @@ func (c *Client) MaskedInput(ciphertexts []EncryptedShareMsg) (MaskedInputMsg, e
 		peer := peer
 		peerPub := c.roster[peer].MaskPub
 		tasks = append(tasks, maskTask{sign: pairMaskSign(c.id, peer), make: func() (*prg.Stream, error) {
-			stream, _, err := pairMaskStream(c.maskKey, peerPub, c.id, peer)
-			return stream, err
+			secret, err := c.maskSecret(peerPub)
+			if err != nil {
+				return nil, fmt.Errorf("secagg: mask key agreement %d↔%d: %w", c.id, peer, err)
+			}
+			return prg.NewStream(pairMaskSeed(secret, c.cfg.MaskEpoch)), nil
 		}})
 	}
 	delta, err := applyMaskTasks(c.cfg.Bits, c.cfg.Dim, tasks)
@@ -299,14 +341,32 @@ func (c *Client) MaskedInput(ciphertexts []EncryptedShareMsg) (MaskedInputMsg, e
 	return MaskedInputMsg{From: c.id, Y: y.Data}, nil
 }
 
-// pairMaskStream derives the PRG stream and sign for the pairwise mask
-// between u and v: s_{u,v} = KA.agree(s^SK_u, s^PK_v), γ = +1 iff u > v.
-func pairMaskStream(own *dh.KeyPair, peerPub []byte, u, v uint64) (*prg.Stream, int, error) {
-	secret, err := own.Agree(peerPub)
-	if err != nil {
-		return nil, 0, fmt.Errorf("secagg: mask key agreement %d↔%d: %w", u, v, err)
+// maskSecret returns the (ratcheted) pairwise-mask secret with the peer
+// advertising peerPub: s_{u,v} = KA.agree(s^SK_u, s^PK_v), advanced
+// KeyRatchet steps. The session caches it across sub-rounds; without one
+// the agreement runs inline, as in classic SecAgg.
+func (c *Client) maskSecret(peerPub []byte) ([dh.SharedSize]byte, error) {
+	if c.session != nil {
+		return c.session.maskSecret(peerPub, c.cfg.KeyRatchet)
 	}
-	return prg.NewStream(prg.NewSeed([]byte("dordis/secagg/pairmask/v1"), secret[:])), pairMaskSign(u, v), nil
+	raw, err := c.maskKey.Agree(peerPub)
+	if err != nil {
+		return raw, err
+	}
+	return dh.RatchetN(raw, c.cfg.KeyRatchet), nil
+}
+
+// channelSecret returns the (ratcheted) channel-encryption key with the
+// peer advertising peerPub, via the session cache when one is live.
+func (c *Client) channelSecret(peerPub []byte) ([aead.KeySize]byte, error) {
+	if c.session != nil {
+		return c.session.channelSecret(peerPub, c.cfg.KeyRatchet)
+	}
+	raw, err := c.cipherKey.Agree(peerPub)
+	if err != nil {
+		return raw, err
+	}
+	return dh.RatchetN(raw, c.cfg.KeyRatchet), nil
 }
 
 // checkU3 verifies the parts of a claimed U3 the client can vouch for: a
@@ -430,7 +490,7 @@ func (c *Client) bundleFrom(v uint64) (ShareBundle, error) {
 	}
 	key, ok := c.channelKey[v]
 	if !ok {
-		secret, err := c.cipherKey.Agree(c.roster[v].CipherPub)
+		secret, err := c.channelSecret(c.roster[v].CipherPub)
 		if err != nil {
 			return ShareBundle{}, err
 		}

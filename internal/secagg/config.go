@@ -84,6 +84,28 @@ type Config struct {
 	// (symmetric neighborhoods) and every neighborhood must have at least
 	// Threshold members including the client itself.
 	Graph Graph
+
+	// MaskEpoch domain-separates the pairwise-mask derivation across the
+	// sub-rounds that share one key agreement — the pipeline chunks of a
+	// core.RunRound. Epoch 0 is byte-identical to the historical
+	// (session-less) derivation, so chunk 0 of an amortized pipeline and a
+	// plain round coincide; epoch e > 0 forks an independent seed from the
+	// same shared secret via dh.Expand. All parties must agree on it.
+	MaskEpoch uint64
+
+	// KeyRatchet is the number of dh.Ratchet steps applied to every
+	// pairwise shared secret (mask and channel) before use. Drivers that
+	// reuse key agreements across consecutive rounds advance it by one per
+	// round so no two rounds mask with the same seeds; 0 (fresh keys every
+	// round — the classic threat model) leaves the raw agreement output,
+	// byte-identical to the historical derivation. All parties must agree
+	// on it.
+	KeyRatchet uint64
+
+	// nbrs memoizes the per-id neighbor sets of Graph, built in one map
+	// pass by Validate and shared by every copy of a validated Config (map
+	// headers travel with the copy). Read-only after Validate.
+	nbrs map[uint64][]uint64
 }
 
 // Graph describes the communication topology for masking and sharing.
@@ -92,8 +114,11 @@ type Graph interface {
 	Neighbors(id uint64) []uint64
 }
 
-// Validate checks config consistency.
-func (c Config) Validate() error {
+// Validate checks config consistency. It also memoizes the graph's
+// per-id neighbor sets (one Neighbors call per client) so the symmetry
+// check runs in O(n·k) set lookups instead of O(n·k²) Neighbors calls, and
+// neighborhood() reuses the same sets afterwards.
+func (c *Config) Validate() error {
 	n := len(c.ClientIDs)
 	if n < 2 {
 		return fmt.Errorf("secagg: need at least 2 clients, got %d", n)
@@ -136,31 +161,66 @@ func (c Config) Validate() error {
 			return fmt.Errorf("secagg: XNoise threshold %d != config threshold %d", c.XNoise.Threshold, c.Threshold)
 		}
 	}
-	if c.Graph != nil {
+	if c.Graph != nil && !c.nbrsCover(seen) {
+		// One Neighbors call per client; membership sets make the symmetry
+		// check a hash lookup per edge instead of a linear scan over a
+		// freshly allocated neighbor list.
+		nbrs := make(map[uint64][]uint64, n)
+		sets := make(map[uint64]map[uint64]struct{}, n)
 		for _, id := range c.ClientIDs {
-			nbrs := c.Graph.Neighbors(id)
-			if len(nbrs)+1 < c.Threshold {
+			lst := c.Graph.Neighbors(id)
+			if len(lst)+1 < c.Threshold {
 				return fmt.Errorf("secagg: neighborhood of %d has %d members < t=%d",
-					id, len(nbrs)+1, c.Threshold)
+					id, len(lst)+1, c.Threshold)
 			}
-			for _, v := range nbrs {
+			set := make(map[uint64]struct{}, len(lst))
+			for _, v := range lst {
 				if v == id {
 					return fmt.Errorf("secagg: client %d lists itself as neighbor", id)
 				}
 				if _, ok := seen[v]; !ok {
 					return fmt.Errorf("secagg: client %d has unknown neighbor %d", id, v)
 				}
-				if !contains(c.Graph.Neighbors(v), id) {
+				set[v] = struct{}{}
+			}
+			nbrs[id] = lst
+			sets[id] = set
+		}
+		for _, id := range c.ClientIDs {
+			for _, v := range nbrs[id] {
+				if _, ok := sets[v][id]; !ok {
 					return fmt.Errorf("secagg: graph not symmetric: %d→%d", id, v)
 				}
 			}
 		}
+		c.nbrs = nbrs
 	}
 	return nil
 }
 
-// neighborhood returns the sorted neighbor set of id under the configured
-// graph (all other clients when Graph is nil), excluding id itself.
+// nbrsCover reports whether the memoized neighbor map already covers
+// exactly the given client set, in which case a re-Validate (every client
+// and server constructor validates its own Config copy) skips rebuilding
+// the memo and re-running the O(n·k) graph pass — the memo only exists if
+// a previous Validate of this very Config value passed. A caller that
+// swaps the Graph on an already-validated copy without clearing ClientIDs
+// is outside the supported use of the type.
+func (c *Config) nbrsCover(ids map[uint64]struct{}) bool {
+	if c.nbrs == nil || len(c.nbrs) != len(ids) {
+		return false
+	}
+	for id := range ids {
+		if _, ok := c.nbrs[id]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// neighborhood returns the neighbor set of id under the configured graph
+// (all other clients when Graph is nil), excluding id itself. After
+// Validate the graph sets come from the memoized map; callers must treat
+// the returned slice as read-only.
 func (c Config) neighborhood(id uint64) []uint64 {
 	if c.Graph == nil {
 		out := make([]uint64, 0, len(c.ClientIDs)-1)
@@ -171,8 +231,10 @@ func (c Config) neighborhood(id uint64) []uint64 {
 		}
 		return out
 	}
-	nbrs := append([]uint64(nil), c.Graph.Neighbors(id)...)
-	return nbrs
+	if lst, ok := c.nbrs[id]; ok {
+		return lst
+	}
+	return append([]uint64(nil), c.Graph.Neighbors(id)...)
 }
 
 // sampler returns the configured noise sampler or the default.

@@ -13,6 +13,10 @@ import (
 // field) cover 35 ≥ 32 bytes.
 const numKeyChunks = 5
 
+// NumKeyChunks is the exported chunk count: the wire codec of UnmaskMsg
+// (internal/core) fixes its binary layout to one share per key chunk.
+const NumKeyChunks = numKeyChunks
+
 const keyChunkBytes = 7
 
 // bytesToChunks packs a 32-byte secret into field elements.

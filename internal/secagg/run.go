@@ -25,6 +25,13 @@ func (d DropSchedule) participates(id uint64, s Stage) bool {
 	return !drops || s < dropStage
 }
 
+// Participates reports whether the client is still alive at the stage —
+// the exported form drivers use to partition aggregated vs. dropped
+// clients under a per-stage schedule.
+func (d DropSchedule) Participates(id uint64, s Stage) bool {
+	return d.participates(id, s)
+}
+
 // participants filters ids to those alive at the stage.
 func (d DropSchedule) participants(ids []uint64, s Stage) []uint64 {
 	out := make([]uint64, 0, len(ids))
@@ -69,11 +76,32 @@ func (l *lockedReader) Read(p []byte) (int, error) {
 // semi-honest setting.
 func Run(cfg Config, inputs map[uint64]ring.Vector, signers map[uint64]*sig.Signer,
 	drops DropSchedule, rand io.Reader) (*RunResult, error) {
+	return RunWithSessions(cfg, inputs, signers, drops, rand, nil)
+}
+
+// RunWithSessions is Run with an optional set of shared key-agreement
+// sessions. The first round on fresh sessions runs the full protocol and
+// populates them (key pairs, pairwise secrets, the sealed roster);
+// subsequent rounds on the same sessions skip the advertise stage
+// entirely (the roster is cached and the keys unchanged) and hit the
+// secret caches instead of re-running X25519 — per-chunk masks stay
+// independent through Config.MaskEpoch, per-round masks through
+// Config.KeyRatchet.
+func RunWithSessions(cfg Config, inputs map[uint64]ring.Vector, signers map[uint64]*sig.Signer,
+	drops DropSchedule, rand io.Reader, sess *RoundSessions) (*RunResult, error) {
 
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	server, err := NewServer(cfg)
+	resume := sess.resumable(&cfg, drops)
+	var srvSess *ServerSession
+	if sess != nil {
+		if err := sess.markServed(cfg.KeyRatchet, cfg.MaskEpoch); err != nil {
+			return nil, err
+		}
+		srvSess = sess.Server
+	}
+	server, err := NewSessionServer(cfg, srvSess)
 	if err != nil {
 		return nil, err
 	}
@@ -88,7 +116,11 @@ func Run(cfg Config, inputs map[uint64]ring.Vector, signers map[uint64]*sig.Sign
 		if signers != nil {
 			signer = signers[id]
 		}
-		c, err := NewClient(cfg, id, input, signer, shared)
+		var cs *Session
+		if sess != nil {
+			cs = sess.Client[id]
+		}
+		c, err := NewSessionClient(cfg, id, input, signer, shared, cs)
 		if err != nil {
 			return nil, err
 		}
@@ -109,7 +141,7 @@ func Run(cfg Config, inputs map[uint64]ring.Vector, signers map[uint64]*sig.Sign
 		wg.Add(1)
 		go func(id uint64) {
 			defer wg.Done()
-			runInProcClient(clients[id], id, drops, inbox, uplink)
+			runInProcClient(clients[id], id, drops, inbox, uplink, resume)
 		}(id)
 	}
 	defer func() {
@@ -150,15 +182,27 @@ func Run(cfg Config, inputs map[uint64]ring.Vector, signers map[uint64]*sig.Sign
 		}
 	}
 
-	// Stage 0: AdvertiseKeys.
-	if err := collect(StageAdvertiseKeys, cfg.ClientIDs, func(_ uint64, body any) error {
-		return server.AddAdvertise(body.(AdvertiseMsg))
-	}); err != nil {
-		return nil, err
-	}
-	roster, err := server.SealAdvertise()
-	if err != nil {
-		return nil, err
+	// Stage 0: AdvertiseKeys — collected normally, or skipped entirely when
+	// the shared sessions hold a roster sealed for this client set (the keys
+	// are unchanged, so re-advertising would be a no-op round trip).
+	var roster []AdvertiseMsg
+	if resume {
+		roster = sess.Server.RosterFor(cfg.ClientIDs)
+		if err := server.InstallRoster(roster); err != nil {
+			return nil, err
+		}
+	} else {
+		if err := collect(StageAdvertiseKeys, cfg.ClientIDs, func(_ uint64, body any) error {
+			return server.AddAdvertise(body.(AdvertiseMsg))
+		}); err != nil {
+			return nil, err
+		}
+		if roster, err = server.SealAdvertise(); err != nil {
+			return nil, err
+		}
+		if sess != nil {
+			sess.Server.StoreRoster(roster, cfg.ClientIDs)
+		}
 	}
 	u1 := make([]uint64, 0, len(roster))
 	for _, m := range roster {
@@ -245,8 +289,10 @@ func Run(cfg Config, inputs map[uint64]ring.Vector, signers map[uint64]*sig.Sign
 // stage message (or the stage error, which aborts the round) on the
 // uplink, and stops at its scheduled drop stage. A closed inbox means the
 // round ended without this client (abort, threshold exclusion, or a
-// result it does not receive in-process).
-func runInProcClient(c *Client, id uint64, drops DropSchedule, inbox <-chan any, uplink chan<- engine.Msg) {
+// result it does not receive in-process). With resume, stage 0 is skipped:
+// the session's keys are installed locally and the cached roster arrives
+// on the inbox like any broadcast.
+func runInProcClient(c *Client, id uint64, drops DropSchedule, inbox <-chan any, uplink chan<- engine.Msg, resume bool) {
 	send := func(stage Stage, body any) {
 		uplink <- engine.Msg{From: id, Stage: int(stage), Body: body}
 	}
@@ -263,15 +309,24 @@ func runInProcClient(c *Client, id uint64, drops DropSchedule, inbox <-chan any,
 		return true
 	}
 
-	if !step(StageAdvertiseKeys, "advertise", func() (any, error) { return c.AdvertiseKeys() }) {
-		return
+	if !resume {
+		if !step(StageAdvertiseKeys, "advertise", func() (any, error) { return c.AdvertiseKeys() }) {
+			return
+		}
 	}
 	b, ok := <-inbox
 	if !ok {
 		return
 	}
 	roster := b.([]AdvertiseMsg)
-	if !step(StageShareKeys, "share keys", func() (any, error) { return c.ShareKeys(roster) }) {
+	if !step(StageShareKeys, "share keys", func() (any, error) {
+		if resume {
+			if err := c.SkipAdvertise(); err != nil {
+				return nil, err
+			}
+		}
+		return c.ShareKeys(roster)
+	}) {
 		return
 	}
 	b, ok = <-inbox

@@ -36,6 +36,11 @@ const maskedFoldBatch = 8
 type Server struct {
 	cfg Config
 
+	// session, when non-nil, caches reconstructed mask keys and pairwise
+	// secrets across the sub-rounds that share it (key-agreement
+	// amortization); nil means every unmasking re-agrees, the classic flow.
+	session *ServerSession
+
 	roster map[uint64]AdvertiseMsg
 	u1     []uint64
 	u2     []uint64
@@ -68,10 +73,43 @@ type Server struct {
 
 // NewServer constructs the aggregator for a round.
 func NewServer(cfg Config) (*Server, error) {
+	return NewSessionServer(cfg, nil)
+}
+
+// NewSessionServer is NewServer with an optional key-agreement session:
+// when sess is non-nil, reconstructed mask keys and the pairwise secrets
+// they produce are cached across the sub-rounds sharing the session, and a
+// cached roster lets InstallRoster skip the advertise stage.
+func NewSessionServer(cfg Config, sess *ServerSession) (*Server, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	return &Server{cfg: cfg}, nil
+	return &Server{cfg: cfg, session: sess}, nil
+}
+
+// InstallRoster seeds the stage-0 state from a cached roster instead of
+// collecting advertisements — the session-aware skippable advertise stage.
+// The roster must come from a previously sealed advertise stage over the
+// same client set and key generation.
+func (s *Server) InstallRoster(roster []AdvertiseMsg) error {
+	if s.roster != nil {
+		return fmt.Errorf("secagg: advertise stage already started")
+	}
+	s.roster = make(map[uint64]AdvertiseMsg, len(roster))
+	for _, m := range roster {
+		if _, err := s.cfg.indexOf(m.From); err != nil {
+			return err
+		}
+		if _, dup := s.roster[m.From]; dup {
+			return fmt.Errorf("secagg: duplicate roster entry for %d", m.From)
+		}
+		s.roster[m.From] = m
+	}
+	if len(s.roster) < s.cfg.Threshold {
+		return fmt.Errorf("secagg: |U1|=%d < t=%d, aborting", len(s.roster), s.cfg.Threshold)
+	}
+	s.u1 = sortedIDs(s.roster)
+	return nil
 }
 
 // AddAdvertise ingests one stage-0 advertisement on arrival.
@@ -386,27 +424,32 @@ func (s *Server) unmask() error {
 		}})
 	}
 	// Remove the unpaired pairwise masks of dropped clients v ∈ U2\U3. Key
-	// reconstruction and verification run inline (one per dropped client);
+	// reconstruction and verification run inline (one per dropped client,
+	// skipped entirely when the session already holds the verified key);
 	// the per-neighbor key agreements and mask expansions — the bulk of the
-	// work — run on the workers.
+	// work — run on the workers, hitting the session cache when one is live.
 	for _, v := range s.u2 {
 		if contains(s.u3, v) {
 			continue
 		}
 		v := v
-		bundles := s.maskKeyShares[v]
-		keyBytes, err := reconstructKey(bundles, s.cfg.Threshold)
-		if err != nil {
-			return fmt.Errorf("secagg: reconstructing s^SK_%d: %w", v, err)
-		}
-		kp, err := dh.FromPrivateBytes(keyBytes)
-		if err != nil {
-			return err
-		}
-		// Sanity: the rebuilt key must match the advertised public key —
-		// detects clients that shared a wrong key (malicious behavior).
-		if adv := s.roster[v].MaskPub; !equalBytes(kp.PublicBytes(), adv) {
-			return fmt.Errorf("secagg: reconstructed key of %d does not match advertisement", v)
+		advPub := s.roster[v].MaskPub
+		kp := s.session.key(advPub)
+		if kp == nil {
+			bundles := s.maskKeyShares[v]
+			keyBytes, err := reconstructKey(bundles, s.cfg.Threshold)
+			if err != nil {
+				return fmt.Errorf("secagg: reconstructing s^SK_%d: %w", v, err)
+			}
+			if kp, err = dh.FromPrivateBytes(keyBytes); err != nil {
+				return err
+			}
+			// Sanity: the rebuilt key must match the advertised public key —
+			// detects clients that shared a wrong key (malicious behavior).
+			if !equalBytes(kp.PublicBytes(), advPub) {
+				return fmt.Errorf("secagg: reconstructed key of %d does not match advertisement", v)
+			}
+			s.session.storeKey(advPub, kp)
 		}
 		// Only v's neighbors masked with v.
 		vNbrs := toSet(s.cfg.neighborhood(v))
@@ -418,8 +461,11 @@ func (s *Server) unmask() error {
 			uPub := s.roster[u].MaskPub
 			// Client u added γ_{u,v}·PRG; cancel it.
 			tasks = append(tasks, maskTask{sign: -pairMaskSign(u, v), make: func() (*prg.Stream, error) {
-				stream, _, err := pairMaskStream(kp, uPub, u, v)
-				return stream, err
+				secret, err := s.pairSecret(kp, uPub)
+				if err != nil {
+					return nil, fmt.Errorf("secagg: mask key agreement %d↔%d: %w", u, v, err)
+				}
+				return prg.NewStream(pairMaskSeed(secret, s.cfg.MaskEpoch)), nil
 			}})
 		}
 	}
@@ -434,7 +480,21 @@ func (s *Server) unmask() error {
 	return nil
 }
 
-// pairMaskSign returns γ_{u,v} (+1 iff u > v), mirroring pairMaskStream's
+// pairSecret returns the (ratcheted) pairwise secret between a
+// reconstructed key and a survivor's advertised public key, via the
+// session cache when one is live.
+func (s *Server) pairSecret(kp *dh.KeyPair, peerPub []byte) ([dh.SharedSize]byte, error) {
+	if s.session != nil {
+		return s.session.pairSecret(kp, peerPub, s.cfg.KeyRatchet)
+	}
+	raw, err := kp.Agree(peerPub)
+	if err != nil {
+		return raw, err
+	}
+	return dh.RatchetN(raw, s.cfg.KeyRatchet), nil
+}
+
+// pairMaskSign returns γ_{u,v} (+1 iff u > v), mirroring the client's mask
 // sign without performing the key agreement.
 func pairMaskSign(u, v uint64) int {
 	if u < v {

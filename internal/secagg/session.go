@@ -1,0 +1,344 @@
+package secagg
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sync"
+
+	"repro/internal/aead"
+	"repro/internal/dh"
+	"repro/internal/prg"
+)
+
+// Key-agreement amortization (the "agree once, fork per-chunk streams"
+// layer). X25519 agreement is the dominant fixed cost of a round: a
+// 64-client complete-graph round spends ~57% of its time in ~2·n·(n−1)
+// agreements, and the per-chunk drivers multiply that by the chunk count m
+// because every chunk historically built an independent secagg round with
+// fresh key pairs. A Session caches one participant's key pairs and the
+// pairwise shared secrets they produce, so the m chunks of one logical
+// round (and, with ratcheting, consecutive rounds) perform n·k agreements
+// total instead of m·n·k:
+//
+//   - pairwise agreement happens once per (round, pair) on first use and is
+//     cached by peer public key;
+//   - per-chunk mask seeds fork from the cached secret by domain-separated
+//     KDF expansion (pairMaskSeed with Config.MaskEpoch = chunk index);
+//     epoch 0 is byte-identical to the session-less derivation;
+//   - consecutive rounds sharing a session ratchet every cached secret one
+//     dh.Ratchet step forward (Config.KeyRatchet = round offset) instead of
+//     re-advertising fresh keys, which is exactly the separation of one
+//     key-agreement phase from many masked aggregations that SecAgg+
+//     (Bell et al., CCS 2020) assumes.
+//
+// Threat-model caveats (see doc.go): ratcheting separates per-round masks
+// and bounds key lifetime, but the X25519 private keys persist for
+// re-sharing, so session reuse does not provide forward secrecy against
+// endpoint-state compromise; and a client whose mask key was reconstructed
+// by the server (it dropped mid-round) must not reuse that session —
+// core.SessionPool regenerates dropped clients' sessions automatically.
+
+// pairMaskSeed derives the PRG seed for the pairwise mask between two
+// clients from their (possibly ratcheted) shared secret. Epoch 0 is
+// byte-identical to the historical derivation, pinned by the golden
+// seed-identity test; epoch e > 0 forks an independent seed via dh.Expand
+// with a chunk label.
+func pairMaskSeed(secret [dh.SharedSize]byte, epoch uint64) prg.Seed {
+	if epoch == 0 {
+		return prg.NewSeed([]byte("dordis/secagg/pairmask/v1"), secret[:])
+	}
+	info := make([]byte, 0, 40)
+	info = append(info, []byte("dordis/secagg/pairmask/chunk/v1/")...)
+	info = binary.LittleEndian.AppendUint64(info, epoch)
+	return prg.Seed(dh.Expand(secret, info))
+}
+
+// ratchetedSecret is a cached pairwise secret at a given ratchet step.
+type ratchetedSecret struct {
+	step uint64
+	sec  [dh.SharedSize]byte
+}
+
+// advanceTo returns the secret ratcheted forward to step. It never goes
+// backwards; callers re-derive from the key pair when an earlier step is
+// needed (drivers advance monotonically, so that path is cold).
+func (r ratchetedSecret) advanceTo(step uint64) ratchetedSecret {
+	for r.step < step {
+		r.sec = dh.Ratchet(r.sec)
+		r.step++
+	}
+	return r
+}
+
+// Session is one client's amortized key-agreement state: the two X25519
+// key pairs it advertises and the pairwise secrets agreed with each peer,
+// cached across the sub-rounds (pipeline chunks) and rounds that share the
+// session. Safe for concurrent use — mask expansion fans agreements across
+// a worker pool.
+type Session struct {
+	cipherKey *dh.KeyPair // c^PK / c^SK
+	maskKey   *dh.KeyPair // s^PK / s^SK
+
+	mu      sync.Mutex
+	mask    map[string]ratchetedSecret // peer mask pub → secret
+	channel map[string]ratchetedSecret // peer cipher pub → channel key
+	roster  []AdvertiseMsg             // cached stage-0 roster (advertise skip)
+}
+
+// NewSession generates the session's key pairs with randomness from rand.
+func NewSession(rand io.Reader) (*Session, error) {
+	cipherKey, err := dh.Generate(rand)
+	if err != nil {
+		return nil, err
+	}
+	maskKey, err := dh.Generate(rand)
+	if err != nil {
+		return nil, err
+	}
+	return &Session{
+		cipherKey: cipherKey,
+		maskKey:   maskKey,
+		mask:      make(map[string]ratchetedSecret),
+		channel:   make(map[string]ratchetedSecret),
+	}, nil
+}
+
+// cachedAgreement resolves a pairwise secret at the given ratchet step
+// through a cache guarded by mu — the one cache protocol both Session and
+// ServerSession use: read under the lock; on a miss (or a request for an
+// earlier step than the cached one, which only a non-monotonic driver
+// produces) run the agreement outside the lock (it is the expensive part
+// and deterministic, so a racing duplicate computes the identical value);
+// ratchet forward to step; store only monotonically.
+func cachedAgreement(mu *sync.Mutex, cache map[string]ratchetedSecret, key string,
+	step uint64, agree func() ([dh.SharedSize]byte, error)) ([dh.SharedSize]byte, error) {
+
+	mu.Lock()
+	c, ok := cache[key]
+	mu.Unlock()
+	if !ok || c.step > step {
+		raw, err := agree()
+		if err != nil {
+			return raw, err
+		}
+		c = ratchetedSecret{step: 0, sec: raw}
+	}
+	c = c.advanceTo(step)
+	mu.Lock()
+	if cur, ok := cache[key]; !ok || cur.step <= c.step {
+		cache[key] = c
+	}
+	mu.Unlock()
+	return c.sec, nil
+}
+
+// secretFrom returns the shared secret with the peer at the given ratchet
+// step, agreeing on first use and caching the result.
+func (s *Session) secretFrom(kp *dh.KeyPair, cache map[string]ratchetedSecret,
+	peerPub []byte, step uint64) ([dh.SharedSize]byte, error) {
+
+	return cachedAgreement(&s.mu, cache, string(peerPub), step,
+		func() ([dh.SharedSize]byte, error) { return kp.Agree(peerPub) })
+}
+
+// maskSecret returns the pairwise-mask secret with the peer identified by
+// its advertised mask public key, at the given ratchet step.
+func (s *Session) maskSecret(peerPub []byte, step uint64) ([dh.SharedSize]byte, error) {
+	return s.secretFrom(s.maskKey, s.mask, peerPub, step)
+}
+
+// channelSecret returns the channel-encryption key with the peer
+// identified by its advertised cipher public key, at the given ratchet
+// step.
+func (s *Session) channelSecret(peerPub []byte, step uint64) ([aead.KeySize]byte, error) {
+	return s.secretFrom(s.cipherKey, s.channel, peerPub, step)
+}
+
+// StoreRoster caches a verified stage-0 roster so a later round on the
+// same session can skip the advertise stage. The driver is responsible for
+// only storing rosters it obtained through a completed advertise stage.
+func (s *Session) StoreRoster(roster []AdvertiseMsg) {
+	cp := append([]AdvertiseMsg(nil), roster...)
+	s.mu.Lock()
+	s.roster = cp
+	s.mu.Unlock()
+}
+
+// Roster returns the cached stage-0 roster, or nil when none is stored.
+func (s *Session) Roster() []AdvertiseMsg {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.roster
+}
+
+// ServerSession is the aggregator's amortized key-agreement state: the
+// reconstructed-and-verified mask keys of dropped clients and the pairwise
+// secrets derived from them, cached across the sub-rounds and rounds that
+// share the session, plus the stage-0 roster for advertise skipping. Safe
+// for concurrent use.
+type ServerSession struct {
+	mu        sync.Mutex
+	keys      map[string]*dh.KeyPair     // advertised mask pub → verified key
+	secrets   map[string]ratchetedSecret // canonical pub pair → secret
+	roster    []AdvertiseMsg
+	rosterIDs []uint64 // the ClientIDs the roster was sealed for
+}
+
+// NewServerSession returns an empty server session.
+func NewServerSession() *ServerSession {
+	return &ServerSession{
+		keys:    make(map[string]*dh.KeyPair),
+		secrets: make(map[string]ratchetedSecret),
+	}
+}
+
+// key returns the cached reconstructed key pair advertised as pub, or nil.
+// nil-receiver safe so the server can call it unconditionally.
+func (s *ServerSession) key(pub []byte) *dh.KeyPair {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.keys[string(pub)]
+}
+
+// storeKey caches a reconstructed key pair that was verified against the
+// advertised public key pub.
+func (s *ServerSession) storeKey(pub []byte, kp *dh.KeyPair) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.keys[string(pub)] = kp
+	s.mu.Unlock()
+}
+
+// pairKey is the canonical cache key for an unordered public-key pair (the
+// derived secret is symmetric in the two ends).
+func pairKey(a, b []byte) string {
+	if string(a) < string(b) {
+		return string(a) + string(b)
+	}
+	return string(b) + string(a)
+}
+
+// pairSecret returns the pairwise secret between the reconstructed key kp
+// and the peer public key, at the given ratchet step, agreeing on first
+// use and caching by the unordered key pair.
+func (s *ServerSession) pairSecret(kp *dh.KeyPair, peerPub []byte, step uint64) ([dh.SharedSize]byte, error) {
+	return cachedAgreement(&s.mu, s.secrets, pairKey(kp.PublicBytes(), peerPub), step,
+		func() ([dh.SharedSize]byte, error) { return kp.Agree(peerPub) })
+}
+
+// StoreRoster caches the sealed stage-0 roster together with the client
+// set it was sealed for.
+func (s *ServerSession) StoreRoster(roster []AdvertiseMsg, clientIDs []uint64) {
+	r := append([]AdvertiseMsg(nil), roster...)
+	ids := append([]uint64(nil), clientIDs...)
+	s.mu.Lock()
+	s.roster, s.rosterIDs = r, ids
+	s.mu.Unlock()
+}
+
+// RosterFor returns the cached roster if it was sealed for exactly the
+// given client set, else nil. nil-receiver safe.
+func (s *ServerSession) RosterFor(clientIDs []uint64) []AdvertiseMsg {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.roster == nil || !equalIDs(s.rosterIDs, clientIDs) {
+		return nil
+	}
+	return s.roster
+}
+
+// RoundSessions bundles the per-participant sessions a driver shares
+// across the chunked sub-rounds of one logical round and, with ratcheting,
+// across consecutive rounds. It also enforces derivation-point uniqueness:
+// each (KeyRatchet, MaskEpoch) pair may serve at most one sub-round, since
+// running two aggregations at the same point would derive byte-identical
+// pairwise masks — and the server, which legitimately reconstructs
+// self-mask seeds each round, could then difference the two uploads and
+// recover individual update deltas.
+type RoundSessions struct {
+	Client map[uint64]*Session
+	Server *ServerSession
+
+	mu     sync.Mutex
+	served map[[2]uint64]bool // (KeyRatchet, MaskEpoch) already used
+}
+
+// markServed records that a sub-round ran at the derivation point and
+// rejects reuse of an already-served point.
+func (rs *RoundSessions) markServed(ratchet, epoch uint64) error {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	p := [2]uint64{ratchet, epoch}
+	if rs.served[p] {
+		return fmt.Errorf("secagg: sessions already served ratchet %d, epoch %d — "+
+			"advance MaskEpoch or KeyRatchet (identical derivation points repeat pairwise masks)",
+			ratchet, epoch)
+	}
+	if rs.served == nil {
+		rs.served = make(map[[2]uint64]bool)
+	}
+	rs.served[p] = true
+	return nil
+}
+
+// NewRoundSessions creates one client session per id (key generation
+// happens here, once per id instead of once per chunk) plus an empty
+// server session.
+func NewRoundSessions(ids []uint64, rand io.Reader) (*RoundSessions, error) {
+	rs := &RoundSessions{
+		Client: make(map[uint64]*Session, len(ids)),
+		Server: NewServerSession(),
+	}
+	for _, id := range ids {
+		s, err := NewSession(rand)
+		if err != nil {
+			return nil, fmt.Errorf("secagg: session for client %d: %w", id, err)
+		}
+		rs.Client[id] = s
+	}
+	return rs, nil
+}
+
+// resumable reports whether the sessions can skip the advertise stage for
+// cfg under the round's drop schedule: the server session holds a roster
+// sealed for exactly cfg.ClientIDs whose members are exactly the clients
+// alive at the advertise stage (so a client that was dead when the roster
+// was sealed but has since recovered forces a fresh advertise stage
+// instead of being silently excluded forever), and every member has a
+// live client session whose advertised keys match the cached entry.
+func (rs *RoundSessions) resumable(cfg *Config, drops DropSchedule) bool {
+	if rs == nil {
+		return false
+	}
+	roster := rs.Server.RosterFor(cfg.ClientIDs)
+	if roster == nil {
+		return false
+	}
+	expect := drops.participants(cfg.ClientIDs, StageAdvertiseKeys)
+	if len(roster) != len(expect) {
+		return false
+	}
+	for i, m := range roster {
+		// Both are ascending: SealAdvertise sorts the roster and ClientIDs
+		// are sorted by Validate.
+		if m.From != expect[i] {
+			return false
+		}
+		sess := rs.Client[m.From]
+		if sess == nil ||
+			!equalBytes(sess.cipherKey.PublicBytes(), m.CipherPub) ||
+			!equalBytes(sess.maskKey.PublicBytes(), m.MaskPub) {
+			return false
+		}
+	}
+	return true
+}

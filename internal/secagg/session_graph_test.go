@@ -1,0 +1,77 @@
+package secagg_test
+
+import (
+	"testing"
+
+	"repro/internal/dh"
+	"repro/internal/prg"
+	"repro/internal/ring"
+	"repro/internal/secagg"
+	"repro/internal/secaggplus"
+)
+
+// TestSessionReuseOverSecAggPlusGraph: key-agreement amortization composes
+// with the SecAgg+ sparse-graph substrate — sessions cache only the O(k)
+// per-neighborhood secrets, sub-rounds after the first perform zero X25519
+// agreements (per-neighborhood session reuse), and the aggregate stays
+// exact with a dropped client whose unmasking crosses the cache.
+func TestSessionReuseOverSecAggPlusGraph(t *testing.T) {
+	const n, dim, degree = 10, 40, 4
+	ids := make([]uint64, n)
+	inputs := make(map[uint64]ring.Vector, n)
+	for i := range ids {
+		id := uint64(i + 1)
+		ids[i] = id
+		v := ring.NewVector(16, dim)
+		for j := range v.Data {
+			v.Data[j] = id
+		}
+		inputs[id] = v
+	}
+	base := secagg.Config{Round: 60, ClientIDs: ids, Threshold: 3, Bits: 16, Dim: dim}
+	cfg, err := secaggplus.NewConfig(base, degree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	drops := secagg.DropSchedule{5: secagg.StageMaskedInput}
+
+	rand := prg.NewStream(prg.NewSeed([]byte("graph-session")))
+	sess, err := secagg.NewRoundSessions(ids, rand)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := uint64(0)
+	for _, id := range ids {
+		if id != 5 {
+			want += id
+		}
+	}
+	for epoch := uint64(0); epoch < 3; epoch++ {
+		c := cfg
+		c.MaskEpoch = epoch
+		a0 := dh.AgreeCount()
+		rr, err := secagg.RunWithSessions(c, inputs, nil, drops, rand, sess)
+		if err != nil {
+			t.Fatalf("epoch %d: %v", epoch, err)
+		}
+		for i, got := range rr.Result.Sum {
+			if got != want {
+				t.Fatalf("epoch %d: sum[%d] = %d, want %d", epoch, i, got, want)
+			}
+		}
+		agrees := dh.AgreeCount() - a0
+		if epoch == 0 {
+			// The sparse graph bounds the agreement count by the
+			// neighborhood size: ≤ 2 secrets per (client, neighbor) edge
+			// (channel + mask, each computed by both ends) plus the server's
+			// unmasking of the dropped client's neighborhood.
+			if max := uint64(2*2*n*degree + 2*degree); agrees == 0 || agrees > max {
+				t.Fatalf("epoch 0 performed %d agreements, want within (0, %d]", agrees, max)
+			}
+			continue
+		}
+		if agrees != 0 {
+			t.Fatalf("epoch %d performed %d agreements, want 0 (per-neighborhood reuse)", epoch, agrees)
+		}
+	}
+}

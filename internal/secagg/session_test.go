@@ -1,0 +1,351 @@
+package secagg
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/dh"
+	"repro/internal/prg"
+	"repro/internal/ring"
+)
+
+// sessionRand returns a deterministic entropy stream for session tests.
+func sessionRand(label string) *prg.Stream {
+	return prg.NewStream(prg.NewSeed([]byte("session-test/" + label)))
+}
+
+// TestGoldenChunkZeroSeedIdentity pins that the session cache's chunk-0
+// (epoch-0) mask seed is byte-identical to the non-amortized path: the
+// historical derivation NewSeed("dordis/secagg/pairmask/v1", secret) over
+// the raw X25519 agreement output. Any change to pairMaskSeed's epoch-0
+// branch or to the session's secret caching must fail here, because that
+// would break mask agreement between amortized and classic participants.
+func TestGoldenChunkZeroSeedIdentity(t *testing.T) {
+	sess, err := NewSession(sessionRand("keys"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The non-amortized path uses the very same mask key the session
+	// advertises (rebuilt from its private bytes, as the server-side
+	// reconstruction would), so any difference below is the derivation's.
+	mask, err := dh.FromPrivateBytes(sess.maskKey.PrivateBytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	peer, err := dh.Generate(sessionRand("peer"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Non-amortized path, written out literally as the golden reference.
+	secret, err := mask.Agree(peer.PublicBytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	legacy := prg.NewSeed([]byte("dordis/secagg/pairmask/v1"), secret[:])
+
+	// Amortized path: session cache at ratchet step 0, epoch 0.
+	cached, err := sess.maskSecret(peer.PublicBytes(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := pairMaskSeed(cached, 0); got != legacy {
+		t.Fatalf("chunk-0 seed diverged from the non-amortized path:\n got %x\nwant %x", got, legacy)
+	}
+	// Cache hit returns the identical secret.
+	again, err := sess.maskSecret(peer.PublicBytes(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again != cached {
+		t.Fatal("session cache returned a different secret on the second lookup")
+	}
+	// Later epochs fork independent seeds from the same agreement.
+	e1 := pairMaskSeed(cached, 1)
+	if e1 == legacy {
+		t.Fatal("epoch-1 seed must differ from the epoch-0 seed")
+	}
+	if pairMaskSeed(cached, 2) == e1 {
+		t.Fatal("distinct epochs must yield distinct seeds")
+	}
+	if pairMaskSeed(dh.Expand(cached, []byte("x")), 1) == e1 {
+		t.Fatal("distinct secrets must yield distinct epoch seeds")
+	}
+}
+
+// TestPerChunkMaskDeterminism: two session instances over the same key
+// material (a fresh-cache clone, as a restarted participant would rebuild
+// from its persisted keys) derive identical per-chunk mask seeds, the two
+// ends of each pair agree on every chunk's seed, and seeds are pairwise
+// distinct across chunks and ratchet steps.
+func TestPerChunkMaskDeterminism(t *testing.T) {
+	clone := func(s *Session) *Session {
+		return &Session{
+			cipherKey: s.cipherKey,
+			maskKey:   s.maskKey,
+			mask:      make(map[string]ratchetedSecret),
+			channel:   make(map[string]ratchetedSecret),
+		}
+	}
+	u1, err := NewSession(sessionRand("u"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v1, err := NewSession(sessionRand("v"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	u2, v2 := clone(u1), clone(v1)
+
+	seen := make(map[prg.Seed]string)
+	for _, step := range []uint64{0, 1, 2} {
+		for _, epoch := range []uint64{0, 1, 2, 7} {
+			sU1, err := u1.maskSecret(v1.maskKey.PublicBytes(), step)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sV1, err := v1.maskSecret(u1.maskKey.PublicBytes(), step)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sU2, err := u2.maskSecret(v2.maskKey.PublicBytes(), step)
+			if err != nil {
+				t.Fatal(err)
+			}
+			a, b, c := pairMaskSeed(sU1, epoch), pairMaskSeed(sV1, epoch), pairMaskSeed(sU2, epoch)
+			if a != b {
+				t.Fatalf("step %d epoch %d: the two ends derive different seeds", step, epoch)
+			}
+			if a != c {
+				t.Fatalf("step %d epoch %d: re-run from the same round seed diverged", step, epoch)
+			}
+			key := fmt.Sprintf("step=%d epoch=%d", step, epoch)
+			if prev, dup := seen[a]; dup {
+				t.Fatalf("seed collision between %s and %s", prev, key)
+			}
+			seen[a] = key
+		}
+	}
+}
+
+// sessionRoundConfig is a small session-test round: n clients, one of
+// which drops before uploading (exercising the server's reconstructed-key
+// and pair-secret caches).
+func sessionRoundConfig(n, dim int) (Config, map[uint64]ring.Vector, DropSchedule) {
+	ids := make([]uint64, n)
+	inputs := make(map[uint64]ring.Vector, n)
+	for i := range ids {
+		id := uint64(i + 1)
+		ids[i] = id
+		v := ring.NewVector(16, dim)
+		for j := range v.Data {
+			v.Data[j] = id
+		}
+		inputs[id] = v
+	}
+	cfg := Config{Round: 50, ClientIDs: ids, Threshold: n / 2, Bits: 16, Dim: dim}
+	drops := DropSchedule{ids[n-1]: StageMaskedInput}
+	return cfg, inputs, drops
+}
+
+// checkSessionSum verifies the aggregate equals the survivors' constant
+// inputs exactly (no noise in these rounds, masks must cancel bit-for-bit).
+func checkSessionSum(t *testing.T, res Result, n int) {
+	t.Helper()
+	want := uint64(0)
+	for id := 1; id < n; id++ { // client n dropped
+		want += uint64(id)
+	}
+	for i, got := range res.Sum {
+		if got != want {
+			t.Fatalf("sum[%d] = %d, want %d", i, got, want)
+		}
+	}
+	if len(res.Dropped) != 1 || res.Dropped[0] != uint64(n) {
+		t.Fatalf("dropped = %v, want [%d]", res.Dropped, n)
+	}
+}
+
+// TestRunWithSessionsAmortizesAgreements drives several sub-rounds over
+// one session set — the chunks of a logical round (MaskEpoch 0..2) and the
+// first chunk of a ratcheted next round (KeyRatchet 1) — and asserts that
+// only the first sub-round performs X25519 agreements: every later
+// sub-round, including the dropped client's unmasking, runs entirely from
+// the caches while still producing the exact aggregate.
+func TestRunWithSessionsAmortizesAgreements(t *testing.T) {
+	const n, dim = 6, 64
+	cfg, inputs, drops := sessionRoundConfig(n, dim)
+	rand := sessionRand("round")
+	sess, err := NewRoundSessions(cfg.ClientIDs, rand)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	subRounds := []struct {
+		epoch, ratchet uint64
+	}{
+		{0, 0}, {1, 0}, {2, 0}, // three chunks of round r
+		{0, 1}, {1, 1}, // two chunks of round r+1 (ratcheted)
+	}
+	var firstAgrees uint64
+	for i, sr := range subRounds {
+		c := cfg
+		c.Round = cfg.Round + sr.ratchet
+		c.MaskEpoch = sr.epoch
+		c.KeyRatchet = sr.ratchet
+		a0 := dh.AgreeCount()
+		rr, err := RunWithSessions(c, inputs, nil, drops, rand, sess)
+		if err != nil {
+			t.Fatalf("sub-round %d: %v", i, err)
+		}
+		checkSessionSum(t, rr.Result, n)
+		agrees := dh.AgreeCount() - a0
+		if i == 0 {
+			firstAgrees = agrees
+			if agrees == 0 {
+				t.Fatal("first sub-round performed no agreements")
+			}
+			continue
+		}
+		if agrees != 0 {
+			t.Fatalf("sub-round %d (epoch %d, ratchet %d) performed %d agreements, want 0 (first did %d)",
+				i, sr.epoch, sr.ratchet, agrees, firstAgrees)
+		}
+	}
+}
+
+// TestRunWithSessionsMatchesPlainRun: the amortized driver and the classic
+// one produce the same exact aggregate on the same inputs (masks cancel
+// bit-for-bit in both), and fresh sessions re-advertise rather than resume.
+func TestRunWithSessionsMatchesPlainRun(t *testing.T) {
+	const n, dim = 5, 48
+	cfg, inputs, drops := sessionRoundConfig(n, dim)
+
+	plain, err := Run(cfg, inputs, nil, drops, sessionRand("plain"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rand := sessionRand("amortized")
+	sess, err := NewRoundSessions(cfg.ClientIDs, rand)
+	if err != nil {
+		t.Fatal(err)
+	}
+	amortized, err := RunWithSessions(cfg, inputs, nil, drops, rand, sess)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range plain.Result.Sum {
+		if plain.Result.Sum[i] != amortized.Result.Sum[i] {
+			t.Fatalf("sum[%d]: plain %d != amortized %d", i, plain.Result.Sum[i], amortized.Result.Sum[i])
+		}
+	}
+}
+
+// TestSessionAdvertiseSkipRequiresMatchingRoster: sessions resume only for
+// the exact client set the roster was sealed for; a different set falls
+// back to a full advertise stage (and still completes correctly).
+func TestSessionAdvertiseSkipRequiresMatchingRoster(t *testing.T) {
+	const n, dim = 5, 32
+	cfg, inputs, drops := sessionRoundConfig(n, dim)
+	rand := sessionRand("mismatch")
+	sess, err := NewRoundSessions(cfg.ClientIDs, rand)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sess.resumable(&cfg, drops) {
+		t.Fatal("fresh sessions must not be resumable")
+	}
+	if _, err := RunWithSessions(cfg, inputs, nil, drops, rand, sess); err != nil {
+		t.Fatal(err)
+	}
+	if !sess.resumable(&cfg, drops) {
+		t.Fatal("sessions must be resumable after a sealed advertise stage")
+	}
+	smaller := cfg
+	smaller.ClientIDs = cfg.ClientIDs[:n-1]
+	smaller.MaskEpoch = 1 // a new derivation point; (0,0) already served
+	if sess.resumable(&smaller, drops) {
+		t.Fatal("a different client set must not resume on the cached roster")
+	}
+	smallInputs := make(map[uint64]ring.Vector, n-1)
+	for _, id := range smaller.ClientIDs {
+		smallInputs[id] = inputs[id]
+	}
+	if _, err := RunWithSessions(smaller, smallInputs, nil, nil, rand, sess); err != nil {
+		t.Fatalf("fallback full advertise failed: %v", err)
+	}
+}
+
+// TestSessionResumeReadmitsRecoveredClient: a roster sealed while a
+// client was dead at the advertise stage must not serve a later round in
+// which that client is alive — the sessions fall back to a full advertise
+// stage and the recovered client's input re-enters the aggregate.
+func TestSessionResumeReadmitsRecoveredClient(t *testing.T) {
+	const n, dim = 5, 32
+	cfg, inputs, _ := sessionRoundConfig(n, dim)
+	rand := sessionRand("recovery")
+	sess, err := NewRoundSessions(cfg.ClientIDs, rand)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Round 1: client 3 is dead before advertising; the sealed roster
+	// excludes it.
+	r1, err := RunWithSessions(cfg, inputs, nil,
+		DropSchedule{3: StageAdvertiseKeys}, rand, sess)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r1.Result.Dropped) != 1 || r1.Result.Dropped[0] != 3 {
+		t.Fatalf("round 1 dropped = %v, want [3]", r1.Result.Dropped)
+	}
+	// Round 2: client 3 recovered. The partial roster must not resume.
+	if sess.resumable(&cfg, nil) {
+		t.Fatal("partial roster must not be resumable once the dropper recovers")
+	}
+	next := cfg
+	next.MaskEpoch = 1
+	r2, err := RunWithSessions(next, inputs, nil, nil, rand, sess)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r2.Result.Dropped) != 0 {
+		t.Fatalf("round 2 dropped = %v, want none", r2.Result.Dropped)
+	}
+	want := uint64(1 + 2 + 3 + 4 + 5)
+	for i, got := range r2.Result.Sum {
+		if got != want {
+			t.Fatalf("round 2 sum[%d] = %d, want %d (recovered client included)", i, got, want)
+		}
+	}
+	// Round 2's full roster re-arms the skip for later dropout-free rounds.
+	again := cfg
+	again.MaskEpoch = 2
+	if !sess.resumable(&again, nil) {
+		t.Fatal("full roster sealed in round 2 must be resumable")
+	}
+}
+
+// TestSessionsRejectDerivationPointReuse: running two aggregations over
+// the same sessions at an identical (KeyRatchet, MaskEpoch) point must be
+// refused — it would repeat every pairwise mask stream, letting the server
+// difference the two uploads.
+func TestSessionsRejectDerivationPointReuse(t *testing.T) {
+	const n, dim = 5, 32
+	cfg, inputs, drops := sessionRoundConfig(n, dim)
+	rand := sessionRand("point-reuse")
+	sess, err := NewRoundSessions(cfg.ClientIDs, rand)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunWithSessions(cfg, inputs, nil, drops, rand, sess); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunWithSessions(cfg, inputs, nil, drops, rand, sess); err == nil {
+		t.Fatal("identical (ratchet, epoch) on shared sessions must be rejected")
+	}
+	next := cfg
+	next.MaskEpoch = 1
+	if _, err := RunWithSessions(next, inputs, nil, drops, rand, sess); err != nil {
+		t.Fatalf("advanced epoch must be accepted: %v", err)
+	}
+}
