@@ -1,4 +1,6 @@
-// Command dordis-bench regenerates the paper's tables and figures.
+// Command dordis-bench regenerates the paper's tables and figures
+// (training-level experiments: privacy ledgers, round-time shares,
+// ablations — see -list for the full inventory).
 //
 // Usage:
 //
@@ -6,6 +8,15 @@
 //	dordis-bench -exp fig8
 //	dordis-bench -exp table2 -scale paper
 //	dordis-bench -exp all -scale quick
+//
+// Protocol-level hot-path microbenchmarks are not here: they live in the
+// go benchmarks (go test -bench . ./...) and their recorded
+// before/after numbers in BENCH_SECAGG_HOTPATH.json. Note for readers of
+// older revisions: since the session layer, chunked rounds agree keys
+// once per (round, pair) — n·k X25519 agreements per round, not m·n·k
+// across m chunks — on every substrate, including the engine-unified
+// LightSecAgg baseline; the per-chunk-keys numbers survive only as
+// reference paths inside those benches.
 package main
 
 import (

@@ -2,11 +2,18 @@
 // Federated Learning with Dropout-Resilient Differential Privacy"
 // (Jiang, Wang, Chen — EuroSys 2024).
 //
-// The library lives under internal/ (see DESIGN.md for the system
-// inventory); runnable entry points are cmd/dordis (training CLI),
-// cmd/dordis-bench (regenerates every table and figure), and examples/.
-// The root package exists to host the benchmark harness (bench_test.go),
-// which prints the same rows and series the paper reports.
+// The library lives under internal/; runnable entry points are
+// cmd/dordis (training CLI), cmd/dordis-node (TCP deployment of one
+// round), cmd/dordis-bench (regenerates every table and figure), and
+// examples/ (indexed in examples/README.md). The root package exists to
+// host the benchmark harness (bench_test.go), which prints the same rows
+// and series the paper reports.
+//
+// ARCHITECTURE.md maps the paper's pipeline onto the packages: the round
+// lifecycle, the shared stage-collection engine, the per-substrate
+// drivers and codecs, the session layer's threat model, and a table of
+// which driver runs where. This file keeps only the performance-contract
+// summary below.
 //
 // # Performance architecture
 //
@@ -50,28 +57,33 @@
 // memmove on little-endian hosts, and TCP frames go out header+payload in
 // one gathered write.
 //
-// Streaming stage collection. Both round drivers — core.RunWireServer
-// (real transport) and secagg.Run (in-process clients as goroutines) —
-// drive stages through the shared round engine (internal/engine), the
-// runtime counterpart of the paper's §4.1 claim that aggregation latency
-// hides when stage work is pipelined rather than barriered. The engine's
-// Collect admits one stage's messages until every expected sender
-// answered or the stage deadline fired; admitted frames decode
+// Streaming stage collection. Every round driver — core.RunWireServer
+// and lightsecagg.RunWireServer (real transport, fan-in via
+// engine.TransportSource) as well as secagg.Run and lightsecagg.Run
+// (in-process clients as goroutines) — drives stages through the shared
+// round engine (internal/engine), the runtime counterpart of the paper's
+// §4.1 claim that aggregation latency hides when stage work is pipelined
+// rather than barriered. The engine's Collect admits one stage's
+// messages until every expected sender answered or the stage deadline
+// fired (or, for any-K-of-N stages like LightSecAgg's one-shot recovery,
+// until Stage.Quorum senders answered); admitted frames decode
 // concurrently across a bounded worker pool, and each decoded message
-// feeds secagg.Server's incremental per-message API (AddAdvertise,
-// AddShare, AddMasked, AddConsistency, AddUnmask, AddNoiseShare) in
-// admission order, serialized by a pipeline.Gate — the same FIFO
+// feeds the server's incremental per-message API (secagg.Server's
+// AddAdvertise/AddShare/AddMasked/AddConsistency/AddUnmask/AddNoiseShare,
+// lightsecagg.Server's AddAdvertise/AddShareBundle/AddMasked/AddAggShare)
+// in admission order, serialized by a pipeline.Gate — the same FIFO
 // resource-gate primitive the chunk executor schedules with. Masked
-// inputs fold into a running partial aggregate in small
-// ring.AddManyInPlace batches as they arrive, so sealing the stage (the
-// per-stage Seal* methods, which also enforce the protocol thresholds)
-// costs an O(1) tail merge instead of n decodes plus n vector adds at a
-// stage barrier: the 64-client masked-stage close drops ~6-7x (see
-// BENCH_SECAGG_HOTPATH.json). The batch Collect* methods remain as thin
-// wrappers over Add*/Seal* for white-box tests and non-streaming callers.
-// Frame hygiene (stale-stage, duplicate, out-of-order, unknown-sender
-// admission filtering) lives in the engine and is chaos-tested under
-// -race in internal/core.
+// inputs fold into a running partial aggregate as they arrive, so
+// sealing the stage (the per-stage Seal* methods, which also enforce the
+// protocol thresholds) costs an O(1) tail merge instead of n decodes
+// plus n vector adds at a stage barrier: the 64-client masked-stage
+// close drops ~6-7x on secagg and ~16-50x on lightsecagg (see
+// BENCH_SECAGG_HOTPATH.json). The batch Collect*/Reconstruct methods
+// remain as thin wrappers over Add*/Seal* for white-box tests and
+// non-streaming callers. Frame hygiene (stale-stage, duplicate,
+// out-of-order, unknown-sender admission filtering) lives in the engine
+// and is chaos-tested under -race in internal/core and
+// internal/lightsecagg.
 //
 // Key-agreement amortization. X25519 agreement is the dominant fixed cost
 // of a round (~57% of a 64-client dim-4096 round before this layer), and
@@ -92,30 +104,24 @@
 // skip (secagg.RunWithSessions resumes automatically; the wire driver via
 // the Resume flags).
 //
-// Threat-model caveats of session reuse: (1) cross-round reuse
-// (RatchetRounds > 1) is retroactively fragile: the ratchet is a public
-// HKDF chain over the raw agreement output, and the unchanged root mask
-// key is re-Shamir-shared every round, so a client that drops in round
-// r+1 hands the server its raw private key — from which the server can
-// re-derive that client's pairwise masks for round r too and (having
-// legitimately reconstructed the round-r self-mask seeds) unmask its
-// round-r individual update. Ratcheting therefore separates the mask
-// streams of healthy rounds; it does not protect past rounds of a client
-// that later drops, and it gives no forward secrecy against endpoint
-// compromise either. Deployments whose threat model cannot accept that
-// exposure must keep RatchetRounds ≤ 1 — fresh keys per round,
-// amortization within the round's chunks only, which is the SecAgg+ model
-// of one key-agreement phase per round and the conservative default.
-// (2) A client that drops mid-round may have had its mask key
-// reconstructed by the server, so its session must never serve another
-// round — core.SessionPool taints every scheduled dropper (before the
-// round runs, so aborted rounds taint too) and re-keys the pool before
-// the next round. (3) Each (KeyRatchet, MaskEpoch) derivation point may
-// serve at most one aggregation — repeating one would repeat every
-// pairwise mask stream and let the server difference the two uploads;
-// secagg.RoundSessions enforces this, and wire deployments driving
-// sessions directly must guarantee it themselves. (4) Within one logical
-// round, reusing one key generation across chunks is exactly the paper's
-// chunked-pipeline setting — the per-chunk sub-rounds are one aggregation
-// split for latency, not independent privacy epochs.
+// Session reuse is constrained by a per-protocol threat model —
+// ratchet separation and its retroactive fragility on dropout, dropout
+// tainting, derivation-point uniqueness for the secagg family; none of
+// those for lightsecagg, whose server never reconstructs client key
+// material — spelled out in ARCHITECTURE.md ("Sessions and the
+// key-reuse threat model"). The conservative default everywhere is
+// RatchetRounds ≤ 1: fresh keys per round, amortization within the
+// round's chunks only.
+//
+// Unified protocol backends. The LightSecAgg baseline
+// (internal/lightsecagg) runs on the same machinery as the secagg
+// family: the same engine collection (with quorum completion for its
+// any-U one-shot recovery), the same incremental Add*/Seal* server
+// shape, its own session type (cached channel secrets, encoding
+// matrices, recovery-weight cohorts, advertise skip) plugged into
+// core.SessionPool, and a binary codec for its volume payloads. It is
+// selectable per round via core.RoundConfig.Protocol =
+// ProtocolLightSecAgg (Threshold keeps response-count semantics:
+// U = Threshold, T = D = n − Threshold), and
+// fl.RecommendedProtocolUnderDropout says when the trade is worth it.
 package repro

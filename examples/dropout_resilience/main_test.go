@@ -68,49 +68,62 @@ func TestDropoutResilienceAcrossStages(t *testing.T) {
 			numEarly: 1,
 		},
 	}
-	for _, tc := range cases {
-		t.Run(tc.name, func(t *testing.T) {
-			res, err := core.RunRound(core.RoundConfig{
-				Round: 1, Protocol: core.ProtocolSecAgg, Codec: codec,
-				Threshold: 3, Chunks: 2, Tolerance: 2, TargetMu: targetMu,
-				Seed:         prg.NewSeed(seed[:], []byte(tc.name)),
-				DropSchedule: tc.schedule,
-			}, updates, nil, rand.Reader)
-			if err != nil {
-				t.Fatal(err)
-			}
-			if len(res.Dropped) != tc.numEarly {
-				t.Fatalf("dropped = %v, want %d early dropouts", res.Dropped, tc.numEarly)
-			}
-			if len(res.LateDropped) != len(tc.late) {
-				t.Fatalf("late dropped = %v, want %v", res.LateDropped, tc.late)
-			}
-			if len(res.Survivors) != n-tc.numEarly {
-				t.Fatalf("survivors = %v", res.Survivors)
-			}
-			// Residual variance against the survivors' true sum must sit at
-			// the enforced target — the example's headline claim, now under
-			// per-stage dropout.
-			want := make([]float64, dim)
-			for id, u := range updates {
-				if tc.excluded[id] {
-					continue
+	// Every schedule runs on both protocol backends — classic SecAgg and
+	// the engine-unified LightSecAgg substrate (which needs Threshold >
+	// n/2; a share-stage drop maps to its §6.1 model: offline sharing
+	// completes, the upload never happens, the client is excluded).
+	substrates := []struct {
+		protocol  core.Protocol
+		threshold int
+	}{
+		{core.ProtocolSecAgg, 3},
+		{core.ProtocolLightSecAgg, 4},
+	}
+	for _, sub := range substrates {
+		for _, tc := range cases {
+			t.Run(sub.protocol.String()+"/"+tc.name, func(t *testing.T) {
+				res, err := core.RunRound(core.RoundConfig{
+					Round: 1, Protocol: sub.protocol, Codec: codec,
+					Threshold: sub.threshold, Chunks: 2, Tolerance: 2, TargetMu: targetMu,
+					Seed:         prg.NewSeed(seed[:], []byte(tc.name)),
+					DropSchedule: tc.schedule,
+				}, updates, nil, rand.Reader)
+				if err != nil {
+					t.Fatal(err)
 				}
-				for i, v := range u {
-					want[i] += v
+				if len(res.Dropped) != tc.numEarly {
+					t.Fatalf("dropped = %v, want %d early dropouts", res.Dropped, tc.numEarly)
 				}
-			}
-			var sum, sumSq float64
-			for i := range want {
-				g := (res.Sum[i] - want[i]) * codec.Scale
-				sum += g
-				sumSq += g * g
-			}
-			mean := sum / float64(dim)
-			variance := sumSq/float64(dim) - mean*mean
-			if math.Abs(variance-targetMu)/targetMu > 0.15 {
-				t.Errorf("residual variance %v, want ≈%v", variance, targetMu)
-			}
-		})
+				if len(res.LateDropped) != len(tc.late) {
+					t.Fatalf("late dropped = %v, want %v", res.LateDropped, tc.late)
+				}
+				if len(res.Survivors) != n-tc.numEarly {
+					t.Fatalf("survivors = %v", res.Survivors)
+				}
+				// Residual variance against the survivors' true sum must sit at
+				// the enforced target — the example's headline claim, now under
+				// per-stage dropout.
+				want := make([]float64, dim)
+				for id, u := range updates {
+					if tc.excluded[id] {
+						continue
+					}
+					for i, v := range u {
+						want[i] += v
+					}
+				}
+				var sum, sumSq float64
+				for i := range want {
+					g := (res.Sum[i] - want[i]) * codec.Scale
+					sum += g
+					sumSq += g * g
+				}
+				mean := sum / float64(dim)
+				variance := sumSq/float64(dim) - mean*mean
+				if math.Abs(variance-targetMu)/targetMu > 0.15 {
+					t.Errorf("residual variance %v, want ≈%v", variance, targetMu)
+				}
+			})
+		}
 	}
 }

@@ -85,6 +85,20 @@ func BenchmarkRound64Chunk8SecAggPlusAmortized(b *testing.B) {
 	benchRound64Chunk8(b, ProtocolSecAggPlus, true)
 }
 
+// The LightSecAgg-substrate variants exercise the same amortization
+// question on the unified engine path: without sessions every chunk
+// regenerates channel keys and re-agrees (m·n key pairs, ~m·n² channel
+// agreements); with a SessionPool the round pays one key generation per
+// client and one agreement per ordered pair, and resumed rounds skip the
+// advertise stage outright.
+func BenchmarkRound64Chunk8LightSecAggPerChunkKeys(b *testing.B) {
+	benchRound64Chunk8(b, ProtocolLightSecAgg, false)
+}
+
+func BenchmarkRound64Chunk8LightSecAggAmortized(b *testing.B) {
+	benchRound64Chunk8(b, ProtocolLightSecAgg, true)
+}
+
 // BenchmarkRunRoundSecAggPlus compares the two protocol substrates on the
 // same round.
 func BenchmarkRunRoundSecAggPlus(b *testing.B) {

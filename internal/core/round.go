@@ -3,9 +3,11 @@ package core
 import (
 	"fmt"
 	"io"
+	"math/bits"
 	"sync"
 
 	"repro/internal/field"
+	"repro/internal/lightsecagg"
 	"repro/internal/pipeline"
 	"repro/internal/prg"
 	"repro/internal/ring"
@@ -28,10 +30,23 @@ type Protocol int
 // callers whose dropout-security margin depends on the configured global
 // threshold should pin ProtocolSecAgg explicitly. RoundResult.Protocol
 // reports the substrate a round actually used.
+//
+// ProtocolLightSecAgg runs the chunks on the LightSecAgg baseline
+// (internal/lightsecagg): one-shot aggregate-mask recovery instead of
+// per-dropout Shamir reconstruction, at the price of offline share
+// traffic that grows with the model (§2.3.2). Threshold keeps its
+// response-count semantics (U = Threshold aggregate shares complete the
+// recovery) and must exceed n/2; the collusion-privacy threshold becomes
+// T = n − Threshold — symmetric with the dropout tolerance D = n −
+// Threshold, the standard LightSecAgg instantiation — which is weaker
+// than SecAgg's Threshold−1, so pinning this substrate is an explicit
+// opt-in to that trade (fl.RecommendedProtocolUnderDropout encodes when
+// it pays). ProtocolAuto never resolves here on its own.
 const (
 	ProtocolAuto Protocol = iota
 	ProtocolSecAgg
 	ProtocolSecAggPlus
+	ProtocolLightSecAgg
 )
 
 // SecAggPlusAutoMin is the sampled-set size at which ProtocolAuto switches
@@ -57,6 +72,8 @@ func (p Protocol) String() string {
 		return "secagg+"
 	case ProtocolSecAgg:
 		return "secagg"
+	case ProtocolLightSecAgg:
+		return "lightsecagg"
 	default:
 		return "auto"
 	}
@@ -243,38 +260,63 @@ func RunRound(cfg RoundConfig, updates map[uint64][]float64, drops []uint64, ran
 		}
 	}
 
-	// Build the per-chunk SecAgg config.
+	// Build the per-chunk protocol config.
+	proto := ResolveProtocol(cfg.Protocol, len(ids))
 	baseCfg := secagg.Config{
 		Round:     cfg.Round,
 		ClientIDs: ids,
 		Threshold: cfg.Threshold,
 		Bits:      cfg.Codec.Bits,
 	}
-	proto := ResolveProtocol(cfg.Protocol, len(ids))
-	if proto == ProtocolSecAggPlus {
+	switch proto {
+	case ProtocolSecAggPlus:
 		var err error
 		baseCfg, err = secaggplus.NewConfig(baseCfg, cfg.Degree)
 		if err != nil {
 			return nil, err
 		}
+	case ProtocolLightSecAgg:
+		// U = Threshold responses complete the one-shot recovery;
+		// T = D = n − Threshold (the symmetric LightSecAgg instantiation),
+		// so the coded pieces have length d/(2·Threshold − n).
+		if 2*cfg.Threshold <= len(ids) {
+			return nil, fmt.Errorf("core: lightsecagg substrate needs Threshold > n/2, got t=%d n=%d",
+				cfg.Threshold, len(ids))
+		}
+		// Aggregation lifts ring values into GF(2^61−1) and sums exactly;
+		// n·(2^Bits−1) must not wrap the field for the lift to be lossless.
+		if int(cfg.Codec.Bits)+bits.Len(uint(len(ids))) > 61 {
+			return nil, fmt.Errorf("core: lightsecagg substrate: %d-bit ring with %d clients overflows GF(2^61−1)",
+				cfg.Codec.Bits, len(ids))
+		}
 	}
 
 	// Key-agreement amortization: one session set serves every chunk (and,
-	// when the pool permits, consecutive rounds at increasing ratchet
-	// steps), so pairwise X25519 agreement happens n·k times per round
-	// instead of m·n·k. Chunk independence of the masks comes from the
-	// per-chunk MaskEpoch fork, round independence from the ratchet step.
+	// when the pool permits, consecutive rounds), so pairwise X25519
+	// agreement happens n·k times per round instead of m·n·k. On the
+	// secagg substrates, chunk independence of the masks comes from the
+	// per-chunk MaskEpoch fork and round independence from the ratchet
+	// step; on lightsecagg, masks are drawn fresh per chunk and the
+	// sessions amortize the channel agreements, coding matrices, and the
+	// advertise stage instead.
 	var sess *secagg.RoundSessions
+	var lsaSess *lightsecagg.RoundSessions
 	var ratchet uint64
 	if cfg.Sessions != nil {
 		var err error
-		if sess, ratchet, err = cfg.Sessions.acquire(ids, rand); err != nil {
+		if proto == ProtocolLightSecAgg {
+			if lsaSess, err = cfg.Sessions.acquireLightSecAgg(ids, rand); err != nil {
+				return nil, err
+			}
+		} else if sess, ratchet, err = cfg.Sessions.acquire(ids, rand); err != nil {
 			return nil, err
 		}
 		// Taint scheduled droppers up front, before any chunk runs: the
 		// server may reconstruct a dropper's mask key mid-round, and an
 		// aborted round must not leave its session eligible for reuse.
-		if len(schedule) > 0 {
+		// (LightSecAgg sessions need no tainting — its server never
+		// reconstructs client key material; see core.SessionPool.)
+		if proto != ProtocolLightSecAgg && len(schedule) > 0 {
 			dropped := make([]uint64, 0, len(schedule))
 			for id := range schedule {
 				dropped = append(dropped, id)
@@ -325,6 +367,14 @@ func RunRound(cfg RoundConfig, updates map[uint64][]float64, drops []uint64, ran
 	stageProtocol := func(c int) error {
 		// comm (+ the protocol's own compute): secure aggregation of the
 		// chunk.
+		if proto == ProtocolLightSecAgg {
+			sum, err := runLightSecAggChunk(cfg, c, ids, chunkInputs[c], schedule, rand, lsaSess)
+			if err != nil {
+				return setErr(fmt.Errorf("core: chunk %d aggregation: %w", c, err))
+			}
+			chunkSums[c] = sum
+			return nil
+		}
 		chunkCfg := baseCfg
 		chunkCfg.Round = cfg.Round*1000 + uint64(c)
 		chunkCfg.Dim = len(chunkInputs[c][ids[0]].Data)
@@ -399,4 +449,64 @@ func RunRound(cfg RoundConfig, updates map[uint64][]float64, drops []uint64, ran
 		}
 	}
 	return res, nil
+}
+
+// lightSecAggSchedule maps the round's secagg-stage drop schedule onto
+// LightSecAgg's lifecycle: anything at or before the masked upload
+// becomes a drop before LightSecAgg's masked upload (the client still
+// completes offline sharing, per the §6.1 model — LightSecAgg's offline
+// phase needs every sampled client), and later drops become drops before
+// the one-shot recovery response (the client's update is in the
+// aggregate, exactly like a late secagg dropper).
+func lightSecAggSchedule(s secagg.DropSchedule) lightsecagg.DropSchedule {
+	if len(s) == 0 {
+		return nil
+	}
+	out := make(lightsecagg.DropSchedule, len(s))
+	for id, st := range s {
+		if st <= secagg.StageMaskedInput {
+			out[id] = lightsecagg.StageMaskedInput
+		} else {
+			out[id] = lightsecagg.StageAggShare
+		}
+	}
+	return out
+}
+
+// runLightSecAggChunk aggregates one chunk on the LightSecAgg substrate:
+// ring values lift losslessly into GF(2^61−1) (n·2^Bits < p, checked at
+// round start), the engine-backed in-process round sums them exactly, and
+// the sum reduces back mod 2^Bits — equal to the ring sum coordinate-wise
+// because reduction commutes with integer addition.
+func runLightSecAggChunk(cfg RoundConfig, chunk int, ids []uint64, inputs map[uint64]ring.Vector,
+	schedule secagg.DropSchedule, rand io.Reader, sess *lightsecagg.RoundSessions) (ring.Vector, error) {
+
+	dim := inputs[ids[0]].Len()
+	lcfg := lightsecagg.Config{
+		ClientIDs: ids,
+		PrivacyT:  len(ids) - cfg.Threshold,
+		Dropout:   len(ids) - cfg.Threshold,
+		Dim:       dim,
+		// Distinct per sub-round so sealed-share envelopes of different
+		// chunks (and rounds) are AD-separated on shared session keys.
+		Round: cfg.Round*1000 + uint64(chunk),
+	}
+	lifted := make(map[uint64][]field.Element, len(ids))
+	for id, v := range inputs {
+		xs := make([]field.Element, len(v.Data))
+		for i, w := range v.Data {
+			xs[i] = field.New(w)
+		}
+		lifted[id] = xs
+	}
+	sum, err := lightsecagg.RunWithSessions(lcfg, lifted, lightSecAggSchedule(schedule), rand, sess)
+	if err != nil {
+		return ring.Vector{}, err
+	}
+	out := ring.NewVector(cfg.Codec.Bits, dim)
+	mask := out.Mask()
+	for i, e := range sum {
+		out.Data[i] = e.Uint64() & mask
+	}
+	return out, nil
 }

@@ -4,6 +4,7 @@ import (
 	"io"
 	"sync"
 
+	"repro/internal/lightsecagg"
 	"repro/internal/secagg"
 )
 
@@ -39,6 +40,16 @@ type SessionPool struct {
 	ids        []uint64
 	roundsUsed int
 	tainted    map[uint64]bool // clients whose keys the server may know
+
+	// LightSecAgg arm: rounds pinned to ProtocolLightSecAgg draw their
+	// sessions here instead. The reuse policy is the same RatchetRounds
+	// lifetime bound and same-roster requirement, but there is no taint
+	// set: LightSecAgg's server never reconstructs client key material
+	// (dropout recovery interpolates the aggregate mask), so a dropped
+	// client's session stays sound and droppers do not force a re-key.
+	lsa       *lightsecagg.RoundSessions
+	lsaIDs    []uint64
+	lsaRounds int
 }
 
 // NewSessionPool returns a pool that reuses each key generation for up to
@@ -72,6 +83,31 @@ func (p *SessionPool) acquire(ids []uint64, rand io.Reader) (*secagg.RoundSessio
 	p.roundsUsed = 1
 	p.tainted = nil
 	return sess, 0, nil
+}
+
+// acquireLightSecAgg returns the LightSecAgg sessions for a round over
+// ids: the pooled set when the client roster is unchanged and the key
+// generation has rounds left (subsequent rounds then skip the advertise
+// stage on the cached roster), fresh sessions otherwise.
+func (p *SessionPool) acquireLightSecAgg(ids []uint64, rand io.Reader) (*lightsecagg.RoundSessions, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	max := p.RatchetRounds
+	if max < 1 {
+		max = 1
+	}
+	if p.lsa != nil && p.lsaRounds < max && sameIDs(p.lsaIDs, ids) {
+		p.lsaRounds++
+		return p.lsa, nil
+	}
+	sess, err := lightsecagg.NewRoundSessions(ids, rand)
+	if err != nil {
+		return nil, err
+	}
+	p.lsa = sess
+	p.lsaIDs = append([]uint64(nil), ids...)
+	p.lsaRounds = 1
+	return sess, nil
 }
 
 // invalidate marks clients whose sessions must not survive into the next

@@ -72,43 +72,6 @@ type WireServerConfig struct {
 	Resume  bool
 }
 
-// fanIn drains the server connection into a buffered channel for the
-// round's whole lifetime, so slow stage processing (decode pool full,
-// apply in progress) never backpressures the transport mid-collection.
-func fanIn(ctx context.Context, conn transport.ServerConn) <-chan transport.Frame {
-	frames := make(chan transport.Frame, 256)
-	go func() {
-		defer close(frames)
-		for {
-			f, err := conn.Recv(ctx)
-			if err != nil {
-				return // round over (ctx) or endpoint closed
-			}
-			select {
-			case frames <- f:
-			case <-ctx.Done():
-				return
-			}
-		}
-	}()
-	return frames
-}
-
-// frameRecv adapts the fan-in channel to the engine's message source.
-func frameRecv(frames <-chan transport.Frame) engine.RecvFunc {
-	return func(ctx context.Context) (engine.Msg, error) {
-		select {
-		case f, ok := <-frames:
-			if !ok {
-				return engine.Msg{}, transport.ErrClosed
-			}
-			return engine.Msg{From: f.From, Stage: f.Stage, Body: f.Payload}, nil
-		case <-ctx.Done():
-			return engine.Msg{}, ctx.Err()
-		}
-	}
-}
-
 // broadcast sends the same payload to every id.
 func broadcast(conn transport.ServerConn, ids []uint64, stage int, payload []byte) {
 	for _, id := range ids {
@@ -145,7 +108,7 @@ func RunWireServer(ctx context.Context, cfg WireServerConfig, conn transport.Ser
 
 	roundCtx, cancel := context.WithCancel(ctx)
 	defer cancel()
-	eng := engine.New(frameRecv(fanIn(roundCtx, conn)))
+	eng := engine.New(engine.TransportSource(roundCtx, conn))
 	collect := func(name string, tag int, expect []uint64,
 		decode func(m engine.Msg) (any, error), apply func(from uint64, body any) error) error {
 		_, err := eng.Collect(roundCtx, engine.Stage{

@@ -1,6 +1,6 @@
-// Package engine is the concurrent round engine shared by the protocol
-// drivers: deadline-bounded, streaming collection of one stage's messages
-// at a time.
+// Package engine is the concurrent round engine shared by every protocol
+// driver in the repository: deadline-bounded, streaming collection of one
+// stage's messages at a time.
 //
 // The paper's central systems claim (§4.1, Appendix C schedule) is that
 // aggregation latency hides when stage work is pipelined rather than
@@ -8,16 +8,22 @@
 // instead of buffering a whole stage's messages and then decoding and
 // aggregating them in one barrier, Collect admits messages as they
 // arrive, decodes them concurrently across a bounded worker pool, and
-// feeds an incremental per-message sink (secagg.Server's Add* methods)
-// behind a pipeline.Gate, which serializes the sink in admission order
-// while the next arrivals are still being decoded. A 64-client masked-
-// input stage therefore costs collection time plus an O(1) tail merge,
-// not collection time plus n decodes plus n vector adds.
+// feeds an incremental per-message sink (the Add* methods of
+// secagg.Server and lightsecagg.Server) behind a pipeline.Gate, which
+// serializes the sink in admission order while the next arrivals are
+// still being decoded. A 64-client masked-input stage therefore costs
+// collection time plus an O(1) tail merge, not collection time plus n
+// decodes plus n vector adds.
 //
 // The engine is protocol-agnostic: message bodies are opaque (raw frame
 // payloads on the wire, typed messages in-process), and the stage spec
-// supplies the decode and apply steps. Both core.RunWireServer and
-// secagg.Run drive their rounds through it.
+// supplies the decode and apply steps. All four round drivers run on it —
+// core.RunWireServer and lightsecagg.RunWireServer over a real transport
+// (via TransportSource), secagg.Run and lightsecagg.Run in-process with
+// clients as goroutines. Stages that need any-K-of-N completion rather
+// than all-of-N (LightSecAgg's one-shot recovery accepts any U aggregate
+// shares) set Stage.Quorum. See ARCHITECTURE.md for how the engine maps
+// onto the paper's pipeline stages.
 package engine
 
 import (
@@ -27,6 +33,7 @@ import (
 	"time"
 
 	"repro/internal/pipeline"
+	"repro/internal/transport"
 )
 
 // Msg is one protocol message offered to the engine. Body is opaque: the
@@ -56,6 +63,13 @@ type Stage struct {
 	// Messages from other senders are discarded; duplicates from an
 	// admitted sender are discarded (replay idempotence).
 	Expect []uint64
+	// Quorum, when positive, completes the stage as soon as that many
+	// expected senders were admitted instead of waiting for all of them —
+	// the any-K-of-N collection LightSecAgg's one-shot recovery needs
+	// (any U aggregate shares reconstruct the mask sum; waiting for every
+	// survivor would add a straggler tail for no protocol benefit). 0
+	// means all of Expect.
+	Quorum int
 	// Deadline bounds the collection. The stage ends when every expected
 	// sender was admitted or the deadline fires, whichever is first; ≤0
 	// means the stage is bounded only by ctx (in-process rounds, where
@@ -149,7 +163,11 @@ func (e *Engine) Collect(ctx context.Context, s Stage) ([]uint64, error) {
 		return firstErr != nil
 	}
 
-	for len(seen) < len(want) {
+	target := len(want)
+	if s.Quorum > 0 && s.Quorum < target {
+		target = s.Quorum
+	}
+	for len(seen) < target {
 		m, err := e.recv(ctx)
 		if err != nil {
 			break // deadline or abort: proceed with what we have
@@ -194,4 +212,40 @@ func (e *Engine) Collect(ctx context.Context, s Stage) ([]uint64, error) {
 	err := firstErr
 	errMu.Unlock()
 	return admitted, err
+}
+
+// TransportSource adapts a transport server endpoint to the engine's
+// message source: a fan-in goroutine drains the connection into a
+// buffered channel for the round's whole lifetime, so slow stage
+// processing (decode pool full, apply in progress) never backpressures
+// the transport mid-collection. ctx must span the round; cancelling it
+// stops the fan-in. Both wire drivers (core and lightsecagg) build their
+// engines on this source.
+func TransportSource(ctx context.Context, conn transport.ServerConn) RecvFunc {
+	frames := make(chan transport.Frame, 256)
+	go func() {
+		defer close(frames)
+		for {
+			f, err := conn.Recv(ctx)
+			if err != nil {
+				return // round over (ctx) or endpoint closed
+			}
+			select {
+			case frames <- f:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+	return func(ctx context.Context) (Msg, error) {
+		select {
+		case f, ok := <-frames:
+			if !ok {
+				return Msg{}, transport.ErrClosed
+			}
+			return Msg{From: f.From, Stage: f.Stage, Body: f.Payload}, nil
+		case <-ctx.Done():
+			return Msg{}, ctx.Err()
+		}
+	}
 }

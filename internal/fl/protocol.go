@@ -25,3 +25,44 @@ func RecommendedProtocol(n int) (core.Protocol, int) {
 	}
 	return core.ProtocolSecAgg, 0
 }
+
+// LightSecAgg recommendation bounds. The baseline's trade (§2.3.2): its
+// one-shot recovery makes dropout handling O(1) — one aggregate-mask
+// interpolation regardless of how many clients vanished — where the
+// secagg substrates pay one Shamir reconstruction per dropped client; in
+// exchange every client ships n/(2t−n) extra field elements of offline
+// share traffic per model parameter, linear in the model.
+const (
+	// LightSecAggMinDropoutFrac is the expected mid-round dropout
+	// fraction above which the per-dropout reconstruction cost of the
+	// secagg substrates starts to dominate and one-shot recovery pays.
+	LightSecAggMinDropoutFrac = 0.2
+	// LightSecAggMaxShareExpansion caps the tolerable offline share
+	// traffic, in field elements per model parameter (n/(2t−n) under the
+	// symmetric LightSecAgg instantiation core.RunRound uses).
+	LightSecAggMaxShareExpansion = 16
+)
+
+// RecommendedProtocolUnderDropout extends RecommendedProtocol's auto rule
+// with the LightSecAgg baseline: for a round over n sampled clients with
+// recovery threshold t and an expected mid-round dropout fraction, it
+// returns core.ProtocolLightSecAgg when dropout pressure is high enough
+// that one-shot aggregate-mask recovery beats per-dropout Shamir
+// reconstruction (≥ LightSecAggMinDropoutFrac), the expected dropouts fit
+// LightSecAgg's tolerance D = n − t, and the offline share expansion
+// n/(2t−n) stays within LightSecAggMaxShareExpansion. Otherwise it falls
+// back to RecommendedProtocol(n). This is the resolution layer through
+// which auto-configured rounds consider lightsecagg — core.ProtocolAuto
+// itself never resolves there, because the choice needs the dropout
+// forecast that only the deployment (this layer) has.
+func RecommendedProtocolUnderDropout(n, threshold int, dropoutFrac float64) (core.Protocol, int) {
+	parts := 2*threshold - n // U − T of the symmetric instantiation
+	feasible := threshold >= 2 && parts > 0 &&
+		dropoutFrac <= float64(n-threshold)/float64(n)
+	if feasible &&
+		dropoutFrac >= LightSecAggMinDropoutFrac &&
+		n <= LightSecAggMaxShareExpansion*parts {
+		return core.ProtocolLightSecAgg, 0
+	}
+	return RecommendedProtocol(n)
+}

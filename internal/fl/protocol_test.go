@@ -27,3 +27,34 @@ func TestRecommendedProtocolSwitch(t *testing.T) {
 		}
 	}
 }
+
+// TestRecommendedProtocolUnderDropout pins the LightSecAgg consideration
+// layer: heavy expected dropout with an affordable share expansion picks
+// the one-shot-recovery baseline; low dropout, infeasible thresholds, or
+// share traffic beyond the cap fall back to the secagg-family rule.
+func TestRecommendedProtocolUnderDropout(t *testing.T) {
+	// 64 clients, t = 48: expansion n/(2t−n) = 2, D = 16 tolerated.
+	if p, deg := RecommendedProtocolUnderDropout(64, 48, 0.25); p != core.ProtocolLightSecAgg || deg != 0 {
+		t.Fatalf("heavy dropout: got (%v, %d), want (lightsecagg, 0)", p, deg)
+	}
+	// Below the dropout pressure bound: secagg-family fallback.
+	if p, _ := RecommendedProtocolUnderDropout(64, 48, 0.05); p != core.ProtocolSecAggPlus {
+		t.Fatalf("light dropout: got %v, want secagg+ fallback", p)
+	}
+	// Expected dropouts exceed LightSecAgg's tolerance D = n − t.
+	if p, _ := RecommendedProtocolUnderDropout(64, 48, 0.5); p != core.ProtocolSecAggPlus {
+		t.Fatalf("dropout beyond tolerance: got %v, want secagg+ fallback", p)
+	}
+	// Threshold at n/2 leaves no coded data pieces — infeasible.
+	if p, _ := RecommendedProtocolUnderDropout(64, 32, 0.25); p != core.ProtocolSecAggPlus {
+		t.Fatalf("infeasible threshold: got %v, want secagg+ fallback", p)
+	}
+	// Share expansion beyond the cap: n/(2t−n) = 500/20 = 25 > 16.
+	if p, _ := RecommendedProtocolUnderDropout(500, 260, 0.25); p != core.ProtocolSecAggPlus {
+		t.Fatalf("share blowup: got %v, want secagg+ fallback", p)
+	}
+	// Small sampled sets fall back to classic SecAgg, as before.
+	if p, _ := RecommendedProtocolUnderDropout(8, 5, 0.05); p != core.ProtocolSecAgg {
+		t.Fatalf("small n: got %v, want secagg fallback", p)
+	}
+}

@@ -33,6 +33,39 @@
 //
 // All arithmetic is over GF(2^61−1) (package field); signed model updates
 // embed via Lift/Center.
+//
+// # Runtime architecture
+//
+// Since the round-engine unification (see ARCHITECTURE.md) this package is
+// structured exactly like its SecAgg sibling:
+//
+//   - Client is a per-round state machine (Advertise → SealShares →
+//     OpenEnvelopes → MaskedInput → AggregateShare) driven identically by
+//     the in-process driver (Run/RunWithSessions, clients as goroutines)
+//     and the wire driver (RunWireClient). Coded shares always travel
+//     inside pairwise AEAD envelopes, in-process too, so both drivers
+//     exercise the same crypto path.
+//   - Server exposes incremental per-message Add*/Seal* collection
+//     surfaces (AddAdvertise, AddShareBundle, AddMasked, AddAggShare, and
+//     the matching Seal* closers) mirroring secagg.Server. Masked inputs
+//     fold into a running partial aggregate on arrival, so sealing the
+//     masked stage is an O(1) threshold check plus sort — not n decodes
+//     plus n length-d vector adds — and the server never retains the
+//     n·d masked matrix, only the d-length running sum.
+//   - Both drivers collect stages through internal/engine: deadline-
+//     bounded streaming admission, concurrent decode on a bounded worker
+//     pool, applies serialized in admission order. The one-shot recovery
+//     stage sets engine.Stage.Quorum = U, completing as soon as any U
+//     aggregate shares arrive instead of waiting out stragglers.
+//   - Session/ServerSession (session.go) amortize the fixed round costs —
+//     X25519 channel agreements, the Lagrange encoding matrix, the
+//     recovery interpolation weights, and the advertise round trip — across
+//     the chunks of one pipelined round and across consecutive rounds,
+//     plugged into core.RunRound's SessionPool.
+//   - The volume payloads (masked models, sealed share envelopes,
+//     aggregate shares, the result broadcast) use the binary wire codec in
+//     codec.go, following core/codec.go's magic/tag layout; only the
+//     low-rate control messages (roster, survivor set) stay on gob.
 package lightsecagg
 
 import (
@@ -40,6 +73,7 @@ import (
 	"io"
 	"sort"
 
+	"repro/internal/aead"
 	"repro/internal/field"
 )
 
@@ -49,6 +83,13 @@ type Config struct {
 	PrivacyT  int      // T: colluding clients tolerated
 	Dropout   int      // D: dropouts tolerated
 	Dim       int      // input vector length d
+	// Round domain-separates the AEAD envelopes of this (sub-)round.
+	// Sessions make channel keys long-lived, so without it a malicious
+	// relay could replay a stale envelope from an earlier chunk or round
+	// under the same key and AD, silently corrupting the recipient's
+	// share table. Drivers running several sub-rounds on one session set
+	// (core.RunRound's chunks) must give each a distinct Round.
+	Round uint64
 }
 
 // Validate checks the LightSecAgg feasibility constraints: n − D > T ≥ 1
@@ -144,28 +185,91 @@ func lagrangeWeightsAt(xs []field.Element, x field.Element) ([]field.Element, er
 	return ws, nil
 }
 
-// Client is one participant's round state.
+// Protocol messages. Drivers carry these typed in-process and through the
+// binary codec (codec.go) on the wire.
+
+// AdvertiseMsg is the stage-0 channel-key advertisement.
+type AdvertiseMsg struct {
+	From uint64
+	Pub  []byte // X25519 channel public key
+}
+
+// Envelope is one AEAD-sealed coded share in transit. On the uplink, From
+// is the sealing client and To the addressee; the server re-stamps From
+// with the transport-verified origin before relaying, so a malicious peer
+// cannot spoof the sender (the AEAD associated data binds the route too).
+type Envelope struct {
+	From, To   uint64
+	Ciphertext []byte
+}
+
+// MaskedMsg is the stage-2 masked upload y_i = x_i + z_i.
+type MaskedMsg struct {
+	From uint64
+	Y    []field.Element
+}
+
+// AggShareMsg is the one-shot recovery response s_j = Σ_{i∈U₁} f_i(α_j).
+type AggShareMsg struct {
+	From uint64
+	S    []field.Element
+}
+
+// routeAD binds an envelope's round and (sender, recipient) route into
+// the AEAD associated data, so the relaying server can neither re-route
+// an envelope nor replay one from an earlier chunk or round of the same
+// session undetected.
+func routeAD(round, from, to uint64) []byte {
+	return []byte(fmt.Sprintf("lsa/%d/%d/%d", round, from, to))
+}
+
+// Client is one participant's round state machine. Its stage methods are
+// driven identically by the in-process driver (run.go) and the wire driver
+// (wire.go); see the package comment for the stage order.
 type Client struct {
-	cfg  Config
-	id   uint64
+	cfg     Config
+	id      uint64
+	session *Session  // channel key + caches; private ephemeral when the caller passed nil
+	rand    io.Reader // AEAD nonce randomness
+
 	mask []field.Element // z_i, PaddedDim long
 
 	// pieces are the U coded inputs: U−T mask sub-vectors then T noise
 	// sub-vectors, each SubVectorLen long.
 	pieces [][]field.Element
 
+	// roster maps peer id → channel public key once SealShares ran.
+	roster map[uint64][]byte
+
 	// received accumulates f_i(α_self) from every client i (including
 	// self).
 	received map[uint64][]field.Element
 }
 
-// NewClient draws the mask and coding noise from rand.
+// NewClient draws the mask and coding noise from rand with a fresh
+// ephemeral channel key (no cross-round session).
 func NewClient(cfg Config, id uint64, rand io.Reader) (*Client, error) {
+	return NewSessionClient(cfg, id, rand, nil)
+}
+
+// NewSessionClient is NewClient with an optional key-agreement session:
+// when sess is non-nil, the client advertises the session's long-lived
+// channel key and reuses its cached pairwise secrets and encoding matrix
+// instead of paying X25519 agreement and Lagrange weight computation per
+// round. The mask and coding noise are always drawn fresh — they are
+// one-time pads revealed in aggregate.
+func NewSessionClient(cfg Config, id uint64, rand io.Reader, sess *Session) (*Client, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
 	if _, err := cfg.rank(id); err != nil {
 		return nil, err
+	}
+	if sess == nil {
+		var err error
+		if sess, err = NewSession(rand); err != nil {
+			return nil, err
+		}
 	}
 	l := cfg.SubVectorLen()
 	u := cfg.RecoveryThreshold()
@@ -189,6 +293,8 @@ func NewClient(cfg Config, id uint64, rand io.Reader) (*Client, error) {
 	return &Client{
 		cfg:      cfg,
 		id:       id,
+		session:  sess,
+		rand:     rand,
 		mask:     mask,
 		pieces:   pieces,
 		received: make(map[uint64][]field.Element, len(cfg.ClientIDs)),
@@ -206,16 +312,24 @@ func fillUniform(rand io.Reader, out []field.Element) error {
 	return nil
 }
 
+// Advertise returns the stage-0 channel-key advertisement.
+func (c *Client) Advertise() AdvertiseMsg {
+	return AdvertiseMsg{From: c.id, Pub: c.session.PublicBytes()}
+}
+
 // EncodeShares returns the coded mask share f_i(α_j) for every client j
-// (including self) — the offline-sharing message of step 1.
+// (including self) — the plaintext of the offline-sharing message of step
+// 1. Wire and in-process drivers seal these via SealShares; the plaintext
+// form is exported for white-box tests and the cost model.
 func (c *Client) EncodeShares() (map[uint64][]field.Element, error) {
+	enc, err := c.session.matrix(c.cfg)
+	if err != nil {
+		return nil, err
+	}
 	l := c.cfg.SubVectorLen()
 	out := make(map[uint64][]field.Element, len(c.cfg.ClientIDs))
 	for rank, id := range c.cfg.ClientIDs {
-		ws, err := c.cfg.lagrangeWeights(c.cfg.alpha(rank))
-		if err != nil {
-			return nil, err
-		}
+		ws := enc.w[rank]
 		share := make([]field.Element, l)
 		for k, w := range ws {
 			piece := c.pieces[k]
@@ -226,6 +340,90 @@ func (c *Client) EncodeShares() (map[uint64][]field.Element, error) {
 		out[id] = share
 	}
 	return out, nil
+}
+
+// SealShares validates the stage-0 roster, remembers the peers' channel
+// keys, and returns one AEAD envelope per peer carrying that peer's coded
+// share — the step-1 upload. The associated data binds sender and
+// recipient so the relaying server cannot re-route envelopes undetected.
+func (c *Client) SealShares(roster []AdvertiseMsg) ([]Envelope, error) {
+	if err := c.installRoster(roster); err != nil {
+		return nil, err
+	}
+	shares, err := c.EncodeShares()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Envelope, 0, len(shares))
+	for _, to := range c.cfg.ClientIDs {
+		pub, ok := c.roster[to]
+		if !ok {
+			return nil, fmt.Errorf("lightsecagg: no channel key for peer %d", to)
+		}
+		key, err := c.session.channelKey(pub)
+		if err != nil {
+			return nil, err
+		}
+		pt := encodeShareVector(shares[to])
+		ct, err := aead.Seal(key, c.rand, pt, routeAD(c.cfg.Round, c.id, to))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Envelope{From: c.id, To: to, Ciphertext: ct})
+	}
+	return out, nil
+}
+
+// installRoster records the peers' channel public keys. Every sampled
+// client must be present: the offline sharing phase needs the full set
+// (the §6.1 dropout model has clients vanish later).
+func (c *Client) installRoster(roster []AdvertiseMsg) error {
+	pubs := make(map[uint64][]byte, len(roster))
+	for _, m := range roster {
+		if _, err := c.cfg.rank(m.From); err != nil {
+			return err
+		}
+		if _, dup := pubs[m.From]; dup {
+			return fmt.Errorf("lightsecagg: duplicate roster entry for %d", m.From)
+		}
+		pubs[m.From] = m.Pub
+	}
+	if len(pubs) != len(c.cfg.ClientIDs) {
+		return fmt.Errorf("lightsecagg: roster covers %d/%d clients", len(pubs), len(c.cfg.ClientIDs))
+	}
+	c.roster = pubs
+	return nil
+}
+
+// OpenEnvelopes unseals the envelopes addressed to this client (origin
+// stamped by the server) and stores the carried shares. It must run after
+// SealShares (which installs the roster).
+func (c *Client) OpenEnvelopes(envs []Envelope) error {
+	if c.roster == nil {
+		return fmt.Errorf("lightsecagg: OpenEnvelopes before SealShares")
+	}
+	for _, env := range envs {
+		pub, ok := c.roster[env.From]
+		if !ok {
+			return fmt.Errorf("lightsecagg: envelope from unknown peer %d", env.From)
+		}
+		key, err := c.session.channelKey(pub)
+		if err != nil {
+			return err
+		}
+		pt, err := aead.Open(key, env.Ciphertext, routeAD(c.cfg.Round, env.From, c.id))
+		if err != nil {
+			return fmt.Errorf("lightsecagg: envelope from %d failed authentication: %w", env.From, err)
+		}
+		share, err := decodeShareVector(pt)
+		if err != nil {
+			return fmt.Errorf("lightsecagg: envelope from %d: %w", env.From, err)
+		}
+		if err := c.ReceiveShare(env.From, share); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // ReceiveShare stores client from's coded share addressed to this client.
@@ -270,108 +468,302 @@ func (c *Client) AggregateShare(survivors []uint64) ([]field.Element, error) {
 	return out, nil
 }
 
-// Server is the aggregator's round state.
+// Server is the aggregator's round state machine. Mirroring secagg.Server,
+// it exposes two equivalent collection surfaces per stage:
+//
+//   - incremental: AddAdvertise/AddShareBundle/AddMasked/AddAggShare
+//     ingest one message on arrival (envelope routing and partial
+//     masked-input accumulation happen immediately), and the per-stage
+//     Seal* methods close the stage, enforce the threshold, and emit the
+//     next broadcast. This is what the streaming round engine drives: by
+//     the time a stage's last message arrives, the per-message work is
+//     already done and Seal is an O(1) (or O(U)) tail. The server never
+//     materializes the n×d masked matrix — arrivals fold into one
+//     d-length running sum.
+//   - batch: CollectMasked and Reconstruct are thin wrappers kept for
+//     white-box tests and non-streaming callers.
+//
+// Methods must be called in stage order. A Server is not safe for
+// concurrent use; the round engine serializes Add* calls in admission
+// order (engine.Stage.Apply contract).
 type Server struct {
-	cfg    Config
-	masked map[uint64][]field.Element
+	cfg     Config
+	session *ServerSession // may be nil: no cross-round caching
+
+	roster map[uint64][]byte // stage 0: id → channel pub
+	outbox map[uint64][]Envelope
+	shared map[uint64]struct{} // stage-1 senders
+
+	// Streaming masked-input aggregation: arrivals fold into maskedSum on
+	// admission; survivors is fixed by SealMasked.
+	maskedSet map[uint64]struct{}
+	maskedSum []field.Element
+	survivors []uint64
+
+	// One-shot recovery state: shares in admission order.
+	aggShares map[uint64][]field.Element
+	aggOrder  []uint64
 }
 
-// NewServer validates the config.
+// NewServer validates the config (no cross-round session).
 func NewServer(cfg Config) (*Server, error) {
+	return NewSessionServer(cfg, nil)
+}
+
+// NewSessionServer is NewServer with an optional server session: when sess
+// is non-nil, the recovery interpolation weights are cached across the
+// sub-rounds sharing the session, and a cached roster lets InstallRoster
+// skip the advertise stage.
+func NewSessionServer(cfg Config, sess *ServerSession) (*Server, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	return &Server{cfg: cfg, masked: make(map[uint64][]field.Element)}, nil
+	return &Server{cfg: cfg, session: sess}, nil
 }
 
-// CollectMasked stores a client's masked input.
-func (s *Server) CollectMasked(id uint64, y []field.Element) error {
-	if _, err := s.cfg.rank(id); err != nil {
+// AddAdvertise ingests one stage-0 channel-key advertisement on arrival.
+func (s *Server) AddAdvertise(m AdvertiseMsg) error {
+	if s.roster == nil {
+		s.roster = make(map[uint64][]byte, len(s.cfg.ClientIDs))
+	}
+	if _, err := s.cfg.rank(m.From); err != nil {
 		return err
 	}
-	if len(y) != s.cfg.Dim {
-		return fmt.Errorf("lightsecagg: masked input length %d, want %d", len(y), s.cfg.Dim)
+	if _, dup := s.roster[m.From]; dup {
+		return fmt.Errorf("lightsecagg: duplicate advertisement from %d", m.From)
 	}
-	s.masked[id] = y
+	s.roster[m.From] = m.Pub
 	return nil
 }
 
+// SealAdvertise closes stage 0 and returns the roster broadcast. The
+// offline sharing phase needs every sampled client, so a partial roster
+// aborts the round.
+func (s *Server) SealAdvertise() ([]AdvertiseMsg, error) {
+	if len(s.roster) < len(s.cfg.ClientIDs) {
+		return nil, fmt.Errorf("lightsecagg: only %d/%d clients advertised keys",
+			len(s.roster), len(s.cfg.ClientIDs))
+	}
+	return s.rosterBroadcast(), nil
+}
+
+// InstallRoster seeds the stage-0 state from a cached roster instead of
+// collecting advertisements — the session-resumed skippable advertise
+// stage. The roster must come from a previously sealed advertise stage
+// over the same client set and key generation.
+func (s *Server) InstallRoster(roster []AdvertiseMsg) error {
+	if s.roster != nil {
+		return fmt.Errorf("lightsecagg: advertise stage already started")
+	}
+	for _, m := range roster {
+		if err := s.AddAdvertise(m); err != nil {
+			return err
+		}
+	}
+	_, err := s.SealAdvertise()
+	return err
+}
+
+func (s *Server) rosterBroadcast() []AdvertiseMsg {
+	out := make([]AdvertiseMsg, 0, len(s.roster))
+	for _, id := range s.cfg.ClientIDs {
+		if pub, ok := s.roster[id]; ok {
+			out = append(out, AdvertiseMsg{From: id, Pub: pub})
+		}
+	}
+	return out
+}
+
+// AddShareBundle routes one sender's sealed envelopes into the recipients'
+// outboxes on arrival. The transport-verified origin from overrides
+// whatever sender the envelopes claim, so a malicious peer cannot spoof
+// (the AEAD associated data additionally binds the route).
+func (s *Server) AddShareBundle(from uint64, envs []Envelope) error {
+	if _, err := s.cfg.rank(from); err != nil {
+		return err
+	}
+	if s.shared == nil {
+		s.shared = make(map[uint64]struct{}, len(s.cfg.ClientIDs))
+		s.outbox = make(map[uint64][]Envelope, len(s.cfg.ClientIDs))
+	}
+	if _, dup := s.shared[from]; dup {
+		return fmt.Errorf("lightsecagg: duplicate share bundle from %d", from)
+	}
+	s.shared[from] = struct{}{}
+	for _, env := range envs {
+		if _, err := s.cfg.rank(env.To); err != nil {
+			return err
+		}
+		s.outbox[env.To] = append(s.outbox[env.To], Envelope{From: from, To: env.To, Ciphertext: env.Ciphertext})
+	}
+	return nil
+}
+
+// SealShareBundles closes stage 1 and returns each recipient's delivery.
+// Like the advertise stage, offline sharing needs every sampled client.
+func (s *Server) SealShareBundles() (map[uint64][]Envelope, error) {
+	if len(s.shared) < len(s.cfg.ClientIDs) {
+		return nil, fmt.Errorf("lightsecagg: only %d/%d clients shared masks",
+			len(s.shared), len(s.cfg.ClientIDs))
+	}
+	return s.outbox, nil
+}
+
+// AddMasked folds one masked input into the running partial aggregate on
+// arrival — the streaming counterpart of secagg.Server.AddMasked. By seal
+// time every admitted vector is already summed, so the stage close costs a
+// threshold check plus a survivor sort, and the server holds one d-length
+// sum instead of n masked vectors.
+func (s *Server) AddMasked(m MaskedMsg) error {
+	if _, err := s.cfg.rank(m.From); err != nil {
+		return err
+	}
+	if len(m.Y) != s.cfg.Dim {
+		return fmt.Errorf("lightsecagg: masked input length %d, want %d", len(m.Y), s.cfg.Dim)
+	}
+	if s.maskedSet == nil {
+		s.maskedSet = make(map[uint64]struct{}, len(s.cfg.ClientIDs))
+		s.maskedSum = make([]field.Element, s.cfg.Dim)
+	}
+	if _, dup := s.maskedSet[m.From]; dup {
+		return fmt.Errorf("lightsecagg: duplicate masked input from %d", m.From)
+	}
+	s.maskedSet[m.From] = struct{}{}
+	for i, y := range m.Y {
+		s.maskedSum[i] = field.Add(s.maskedSum[i], y)
+	}
+	return nil
+}
+
+// CollectMasked stores a client's masked input (batch wrapper over
+// AddMasked, kept for white-box tests and non-streaming callers).
+func (s *Server) CollectMasked(id uint64, y []field.Element) error {
+	return s.AddMasked(MaskedMsg{From: id, Y: y})
+}
+
+// SealMasked closes stage 2: it checks the recovery threshold and returns
+// the sorted surviving set for the stage-3 broadcast.
+func (s *Server) SealMasked() ([]uint64, error) {
+	u := s.cfg.RecoveryThreshold()
+	if len(s.maskedSet) < u {
+		return nil, fmt.Errorf("lightsecagg: only %d survivors, recovery threshold %d", len(s.maskedSet), u)
+	}
+	s.survivors = make([]uint64, 0, len(s.maskedSet))
+	for id := range s.maskedSet {
+		s.survivors = append(s.survivors, id)
+	}
+	sort.Slice(s.survivors, func(i, j int) bool { return s.survivors[i] < s.survivors[j] })
+	return s.survivors, nil
+}
+
 // Survivors returns the sorted ids that uploaded masked inputs; recovery
-// needs at least U of the *share responses*, checked in Reconstruct.
+// needs at least U of the *share responses*, checked in SealAggShares.
 func (s *Server) Survivors() []uint64 {
-	out := make([]uint64, 0, len(s.masked))
-	for id := range s.masked {
+	if s.survivors != nil {
+		return s.survivors
+	}
+	out := make([]uint64, 0, len(s.maskedSet))
+	for id := range s.maskedSet {
 		out = append(out, id)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
 
-// Reconstruct performs the one-shot recovery: given aggregate shares s_j
-// from at least U live clients (keyed by responder id), it interpolates
-// Σ_{i∈survivors} z_i and returns Σ_{i∈survivors} x_i.
-func (s *Server) Reconstruct(aggShares map[uint64][]field.Element) ([]field.Element, error) {
-	survivors := s.Survivors()
+// AddAggShare ingests one one-shot recovery response on arrival,
+// preserving admission order: SealAggShares reconstructs from the first U
+// admitted responders, so with the engine's Quorum = U collection the
+// stage ends the moment enough shares arrived.
+func (s *Server) AddAggShare(m AggShareMsg) error {
+	if _, err := s.cfg.rank(m.From); err != nil {
+		return err
+	}
+	if len(m.S) != s.cfg.SubVectorLen() {
+		return fmt.Errorf("lightsecagg: aggregate share from %d has length %d, want %d",
+			m.From, len(m.S), s.cfg.SubVectorLen())
+	}
+	if s.aggShares == nil {
+		s.aggShares = make(map[uint64][]field.Element, s.cfg.RecoveryThreshold())
+	}
+	if _, dup := s.aggShares[m.From]; dup {
+		return fmt.Errorf("lightsecagg: duplicate aggregate share from %d", m.From)
+	}
+	s.aggShares[m.From] = m.S
+	s.aggOrder = append(s.aggOrder, m.From)
+	return nil
+}
+
+// SealAggShares performs the one-shot recovery from the first U admitted
+// responders: it interpolates Σ_{i∈survivors} z_i at the data points
+// (reusing the session's cached interpolation weights when the same
+// responder cohort recurs across chunks) and returns Σ x_i = Σ y_i − Σ z_i.
+func (s *Server) SealAggShares() ([]field.Element, error) {
+	if s.survivors == nil {
+		if _, err := s.SealMasked(); err != nil {
+			return nil, err
+		}
+	}
 	u := s.cfg.RecoveryThreshold()
-	if len(survivors) < u {
-		return nil, fmt.Errorf("lightsecagg: only %d survivors, recovery threshold %d", len(survivors), u)
+	if len(s.aggOrder) < u {
+		return nil, fmt.Errorf("lightsecagg: only %d share responses, need %d", len(s.aggOrder), u)
+	}
+	// The first U admitted responders form the cohort; sorting them makes
+	// it canonical (the interpolation is order-independent as long as
+	// weights and shares stay aligned), so chunks whose shares merely
+	// arrived in a different order hit the session's weight cache.
+	responders := append([]uint64(nil), s.aggOrder[:u]...)
+	sort.Slice(responders, func(i, j int) bool { return responders[i] < responders[j] })
+
+	ws, err := s.session.recoveryWeights(s.cfg, responders)
+	if err != nil {
+		return nil, err
+	}
+	l := s.cfg.SubVectorLen()
+	parts := u - s.cfg.PrivacyT
+	maskSum := make([]field.Element, parts*l)
+	for k := 0; k < parts; k++ {
+		row := ws[k]
+		for i, id := range responders {
+			w := row[i]
+			share := s.aggShares[id]
+			for t := 0; t < l; t++ {
+				idx := k*l + t
+				maskSum[idx] = field.Add(maskSum[idx], field.Mul(w, share[t]))
+			}
+		}
+	}
+
+	// Σ x = Σ y − Σ z. The masked inputs were already folded on arrival.
+	out := make([]field.Element, s.cfg.Dim)
+	for i := range out {
+		out[i] = field.Sub(s.maskedSum[i], maskSum[i])
+	}
+	return out, nil
+}
+
+// Reconstruct performs the one-shot recovery from a batch of aggregate
+// shares keyed by responder id (batch wrapper over AddAggShare and
+// SealAggShares; it feeds shares in ascending id order, so like the
+// historical implementation it reconstructs from the U lowest responders).
+func (s *Server) Reconstruct(aggShares map[uint64][]field.Element) ([]field.Element, error) {
+	u := s.cfg.RecoveryThreshold()
+	if len(s.Survivors()) < u {
+		return nil, fmt.Errorf("lightsecagg: only %d survivors, recovery threshold %d", len(s.Survivors()), u)
 	}
 	if len(aggShares) < u {
 		return nil, fmt.Errorf("lightsecagg: only %d share responses, need %d", len(aggShares), u)
 	}
-	// Deterministically pick the U lowest responder ids.
 	responders := make([]uint64, 0, len(aggShares))
 	for id := range aggShares {
 		responders = append(responders, id)
 	}
 	sort.Slice(responders, func(i, j int) bool { return responders[i] < responders[j] })
-	responders = responders[:u]
-
-	l := s.cfg.SubVectorLen()
-	xs := make([]field.Element, u)
-	ys := make([][]field.Element, u)
-	for i, id := range responders {
-		rank, err := s.cfg.rank(id)
-		if err != nil {
+	for _, id := range responders {
+		if err := s.AddAggShare(AggShareMsg{From: id, S: aggShares[id]}); err != nil {
 			return nil, err
 		}
-		share := aggShares[id]
-		if len(share) != l {
-			return nil, fmt.Errorf("lightsecagg: aggregate share from %d has length %d, want %d", id, len(share), l)
-		}
-		xs[i] = s.cfg.alpha(rank)
-		ys[i] = share
 	}
-
-	// Interpolate the aggregate polynomial at the U−T data points.
-	parts := u - s.cfg.PrivacyT
-	maskSum := make([]field.Element, parts*l)
-	for k := 0; k < parts; k++ {
-		ws, err := lagrangeWeightsAt(xs, s.cfg.beta(k+1))
-		if err != nil {
-			return nil, err
-		}
-		for i := range xs {
-			w := ws[i]
-			for t := 0; t < l; t++ {
-				idx := k*l + t
-				maskSum[idx] = field.Add(maskSum[idx], field.Mul(w, ys[i][t]))
-			}
-		}
-	}
-
-	// Σ x = Σ y − Σ z.
-	out := make([]field.Element, s.cfg.Dim)
-	for _, id := range survivors {
-		y := s.masked[id]
-		for i := range out {
-			out[i] = field.Add(out[i], y[i])
-		}
-	}
-	for i := range out {
-		out[i] = field.Sub(out[i], maskSum[i])
-	}
-	return out, nil
+	return s.SealAggShares()
 }
 
 // Lift embeds a signed integer into the field (negative values wrap to
@@ -391,74 +783,4 @@ func Center(e field.Element) int64 {
 		return -int64(p - v)
 	}
 	return int64(v)
-}
-
-// Run executes one full round in-process with dropout injection. Clients
-// in dropsBeforeUpload complete offline sharing but never upload;
-// clients in dropsBeforeRecovery upload but never answer the recovery
-// request. Returns the sum over clients that uploaded.
-func Run(cfg Config, inputs map[uint64][]field.Element,
-	dropsBeforeUpload, dropsBeforeRecovery map[uint64]bool, rand io.Reader) ([]field.Element, error) {
-
-	if err := cfg.Validate(); err != nil {
-		return nil, err
-	}
-	clients := make(map[uint64]*Client, len(cfg.ClientIDs))
-	for _, id := range cfg.ClientIDs {
-		if _, ok := inputs[id]; !ok {
-			return nil, fmt.Errorf("lightsecagg: no input for client %d", id)
-		}
-		c, err := NewClient(cfg, id, rand)
-		if err != nil {
-			return nil, err
-		}
-		clients[id] = c
-	}
-
-	// Step 1: offline sharing (everyone participates — the §6.1 dropout
-	// model has clients vanish after sampling but before upload).
-	for _, from := range cfg.ClientIDs {
-		shares, err := clients[from].EncodeShares()
-		if err != nil {
-			return nil, err
-		}
-		for to, share := range shares {
-			if err := clients[to].ReceiveShare(from, share); err != nil {
-				return nil, err
-			}
-		}
-	}
-
-	// Step 2: masked upload.
-	server, err := NewServer(cfg)
-	if err != nil {
-		return nil, err
-	}
-	for _, id := range cfg.ClientIDs {
-		if dropsBeforeUpload[id] {
-			continue
-		}
-		y, err := clients[id].MaskedInput(inputs[id])
-		if err != nil {
-			return nil, err
-		}
-		if err := server.CollectMasked(id, y); err != nil {
-			return nil, err
-		}
-	}
-
-	// Step 3: one-shot recovery from clients alive at recovery time.
-	survivors := server.Survivors()
-	aggShares := make(map[uint64][]field.Element)
-	for _, id := range survivors {
-		if dropsBeforeRecovery[id] {
-			continue
-		}
-		s, err := clients[id].AggregateShare(survivors)
-		if err != nil {
-			return nil, err
-		}
-		aggShares[id] = s
-	}
-	return server.Reconstruct(aggShares)
 }

@@ -1,0 +1,335 @@
+package lightsecagg
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sync"
+
+	"repro/internal/aead"
+	"repro/internal/dh"
+	"repro/internal/field"
+)
+
+// Session amortization for LightSecAgg, mirroring secagg.Session. The
+// fixed per-round costs this layer removes from repeated rounds (and from
+// the m chunks of one pipelined core.RunRound):
+//
+//   - X25519 channel agreements: sealing/opening coded-share envelopes
+//     needs one pairwise secret per peer; historically every round (and
+//     every chunk) re-generated the key pair and re-agreed n times per
+//     client. The session caches one key pair and the per-peer secrets.
+//   - The Lagrange encoding matrix: EncodeShares evaluates U basis
+//     weights at each of n points — O(n·U²) field ops per client per
+//     round, identical across rounds with the same geometry. Cached once
+//     per session.
+//   - The recovery interpolation weights: the server's one-shot recovery
+//     computes (U−T)·U weights per responder cohort; chunked rounds see
+//     the same cohort every chunk. Cached keyed by cohort.
+//   - The advertise round trip: a cached roster lets resumed rounds skip
+//     stage 0 entirely (both drivers support the skip).
+//
+// Threat model: unlike SecAgg, LightSecAgg's server never reconstructs any
+// client key material — dropout handling interpolates the *aggregate*
+// mask, and the per-round masks are fresh uniform one-time pads drawn
+// outside the session. Reusing the channel key generation across rounds
+// therefore leaks nothing new to the honest-but-curious server; the only
+// cost of long-lived channel keys is the generic absence of forward
+// secrecy for share confidentiality against endpoint-state compromise
+// (see ARCHITECTURE.md for the comparison with the secagg ratchet rules).
+type Session struct {
+	key *dh.KeyPair // X25519 channel key advertised in stage 0
+
+	mu      sync.Mutex
+	channel map[string][dh.SharedSize]byte // peer channel pub → agreed secret
+	roster  []AdvertiseMsg                 // cached stage-0 roster (advertise skip)
+	enc     *encodingMatrix                // cached Lagrange encoding matrix
+}
+
+// NewSession generates the session's channel key pair with randomness
+// from rand.
+func NewSession(rand io.Reader) (*Session, error) {
+	key, err := dh.Generate(rand)
+	if err != nil {
+		return nil, err
+	}
+	return &Session{
+		key:     key,
+		channel: make(map[string][dh.SharedSize]byte),
+	}, nil
+}
+
+// PublicBytes returns the session's advertised channel public key.
+func (s *Session) PublicBytes() []byte { return s.key.PublicBytes() }
+
+// channelKey returns the AEAD key shared with the peer identified by its
+// channel public key, agreeing on first use and caching the result. Safe
+// for concurrent use — the in-process driver runs clients as goroutines
+// over shared sessions.
+func (s *Session) channelKey(peerPub []byte) ([aead.KeySize]byte, error) {
+	k := string(peerPub)
+	s.mu.Lock()
+	sec, ok := s.channel[k]
+	s.mu.Unlock()
+	if ok {
+		return sec, nil
+	}
+	// Agreement runs outside the lock (it is the expensive part and
+	// deterministic, so a racing duplicate computes the identical value).
+	sec, err := s.key.Agree(peerPub)
+	if err != nil {
+		return sec, err
+	}
+	s.mu.Lock()
+	s.channel[k] = sec
+	s.mu.Unlock()
+	return sec, nil
+}
+
+// StoreRoster caches a stage-0 roster so a later round on the same
+// session can skip the advertise stage. The driver is responsible for
+// only storing rosters it obtained through a completed advertise stage.
+func (s *Session) StoreRoster(roster []AdvertiseMsg) {
+	cp := append([]AdvertiseMsg(nil), roster...)
+	s.mu.Lock()
+	s.roster = cp
+	s.mu.Unlock()
+}
+
+// Roster returns the cached stage-0 roster, or nil when none is stored.
+func (s *Session) Roster() []AdvertiseMsg {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.roster
+}
+
+// encodingMatrix holds the Lagrange basis weights w[rank][k] for
+// evaluating the share polynomial at every client point α_rank. It
+// depends only on the geometry (n, U), not on the client or the round.
+type encodingMatrix struct {
+	n, u int
+	w    [][]field.Element
+}
+
+func newEncodingMatrix(cfg Config) (*encodingMatrix, error) {
+	n := len(cfg.ClientIDs)
+	u := cfg.RecoveryThreshold()
+	m := &encodingMatrix{n: n, u: u, w: make([][]field.Element, n)}
+	for rank := 0; rank < n; rank++ {
+		ws, err := cfg.lagrangeWeights(cfg.alpha(rank))
+		if err != nil {
+			return nil, err
+		}
+		m.w[rank] = ws
+	}
+	return m, nil
+}
+
+// matrix returns the encoding matrix for cfg's geometry, computing it on
+// first use and caching it for the session's lifetime.
+func (s *Session) matrix(cfg Config) (*encodingMatrix, error) {
+	n := len(cfg.ClientIDs)
+	u := cfg.RecoveryThreshold()
+	s.mu.Lock()
+	enc := s.enc
+	s.mu.Unlock()
+	if enc != nil && enc.n == n && enc.u == u {
+		return enc, nil
+	}
+	enc, err := newEncodingMatrix(cfg)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	s.enc = enc
+	s.mu.Unlock()
+	return enc, nil
+}
+
+// ServerSession is the aggregator's cross-round state: the cached stage-0
+// roster (advertise skip) and the recovery interpolation weights keyed by
+// responder cohort — chunked rounds see the same cohort every chunk, so
+// the O(U²·(U−T)) weight computation runs once per cohort instead of once
+// per chunk. Safe for concurrent use. All methods are nil-receiver safe,
+// so the per-round Server calls them unconditionally.
+type ServerSession struct {
+	mu        sync.Mutex
+	roster    []AdvertiseMsg
+	rosterIDs []uint64
+	recovery  map[string][][]field.Element // cohort key → weights [parts][u]
+}
+
+// NewServerSession returns an empty server session.
+func NewServerSession() *ServerSession {
+	return &ServerSession{recovery: make(map[string][][]field.Element)}
+}
+
+// StoreRoster caches the sealed stage-0 roster together with the client
+// set it was sealed for.
+func (s *ServerSession) StoreRoster(roster []AdvertiseMsg, clientIDs []uint64) {
+	if s == nil {
+		return
+	}
+	r := append([]AdvertiseMsg(nil), roster...)
+	ids := append([]uint64(nil), clientIDs...)
+	s.mu.Lock()
+	s.roster, s.rosterIDs = r, ids
+	s.mu.Unlock()
+}
+
+// RosterFor returns the cached roster if it was sealed for exactly the
+// given client set, else nil.
+func (s *ServerSession) RosterFor(clientIDs []uint64) []AdvertiseMsg {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.roster == nil || !sameIDs(s.rosterIDs, clientIDs) {
+		return nil
+	}
+	return s.roster
+}
+
+// cohortKey identifies a recovery cohort by what the weights actually
+// depend on: the geometry (U, T) and the responders' *ranks* within the
+// client set (α_rank abscissas), in the order the weight columns follow.
+// Keying by rank rather than id keeps a session reused across rounds
+// with different rosters from serving stale weights — the same ids at
+// shifted ranks produce a different key — while rosters that merely
+// relabel clients at the same positions legitimately share entries.
+func cohortKey(cfg Config, ranks []int) string {
+	b := make([]byte, 0, 16+8*len(ranks))
+	b = binary.LittleEndian.AppendUint64(b, uint64(cfg.RecoveryThreshold()))
+	b = binary.LittleEndian.AppendUint64(b, uint64(cfg.PrivacyT))
+	for _, r := range ranks {
+		b = binary.LittleEndian.AppendUint64(b, uint64(r))
+	}
+	return string(b)
+}
+
+// recoveryWeights returns ws[k][i] = the Lagrange weight of responder i
+// for interpolating the aggregate polynomial at data point β_{k+1}, for
+// the given ordered responder cohort. With a session the cohort's weights
+// are computed once and reused across the chunks that see it again;
+// callers pass responders in canonical (sorted) order so arrival-order
+// jitter between chunks still hits the cache and the map stays bounded
+// by the number of distinct cohorts.
+func (s *ServerSession) recoveryWeights(cfg Config, responders []uint64) ([][]field.Element, error) {
+	u := cfg.RecoveryThreshold()
+	ranks := make([]int, len(responders))
+	for i, id := range responders {
+		rank, err := cfg.rank(id)
+		if err != nil {
+			return nil, err
+		}
+		ranks[i] = rank
+	}
+	var key string
+	if s != nil {
+		key = cohortKey(cfg, ranks)
+		s.mu.Lock()
+		ws, ok := s.recovery[key]
+		s.mu.Unlock()
+		if ok {
+			return ws, nil
+		}
+	}
+	xs := make([]field.Element, u)
+	for i, rank := range ranks {
+		xs[i] = cfg.alpha(rank)
+	}
+	parts := u - cfg.PrivacyT
+	ws := make([][]field.Element, parts)
+	for k := 0; k < parts; k++ {
+		row, err := lagrangeWeightsAt(xs, cfg.beta(k+1))
+		if err != nil {
+			return nil, err
+		}
+		ws[k] = row
+	}
+	if s != nil {
+		s.mu.Lock()
+		s.recovery[key] = ws
+		s.mu.Unlock()
+	}
+	return ws, nil
+}
+
+// RoundSessions bundles the per-participant sessions a driver shares
+// across the chunked sub-rounds of one logical round and across
+// consecutive rounds. Unlike secagg.RoundSessions there is no derivation-
+// point bookkeeping: every sub-round draws fresh uniform masks, so
+// session reuse cannot repeat a mask stream.
+type RoundSessions struct {
+	Client map[uint64]*Session
+	Server *ServerSession
+}
+
+// NewRoundSessions creates one client session per id (channel key
+// generation happens here, once per id instead of once per chunk) plus an
+// empty server session.
+func NewRoundSessions(ids []uint64, rand io.Reader) (*RoundSessions, error) {
+	rs := &RoundSessions{
+		Client: make(map[uint64]*Session, len(ids)),
+		Server: NewServerSession(),
+	}
+	for _, id := range ids {
+		s, err := NewSession(rand)
+		if err != nil {
+			return nil, fmt.Errorf("lightsecagg: session for client %d: %w", id, err)
+		}
+		rs.Client[id] = s
+	}
+	return rs, nil
+}
+
+// resumable reports whether the sessions can skip the advertise stage for
+// cfg: the server session holds a roster sealed for exactly cfg.ClientIDs
+// and every member has a live client session whose advertised key matches
+// the cached entry. (The offline phase needs every sampled client, so
+// there is no partial-roster resume.)
+func (rs *RoundSessions) resumable(cfg Config) bool {
+	if rs == nil {
+		return false
+	}
+	roster := rs.Server.RosterFor(cfg.ClientIDs)
+	if roster == nil || len(roster) != len(cfg.ClientIDs) {
+		return false
+	}
+	for i, m := range roster {
+		// Both ascending: rosterBroadcast follows ClientIDs order.
+		if m.From != cfg.ClientIDs[i] {
+			return false
+		}
+		sess := rs.Client[m.From]
+		if sess == nil || !sameBytes(sess.PublicBytes(), m.Pub) {
+			return false
+		}
+	}
+	return true
+}
+
+func sameIDs(a, b []uint64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func sameBytes(a, b []byte) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

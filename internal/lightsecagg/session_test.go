@@ -1,0 +1,286 @@
+package lightsecagg
+
+import (
+	"context"
+	"crypto/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/dh"
+	"repro/internal/transport"
+)
+
+// TestSessionsAmortizeAgreements: m sub-rounds on one session set perform
+// the X25519 work of one sub-round — key pairs generate once per client
+// and pairwise channel secrets agree once per (pair, direction) — while
+// session-less sub-rounds pay everything m times. Results stay exact.
+func TestSessionsAmortizeAgreements(t *testing.T) {
+	const subRounds = 3
+	cfg := testConfig(6, 2, 2, 24)
+	inputs, wantSum := makeInputs(cfg)
+
+	g0, a0 := dh.GenerateCount(), dh.AgreeCount()
+	for i := 0; i < subRounds; i++ {
+		got, err := RunWithSessions(cfg, inputs, nil, rng("fresh"), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkSum(t, got, wantSum(nil))
+	}
+	freshGens := dh.GenerateCount() - g0
+	freshAgrees := dh.AgreeCount() - a0
+
+	sess, err := NewRoundSessions(cfg.ClientIDs, rng("sess"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g0, a0 = dh.GenerateCount(), dh.AgreeCount()
+	for i := 0; i < subRounds; i++ {
+		got, err := RunWithSessions(cfg, inputs, nil, rng("shared"), sess)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkSum(t, got, wantSum(nil))
+	}
+	sharedGens := dh.GenerateCount() - g0
+	sharedAgrees := dh.AgreeCount() - a0
+
+	if sharedGens != 0 {
+		t.Errorf("shared sessions generated %d key pairs mid-round, want 0 (NewRoundSessions pre-generates)", sharedGens)
+	}
+	if freshGens != uint64(subRounds*len(cfg.ClientIDs)) {
+		t.Errorf("fresh path generated %d key pairs, want %d", freshGens, subRounds*len(cfg.ClientIDs))
+	}
+	// Fresh: every sub-round re-agrees everything. Shared: only the first
+	// sub-round agrees (subsequent ones hit the cache). Allow slack for
+	// concurrent duplicate cache fills (bounded, deterministic value).
+	if sharedAgrees*2 > freshAgrees {
+		t.Errorf("shared sessions agreed %d times vs %d fresh — no amortization", sharedAgrees, freshAgrees)
+	}
+}
+
+// TestSessionsSkipAdvertiseOnResume: the second in-process round on a
+// session set resumes from the cached roster — observable as zero
+// agreements and an identical exact sum.
+func TestSessionsSkipAdvertiseOnResume(t *testing.T) {
+	cfg := testConfig(5, 1, 1, 16)
+	inputs, wantSum := makeInputs(cfg)
+	sess, err := NewRoundSessions(cfg.ClientIDs, rng("resume-keys"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sess.resumable(cfg) {
+		t.Fatal("fresh sessions must not be resumable before a sealed roster exists")
+	}
+	got, err := RunWithSessions(cfg, inputs, nil, rng("resume-r1"), sess)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkSum(t, got, wantSum(nil))
+	if !sess.resumable(cfg) {
+		t.Fatal("sessions must be resumable after the first completed round")
+	}
+
+	a0 := dh.AgreeCount()
+	got, err = RunWithSessions(cfg, inputs, nil, rng("resume-r2"), sess)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkSum(t, got, wantSum(nil))
+	if agrees := dh.AgreeCount() - a0; agrees != 0 {
+		t.Errorf("resumed round performed %d agreements, want 0", agrees)
+	}
+}
+
+// TestSessionsResumeWithDropouts: a resumed round still handles the §6.1
+// dropout model — and because LightSecAgg's server never reconstructs
+// client keys, the dropper's session stays valid for the round after.
+func TestSessionsResumeWithDropouts(t *testing.T) {
+	cfg := testConfig(6, 1, 2, 16)
+	inputs, wantSum := makeInputs(cfg)
+	sess, err := NewRoundSessions(cfg.ClientIDs, rng("drop-keys"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunWithSessions(cfg, inputs, nil, rng("drop-r1"), sess); err != nil {
+		t.Fatal(err)
+	}
+	drops := DropSchedule{3: StageMaskedInput, 5: StageAggShare}
+	got, err := RunWithSessions(cfg, inputs, drops, rng("drop-r2"), sess)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkSum(t, got, wantSum(map[uint64]bool{3: true}))
+	// Third round: the round-2 dropper participates again on the same
+	// session set.
+	got, err = RunWithSessions(cfg, inputs, nil, rng("drop-r3"), sess)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkSum(t, got, wantSum(nil))
+}
+
+// TestEncodingMatrixCached: EncodeShares through one session computes the
+// Lagrange basis once; the second call reuses the pointer-identical
+// matrix.
+func TestEncodingMatrixCached(t *testing.T) {
+	cfg := testConfig(6, 2, 2, 24)
+	sess, err := NewSession(rng("mat"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1, err := sess.matrix(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := sess.matrix(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m1 != m2 {
+		t.Error("matrix recomputed for identical geometry")
+	}
+	// A different geometry (different U) invalidates the cache. (The
+	// matrix depends only on (n, U): changing T alone reuses it, since the
+	// basis weights span all U pieces regardless of the data/noise split.)
+	cfg2 := testConfig(6, 1, 3, 24)
+	m3, err := sess.matrix(cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m3 == m1 {
+		t.Error("matrix not recomputed for a different geometry")
+	}
+}
+
+// TestWireSessionResume: the wire drivers' Resume flags skip the
+// advertise/roster round trip on a session set populated by a first
+// round, and the resumed round produces the exact sum with zero new key
+// generations.
+func TestWireSessionResume(t *testing.T) {
+	cfg := testConfig(5, 1, 1, 20)
+	inputs, wantSum := makeInputs(cfg)
+	serverSess := NewServerSession()
+	clientSess := make(map[uint64]*Session, len(cfg.ClientIDs))
+	for _, id := range cfg.ClientIDs {
+		s, err := NewSession(rand.Reader)
+		if err != nil {
+			t.Fatal(err)
+		}
+		clientSess[id] = s
+	}
+
+	runRound := func(resume bool) []int64 {
+		net := transport.NewMemoryNetwork(256)
+		conns := make(map[uint64]transport.ClientConn, len(cfg.ClientIDs))
+		for _, id := range cfg.ClientIDs {
+			c, err := net.Connect(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			conns[id] = c
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		var wg sync.WaitGroup
+		for _, id := range cfg.ClientIDs {
+			id := id
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				_, err := RunWireClient(ctx, WireClientConfig{
+					Config: cfg, ID: id, Input: inputs[id], Rand: rand.Reader,
+					Session: clientSess[id], Resume: resume,
+				}, conns[id])
+				if err != nil {
+					t.Errorf("client %d: %v", id, err)
+				}
+			}()
+		}
+		sum, err := RunWireServer(ctx, WireServerConfig{
+			Config: cfg, StageDeadline: 800 * time.Millisecond,
+			Session: serverSess, Resume: resume,
+		}, net.Server())
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Wait()
+		out := make([]int64, len(sum))
+		for i, e := range sum {
+			out[i] = Center(e)
+		}
+		return out
+	}
+
+	first := runRound(false)
+	g0, a0 := dh.GenerateCount(), dh.AgreeCount()
+	second := runRound(true)
+	if gens := dh.GenerateCount() - g0; gens != 0 {
+		t.Errorf("resumed wire round generated %d key pairs, want 0", gens)
+	}
+	if agrees := dh.AgreeCount() - a0; agrees != 0 {
+		t.Errorf("resumed wire round performed %d agreements, want 0", agrees)
+	}
+	want := wantSum(nil)
+	for i := range want {
+		if first[i] != want[i] || second[i] != want[i] {
+			t.Fatalf("coord %d: first %d second %d want %d", i, first[i], second[i], want[i])
+		}
+	}
+}
+
+// TestEnvelopeRoundDomainSeparation: sessions make channel keys
+// long-lived, so the envelope AD must bind the round — an envelope
+// sealed in one (sub-)round must fail authentication when replayed into
+// another round on the same session keys.
+func TestEnvelopeRoundDomainSeparation(t *testing.T) {
+	cfg := testConfig(3, 1, 1, 6)
+	cfg.Round = 1
+	sess, err := NewRoundSessions(cfg.ClientIDs, rng("ad-keys"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mkClient := func(id uint64, round uint64) *Client {
+		c := cfg
+		c.Round = round
+		cl, err := NewSessionClient(c, id, rng("ad-cl"), sess.Client[id])
+		if err != nil {
+			t.Fatal(err)
+		}
+		return cl
+	}
+	a := mkClient(1, 1)
+	roster := []AdvertiseMsg{}
+	for _, id := range cfg.ClientIDs {
+		roster = append(roster, AdvertiseMsg{From: id, Pub: sess.Client[id].PublicBytes()})
+	}
+	envs, err := a.SealShares(roster)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var toB *Envelope
+	for i := range envs {
+		if envs[i].To == 2 {
+			toB = &envs[i]
+		}
+	}
+
+	// Same round: opens fine.
+	b1 := mkClient(2, 1)
+	if _, err := b1.SealShares(roster); err != nil {
+		t.Fatal(err)
+	}
+	if err := b1.OpenEnvelopes([]Envelope{*toB}); err != nil {
+		t.Fatalf("same-round envelope rejected: %v", err)
+	}
+
+	// Replayed into round 2 on the same session keys: must fail auth.
+	b2 := mkClient(2, 2)
+	if _, err := b2.SealShares(roster); err != nil {
+		t.Fatal(err)
+	}
+	if err := b2.OpenEnvelopes([]Envelope{*toB}); err == nil {
+		t.Fatal("cross-round envelope replay authenticated — AD does not bind the round")
+	}
+}

@@ -1,21 +1,31 @@
 package lightsecagg
 
-// Wire driver: one LightSecAgg round over a transport.Transport, mirroring
-// package core's driver for SecAgg. Coded mask shares relay through the
-// untrusted server (the star topology of §3.3), so they travel inside
-// pairwise authenticated-encryption envelopes keyed by X25519 agreement —
-// otherwise the server could collect U of them and unmask every client.
+// Wire driver: one LightSecAgg round over a transport.Transport, built on
+// the shared round engine exactly like core.RunWireServer. Coded mask
+// shares relay through the untrusted server (the star topology of §3.3)
+// inside pairwise AEAD envelopes keyed by X25519 agreement — otherwise
+// the server could collect U of them and unmask every client.
 //
 // Stages:
 //
-//	0 advertise   client → server: X25519 public key
-//	1 roster      server → clients: all public keys
-//	2 shares      client → server: AEAD-sealed coded shares, one per peer
+//	0 advertise   client → server: X25519 channel public key
+//	1 roster      server → clients: all public keys (gob)
+//	2 shares      client → server: sealed coded shares (binary codec)
 //	3 deliver     server → client: the envelopes addressed to it
-//	4 masked      client → server: y_i = x_i + z_i
-//	5 survivors   server → clients: ids that uploaded
-//	6 aggshare    client → server: Σ_{i∈survivors} f_i(α_me)
-//	7 result      server → clients: the aggregate
+//	4 masked      client → server: y_i = x_i + z_i (binary codec)
+//	5 survivors   server → clients: ids that uploaded (gob)
+//	6 aggshare    client → server: Σ_{i∈survivors} f_i(α_me) (binary)
+//	7 result      server → clients: the aggregate (binary codec)
+//
+// The server collects every stage through engine.Collect: frames are
+// admitted as they arrive, decoded concurrently on the bounded worker
+// pool, and applied to the incremental Server in admission order, so the
+// masked stage folds uploads into the running aggregate while later
+// uploads are still in flight, and the recovery stage completes on the
+// first U aggregate shares (engine quorum) instead of waiting for every
+// survivor. With sessions (WireServerConfig.Session / WireClientConfig.
+// Session and the Resume flags), consecutive rounds skip the advertise
+// round trip and reuse the cached channel secrets and coding matrices.
 
 import (
 	"bytes"
@@ -25,8 +35,7 @@ import (
 	"io"
 	"time"
 
-	"repro/internal/aead"
-	"repro/internal/dh"
+	"repro/internal/engine"
 	"repro/internal/field"
 	"repro/internal/transport"
 )
@@ -54,21 +63,6 @@ const (
 	WireDropBeforeAggShare
 )
 
-type envelope struct {
-	To         uint64
-	Ciphertext []byte
-}
-
-type sharesMsg struct{ Envelopes []envelope }
-
-type rosterMsg struct {
-	Pubs map[uint64][]byte
-}
-
-type survivorsMsg struct{ IDs []uint64 }
-
-type resultMsg struct{ Sum []field.Element }
-
 func gobEncode(v any) ([]byte, error) {
 	var buf bytes.Buffer
 	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
@@ -88,43 +82,25 @@ func gobDecode(p []byte, v any) error {
 type WireServerConfig struct {
 	Config        Config
 	StageDeadline time.Duration // per-stage collection deadline
-}
 
-// collect gathers stage frames until every id in expect answered or the
-// deadline fired.
-func collect(ctx context.Context, conn transport.ServerConn, stage int,
-	expect []uint64, deadline time.Duration) map[uint64][]byte {
-
-	want := make(map[uint64]bool, len(expect))
-	for _, id := range expect {
-		want[id] = true
-	}
-	out := make(map[uint64][]byte)
-	cctx, cancel := context.WithTimeout(ctx, deadline)
-	defer cancel()
-	for len(out) < len(expect) {
-		f, err := conn.Recv(cctx)
-		if err != nil {
-			break // deadline: proceed with what we have
-		}
-		if f.Stage != stage || !want[f.From] {
-			continue
-		}
-		if _, dup := out[f.From]; dup {
-			continue
-		}
-		out[f.From] = f.Payload
-	}
-	return out
+	// Session, when non-nil, carries the recovery-weight and roster caches
+	// across the rounds that share it; with Resume, the advertise stage is
+	// skipped entirely and the round starts from the session's cached
+	// roster (the deployment must set the matching flags on every client).
+	Session *ServerSession
+	Resume  bool
 }
 
 func broadcast(conn transport.ServerConn, ids []uint64, stage int, payload []byte) {
 	for _, id := range ids {
+		// Errors mean the client vanished; the protocol's thresholds
+		// handle that downstream.
 		_ = conn.SendTo(id, transport.Frame{Stage: stage, Payload: payload})
 	}
 }
 
-// RunWireServer drives the server side of one LightSecAgg round.
+// RunWireServer drives the server side of one LightSecAgg round through
+// the shared round engine.
 func RunWireServer(ctx context.Context, cfg WireServerConfig, conn transport.ServerConn) ([]field.Element, error) {
 	if err := cfg.Config.Validate(); err != nil {
 		return nil, err
@@ -132,91 +108,124 @@ func RunWireServer(ctx context.Context, cfg WireServerConfig, conn transport.Ser
 	if cfg.StageDeadline <= 0 {
 		cfg.StageDeadline = 2 * time.Second
 	}
+	if cfg.Resume && cfg.Session == nil {
+		return nil, fmt.Errorf("lightsecagg: resume requires a server session")
+	}
 	c := cfg.Config
 	ids := c.ClientIDs
-	u := c.RecoveryThreshold()
 
-	// Stage 0/1: public keys; the offline phase needs every sampled
-	// client (the §6.1 dropout model has clients vanish later).
-	adverts := collect(ctx, conn, wireAdvertise, ids, cfg.StageDeadline)
-	if len(adverts) < len(ids) {
-		return nil, fmt.Errorf("lightsecagg: only %d/%d clients advertised keys", len(adverts), len(ids))
-	}
-	roster := rosterMsg{Pubs: make(map[uint64][]byte, len(adverts))}
-	for id, pub := range adverts {
-		roster.Pubs[id] = pub
-	}
-	rosterPayload, err := gobEncode(roster)
+	server, err := NewSessionServer(c, cfg.Session)
 	if err != nil {
 		return nil, err
 	}
-	broadcast(conn, ids, wireRoster, rosterPayload)
+	roundCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	eng := engine.New(engine.TransportSource(roundCtx, conn))
+	collect := func(name string, tag int, expect []uint64, quorum int,
+		decode func(m engine.Msg) (any, error), apply func(from uint64, body any) error) error {
+		_, err := eng.Collect(roundCtx, engine.Stage{
+			Name: name, Tag: tag, Expect: expect, Quorum: quorum,
+			Deadline: cfg.StageDeadline, Decode: decode, Apply: apply,
+		})
+		return err
+	}
 
-	// Stage 2/3: relay the sealed share envelopes.
-	shareFrames := collect(ctx, conn, wireShares, ids, cfg.StageDeadline)
-	if len(shareFrames) < len(ids) {
-		return nil, fmt.Errorf("lightsecagg: only %d/%d clients shared masks", len(shareFrames), len(ids))
-	}
-	perClient := make(map[uint64][]envelope, len(ids))
-	for from, payload := range shareFrames {
-		var msg sharesMsg
-		if err := gobDecode(payload, &msg); err != nil {
-			return nil, fmt.Errorf("lightsecagg: shares from %d: %w", from, err)
+	// Stage 0/1: channel keys — collected over the wire, or skipped when
+	// resuming on a session whose cached roster covers this client set.
+	var roster []AdvertiseMsg
+	if cfg.Resume {
+		roster = cfg.Session.RosterFor(ids)
+		if roster == nil {
+			return nil, fmt.Errorf("lightsecagg: resume without a cached roster for this client set")
 		}
-		for _, env := range msg.Envelopes {
-			// Stamp the true origin so a malicious peer cannot spoof;
-			// the AEAD associated data binds (from, to) as well.
-			perClient[env.To] = append(perClient[env.To], envelope{To: from, Ciphertext: env.Ciphertext})
+		if err := server.InstallRoster(roster); err != nil {
+			return nil, err
 		}
+	} else {
+		err = collect("advertise", wireAdvertise, ids, 0, nil,
+			func(from uint64, body any) error {
+				return server.AddAdvertise(AdvertiseMsg{From: from, Pub: body.([]byte)})
+			})
+		if err != nil {
+			return nil, err
+		}
+		if roster, err = server.SealAdvertise(); err != nil {
+			return nil, err
+		}
+		cfg.Session.StoreRoster(roster, ids)
+		rosterPayload, err := gobEncode(roster)
+		if err != nil {
+			return nil, err
+		}
+		broadcast(conn, ids, wireRoster, rosterPayload)
 	}
-	for id, envs := range perClient {
-		payload, err := gobEncode(sharesMsg{Envelopes: envs})
+
+	// Stage 2/3: sealed share envelopes, routed into recipient outboxes
+	// on arrival.
+	err = collect("shares", wireShares, ids, 0,
+		func(m engine.Msg) (any, error) { return decodeEnvelopes(m.Body.([]byte)) },
+		func(from uint64, body any) error {
+			return server.AddShareBundle(from, body.([]Envelope))
+		})
+	if err != nil {
+		return nil, err
+	}
+	deliveries, err := server.SealShareBundles()
+	if err != nil {
+		return nil, err
+	}
+	for id, envs := range deliveries {
+		payload, err := encodeEnvelopes(envs)
 		if err != nil {
 			return nil, err
 		}
 		_ = conn.SendTo(id, transport.Frame{Stage: wireDeliver, Payload: payload})
 	}
 
-	// Stage 4/5: masked inputs from whoever is still alive.
-	server, err := NewServer(c)
+	// Stage 4/5: masked inputs fold into the running partial aggregate as
+	// they decode; the stage close is a threshold check plus sort.
+	err = collect("masked", wireMasked, ids, 0,
+		func(m engine.Msg) (any, error) { return decodeMasked(m.Body.([]byte)) },
+		func(from uint64, body any) error {
+			// Stamp the transport-verified origin over whatever the payload
+			// claims, so one client cannot spoof another's upload (the same
+			// defense AddShareBundle applies to envelopes).
+			m := body.(MaskedMsg)
+			m.From = from
+			return server.AddMasked(m)
+		})
 	if err != nil {
 		return nil, err
 	}
-	maskedFrames := collect(ctx, conn, wireMasked, ids, cfg.StageDeadline)
-	for id, payload := range maskedFrames {
-		var y []field.Element
-		if err := gobDecode(payload, &y); err != nil {
-			return nil, fmt.Errorf("lightsecagg: masked input from %d: %w", id, err)
-		}
-		if err := server.CollectMasked(id, y); err != nil {
-			return nil, err
-		}
+	survivors, err := server.SealMasked()
+	if err != nil {
+		return nil, err
 	}
-	survivors := server.Survivors()
-	if len(survivors) < u {
-		return nil, fmt.Errorf("lightsecagg: %d survivors below recovery threshold %d", len(survivors), u)
-	}
-	survPayload, err := gobEncode(survivorsMsg{IDs: survivors})
+	survPayload, err := gobEncode(survivors)
 	if err != nil {
 		return nil, err
 	}
 	broadcast(conn, survivors, wireSurvivors, survPayload)
 
-	// Stage 6: one-shot aggregate shares from ≥ U responders.
-	aggFrames := collect(ctx, conn, wireAggShare, survivors, cfg.StageDeadline)
-	aggShares := make(map[uint64][]field.Element, len(aggFrames))
-	for id, payload := range aggFrames {
-		var s []field.Element
-		if err := gobDecode(payload, &s); err != nil {
-			return nil, fmt.Errorf("lightsecagg: aggregate share from %d: %w", id, err)
-		}
-		aggShares[id] = s
-	}
-	sum, err := server.Reconstruct(aggShares)
+	// Stage 6: one-shot aggregate shares — any U responses complete the
+	// stage (engine quorum), stragglers need not be waited out.
+	err = collect("agg-share", wireAggShare, survivors, c.RecoveryThreshold(),
+		func(m engine.Msg) (any, error) { return decodeAggShare(m.Body.([]byte)) },
+		func(from uint64, body any) error {
+			// Transport-verified origin wins here too: a spoofed From would
+			// feed shares under the wrong rank into the recovery.
+			m := body.(AggShareMsg)
+			m.From = from
+			return server.AddAggShare(m)
+		})
 	if err != nil {
 		return nil, err
 	}
-	resPayload, err := gobEncode(resultMsg{Sum: sum})
+	sum, err := server.SealAggShares()
+	if err != nil {
+		return nil, err
+	}
+	resPayload, err := encodeLSAResult(sum)
 	if err != nil {
 		return nil, err
 	}
@@ -231,6 +240,14 @@ type WireClientConfig struct {
 	Input      []field.Element
 	DropBefore WireStage
 	Rand       io.Reader
+
+	// Session, when non-nil, carries this client's channel key, pairwise
+	// secrets, and encoding matrix across the rounds that share it; with
+	// Resume, the advertise round trip is skipped and the client resumes
+	// on its cached roster (the deployment must set the matching flags on
+	// the server).
+	Session *Session
+	Resume  bool
 }
 
 // RunWireClient drives one client through the round. It returns the
@@ -240,55 +257,44 @@ func RunWireClient(ctx context.Context, cfg WireClientConfig, conn transport.Cli
 	if err := cfg.Config.Validate(); err != nil {
 		return nil, err
 	}
-	client, err := NewClient(cfg.Config, cfg.ID, cfg.Rand)
-	if err != nil {
-		return nil, err
+	if cfg.Resume && cfg.Session == nil {
+		return nil, fmt.Errorf("lightsecagg: resume requires a client session")
 	}
-	kp, err := dh.Generate(cfg.Rand)
+	client, err := NewSessionClient(cfg.Config, cfg.ID, cfg.Rand, cfg.Session)
 	if err != nil {
 		return nil, err
 	}
 
-	// Stage 0/1: advertise the channel key, learn the roster.
-	if err := conn.Send(transport.Frame{Stage: wireAdvertise, Payload: kp.PublicBytes()}); err != nil {
-		return nil, err
-	}
-	f, err := recvStage(ctx, conn, wireRoster)
-	if err != nil {
-		return nil, err
-	}
-	var roster rosterMsg
-	if err := gobDecode(f.Payload, &roster); err != nil {
-		return nil, err
+	// Stage 0/1: advertise the channel key and learn the roster, or
+	// resume on the session's cached roster.
+	var roster []AdvertiseMsg
+	if cfg.Resume {
+		if roster = cfg.Session.Roster(); roster == nil {
+			return nil, fmt.Errorf("lightsecagg: resume without a cached roster at client %d", cfg.ID)
+		}
+	} else {
+		adv := client.Advertise()
+		if err := conn.Send(transport.Frame{Stage: wireAdvertise, Payload: adv.Pub}); err != nil {
+			return nil, err
+		}
+		f, err := recvStage(ctx, conn, wireRoster)
+		if err != nil {
+			return nil, err
+		}
+		if err := gobDecode(f.Payload, &roster); err != nil {
+			return nil, err
+		}
+		if cfg.Session != nil {
+			cfg.Session.StoreRoster(roster)
+		}
 	}
 
-	// Stage 2: seal one coded share per peer. The AD binds sender and
-	// recipient so the relay cannot re-route envelopes undetected.
-	shares, err := client.EncodeShares()
+	// Stage 2: seal one coded share per peer.
+	envs, err := client.SealShares(roster)
 	if err != nil {
 		return nil, err
 	}
-	msg := sharesMsg{Envelopes: make([]envelope, 0, len(shares))}
-	for to, share := range shares {
-		pub, ok := roster.Pubs[to]
-		if !ok {
-			return nil, fmt.Errorf("lightsecagg: no channel key for peer %d", to)
-		}
-		key, err := kp.Agree(pub)
-		if err != nil {
-			return nil, err
-		}
-		pt, err := gobEncode(share)
-		if err != nil {
-			return nil, err
-		}
-		ct, err := aead.Seal(key, cfg.Rand, pt, routeAD(cfg.ID, to))
-		if err != nil {
-			return nil, err
-		}
-		msg.Envelopes = append(msg.Envelopes, envelope{To: to, Ciphertext: ct})
-	}
-	payload, err := gobEncode(msg)
+	payload, err := encodeEnvelopes(envs)
 	if err != nil {
 		return nil, err
 	}
@@ -297,35 +303,16 @@ func RunWireClient(ctx context.Context, cfg WireClientConfig, conn transport.Cli
 	}
 
 	// Stage 3: unseal the envelopes addressed to us.
-	f, err = recvStage(ctx, conn, wireDeliver)
+	f, err := recvStage(ctx, conn, wireDeliver)
 	if err != nil {
 		return nil, err
 	}
-	var inbox sharesMsg
-	if err := gobDecode(f.Payload, &inbox); err != nil {
+	inbox, err := decodeEnvelopes(f.Payload)
+	if err != nil {
 		return nil, err
 	}
-	for _, env := range inbox.Envelopes {
-		from := env.To // server stamped the origin here
-		pub, ok := roster.Pubs[from]
-		if !ok {
-			return nil, fmt.Errorf("lightsecagg: envelope from unknown peer %d", from)
-		}
-		key, err := kp.Agree(pub)
-		if err != nil {
-			return nil, err
-		}
-		pt, err := aead.Open(key, env.Ciphertext, routeAD(from, cfg.ID))
-		if err != nil {
-			return nil, fmt.Errorf("lightsecagg: envelope from %d failed authentication: %w", from, err)
-		}
-		var share []field.Element
-		if err := gobDecode(pt, &share); err != nil {
-			return nil, err
-		}
-		if err := client.ReceiveShare(from, share); err != nil {
-			return nil, err
-		}
+	if err := client.OpenEnvelopes(inbox); err != nil {
+		return nil, err
 	}
 
 	// Stage 4: masked upload (dropout injection point).
@@ -336,11 +323,10 @@ func RunWireClient(ctx context.Context, cfg WireClientConfig, conn transport.Cli
 	if err != nil {
 		return nil, err
 	}
-	yPayload, err := gobEncode(y)
-	if err != nil {
+	if payload, err = encodeMasked(MaskedMsg{From: cfg.ID, Y: y}); err != nil {
 		return nil, err
 	}
-	if err := conn.Send(transport.Frame{Stage: wireMasked, Payload: yPayload}); err != nil {
+	if err := conn.Send(transport.Frame{Stage: wireMasked, Payload: payload}); err != nil {
 		return nil, err
 	}
 
@@ -349,22 +335,21 @@ func RunWireClient(ctx context.Context, cfg WireClientConfig, conn transport.Cli
 	if err != nil {
 		return nil, err
 	}
-	var surv survivorsMsg
-	if err := gobDecode(f.Payload, &surv); err != nil {
+	var survivors []uint64
+	if err := gobDecode(f.Payload, &survivors); err != nil {
 		return nil, err
 	}
 	if cfg.DropBefore == WireDropBeforeAggShare {
 		return nil, conn.Close()
 	}
-	agg, err := client.AggregateShare(surv.IDs)
+	agg, err := client.AggregateShare(survivors)
 	if err != nil {
 		return nil, err
 	}
-	aggPayload, err := gobEncode(agg)
-	if err != nil {
+	if payload, err = encodeAggShare(AggShareMsg{From: cfg.ID, S: agg}); err != nil {
 		return nil, err
 	}
-	if err := conn.Send(transport.Frame{Stage: wireAggShare, Payload: aggPayload}); err != nil {
+	if err := conn.Send(transport.Frame{Stage: wireAggShare, Payload: payload}); err != nil {
 		return nil, err
 	}
 
@@ -373,11 +358,7 @@ func RunWireClient(ctx context.Context, cfg WireClientConfig, conn transport.Cli
 	if err != nil {
 		return nil, err
 	}
-	var res resultMsg
-	if err := gobDecode(f.Payload, &res); err != nil {
-		return nil, err
-	}
-	return res.Sum, nil
+	return decodeLSAResult(f.Payload)
 }
 
 func recvStage(ctx context.Context, conn transport.ClientConn, stage int) (transport.Frame, error) {
@@ -390,8 +371,4 @@ func recvStage(ctx context.Context, conn transport.ClientConn, stage int) (trans
 			return f, nil
 		}
 	}
-}
-
-func routeAD(from, to uint64) []byte {
-	return []byte(fmt.Sprintf("lsa/%d/%d", from, to))
 }

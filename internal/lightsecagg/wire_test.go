@@ -150,18 +150,26 @@ func TestWireSharesSealedFromServer(t *testing.T) {
 	if snoop.shareFrames == 0 {
 		t.Fatal("snoop recorded no share frames — test wiring broken")
 	}
-	// Every recorded stage-2 payload must be high-entropy ciphertext: a
-	// plaintext gob of []field.Element would contain long runs of zero
-	// bytes (small elements); AEAD output does not.
+	// Every ciphertext inside a recorded stage-2 payload must be
+	// high-entropy: a plaintext share vector would contain long runs of
+	// zero bytes (the codec's length-prefixed small elements); AEAD output
+	// does not. The envelope framing itself (From/To/length headers) is
+	// legitimately structured, so the check decodes it first.
 	for _, p := range snoop.payloads {
-		zeros := 0
-		for _, b := range p {
-			if b == 0 {
-				zeros++
-			}
+		envs, err := decodeEnvelopes(p)
+		if err != nil {
+			t.Fatalf("stage-2 payload is not an envelope list: %v", err)
 		}
-		if frac := float64(zeros) / float64(len(p)); frac > 0.2 {
-			t.Fatalf("share payload %.0f%% zero bytes — looks like plaintext", 100*frac)
+		for _, env := range envs {
+			zeros := 0
+			for _, b := range env.Ciphertext {
+				if b == 0 {
+					zeros++
+				}
+			}
+			if frac := float64(zeros) / float64(len(env.Ciphertext)); frac > 0.2 {
+				t.Fatalf("share ciphertext %.0f%% zero bytes — looks like plaintext", 100*frac)
+			}
 		}
 	}
 }
