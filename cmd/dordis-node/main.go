@@ -1,4 +1,4 @@
-// Command dordis-node runs one party of a Dordis aggregation round over
+// Command dordis-node runs one party of a Dordis aggregation service over
 // TCP — the deployment flavor of the protocol stack. Start a server, then
 // clients (one process each, e.g. on different machines):
 //
@@ -16,11 +16,44 @@
 // -protocol lightsecagg runs the LightSecAgg baseline instead (one-shot
 // mask recovery, no DP noise): -tolerance then means the dropout
 // tolerance D and -threshold the privacy threshold T.
+//
+// # Sessions, resume, and the re-key handshake
+//
+// With -rounds > 1 or -session-dir set, the node runs a long-lived
+// service: before every round, server and clients negotiate the signed
+// re-key handshake (PROTOCOL.md §handshake) deciding whether the round
+// *resumes* the live key generation — skipping the advertise stage and
+// performing zero X25519 key generations and zero agreements — or
+// re-keys from scratch. Resume requires -key-rounds > 1 on the server
+// and succeeds only while every client's session state hash matches the
+// server's, nobody carries dropout taint (a client that vanished
+// mid-round may have had its mask key reconstructed), and the key
+// generation has rounds left; any divergence downgrades to a clean
+// re-key automatically.
+//
+// -session-dir makes clients persist their session (key pairs, cached
+// pairwise secrets, ratchet position — never expanded masks) to an
+// AEAD-encrypted store after the handshake and after each completed
+// round, keyed by the contents of -session-key-file (created with random
+// bytes on first use). A client process that crashes or is restarted
+// between rounds re-dials with the same -session-dir and rejoins the
+// service on its restored session: if nothing diverged, its next round
+// resumes with zero key work. Restarting *mid-round* leaves the stored
+// session tainted, so the next handshake re-keys — dropping the store
+// entirely also just forces a re-key.
+//
+// The handshake is Ed25519-signed when the server is given
+// -sign-key-file (created on first use; the verification key is printed
+// at startup). Clients pin it with -server-pub <hex>; without the pin
+// they accept unsigned handshakes (semi-honest deployments).
 package main
 
 import (
+	"bytes"
 	"context"
 	"crypto/rand"
+	"encoding/hex"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -30,10 +63,13 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/field"
 	"repro/internal/lightsecagg"
 	"repro/internal/ring"
 	"repro/internal/secagg"
+	"repro/internal/sessionstore"
+	"repro/internal/sig"
 	"repro/internal/transport"
 	"repro/internal/xnoise"
 )
@@ -45,13 +81,26 @@ func main() {
 		connect   = flag.String("connect", "127.0.0.1:7700", "client: server address")
 		id        = flag.Uint64("id", 0, "client id (must appear in -clients)")
 		clients   = flag.String("clients", "1,2,3,4,5", "comma-separated sampled client ids")
-		threshold = flag.Int("threshold", 3, "SecAgg threshold t")
+		threshold = flag.Int("threshold", 3, "SecAgg threshold t (lightsecagg: privacy threshold T)")
 		dim       = flag.Int("dim", 64, "vector dimension")
 		value     = flag.Uint64("value", 1, "client: constant vector value")
-		tolerance = flag.Int("tolerance", 1, "XNoise dropout tolerance T (0 = plain SecAgg)")
+		tolerance = flag.Int("tolerance", 1, "XNoise dropout tolerance T (0 = plain SecAgg; lightsecagg: dropout tolerance D)")
 		targetMu  = flag.Float64("mu", 25, "XNoise central noise variance target")
 		deadline  = flag.Duration("deadline", 3*time.Second, "per-stage collection deadline")
 		protocol  = flag.String("protocol", "secagg", "secagg | lightsecagg")
+
+		rounds = flag.Int("rounds", 1,
+			"consecutive rounds to run; > 1 enables the per-round re-key handshake")
+		sessionDir = flag.String("session-dir", "",
+			"client: directory of the AEAD-encrypted session store; enables session persistence and the handshake")
+		sessionKeyFile = flag.String("session-key-file", "",
+			"client: file holding the session store's key material (created with random bytes on first use; defaults to <session-dir>/store.key)")
+		keyRounds = flag.Int("key-rounds", 1,
+			"server: rounds one key generation may serve; > 1 lets handshakes resume sessions across rounds, <= 1 re-keys every round (conservative default)")
+		signKeyFile = flag.String("sign-key-file", "",
+			"server: Ed25519 seed file for signing handshake offers/commits (created on first use; prints the verification key)")
+		serverPub = flag.String("server-pub", "",
+			"client: hex Ed25519 verification key; when set, unsigned or mis-signed handshakes are rejected")
 	)
 	flag.Parse()
 
@@ -59,6 +108,8 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
+	sessionsOn := *rounds > 1 || *sessionDir != ""
+
 	if *protocol == "lightsecagg" {
 		lcfg := lightsecagg.Config{
 			ClientIDs: ids, PrivacyT: *threshold, Dropout: *tolerance, Dim: *dim,
@@ -68,12 +119,21 @@ func main() {
 		}
 		switch *role {
 		case "server":
-			runServerLSA(lcfg, *listen, *deadline)
+			if sessionsOn {
+				runServerSessionsLSA(lcfg, *listen, *deadline, *rounds, *keyRounds, loadSigner(*signKeyFile))
+			} else {
+				runServerLSA(lcfg, *listen, *deadline)
+			}
 		case "client":
 			if *id == 0 {
 				fail(fmt.Errorf("client needs -id"))
 			}
-			runClientLSA(lcfg, *connect, *id, *value)
+			if sessionsOn {
+				runClientSessionsLSA(lcfg, *connect, *id, *value, *rounds,
+					openStore(*sessionDir, *sessionKeyFile), parsePub(*serverPub))
+			} else {
+				runClientLSA(lcfg, *connect, *id, *value)
+			}
 		case "selftest":
 			selfTestLSA(lcfg, *deadline)
 		default:
@@ -105,12 +165,21 @@ func main() {
 
 	switch *role {
 	case "server":
-		runServer(cfg, *listen, *deadline)
+		if sessionsOn {
+			runServerSessions(cfg, *listen, *deadline, *rounds, *keyRounds, loadSigner(*signKeyFile))
+		} else {
+			runServer(cfg, *listen, *deadline)
+		}
 	case "client":
 		if *id == 0 {
 			fail(fmt.Errorf("client needs -id"))
 		}
-		runClient(cfg, *connect, *id, *value)
+		if sessionsOn {
+			runClientSessions(cfg, *connect, *id, *value, *rounds,
+				openStore(*sessionDir, *sessionKeyFile), parsePub(*serverPub))
+		} else {
+			runClient(cfg, *connect, *id, *value)
+		}
 	case "selftest":
 		selfTest(cfg, *listen, *deadline)
 	default:
@@ -136,6 +205,95 @@ func fail(err error) {
 	os.Exit(1)
 }
 
+// --- session-mode helpers ---
+
+// loadSigner loads (or creates) the server's handshake signing key. An
+// empty path means unsigned handshakes (semi-honest mode).
+func loadSigner(path string) *sig.Signer {
+	if path == "" {
+		return nil
+	}
+	seed := loadOrCreateKey(path)
+	signer, err := sig.NewSigner(bytes.NewReader(seed[:32]))
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("handshake signing enabled; clients pin with -server-pub %s\n",
+		hex.EncodeToString(signer.Public()))
+	return signer
+}
+
+// loadOrCreateKey reads key material from path, creating the file with 32
+// random bytes (0600) on first use — shared by the handshake signing seed
+// and the session store key.
+func loadOrCreateKey(path string) []byte {
+	material, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		material = make([]byte, 32)
+		if _, err := rand.Read(material); err != nil {
+			fail(err)
+		}
+		if err := os.WriteFile(path, material, 0o600); err != nil {
+			fail(err)
+		}
+	} else if err != nil {
+		fail(err)
+	}
+	if len(material) < 32 {
+		fail(fmt.Errorf("key file %s holds %d bytes, need at least 32", path, len(material)))
+	}
+	return material
+}
+
+func parsePub(hexPub string) []byte {
+	if hexPub == "" {
+		return nil
+	}
+	pub, err := hex.DecodeString(hexPub)
+	if err != nil {
+		fail(fmt.Errorf("bad -server-pub: %w", err))
+	}
+	return pub
+}
+
+// openStore opens the client's session store, creating the key file with
+// random bytes on first use. A nil return means persistence is off
+// (-rounds > 1 without -session-dir: sessions live in process memory).
+func openStore(dir, keyFile string) *sessionstore.Store {
+	if dir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(dir, 0o700); err != nil {
+		fail(err)
+	}
+	if keyFile == "" {
+		keyFile = dir + "/store.key"
+	}
+	st, err := sessionstore.Open(dir, sessionstore.DeriveKey(loadOrCreateKey(keyFile)))
+	if err != nil {
+		fail(err)
+	}
+	return st
+}
+
+// waitForClients blocks until n clients are connected or, when deadline
+// is positive, until it expires — the multi-round service must not wedge
+// on a permanently dead client at a round boundary (the handshake offers
+// past absentees and the round thresholds decide downstream), while
+// initial bring-up (deadline 0) waits for the full roster as the
+// single-round roles always have.
+func waitForClients(srv *transport.TCPServer, n int, deadline time.Duration) {
+	start := time.Now()
+	for len(srv.Clients()) < n {
+		if deadline > 0 && time.Since(start) >= deadline {
+			return
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// --- single-round roles (no handshake; one process, one round) ---
+
 func runServer(cfg secagg.Config, listen string, deadline time.Duration) {
 	srv, err := transport.ListenTCP(listen)
 	if err != nil {
@@ -143,9 +301,7 @@ func runServer(cfg secagg.Config, listen string, deadline time.Duration) {
 	}
 	defer srv.Close()
 	fmt.Printf("server listening on %s, waiting for %d clients...\n", srv.Addr(), len(cfg.ClientIDs))
-	for len(srv.Clients()) < len(cfg.ClientIDs) {
-		time.Sleep(50 * time.Millisecond)
-	}
+	waitForClients(srv, len(cfg.ClientIDs), 0)
 	res, err := core.RunWireServer(context.Background(),
 		core.WireServerConfig{SecAgg: cfg, StageDeadline: deadline}, srv)
 	if err != nil {
@@ -160,12 +316,8 @@ func runClient(cfg secagg.Config, addr string, id, value uint64) {
 		fail(err)
 	}
 	defer conn.Close()
-	input := ring.NewVector(cfg.Bits, cfg.Dim)
-	for i := range input.Data {
-		input.Data[i] = value & input.Mask()
-	}
 	res, err := core.RunWireClient(context.Background(), core.WireClientConfig{
-		SecAgg: cfg, ID: id, Input: input, DropBefore: core.NoDrop, Rand: rand.Reader,
+		SecAgg: cfg, ID: id, Input: constInput(cfg, value), DropBefore: core.NoDrop, Rand: rand.Reader,
 	}, conn)
 	if err != nil {
 		fail(err)
@@ -173,6 +325,168 @@ func runClient(cfg secagg.Config, addr string, id, value uint64) {
 	if res != nil {
 		fmt.Printf("client %d: round complete, %d survivors\n", id, len(res.Survivors))
 	}
+}
+
+func constInput(cfg secagg.Config, value uint64) ring.Vector {
+	input := ring.NewVector(cfg.Bits, cfg.Dim)
+	for i := range input.Data {
+		input.Data[i] = value & input.Mask()
+	}
+	return input
+}
+
+// --- session-mode roles (handshake per round, persistent sessions) ---
+
+func runServerSessions(cfg secagg.Config, listen string, deadline time.Duration,
+	rounds, keyRounds int, signer *sig.Signer) {
+
+	srv, err := transport.ListenTCP(listen)
+	if err != nil {
+		fail(err)
+	}
+	defer srv.Close()
+	fmt.Printf("server listening on %s, %d rounds, key generations serve up to %d round(s)\n",
+		srv.Addr(), rounds, max(keyRounds, 1))
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	// One engine (one transport fan-in) spans every handshake and round on
+	// this connection; a per-round fan-in would steal frames across the
+	// handshake/round boundary.
+	eng := engine.New(engine.TransportSource(ctx, srv))
+	sess := secagg.NewServerSession()
+	for r := 1; r <= rounds; r++ {
+		// Round 1 waits for the full roster (service bring-up); later
+		// rounds wait at most one stage deadline for re-dials, then let
+		// the handshake offer past absentees.
+		bound := deadline
+		if r == 1 {
+			bound = 0
+		}
+		waitForClients(srv, len(cfg.ClientIDs), bound)
+		hs, err := core.RunHandshakeServer(ctx, core.HandshakeConfig{
+			Round: uint64(r), Protocol: core.ProtocolSecAgg, ClientIDs: cfg.ClientIDs,
+			KeyRounds: keyRounds, Deadline: deadline, Signer: signer,
+		}, sess, eng, srv)
+		if err != nil {
+			fail(err)
+		}
+		rcfg := cfg
+		rcfg.Round = hs.Round
+		rcfg.KeyRatchet = hs.Ratchet
+		res, err := core.RunWireServer(ctx, core.WireServerConfig{
+			SecAgg: rcfg, StageDeadline: deadline,
+			Session: sess, Resume: hs.Resume, Engine: eng,
+		}, srv)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("round %d (%s): ", r, describe(hs))
+		printResult(rcfg, res)
+	}
+}
+
+func describe(hs core.Handshake) string {
+	if hs.Resume {
+		return fmt.Sprintf("resumed, ratchet %d", hs.Ratchet)
+	}
+	return "re-keyed"
+}
+
+func runClientSessions(cfg secagg.Config, addr string, id, value uint64,
+	rounds int, store *sessionstore.Store, serverPub []byte) {
+
+	record := fmt.Sprintf("client-%d", id)
+	sess := loadSession(store, record)
+	conn, err := transport.DialTCP(addr, id)
+	if err != nil {
+		fail(err)
+	}
+	defer conn.Close()
+	ctx := context.Background()
+	for r := 1; r <= rounds; r++ {
+		hs, err := core.RunHandshakeClient(ctx, core.ClientHandshakeConfig{
+			ID: id, Protocol: core.ProtocolSecAgg, ServerPub: serverPub, Rand: rand.Reader,
+		}, sess, conn)
+		if err != nil {
+			fail(err)
+		}
+		// Persist immediately after the handshake: the stored state carries
+		// the burned ratchet step and the round-in-flight taint, so a crash
+		// mid-round restores into a session the next handshake re-keys.
+		saveSession(store, record, sess)
+		rcfg := cfg
+		rcfg.Round = hs.Round
+		rcfg.KeyRatchet = hs.Ratchet
+		res, err := core.RunWireClient(ctx, core.WireClientConfig{
+			SecAgg: rcfg, ID: id, Input: constInput(rcfg, value),
+			DropBefore: core.NoDrop, Rand: rand.Reader,
+			Session: sess, Resume: hs.Resume,
+		}, conn)
+		if err != nil {
+			fail(err)
+		}
+		// Persist again with the taint cleared: the next start may resume.
+		saveSession(store, record, sess)
+		if res != nil {
+			fmt.Printf("client %d round %d (%s): complete, %d survivors\n",
+				id, r, describe(hs), len(res.Survivors))
+		}
+	}
+}
+
+// loadStoredSession restores a session record through unmarshal, or
+// returns ok=false when the caller should start fresh. A store auth
+// failure (wrong -session-key-file, tampered record) warns loudly: a
+// silently fresh session would re-key every round.
+func loadStoredSession[T any](store *sessionstore.Store, record string,
+	unmarshal func([]byte) (T, error)) (T, bool) {
+
+	var zero T
+	if store == nil {
+		return zero, false
+	}
+	blob, err := store.Load(record)
+	switch {
+	case err == nil:
+		sess, err := unmarshal(blob)
+		if err == nil {
+			fmt.Printf("restored session %s from store\n", record)
+			return sess, true
+		}
+		fmt.Fprintf(os.Stderr, "dordis-node: stored session %s unreadable, starting fresh\n", record)
+	case !errors.Is(err, sessionstore.ErrNotFound):
+		fmt.Fprintf(os.Stderr, "dordis-node: session store: %v — starting fresh\n", err)
+	}
+	return zero, false
+}
+
+// saveStoredSession persists one session record (no-op without a store).
+func saveStoredSession(store *sessionstore.Store, record string, marshal func() ([]byte, error)) {
+	if store == nil {
+		return
+	}
+	blob, err := marshal()
+	if err != nil {
+		fail(err)
+	}
+	if err := store.Save(record, blob); err != nil {
+		fail(err)
+	}
+}
+
+func loadSession(store *sessionstore.Store, record string) *secagg.Session {
+	if sess, ok := loadStoredSession(store, record, secagg.UnmarshalSession); ok {
+		return sess
+	}
+	sess, err := secagg.NewSession(rand.Reader)
+	if err != nil {
+		fail(err)
+	}
+	return sess
+}
+
+func saveSession(store *sessionstore.Store, record string, sess *secagg.Session) {
+	saveStoredSession(store, record, sess.MarshalBinary)
 }
 
 func selfTest(cfg secagg.Config, listen string, deadline time.Duration) {
@@ -194,20 +508,14 @@ func selfTest(cfg secagg.Config, listen string, deadline time.Duration) {
 				return
 			}
 			defer conn.Close()
-			input := ring.NewVector(cfg.Bits, cfg.Dim)
-			for j := range input.Data {
-				input.Data[j] = value
-			}
 			if _, err := core.RunWireClient(context.Background(), core.WireClientConfig{
-				SecAgg: cfg, ID: id, Input: input, DropBefore: core.NoDrop, Rand: rand.Reader,
+				SecAgg: cfg, ID: id, Input: constInput(cfg, value), DropBefore: core.NoDrop, Rand: rand.Reader,
 			}, conn); err != nil {
 				fmt.Fprintln(os.Stderr, "client", id, ":", err)
 			}
 		}()
 	}
-	for len(srv.Clients()) < len(cfg.ClientIDs) {
-		time.Sleep(10 * time.Millisecond)
-	}
+	waitForClients(srv, len(cfg.ClientIDs), 0)
 	res, err := core.RunWireServer(context.Background(),
 		core.WireServerConfig{SecAgg: cfg, StageDeadline: deadline}, srv)
 	if err != nil {
@@ -234,6 +542,13 @@ func printResult(cfg secagg.Config, res *secagg.Result) {
 
 func min(a, b int) int {
 	if a < b {
+		return a
+	}
+	return b
+}
+
+func max(a, b int) int {
+	if a > b {
 		return a
 	}
 	return b
@@ -269,9 +584,7 @@ func runServerLSA(cfg lightsecagg.Config, listen string, deadline time.Duration)
 	}
 	defer srv.Close()
 	fmt.Printf("lightsecagg server on %s, waiting for %d clients...\n", srv.Addr(), len(cfg.ClientIDs))
-	for len(srv.Clients()) < len(cfg.ClientIDs) {
-		time.Sleep(50 * time.Millisecond)
-	}
+	waitForClients(srv, len(cfg.ClientIDs), 0)
 	sum, err := lightsecagg.RunWireServer(context.Background(),
 		lightsecagg.WireServerConfig{Config: cfg, StageDeadline: deadline}, srv)
 	if err != nil {
@@ -295,6 +608,93 @@ func runClientLSA(cfg lightsecagg.Config, addr string, id, value uint64) {
 	if sum != nil {
 		fmt.Printf("client %d: round complete\n", id)
 	}
+}
+
+func runServerSessionsLSA(cfg lightsecagg.Config, listen string, deadline time.Duration,
+	rounds, keyRounds int, signer *sig.Signer) {
+
+	srv, err := transport.ListenTCP(listen)
+	if err != nil {
+		fail(err)
+	}
+	defer srv.Close()
+	fmt.Printf("lightsecagg server on %s, %d rounds\n", srv.Addr(), rounds)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	eng := engine.New(engine.TransportSource(ctx, srv))
+	sess := lightsecagg.NewServerSession()
+	for r := 1; r <= rounds; r++ {
+		bound := deadline
+		if r == 1 {
+			bound = 0
+		}
+		waitForClients(srv, len(cfg.ClientIDs), bound)
+		hs, err := core.RunHandshakeServer(ctx, core.HandshakeConfig{
+			Round: uint64(r), Protocol: core.ProtocolLightSecAgg, ClientIDs: cfg.ClientIDs,
+			KeyRounds: keyRounds, Deadline: deadline, Signer: signer,
+		}, sess, eng, srv)
+		if err != nil {
+			fail(err)
+		}
+		rcfg := cfg
+		rcfg.Round = hs.Round
+		sum, err := lightsecagg.RunWireServer(ctx, lightsecagg.WireServerConfig{
+			Config: rcfg, StageDeadline: deadline,
+			Session: sess, Resume: hs.Resume, Engine: eng,
+		}, srv)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("round %d (%s): ", r, describe(hs))
+		printResultLSA(sum)
+	}
+}
+
+func runClientSessionsLSA(cfg lightsecagg.Config, addr string, id, value uint64,
+	rounds int, store *sessionstore.Store, serverPub []byte) {
+
+	record := fmt.Sprintf("lsa-client-%d", id)
+	sess := loadSessionLSA(store, record)
+	conn, err := transport.DialTCP(addr, id)
+	if err != nil {
+		fail(err)
+	}
+	defer conn.Close()
+	ctx := context.Background()
+	for r := 1; r <= rounds; r++ {
+		hs, err := core.RunHandshakeClient(ctx, core.ClientHandshakeConfig{
+			ID: id, Protocol: core.ProtocolLightSecAgg, ServerPub: serverPub, Rand: rand.Reader,
+		}, sess, conn)
+		if err != nil {
+			fail(err)
+		}
+		saveSessionLSA(store, record, sess)
+		rcfg := cfg
+		rcfg.Round = hs.Round
+		if _, err := lightsecagg.RunWireClient(ctx, lightsecagg.WireClientConfig{
+			Config: rcfg, ID: id, Input: lsaInput(cfg.Dim, value), Rand: rand.Reader,
+			Session: sess, Resume: hs.Resume,
+		}, conn); err != nil {
+			fail(err)
+		}
+		saveSessionLSA(store, record, sess)
+		fmt.Printf("client %d round %d (%s): complete\n", id, r, describe(hs))
+	}
+}
+
+func loadSessionLSA(store *sessionstore.Store, record string) *lightsecagg.Session {
+	if sess, ok := loadStoredSession(store, record, lightsecagg.UnmarshalSession); ok {
+		return sess
+	}
+	sess, err := lightsecagg.NewSession(rand.Reader)
+	if err != nil {
+		fail(err)
+	}
+	return sess
+}
+
+func saveSessionLSA(store *sessionstore.Store, record string, sess *lightsecagg.Session) {
+	saveStoredSession(store, record, sess.MarshalBinary)
 }
 
 func selfTestLSA(cfg lightsecagg.Config, deadline time.Duration) {
@@ -323,9 +723,7 @@ func selfTestLSA(cfg lightsecagg.Config, deadline time.Duration) {
 			}
 		}()
 	}
-	for len(srv.Clients()) < len(cfg.ClientIDs) {
-		time.Sleep(10 * time.Millisecond)
-	}
+	waitForClients(srv, len(cfg.ClientIDs), 0)
 	sum, err := lightsecagg.RunWireServer(context.Background(),
 		lightsecagg.WireServerConfig{Config: cfg, StageDeadline: deadline}, srv)
 	if err != nil {

@@ -3,17 +3,20 @@
 // (Jiang, Wang, Chen — EuroSys 2024).
 //
 // The library lives under internal/; runnable entry points are
-// cmd/dordis (training CLI), cmd/dordis-node (TCP deployment of one
-// round), cmd/dordis-bench (regenerates every table and figure), and
-// examples/ (indexed in examples/README.md). The root package exists to
-// host the benchmark harness (bench_test.go), which prints the same rows
-// and series the paper reports.
+// cmd/dordis (training CLI), cmd/dordis-node (TCP deployment: one round,
+// or a multi-round service with the re-key handshake and persistent
+// client sessions), cmd/dordis-bench (regenerates every table and
+// figure), and examples/ (indexed in examples/README.md). The root
+// package exists to host the benchmark harness (bench_test.go), which
+// prints the same rows and series the paper reports.
 //
 // ARCHITECTURE.md maps the paper's pipeline onto the packages: the round
 // lifecycle, the shared stage-collection engine, the per-substrate
 // drivers and codecs, the session layer's threat model, and a table of
-// which driver runs where. This file keeps only the performance-contract
-// summary below.
+// which driver runs where. PROTOCOL.md is the wire-level reference:
+// framing, every stage message of both drivers, the handshake state
+// machine, codec byte layouts, and the session persistence format. This
+// file keeps only the performance-contract summary below.
 //
 // # Performance architecture
 //
@@ -112,6 +115,52 @@
 // key-reuse threat model"). The conservative default everywhere is
 // RatchetRounds ≤ 1: fresh keys per round, amortization within the
 // round's chunks only.
+//
+// Wire-deployment continuity. On the wire, whether a round resumes is
+// decided by the signed re-key handshake (core.RunHandshakeServer /
+// RunHandshakeClient; message layouts and state machine in PROTOCOL.md)
+// rather than by in-process policy, and three threat-model points are
+// specific to that deployment shape:
+//
+// Dropout taint over the wire. The taint that forces a re-key is
+// recorded in the session layer at the point of exposure: the server
+// taints a client the moment it reconstructs (or, for a scheduled
+// in-process drop, may reconstruct) that client's mask key in the unmask
+// stage, and a client holds its own session tainted from handshake
+// commit until clean round completion — so a crash, a network partition,
+// or a mid-round drop all surface as taint at the next handshake, from
+// whichever side observed them. Any taint on any side downgrades the
+// next round to a clean re-key; the cost of a false positive is one
+// advertise round trip, the cost of a false negative would be a server
+// that can derive a client's future pairwise masks, so every ambiguity
+// resolves toward re-key. The handshake also burns each ratchet step at
+// commit time on both sides (aborted rounds consume their step), closing
+// the derivation-point-reuse hole for drivers that do not go through
+// secagg.RoundSessions.
+//
+// At-rest session state. A client session persists across restarts as a
+// versioned binary record (secagg/persist.go, lightsecagg/persist.go)
+// sealed by internal/sessionstore: AES-256-GCM under a deployment-
+// supplied store key, associated data binding the record name and
+// envelope version, atomic file replacement. What a leak costs: the
+// encrypted file alone reveals nothing beyond its size; file plus store
+// key is equivalent to a live-endpoint compromise of that client — the
+// X25519 private scalars and cached pairwise secrets let the holder
+// derive that key generation's future (and, via the ratchet chain's
+// public derivation, same-generation past) pairwise mask streams and
+// decrypt that client's share ciphertexts, but nothing about other
+// clients' inputs and nothing beyond the key generation's KeyRounds
+// lifetime. Expanded masks are deliberately never persisted: a mask
+// keystream at rest would turn a store leak into a direct unmasking of
+// the one upload it covers, for zero amortization benefit — re-deriving
+// from the 32-byte secret costs ~1.6 ns/element, cheaper than reading
+// the expansion back from disk. Per-round state (self-mask seeds,
+// decrypted share bundles) is never persisted either; it is freshly
+// dealt every round by design.
+//
+// Sessions persist across restarts with zero key work: the restart-
+// resume acceptance test pins a restored wire round to zero dh.Generate
+// and zero dh.Agree calls via the process-wide counters, under -race.
 //
 // Unified protocol backends. The LightSecAgg baseline
 // (internal/lightsecagg) runs on the same machinery as the secagg

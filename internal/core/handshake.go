@@ -1,0 +1,571 @@
+package core
+
+import (
+	"context"
+	crand "crypto/rand"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/lightsecagg"
+	"repro/internal/secagg"
+	"repro/internal/sig"
+	"repro/internal/transport"
+)
+
+// The re-key handshake: how a wire deployment decides, before each round,
+// whether the coming round resumes the live key generation (skipped
+// advertise stage, cached pairwise secrets, ratcheted mask streams) or
+// re-keys from scratch. In-process drivers make that call inside
+// core.SessionPool, which sees the drop schedule; a real deployment has no
+// such oracle, so the decision is negotiated on the wire:
+//
+//	clients → server  RoundHello              ready for the next offer
+//	server → clients  RoundOffer   (signed)   round, substrate, proposed
+//	                                          resume-or-rekey, ratchet step,
+//	                                          roster hash
+//	clients → server  RoundAck                session state hash, dropout
+//	                                          taint, ratchet high-water mark
+//	server → clients  RoundCommit  (signed)   the final decision
+//
+// The hello makes the handshake restart-tolerant: a broadcast to whatever
+// connections happen to exist would race client re-dials (a bounced
+// client's fresh connection replaces its stale one asynchronously), so the
+// server sends the offer only after each expected client announced
+// readiness on its *current* connection — or the deadline expired, in
+// which case the absent clients miss the round and the protocol's
+// thresholds decide downstream.
+//
+// The server proposes resume only when its session holds an untainted
+// roster for exactly the round's client set and the key generation has
+// rounds left (HandshakeConfig.KeyRounds). The proposal survives into the
+// commit only if *every* client acked with a matching state hash, no
+// taint, and the same ratchet high-water mark; any mismatch, taint, stale
+// ratchet, malformed ack, or missing ack downgrades the round to a clean
+// re-key — re-keying with a resumable session costs one advertise round
+// trip, while resuming with a divergent one costs the round (or worse,
+// a repeated mask stream), so every failure mode falls back to re-key.
+//
+// Commit and offer are Ed25519-signed when the deployment configures a
+// server signer, so a network adversary cannot force clients onto a stale
+// decision; the acks are authenticated by the transport's sender stamping
+// (the same trust the round stages place in it). Replayed acks from an
+// earlier round carry a mismatched round number and count as re-key votes
+// rather than aborting the handshake. PROTOCOL.md documents the byte
+// layouts and the full state machine; doc.go covers the threat model of
+// resumed key generations.
+
+// Handshake message codec tags, continuing the core binary codec tag
+// namespace (codec.go: 0x01–0x04).
+const (
+	tagRoundOffer  = 0x05
+	tagRoundAck    = 0x06
+	tagRoundCommit = 0x07
+	tagRoundHello  = 0x08
+
+	// handshakeVersion versions the three message layouts together; a
+	// mixed-version peer fails loudly at decode.
+	handshakeVersion = 1
+
+	// maxHandshakeSig caps a declared signature length (Ed25519 needs 64).
+	maxHandshakeSig = 1 << 10
+)
+
+// RoundOffer is the server's pre-round announcement: the round number, the
+// substrate, and the resume-or-rekey proposal with the state it presumes.
+type RoundOffer struct {
+	Round    uint64
+	Protocol Protocol
+	// Resume proposes resuming the live key generation; false announces a
+	// clean re-key (fresh advertise stage).
+	Resume bool
+	// Ratchet is the KeyRatchet step the resumed round would run at; 0 on
+	// a re-key proposal.
+	Ratchet uint64
+	// RosterHash digests the roster the server would resume on (zero on a
+	// re-key proposal); clients compare it against their cached roster.
+	RosterHash [32]byte
+	// Signature is the server's Ed25519 signature over the offer body;
+	// empty in semi-honest deployments.
+	Signature []byte
+}
+
+// RoundAck is a client's reply: the state it could resume on, reported
+// raw so the server can diagnose divergence, plus the client's verdict.
+type RoundAck struct {
+	Round uint64
+	From  uint64
+	// CanResume is the client's own verdict: it holds an untainted session
+	// whose roster hash and ratchet position match the offer exactly.
+	CanResume bool
+	// Tainted reports client-side dropout taint (a round in flight or
+	// abandoned on this key generation).
+	Tainted bool
+	// HasHash distinguishes "no cached roster" from a zero hash.
+	HasHash   bool
+	StateHash [32]byte
+	// NextRatchet is the client's derivation-point high-water mark.
+	NextRatchet uint64
+}
+
+// RoundCommit is the server's final decision, broadcast after the acks.
+type RoundCommit struct {
+	Round   uint64
+	Resume  bool
+	Ratchet uint64
+	// Signature is the server's Ed25519 signature over the commit body;
+	// empty in semi-honest deployments.
+	Signature []byte
+}
+
+// Signature domain separators: the signed payload is the label followed by
+// the encoded message body (everything before the signature section).
+var (
+	offerSigLabel  = []byte("dordis/handshake/offer/v1|")
+	commitSigLabel = []byte("dordis/handshake/commit/v1|")
+)
+
+func sigPayload(label, body []byte) []byte {
+	out := make([]byte, 0, len(label)+len(body))
+	out = append(out, label...)
+	return append(out, body...)
+}
+
+func appendSig(body []byte, signer *sig.Signer, label []byte) []byte {
+	var sg []byte
+	if signer != nil {
+		sg = signer.Sign(sigPayload(label, body))
+	}
+	return transport.AppendBlob(body, sg)
+}
+
+// encodeRoundOffer encodes and (optionally) signs an offer.
+func encodeRoundOffer(o RoundOffer, signer *sig.Signer) []byte {
+	body := make([]byte, 0, 3+8+1+1+8+32+2+64)
+	body = append(body, codecMagic, tagRoundOffer, handshakeVersion)
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], o.Round)
+	body = append(body, b[:]...)
+	body = append(body, byte(o.Protocol))
+	var flags byte
+	if o.Resume {
+		flags |= 1
+	}
+	body = append(body, flags)
+	binary.LittleEndian.PutUint64(b[:], o.Ratchet)
+	body = append(body, b[:]...)
+	body = append(body, o.RosterHash[:]...)
+	return appendSig(body, signer, offerSigLabel)
+}
+
+// decodeRoundOffer decodes an offer; serverPub, when non-empty, makes a
+// valid signature mandatory.
+func decodeRoundOffer(p []byte, serverPub []byte) (RoundOffer, error) {
+	const bodyLen = 3 + 8 + 1 + 1 + 8 + 32
+	if len(p) < bodyLen+2 || p[0] != codecMagic || p[1] != tagRoundOffer {
+		return RoundOffer{}, fmt.Errorf("core: not a round offer")
+	}
+	if p[2] != handshakeVersion {
+		return RoundOffer{}, fmt.Errorf("core: round offer version %d, want %d", p[2], handshakeVersion)
+	}
+	var o RoundOffer
+	o.Round = binary.LittleEndian.Uint64(p[3:])
+	o.Protocol = Protocol(p[11])
+	o.Resume = p[12]&1 != 0
+	o.Ratchet = binary.LittleEndian.Uint64(p[13:])
+	copy(o.RosterHash[:], p[21:])
+	sg, err := decodeSigSection(p[bodyLen:])
+	if err != nil {
+		return RoundOffer{}, fmt.Errorf("core: round offer: %w", err)
+	}
+	o.Signature = sg
+	if len(serverPub) > 0 && !sig.Verify(serverPub, sigPayload(offerSigLabel, p[:bodyLen]), sg) {
+		return RoundOffer{}, fmt.Errorf("core: round offer signature invalid or missing")
+	}
+	return o, nil
+}
+
+// decodeSigSection decodes the trailing [len:2][sig] section (the shared
+// transport blob codec) and rejects trailing bytes.
+func decodeSigSection(p []byte) ([]byte, error) {
+	sg, rest, err := transport.DecodeBlob(p, maxHandshakeSig)
+	if err != nil {
+		return nil, err
+	}
+	if len(rest) != 0 {
+		return nil, fmt.Errorf("%d trailing bytes after signature", len(rest))
+	}
+	return sg, nil
+}
+
+// encodeRoundAck encodes an ack (unsigned: the transport authenticates the
+// sender, exactly as it does for every round-stage upload).
+func encodeRoundAck(a RoundAck) []byte {
+	out := make([]byte, 0, 3+8+8+1+8+32)
+	out = append(out, codecMagic, tagRoundAck, handshakeVersion)
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], a.Round)
+	out = append(out, b[:]...)
+	binary.LittleEndian.PutUint64(b[:], a.From)
+	out = append(out, b[:]...)
+	var flags byte
+	if a.CanResume {
+		flags |= 1
+	}
+	if a.Tainted {
+		flags |= 2
+	}
+	if a.HasHash {
+		flags |= 4
+	}
+	out = append(out, flags)
+	binary.LittleEndian.PutUint64(b[:], a.NextRatchet)
+	out = append(out, b[:]...)
+	return append(out, a.StateHash[:]...)
+}
+
+// decodeRoundAck decodes an ack.
+func decodeRoundAck(p []byte) (RoundAck, error) {
+	const wantLen = 3 + 8 + 8 + 1 + 8 + 32
+	if len(p) != wantLen || p[0] != codecMagic || p[1] != tagRoundAck {
+		return RoundAck{}, fmt.Errorf("core: not a round ack")
+	}
+	if p[2] != handshakeVersion {
+		return RoundAck{}, fmt.Errorf("core: round ack version %d, want %d", p[2], handshakeVersion)
+	}
+	var a RoundAck
+	a.Round = binary.LittleEndian.Uint64(p[3:])
+	a.From = binary.LittleEndian.Uint64(p[11:])
+	a.CanResume = p[19]&1 != 0
+	a.Tainted = p[19]&2 != 0
+	a.HasHash = p[19]&4 != 0
+	a.NextRatchet = binary.LittleEndian.Uint64(p[20:])
+	copy(a.StateHash[:], p[28:])
+	return a, nil
+}
+
+// encodeRoundCommit encodes and (optionally) signs a commit.
+func encodeRoundCommit(c RoundCommit, signer *sig.Signer) []byte {
+	body := make([]byte, 0, 3+8+1+8+2+64)
+	body = append(body, codecMagic, tagRoundCommit, handshakeVersion)
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], c.Round)
+	body = append(body, b[:]...)
+	var flags byte
+	if c.Resume {
+		flags |= 1
+	}
+	body = append(body, flags)
+	binary.LittleEndian.PutUint64(b[:], c.Ratchet)
+	body = append(body, b[:]...)
+	return appendSig(body, signer, commitSigLabel)
+}
+
+// decodeRoundCommit decodes a commit; serverPub, when non-empty, makes a
+// valid signature mandatory.
+func decodeRoundCommit(p []byte, serverPub []byte) (RoundCommit, error) {
+	const bodyLen = 3 + 8 + 1 + 8
+	if len(p) < bodyLen+2 || p[0] != codecMagic || p[1] != tagRoundCommit {
+		return RoundCommit{}, fmt.Errorf("core: not a round commit")
+	}
+	if p[2] != handshakeVersion {
+		return RoundCommit{}, fmt.Errorf("core: round commit version %d, want %d", p[2], handshakeVersion)
+	}
+	var c RoundCommit
+	c.Round = binary.LittleEndian.Uint64(p[3:])
+	c.Resume = p[11]&1 != 0
+	c.Ratchet = binary.LittleEndian.Uint64(p[12:])
+	sg, err := decodeSigSection(p[bodyLen:])
+	if err != nil {
+		return RoundCommit{}, fmt.Errorf("core: round commit: %w", err)
+	}
+	c.Signature = sg
+	if len(serverPub) > 0 && !sig.Verify(serverPub, sigPayload(commitSigLabel, p[:bodyLen]), sg) {
+		return RoundCommit{}, fmt.Errorf("core: round commit signature invalid or missing")
+	}
+	return c, nil
+}
+
+// ClientSessionState is the handshake's view of a client's session layer.
+// *secagg.Session and *lightsecagg.Session implement it.
+type ClientSessionState interface {
+	// StateHash digests the cached roster the session could resume on
+	// (ok=false: none).
+	StateHash() ([32]byte, bool)
+	// Tainted reports dropout taint: a round in flight or abandoned.
+	Tainted() bool
+	// Taint marks a round in flight; the driver clears it on clean
+	// completion.
+	Taint()
+	// NextRatchet is the derivation-point high-water mark.
+	NextRatchet() uint64
+	// MarkRatchetUsed burns the derivation point at the given step.
+	MarkRatchetUsed(uint64)
+	// Rekey replaces the key generation and clears every cache.
+	Rekey(rand io.Reader) error
+}
+
+// ServerSessionState is the handshake's view of the server's session
+// layer. *secagg.ServerSession and *lightsecagg.ServerSession implement it.
+type ServerSessionState interface {
+	// StateHashFor digests the roster the session could resume a round
+	// over exactly ids on (ok=false: none, or partial coverage).
+	StateHashFor(ids []uint64) ([32]byte, bool)
+	// HasTaint reports whether any client's key material was (or may have
+	// been) reconstructed on this key generation.
+	HasTaint() bool
+	// NextRatchet is the derivation-point high-water mark.
+	NextRatchet() uint64
+	// MarkRatchetUsed burns the derivation point at the given step.
+	MarkRatchetUsed(uint64)
+	// Rekey clears the session for a fresh key generation.
+	Rekey()
+}
+
+// Both substrates' session layers satisfy the handshake interfaces.
+var (
+	_ ClientSessionState = (*secagg.Session)(nil)
+	_ ClientSessionState = (*lightsecagg.Session)(nil)
+	_ ServerSessionState = (*secagg.ServerSession)(nil)
+	_ ServerSessionState = (*lightsecagg.ServerSession)(nil)
+)
+
+// HandshakeConfig configures the server side of one pre-round handshake.
+type HandshakeConfig struct {
+	Round     uint64
+	Protocol  Protocol
+	ClientIDs []uint64
+	// KeyRounds bounds how many consecutive rounds one key generation may
+	// serve, mirroring SessionPool.RatchetRounds: resume is proposed only
+	// while the ratchet high-water mark is below it. Values ≤ 1 disable
+	// cross-round resume — every handshake re-keys, the conservative
+	// default of the session threat model (doc.go).
+	KeyRounds int
+	// Deadline bounds ack collection; ≤ 0 defaults to 2s.
+	Deadline time.Duration
+	// Signer, when non-nil, signs offers and commits (the deployment
+	// distributes the verification key to clients out of band).
+	Signer *sig.Signer
+}
+
+// Handshake is the negotiated outcome both sides run the round under.
+type Handshake struct {
+	Round    uint64
+	Protocol Protocol
+	// Resume: the round skips the advertise stage and reuses the live key
+	// generation at the Ratchet step; false: clean re-key, fresh advertise.
+	Resume  bool
+	Ratchet uint64
+}
+
+// RunHandshakeServer negotiates one round's resume-or-rekey decision with
+// every client and returns the outcome the caller must run the round
+// under (WireServerConfig.Resume, Config.KeyRatchet and Round).
+//
+// eng must be the same engine (same transport fan-in) the round itself
+// will collect through — two concurrent fan-ins on one connection would
+// steal each other's frames — and its source context must span both the
+// handshake and the round. On a re-key outcome the server session has
+// already been Rekey()ed when this returns.
+func RunHandshakeServer(ctx context.Context, cfg HandshakeConfig, sess ServerSessionState,
+	eng *engine.Engine, conn transport.ServerConn) (Handshake, error) {
+
+	if sess == nil {
+		return Handshake{}, fmt.Errorf("core: handshake requires a server session")
+	}
+	deadline := cfg.Deadline
+	if deadline <= 0 {
+		deadline = 2 * time.Second
+	}
+	ids := cfg.ClientIDs
+
+	// Wait for each expected client to announce readiness on its current
+	// connection before offering (see the hello note above). Absentees at
+	// the deadline are simply offered into the void; their missing acks
+	// downgrade the round to a re-key and the round thresholds take it
+	// from there.
+	_, err := eng.Collect(ctx, engine.Stage{
+		Name: "handshake-hello", Tag: engine.TagRoundHello, Expect: ids, Deadline: deadline,
+		Apply: func(uint64, any) error { return nil },
+	})
+	if err != nil {
+		return Handshake{}, err
+	}
+
+	// Propose resume only from locally sufficient state: an untainted
+	// roster covering exactly this client set, with ratchet budget left.
+	ratchet := sess.NextRatchet()
+	hash, haveRoster := sess.StateHashFor(ids)
+	propose := haveRoster && !sess.HasTaint() &&
+		cfg.KeyRounds > 1 && ratchet < uint64(cfg.KeyRounds)
+	offer := RoundOffer{Round: cfg.Round, Protocol: cfg.Protocol}
+	if propose {
+		offer.Resume = true
+		offer.Ratchet = ratchet
+		offer.RosterHash = hash
+	}
+	broadcast(conn, ids, engine.TagRoundOffer, encodeRoundOffer(offer, cfg.Signer))
+
+	// Collect acks. Malformed or stale-round acks become re-key votes
+	// rather than aborts: the handshake's failure mode is always "re-key",
+	// never "wedge the round".
+	acks := make(map[uint64]RoundAck, len(ids))
+	_, err = eng.Collect(ctx, engine.Stage{
+		Name: "handshake-ack", Tag: engine.TagRoundAck, Expect: ids, Deadline: deadline,
+		Decode: func(m engine.Msg) (any, error) {
+			a, err := decodeRoundAck(m.Body.([]byte))
+			if err != nil {
+				return RoundAck{From: m.From}, nil // malformed: counts as a refusal
+			}
+			return a, nil
+		},
+		Apply: func(from uint64, body any) error {
+			a := body.(RoundAck)
+			a.From = from // transport-verified sender wins over the payload claim
+			acks[from] = a
+			return nil
+		},
+	})
+	if err != nil {
+		return Handshake{}, err
+	}
+
+	resume := propose && len(acks) == len(ids)
+	if resume {
+		for _, a := range acks {
+			if a.Round != cfg.Round || !a.CanResume || a.Tainted ||
+				!a.HasHash || a.StateHash != hash || a.NextRatchet != ratchet {
+				resume = false
+				break
+			}
+		}
+	}
+	if resume {
+		sess.MarkRatchetUsed(ratchet)
+	} else {
+		sess.Rekey()
+		ratchet = 0
+		// The coming round consumes step 0 of the fresh generation; burn it
+		// now so the next handshake proposes step 1, never a reuse of the
+		// derivation point the re-keyed round is about to run at.
+		sess.MarkRatchetUsed(0)
+	}
+	commit := RoundCommit{Round: cfg.Round, Resume: resume, Ratchet: ratchet}
+	broadcast(conn, ids, engine.TagRoundCommit, encodeRoundCommit(commit, cfg.Signer))
+	return Handshake{Round: cfg.Round, Protocol: cfg.Protocol, Resume: resume, Ratchet: ratchet}, nil
+}
+
+// ClientHandshakeConfig configures the client side of one pre-round
+// handshake.
+type ClientHandshakeConfig struct {
+	ID uint64
+	// Protocol is the substrate this client is configured for; an offer
+	// for a different substrate aborts (config desynchronization).
+	Protocol Protocol
+	// ServerPub, when non-empty, is the server's Ed25519 verification key:
+	// unsigned or mis-signed offers and commits are rejected.
+	ServerPub []byte
+	// Rand supplies key-generation randomness for a re-key outcome; nil
+	// defaults to crypto/rand.
+	Rand io.Reader
+}
+
+// RunHandshakeClient answers one pre-round handshake and prepares the
+// session for the committed outcome: on resume it burns the ratchet step;
+// on re-key it regenerates the session's key pairs. In both cases the
+// session is left tainted — the round is now in flight — and the round
+// driver clears the taint on clean completion, so a crash between
+// handshake and completion surfaces as taint at the next handshake.
+func RunHandshakeClient(ctx context.Context, cfg ClientHandshakeConfig, sess ClientSessionState,
+	conn transport.ClientConn) (Handshake, error) {
+
+	if sess == nil {
+		return Handshake{}, fmt.Errorf("core: handshake requires a client session")
+	}
+	rand := cfg.Rand
+	if rand == nil {
+		rand = crand.Reader
+	}
+
+	recv := func(stage int) ([]byte, error) {
+		for {
+			f, err := conn.Recv(ctx)
+			if err != nil {
+				return nil, err
+			}
+			if f.Stage == stage {
+				return f.Payload, nil
+			}
+		}
+	}
+
+	// Announce readiness on this connection; the server offers only after
+	// every expected client checked in (or its deadline expired).
+	hello := []byte{codecMagic, tagRoundHello, handshakeVersion}
+	if err := conn.Send(transport.Frame{Stage: engine.TagRoundHello, Payload: hello}); err != nil {
+		return Handshake{}, err
+	}
+
+	offerPayload, err := recv(engine.TagRoundOffer)
+	if err != nil {
+		return Handshake{}, err
+	}
+	offer, err := decodeRoundOffer(offerPayload, cfg.ServerPub)
+	if err != nil {
+		return Handshake{}, err
+	}
+	if offer.Protocol != cfg.Protocol {
+		return Handshake{}, fmt.Errorf("core: round offer for substrate %v, client runs %v",
+			offer.Protocol, cfg.Protocol)
+	}
+
+	hash, haveHash := sess.StateHash()
+	canResume := offer.Resume && haveHash && hash == offer.RosterHash &&
+		!sess.Tainted() && sess.NextRatchet() == offer.Ratchet
+	ack := RoundAck{
+		Round:       offer.Round,
+		From:        cfg.ID,
+		CanResume:   canResume,
+		Tainted:     sess.Tainted(),
+		HasHash:     haveHash,
+		StateHash:   hash,
+		NextRatchet: sess.NextRatchet(),
+	}
+	if err := conn.Send(transport.Frame{Stage: engine.TagRoundAck, Payload: encodeRoundAck(ack)}); err != nil {
+		return Handshake{}, err
+	}
+
+	commitPayload, err := recv(engine.TagRoundCommit)
+	if err != nil {
+		return Handshake{}, err
+	}
+	commit, err := decodeRoundCommit(commitPayload, cfg.ServerPub)
+	if err != nil {
+		return Handshake{}, err
+	}
+	if commit.Round != offer.Round {
+		return Handshake{}, fmt.Errorf("core: commit for round %d after offer for round %d",
+			commit.Round, offer.Round)
+	}
+	if commit.Resume {
+		// The server may only commit resume after our own CanResume ack; a
+		// commit we cannot follow is a protocol violation (or a replay),
+		// not something to run a round on.
+		if !canResume {
+			return Handshake{}, fmt.Errorf("core: server committed resume this client cannot follow")
+		}
+		sess.MarkRatchetUsed(commit.Ratchet)
+	} else {
+		if err := sess.Rekey(rand); err != nil {
+			return Handshake{}, err
+		}
+		// Mirror the server: the coming round consumes step 0 of the fresh
+		// generation.
+		sess.MarkRatchetUsed(0)
+	}
+	// Round in flight: cleared by the round driver on clean completion.
+	sess.Taint()
+	return Handshake{Round: offer.Round, Protocol: offer.Protocol, Resume: commit.Resume, Ratchet: commit.Ratchet}, nil
+}

@@ -1,0 +1,571 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"crypto/rand"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/dh"
+	"repro/internal/engine"
+	"repro/internal/field"
+	"repro/internal/lightsecagg"
+	"repro/internal/ring"
+	"repro/internal/secagg"
+	"repro/internal/sessionstore"
+	"repro/internal/sig"
+	"repro/internal/transport"
+)
+
+// --- handshake message codecs ---
+
+func TestHandshakeCodecRoundTrip(t *testing.T) {
+	signer, err := sig.NewSigner(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pub := signer.Public()
+
+	offer := RoundOffer{Round: 42, Protocol: ProtocolSecAggPlus, Resume: true, Ratchet: 3}
+	for i := range offer.RosterHash {
+		offer.RosterHash[i] = byte(i)
+	}
+	enc := encodeRoundOffer(offer, signer)
+	got, err := decodeRoundOffer(enc, pub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	offer.Signature = got.Signature // filled by the encoder
+	if got.Round != offer.Round || got.Protocol != offer.Protocol || !got.Resume ||
+		got.Ratchet != offer.Ratchet || got.RosterHash != offer.RosterHash {
+		t.Fatalf("offer round trip mismatch: %+v != %+v", got, offer)
+	}
+
+	ack := RoundAck{Round: 42, From: 7, CanResume: true, Tainted: true, HasHash: true, NextRatchet: 3}
+	copy(ack.StateHash[:], bytes.Repeat([]byte{9}, 32))
+	gotAck, err := decodeRoundAck(encodeRoundAck(ack))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotAck != ack {
+		t.Fatalf("ack round trip mismatch: %+v != %+v", gotAck, ack)
+	}
+
+	commit := RoundCommit{Round: 42, Resume: true, Ratchet: 3}
+	gotCommit, err := decodeRoundCommit(encodeRoundCommit(commit, signer), pub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotCommit.Round != commit.Round || !gotCommit.Resume || gotCommit.Ratchet != commit.Ratchet {
+		t.Fatalf("commit round trip mismatch: %+v", gotCommit)
+	}
+}
+
+func TestHandshakeCodecRejectsForgeries(t *testing.T) {
+	signer, _ := sig.NewSigner(rand.Reader)
+	other, _ := sig.NewSigner(rand.Reader)
+	offer := RoundOffer{Round: 1, Protocol: ProtocolSecAgg, Resume: true, Ratchet: 1}
+
+	// Unsigned offer rejected when a server key is pinned, accepted without.
+	unsigned := encodeRoundOffer(offer, nil)
+	if _, err := decodeRoundOffer(unsigned, signer.Public()); err == nil {
+		t.Fatal("unsigned offer accepted under a pinned server key")
+	}
+	if _, err := decodeRoundOffer(unsigned, nil); err != nil {
+		t.Fatalf("unsigned offer rejected in semi-honest mode: %v", err)
+	}
+
+	// Wrong signer rejected.
+	forged := encodeRoundOffer(offer, other)
+	if _, err := decodeRoundOffer(forged, signer.Public()); err == nil {
+		t.Fatal("offer signed by the wrong key accepted")
+	}
+
+	// A flipped body bit invalidates the signature.
+	good := encodeRoundOffer(offer, signer)
+	flipped := append([]byte(nil), good...)
+	flipped[3] ^= 1 // round number
+	if _, err := decodeRoundOffer(flipped, signer.Public()); err == nil {
+		t.Fatal("offer with tampered body accepted")
+	}
+
+	// Same for commits.
+	commit := encodeRoundCommit(RoundCommit{Round: 1, Resume: true, Ratchet: 1}, signer)
+	badCommit := append([]byte(nil), commit...)
+	badCommit[11] ^= 1 // resume flag
+	if _, err := decodeRoundCommit(badCommit, signer.Public()); err == nil {
+		t.Fatal("commit with tampered body accepted")
+	}
+}
+
+func TestHandshakeCodecMalformed(t *testing.T) {
+	signer, _ := sig.NewSigner(rand.Reader)
+	offer := encodeRoundOffer(RoundOffer{Round: 1}, signer)
+	ack := encodeRoundAck(RoundAck{Round: 1, From: 2})
+	commit := encodeRoundCommit(RoundCommit{Round: 1}, signer)
+	for name, blob := range map[string][]byte{"offer": offer, "ack": ack, "commit": commit} {
+		for i := 0; i < len(blob); i++ {
+			// Truncations must be rejected, never panic.
+			switch name {
+			case "offer":
+				if _, err := decodeRoundOffer(blob[:i], nil); err == nil {
+					t.Fatalf("truncated %s at %d accepted", name, i)
+				}
+			case "ack":
+				if _, err := decodeRoundAck(blob[:i]); err == nil {
+					t.Fatalf("truncated %s at %d accepted", name, i)
+				}
+			case "commit":
+				if _, err := decodeRoundCommit(blob[:i], nil); err == nil {
+					t.Fatalf("truncated %s at %d accepted", name, i)
+				}
+			}
+		}
+	}
+	// Trailing bytes after the signature section are rejected.
+	if _, err := decodeRoundOffer(append(offer, 0), nil); err == nil {
+		t.Fatal("offer with trailing byte accepted")
+	}
+	if _, err := decodeRoundCommit(append(commit, 0), nil); err == nil {
+		t.Fatal("commit with trailing byte accepted")
+	}
+}
+
+// --- wire restart-resume lifecycle ---
+
+// handshakeRig is a multi-round wire deployment over the in-memory
+// transport: one long-lived server engine (shared by handshakes and
+// rounds, as a real deployment must), persistent client connections, and
+// per-client secagg sessions.
+type handshakeRig struct {
+	t         *testing.T
+	ids       []uint64
+	threshold int
+	dim       int
+	net       *transport.MemoryNetwork
+	srv       transport.ServerConn
+	eng       *engine.Engine
+	cancel    context.CancelFunc
+	ctx       context.Context
+
+	signer     *sig.Signer
+	serverSess *secagg.ServerSession
+	clientSess map[uint64]*secagg.Session
+	conns      map[uint64]transport.ClientConn
+}
+
+func newHandshakeRig(t *testing.T, ids []uint64, threshold, dim int) *handshakeRig {
+	t.Helper()
+	signer, err := sig.NewSigner(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := transport.NewMemoryNetwork(256)
+	srv := net.Server()
+	ctx, cancel := context.WithCancel(context.Background())
+	t.Cleanup(cancel)
+	rig := &handshakeRig{
+		t: t, ids: ids, threshold: threshold, dim: dim,
+		net: net, srv: srv,
+		eng: engine.New(engine.TransportSource(ctx, srv)),
+		ctx: ctx, cancel: cancel,
+		signer:     signer,
+		serverSess: secagg.NewServerSession(),
+		clientSess: make(map[uint64]*secagg.Session),
+		conns:      make(map[uint64]transport.ClientConn),
+	}
+	for _, id := range ids {
+		sess, err := secagg.NewSession(rand.Reader)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rig.clientSess[id] = sess
+		rig.connect(id)
+	}
+	return rig
+}
+
+func (r *handshakeRig) connect(id uint64) {
+	conn, err := r.net.Connect(id)
+	if err != nil {
+		r.t.Fatal(err)
+	}
+	r.conns[id] = conn
+}
+
+func (r *handshakeRig) config(round, ratchet uint64) secagg.Config {
+	return secagg.Config{
+		Round: round, ClientIDs: r.ids, Threshold: r.threshold,
+		Bits: 16, Dim: r.dim, KeyRatchet: ratchet,
+	}
+}
+
+// round runs one handshake-then-round over the rig. drops maps client ids
+// to the stage before which they vanish. It returns the server's handshake
+// outcome and result.
+func (r *handshakeRig) round(round uint64, drops map[uint64]secagg.Stage) (Handshake, *secagg.Result) {
+	r.t.Helper()
+	var wg sync.WaitGroup
+	for _, id := range r.ids {
+		id := id
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sess := r.clientSess[id]
+			conn := r.conns[id]
+			hs, err := RunHandshakeClient(r.ctx, ClientHandshakeConfig{
+				ID: id, Protocol: ProtocolSecAgg, ServerPub: r.signer.Public(), Rand: rand.Reader,
+			}, sess, conn)
+			if err != nil {
+				r.t.Errorf("client %d handshake: %v", id, err)
+				return
+			}
+			drop, ok := drops[id]
+			if !ok {
+				drop = NoDrop
+			}
+			input := ring.NewVector(16, r.dim)
+			for i := range input.Data {
+				input.Data[i] = id
+			}
+			cfg := WireClientConfig{
+				SecAgg: r.config(hs.Round, hs.Ratchet), ID: id, Input: input,
+				DropBefore: drop, Rand: rand.Reader,
+				Session: sess, Resume: hs.Resume,
+			}
+			if _, err := RunWireClient(r.ctx, cfg, conn); err != nil && drop == NoDrop {
+				r.t.Errorf("client %d round: %v", id, err)
+			}
+		}()
+	}
+
+	hs, err := RunHandshakeServer(r.ctx, HandshakeConfig{
+		Round: round, Protocol: ProtocolSecAgg, ClientIDs: r.ids,
+		KeyRounds: 16, Deadline: 2 * time.Second, Signer: r.signer,
+	}, r.serverSess, r.eng, r.srv)
+	if err != nil {
+		r.t.Fatalf("server handshake: %v", err)
+	}
+	res, err := RunWireServer(r.ctx, WireServerConfig{
+		SecAgg: r.config(hs.Round, hs.Ratchet), StageDeadline: 500 * time.Millisecond,
+		Session: r.serverSess, Resume: hs.Resume, Engine: r.eng,
+	}, r.srv)
+	if err != nil {
+		r.t.Fatalf("server round %d: %v", round, err)
+	}
+	wg.Wait()
+	return hs, res
+}
+
+func (r *handshakeRig) checkSum(res *secagg.Result, survivors []uint64) {
+	r.t.Helper()
+	var want uint64
+	for _, id := range survivors {
+		want += id
+	}
+	for i, v := range res.Sum {
+		if v != want {
+			r.t.Fatalf("sum[%d] = %d, want %d (survivors %v)", i, v, want, survivors)
+		}
+	}
+}
+
+// TestWireRestartResume is the acceptance path of the continuity
+// subsystem: a wire deployment runs a round, every client persists its
+// session through the AEAD store and "restarts" (all in-memory state
+// discarded), and the next handshake resumes the key generation — the
+// restarted round performs zero X25519 key generations and zero
+// agreements, asserted against the process-wide dh counters. A later
+// mid-round dropout taints the generation on both sides and the next
+// handshake downgrades to a clean re-key.
+func TestWireRestartResume(t *testing.T) {
+	ids := []uint64{1, 2, 3, 4, 5}
+	rig := newHandshakeRig(t, ids, 3, 32)
+	store, err := sessionstore.Open(t.TempDir(), sessionstore.DeriveKey([]byte("restart-resume test")))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Round 1: no shared state yet — the handshake must re-key.
+	hs, res := rig.round(1, nil)
+	if hs.Resume {
+		t.Fatal("round 1 resumed with no prior state")
+	}
+	rig.checkSum(res, ids)
+
+	// Persist every client session, then simulate a fleet-wide client
+	// restart: drop the live sessions and restore from the store.
+	for _, id := range ids {
+		blob, err := rig.clientSess[id].MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := store.Save(fmt.Sprintf("client-%d", id), blob); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, id := range ids {
+		blob, err := store.Load(fmt.Sprintf("client-%d", id))
+		if err != nil {
+			t.Fatal(err)
+		}
+		restored, err := secagg.UnmarshalSession(blob)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rig.clientSess[id] = restored
+	}
+
+	// Round 2: resumed on the restored sessions with zero key work.
+	gen0, agree0 := dh.GenerateCount(), dh.AgreeCount()
+	hs, res = rig.round(2, nil)
+	if !hs.Resume {
+		t.Fatal("round 2 did not resume on restored sessions")
+	}
+	if hs.Ratchet != 1 {
+		t.Fatalf("round 2 ratchet = %d, want 1", hs.Ratchet)
+	}
+	rig.checkSum(res, ids)
+	if g, a := dh.GenerateCount()-gen0, dh.AgreeCount()-agree0; g != 0 || a != 0 {
+		t.Fatalf("restart-resumed round performed key work: %d generations, %d agreements", g, a)
+	}
+
+	// Round 3: client 5 vanishes before its masked upload. The round still
+	// resumes (the taint is only observed mid-round) and completes without
+	// it; the server reconstructs 5's mask key and taints the generation.
+	hs, res = rig.round(3, map[uint64]secagg.Stage{5: secagg.StageMaskedInput})
+	if !hs.Resume {
+		t.Fatal("round 3 did not resume")
+	}
+	rig.checkSum(res, []uint64{1, 2, 3, 4})
+	if len(res.Dropped) != 1 || res.Dropped[0] != 5 {
+		t.Fatalf("round 3 dropped = %v, want [5]", res.Dropped)
+	}
+	if !rig.serverSess.HasTaint() {
+		t.Fatal("server session not tainted after reconstructing a dropper's key")
+	}
+	if !rig.clientSess[5].Tainted() {
+		t.Fatal("dropped client's session not tainted")
+	}
+
+	// Round 4: the dropout must force a clean re-key on the next
+	// handshake, and the re-keyed round completes with everyone back.
+	rig.connect(5) // the bounced client re-dials
+	gen0 = dh.GenerateCount()
+	hs, res = rig.round(4, nil)
+	if hs.Resume {
+		t.Fatal("round 4 resumed over a tainted generation")
+	}
+	rig.checkSum(res, ids)
+	if dh.GenerateCount() == gen0 {
+		t.Fatal("re-keyed round generated no fresh keys")
+	}
+
+	// Round 5: the fresh generation resumes again — taint was cleared by
+	// the re-key.
+	gen0, agree0 = dh.GenerateCount(), dh.AgreeCount()
+	hs, res = rig.round(5, nil)
+	if !hs.Resume {
+		t.Fatal("round 5 did not resume after the re-key")
+	}
+	rig.checkSum(res, ids)
+	if g, a := dh.GenerateCount()-gen0, dh.AgreeCount()-agree0; g != 0 || a != 0 {
+		t.Fatalf("resumed round 5 performed key work: %d generations, %d agreements", g, a)
+	}
+}
+
+// TestHandshakeKeyRoundsBudget pins the lifetime bound: with KeyRounds=2 a
+// generation serves its re-key round plus exactly one resumed round, then
+// the next handshake re-keys even though nothing diverged.
+func TestHandshakeKeyRoundsBudget(t *testing.T) {
+	ids := []uint64{1, 2, 3}
+	rig := newHandshakeRig(t, ids, 2, 16)
+	run := func(round uint64) Handshake {
+		var wg sync.WaitGroup
+		for _, id := range ids {
+			id := id
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				sess := rig.clientSess[id]
+				hs, err := RunHandshakeClient(rig.ctx, ClientHandshakeConfig{
+					ID: id, Protocol: ProtocolSecAgg, ServerPub: rig.signer.Public(), Rand: rand.Reader,
+				}, sess, rig.conns[id])
+				if err != nil {
+					rig.t.Errorf("client %d handshake: %v", id, err)
+					return
+				}
+				input := ring.NewVector(16, rig.dim)
+				if _, err := RunWireClient(rig.ctx, WireClientConfig{
+					SecAgg: rig.config(hs.Round, hs.Ratchet), ID: id, Input: input,
+					DropBefore: NoDrop, Rand: rand.Reader, Session: sess, Resume: hs.Resume,
+				}, rig.conns[id]); err != nil {
+					rig.t.Errorf("client %d round: %v", id, err)
+				}
+			}()
+		}
+		hs, err := RunHandshakeServer(rig.ctx, HandshakeConfig{
+			Round: round, Protocol: ProtocolSecAgg, ClientIDs: ids,
+			KeyRounds: 2, Deadline: 2 * time.Second, Signer: rig.signer,
+		}, rig.serverSess, rig.eng, rig.srv)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := RunWireServer(rig.ctx, WireServerConfig{
+			SecAgg: rig.config(hs.Round, hs.Ratchet), StageDeadline: 500 * time.Millisecond,
+			Session: rig.serverSess, Resume: hs.Resume, Engine: rig.eng,
+		}, rig.srv); err != nil {
+			t.Fatal(err)
+		}
+		wg.Wait()
+		return hs
+	}
+	want := []bool{false, true, false, true} // rekey, resume, budget exhausted, resume
+	for i, wantResume := range want {
+		hs := run(uint64(i + 1))
+		if hs.Resume != wantResume {
+			t.Fatalf("round %d resume = %v, want %v", i+1, hs.Resume, wantResume)
+		}
+	}
+}
+
+// TestHandshakeLightSecAggResume drives the handshake over the
+// LightSecAgg wire driver: round 2 resumes on persisted-and-restored
+// sessions with zero key generations and zero agreements.
+func TestHandshakeLightSecAggResume(t *testing.T) {
+	ids := []uint64{1, 2, 3, 4, 5}
+	cfg := lightsecagg.Config{ClientIDs: ids, PrivacyT: 1, Dropout: 1, Dim: 8}
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	signer, err := sig.NewSigner(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := transport.NewMemoryNetwork(256)
+	srv := net.Server()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	eng := engine.New(engine.TransportSource(ctx, srv))
+	serverSess := lightsecagg.NewServerSession()
+	store, err := sessionstore.Open(t.TempDir(), sessionstore.DeriveKey([]byte("lsa")))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	clientSess := make(map[uint64]*lightsecagg.Session)
+	conns := make(map[uint64]transport.ClientConn)
+	for _, id := range ids {
+		sess, err := lightsecagg.NewSession(rand.Reader)
+		if err != nil {
+			t.Fatal(err)
+		}
+		clientSess[id] = sess
+		conn, err := net.Connect(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		conns[id] = conn
+	}
+
+	run := func(round uint64) (Handshake, []field.Element) {
+		rcfg := cfg
+		rcfg.Round = round
+		var wg sync.WaitGroup
+		for _, id := range ids {
+			id := id
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				sess := clientSess[id]
+				hs, err := RunHandshakeClient(ctx, ClientHandshakeConfig{
+					ID: id, Protocol: ProtocolLightSecAgg, ServerPub: signer.Public(), Rand: rand.Reader,
+				}, sess, conns[id])
+				if err != nil {
+					t.Errorf("client %d handshake: %v", id, err)
+					return
+				}
+				input := make([]field.Element, rcfg.Dim)
+				for i := range input {
+					input[i] = lightsecagg.Lift(int64(id))
+				}
+				if _, err := lightsecagg.RunWireClient(ctx, lightsecagg.WireClientConfig{
+					Config: rcfg, ID: id, Input: input, Rand: rand.Reader,
+					Session: sess, Resume: hs.Resume,
+				}, conns[id]); err != nil {
+					t.Errorf("client %d round: %v", id, err)
+				}
+			}()
+		}
+		hs, err := RunHandshakeServer(ctx, HandshakeConfig{
+			Round: round, Protocol: ProtocolLightSecAgg, ClientIDs: ids,
+			KeyRounds: 2, Deadline: 2 * time.Second, Signer: signer,
+		}, serverSess, eng, srv)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum, err := lightsecagg.RunWireServer(ctx, lightsecagg.WireServerConfig{
+			Config: rcfg, StageDeadline: 2 * time.Second,
+			Session: serverSess, Resume: hs.Resume, Engine: eng,
+		}, srv)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Wait()
+		return hs, sum
+	}
+
+	hs, sum := run(1)
+	if hs.Resume {
+		t.Fatal("round 1 resumed with no prior state")
+	}
+	var want int64
+	for _, id := range ids {
+		want += int64(id)
+	}
+	for i, e := range sum {
+		if lightsecagg.Center(e) != want {
+			t.Fatalf("sum[%d] = %d, want %d", i, lightsecagg.Center(e), want)
+		}
+	}
+
+	// Persist, restart, restore.
+	for _, id := range ids {
+		blob, err := clientSess[id].MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := store.Save(fmt.Sprintf("client-%d", id), blob); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, id := range ids {
+		blob, err := store.Load(fmt.Sprintf("client-%d", id))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if clientSess[id], err = lightsecagg.UnmarshalSession(blob); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	gen0, agree0 := dh.GenerateCount(), dh.AgreeCount()
+	hs, _ = run(2)
+	if !hs.Resume {
+		t.Fatal("round 2 did not resume on restored sessions")
+	}
+	if g, a := dh.GenerateCount()-gen0, dh.AgreeCount()-agree0; g != 0 || a != 0 {
+		t.Fatalf("restart-resumed LSA round performed key work: %d generations, %d agreements", g, a)
+	}
+
+	// The KeyRounds budget applies to LightSecAgg key generations too:
+	// the generation served its re-key round plus one resumed round
+	// (KeyRounds=2), so round 3 must re-key even though nothing diverged.
+	hs, _ = run(3)
+	if hs.Resume {
+		t.Fatal("round 3 resumed past the KeyRounds budget")
+	}
+}

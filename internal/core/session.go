@@ -39,7 +39,6 @@ type SessionPool struct {
 	sess       *secagg.RoundSessions
 	ids        []uint64
 	roundsUsed int
-	tainted    map[uint64]bool // clients whose keys the server may know
 
 	// LightSecAgg arm: rounds pinned to ProtocolLightSecAgg draw their
 	// sessions here instead. The reuse policy is the same RatchetRounds
@@ -60,8 +59,11 @@ func NewSessionPool(ratchetRounds int) *SessionPool {
 
 // acquire returns the sessions for a round over ids plus the ratchet step
 // the round must run at. It reuses the pooled sessions when the client set
-// is unchanged, no member is tainted, and the key generation has rounds
-// left; otherwise it generates fresh sessions (step 0).
+// is unchanged, the session layer carries no dropout taint, and the key
+// generation has rounds left; otherwise it generates fresh sessions
+// (step 0). Taint lives in secagg.ServerSession — the same store the wire
+// re-key handshake consults — so reconstruction observed by any driver
+// (in-process DropSchedule or a real wire dropout) forces the same re-key.
 func (p *SessionPool) acquire(ids []uint64, rand io.Reader) (*secagg.RoundSessions, uint64, error) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
@@ -69,9 +71,10 @@ func (p *SessionPool) acquire(ids []uint64, rand io.Reader) (*secagg.RoundSessio
 	if max < 1 {
 		max = 1
 	}
-	if p.sess != nil && p.roundsUsed < max && sameIDs(p.ids, ids) && len(p.tainted) == 0 {
+	if p.sess != nil && p.roundsUsed < max && sameIDs(p.ids, ids) && !p.sess.Server.HasTaint() {
 		step := uint64(p.roundsUsed)
 		p.roundsUsed++
+		p.sess.Server.MarkRatchetUsed(step)
 		return p.sess, step, nil
 	}
 	sess, err := secagg.NewRoundSessions(ids, rand)
@@ -81,7 +84,7 @@ func (p *SessionPool) acquire(ids []uint64, rand io.Reader) (*secagg.RoundSessio
 	p.sess = sess
 	p.ids = append([]uint64(nil), ids...)
 	p.roundsUsed = 1
-	p.tainted = nil
+	sess.Server.MarkRatchetUsed(0)
 	return sess, 0, nil
 }
 
@@ -112,19 +115,18 @@ func (p *SessionPool) acquireLightSecAgg(ids []uint64, rand io.Reader) (*lightse
 
 // invalidate marks clients whose sessions must not survive into the next
 // round (the server reconstructed — or may have reconstructed — their mask
-// keys). The next acquire regenerates every session: a partial roster
-// cannot skip the advertise stage anyway.
+// keys). The taint is recorded on the pooled secagg.ServerSession, the
+// same store Server.unmask taints organically when it actually
+// reconstructs a key; the next acquire sees it and regenerates every
+// session (a partial roster cannot skip the advertise stage anyway).
 func (p *SessionPool) invalidate(ids []uint64) {
 	if len(ids) == 0 {
 		return
 	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	if p.tainted == nil {
-		p.tainted = make(map[uint64]bool, len(ids))
-	}
-	for _, id := range ids {
-		p.tainted[id] = true
+	if p.sess != nil {
+		p.sess.Server.MarkTainted(ids...)
 	}
 }
 

@@ -68,8 +68,23 @@ type WireServerConfig struct {
 	// across the rounds that share it; with Resume, the advertise stage is
 	// skipped entirely and the round starts from the session's cached
 	// roster (the deployment must set the matching flags on every client).
+	// Whether the next round may resume is what the re-key handshake
+	// (RunHandshakeServer) negotiates.
 	Session *secagg.ServerSession
 	Resume  bool
+
+	// Engine, when non-nil, is an externally owned round engine whose
+	// transport fan-in this round collects through. Multi-round deployments
+	// must share one engine across the handshake and every round on a
+	// connection — a second fan-in would steal frames from the first. nil
+	// builds a round-scoped engine (single-round callers).
+	Engine *engine.Engine
+
+	// NoUnmaskQuorum disables the stage-4 unmask quorum and restores the
+	// historical wait-all-survivors-until-deadline collection. It exists as
+	// the reference path for the straggler-tail benchmarks; deployments
+	// have no reason to set it.
+	NoUnmaskQuorum bool
 }
 
 // broadcast sends the same payload to every id.
@@ -108,11 +123,14 @@ func RunWireServer(ctx context.Context, cfg WireServerConfig, conn transport.Ser
 
 	roundCtx, cancel := context.WithCancel(ctx)
 	defer cancel()
-	eng := engine.New(engine.TransportSource(roundCtx, conn))
-	collect := func(name string, tag int, expect []uint64,
+	eng := cfg.Engine
+	if eng == nil {
+		eng = engine.New(engine.TransportSource(roundCtx, conn))
+	}
+	collect := func(name string, tag int, expect []uint64, quorum int,
 		decode func(m engine.Msg) (any, error), apply func(from uint64, body any) error) error {
 		_, err := eng.Collect(roundCtx, engine.Stage{
-			Name: name, Tag: tag, Expect: expect, Deadline: cfg.StageDeadline,
+			Name: name, Tag: tag, Expect: expect, Quorum: quorum, Deadline: cfg.StageDeadline,
 			Decode: decode, Apply: apply,
 		})
 		return err
@@ -131,7 +149,7 @@ func RunWireServer(ctx context.Context, cfg WireServerConfig, conn transport.Ser
 			return nil, err
 		}
 	} else {
-		err = collect("advertise", wireAdvertise, ids, gobDecode[secagg.AdvertiseMsg],
+		err = collect("advertise", wireAdvertise, ids, 0, gobDecode[secagg.AdvertiseMsg],
 			func(_ uint64, body any) error {
 				return server.AddAdvertise(body.(secagg.AdvertiseMsg))
 			})
@@ -159,7 +177,7 @@ func RunWireServer(ctx context.Context, cfg WireServerConfig, conn transport.Ser
 
 	// Stage 1: ShareKeys. The n² encrypted share bundles ride the binary
 	// codec; each sender's list routes into recipient outboxes on arrival.
-	err = collect("shares", wireShares, u1,
+	err = collect("shares", wireShares, u1, 0,
 		func(m engine.Msg) (any, error) { return decodeShareMsgs(m.Body.([]byte)) },
 		func(from uint64, body any) error {
 			return server.AddShare(from, body.([]secagg.EncryptedShareMsg))
@@ -185,7 +203,7 @@ func RunWireServer(ctx context.Context, cfg WireServerConfig, conn transport.Ser
 	// the binary codec and fold into the server's partial aggregate as
 	// they decode — the round's dominant payload never waits for a stage
 	// barrier.
-	err = collect("masked", wireMasked, u2,
+	err = collect("masked", wireMasked, u2, 0,
 		func(m engine.Msg) (any, error) { return decodeMaskedInput(m.Body.([]byte)) },
 		func(_ uint64, body any) error {
 			return server.AddMasked(body.(secagg.MaskedInputMsg))
@@ -204,7 +222,7 @@ func RunWireServer(ctx context.Context, cfg WireServerConfig, conn transport.Ser
 	broadcast(conn, u3, wireConsistencyReq, u3Payload)
 
 	// Stage 3: ConsistencyCheck.
-	err = collect("consistency", wireConsistency, u3, gobDecode[secagg.ConsistencyMsg],
+	err = collect("consistency", wireConsistency, u3, 0, gobDecode[secagg.ConsistencyMsg],
 		func(_ uint64, body any) error {
 			return server.AddConsistency(body.(secagg.ConsistencyMsg))
 		})
@@ -224,7 +242,11 @@ func RunWireServer(ctx context.Context, cfg WireServerConfig, conn transport.Ser
 	// Stage 4: Unmasking. The per-survivor share maps ride the binary
 	// codec (the last high-volume payload to leave gob); bundles index into
 	// reconstruction cohorts on arrival.
-	err = collect("unmask", wireUnmask, unmaskReq.U4,
+	unmaskQuorum := cfg.SecAgg.UnmaskQuorum()
+	if cfg.NoUnmaskQuorum {
+		unmaskQuorum = 0
+	}
+	err = collect("unmask", wireUnmask, unmaskReq.U4, unmaskQuorum,
 		func(m engine.Msg) (any, error) { return decodeUnmask(m.Body.([]byte)) },
 		func(_ uint64, body any) error {
 			return server.AddUnmask(body.(secagg.UnmaskMsg))
@@ -244,7 +266,7 @@ func RunWireServer(ctx context.Context, cfg WireServerConfig, conn transport.Ser
 			return nil, err
 		}
 		broadcast(conn, noiseReq.U5, wireNoiseReq, nrPayload)
-		err = collect("noise-shares", wireNoise, noiseReq.U5, gobDecode[secagg.NoiseShareMsg],
+		err = collect("noise-shares", wireNoise, noiseReq.U5, 0, gobDecode[secagg.NoiseShareMsg],
 			func(_ uint64, body any) error {
 				return server.AddNoiseShare(body.(secagg.NoiseShareMsg))
 			})
@@ -460,6 +482,12 @@ func RunWireClient(ctx context.Context, cfg WireClientConfig, conn transport.Cli
 			res, err := decodeResult(f.Payload)
 			if err != nil {
 				return nil, err
+			}
+			// Clean completion: the server cannot have reconstructed this
+			// client's mask key, so the session may resume at the next
+			// handshake (the handshake set the taint when the round began).
+			if cfg.Session != nil {
+				cfg.Session.ClearTaint()
 			}
 			return &res, nil
 		}

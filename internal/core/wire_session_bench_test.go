@@ -1,0 +1,180 @@
+package core
+
+import (
+	"context"
+	"crypto/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/prg"
+	"repro/internal/ring"
+	"repro/internal/secagg"
+	"repro/internal/transport"
+)
+
+// Straggler-tail and WAN-profile wire benchmarks.
+//
+// BenchmarkWireUnmaskStragglerTail16 measures what engine.Stage.Quorum
+// buys the secagg unmask stage: one client vanishes after the consistency
+// stage, so the all-of-N reference waits the full stage deadline for its
+// unmask response, while the quorum path (UnmaskQuorum: the first t
+// responses carry t shares per reconstruction cohort under the complete
+// graph) seals the stage as soon as the threshold is met. The delta is the
+// deadline minus the time the t-th response takes — the straggler tail.
+//
+// BenchmarkWireRoundWAN16 exercises the transport's latency-injection
+// knob (transport.FaultConfig.DelayMax), which the benches never used
+// before: every frame is delayed uniformly in [0, DelayMax] on both
+// directions. Client uplink delays run concurrently (one goroutine per
+// client); the server's broadcast loop serializes its per-frame delays,
+// modeling constrained server egress. The lan reference is the identical
+// round without the injector.
+
+func benchWireStragglerRound(b *testing.B, quorum bool) {
+	const (
+		n        = 16
+		t        = 10
+		dim      = 1024
+		deadline = 400 * time.Millisecond
+	)
+	ids := make([]uint64, n)
+	for i := range ids {
+		ids[i] = uint64(i + 1)
+	}
+	saCfg := secagg.Config{Round: 1, ClientIDs: ids, Threshold: t, Bits: 20, Dim: dim}
+	inputs := make(map[uint64]ring.Vector, n)
+	for _, id := range ids {
+		inputs[id] = ring.NewVector(20, dim)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net := transport.NewMemoryNetwork(256)
+		conns := make(map[uint64]transport.ClientConn, n)
+		for _, id := range ids {
+			c, err := net.Connect(id)
+			if err != nil {
+				b.Fatal(err)
+			}
+			conns[id] = c
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+		var wg sync.WaitGroup
+		for _, id := range ids {
+			id := id
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				drop := NoDrop
+				if id == ids[n-1] {
+					// The straggler: answers consistency, then vanishes
+					// before its unmask response.
+					drop = secagg.StageUnmasking
+				}
+				cfg := WireClientConfig{
+					SecAgg: saCfg, ID: id, Input: inputs[id],
+					DropBefore: drop, Rand: rand.Reader,
+				}
+				_, _ = RunWireClient(ctx, cfg, conns[id])
+			}()
+		}
+		srvCfg := WireServerConfig{
+			SecAgg: saCfg, StageDeadline: deadline, NoUnmaskQuorum: !quorum,
+		}
+		_, err := RunWireServer(ctx, srvCfg, net.Server())
+		cancel()
+		wg.Wait()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWireUnmaskStragglerTail16 runs the straggler round with the
+// stage-4 quorum (current default) against the all-of-N reference.
+func BenchmarkWireUnmaskStragglerTail16(b *testing.B) {
+	for _, mode := range []string{"quorum", "all-of-n"} {
+		b.Run(mode, func(b *testing.B) {
+			benchWireStragglerRound(b, mode == "quorum")
+		})
+	}
+}
+
+func benchWireRoundWAN(b *testing.B, delay time.Duration) {
+	const (
+		n   = 16
+		t   = 12
+		dim = 4096
+	)
+	ids := make([]uint64, n)
+	for i := range ids {
+		ids[i] = uint64(i + 1)
+	}
+	saCfg := secagg.Config{Round: 1, ClientIDs: ids, Threshold: t, Bits: 20, Dim: dim}
+	inputs := make(map[uint64]ring.Vector, n)
+	for _, id := range ids {
+		inputs[id] = ring.NewVector(20, dim)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net := transport.NewMemoryNetwork(256)
+		var inj *transport.FaultInjector
+		if delay > 0 {
+			inj = transport.NewFaultInjector(transport.FaultConfig{
+				DelayMax: delay,
+				Seed:     prg.NewSeed([]byte("wan-bench"), []byte{byte(i)}),
+			})
+		}
+		conns := make(map[uint64]transport.ClientConn, n)
+		for _, id := range ids {
+			c, err := net.Connect(id)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if inj != nil {
+				c = inj.WrapClient(c)
+			}
+			conns[id] = c
+		}
+		srvConn := transport.ServerConn(net.Server())
+		if inj != nil {
+			srvConn = inj.WrapServer(srvConn)
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+		var wg sync.WaitGroup
+		for _, id := range ids {
+			id := id
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				cfg := WireClientConfig{
+					SecAgg: saCfg, ID: id, Input: inputs[id],
+					DropBefore: NoDrop, Rand: rand.Reader,
+				}
+				_, _ = RunWireClient(ctx, cfg, conns[id])
+			}()
+		}
+		_, err := RunWireServer(ctx, WireServerConfig{
+			SecAgg: saCfg, StageDeadline: 30 * time.Second,
+		}, srvConn)
+		cancel()
+		wg.Wait()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWireRoundWAN16 runs the 16-client wire round under injected
+// per-frame latency (uniform in [0, 20ms]) against the zero-latency lan
+// reference.
+func BenchmarkWireRoundWAN16(b *testing.B) {
+	for _, mode := range []struct {
+		name  string
+		delay time.Duration
+	}{{"wan-20ms", 20 * time.Millisecond}, {"lan", 0}} {
+		b.Run(mode.name, func(b *testing.B) {
+			benchWireRoundWAN(b, mode.delay)
+		})
+	}
+}

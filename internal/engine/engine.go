@@ -46,6 +46,40 @@ type Msg struct {
 	Body  any
 }
 
+// Re-key handshake frame tags, shared by every wire driver. The per-driver
+// round stages start at tag 0 (core: 0–11, lightsecagg: 0–7), so the
+// handshake tags are reserved well above both spaces: one connection — and
+// one engine fan-in — carries a handshake followed by round traffic
+// without a handshake frame ever aliasing a round stage, and vice versa.
+// The handshake message codecs live in package core (core/handshake.go);
+// PROTOCOL.md documents the byte layouts and the state machine.
+const (
+	TagRoundOffer  = 0x40 // server → clients: signed RoundOffer
+	TagRoundAck    = 0x41 // clients → server: RoundAck (session state hash)
+	TagRoundCommit = 0x42 // server → clients: signed RoundCommit (final decision)
+	TagRoundHello  = 0x43 // clients → server: ready for the next offer
+)
+
+// parkable reports whether a mismatched frame should be parked for a
+// later Collect instead of discarded. Only RoundHello qualifies: a client
+// that bounces mid-round re-dials and sends its next hello immediately,
+// while the server is still collecting the in-flight round — dropping
+// that hello would make the next handshake wait out its full deadline
+// for a frame that already arrived, and hellos are idempotent presence
+// signals, safe to replay. Every other tag is NOT parked: acks are
+// solicited inside a live ack-Collect, so an ack that arrives outside
+// one is stale by definition — parking it would let it shadow the
+// sender's genuine ack at the next handshake (admitted first, failing
+// the round check as a re-key vote, with the fresh ack then dropped as a
+// duplicate) and force a spurious fleet re-key. Offers and commits flow
+// server→client and never reach a server Collect; round-stage tags rely
+// on the existing discard semantics.
+func parkable(t int) bool { return t == TagRoundHello }
+
+// maxParked bounds the parking map against hostile senders inventing
+// ids; real deployments park at most a few frames per bounced client.
+const maxParked = 1024
+
 // RecvFunc blocks for the next message from any participant. It must
 // honor ctx cancellation; the engine treats any error as "no more
 // messages for this stage" (deadline semantics), leaving abort decisions
@@ -92,6 +126,18 @@ type Stage struct {
 type Engine struct {
 	recv    RecvFunc
 	workers int
+
+	// parked holds RoundHello frames that arrived during a stage with a
+	// different tag (see parkable), keyed by (tag, sender) so a
+	// retransmit replaces rather than accumulates. Only touched from
+	// Collect's admission loop (single-goroutine contract), so no
+	// locking.
+	parked map[parkedKey]Msg
+}
+
+type parkedKey struct {
+	tag  int
+	from uint64
 }
 
 // Option configures an Engine.
@@ -167,24 +213,18 @@ func (e *Engine) Collect(ctx context.Context, s Stage) ([]uint64, error) {
 	if s.Quorum > 0 && s.Quorum < target {
 		target = s.Quorum
 	}
-	for len(seen) < target {
-		m, err := e.recv(ctx)
-		if err != nil {
-			break // deadline or abort: proceed with what we have
-		}
-		if m.Stage != s.Tag || !want[m.From] || seen[m.From] {
-			continue // stale, out-of-order, unexpected, or duplicate
-		}
+	// process admits one matching message, returning false when the stage
+	// must stop (inline apply error).
+	process := func(m Msg) bool {
 		seen[m.From] = true
 		admitted = append(admitted, m.From)
-
 		if s.Decode == nil {
 			// Nothing to overlap: apply inline, no goroutine hop.
 			if err := s.Apply(m.From, m.Body); err != nil {
 				fail(err)
-				break
+				return false
 			}
-			continue
+			return true
 		}
 		// Reserve the apply slot now (admission order), decode on a
 		// worker, then apply behind the gate. Decoding of later arrivals
@@ -205,6 +245,45 @@ func (e *Engine) Collect(ctx context.Context, s Stage) ([]uint64, error) {
 				fail(err)
 			}
 		}(m, ticket)
+		return true
+	}
+
+	// Replay parked hello frames addressed to this stage before reading
+	// live traffic (see parkable); entries for this tag are consumed
+	// either way.
+	stopped := false
+	for key, m := range e.parked {
+		if key.tag != s.Tag {
+			continue
+		}
+		delete(e.parked, key)
+		if stopped || len(seen) >= target || !want[m.From] || seen[m.From] {
+			continue
+		}
+		if !process(m) {
+			stopped = true
+		}
+	}
+	for !stopped && len(seen) < target {
+		m, err := e.recv(ctx)
+		if err != nil {
+			break // deadline or abort: proceed with what we have
+		}
+		if m.Stage != s.Tag || !want[m.From] || seen[m.From] {
+			// Stale, out-of-order, unexpected, or duplicate — discarded,
+			// except hellos during a *different* stage, which are parked
+			// for the handshake Collect they belong to.
+			if parkable(m.Stage) && m.Stage != s.Tag && len(e.parked) < maxParked {
+				if e.parked == nil {
+					e.parked = make(map[parkedKey]Msg)
+				}
+				e.parked[parkedKey{tag: m.Stage, from: m.From}] = m
+			}
+			continue
+		}
+		if !process(m) {
+			break
+		}
 	}
 	wg.Wait()
 

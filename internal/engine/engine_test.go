@@ -273,3 +273,79 @@ func TestCollectQuorumAboveExpectIsAllOfN(t *testing.T) {
 		t.Fatalf("admitted %v, want both expected senders", admitted)
 	}
 }
+
+// TestCollectParksHandshakeFrames pins the restart-tolerance contract: a
+// handshake frame arriving during a round-stage Collect is parked, not
+// discarded, and replayed to the Collect it belongs to — while round
+// frames with wrong tags are still dropped.
+func TestCollectParksHandshakeFrames(t *testing.T) {
+	frames := []Msg{
+		{From: 2, Stage: TagRoundHello, Body: "early hello"}, // mid-round re-dial
+		{From: 2, Stage: TagRoundAck, Body: "stale ack"},     // must NOT be parked (stale by definition)
+		{From: 9, Stage: 7, Body: "stale round frame"},       // must be discarded
+		{From: 1, Stage: 1, Body: "stage payload"},
+	}
+	i := 0
+	recv := func(ctx context.Context) (Msg, error) {
+		if i < len(frames) {
+			m := frames[i]
+			i++
+			return m, nil
+		}
+		<-ctx.Done()
+		return Msg{}, ctx.Err()
+	}
+	eng := New(recv)
+
+	// The round stage admits client 1 and parks client 2's hello.
+	var got []any
+	admitted, err := eng.Collect(context.Background(), Stage{
+		Name: "round-stage", Tag: 1, Expect: []uint64{1},
+		Apply: func(_ uint64, body any) error { got = append(got, body); return nil },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(admitted) != 1 || admitted[0] != 1 {
+		t.Fatalf("round stage admitted %v, want [1]", admitted)
+	}
+
+	// The hello stage completes from the parked frame alone: the source
+	// is exhausted, so only the parked replay can satisfy it before the
+	// deadline.
+	admitted, err = eng.Collect(context.Background(), Stage{
+		Name: "hello", Tag: TagRoundHello, Expect: []uint64{2},
+		Deadline: 100 * time.Millisecond,
+		Apply:    func(_ uint64, body any) error { got = append(got, body); return nil },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(admitted) != 1 || admitted[0] != 2 {
+		t.Fatalf("hello stage admitted %v, want [2] (parked frame lost)", admitted)
+	}
+	if len(got) != 2 || got[0] != "stage payload" || got[1] != "early hello" {
+		t.Fatalf("applied bodies = %v", got)
+	}
+	// The parked entry was consumed: a re-run must wait out its deadline
+	// empty-handed.
+	admitted, err = eng.Collect(context.Background(), Stage{
+		Name: "hello-again", Tag: TagRoundHello, Expect: []uint64{2},
+		Deadline: 50 * time.Millisecond,
+		Apply:    func(uint64, any) error { return nil },
+	})
+	if err != nil || len(admitted) != 0 {
+		t.Fatalf("replayed parked frame twice: admitted=%v err=%v", admitted, err)
+	}
+	// The stale ack was discarded, not parked: an ack Collect must not
+	// see it (a parked stale ack would shadow the sender's genuine ack at
+	// the next handshake and force a spurious re-key).
+	admitted, err = eng.Collect(context.Background(), Stage{
+		Name: "ack", Tag: TagRoundAck, Expect: []uint64{2},
+		Deadline: 50 * time.Millisecond,
+		Apply:    func(uint64, any) error { return nil },
+	})
+	if err != nil || len(admitted) != 0 {
+		t.Fatalf("stale ack was parked: admitted=%v err=%v", admitted, err)
+	}
+}

@@ -1,6 +1,7 @@
 package lightsecagg
 
 import (
+	"crypto/sha256"
 	"encoding/binary"
 	"fmt"
 	"io"
@@ -44,6 +45,13 @@ type Session struct {
 	channel map[string][dh.SharedSize]byte // peer channel pub → agreed secret
 	roster  []AdvertiseMsg                 // cached stage-0 roster (advertise skip)
 	enc     *encodingMatrix                // cached Lagrange encoding matrix
+
+	// nextRound counts the rounds this key generation has served — the
+	// LightSecAgg face of the handshake's NextRatchet/MarkRatchetUsed
+	// surface. Unlike secagg's ratchet it derives no mask material (every
+	// mask is a fresh one-time pad); it exists so the handshake's
+	// KeyRounds lifetime budget expires LightSecAgg key generations too.
+	nextRound uint64
 }
 
 // NewSession generates the session's channel key pair with randomness
@@ -60,7 +68,15 @@ func NewSession(rand io.Reader) (*Session, error) {
 }
 
 // PublicBytes returns the session's advertised channel public key.
-func (s *Session) PublicBytes() []byte { return s.key.PublicBytes() }
+func (s *Session) PublicBytes() []byte { return s.keyPair().PublicBytes() }
+
+// keyPair returns the current channel key pair under the lock (Rekey swaps
+// it, so concurrent readers must not touch the field directly).
+func (s *Session) keyPair() *dh.KeyPair {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.key
+}
 
 // channelKey returns the AEAD key shared with the peer identified by its
 // channel public key, agreeing on first use and caching the result. Safe
@@ -76,7 +92,7 @@ func (s *Session) channelKey(peerPub []byte) ([aead.KeySize]byte, error) {
 	}
 	// Agreement runs outside the lock (it is the expensive part and
 	// deterministic, so a racing duplicate computes the identical value).
-	sec, err := s.key.Agree(peerPub)
+	sec, err := s.keyPair().Agree(peerPub)
 	if err != nil {
 		return sec, err
 	}
@@ -101,6 +117,84 @@ func (s *Session) Roster() []AdvertiseMsg {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.roster
+}
+
+// RosterHash returns the canonical digest of a sealed stage-0 roster: a
+// SHA-256 over every member's (id, channel pub) in roster order — the
+// LightSecAgg half of the re-key handshake's shared-state check.
+func RosterHash(roster []AdvertiseMsg) [32]byte {
+	h := sha256.New()
+	h.Write([]byte("dordis/lightsecagg/roster/v1"))
+	var b [8]byte
+	for _, m := range roster {
+		binary.LittleEndian.PutUint64(b[:], m.From)
+		h.Write(b[:])
+		h.Write(m.Pub)
+	}
+	var out [32]byte
+	h.Sum(out[:0])
+	return out
+}
+
+// StateHash returns the digest of the roster this session could resume on,
+// with ok=false when no completed advertise stage was cached.
+func (s *Session) StateHash() ([32]byte, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.roster == nil {
+		return [32]byte{}, false
+	}
+	return RosterHash(s.roster), true
+}
+
+// Taint, ClearTaint and Tainted exist for handshake symmetry with
+// secagg.Session but are deliberately inert: LightSecAgg's server never
+// reconstructs client key material (dropout recovery interpolates the
+// aggregate mask, and every mask is a fresh one-time pad), so a client
+// that vanishes mid-round can still safely resume its channel keys.
+func (s *Session) Taint()        {}
+func (s *Session) ClearTaint()   {}
+func (s *Session) Tainted() bool { return false }
+
+// NextRatchet returns the rounds-served counter of this key generation.
+// LightSecAgg has no mask ratchet (cross-round replay of sealed
+// envelopes is prevented by the (Round, from, to) AEAD associated data
+// instead), but the counter makes the handshake's KeyRounds lifetime
+// budget apply to LightSecAgg key generations exactly as it does to
+// secagg's.
+func (s *Session) NextRatchet() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.nextRound
+}
+
+// MarkRatchetUsed advances the rounds-served counter (see NextRatchet).
+func (s *Session) MarkRatchetUsed(step uint64) {
+	s.mu.Lock()
+	if step >= s.nextRound {
+		s.nextRound = step + 1
+	}
+	s.mu.Unlock()
+}
+
+// Rekey replaces the session's channel key pair and drops the cached
+// secrets, the roster, and the rounds-served counter. The geometry-only
+// caches (the Lagrange encoding matrix) survive: they are
+// key-independent.
+func (s *Session) Rekey(rand io.Reader) error {
+	key, err := dh.Generate(rand)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.key = key
+	for k := range s.channel {
+		delete(s.channel, k)
+	}
+	s.roster = nil
+	s.nextRound = 0
+	s.mu.Unlock()
+	return nil
 }
 
 // encodingMatrix holds the Lagrange basis weights w[rank][k] for
@@ -157,6 +251,7 @@ type ServerSession struct {
 	roster    []AdvertiseMsg
 	rosterIDs []uint64
 	recovery  map[string][][]field.Element // cohort key → weights [parts][u]
+	nextRound uint64                       // rounds served (see NextRatchet)
 }
 
 // NewServerSession returns an empty server session.
@@ -189,6 +284,55 @@ func (s *ServerSession) RosterFor(clientIDs []uint64) []AdvertiseMsg {
 		return nil
 	}
 	return s.roster
+}
+
+// StateHashFor returns the digest of the roster this session could resume
+// a round over exactly clientIDs on, with ok=false when there is none or
+// the roster does not cover every client (the offline phase needs every
+// sampled client, so there is no partial-roster resume).
+func (s *ServerSession) StateHashFor(clientIDs []uint64) ([32]byte, bool) {
+	roster := s.RosterFor(clientIDs)
+	if roster == nil || len(roster) != len(clientIDs) {
+		return [32]byte{}, false
+	}
+	return RosterHash(roster), true
+}
+
+// HasTaint reports false always: LightSecAgg's server never reconstructs
+// client key material, so dropouts do not poison the key generation (see
+// Session.Tainted).
+func (s *ServerSession) HasTaint() bool { return false }
+
+// NextRatchet returns the rounds-served counter, mirroring
+// Session.NextRatchet: it enforces the handshake's KeyRounds lifetime
+// budget, not a mask ratchet.
+func (s *ServerSession) NextRatchet() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.nextRound
+}
+
+// MarkRatchetUsed advances the rounds-served counter.
+func (s *ServerSession) MarkRatchetUsed(step uint64) {
+	s.mu.Lock()
+	if step >= s.nextRound {
+		s.nextRound = step + 1
+	}
+	s.mu.Unlock()
+}
+
+// Rekey drops the cached roster and the rounds-served counter so the
+// next round collects a fresh advertise stage. The recovery-weight cache
+// survives: it depends only on the geometry and responder ranks, not on
+// any key material.
+func (s *ServerSession) Rekey() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.roster, s.rosterIDs = nil, nil
+	s.nextRound = 0
+	s.mu.Unlock()
 }
 
 // cohortKey identifies a recovery cohort by what the weights actually

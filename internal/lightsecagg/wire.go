@@ -87,8 +87,17 @@ type WireServerConfig struct {
 	// across the rounds that share it; with Resume, the advertise stage is
 	// skipped entirely and the round starts from the session's cached
 	// roster (the deployment must set the matching flags on every client).
+	// Whether the next round may resume is what the re-key handshake
+	// (core.RunHandshakeServer) negotiates.
 	Session *ServerSession
 	Resume  bool
+
+	// Engine, when non-nil, is an externally owned round engine whose
+	// transport fan-in this round collects through. Multi-round deployments
+	// must share one engine across the handshake and every round on a
+	// connection — a second fan-in would steal frames from the first. nil
+	// builds a round-scoped engine (single-round callers).
+	Engine *engine.Engine
 }
 
 func broadcast(conn transport.ServerConn, ids []uint64, stage int, payload []byte) {
@@ -120,7 +129,10 @@ func RunWireServer(ctx context.Context, cfg WireServerConfig, conn transport.Ser
 	}
 	roundCtx, cancel := context.WithCancel(ctx)
 	defer cancel()
-	eng := engine.New(engine.TransportSource(roundCtx, conn))
+	eng := cfg.Engine
+	if eng == nil {
+		eng = engine.New(engine.TransportSource(roundCtx, conn))
+	}
 	collect := func(name string, tag int, expect []uint64, quorum int,
 		decode func(m engine.Msg) (any, error), apply func(from uint64, body any) error) error {
 		_, err := eng.Collect(roundCtx, engine.Stage{
@@ -357,6 +369,12 @@ func RunWireClient(ctx context.Context, cfg WireClientConfig, conn transport.Cli
 	f, err = recvStage(ctx, conn, wireResult)
 	if err != nil {
 		return nil, err
+	}
+	// Clean completion: clear the in-flight marker the handshake set (a
+	// no-op on LightSecAgg sessions, which never carry taint, but kept for
+	// lifecycle symmetry with the secagg wire client).
+	if cfg.Session != nil {
+		cfg.Session.ClearTaint()
 	}
 	return decodeLSAResult(f.Payload)
 }

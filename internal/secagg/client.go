@@ -106,7 +106,7 @@ func (c *Client) NoiseSeeds() []field.Element {
 // re-dealt every sub-round anyway.
 func (c *Client) installKeys() error {
 	if c.session != nil {
-		c.cipherKey, c.maskKey = c.session.cipherKey, c.session.maskKey
+		c.cipherKey, c.maskKey = c.session.keyPairs()
 	} else {
 		var err error
 		if c.cipherKey, err = dh.Generate(c.rand); err != nil {

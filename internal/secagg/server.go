@@ -434,6 +434,10 @@ func (s *Server) unmask() error {
 		}
 		v := v
 		advPub := s.roster[v].MaskPub
+		// The server is about to hold v's raw mask key: taint v in the
+		// session so no later round resumes on a key generation whose
+		// future pairwise masks this server can now derive.
+		s.session.MarkTainted(v)
 		kp := s.session.key(advPub)
 		if kp == nil {
 			bundles := s.maskKeyShares[v]

@@ -1,6 +1,7 @@
 package secagg
 
 import (
+	"crypto/sha256"
 	"encoding/binary"
 	"fmt"
 	"io"
@@ -84,6 +85,21 @@ type Session struct {
 	mask    map[string]ratchetedSecret // peer mask pub → secret
 	channel map[string]ratchetedSecret // peer cipher pub → channel key
 	roster  []AdvertiseMsg             // cached stage-0 roster (advertise skip)
+
+	// Cross-round continuity state, driven by the re-key handshake
+	// (core.RunHandshakeClient) and persisted with the session:
+	//
+	//   - taint marks a round in flight or abandoned: set when the client
+	//     commits to a round, cleared only on clean completion. A client
+	//     that vanished mid-round may have had its mask key reconstructed
+	//     by the server, so a tainted session must never resume — the next
+	//     handshake reports the taint and forces a re-key.
+	//   - nextRatchet is the derivation-point high-water mark: the lowest
+	//     KeyRatchet step this key generation has not served yet. Resuming
+	//     at an earlier step would repeat pairwise mask streams, so the
+	//     handshake refuses offers below it.
+	taint       bool
+	nextRatchet uint64
 }
 
 // NewSession generates the session's key pairs with randomness from rand.
@@ -102,6 +118,14 @@ func NewSession(rand io.Reader) (*Session, error) {
 		mask:      make(map[string]ratchetedSecret),
 		channel:   make(map[string]ratchetedSecret),
 	}, nil
+}
+
+// keyPairs returns the session's current key pairs under the lock (Rekey
+// swaps them, so concurrent readers must not touch the fields directly).
+func (s *Session) keyPairs() (cipherKey, maskKey *dh.KeyPair) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.cipherKey, s.maskKey
 }
 
 // cachedAgreement resolves a pairwise secret at the given ratchet step
@@ -145,14 +169,16 @@ func (s *Session) secretFrom(kp *dh.KeyPair, cache map[string]ratchetedSecret,
 // maskSecret returns the pairwise-mask secret with the peer identified by
 // its advertised mask public key, at the given ratchet step.
 func (s *Session) maskSecret(peerPub []byte, step uint64) ([dh.SharedSize]byte, error) {
-	return s.secretFrom(s.maskKey, s.mask, peerPub, step)
+	_, maskKey := s.keyPairs()
+	return s.secretFrom(maskKey, s.mask, peerPub, step)
 }
 
 // channelSecret returns the channel-encryption key with the peer
 // identified by its advertised cipher public key, at the given ratchet
 // step.
 func (s *Session) channelSecret(peerPub []byte, step uint64) ([aead.KeySize]byte, error) {
-	return s.secretFrom(s.cipherKey, s.channel, peerPub, step)
+	cipherKey, _ := s.keyPairs()
+	return s.secretFrom(cipherKey, s.channel, peerPub, step)
 }
 
 // StoreRoster caches a verified stage-0 roster so a later round on the
@@ -172,6 +198,115 @@ func (s *Session) Roster() []AdvertiseMsg {
 	return s.roster
 }
 
+// RosterHash returns the canonical digest of a sealed stage-0 roster: a
+// SHA-256 over every member's (id, cipher pub, mask pub) in roster order.
+// Server and clients cache the identical broadcast roster, so equal hashes
+// mean both sides hold the same key generation for the same client set —
+// the shared-state check of the re-key handshake. Signatures are excluded:
+// they authenticate the advertisement but do not change the key material a
+// resumed round derives from.
+func RosterHash(roster []AdvertiseMsg) [32]byte {
+	h := sha256.New()
+	h.Write([]byte("dordis/secagg/roster/v1"))
+	var b [8]byte
+	for _, m := range roster {
+		binary.LittleEndian.PutUint64(b[:], m.From)
+		h.Write(b[:])
+		h.Write(m.CipherPub)
+		h.Write(m.MaskPub)
+	}
+	var out [32]byte
+	h.Sum(out[:0])
+	return out
+}
+
+// StateHash returns the digest of the roster this session could resume on,
+// with ok=false when no completed advertise stage was cached. It is the
+// client's half of the handshake's shared-state check.
+func (s *Session) StateHash() ([32]byte, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.roster == nil {
+		return [32]byte{}, false
+	}
+	return RosterHash(s.roster), true
+}
+
+// Taint marks a round in flight on this session: until ClearTaint, the
+// session must not resume (the server may have reconstructed the mask key
+// of a client that vanished mid-round). Drivers taint when they commit to
+// a round and clear only on clean completion, so a crash-and-restore
+// surfaces as taint at the next handshake.
+func (s *Session) Taint() {
+	s.mu.Lock()
+	s.taint = true
+	s.mu.Unlock()
+}
+
+// ClearTaint marks the in-flight round cleanly completed.
+func (s *Session) ClearTaint() {
+	s.mu.Lock()
+	s.taint = false
+	s.mu.Unlock()
+}
+
+// Tainted reports whether the session carries dropout taint.
+func (s *Session) Tainted() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.taint
+}
+
+// NextRatchet returns the lowest KeyRatchet step this key generation has
+// not served yet.
+func (s *Session) NextRatchet() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.nextRatchet
+}
+
+// MarkRatchetUsed burns the derivation point at step: the session will
+// refuse to resume at or below it. Burning happens at handshake commit
+// time, before the round runs, so an aborted round still consumes its
+// step — reusing it would repeat every pairwise mask stream.
+func (s *Session) MarkRatchetUsed(step uint64) {
+	s.mu.Lock()
+	if step >= s.nextRatchet {
+		s.nextRatchet = step + 1
+	}
+	s.mu.Unlock()
+}
+
+// Rekey replaces the session's key pairs with fresh ones and drops every
+// cached secret, the roster, the taint, and the ratchet position — the
+// clean re-key the handshake falls back to whenever resume is unsafe.
+func (s *Session) Rekey(rand io.Reader) error {
+	cipherKey, err := dh.Generate(rand)
+	if err != nil {
+		return err
+	}
+	maskKey, err := dh.Generate(rand)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.cipherKey, s.maskKey = cipherKey, maskKey
+	// Clear the caches in place: the map headers are shared with concurrent
+	// cachedAgreement callers (which lock mu per access), so swapping them
+	// would race on the field reads.
+	for k := range s.mask {
+		delete(s.mask, k)
+	}
+	for k := range s.channel {
+		delete(s.channel, k)
+	}
+	s.roster = nil
+	s.taint = false
+	s.nextRatchet = 0
+	s.mu.Unlock()
+	return nil
+}
+
 // ServerSession is the aggregator's amortized key-agreement state: the
 // reconstructed-and-verified mask keys of dropped clients and the pairwise
 // secrets derived from them, cached across the sub-rounds and rounds that
@@ -183,6 +318,15 @@ type ServerSession struct {
 	secrets   map[string]ratchetedSecret // canonical pub pair → secret
 	roster    []AdvertiseMsg
 	rosterIDs []uint64 // the ClientIDs the roster was sealed for
+
+	// Cross-round continuity state (see Session): tainted collects the
+	// clients whose mask keys this server reconstructed — or may have —
+	// during the rounds sharing the session. Any taint forces the next
+	// handshake to re-key: a reconstructed key would let the server derive
+	// that client's future pairwise masks. nextRatchet is the server's
+	// derivation-point high-water mark, mirroring the clients'.
+	tainted     map[uint64]bool
+	nextRatchet uint64
 }
 
 // NewServerSession returns an empty server session.
@@ -254,6 +398,81 @@ func (s *ServerSession) RosterFor(clientIDs []uint64) []AdvertiseMsg {
 		return nil
 	}
 	return s.roster
+}
+
+// StateHashFor returns the digest of the roster this session could resume
+// a round over exactly clientIDs on, with ok=false when there is none or
+// when the cached roster does not cover every client — a member that was
+// dead at the sealing advertise stage but has since recovered must force a
+// fresh advertise, not be silently excluded forever.
+func (s *ServerSession) StateHashFor(clientIDs []uint64) ([32]byte, bool) {
+	roster := s.RosterFor(clientIDs)
+	if roster == nil || len(roster) != len(clientIDs) {
+		return [32]byte{}, false
+	}
+	return RosterHash(roster), true
+}
+
+// MarkTainted records clients whose sessions must not survive into another
+// round on this key generation: the server reconstructed — or, for a
+// scheduled dropper, may reconstruct — their mask keys. nil-receiver safe.
+func (s *ServerSession) MarkTainted(ids ...uint64) {
+	if s == nil || len(ids) == 0 {
+		return
+	}
+	s.mu.Lock()
+	if s.tainted == nil {
+		s.tainted = make(map[uint64]bool, len(ids))
+	}
+	for _, id := range ids {
+		s.tainted[id] = true
+	}
+	s.mu.Unlock()
+}
+
+// HasTaint reports whether any client's key material was (or may have
+// been) reconstructed during this key generation. nil-receiver safe.
+func (s *ServerSession) HasTaint() bool {
+	if s == nil {
+		return false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.tainted) > 0
+}
+
+// NextRatchet returns the lowest KeyRatchet step this key generation has
+// not served yet.
+func (s *ServerSession) NextRatchet() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.nextRatchet
+}
+
+// MarkRatchetUsed burns the derivation point at step (see
+// Session.MarkRatchetUsed).
+func (s *ServerSession) MarkRatchetUsed(step uint64) {
+	s.mu.Lock()
+	if step >= s.nextRatchet {
+		s.nextRatchet = step + 1
+	}
+	s.mu.Unlock()
+}
+
+// Rekey drops every cached key, secret, roster, taint, and the ratchet
+// position: the next round collects a fresh advertise stage from scratch.
+func (s *ServerSession) Rekey() {
+	s.mu.Lock()
+	for k := range s.keys {
+		delete(s.keys, k)
+	}
+	for k := range s.secrets {
+		delete(s.secrets, k)
+	}
+	s.roster, s.rosterIDs = nil, nil
+	s.tainted = nil
+	s.nextRatchet = 0
+	s.mu.Unlock()
 }
 
 // RoundSessions bundles the per-participant sessions a driver shares
@@ -334,9 +553,12 @@ func (rs *RoundSessions) resumable(cfg *Config, drops DropSchedule) bool {
 			return false
 		}
 		sess := rs.Client[m.From]
-		if sess == nil ||
-			!equalBytes(sess.cipherKey.PublicBytes(), m.CipherPub) ||
-			!equalBytes(sess.maskKey.PublicBytes(), m.MaskPub) {
+		if sess == nil {
+			return false
+		}
+		cipherKey, maskKey := sess.keyPairs()
+		if !equalBytes(cipherKey.PublicBytes(), m.CipherPub) ||
+			!equalBytes(maskKey.PublicBytes(), m.MaskPub) {
 			return false
 		}
 	}

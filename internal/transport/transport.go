@@ -118,6 +118,45 @@ func AppendUint64sLE(dst []byte, xs []uint64) []byte {
 	return dst
 }
 
+// AppendBlob appends a 16-bit-length-prefixed byte blob to dst — the
+// shared small-field codec of the session persistence records
+// (secagg/persist.go, lightsecagg/persist.go) and the handshake signature
+// section (core/handshake.go). The caller guarantees len(b) fits a
+// uint16 (all users carry fixed-size crypto material: 32-byte keys,
+// 64-byte signatures); larger blobs are a programmer error and panic.
+func AppendBlob(dst, b []byte) []byte {
+	if len(b) > 1<<16-1 {
+		panic(fmt.Sprintf("transport: blob of %d bytes exceeds uint16 framing", len(b)))
+	}
+	var l [2]byte
+	binary.LittleEndian.PutUint16(l[:], uint16(len(b)))
+	dst = append(dst, l[:]...)
+	return append(dst, b...)
+}
+
+// DecodeBlob decodes a blob written by AppendBlob into a fresh slice,
+// returning the remaining bytes. maxLen caps the declared length so a
+// hostile prefix cannot force a large allocation; a zero-length blob
+// decodes as nil.
+func DecodeBlob(src []byte, maxLen int) ([]byte, []byte, error) {
+	if len(src) < 2 {
+		return nil, nil, fmt.Errorf("transport: blob header truncated")
+	}
+	n := int(binary.LittleEndian.Uint16(src))
+	src = src[2:]
+	if n > maxLen {
+		return nil, nil, fmt.Errorf("transport: declared blob of %d bytes exceeds cap %d", n, maxLen)
+	}
+	if len(src) < n {
+		return nil, nil, fmt.Errorf("transport: blob truncated")
+	}
+	var out []byte
+	if n > 0 {
+		out = append([]byte(nil), src[:n]...)
+	}
+	return out, src[n:], nil
+}
+
 // DecodeUint64sLE decodes n little-endian uint64 words from src into a
 // fresh slice, returning the remaining bytes. It is the inverse of
 // AppendUint64sLE.
