@@ -28,8 +28,17 @@
 // and succeeds only while every client's session state hash matches the
 // server's, nobody carries dropout taint (a client that vanished
 // mid-round may have had its mask key reconstructed), and the key
-// generation has rounds left; any divergence downgrades to a clean
-// re-key automatically.
+// generation has rounds left. Divergence of a *few* members downgrades
+// to a partial re-key — the commit names the divergent subset, only
+// their pairwise edges re-key, and everyone else keeps cached secrets —
+// while broader divergence falls back to a clean full re-key.
+//
+// Session-mode clients are churn-tolerant on the wire too: they dial
+// with capped exponential backoff (the service may come up late), and a
+// transport failure mid-round forfeits that round instead of killing the
+// process — the client re-dials, re-hellos, and rejoins at the next
+// handshake, where its in-flight taint lands it in the divergent subset
+// and re-keys only its own edges.
 //
 // -session-dir makes clients persist their session (key pairs, cached
 // pairwise secrets, ratchet position — never expanded masks) to an
@@ -375,7 +384,7 @@ func runServerSessions(cfg secagg.Config, listen string, deadline time.Duration,
 		rcfg.KeyRatchet = hs.Ratchet
 		res, err := core.RunWireServer(ctx, core.WireServerConfig{
 			SecAgg: rcfg, StageDeadline: deadline,
-			Session: sess, Resume: hs.Resume, Engine: eng,
+			Session: sess, Resume: hs.Resume, Divergent: hs.Divergent, Engine: eng,
 		}, srv)
 		if err != nil {
 			fail(err)
@@ -386,10 +395,43 @@ func runServerSessions(cfg secagg.Config, listen string, deadline time.Duration,
 }
 
 func describe(hs core.Handshake) string {
-	if hs.Resume {
+	switch {
+	case hs.Partial():
+		return fmt.Sprintf("partial re-key of %d member(s), ratchet %d", len(hs.Divergent), hs.Ratchet)
+	case hs.Resume:
 		return fmt.Sprintf("resumed, ratchet %d", hs.Ratchet)
+	default:
+		return "re-keyed"
 	}
-	return "re-keyed"
+}
+
+// sessionDial is the session-mode client's connect: unlike the
+// single-round roles, a long-lived client tolerates the service coming up
+// after it and transient blips, so it dials with capped exponential
+// backoff under a bounded budget.
+func sessionDial(ctx context.Context, addr string, id uint64) *transport.TCPClient {
+	dctx, cancel := context.WithTimeout(ctx, time.Minute)
+	defer cancel()
+	conn, err := transport.DialRetry(dctx, addr, id, transport.RetryConfig{})
+	if err != nil {
+		fail(err)
+	}
+	return conn
+}
+
+// redial recovers the session-mode client loop from a failure mid-round.
+// The round is forfeited — the stored session keeps its in-flight taint,
+// so the next handshake lands this client in the divergent subset and
+// re-keys only its edges — the old connection is torn down, and a fresh
+// one is dialed with backoff. The caller's next loop iteration re-hellos
+// on the new connection; the server engine parks hellos that arrive
+// mid-round and replays them into the next handshake.
+func redial(ctx context.Context, old *transport.TCPClient, addr string, id uint64,
+	round int, cause error) *transport.TCPClient {
+
+	fmt.Fprintf(os.Stderr, "dordis-node: client %d round %d failed (%v); reconnecting\n", id, round, cause)
+	old.Close()
+	return sessionDial(ctx, addr, id)
 }
 
 func runClientSessions(cfg secagg.Config, addr string, id, value uint64,
@@ -397,22 +439,21 @@ func runClientSessions(cfg secagg.Config, addr string, id, value uint64,
 
 	record := fmt.Sprintf("client-%d", id)
 	sess := loadSession(store, record)
-	conn, err := transport.DialTCP(addr, id)
-	if err != nil {
-		fail(err)
-	}
-	defer conn.Close()
 	ctx := context.Background()
+	conn := sessionDial(ctx, addr, id)
+	defer func() { conn.Close() }()
 	for r := 1; r <= rounds; r++ {
 		hs, err := core.RunHandshakeClient(ctx, core.ClientHandshakeConfig{
 			ID: id, Protocol: core.ProtocolSecAgg, ServerPub: serverPub, Rand: rand.Reader,
 		}, sess, conn)
 		if err != nil {
-			fail(err)
+			conn = redial(ctx, conn, addr, id, r, err)
+			continue
 		}
 		// Persist immediately after the handshake: the stored state carries
 		// the burned ratchet step and the round-in-flight taint, so a crash
-		// mid-round restores into a session the next handshake re-keys.
+		// mid-round restores into a session the next handshake re-keys (at
+		// least this client's edges).
 		saveSession(store, record, sess)
 		rcfg := cfg
 		rcfg.Round = hs.Round
@@ -420,10 +461,11 @@ func runClientSessions(cfg secagg.Config, addr string, id, value uint64,
 		res, err := core.RunWireClient(ctx, core.WireClientConfig{
 			SecAgg: rcfg, ID: id, Input: constInput(rcfg, value),
 			DropBefore: core.NoDrop, Rand: rand.Reader,
-			Session: sess, Resume: hs.Resume,
+			Session: sess, Resume: hs.Resume, Divergent: hs.Divergent,
 		}, conn)
 		if err != nil {
-			fail(err)
+			conn = redial(ctx, conn, addr, id, r, err)
+			continue
 		}
 		// Persist again with the taint cleared: the next start may resume.
 		saveSession(store, record, sess)
@@ -640,7 +682,7 @@ func runServerSessionsLSA(cfg lightsecagg.Config, listen string, deadline time.D
 		rcfg.Round = hs.Round
 		sum, err := lightsecagg.RunWireServer(ctx, lightsecagg.WireServerConfig{
 			Config: rcfg, StageDeadline: deadline,
-			Session: sess, Resume: hs.Resume, Engine: eng,
+			Session: sess, Resume: hs.Resume, Divergent: hs.Divergent, Engine: eng,
 		}, srv)
 		if err != nil {
 			fail(err)
@@ -655,27 +697,26 @@ func runClientSessionsLSA(cfg lightsecagg.Config, addr string, id, value uint64,
 
 	record := fmt.Sprintf("lsa-client-%d", id)
 	sess := loadSessionLSA(store, record)
-	conn, err := transport.DialTCP(addr, id)
-	if err != nil {
-		fail(err)
-	}
-	defer conn.Close()
 	ctx := context.Background()
+	conn := sessionDial(ctx, addr, id)
+	defer func() { conn.Close() }()
 	for r := 1; r <= rounds; r++ {
 		hs, err := core.RunHandshakeClient(ctx, core.ClientHandshakeConfig{
 			ID: id, Protocol: core.ProtocolLightSecAgg, ServerPub: serverPub, Rand: rand.Reader,
 		}, sess, conn)
 		if err != nil {
-			fail(err)
+			conn = redial(ctx, conn, addr, id, r, err)
+			continue
 		}
 		saveSessionLSA(store, record, sess)
 		rcfg := cfg
 		rcfg.Round = hs.Round
 		if _, err := lightsecagg.RunWireClient(ctx, lightsecagg.WireClientConfig{
 			Config: rcfg, ID: id, Input: lsaInput(cfg.Dim, value), Rand: rand.Reader,
-			Session: sess, Resume: hs.Resume,
+			Session: sess, Resume: hs.Resume, Divergent: hs.Divergent,
 		}, conn); err != nil {
-			fail(err)
+			conn = redial(ctx, conn, addr, id, r, err)
+			continue
 		}
 		saveSessionLSA(store, record, sess)
 		fmt.Printf("client %d round %d (%s): complete\n", id, r, describe(hs))

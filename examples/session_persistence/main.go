@@ -21,9 +21,11 @@
 //     generations and zero agreements — verified against the process-wide
 //     X25519 counters.
 //  4. Round 3 injects a mid-round dropout. The server reconstructs the
-//     dropper's mask key, which taints the key generation on both sides,
-//     and the round-4 handshake downgrades to a clean re-key
-//     automatically.
+//     dropper's mask key, which taints the dropper's edges on both sides,
+//     and the round-4 handshake downgrades to a *partial* re-key: the
+//     commit names the dropper as divergent, only its pairwise edges are
+//     re-established, and the other clients keep their cached secrets —
+//     O(churned edges) of key agreement instead of a full n·k reset.
 //
 // Run with: go run ./examples/session_persistence
 package main
@@ -123,7 +125,7 @@ func main() {
 				}
 				_, err = core.RunWireClient(ctx, core.WireClientConfig{
 					SecAgg: cfg, ID: id, Input: input, DropBefore: drop,
-					Rand: rand.Reader, Session: sess, Resume: hs.Resume,
+					Rand: rand.Reader, Session: sess, Resume: hs.Resume, Divergent: hs.Divergent,
 				}, conns[id])
 				if err != nil && id != dropper {
 					log.Fatalf("client %d round: %v", id, err)
@@ -143,14 +145,17 @@ func main() {
 		}
 		res, err := core.RunWireServer(ctx, core.WireServerConfig{
 			SecAgg: cfg, StageDeadline: 500 * time.Millisecond,
-			Session: serverSess, Resume: hs.Resume, Engine: eng,
+			Session: serverSess, Resume: hs.Resume, Divergent: hs.Divergent, Engine: eng,
 		}, srv)
 		if err != nil {
 			log.Fatal(err)
 		}
 		wg.Wait()
 		mode := "re-keyed"
-		if hs.Resume {
+		switch {
+		case hs.Partial():
+			mode = fmt.Sprintf("partially re-keyed members %v at ratchet %d", hs.Divergent, hs.Ratchet)
+		case hs.Resume:
 			mode = fmt.Sprintf("resumed at ratchet %d", hs.Ratchet)
 		}
 		fmt.Printf("round %d (%s): survivors=%v dropped=%v sum[0]=%d\n",
@@ -204,13 +209,16 @@ func main() {
 	fmt.Printf("   server taint: %v, client-5 taint: %v\n\n",
 		serverSess.HasTaint(), clientSess[5].Tainted())
 
-	fmt.Println("== round 4: the taint forces a clean re-key ==")
+	fmt.Println("== round 4: the taint forces a partial re-key of the dropper's edges ==")
 	if conns[5], err = net.Connect(5); err != nil { // the bounced client re-dials
 		log.Fatal(err)
 	}
+	gen0, agree0 = dh.GenerateCount(), dh.AgreeCount()
 	hs = runRound(4, 0)
-	if hs.Resume {
-		log.Fatal("round 4 resumed over a tainted generation")
+	if !hs.Resume || !hs.Partial() {
+		log.Fatal("round 4 did not partially resume over the tainted edges")
 	}
-	fmt.Println("\nThe dropout cost one advertise round trip — never a repeated mask stream.")
+	fmt.Printf("   key work: %d X25519 generations, %d agreements — O(churned edges), not n·k\n",
+		dh.GenerateCount()-gen0, dh.AgreeCount()-agree0)
+	fmt.Println("\nThe dropout cost one client's edges — never a fleet-wide re-key or a repeated mask stream.")
 }

@@ -1,0 +1,56 @@
+package churn
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestChurnTraceDeterministic pins the generator contract the chaos tests
+// rely on: the trace is a pure function of the config, events stay within
+// the configured rounds and client set, and no client churns twice in the
+// same round.
+func TestChurnTraceDeterministic(t *testing.T) {
+	cfg := TraceConfig{
+		Seed:    42,
+		Clients: []uint64{1, 2, 3, 4, 5, 6, 7, 8},
+		Rounds:  6, RestartsPerRound: 1, DropsPerRound: 1,
+	}
+	a, b := Generate(cfg), Generate(cfg)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same config generated different traces")
+	}
+	if want := int(cfg.Rounds-1) * 2; len(a) != want {
+		t.Fatalf("trace has %d events, want %d", len(a), want)
+	}
+
+	clients := make(map[uint64]bool)
+	for _, id := range cfg.Clients {
+		clients[id] = true
+	}
+	perRound := make(map[uint64]map[uint64]bool)
+	for _, e := range a {
+		if e.Round < 2 || e.Round > cfg.Rounds {
+			t.Fatalf("event %+v outside rounds 2..%d", e, cfg.Rounds)
+		}
+		if !clients[e.Client] {
+			t.Fatalf("event %+v names an unknown client", e)
+		}
+		if perRound[e.Round] == nil {
+			perRound[e.Round] = make(map[uint64]bool)
+		}
+		if perRound[e.Round][e.Client] {
+			t.Fatalf("client %d churned twice in round %d", e.Client, e.Round)
+		}
+		perRound[e.Round][e.Client] = true
+	}
+
+	other := cfg
+	other.Seed = 43
+	if reflect.DeepEqual(a, Generate(other)) {
+		t.Fatal("different seeds generated identical traces")
+	}
+
+	if got := ByRound(a); len(got[2]) != 2 {
+		t.Fatalf("ByRound[2] = %v, want 2 events", got[2])
+	}
+}

@@ -1,0 +1,698 @@
+package core
+
+import (
+	"context"
+	"crypto/rand"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/churn"
+	"repro/internal/dh"
+	"repro/internal/engine"
+	"repro/internal/prg"
+	"repro/internal/ring"
+	"repro/internal/secagg"
+	"repro/internal/secaggplus"
+	"repro/internal/sessionstore"
+	"repro/internal/sig"
+	"repro/internal/transport"
+)
+
+// churnRig is the chaos-harness flavor of handshakeRig: a multi-round
+// wire deployment whose clients can be killed (fresh session, re-dial),
+// dropped mid-round, wrapped in fault injectors, and — in lenient mode —
+// recover from failed rounds the way the dordis-node reconnect loop
+// does: forfeit the round, re-dial, rejoin at the next handshake.
+type churnRig struct {
+	t         *testing.T
+	ids       []uint64
+	threshold int
+	dim       int
+	net       *transport.MemoryNetwork
+	srv       transport.ServerConn
+	eng       *engine.Engine
+	ctx       context.Context
+	cancel    context.CancelFunc
+
+	handshakeDeadline time.Duration
+	stageDeadline     time.Duration
+	keyRounds         int
+	// lenient logs client errors instead of failing the test and re-dials
+	// clients whose rounds failed — churn under faults must degrade, not
+	// abort the harness.
+	lenient bool
+	// wrap, when set, wraps every client connection on (re)connect.
+	wrap func(id uint64, c transport.ClientConn) transport.ClientConn
+	// redialMidRound clients re-dial and re-hello immediately after
+	// dropping mid-round, while the server is still collecting the round —
+	// the engine must park that hello for the next handshake.
+	redialMidRound map[uint64]bool
+
+	signer     *sig.Signer
+	serverSess *secagg.ServerSession
+	clientSess map[uint64]*secagg.Session
+
+	mu    sync.Mutex
+	conns map[uint64]transport.ClientConn
+	dead  map[uint64]bool
+}
+
+func newChurnRig(t *testing.T, ids []uint64, threshold, dim int) *churnRig {
+	t.Helper()
+	signer, err := sig.NewSigner(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := transport.NewMemoryNetwork(1024)
+	srv := net.Server()
+	ctx, cancel := context.WithCancel(context.Background())
+	t.Cleanup(cancel)
+	rig := &churnRig{
+		t: t, ids: ids, threshold: threshold, dim: dim,
+		net: net, srv: srv,
+		eng: engine.New(engine.TransportSource(ctx, srv)),
+		ctx: ctx, cancel: cancel,
+
+		handshakeDeadline: 5 * time.Second,
+		stageDeadline:     2 * time.Second,
+		keyRounds:         64,
+
+		signer:     signer,
+		serverSess: secagg.NewServerSession(),
+		clientSess: make(map[uint64]*secagg.Session),
+		conns:      make(map[uint64]transport.ClientConn),
+		dead:       make(map[uint64]bool),
+	}
+	for _, id := range ids {
+		sess, err := secagg.NewSession(rand.Reader)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rig.clientSess[id] = sess
+		rig.connect(id)
+	}
+	return rig
+}
+
+func (r *churnRig) connect(id uint64) {
+	conn, err := r.net.Connect(id)
+	if err != nil {
+		r.t.Fatal(err)
+	}
+	c := transport.ClientConn(conn)
+	if r.wrap != nil {
+		c = r.wrap(id, c)
+	}
+	r.mu.Lock()
+	r.conns[id] = c
+	r.mu.Unlock()
+}
+
+func (r *churnRig) conn(id uint64) transport.ClientConn {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.conns[id]
+}
+
+// restart kills a client between rounds: its in-memory session is lost
+// (fresh session, as a process kill without a session store loses state)
+// and it re-dials before the next handshake.
+func (r *churnRig) restart(id uint64) {
+	r.t.Helper()
+	r.conn(id).Close()
+	sess, err := secagg.NewSession(rand.Reader)
+	if err != nil {
+		r.t.Fatal(err)
+	}
+	r.clientSess[id] = sess
+	r.connect(id)
+}
+
+func (r *churnRig) markDead(id uint64) {
+	r.mu.Lock()
+	r.dead[id] = true
+	r.mu.Unlock()
+}
+
+func (r *churnRig) config(round, ratchet uint64) secagg.Config {
+	return secagg.Config{
+		Round: round, ClientIDs: r.ids, Threshold: r.threshold,
+		Bits: 16, Dim: r.dim, KeyRatchet: ratchet,
+	}
+}
+
+// round runs one handshake-then-round. drops maps client ids to the stage
+// before which they vanish mid-round.
+func (r *churnRig) round(round uint64, drops map[uint64]secagg.Stage) (Handshake, *secagg.Result) {
+	r.t.Helper()
+	// Bound every client in lenient mode: a client starved by injected
+	// faults must time out and re-dial, not wedge the harness.
+	clientBudget := r.handshakeDeadline + 8*r.stageDeadline + time.Second
+
+	var wg sync.WaitGroup
+	for _, id := range r.ids {
+		id := id
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			cctx := r.ctx
+			if r.lenient {
+				var cancel context.CancelFunc
+				cctx, cancel = context.WithTimeout(r.ctx, clientBudget)
+				defer cancel()
+			}
+			sess := r.clientSess[id]
+			conn := r.conn(id)
+			hs, err := RunHandshakeClient(cctx, ClientHandshakeConfig{
+				ID: id, Protocol: ProtocolSecAgg, ServerPub: r.signer.Public(), Rand: rand.Reader,
+			}, sess, conn)
+			if err != nil {
+				if r.lenient {
+					r.t.Logf("client %d round %d handshake: %v", id, round, err)
+					r.markDead(id)
+					return
+				}
+				r.t.Errorf("client %d handshake: %v", id, err)
+				return
+			}
+			drop, dropping := drops[id]
+			if !dropping {
+				drop = NoDrop
+			}
+			input := ring.NewVector(16, r.dim)
+			for i := range input.Data {
+				input.Data[i] = id
+			}
+			_, err = RunWireClient(cctx, WireClientConfig{
+				SecAgg: r.config(hs.Round, hs.Ratchet), ID: id, Input: input,
+				DropBefore: drop, Rand: rand.Reader,
+				Session: sess, Resume: hs.Resume, Divergent: hs.Divergent,
+			}, conn)
+			if err != nil && !dropping {
+				if r.lenient {
+					r.t.Logf("client %d round %d: %v", id, round, err)
+					r.markDead(id)
+					return
+				}
+				r.t.Errorf("client %d round: %v", id, err)
+				return
+			}
+			if dropping && r.redialMidRound[id] {
+				// The kill-and-redial path: the round is still in flight on
+				// the server, yet the bounced client is already back, saying
+				// hello for the next one. The engine parks this frame.
+				nc, err := r.net.Connect(id)
+				if err != nil {
+					r.t.Errorf("client %d mid-round re-dial: %v", id, err)
+					return
+				}
+				hello := []byte{codecMagic, tagRoundHello, handshakeVersion}
+				if err := nc.Send(transport.Frame{Stage: engine.TagRoundHello, Payload: hello}); err != nil {
+					r.t.Errorf("client %d mid-round re-hello: %v", id, err)
+				}
+				r.mu.Lock()
+				r.conns[id] = nc
+				r.mu.Unlock()
+			}
+		}()
+	}
+
+	hs, err := RunHandshakeServer(r.ctx, HandshakeConfig{
+		Round: round, Protocol: ProtocolSecAgg, ClientIDs: r.ids,
+		KeyRounds: r.keyRounds, Deadline: r.handshakeDeadline, Signer: r.signer,
+	}, r.serverSess, r.eng, r.srv)
+	if err != nil {
+		r.cancel()
+		wg.Wait()
+		r.t.Fatalf("server handshake %d: %v", round, err)
+	}
+	res, err := RunWireServer(r.ctx, WireServerConfig{
+		SecAgg: r.config(hs.Round, hs.Ratchet), StageDeadline: r.stageDeadline,
+		Session: r.serverSess, Resume: hs.Resume, Divergent: hs.Divergent, Engine: r.eng,
+	}, r.srv)
+	if err != nil {
+		r.cancel()
+		wg.Wait()
+		r.t.Fatalf("server round %d: %v", round, err)
+	}
+	wg.Wait()
+
+	// Lenient recovery: re-dial every client whose round died, exactly as
+	// the dordis-node loop would (session kept, connection fresh).
+	r.mu.Lock()
+	dead := r.dead
+	r.dead = make(map[uint64]bool)
+	r.mu.Unlock()
+	for id := range dead {
+		r.conn(id).Close()
+		r.connect(id)
+	}
+	return hs, res
+}
+
+func (r *churnRig) checkSum(res *secagg.Result, survivors []uint64) {
+	r.t.Helper()
+	var want uint64
+	for _, id := range survivors {
+		want += id
+	}
+	for i, v := range res.Sum {
+		if v != want {
+			r.t.Fatalf("sum[%d] = %d, want %d (survivors %v)", i, v, want, survivors)
+		}
+	}
+}
+
+// TestWireChurnTracePerEdgeRekey is the churn acceptance test: a
+// 64-client wire deployment runs a seeded churn trace in which one client
+// is killed (session lost) and re-dialed before every round. Every
+// churned round must downgrade to a partial resume naming exactly the
+// churned client, complete with the full roster, and spend O(churned
+// edges) of key agreement — at most 4 agreements per churned edge (two
+// ends × the channel and mask key types), so ≈ 4·k in total against the
+// full re-key's 2·n·(n−1). Run under -race in CI (churn step).
+func TestWireChurnTracePerEdgeRekey(t *testing.T) {
+	const n, rounds = 64, 4
+	ids := make([]uint64, n)
+	for i := range ids {
+		ids[i] = uint64(i + 1)
+	}
+	rig := newChurnRig(t, ids, n/2+1, 8)
+	// 64 clients each perform ~2(n−1) agreements concurrently in round 1;
+	// under -race that far outruns the default stage budget. No client in
+	// this trace legitimately misses a stage, so the deadlines are pure
+	// laggard bounds — completion is arrival of all expected frames.
+	rig.handshakeDeadline = 30 * time.Second
+	rig.stageDeadline = 20 * time.Second
+
+	trace := churn.Generate(churn.TraceConfig{
+		Seed: 7, Clients: ids, Rounds: rounds, RestartsPerRound: 1,
+	})
+	byRound := churn.ByRound(trace)
+
+	hs, res := rig.round(1, nil)
+	if hs.Resume {
+		t.Fatal("round 1 resumed with no prior state")
+	}
+	rig.checkSum(res, ids)
+	fullAgree := dh.AgreeCount()
+
+	k := uint64(n - 1) // complete graph: every churned client has n-1 edges
+	for round := uint64(2); round <= rounds; round++ {
+		events := byRound[round]
+		if len(events) != 1 || events[0].Kind != churn.Restart {
+			t.Fatalf("trace round %d = %v, want one restart", round, events)
+		}
+		churned := events[0].Client
+		rig.restart(churned)
+
+		gen0, agree0 := dh.GenerateCount(), dh.AgreeCount()
+		hs, res := rig.round(round, nil)
+		if !hs.Resume || !hs.Partial() {
+			t.Fatalf("round %d = resume %v partial %v, want a partial resume", round, hs.Resume, hs.Partial())
+		}
+		if len(hs.Divergent) != 1 || hs.Divergent[0] != churned {
+			t.Fatalf("round %d divergent = %v, want [%d]", round, hs.Divergent, churned)
+		}
+		rig.checkSum(res, ids)
+		gen, agree := dh.GenerateCount()-gen0, dh.AgreeCount()-agree0
+		if gen == 0 {
+			t.Fatalf("round %d re-keyed client %d without generating keys", round, churned)
+		}
+		if agree > 4*k {
+			t.Fatalf("round %d: %d agreements for one churned client, want ≤ %d (4 per churned edge)",
+				round, agree, 4*k)
+		}
+		if agree*8 > fullAgree {
+			t.Fatalf("round %d: churned-round agreements %d not clearly below full re-key %d",
+				round, agree, fullAgree)
+		}
+	}
+}
+
+// TestWireReconnectMidRound pins the kill-and-redial path end to end: a
+// client vanishes mid-round (before its masked upload) and re-dials
+// immediately — its next-round hello lands while the server is still
+// collecting the current round, so the engine must park it. The
+// interrupted round completes without the client; the next handshake
+// downgrades to a partial re-key of exactly its edges and the round
+// completes with the full roster again. Run under -race in CI (churn
+// step).
+func TestWireReconnectMidRound(t *testing.T) {
+	ids := []uint64{1, 2, 3, 4, 5}
+	rig := newChurnRig(t, ids, 3, 16)
+	rig.redialMidRound = map[uint64]bool{5: true}
+
+	hs, res := rig.round(1, nil)
+	if hs.Resume {
+		t.Fatal("round 1 resumed with no prior state")
+	}
+	rig.checkSum(res, ids)
+
+	// Round 2: client 5 is killed before its masked upload and re-dials
+	// mid-round. The round must complete with the survivors.
+	hs, res = rig.round(2, map[uint64]secagg.Stage{5: secagg.StageMaskedInput})
+	if !hs.Resume {
+		t.Fatal("round 2 did not resume")
+	}
+	if len(res.Dropped) != 1 || res.Dropped[0] != 5 {
+		t.Fatalf("round 2 dropped = %v, want [5]", res.Dropped)
+	}
+	rig.checkSum(res, []uint64{1, 2, 3, 4})
+
+	// Round 3: the parked hello joins the handshake, which partially
+	// re-keys just the bounced client's edges; everyone is back.
+	agree0 := dh.AgreeCount()
+	hs, res = rig.round(3, nil)
+	if !hs.Partial() || len(hs.Divergent) != 1 || hs.Divergent[0] != 5 {
+		t.Fatalf("round 3 = resume %v divergent %v, want partial re-key of [5]", hs.Resume, hs.Divergent)
+	}
+	rig.checkSum(res, ids)
+	if agree := dh.AgreeCount() - agree0; agree > 4*uint64(len(ids)-1) {
+		t.Fatalf("round 3 performed %d agreements, want O(churned edges)", agree)
+	}
+}
+
+// TestWireChurnUnderFaults runs a seeded churn trace while every client
+// uplink suffers injected faults — duplicated frames, bounded jitter, and
+// a small drop probability — in lenient mode: a client whose round dies
+// re-dials and rejoins, exactly like the dordis-node reconnect loop.
+// Every round must complete on the server with the sum of its reported
+// survivors; churn must degrade rounds, never abort them. Run under
+// -race in CI (churn step).
+func TestWireChurnUnderFaults(t *testing.T) {
+	const n, rounds = 8, 5
+	ids := make([]uint64, n)
+	for i := range ids {
+		ids[i] = uint64(i + 1)
+	}
+	rig := newChurnRig(t, ids, 4, 8)
+	rig.lenient = true
+	rig.handshakeDeadline = time.Second
+	rig.stageDeadline = 700 * time.Millisecond
+	rig.wrap = func(id uint64, c transport.ClientConn) transport.ClientConn {
+		return transport.NewFaultInjector(transport.FaultConfig{
+			DropProb: 0.01, DupProb: 0.3, DelayMax: 3 * time.Millisecond,
+			Seed: prg.NewSeed([]byte{0x77, byte(id)}),
+		}).WrapClient(c)
+	}
+
+	trace := churn.Generate(churn.TraceConfig{
+		Seed: 99, Clients: ids, Rounds: rounds, RestartsPerRound: 1,
+	})
+	byRound := churn.ByRound(trace)
+
+	for round := uint64(1); round <= rounds; round++ {
+		for _, e := range byRound[round] {
+			if e.Kind == churn.Restart {
+				rig.restart(e.Client)
+			}
+		}
+		hs, res := rig.round(round, nil)
+		rig.checkSum(res, res.Survivors)
+		t.Logf("round %d: resume=%v divergent=%v survivors=%d dropped=%v",
+			round, hs.Resume, hs.Divergent, len(res.Survivors), res.Dropped)
+	}
+}
+
+// ackCorruptor flips a byte in this client's second ack (the first
+// resumable handshake), so the server sees a malformed ack exactly while
+// deciding a partial commit for other divergent members.
+type ackCorruptor struct {
+	transport.ClientConn
+	mu   sync.Mutex
+	acks int
+}
+
+func (c *ackCorruptor) Send(f transport.Frame) error {
+	if f.Stage == engine.TagRoundAck {
+		c.mu.Lock()
+		c.acks++
+		corrupt := c.acks == 2
+		c.mu.Unlock()
+		if corrupt && len(f.Payload) > 0 {
+			p := append([]byte(nil), f.Payload...)
+			p[0] ^= 0xFF
+			f.Payload = p
+		}
+	}
+	return c.ClientConn.Send(f)
+}
+
+// TestHandshakeDowngradeMalformedAck: client 2's round-2 ack is corrupted
+// in flight while client 3 is independently divergent (killed and
+// re-dialed), so the malformed ack lands mid-partial-commit decision. The
+// server must fold the undecodable ack into the divergent subset — a
+// refusal, not an abort — the round completes with the full roster, and
+// round 3 converges back to a clean full resume. Run under -race in CI
+// (churn step).
+func TestHandshakeDowngradeMalformedAck(t *testing.T) {
+	ids := []uint64{1, 2, 3, 4, 5}
+	var rig *churnRig
+	wrap := func(id uint64, c transport.ClientConn) transport.ClientConn {
+		if id == 2 {
+			return &ackCorruptor{ClientConn: c}
+		}
+		return c
+	}
+	rig = newChurnRig(t, ids, 3, 16)
+	rig.wrap = wrap
+	// Re-wrap client 2's initial connection (wrap was set after dialing).
+	rig.conn(2).Close()
+	rig.connect(2)
+
+	hs, res := rig.round(1, nil)
+	if hs.Resume {
+		t.Fatal("round 1 resumed with no prior state")
+	}
+	rig.checkSum(res, ids)
+
+	rig.restart(3) // independent churn: the commit is partial regardless
+	hs, res = rig.round(2, nil)
+	if !hs.Partial() {
+		t.Fatalf("round 2 = resume %v divergent %v, want partial", hs.Resume, hs.Divergent)
+	}
+	if len(hs.Divergent) != 2 || hs.Divergent[0] != 2 || hs.Divergent[1] != 3 {
+		t.Fatalf("round 2 divergent = %v, want [2 3] (malformed ack + restart)", hs.Divergent)
+	}
+	rig.checkSum(res, ids)
+
+	// Converged: the corrupted-ack client fully re-keyed itself under the
+	// partial commit, so round 3 resumes cleanly for everyone.
+	hs, res = rig.round(3, nil)
+	if !hs.Resume || hs.Partial() {
+		t.Fatalf("round 3 = resume %v divergent %v, want clean full resume", hs.Resume, hs.Divergent)
+	}
+	rig.checkSum(res, ids)
+}
+
+// commitGhost tears the connection down right after this client's second
+// ack leaves: the server commits a resume this client never hears. The
+// ack counter is shared across reconnect wrappers so the ghost fires
+// exactly once in the client's lifetime.
+type commitGhost struct {
+	transport.ClientConn
+	mu   *sync.Mutex
+	acks *int
+}
+
+func (c *commitGhost) Send(f transport.Frame) error {
+	err := c.ClientConn.Send(f)
+	if f.Stage == engine.TagRoundAck {
+		c.mu.Lock()
+		*c.acks++
+		kill := *c.acks == 2
+		c.mu.Unlock()
+		if kill {
+			c.ClientConn.Close()
+		}
+	}
+	return err
+}
+
+// TestHandshakeDowngradeRedialDuringCommit: client 2 vanishes between its
+// ack and the server's commit — the server commits a full resume client 2
+// never applies, so its ratchet high-water mark goes stale. The round
+// completes without it; after the re-dial, the next handshake must catch
+// the desync via the ratchet check and downgrade to a partial re-key of
+// exactly that client, converging to a clean resume after. Run under
+// -race in CI (churn step).
+func TestHandshakeDowngradeRedialDuringCommit(t *testing.T) {
+	ids := []uint64{1, 2, 3, 4, 5}
+	rig := newChurnRig(t, ids, 3, 16)
+	rig.lenient = true
+	rig.handshakeDeadline = time.Second
+	rig.stageDeadline = 700 * time.Millisecond
+	var ghostMu sync.Mutex
+	var ghostAcks int
+	rig.wrap = func(id uint64, c transport.ClientConn) transport.ClientConn {
+		if id == 2 {
+			return &commitGhost{ClientConn: c, mu: &ghostMu, acks: &ghostAcks}
+		}
+		return c
+	}
+	rig.conn(2).Close()
+	rig.connect(2)
+
+	hs, res := rig.round(1, nil)
+	if hs.Resume {
+		t.Fatal("round 1 resumed with no prior state")
+	}
+	rig.checkSum(res, ids)
+
+	// Round 2: the server hears all acks and commits a full resume, but
+	// client 2's connection died before the commit arrived. The round
+	// completes without it.
+	hs, res = rig.round(2, nil)
+	if !hs.Resume || hs.Partial() {
+		t.Fatalf("round 2 = resume %v divergent %v, want full resume", hs.Resume, hs.Divergent)
+	}
+	rig.checkSum(res, []uint64{1, 3, 4, 5})
+
+	// Round 3: client 2 is back on a fresh connection with a stale ratchet
+	// high-water mark; the handshake must repair exactly its edges.
+	hs, res = rig.round(3, nil)
+	if !hs.Partial() || len(hs.Divergent) != 1 || hs.Divergent[0] != 2 {
+		t.Fatalf("round 3 = resume %v divergent %v, want partial re-key of [2]", hs.Resume, hs.Divergent)
+	}
+	rig.checkSum(res, ids)
+
+	// Converged.
+	hs, res = rig.round(4, nil)
+	if !hs.Resume || hs.Partial() {
+		t.Fatalf("round 4 = resume %v divergent %v, want clean full resume", hs.Resume, hs.Divergent)
+	}
+	rig.checkSum(res, ids)
+}
+
+// TestHandshakeDowngradeStoreDecryptFailure: a client persists its
+// session but the store key rotates underneath it (wrong
+// -session-key-file, tampered record) — restore fails, the client starts
+// fresh exactly as the dordis-node fallback does, and the next handshake
+// downgrades to a partial re-key of that client's edges. Run under -race
+// in CI (churn step).
+func TestHandshakeDowngradeStoreDecryptFailure(t *testing.T) {
+	ids := []uint64{1, 2, 3, 4, 5}
+	rig := newChurnRig(t, ids, 3, 16)
+
+	hs, res := rig.round(1, nil)
+	if hs.Resume {
+		t.Fatal("round 1 resumed with no prior state")
+	}
+	rig.checkSum(res, ids)
+
+	// Client 4 persists its session, then "restarts" into a store opened
+	// with a rotated key: decryption fails and the restore path must fall
+	// back to a fresh session instead of a corrupt one.
+	dir := t.TempDir()
+	store, err := sessionstore.Open(dir, sessionstore.DeriveKey([]byte("key v1")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := rig.clientSess[4].MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Save("client-4", blob); err != nil {
+		t.Fatal(err)
+	}
+	rotated, err := sessionstore.Open(dir, sessionstore.DeriveKey([]byte("key v2")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rotated.Load("client-4"); err == nil {
+		t.Fatal("rotated store key decrypted the session record")
+	}
+	fresh, err := secagg.NewSession(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rig.clientSess[4] = fresh
+	rig.conn(4).Close()
+	rig.connect(4)
+
+	hs, res = rig.round(2, nil)
+	if !hs.Partial() || len(hs.Divergent) != 1 || hs.Divergent[0] != 4 {
+		t.Fatalf("round 2 = resume %v divergent %v, want partial re-key of [4]", hs.Resume, hs.Divergent)
+	}
+	rig.checkSum(res, ids)
+
+	hs, res = rig.round(3, nil)
+	if !hs.Resume || hs.Partial() {
+		t.Fatalf("round 3 = resume %v divergent %v, want clean full resume", hs.Resume, hs.Divergent)
+	}
+	rig.checkSum(res, ids)
+}
+
+// TestWireSecAggPlusUnmaskCohortQuorum pins the per-cohort unmask quorum
+// on a SecAgg+ sparse graph: with one straggler never sending its unmask
+// response, the stage must seal the moment every reconstruction cohort
+// holds t shares — well before the stage deadline the old all-of-N
+// collection would have waited out. Run under -race in CI (churn step).
+func TestWireSecAggPlusUnmaskCohortQuorum(t *testing.T) {
+	const n, dim, degree, thresh = 8, 16, 4, 3
+	ids := make([]uint64, n)
+	for i := range ids {
+		ids[i] = uint64(i + 1)
+	}
+	base := secagg.Config{Round: 21, ClientIDs: ids, Threshold: thresh, Bits: 20, Dim: dim}
+	saCfg, err := secaggplus.NewConfig(base, degree)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const deadline = 3 * time.Second
+	net := transport.NewMemoryNetwork(256)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	var wg sync.WaitGroup
+	start := time.Now()
+	for _, id := range ids {
+		id := id
+		conn, err := net.Connect(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			input := ring.NewVector(20, dim)
+			for i := range input.Data {
+				input.Data[i] = id
+			}
+			cfg := WireClientConfig{
+				SecAgg: saCfg, ID: id, Input: input, DropBefore: NoDrop, Rand: rand.Reader,
+			}
+			if id == 8 { // the straggler: alive through consistency, silent at unmask
+				cfg.DropBefore = secagg.StageUnmasking
+			}
+			_, _ = RunWireClient(ctx, cfg, conn)
+		}()
+	}
+	res, err := RunWireServer(ctx, WireServerConfig{
+		SecAgg: saCfg, StageDeadline: deadline,
+	}, net.Server())
+	elapsed := time.Since(start)
+	cancel()
+	wg.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The straggler reached U3, so its input is in the sum and every
+	// self-seed cohort (including its own) filled from its neighbors.
+	var want uint64
+	for _, id := range ids {
+		want += id
+	}
+	for i, v := range res.Sum {
+		if v != want&((1<<20)-1) {
+			t.Fatalf("sum[%d] = %d, want %d", i, v, want)
+		}
+	}
+	if elapsed >= 2*deadline/3 {
+		t.Fatalf("round took %v — the cohort quorum should seal the unmask stage well before the %v deadline", elapsed, deadline)
+	}
+	_ = fmt.Sprintf("%v", res.Survivors)
+}

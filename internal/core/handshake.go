@@ -38,15 +38,23 @@ import (
 // which case the absent clients miss the round and the protocol's
 // thresholds decide downstream.
 //
-// The server proposes resume only when its session holds an untainted
-// roster for exactly the round's client set and the key generation has
-// rounds left (HandshakeConfig.KeyRounds). The proposal survives into the
-// commit only if *every* client acked with a matching state hash, no
-// taint, and the same ratchet high-water mark; any mismatch, taint, stale
-// ratchet, malformed ack, or missing ack downgrades the round to a clean
-// re-key — re-keying with a resumable session costs one advertise round
-// trip, while resuming with a divergent one costs the round (or worse,
-// a repeated mask stream), so every failure mode falls back to re-key.
+// The server proposes resume only when its session holds a roster for
+// exactly the round's client set and the key generation has rounds left
+// (HandshakeConfig.KeyRounds). The proposal survives into the commit as a
+// *full* resume only if every client acked with a matching state hash, no
+// taint, and the same ratchet high-water mark. Members that diverge — a
+// mismatched or missing hash, client- or server-side taint, a stale
+// ratchet, a malformed or missing ack, or absence from the cached roster —
+// no longer burn the whole generation: the commit carries the **divergent
+// subset**, those members re-key their own key pairs and re-advertise, and
+// everyone else invalidates exactly the edges touching them (RekeyEdges)
+// while keeping every other cached secret. Churn thereby degrades the
+// round to O(churned edges) of key agreement instead of resetting it to
+// n·k. Only when the divergent subset leaves fewer than two cached
+// members — so no cached edge would survive anyway — or when the server
+// has no roster or ratchet budget at all does the handshake fall back to
+// the clean full re-key; as before, every failure mode downgrades, never
+// wedges.
 //
 // Commit and offer are Ed25519-signed when the deployment configures a
 // server signer, so a network adversary cannot force clients onto a stale
@@ -65,9 +73,10 @@ const (
 	tagRoundCommit = 0x07
 	tagRoundHello  = 0x08
 
-	// handshakeVersion versions the three message layouts together; a
-	// mixed-version peer fails loudly at decode.
-	handshakeVersion = 1
+	// handshakeVersion versions the message layouts together; a
+	// mixed-version peer fails loudly at decode. Version 2 added the
+	// divergent-member section to the commit (partial resume).
+	handshakeVersion = 2
 
 	// maxHandshakeSig caps a declared signature length (Ed25519 needs 64).
 	maxHandshakeSig = 1 << 10
@@ -115,8 +124,13 @@ type RoundCommit struct {
 	Round   uint64
 	Resume  bool
 	Ratchet uint64
-	// Signature is the server's Ed25519 signature over the commit body;
-	// empty in semi-honest deployments.
+	// Divergent, non-empty only on a partial resume, lists the members
+	// (ascending) whose state diverged: they re-key their own key pairs and
+	// re-advertise in the coming round, while every other member invalidates
+	// exactly the edges touching them and keeps the rest of its cache.
+	Divergent []uint64
+	// Signature is the server's Ed25519 signature over the commit body
+	// (including the divergent section); empty in semi-honest deployments.
 	Signature []byte
 }
 
@@ -246,9 +260,11 @@ func decodeRoundAck(p []byte) (RoundAck, error) {
 	return a, nil
 }
 
-// encodeRoundCommit encodes and (optionally) signs a commit.
+// encodeRoundCommit encodes and (optionally) signs a commit. The divergent
+// section ([count:2][ids count×8]) sits inside the signed body, so a
+// network adversary cannot edit the subset without breaking the signature.
 func encodeRoundCommit(c RoundCommit, signer *sig.Signer) []byte {
-	body := make([]byte, 0, 3+8+1+8+2+64)
+	body := make([]byte, 0, 3+8+1+8+2+len(c.Divergent)*8+2+64)
 	body = append(body, codecMagic, tagRoundCommit, handshakeVersion)
 	var b [8]byte
 	binary.LittleEndian.PutUint64(b[:], c.Round)
@@ -257,17 +273,23 @@ func encodeRoundCommit(c RoundCommit, signer *sig.Signer) []byte {
 	if c.Resume {
 		flags |= 1
 	}
+	if len(c.Divergent) > 0 {
+		flags |= 2 // partial resume
+	}
 	body = append(body, flags)
 	binary.LittleEndian.PutUint64(b[:], c.Ratchet)
 	body = append(body, b[:]...)
+	binary.LittleEndian.PutUint16(b[:2], uint16(len(c.Divergent)))
+	body = append(body, b[:2]...)
+	body = transport.AppendUint64sLE(body, c.Divergent)
 	return appendSig(body, signer, commitSigLabel)
 }
 
 // decodeRoundCommit decodes a commit; serverPub, when non-empty, makes a
 // valid signature mandatory.
 func decodeRoundCommit(p []byte, serverPub []byte) (RoundCommit, error) {
-	const bodyLen = 3 + 8 + 1 + 8
-	if len(p) < bodyLen+2 || p[0] != codecMagic || p[1] != tagRoundCommit {
+	const fixedLen = 3 + 8 + 1 + 8 + 2
+	if len(p) < fixedLen+2 || p[0] != codecMagic || p[1] != tagRoundCommit {
 		return RoundCommit{}, fmt.Errorf("core: not a round commit")
 	}
 	if p[2] != handshakeVersion {
@@ -276,7 +298,18 @@ func decodeRoundCommit(p []byte, serverPub []byte) (RoundCommit, error) {
 	var c RoundCommit
 	c.Round = binary.LittleEndian.Uint64(p[3:])
 	c.Resume = p[11]&1 != 0
+	partial := p[11]&2 != 0
 	c.Ratchet = binary.LittleEndian.Uint64(p[12:])
+	count := int(binary.LittleEndian.Uint16(p[20:]))
+	div, _, err := transport.DecodeUint64sLE(p[fixedLen:], count)
+	if err != nil {
+		return RoundCommit{}, fmt.Errorf("core: round commit: %w", err)
+	}
+	c.Divergent = div
+	if partial != (count > 0) || (partial && !c.Resume) {
+		return RoundCommit{}, fmt.Errorf("core: round commit divergent section inconsistent with flags")
+	}
+	bodyLen := fixedLen + count*8
 	sg, err := decodeSigSection(p[bodyLen:])
 	if err != nil {
 		return RoundCommit{}, fmt.Errorf("core: round commit: %w", err)
@@ -305,23 +338,39 @@ type ClientSessionState interface {
 	MarkRatchetUsed(uint64)
 	// Rekey replaces the key generation and clears every cache.
 	Rekey(rand io.Reader) error
+	// RekeyEdges drops the cached secrets and roster entries for the given
+	// divergent peers (the commit's subset), keeping every other edge.
+	RekeyEdges(ids []uint64)
 }
 
 // ServerSessionState is the handshake's view of the server's session
 // layer. *secagg.ServerSession and *lightsecagg.ServerSession implement it.
 type ServerSessionState interface {
 	// StateHashFor digests the roster the session could resume a round
-	// over exactly ids on (ok=false: none, or partial coverage).
+	// over ids on (ok=false: none cached for that client set). The roster
+	// may cover only a subset of ids; MissingMembers names the rest.
 	StateHashFor(ids []uint64) ([32]byte, bool)
+	// MissingMembers lists the subset of ids the cached roster does not
+	// cover — they must re-advertise, so a resumed round treats them as
+	// divergent.
+	MissingMembers(ids []uint64) []uint64
 	// HasTaint reports whether any client's key material was (or may have
 	// been) reconstructed on this key generation.
 	HasTaint() bool
+	// TaintedMembers lists the clients whose key material was (or may have
+	// been) reconstructed; a partial resume folds them into the divergent
+	// subset and RekeyEdges clears their marks.
+	TaintedMembers() []uint64
 	// NextRatchet is the derivation-point high-water mark.
 	NextRatchet() uint64
 	// MarkRatchetUsed burns the derivation point at the given step.
 	MarkRatchetUsed(uint64)
 	// Rekey clears the session for a fresh key generation.
 	Rekey()
+	// RekeyEdges drops the cached state touching the given divergent
+	// members (roster entries, reconstructed keys, pair secrets, taint
+	// marks), keeping every other edge.
+	RekeyEdges(ids []uint64)
 }
 
 // Both substrates' session layers satisfy the handshake interfaces.
@@ -354,10 +403,28 @@ type HandshakeConfig struct {
 type Handshake struct {
 	Round    uint64
 	Protocol Protocol
-	// Resume: the round skips the advertise stage and reuses the live key
-	// generation at the Ratchet step; false: clean re-key, fresh advertise.
+	// Resume: the round reuses the live key generation at the Ratchet step;
+	// false: clean re-key, fresh advertise stage for everyone.
 	Resume  bool
 	Ratchet uint64
+	// Divergent, non-empty only when Resume is true, makes the resume
+	// partial: these members re-advertise fresh keys in the coming round
+	// (the round driver collects advertise from exactly this subset and
+	// broadcasts the merged roster), everyone else skips advertise.
+	Divergent []uint64
+}
+
+// Partial reports whether the outcome is a partial resume.
+func (h Handshake) Partial() bool { return h.Resume && len(h.Divergent) > 0 }
+
+// DivergentContains reports whether id is in the divergent subset.
+func (h Handshake) DivergentContains(id uint64) bool {
+	for _, d := range h.Divergent {
+		if d == id {
+			return true
+		}
+	}
+	return false
 }
 
 // RunHandshakeServer negotiates one round's resume-or-rekey decision with
@@ -394,12 +461,13 @@ func RunHandshakeServer(ctx context.Context, cfg HandshakeConfig, sess ServerSes
 		return Handshake{}, err
 	}
 
-	// Propose resume only from locally sufficient state: an untainted
-	// roster covering exactly this client set, with ratchet budget left.
+	// Propose resume only from locally sufficient state: a roster cached
+	// for exactly this client set, with ratchet budget left. Taint and
+	// partial coverage no longer veto the proposal — the divergent subset
+	// absorbs them after the acks.
 	ratchet := sess.NextRatchet()
 	hash, haveRoster := sess.StateHashFor(ids)
-	propose := haveRoster && !sess.HasTaint() &&
-		cfg.KeyRounds > 1 && ratchet < uint64(cfg.KeyRounds)
+	propose := haveRoster && cfg.KeyRounds > 1 && ratchet < uint64(cfg.KeyRounds)
 	offer := RoundOffer{Round: cfg.Round, Protocol: cfg.Protocol}
 	if propose {
 		offer.Resume = true
@@ -432,17 +500,54 @@ func RunHandshakeServer(ctx context.Context, cfg HandshakeConfig, sess ServerSes
 		return Handshake{}, err
 	}
 
-	resume := propose && len(acks) == len(ids)
-	if resume {
-		for _, a := range acks {
-			if a.Round != cfg.Round || !a.CanResume || a.Tainted ||
-				!a.HasHash || a.StateHash != hash || a.NextRatchet != ratchet {
-				resume = false
-				break
+	// Partition the roster: a member diverges when its ack is missing,
+	// stale, refusing, tainted, or reports different state, when the server
+	// reconstructed its key material (TaintedMembers), or when the cached
+	// roster never covered it (MissingMembers). With enough cached members
+	// left the commit downgrades to a partial resume over exactly that
+	// subset; otherwise to a full re-key.
+	resume := propose
+	var div []uint64
+	if propose {
+		divSet := make(map[uint64]bool)
+		for _, id := range sess.MissingMembers(ids) {
+			divSet[id] = true
+		}
+		inRound := make(map[uint64]bool, len(ids))
+		for _, id := range ids {
+			inRound[id] = true
+		}
+		for _, id := range sess.TaintedMembers() {
+			if inRound[id] {
+				divSet[id] = true
 			}
+		}
+		for _, id := range ids {
+			a, ok := acks[id]
+			if !ok || a.Round != cfg.Round || !a.CanResume || a.Tainted ||
+				!a.HasHash || a.StateHash != hash || a.NextRatchet != ratchet {
+				divSet[id] = true
+			}
+		}
+		switch {
+		case len(divSet) == 0:
+			// Unanimous: full resume, advertise skipped entirely.
+		case len(ids)-len(divSet) >= 2:
+			// Partial: at least one cached edge survives between the
+			// non-divergent members, so keeping the cache pays for the
+			// partial advertise stage.
+			div = make([]uint64, 0, len(divSet))
+			for _, id := range ids {
+				if divSet[id] {
+					div = append(div, id)
+				}
+			}
+		default:
+			resume = false
 		}
 	}
 	if resume {
+		sess.RekeyEdges(div)
 		sess.MarkRatchetUsed(ratchet)
 	} else {
 		sess.Rekey()
@@ -452,9 +557,9 @@ func RunHandshakeServer(ctx context.Context, cfg HandshakeConfig, sess ServerSes
 		// derivation point the re-keyed round is about to run at.
 		sess.MarkRatchetUsed(0)
 	}
-	commit := RoundCommit{Round: cfg.Round, Resume: resume, Ratchet: ratchet}
+	commit := RoundCommit{Round: cfg.Round, Resume: resume, Ratchet: ratchet, Divergent: div}
 	broadcast(conn, ids, engine.TagRoundCommit, encodeRoundCommit(commit, cfg.Signer))
-	return Handshake{Round: cfg.Round, Protocol: cfg.Protocol, Resume: resume, Ratchet: ratchet}, nil
+	return Handshake{Round: cfg.Round, Protocol: cfg.Protocol, Resume: resume, Ratchet: ratchet, Divergent: div}, nil
 }
 
 // ClientHandshakeConfig configures the client side of one pre-round
@@ -549,15 +654,32 @@ func RunHandshakeClient(ctx context.Context, cfg ClientHandshakeConfig, sess Cli
 		return Handshake{}, fmt.Errorf("core: commit for round %d after offer for round %d",
 			commit.Round, offer.Round)
 	}
-	if commit.Resume {
+	hs := Handshake{Round: offer.Round, Protocol: offer.Protocol,
+		Resume: commit.Resume, Ratchet: commit.Ratchet, Divergent: commit.Divergent}
+	switch {
+	case commit.Resume && hs.DivergentContains(cfg.ID):
+		// This client is in the divergent subset: its own state is unusable
+		// (or the server's view of it is), so it re-keys fully and will
+		// re-advertise in the coming round while the rest of the roster
+		// keeps its cache. The fresh generation inherits the committed
+		// ratchet step so its derivations line up with every peer's.
+		if err := sess.Rekey(rand); err != nil {
+			return Handshake{}, err
+		}
+		sess.MarkRatchetUsed(commit.Ratchet)
+	case commit.Resume:
 		// The server may only commit resume after our own CanResume ack; a
 		// commit we cannot follow is a protocol violation (or a replay),
 		// not something to run a round on.
 		if !canResume {
 			return Handshake{}, fmt.Errorf("core: server committed resume this client cannot follow")
 		}
+		// Drop exactly the divergent members' edges (no-op on a full
+		// resume): their fresh advertisements arrive with the merged roster
+		// and the edges re-agree on first use.
+		sess.RekeyEdges(commit.Divergent)
 		sess.MarkRatchetUsed(commit.Ratchet)
-	} else {
+	default:
 		if err := sess.Rekey(rand); err != nil {
 			return Handshake{}, err
 		}
@@ -567,5 +689,5 @@ func RunHandshakeClient(ctx context.Context, cfg ClientHandshakeConfig, sess Cli
 	}
 	// Round in flight: cleared by the round driver on clean completion.
 	sess.Taint()
-	return Handshake{Round: offer.Round, Protocol: offer.Protocol, Resume: commit.Resume, Ratchet: commit.Ratchet}, nil
+	return hs, nil
 }

@@ -62,6 +62,58 @@ func TestHandshakeCodecRoundTrip(t *testing.T) {
 	if gotCommit.Round != commit.Round || !gotCommit.Resume || gotCommit.Ratchet != commit.Ratchet {
 		t.Fatalf("commit round trip mismatch: %+v", gotCommit)
 	}
+	if len(gotCommit.Divergent) != 0 {
+		t.Fatalf("full-resume commit decoded divergent set %v", gotCommit.Divergent)
+	}
+
+	// Partial commit: the divergent-member section survives the round trip.
+	partial := RoundCommit{Round: 43, Resume: true, Ratchet: 4, Divergent: []uint64{2, 7, 19}}
+	gotPartial, err := decodeRoundCommit(encodeRoundCommit(partial, signer), pub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotPartial.Round != partial.Round || !gotPartial.Resume || gotPartial.Ratchet != partial.Ratchet {
+		t.Fatalf("partial commit round trip mismatch: %+v", gotPartial)
+	}
+	if len(gotPartial.Divergent) != 3 || gotPartial.Divergent[0] != 2 ||
+		gotPartial.Divergent[1] != 7 || gotPartial.Divergent[2] != 19 {
+		t.Fatalf("partial commit divergent set = %v, want [2 7 19]", gotPartial.Divergent)
+	}
+}
+
+// TestHandshakeCommitDivergentConsistency pins the flag/section coupling:
+// a partial flag without members, members without the flag, and a partial
+// flag on a non-resume commit are all malformed.
+func TestHandshakeCommitDivergentConsistency(t *testing.T) {
+	signer, _ := sig.NewSigner(rand.Reader)
+
+	// A non-resume commit never carries a divergent set: the encoder
+	// refuses to set the partial flag, so decode sees an inconsistency.
+	enc := encodeRoundCommit(RoundCommit{Round: 1, Resume: true, Ratchet: 1, Divergent: []uint64{3}}, signer)
+
+	// Flip the resume bit off while keeping the divergent section: the
+	// payload is structurally inconsistent before the signature even
+	// matters (decode with no pinned key to isolate the structural check).
+	noResume := append([]byte(nil), enc...)
+	noResume[11] &^= 1
+	if _, err := decodeRoundCommit(noResume, nil); err == nil {
+		t.Fatal("partial commit without the resume flag accepted")
+	}
+
+	// Clear the partial flag but leave the member list in place.
+	noPartial := append([]byte(nil), enc...)
+	noPartial[11] &^= 2
+	if _, err := decodeRoundCommit(noPartial, nil); err == nil {
+		t.Fatal("commit with divergent members but no partial flag accepted")
+	}
+
+	// Set the partial flag on a commit with an empty member section.
+	empty := encodeRoundCommit(RoundCommit{Round: 1, Resume: true, Ratchet: 1}, signer)
+	claimed := append([]byte(nil), empty...)
+	claimed[11] |= 2
+	if _, err := decodeRoundCommit(claimed, nil); err == nil {
+		t.Fatal("commit claiming partial with no members accepted")
+	}
 }
 
 func TestHandshakeCodecRejectsForgeries(t *testing.T) {
@@ -234,7 +286,7 @@ func (r *handshakeRig) round(round uint64, drops map[uint64]secagg.Stage) (Hands
 			cfg := WireClientConfig{
 				SecAgg: r.config(hs.Round, hs.Ratchet), ID: id, Input: input,
 				DropBefore: drop, Rand: rand.Reader,
-				Session: sess, Resume: hs.Resume,
+				Session: sess, Resume: hs.Resume, Divergent: hs.Divergent,
 			}
 			if _, err := RunWireClient(r.ctx, cfg, conn); err != nil && drop == NoDrop {
 				r.t.Errorf("client %d round: %v", id, err)
@@ -251,7 +303,7 @@ func (r *handshakeRig) round(round uint64, drops map[uint64]secagg.Stage) (Hands
 	}
 	res, err := RunWireServer(r.ctx, WireServerConfig{
 		SecAgg: r.config(hs.Round, hs.Ratchet), StageDeadline: 500 * time.Millisecond,
-		Session: r.serverSess, Resume: hs.Resume, Engine: r.eng,
+		Session: r.serverSess, Resume: hs.Resume, Divergent: hs.Divergent, Engine: r.eng,
 	}, r.srv)
 	if err != nil {
 		r.t.Fatalf("server round %d: %v", round, err)
@@ -351,21 +403,35 @@ func TestWireRestartResume(t *testing.T) {
 		t.Fatal("dropped client's session not tainted")
 	}
 
-	// Round 4: the dropout must force a clean re-key on the next
-	// handshake, and the re-keyed round completes with everyone back.
+	// Round 4: the dropout downgrades the next handshake to a *partial*
+	// re-key — only the tainted client (5) is divergent, everyone else
+	// keeps cached secrets — and the round completes with everyone back.
 	rig.connect(5) // the bounced client re-dials
-	gen0 = dh.GenerateCount()
+	gen0, agree0 = dh.GenerateCount(), dh.AgreeCount()
 	hs, res = rig.round(4, nil)
-	if hs.Resume {
-		t.Fatal("round 4 resumed over a tainted generation")
+	if !hs.Resume || !hs.Partial() {
+		t.Fatalf("round 4 handshake = resume %v partial %v, want a partial resume", hs.Resume, hs.Partial())
+	}
+	if len(hs.Divergent) != 1 || hs.Divergent[0] != 5 {
+		t.Fatalf("round 4 divergent set = %v, want [5]", hs.Divergent)
 	}
 	rig.checkSum(res, ids)
-	if dh.GenerateCount() == gen0 {
-		t.Fatal("re-keyed round generated no fresh keys")
+	gen, agree := dh.GenerateCount()-gen0, dh.AgreeCount()-agree0
+	if gen == 0 {
+		t.Fatal("partially re-keyed round generated no fresh keys for the divergent client")
+	}
+	// Key work stays proportional to the churned edges: the divergent
+	// client agrees with each of its n-1 peers and each peer answers, on
+	// both the channel and mask edges — nowhere near the full re-key's
+	// 2·n·(n-1) agreements.
+	n := uint64(len(ids))
+	if maxAgree := 4 * (n - 1); agree > maxAgree {
+		t.Fatalf("partial re-key performed %d agreements, want ≤ %d (full re-key ≈ %d)",
+			agree, maxAgree, 2*n*(n-1))
 	}
 
-	// Round 5: the fresh generation resumes again — taint was cleared by
-	// the re-key.
+	// Round 5: the repaired generation resumes in full again — the taint
+	// was cleared by the partial re-key.
 	gen0, agree0 = dh.GenerateCount(), dh.AgreeCount()
 	hs, res = rig.round(5, nil)
 	if !hs.Resume {
@@ -401,7 +467,8 @@ func TestHandshakeKeyRoundsBudget(t *testing.T) {
 				input := ring.NewVector(16, rig.dim)
 				if _, err := RunWireClient(rig.ctx, WireClientConfig{
 					SecAgg: rig.config(hs.Round, hs.Ratchet), ID: id, Input: input,
-					DropBefore: NoDrop, Rand: rand.Reader, Session: sess, Resume: hs.Resume,
+					DropBefore: NoDrop, Rand: rand.Reader, Session: sess,
+					Resume: hs.Resume, Divergent: hs.Divergent,
 				}, rig.conns[id]); err != nil {
 					rig.t.Errorf("client %d round: %v", id, err)
 				}
@@ -416,7 +483,7 @@ func TestHandshakeKeyRoundsBudget(t *testing.T) {
 		}
 		if _, err := RunWireServer(rig.ctx, WireServerConfig{
 			SecAgg: rig.config(hs.Round, hs.Ratchet), StageDeadline: 500 * time.Millisecond,
-			Session: rig.serverSess, Resume: hs.Resume, Engine: rig.eng,
+			Session: rig.serverSess, Resume: hs.Resume, Divergent: hs.Divergent, Engine: rig.eng,
 		}, rig.srv); err != nil {
 			t.Fatal(err)
 		}
@@ -494,7 +561,7 @@ func TestHandshakeLightSecAggResume(t *testing.T) {
 				}
 				if _, err := lightsecagg.RunWireClient(ctx, lightsecagg.WireClientConfig{
 					Config: rcfg, ID: id, Input: input, Rand: rand.Reader,
-					Session: sess, Resume: hs.Resume,
+					Session: sess, Resume: hs.Resume, Divergent: hs.Divergent,
 				}, conns[id]); err != nil {
 					t.Errorf("client %d round: %v", id, err)
 				}
@@ -509,7 +576,7 @@ func TestHandshakeLightSecAggResume(t *testing.T) {
 		}
 		sum, err := lightsecagg.RunWireServer(ctx, lightsecagg.WireServerConfig{
 			Config: rcfg, StageDeadline: 2 * time.Second,
-			Session: serverSess, Resume: hs.Resume, Engine: eng,
+			Session: serverSess, Resume: hs.Resume, Divergent: hs.Divergent, Engine: eng,
 		}, srv)
 		if err != nil {
 			t.Fatal(err)

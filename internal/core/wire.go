@@ -72,6 +72,12 @@ type WireServerConfig struct {
 	// (RunHandshakeServer) negotiates.
 	Session *secagg.ServerSession
 	Resume  bool
+	// Divergent, with Resume, makes the resume partial (Handshake.Divergent
+	// from the handshake): the advertise stage collects fresh keys from
+	// exactly this subset, merges them with the session's cached roster, and
+	// broadcasts the merged roster to everyone. Empty means a full resume
+	// with no advertise stage at all.
+	Divergent []uint64
 
 	// Engine, when non-nil, is an externally owned round engine whose
 	// transport fan-in this round collects through. Multi-round deployments
@@ -136,11 +142,17 @@ func RunWireServer(ctx context.Context, cfg WireServerConfig, conn transport.Ser
 		return err
 	}
 
-	// Stage 0: AdvertiseKeys — collected over the wire, or skipped when
-	// resuming on a session whose cached roster covers this client set (the
-	// clients skip symmetrically and reuse their own cached rosters).
+	// Stage 0: AdvertiseKeys — collected over the wire, skipped entirely on
+	// a full resume (the clients skip symmetrically and reuse their own
+	// cached rosters), or collected from just the divergent subset on a
+	// partial resume: the session's cached entries pre-seed the stage, the
+	// divergent members' fresh advertisements merge in, and the sealed
+	// (merged) roster is broadcast to everyone so the non-divergent members
+	// learn the fresh keys their invalidated edges re-agree against.
+	partial := cfg.Resume && len(cfg.Divergent) > 0
 	var roster []secagg.AdvertiseMsg
-	if cfg.Resume {
+	switch {
+	case cfg.Resume && !partial:
 		roster = cfg.Session.RosterFor(ids)
 		if roster == nil {
 			return nil, fmt.Errorf("core: resume without a cached roster for this client set")
@@ -148,7 +160,28 @@ func RunWireServer(ctx context.Context, cfg WireServerConfig, conn transport.Ser
 		if err := server.InstallRoster(roster); err != nil {
 			return nil, err
 		}
-	} else {
+	case partial:
+		cached := cfg.Session.RosterFor(ids)
+		if cached == nil {
+			return nil, fmt.Errorf("core: partial resume without a cached roster for this client set")
+		}
+		for _, m := range cached {
+			if err := server.AddAdvertise(m); err != nil {
+				return nil, err
+			}
+		}
+		err = collect("advertise", wireAdvertise, cfg.Divergent, 0, gobDecode[secagg.AdvertiseMsg],
+			func(_ uint64, body any) error {
+				return server.AddAdvertise(body.(secagg.AdvertiseMsg))
+			})
+		if err != nil {
+			return nil, err
+		}
+		if roster, err = server.SealAdvertise(); err != nil {
+			return nil, err
+		}
+		cfg.Session.StoreRoster(roster, ids)
+	default:
 		err = collect("advertise", wireAdvertise, ids, 0, gobDecode[secagg.AdvertiseMsg],
 			func(_ uint64, body any) error {
 				return server.AddAdvertise(body.(secagg.AdvertiseMsg))
@@ -167,7 +200,7 @@ func RunWireServer(ctx context.Context, cfg WireServerConfig, conn transport.Ser
 	for _, m := range roster {
 		u1 = append(u1, m.From)
 	}
-	if !cfg.Resume {
+	if !cfg.Resume || partial {
 		rosterPayload, err := encodePayload(roster)
 		if err != nil {
 			return nil, err
@@ -241,16 +274,29 @@ func RunWireServer(ctx context.Context, cfg WireServerConfig, conn transport.Ser
 
 	// Stage 4: Unmasking. The per-survivor share maps ride the binary
 	// codec (the last high-volume payload to leave gob); bundles index into
-	// reconstruction cohorts on arrival.
+	// reconstruction cohorts on arrival. Two quorums can cut the stage
+	// before all-of-N: the count quorum (complete graph: the first t
+	// responses are t shares per cohort) and the per-cohort predicate
+	// (SecAgg+ sparse graphs: seal the moment every reconstruction cohort
+	// holds its t shares, instead of waiting the deadline for stragglers).
+	// XNoise rounds keep the all-of-N deadline semantics — see
+	// secagg.Config.UnmaskQuorum for why.
 	unmaskQuorum := cfg.SecAgg.UnmaskQuorum()
-	if cfg.NoUnmaskQuorum {
-		unmaskQuorum = 0
+	var unmaskQuorumMet func() bool
+	if cfg.SecAgg.XNoise == nil {
+		unmaskQuorumMet = server.UnmaskQuorumMet
 	}
-	err = collect("unmask", wireUnmask, unmaskReq.U4, unmaskQuorum,
-		func(m engine.Msg) (any, error) { return decodeUnmask(m.Body.([]byte)) },
-		func(_ uint64, body any) error {
+	if cfg.NoUnmaskQuorum {
+		unmaskQuorum, unmaskQuorumMet = 0, nil
+	}
+	_, err = eng.Collect(roundCtx, engine.Stage{
+		Name: "unmask", Tag: wireUnmask, Expect: unmaskReq.U4,
+		Quorum: unmaskQuorum, QuorumMet: unmaskQuorumMet, Deadline: cfg.StageDeadline,
+		Decode: func(m engine.Msg) (any, error) { return decodeUnmask(m.Body.([]byte)) },
+		Apply: func(_ uint64, body any) error {
 			return server.AddUnmask(body.(secagg.UnmaskMsg))
-		})
+		},
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -310,6 +356,11 @@ type WireClientConfig struct {
 	// (the deployment must set the matching flags on the server).
 	Session *secagg.Session
 	Resume  bool
+	// Divergent, with Resume, makes the resume partial (Handshake.Divergent
+	// from the handshake). A divergent client advertises its fresh keys like
+	// a re-keyed one; every other client skips advertise but waits for the
+	// merged roster broadcast instead of reusing its cached copy.
+	Divergent []uint64
 }
 
 // RunWireClient drives the client side of one round. It returns the
@@ -351,19 +402,43 @@ func RunWireClient(ctx context.Context, cfg WireClientConfig, conn transport.Cli
 		return decodePayload(p, v)
 	}
 
-	// Stage 0: AdvertiseKeys, or the session-resumed skip: install the
+	// Stage 0: AdvertiseKeys, the session-resumed skip (install the
 	// session's keys locally and reuse the roster cached when a previous
-	// round on this session sealed it.
+	// round on this session sealed it), or the partial-resume variants: a
+	// divergent client advertises its fresh keys like a re-keyed one, a
+	// non-divergent one skips advertise but takes the merged roster
+	// broadcast instead of its cached copy. ShareKeys verifies this
+	// client's own entry in whatever roster it ends up with, so a merge
+	// that lost or replaced it fails loudly here rather than desynchronize
+	// the round.
+	partial := cfg.Resume && len(cfg.Divergent) > 0
+	selfDivergent := false
+	for _, id := range cfg.Divergent {
+		if id == cfg.ID {
+			selfDivergent = true
+		}
+	}
 	var payload []byte
 	var roster []secagg.AdvertiseMsg
-	if cfg.Resume {
+	switch {
+	case cfg.Resume && !partial:
 		if roster = cfg.Session.Roster(); roster == nil {
 			return nil, fmt.Errorf("core: resume without a cached roster at client %d", cfg.ID)
 		}
 		if err := client.SkipAdvertise(); err != nil {
 			return nil, err
 		}
-	} else {
+	case partial && !selfDivergent:
+		if err := client.SkipAdvertise(); err != nil {
+			return nil, err
+		}
+		if err := recv(wireRoster, &roster); err != nil {
+			return nil, err
+		}
+		if cfg.Session != nil {
+			cfg.Session.StoreRoster(roster)
+		}
+	default:
 		adv, err := client.AdvertiseKeys()
 		if err != nil {
 			return nil, err

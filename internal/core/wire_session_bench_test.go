@@ -7,9 +7,11 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/engine"
 	"repro/internal/prg"
 	"repro/internal/ring"
 	"repro/internal/secagg"
+	"repro/internal/sig"
 	"repro/internal/transport"
 )
 
@@ -162,6 +164,137 @@ func benchWireRoundWAN(b *testing.B, delay time.Duration) {
 		if err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// benchWireChurnedRound measures a full handshake-plus-round with churn
+// injected before every round: churnAll=false bounces one client per
+// iteration (the partial path re-keys only its edges — 4 agreements per
+// churned edge), churnAll=true bounces all of them (the divergent set
+// covers the roster, so the handshake downgrades to a full re-key —
+// 2·n·(n−1) agreements plus n key generations). The delta is what
+// per-edge partial re-key buys a churned round.
+func benchWireChurnedRound(b *testing.B, churnAll bool) {
+	const (
+		n   = 16
+		t   = 9
+		dim = 64
+	)
+	ids := make([]uint64, n)
+	for i := range ids {
+		ids[i] = uint64(i + 1)
+	}
+	signer, err := sig.NewSigner(rand.Reader)
+	if err != nil {
+		b.Fatal(err)
+	}
+	net := transport.NewMemoryNetwork(1024)
+	srv := net.Server()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	eng := engine.New(engine.TransportSource(ctx, srv))
+	serverSess := secagg.NewServerSession()
+	sessions := make(map[uint64]*secagg.Session, n)
+	conns := make(map[uint64]transport.ClientConn, n)
+	for _, id := range ids {
+		sess, err := secagg.NewSession(rand.Reader)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sessions[id] = sess
+		c, err := net.Connect(id)
+		if err != nil {
+			b.Fatal(err)
+		}
+		conns[id] = c
+	}
+	input := ring.NewVector(16, dim)
+	saCfg := func(round, ratchet uint64) secagg.Config {
+		return secagg.Config{
+			Round: round, ClientIDs: ids, Threshold: t,
+			Bits: 16, Dim: dim, KeyRatchet: ratchet,
+		}
+	}
+
+	runRound := func(round uint64) error {
+		var wg sync.WaitGroup
+		errCh := make(chan error, n)
+		for _, id := range ids {
+			id := id
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				hs, err := RunHandshakeClient(ctx, ClientHandshakeConfig{
+					ID: id, Protocol: ProtocolSecAgg, ServerPub: signer.Public(), Rand: rand.Reader,
+				}, sessions[id], conns[id])
+				if err != nil {
+					errCh <- err
+					return
+				}
+				_, err = RunWireClient(ctx, WireClientConfig{
+					SecAgg: saCfg(hs.Round, hs.Ratchet), ID: id, Input: input,
+					DropBefore: NoDrop, Rand: rand.Reader,
+					Session: sessions[id], Resume: hs.Resume, Divergent: hs.Divergent,
+				}, conns[id])
+				if err != nil {
+					errCh <- err
+				}
+			}()
+		}
+		hs, err := RunHandshakeServer(ctx, HandshakeConfig{
+			Round: round, Protocol: ProtocolSecAgg, ClientIDs: ids,
+			KeyRounds: 1 << 30, Deadline: 10 * time.Second, Signer: signer,
+		}, serverSess, eng, srv)
+		if err != nil {
+			return err
+		}
+		_, err = RunWireServer(ctx, WireServerConfig{
+			SecAgg: saCfg(hs.Round, hs.Ratchet), StageDeadline: 10 * time.Second,
+			Session: serverSess, Resume: hs.Resume, Divergent: hs.Divergent, Engine: eng,
+		}, srv)
+		wg.Wait()
+		close(errCh)
+		if err != nil {
+			return err
+		}
+		return <-errCh
+	}
+	if err := runRound(1); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		churned := ids[i%n : i%n+1]
+		if churnAll {
+			churned = ids
+		}
+		for _, id := range churned {
+			conns[id].Close()
+			sess, err := secagg.NewSession(rand.Reader)
+			if err != nil {
+				b.Fatal(err)
+			}
+			sessions[id] = sess
+			c, err := net.Connect(id)
+			if err != nil {
+				b.Fatal(err)
+			}
+			conns[id] = c
+		}
+		if err := runRound(uint64(i + 2)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWirePartialRekeyChurn16 runs the churned 16-client round with
+// one restarted client per round (partial per-edge re-key) against the
+// everyone-churned reference that downgrades to a full re-key.
+func BenchmarkWirePartialRekeyChurn16(b *testing.B) {
+	for _, mode := range []string{"partial-1", "full"} {
+		b.Run(mode, func(b *testing.B) {
+			benchWireChurnedRound(b, mode == "full")
+		})
 	}
 }
 

@@ -104,6 +104,15 @@ type Stage struct {
 	// survivor would add a straggler tail for no protocol benefit). 0
 	// means all of Expect.
 	Quorum int
+	// QuorumMet, when non-nil, is a predicate quorum: it is consulted
+	// after each successful Apply (under the same serialization as the
+	// sink, so it may read sink state without locking) and completes the
+	// stage as soon as it returns true. It expresses completion
+	// conditions a plain count cannot — SecAgg+'s unmask stage is done
+	// when every reconstruction *cohort* holds t shares, not when any t
+	// global responses arrived. Composes with Quorum and Expect: the
+	// stage ends at whichever trigger fires first.
+	QuorumMet func() bool
 	// Deadline bounds the collection. The stage ends when every expected
 	// sender was admitted or the deadline fires, whichever is first; ≤0
 	// means the stage is bounded only by ctx (in-process rounds, where
@@ -224,6 +233,9 @@ func (e *Engine) Collect(ctx context.Context, s Stage) ([]uint64, error) {
 				fail(err)
 				return false
 			}
+			if s.QuorumMet != nil && s.QuorumMet() {
+				return false // predicate quorum met: stop admitting, no error
+			}
 			return true
 		}
 		// Reserve the apply slot now (admission order), decode on a
@@ -240,6 +252,9 @@ func (e *Engine) Collect(ctx context.Context, s Stage) ([]uint64, error) {
 			defer gate.Release()
 			if err == nil && !failed() {
 				err = s.Apply(m.From, body)
+				if err == nil && s.QuorumMet != nil && s.QuorumMet() {
+					cancel() // predicate quorum met: unblock recv, drain, return
+				}
 			}
 			if err != nil {
 				fail(err)

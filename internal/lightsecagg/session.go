@@ -197,6 +197,35 @@ func (s *Session) Rekey(rand io.Reader) error {
 	return nil
 }
 
+// RekeyEdges drops the cached channel secrets and roster entries for the
+// given divergent peers while keeping this session's own key pair and
+// every other edge — the LightSecAgg face of the handshake's partial
+// resume. The divergent members re-advertise fresh channel keys in the
+// coming round (delivered with the merged roster broadcast) and the
+// dropped edges re-agree on first use.
+func (s *Session) RekeyEdges(ids []uint64) {
+	if len(ids) == 0 {
+		return
+	}
+	drop := make(map[uint64]bool, len(ids))
+	for _, id := range ids {
+		drop[id] = true
+	}
+	s.mu.Lock()
+	kept := make([]AdvertiseMsg, 0, len(s.roster))
+	for _, m := range s.roster {
+		if drop[m.From] {
+			delete(s.channel, string(m.Pub))
+			continue
+		}
+		kept = append(kept, m)
+	}
+	// Fresh slice, not in-place: Roster() hands out the cached slice and a
+	// concurrent holder must keep seeing the roster it was given.
+	s.roster = kept
+	s.mu.Unlock()
+}
+
 // encodingMatrix holds the Lagrange basis weights w[rank][k] for
 // evaluating the share polynomial at every client point α_rank. It
 // depends only on the geometry (n, U), not on the client or the round.
@@ -287,21 +316,49 @@ func (s *ServerSession) RosterFor(clientIDs []uint64) []AdvertiseMsg {
 }
 
 // StateHashFor returns the digest of the roster this session could resume
-// a round over exactly clientIDs on, with ok=false when there is none or
-// the roster does not cover every client (the offline phase needs every
-// sampled client, so there is no partial-roster resume).
+// a round over clientIDs on, with ok=false when none is cached for that
+// client set. The roster need not cover every client: the handshake folds
+// the members it misses (MissingMembers) into the divergent subset, and
+// they re-advertise under a partial resume — the share exchange still
+// needs every sampled client, but their channel keys arrive with the
+// merged roster before it runs.
 func (s *ServerSession) StateHashFor(clientIDs []uint64) ([32]byte, bool) {
 	roster := s.RosterFor(clientIDs)
-	if roster == nil || len(roster) != len(clientIDs) {
+	if len(roster) == 0 {
 		return [32]byte{}, false
 	}
 	return RosterHash(roster), true
+}
+
+// MissingMembers returns the subset of clientIDs the cached roster (for
+// exactly that client set) does not cover; a resumed round treats them as
+// divergent so they re-advertise. Returns nil when no roster is cached at
+// all. nil-receiver safe.
+func (s *ServerSession) MissingMembers(clientIDs []uint64) []uint64 {
+	roster := s.RosterFor(clientIDs)
+	if roster == nil {
+		return nil
+	}
+	have := make(map[uint64]bool, len(roster))
+	for _, m := range roster {
+		have[m.From] = true
+	}
+	var out []uint64
+	for _, id := range clientIDs {
+		if !have[id] {
+			out = append(out, id)
+		}
+	}
+	return out
 }
 
 // HasTaint reports false always: LightSecAgg's server never reconstructs
 // client key material, so dropouts do not poison the key generation (see
 // Session.Tainted).
 func (s *ServerSession) HasTaint() bool { return false }
+
+// TaintedMembers returns nil always (see HasTaint).
+func (s *ServerSession) TaintedMembers() []uint64 { return nil }
 
 // NextRatchet returns the rounds-served counter, mirroring
 // Session.NextRatchet: it enforces the handshake's KeyRounds lifetime
@@ -332,6 +389,31 @@ func (s *ServerSession) Rekey() {
 	s.mu.Lock()
 	s.roster, s.rosterIDs = nil, nil
 	s.nextRound = 0
+	s.mu.Unlock()
+}
+
+// RekeyEdges drops the roster entries of the given divergent members so
+// their fresh advertisements replace them in the merged roster of a
+// partial resume. The server holds no per-edge key material on this
+// substrate (recovery weights are key-independent), so entries are all
+// there is to drop. nil-receiver safe.
+func (s *ServerSession) RekeyEdges(ids []uint64) {
+	if s == nil || len(ids) == 0 {
+		return
+	}
+	drop := make(map[uint64]bool, len(ids))
+	for _, id := range ids {
+		drop[id] = true
+	}
+	s.mu.Lock()
+	kept := make([]AdvertiseMsg, 0, len(s.roster))
+	for _, m := range s.roster {
+		if !drop[m.From] {
+			kept = append(kept, m)
+		}
+	}
+	// Fresh slice for the same aliasing reason as Session.RekeyEdges.
+	s.roster = kept
 	s.mu.Unlock()
 }
 

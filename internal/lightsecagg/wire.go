@@ -91,6 +91,11 @@ type WireServerConfig struct {
 	// (core.RunHandshakeServer) negotiates.
 	Session *ServerSession
 	Resume  bool
+	// Divergent, with Resume, makes the resume partial (core handshake's
+	// divergent subset): the advertise stage collects fresh channel keys
+	// from exactly this subset, merges them with the cached roster, and
+	// broadcasts the merged roster to everyone.
+	Divergent []uint64
 
 	// Engine, when non-nil, is an externally owned round engine whose
 	// transport fan-in this round collects through. Multi-round deployments
@@ -142,10 +147,14 @@ func RunWireServer(ctx context.Context, cfg WireServerConfig, conn transport.Ser
 		return err
 	}
 
-	// Stage 0/1: channel keys — collected over the wire, or skipped when
-	// resuming on a session whose cached roster covers this client set.
+	// Stage 0/1: channel keys — collected over the wire, skipped entirely
+	// on a full resume, or collected from just the divergent subset on a
+	// partial resume (cached entries pre-seed the stage, the merged roster
+	// is broadcast to everyone).
+	partial := cfg.Resume && len(cfg.Divergent) > 0
 	var roster []AdvertiseMsg
-	if cfg.Resume {
+	switch {
+	case cfg.Resume && !partial:
 		roster = cfg.Session.RosterFor(ids)
 		if roster == nil {
 			return nil, fmt.Errorf("lightsecagg: resume without a cached roster for this client set")
@@ -153,7 +162,33 @@ func RunWireServer(ctx context.Context, cfg WireServerConfig, conn transport.Ser
 		if err := server.InstallRoster(roster); err != nil {
 			return nil, err
 		}
-	} else {
+	case partial:
+		cached := cfg.Session.RosterFor(ids)
+		if cached == nil {
+			return nil, fmt.Errorf("lightsecagg: partial resume without a cached roster for this client set")
+		}
+		for _, m := range cached {
+			if err := server.AddAdvertise(m); err != nil {
+				return nil, err
+			}
+		}
+		err = collect("advertise", wireAdvertise, cfg.Divergent, 0, nil,
+			func(from uint64, body any) error {
+				return server.AddAdvertise(AdvertiseMsg{From: from, Pub: body.([]byte)})
+			})
+		if err != nil {
+			return nil, err
+		}
+		if roster, err = server.SealAdvertise(); err != nil {
+			return nil, err
+		}
+		cfg.Session.StoreRoster(roster, ids)
+		rosterPayload, err := gobEncode(roster)
+		if err != nil {
+			return nil, err
+		}
+		broadcast(conn, ids, wireRoster, rosterPayload)
+	default:
 		err = collect("advertise", wireAdvertise, ids, 0, nil,
 			func(from uint64, body any) error {
 				return server.AddAdvertise(AdvertiseMsg{From: from, Pub: body.([]byte)})
@@ -260,6 +295,11 @@ type WireClientConfig struct {
 	// the server).
 	Session *Session
 	Resume  bool
+	// Divergent, with Resume, makes the resume partial: a divergent client
+	// advertises its fresh channel key like a re-keyed one; every other
+	// client skips advertise but waits for the merged roster broadcast
+	// instead of reusing its cached copy.
+	Divergent []uint64
 }
 
 // RunWireClient drives one client through the round. It returns the
@@ -277,14 +317,35 @@ func RunWireClient(ctx context.Context, cfg WireClientConfig, conn transport.Cli
 		return nil, err
 	}
 
-	// Stage 0/1: advertise the channel key and learn the roster, or
-	// resume on the session's cached roster.
+	// Stage 0/1: advertise the channel key and learn the roster, resume on
+	// the session's cached roster, or the partial-resume variants: a
+	// divergent client advertises fresh, a non-divergent one skips
+	// advertise and takes the merged roster broadcast.
+	partial := cfg.Resume && len(cfg.Divergent) > 0
+	selfDivergent := false
+	for _, id := range cfg.Divergent {
+		if id == cfg.ID {
+			selfDivergent = true
+		}
+	}
 	var roster []AdvertiseMsg
-	if cfg.Resume {
+	switch {
+	case cfg.Resume && !partial:
 		if roster = cfg.Session.Roster(); roster == nil {
 			return nil, fmt.Errorf("lightsecagg: resume without a cached roster at client %d", cfg.ID)
 		}
-	} else {
+	case partial && !selfDivergent:
+		f, err := recvStage(ctx, conn, wireRoster)
+		if err != nil {
+			return nil, err
+		}
+		if err := gobDecode(f.Payload, &roster); err != nil {
+			return nil, err
+		}
+		if cfg.Session != nil {
+			cfg.Session.StoreRoster(roster)
+		}
+	default:
 		adv := client.Advertise()
 		if err := conn.Send(transport.Frame{Stage: wireAdvertise, Payload: adv.Pub}); err != nil {
 			return nil, err

@@ -248,7 +248,10 @@ func (c Config) neighborhood(id uint64) []uint64 {
 //
 //   - SecAgg+ graphs: responders only hold shares for their
 //     neighborhood, so t global responses do not guarantee t shares per
-//     reconstruction cohort.
+//     reconstruction cohort. A count cannot express completion there —
+//     the wire driver instead seals through the per-cohort predicate
+//     Server.UnmaskQuorumMet (engine.Stage.QuorumMet), which fires the
+//     moment every cohort holds t shares.
 //   - XNoise rounds: cutting U5 to exactly t would make U3\U5 non-empty
 //     every round — forcing the stage-5 noise-seed round trip even with
 //     zero real stragglers — and stage 5 then needs a response from

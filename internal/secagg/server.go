@@ -68,6 +68,13 @@ type Server struct {
 	nsSenders      map[uint64]struct{}                     // stage-5 responders
 	noiseShares    map[uint64]map[int][]shamir.Share       // U3\U5 client → k → shares
 
+	// Per-cohort quorum tracking (UnmaskQuorumMet): outstanding share
+	// deficits per reconstruction cohort, seeded at the first AddUnmask
+	// and decremented as shares arrive.
+	selfNeed    map[uint64]int // live u → self-seed shares still needed
+	keyNeed     map[uint64]int // dropped v → mask-key bundles still needed
+	cohortShort int            // cohorts still below the threshold
+
 	sum ring.Vector
 }
 
@@ -335,6 +342,7 @@ func (s *Server) AddUnmask(m UnmaskMsg) error {
 		s.maskKeyShares = make(map[uint64][][numKeyChunks]shamir.Share)
 		s.selfSeedShares = make(map[uint64][]shamir.Share)
 		s.noiseSeeds = make(map[uint64]map[int]field.Element)
+		s.initCohorts()
 	}
 	if _, inU4 := s.u4set[m.From]; !inU4 {
 		return fmt.Errorf("secagg: unmask response from %d outside U4", m.From)
@@ -345,9 +353,11 @@ func (s *Server) AddUnmask(m UnmaskMsg) error {
 	s.u5set[m.From] = struct{}{}
 	for v, sh := range m.MaskKeyShares {
 		s.maskKeyShares[v] = append(s.maskKeyShares[v], sh)
+		s.cohortFill(s.keyNeed, v)
 	}
 	for v, sh := range m.SelfSeedShares {
 		s.selfSeedShares[v] = append(s.selfSeedShares[v], sh)
+		s.cohortFill(s.selfNeed, v)
 	}
 	if m.OwnNoiseSeeds != nil {
 		seeds := make(map[int]field.Element, len(m.OwnNoiseSeeds))
@@ -357,6 +367,56 @@ func (s *Server) AddUnmask(m UnmaskMsg) error {
 		s.noiseSeeds[m.From] = seeds
 	}
 	return nil
+}
+
+// initCohorts seeds the per-cohort deficit counters consulted by
+// UnmaskQuorumMet: every live client's self-seed needs t shares, and
+// every dropped client's mask key needs t bundles unless the session
+// already holds the verified key from an earlier sub-round.
+func (s *Server) initCohorts() {
+	s.selfNeed = make(map[uint64]int, len(s.u3))
+	for _, u := range s.u3 {
+		s.selfNeed[u] = s.cfg.Threshold
+	}
+	s.keyNeed = make(map[uint64]int)
+	for _, v := range s.u2 {
+		if contains(s.u3, v) {
+			continue
+		}
+		if s.session.key(s.roster[v].MaskPub) != nil {
+			continue
+		}
+		s.keyNeed[v] = s.cfg.Threshold
+	}
+	s.cohortShort = len(s.selfNeed) + len(s.keyNeed)
+}
+
+// cohortFill decrements one cohort's deficit after a share arrival.
+func (s *Server) cohortFill(need map[uint64]int, v uint64) {
+	n, ok := need[v]
+	if !ok {
+		return
+	}
+	if n--; n == 0 {
+		delete(need, v)
+		s.cohortShort--
+	} else {
+		need[v] = n
+	}
+}
+
+// UnmaskQuorumMet reports whether the stage-4 responses collected so far
+// suffice to seal: t responders overall and every reconstruction cohort —
+// each live client's self-seed, each dropped client's mask key — holds
+// its t shares. This is the predicate quorum (engine.Stage.QuorumMet)
+// that lets SecAgg+ rounds stop collecting before all-of-N: under a
+// sparse graph, t *global* responses do not imply t shares per cohort
+// (responders only hold shares for their neighborhoods), so the
+// count-based UnmaskQuorum cannot cut the stage — this predicate can, the
+// moment the last short cohort fills. XNoise rounds must keep waiting
+// all-of-N (see UnmaskQuorum); drivers do not install the predicate there.
+func (s *Server) UnmaskQuorumMet() bool {
+	return s.u5set != nil && len(s.u5set) >= s.cfg.Threshold && s.cohortShort == 0
 }
 
 // SealUnmask closes stage 4 (the responders form U5), unmasks the

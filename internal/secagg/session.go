@@ -307,6 +307,35 @@ func (s *Session) Rekey(rand io.Reader) error {
 	return nil
 }
 
+// RekeyEdges drops the cached pairwise secrets and roster entries for the
+// given divergent peers while keeping this session's own key pairs and
+// every other edge — the per-edge invalidation behind the handshake's
+// partial resume. The divergent members advertise fresh keys in the next
+// round, so only the edges touching them re-agree (their mask streams
+// restart from the new secrets); the rest of the graph keeps its cached
+// secrets and skips advertise. Taint and the ratchet position are left to
+// the handshake, which manages them around this call.
+func (s *Session) RekeyEdges(ids []uint64) {
+	if len(ids) == 0 {
+		return
+	}
+	drop := toSet(ids)
+	s.mu.Lock()
+	kept := make([]AdvertiseMsg, 0, len(s.roster))
+	for _, m := range s.roster {
+		if _, div := drop[m.From]; div {
+			delete(s.mask, string(m.MaskPub))
+			delete(s.channel, string(m.CipherPub))
+			continue
+		}
+		kept = append(kept, m)
+	}
+	// Fresh slice, not in-place: Roster() hands out the cached slice and a
+	// concurrent holder must keep seeing the roster it was given.
+	s.roster = kept
+	s.mu.Unlock()
+}
+
 // ServerSession is the aggregator's amortized key-agreement state: the
 // reconstructed-and-verified mask keys of dropped clients and the pairwise
 // secrets derived from them, cached across the sub-rounds and rounds that
@@ -401,16 +430,42 @@ func (s *ServerSession) RosterFor(clientIDs []uint64) []AdvertiseMsg {
 }
 
 // StateHashFor returns the digest of the roster this session could resume
-// a round over exactly clientIDs on, with ok=false when there is none or
-// when the cached roster does not cover every client — a member that was
-// dead at the sealing advertise stage but has since recovered must force a
-// fresh advertise, not be silently excluded forever.
+// a round over clientIDs on, with ok=false when none is cached for that
+// client set. The roster need not cover every client: members it misses
+// (dead or unheard at the sealing advertise stage) are reported by
+// MissingMembers and folded into the handshake's divergent subset — they
+// re-advertise under a partial resume instead of forcing a full re-key of
+// every cached edge, and instead of being silently excluded forever.
 func (s *ServerSession) StateHashFor(clientIDs []uint64) ([32]byte, bool) {
 	roster := s.RosterFor(clientIDs)
-	if roster == nil || len(roster) != len(clientIDs) {
+	if len(roster) == 0 {
 		return [32]byte{}, false
 	}
 	return RosterHash(roster), true
+}
+
+// MissingMembers returns the subset of clientIDs the cached roster (for
+// exactly that client set) does not cover. These members hold no advertised
+// keys in the current generation, so a resumed round must treat them as
+// divergent: they re-advertise and their edges agree fresh. Returns nil
+// when no roster is cached at all (a full re-key applies then anyway).
+// nil-receiver safe.
+func (s *ServerSession) MissingMembers(clientIDs []uint64) []uint64 {
+	roster := s.RosterFor(clientIDs)
+	if roster == nil {
+		return nil
+	}
+	have := make(map[uint64]bool, len(roster))
+	for _, m := range roster {
+		have[m.From] = true
+	}
+	var out []uint64
+	for _, id := range clientIDs {
+		if !have[id] {
+			out = append(out, id)
+		}
+	}
+	return out
 }
 
 // MarkTainted records clients whose sessions must not survive into another
@@ -441,6 +496,20 @@ func (s *ServerSession) HasTaint() bool {
 	return len(s.tainted) > 0
 }
 
+// TaintedMembers returns the ids whose mask keys this server reconstructed
+// (or may have) during this key generation, ascending. The handshake folds
+// them into the divergent subset of a partial resume: re-keying exactly
+// those members' edges removes the reconstruction hazard without burning
+// the rest of the graph's cached secrets. nil-receiver safe.
+func (s *ServerSession) TaintedMembers() []uint64 {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return sortedIDs(s.tainted)
+}
+
 // NextRatchet returns the lowest KeyRatchet step this key generation has
 // not served yet.
 func (s *ServerSession) NextRatchet() uint64 {
@@ -455,6 +524,45 @@ func (s *ServerSession) MarkRatchetUsed(step uint64) {
 	s.mu.Lock()
 	if step >= s.nextRatchet {
 		s.nextRatchet = step + 1
+	}
+	s.mu.Unlock()
+}
+
+// RekeyEdges drops the cached state touching the given divergent members —
+// their roster entries, any reconstructed key pairs, every pairwise secret
+// with one end at a divergent member, and their taint marks — while keeping
+// all other edges. This is the server half of the handshake's partial
+// resume: only the divergent members' edges re-key next round, so a past
+// reconstruction poisons exactly the dropper's edges instead of the whole
+// key generation. nil-receiver safe.
+func (s *ServerSession) RekeyEdges(ids []uint64) {
+	if s == nil || len(ids) == 0 {
+		return
+	}
+	drop := toSet(ids)
+	s.mu.Lock()
+	dropPubs := make(map[string]bool, len(ids))
+	kept := make([]AdvertiseMsg, 0, len(s.roster))
+	for _, m := range s.roster {
+		if _, div := drop[m.From]; div {
+			dropPubs[string(m.MaskPub)] = true
+			delete(s.keys, string(m.MaskPub))
+			continue
+		}
+		kept = append(kept, m)
+	}
+	// Fresh slice for the same aliasing reason as Session.RekeyEdges.
+	s.roster = kept
+	for k := range s.secrets {
+		// pairKey concatenates two mask public keys; drop the pair when
+		// either half belongs to a divergent member.
+		if len(k) == 2*dh.PublicKeySize &&
+			(dropPubs[k[:dh.PublicKeySize]] || dropPubs[k[dh.PublicKeySize:]]) {
+			delete(s.secrets, k)
+		}
+	}
+	for _, id := range ids {
+		delete(s.tainted, id)
 	}
 	s.mu.Unlock()
 }

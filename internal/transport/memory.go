@@ -29,9 +29,10 @@ func NewMemoryNetwork(buffer int) *MemoryNetwork {
 
 // memoryClient implements ClientConn.
 type memoryClient struct {
-	id  uint64
-	net *MemoryNetwork
-	in  chan Frame
+	id   uint64
+	net  *MemoryNetwork
+	in   chan Frame
+	done chan struct{} // closed by Close; unblocks pending Recvs
 
 	mu     sync.Mutex
 	closed bool
@@ -54,7 +55,7 @@ func (n *MemoryNetwork) Connect(id uint64) (ClientConn, error) {
 	}
 	in := make(chan Frame, cap(n.toServer))
 	n.toClient[id] = in
-	return &memoryClient{id: id, net: n, in: in}, nil
+	return &memoryClient{id: id, net: n, in: in, done: make(chan struct{})}, nil
 }
 
 // Server returns the server endpoint.
@@ -87,6 +88,10 @@ func (c *memoryClient) Recv(ctx context.Context) (Frame, error) {
 			return Frame{}, ErrClosed
 		}
 		return f, nil
+	case <-c.done:
+		// A closed endpoint fails pending reads immediately, like a real
+		// socket — a killed client must not hang until its context expires.
+		return Frame{}, ErrClosed
 	case <-ctx.Done():
 		return Frame{}, ctx.Err()
 	}
@@ -99,6 +104,7 @@ func (c *memoryClient) Close() error {
 		return nil
 	}
 	c.closed = true
+	close(c.done)
 	c.net.mu.Lock()
 	delete(c.net.toClient, c.id)
 	c.net.mu.Unlock()

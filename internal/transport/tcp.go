@@ -4,9 +4,11 @@ import (
 	"context"
 	"encoding/binary"
 	"fmt"
+	mrand "math/rand"
 	"net"
 	"sort"
 	"sync"
+	"time"
 )
 
 // TCPServer is the server endpoint of the TCP transport. Clients dial in
@@ -159,19 +161,87 @@ type TCPClient struct {
 	closed bool
 }
 
-// DialTCP connects to the server and introduces the client id.
+// DialTCP connects to the server and introduces the client id. Errors name
+// the target address and the client id, so the retry loops layered on top
+// (DialRetry, the dordis-node reconnect path) log something actionable.
 func DialTCP(addr string, id uint64) (*TCPClient, error) {
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
-		return nil, fmt.Errorf("transport: dial: %w", err)
+		return nil, fmt.Errorf("transport: dial %s (client %d): %w", addr, id, err)
 	}
 	var idBuf [8]byte
 	binary.LittleEndian.PutUint64(idBuf[:], id)
 	if _, err := conn.Write(idBuf[:]); err != nil {
 		conn.Close()
-		return nil, fmt.Errorf("transport: handshake: %w", err)
+		return nil, fmt.Errorf("transport: hello write to %s (client %d): %w", addr, id, err)
 	}
 	return &TCPClient{id: id, conn: conn}, nil
+}
+
+// RetryConfig tunes DialRetry's backoff. The zero value picks the
+// defaults noted on each field.
+type RetryConfig struct {
+	// BaseDelay is the first retry's backoff; doubles per attempt.
+	// ≤ 0 defaults to 50ms.
+	BaseDelay time.Duration
+	// MaxDelay caps the exponential growth. ≤ 0 defaults to 2s.
+	MaxDelay time.Duration
+	// Jitter adds a uniform random fraction of the current backoff (0.2 =
+	// up to +20%), decorrelating a thundering herd of reconnecting
+	// clients. < 0 disables; 0 defaults to 0.5.
+	Jitter float64
+}
+
+func (c RetryConfig) withDefaults() RetryConfig {
+	if c.BaseDelay <= 0 {
+		c.BaseDelay = 50 * time.Millisecond
+	}
+	if c.MaxDelay <= 0 {
+		c.MaxDelay = 2 * time.Second
+	}
+	if c.Jitter == 0 {
+		c.Jitter = 0.5
+	}
+	return c
+}
+
+// DialRetry dials the server with capped exponential backoff until it
+// succeeds or ctx is done — the retrying counterpart of DialTCP that turns
+// a transient disconnect (server restart, network blip, dropped NAT
+// binding) into a delay instead of a process death. The context carries
+// the overall deadline; per-attempt errors are remembered and wrapped into
+// the final error when the budget runs out.
+func DialRetry(ctx context.Context, addr string, id uint64, cfg RetryConfig) (*TCPClient, error) {
+	cfg = cfg.withDefaults()
+	delay := cfg.BaseDelay
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		if err := ctx.Err(); err != nil {
+			if lastErr != nil {
+				return nil, fmt.Errorf("transport: dial retry to %s (client %d) gave up after %d attempts: %w (last: %v)",
+					addr, id, attempt, err, lastErr)
+			}
+			return nil, fmt.Errorf("transport: dial retry to %s (client %d): %w", addr, id, err)
+		}
+		c, err := DialTCP(addr, id)
+		if err == nil {
+			return c, nil
+		}
+		lastErr = err
+		sleep := delay
+		if cfg.Jitter > 0 {
+			sleep += time.Duration(mrand.Float64() * cfg.Jitter * float64(delay))
+		}
+		timer := time.NewTimer(sleep)
+		select {
+		case <-ctx.Done():
+			timer.Stop()
+		case <-timer.C:
+		}
+		if delay *= 2; delay > cfg.MaxDelay {
+			delay = cfg.MaxDelay
+		}
+	}
 }
 
 // Send implements ClientConn.
