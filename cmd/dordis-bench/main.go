@@ -8,10 +8,15 @@
 //	dordis-bench -exp fig8
 //	dordis-bench -exp table2 -scale paper
 //	dordis-bench -exp all -scale quick
+//	dordis-bench -hotpath -cores 1,2,4
 //
-// Protocol-level hot-path microbenchmarks are not here: they live in the
-// go benchmarks (go test -bench . ./...) and their recorded
-// before/after numbers in BENCH_SECAGG_HOTPATH.json. Note for readers of
+// Protocol-level hot-path microbenchmarks mostly live in the go
+// benchmarks (go test -bench . ./...) with their recorded before/after
+// numbers in BENCH_SECAGG_HOTPATH.json; the -hotpath mode is the one
+// exception, running the GOMAXPROCS × workload matrix (Skellam
+// sampling per noise epoch, segmented mask expansion, whole amortized
+// round) from the CLI — the same workloads as the root
+// BenchmarkMulticoreMatrix. Note for readers of
 // older revisions: since the session layer, chunked rounds agree keys
 // once per (round, pair) — n·k X25519 agreements per round, not m·n·k
 // across m chunks — on every substrate, including the engine-unified
@@ -29,11 +34,21 @@ import (
 
 func main() {
 	var (
-		exp   = flag.String("exp", "", "experiment id (or 'all')")
-		scale = flag.String("scale", "quick", "fidelity: quick | paper")
-		list  = flag.Bool("list", false, "list experiment ids")
+		exp     = flag.String("exp", "", "experiment id (or 'all')")
+		scale   = flag.String("scale", "quick", "fidelity: quick | paper")
+		list    = flag.Bool("list", false, "list experiment ids")
+		hotpath = flag.Bool("hotpath", false, "run the GOMAXPROCS × hot-path matrix instead of an experiment")
+		cores   = flag.String("cores", "1,2,4", "comma-separated GOMAXPROCS values for -hotpath")
 	)
 	flag.Parse()
+
+	if *hotpath {
+		if err := runHotpath(*cores); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		return
+	}
 
 	if *list || *exp == "" {
 		fmt.Println("experiments:")

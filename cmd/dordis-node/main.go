@@ -85,18 +85,20 @@ import (
 
 func main() {
 	var (
-		role      = flag.String("role", "selftest", "server | client | selftest")
-		listen    = flag.String("listen", "127.0.0.1:7700", "server listen address")
-		connect   = flag.String("connect", "127.0.0.1:7700", "client: server address")
-		id        = flag.Uint64("id", 0, "client id (must appear in -clients)")
-		clients   = flag.String("clients", "1,2,3,4,5", "comma-separated sampled client ids")
-		threshold = flag.Int("threshold", 3, "SecAgg threshold t (lightsecagg: privacy threshold T)")
-		dim       = flag.Int("dim", 64, "vector dimension")
-		value     = flag.Uint64("value", 1, "client: constant vector value")
-		tolerance = flag.Int("tolerance", 1, "XNoise dropout tolerance T (0 = plain SecAgg; lightsecagg: dropout tolerance D)")
-		targetMu  = flag.Float64("mu", 25, "XNoise central noise variance target")
-		deadline  = flag.Duration("deadline", 3*time.Second, "per-stage collection deadline")
-		protocol  = flag.String("protocol", "secagg", "secagg | lightsecagg")
+		role       = flag.String("role", "selftest", "server | client | selftest")
+		listen     = flag.String("listen", "127.0.0.1:7700", "server listen address")
+		connect    = flag.String("connect", "127.0.0.1:7700", "client: server address")
+		id         = flag.Uint64("id", 0, "client id (must appear in -clients)")
+		clients    = flag.String("clients", "1,2,3,4,5", "comma-separated sampled client ids")
+		threshold  = flag.Int("threshold", 3, "SecAgg threshold t (lightsecagg: privacy threshold T)")
+		dim        = flag.Int("dim", 64, "vector dimension")
+		value      = flag.Uint64("value", 1, "client: constant vector value")
+		tolerance  = flag.Int("tolerance", 1, "XNoise dropout tolerance T (0 = plain SecAgg; lightsecagg: dropout tolerance D)")
+		targetMu   = flag.Float64("mu", 25, "XNoise central noise variance target")
+		deadline   = flag.Duration("deadline", 3*time.Second, "per-stage collection deadline")
+		protocol   = flag.String("protocol", "secagg", "secagg | lightsecagg")
+		noiseEpoch = flag.Uint64("noise-epoch", 0,
+			"XNoise draw-sequence version: 0 = legacy Knuth/PTRS sequence, 1 = CDF-inversion fast path; in session mode the server announces it via the handshake and clients adopt the committed value")
 
 		rounds = flag.Int("rounds", 1,
 			"consecutive rounds to run; > 1 enables the per-round re-key handshake")
@@ -154,11 +156,12 @@ func main() {
 		fail(fmt.Errorf("unknown protocol %q", *protocol))
 	}
 	cfg := secagg.Config{
-		Round:     1,
-		ClientIDs: ids,
-		Threshold: *threshold,
-		Bits:      20,
-		Dim:       *dim,
+		Round:      1,
+		ClientIDs:  ids,
+		Threshold:  *threshold,
+		Bits:       20,
+		Dim:        *dim,
+		NoiseEpoch: *noiseEpoch,
 	}
 	if *tolerance > 0 {
 		cfg.XNoise = &xnoise.Plan{
@@ -375,6 +378,7 @@ func runServerSessions(cfg secagg.Config, listen string, deadline time.Duration,
 		hs, err := core.RunHandshakeServer(ctx, core.HandshakeConfig{
 			Round: uint64(r), Protocol: core.ProtocolSecAgg, ClientIDs: cfg.ClientIDs,
 			KeyRounds: keyRounds, Deadline: deadline, Signer: signer,
+			NoiseEpoch: cfg.NoiseEpoch,
 		}, sess, eng, srv)
 		if err != nil {
 			fail(err)
@@ -382,6 +386,7 @@ func runServerSessions(cfg secagg.Config, listen string, deadline time.Duration,
 		rcfg := cfg
 		rcfg.Round = hs.Round
 		rcfg.KeyRatchet = hs.Ratchet
+		rcfg.NoiseEpoch = hs.NoiseEpoch
 		res, err := core.RunWireServer(ctx, core.WireServerConfig{
 			SecAgg: rcfg, StageDeadline: deadline,
 			Session: sess, Resume: hs.Resume, Divergent: hs.Divergent, Engine: eng,
@@ -451,13 +456,16 @@ func runClientSessions(cfg secagg.Config, addr string, id, value uint64,
 			continue
 		}
 		// Persist immediately after the handshake: the stored state carries
-		// the burned ratchet step and the round-in-flight taint, so a crash
-		// mid-round restores into a session the next handshake re-keys (at
-		// least this client's edges).
+		// the burned ratchet step, the round-in-flight taint, and the
+		// committed noise epoch, so a crash mid-round restores into a
+		// session the next handshake re-keys (at least this client's edges)
+		// under the sampler it negotiated.
+		sess.SetNoiseEpoch(hs.NoiseEpoch)
 		saveSession(store, record, sess)
 		rcfg := cfg
 		rcfg.Round = hs.Round
 		rcfg.KeyRatchet = hs.Ratchet
+		rcfg.NoiseEpoch = hs.NoiseEpoch
 		res, err := core.RunWireClient(ctx, core.WireClientConfig{
 			SecAgg: rcfg, ID: id, Input: constInput(rcfg, value),
 			DropBefore: core.NoDrop, Rand: rand.Reader,

@@ -40,6 +40,30 @@
 // running ~5x faster; AddManyInPlace/SubManyInPlace fold many vectors into
 // an accumulator in cache-resident blocks.
 //
+// Seekable expansion. The CTR keystream is position-addressable:
+// prg.Stream.SeekBlock and FillAt jump to any block offset in O(1)
+// (128-bit counter arithmetic, no keystream generated in between), so
+// one logical mask stream splits into segments that workers expand
+// concurrently — ring.Vector.MaskParallelInPlace, the segmented
+// unmask/mask task fan-out in secagg, and lightsecagg's segmented
+// uniform fill all cut at block-aligned offsets of the same stream
+// instead of re-keying per worker. The result is byte-identical to the
+// sequential pass (property-pinned against the golden keystream), so
+// parallelism is a local scheduling decision: either side of a wire
+// round may expand with any worker count.
+//
+// Noise sampling. Config.NoiseEpoch versions the XNoise draw sequence
+// exactly as MaskEpoch versions mask derivation: epoch 0 is
+// byte-identical to the historical Knuth/PTRS Skellam sampler
+// (golden-pinned), epoch 1 selects CDF inversion — a cached per-λ
+// inversion table binary-searched with one 64-bit uniform per draw,
+// guard-banded tails falling back to the exact sampler — which is ~20x
+// at λ=16 and flat in λ, where the Knuth loops cost ~2·sqrt(λ)
+// exponential draws per sample. All parties must draw under the same
+// epoch for noise removal to cancel, so the handshake pins it per
+// round and persisted sessions carry it (PROTOCOL.md); new epochs are
+// opt-in, never a silent default change.
+//
 // Parallel unmasking. The server's unmask step and the client's masking
 // step fan their independent PRG expansions (key agreement included)
 // across a bounded worker pool, each worker accumulating into a private
@@ -173,4 +197,21 @@
 // ProtocolLightSecAgg (Threshold keeps response-count semantics:
 // U = Threshold, T = D = n − Threshold), and
 // fl.RecommendedProtocolUnderDropout says when the trade is worth it.
+// Its field-layer hot paths run through two GF(2^61−1) kernels:
+// field.WeightedSumInto (share encoding and aggregate-mask recovery as
+// blocked matrix–vector products with deferred Mersenne reduction —
+// one reduction per output element) and field.BatchInv (Montgomery's
+// trick: one Fermat inversion per batch of Lagrange denominators); the
+// server's recovery-weight cache additionally updates cohorts that
+// differ by one straggler swap incrementally, O(parts·u) instead of a
+// cold O(parts·u²) recompute.
+//
+// Measuring the floor. The GOMAXPROCS × workload matrix — root
+// bench_test.go BenchmarkMulticoreMatrix, or dordis-bench -hotpath
+// -cores 1,2,4 from the CLI, both driving the same internal/hotpath
+// workloads — sweeps per-epoch Skellam sampling, segmented mask
+// expansion, and the whole amortized round across proc counts.
+// Recorded before/after numbers live in BENCH_SECAGG_HOTPATH.json
+// (pr7_* entries); reference implementations stay in the benches so
+// any machine can re-measure both sides in one run.
 package repro

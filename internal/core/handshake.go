@@ -13,6 +13,7 @@ import (
 	"repro/internal/secagg"
 	"repro/internal/sig"
 	"repro/internal/transport"
+	"repro/internal/xnoise"
 )
 
 // The re-key handshake: how a wire deployment decides, before each round,
@@ -75,8 +76,10 @@ const (
 
 	// handshakeVersion versions the message layouts together; a
 	// mixed-version peer fails loudly at decode. Version 2 added the
-	// divergent-member section to the commit (partial resume).
-	handshakeVersion = 2
+	// divergent-member section to the commit (partial resume); version 3
+	// added the NoiseEpoch field to offer and commit, pinning the noise
+	// draw-sequence version per round.
+	handshakeVersion = 3
 
 	// maxHandshakeSig caps a declared signature length (Ed25519 needs 64).
 	maxHandshakeSig = 1 << 10
@@ -96,6 +99,12 @@ type RoundOffer struct {
 	// RosterHash digests the roster the server would resume on (zero on a
 	// re-key proposal); clients compare it against their cached roster.
 	RosterHash [32]byte
+	// NoiseEpoch is the noise draw-sequence version the round will run
+	// under (secagg.Config.NoiseEpoch). Announced on every offer — resume
+	// or re-key — so client and server never regenerate XNoise components
+	// from different sampler sequences; clients reject epochs beyond
+	// xnoise.MaxNoiseEpoch.
+	NoiseEpoch uint64
 	// Signature is the server's Ed25519 signature over the offer body;
 	// empty in semi-honest deployments.
 	Signature []byte
@@ -124,6 +133,9 @@ type RoundCommit struct {
 	Round   uint64
 	Resume  bool
 	Ratchet uint64
+	// NoiseEpoch echoes the offer's noise draw-sequence version; clients
+	// verify the echo so a replayed commit cannot flip the sampler.
+	NoiseEpoch uint64
 	// Divergent, non-empty only on a partial resume, lists the members
 	// (ascending) whose state diverged: they re-key their own key pairs and
 	// re-advertise in the coming round, while every other member invalidates
@@ -157,7 +169,7 @@ func appendSig(body []byte, signer *sig.Signer, label []byte) []byte {
 
 // encodeRoundOffer encodes and (optionally) signs an offer.
 func encodeRoundOffer(o RoundOffer, signer *sig.Signer) []byte {
-	body := make([]byte, 0, 3+8+1+1+8+32+2+64)
+	body := make([]byte, 0, 3+8+1+1+8+32+8+2+64)
 	body = append(body, codecMagic, tagRoundOffer, handshakeVersion)
 	var b [8]byte
 	binary.LittleEndian.PutUint64(b[:], o.Round)
@@ -171,13 +183,15 @@ func encodeRoundOffer(o RoundOffer, signer *sig.Signer) []byte {
 	binary.LittleEndian.PutUint64(b[:], o.Ratchet)
 	body = append(body, b[:]...)
 	body = append(body, o.RosterHash[:]...)
+	binary.LittleEndian.PutUint64(b[:], o.NoiseEpoch)
+	body = append(body, b[:]...)
 	return appendSig(body, signer, offerSigLabel)
 }
 
 // decodeRoundOffer decodes an offer; serverPub, when non-empty, makes a
 // valid signature mandatory.
 func decodeRoundOffer(p []byte, serverPub []byte) (RoundOffer, error) {
-	const bodyLen = 3 + 8 + 1 + 1 + 8 + 32
+	const bodyLen = 3 + 8 + 1 + 1 + 8 + 32 + 8
 	if len(p) < bodyLen+2 || p[0] != codecMagic || p[1] != tagRoundOffer {
 		return RoundOffer{}, fmt.Errorf("core: not a round offer")
 	}
@@ -190,6 +204,7 @@ func decodeRoundOffer(p []byte, serverPub []byte) (RoundOffer, error) {
 	o.Resume = p[12]&1 != 0
 	o.Ratchet = binary.LittleEndian.Uint64(p[13:])
 	copy(o.RosterHash[:], p[21:])
+	o.NoiseEpoch = binary.LittleEndian.Uint64(p[53:])
 	sg, err := decodeSigSection(p[bodyLen:])
 	if err != nil {
 		return RoundOffer{}, fmt.Errorf("core: round offer: %w", err)
@@ -264,7 +279,7 @@ func decodeRoundAck(p []byte) (RoundAck, error) {
 // section ([count:2][ids count×8]) sits inside the signed body, so a
 // network adversary cannot edit the subset without breaking the signature.
 func encodeRoundCommit(c RoundCommit, signer *sig.Signer) []byte {
-	body := make([]byte, 0, 3+8+1+8+2+len(c.Divergent)*8+2+64)
+	body := make([]byte, 0, 3+8+1+8+8+2+len(c.Divergent)*8+2+64)
 	body = append(body, codecMagic, tagRoundCommit, handshakeVersion)
 	var b [8]byte
 	binary.LittleEndian.PutUint64(b[:], c.Round)
@@ -279,6 +294,8 @@ func encodeRoundCommit(c RoundCommit, signer *sig.Signer) []byte {
 	body = append(body, flags)
 	binary.LittleEndian.PutUint64(b[:], c.Ratchet)
 	body = append(body, b[:]...)
+	binary.LittleEndian.PutUint64(b[:], c.NoiseEpoch)
+	body = append(body, b[:]...)
 	binary.LittleEndian.PutUint16(b[:2], uint16(len(c.Divergent)))
 	body = append(body, b[:2]...)
 	body = transport.AppendUint64sLE(body, c.Divergent)
@@ -288,7 +305,7 @@ func encodeRoundCommit(c RoundCommit, signer *sig.Signer) []byte {
 // decodeRoundCommit decodes a commit; serverPub, when non-empty, makes a
 // valid signature mandatory.
 func decodeRoundCommit(p []byte, serverPub []byte) (RoundCommit, error) {
-	const fixedLen = 3 + 8 + 1 + 8 + 2
+	const fixedLen = 3 + 8 + 1 + 8 + 8 + 2
 	if len(p) < fixedLen+2 || p[0] != codecMagic || p[1] != tagRoundCommit {
 		return RoundCommit{}, fmt.Errorf("core: not a round commit")
 	}
@@ -300,7 +317,8 @@ func decodeRoundCommit(p []byte, serverPub []byte) (RoundCommit, error) {
 	c.Resume = p[11]&1 != 0
 	partial := p[11]&2 != 0
 	c.Ratchet = binary.LittleEndian.Uint64(p[12:])
-	count := int(binary.LittleEndian.Uint16(p[20:]))
+	c.NoiseEpoch = binary.LittleEndian.Uint64(p[20:])
+	count := int(binary.LittleEndian.Uint16(p[28:]))
 	div, _, err := transport.DecodeUint64sLE(p[fixedLen:], count)
 	if err != nil {
 		return RoundCommit{}, fmt.Errorf("core: round commit: %w", err)
@@ -397,6 +415,10 @@ type HandshakeConfig struct {
 	// Signer, when non-nil, signs offers and commits (the deployment
 	// distributes the verification key to clients out of band).
 	Signer *sig.Signer
+	// NoiseEpoch is the noise draw-sequence version the server announces
+	// for the round (must be ≤ xnoise.MaxNoiseEpoch); clients echo-verify
+	// it from the commit and run the round's samplers under it.
+	NoiseEpoch uint64
 }
 
 // Handshake is the negotiated outcome both sides run the round under.
@@ -412,6 +434,9 @@ type Handshake struct {
 	// (the round driver collects advertise from exactly this subset and
 	// broadcasts the merged roster), everyone else skips advertise.
 	Divergent []uint64
+	// NoiseEpoch is the committed noise draw-sequence version; the round's
+	// secagg.Config.NoiseEpoch must be set to it on both sides.
+	NoiseEpoch uint64
 }
 
 // Partial reports whether the outcome is a partial resume.
@@ -442,6 +467,10 @@ func RunHandshakeServer(ctx context.Context, cfg HandshakeConfig, sess ServerSes
 	if sess == nil {
 		return Handshake{}, fmt.Errorf("core: handshake requires a server session")
 	}
+	if cfg.NoiseEpoch > xnoise.MaxNoiseEpoch {
+		return Handshake{}, fmt.Errorf("core: handshake noise epoch %d beyond max %d",
+			cfg.NoiseEpoch, xnoise.MaxNoiseEpoch)
+	}
 	deadline := cfg.Deadline
 	if deadline <= 0 {
 		deadline = 2 * time.Second
@@ -468,7 +497,7 @@ func RunHandshakeServer(ctx context.Context, cfg HandshakeConfig, sess ServerSes
 	ratchet := sess.NextRatchet()
 	hash, haveRoster := sess.StateHashFor(ids)
 	propose := haveRoster && cfg.KeyRounds > 1 && ratchet < uint64(cfg.KeyRounds)
-	offer := RoundOffer{Round: cfg.Round, Protocol: cfg.Protocol}
+	offer := RoundOffer{Round: cfg.Round, Protocol: cfg.Protocol, NoiseEpoch: cfg.NoiseEpoch}
 	if propose {
 		offer.Resume = true
 		offer.Ratchet = ratchet
@@ -557,9 +586,11 @@ func RunHandshakeServer(ctx context.Context, cfg HandshakeConfig, sess ServerSes
 		// derivation point the re-keyed round is about to run at.
 		sess.MarkRatchetUsed(0)
 	}
-	commit := RoundCommit{Round: cfg.Round, Resume: resume, Ratchet: ratchet, Divergent: div}
+	commit := RoundCommit{Round: cfg.Round, Resume: resume, Ratchet: ratchet,
+		NoiseEpoch: cfg.NoiseEpoch, Divergent: div}
 	broadcast(conn, ids, engine.TagRoundCommit, encodeRoundCommit(commit, cfg.Signer))
-	return Handshake{Round: cfg.Round, Protocol: cfg.Protocol, Resume: resume, Ratchet: ratchet, Divergent: div}, nil
+	return Handshake{Round: cfg.Round, Protocol: cfg.Protocol, Resume: resume, Ratchet: ratchet,
+		Divergent: div, NoiseEpoch: cfg.NoiseEpoch}, nil
 }
 
 // ClientHandshakeConfig configures the client side of one pre-round
@@ -625,6 +656,12 @@ func RunHandshakeClient(ctx context.Context, cfg ClientHandshakeConfig, sess Cli
 		return Handshake{}, fmt.Errorf("core: round offer for substrate %v, client runs %v",
 			offer.Protocol, cfg.Protocol)
 	}
+	if offer.NoiseEpoch > xnoise.MaxNoiseEpoch {
+		// An unknown epoch means this build cannot regenerate the round's
+		// noise sequence; running anyway would silently break removal.
+		return Handshake{}, fmt.Errorf("core: round offer noise epoch %d beyond this build's max %d",
+			offer.NoiseEpoch, xnoise.MaxNoiseEpoch)
+	}
 
 	hash, haveHash := sess.StateHash()
 	canResume := offer.Resume && haveHash && hash == offer.RosterHash &&
@@ -654,8 +691,13 @@ func RunHandshakeClient(ctx context.Context, cfg ClientHandshakeConfig, sess Cli
 		return Handshake{}, fmt.Errorf("core: commit for round %d after offer for round %d",
 			commit.Round, offer.Round)
 	}
+	if commit.NoiseEpoch != offer.NoiseEpoch {
+		return Handshake{}, fmt.Errorf("core: commit noise epoch %d contradicts offer epoch %d",
+			commit.NoiseEpoch, offer.NoiseEpoch)
+	}
 	hs := Handshake{Round: offer.Round, Protocol: offer.Protocol,
-		Resume: commit.Resume, Ratchet: commit.Ratchet, Divergent: commit.Divergent}
+		Resume: commit.Resume, Ratchet: commit.Ratchet, Divergent: commit.Divergent,
+		NoiseEpoch: commit.NoiseEpoch}
 	switch {
 	case commit.Resume && hs.DivergentContains(cfg.ID):
 		// This client is in the divergent subset: its own state is unusable

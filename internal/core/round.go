@@ -97,6 +97,10 @@ type RoundConfig struct {
 	Tolerance int
 	TargetMu  float64
 	Sampler   xnoise.Sampler
+	// NoiseEpoch versions the noise draw sequence (secagg.Config.NoiseEpoch):
+	// 0 = historical Knuth/PTRS Skellam, 1 = CDF inversion. All parties of a
+	// round must agree; the wire handshake pins it per round.
+	NoiseEpoch uint64
 	// Seed drives per-round deterministic randomness (noise seeds, chunk
 	// sub-streams).
 	Seed prg.Seed
@@ -130,12 +134,18 @@ func (c RoundConfig) Validate() error {
 	if c.Tolerance > 0 && c.TargetMu <= 0 {
 		return fmt.Errorf("core: XNoise requires TargetMu > 0")
 	}
+	if c.NoiseEpoch > xnoise.MaxNoiseEpoch {
+		return fmt.Errorf("core: unknown noise epoch %d (max %d)", c.NoiseEpoch, xnoise.MaxNoiseEpoch)
+	}
 	return nil
 }
 
 func (c RoundConfig) sampler() xnoise.Sampler {
 	if c.Sampler != nil {
 		return c.Sampler
+	}
+	if s := xnoise.SamplerForEpoch(c.NoiseEpoch); s != nil {
+		return s
 	}
 	return xnoise.SkellamSampler
 }
@@ -263,10 +273,11 @@ func RunRound(cfg RoundConfig, updates map[uint64][]float64, drops []uint64, ran
 	// Build the per-chunk protocol config.
 	proto := ResolveProtocol(cfg.Protocol, len(ids))
 	baseCfg := secagg.Config{
-		Round:     cfg.Round,
-		ClientIDs: ids,
-		Threshold: cfg.Threshold,
-		Bits:      cfg.Codec.Bits,
+		Round:      cfg.Round,
+		ClientIDs:  ids,
+		Threshold:  cfg.Threshold,
+		Bits:       cfg.Codec.Bits,
+		NoiseEpoch: cfg.NoiseEpoch,
 	}
 	switch proto {
 	case ProtocolSecAggPlus:

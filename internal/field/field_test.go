@@ -248,3 +248,87 @@ func TestLagrangeCoefficientsMatchInterpolation(t *testing.T) {
 		t.Error("duplicate abscissas should error")
 	}
 }
+
+func TestBatchInv(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	xs := make([]Element, 257)
+	for i := range xs {
+		for xs[i] == 0 {
+			xs[i] = New(rng.Uint64())
+		}
+	}
+	invs, err := BatchInv(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range xs {
+		want := MustInv(xs[i])
+		if invs[i] != want {
+			t.Fatalf("BatchInv[%d] = %v, want %v", i, invs[i], want)
+		}
+	}
+	if out, err := BatchInv(nil); err != nil || len(out) != 0 {
+		t.Errorf("BatchInv(nil) = %v, %v", out, err)
+	}
+	if _, err := BatchInv([]Element{1, 0, 2}); err == nil {
+		t.Error("BatchInv with a zero should error")
+	}
+}
+
+// TestWeightedSumInto checks the deferred-reduction kernel against the
+// naive Mul/Add loop, across sizes that straddle the internal tile and
+// with worst-case (maximal) operands that stress the accumulator bounds.
+func TestWeightedSumInto(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, tc := range []struct{ k, l int }{
+		{0, 5}, {1, 1}, {3, 7}, {8, 1023}, {5, 1024}, {4, 1025}, {6, 5000},
+	} {
+		ws := make([]Element, tc.k)
+		rows := make([][]Element, tc.k)
+		for k := range rows {
+			ws[k] = New(rng.Uint64())
+			rows[k] = make([]Element, tc.l)
+			for i := range rows[k] {
+				rows[k][i] = New(rng.Uint64())
+			}
+		}
+		want := make([]Element, tc.l)
+		for k := range rows {
+			for i := range want {
+				want[i] = Add(want[i], Mul(ws[k], rows[k][i]))
+			}
+		}
+		got := make([]Element, tc.l)
+		WeightedSumInto(got, ws, rows)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("k=%d l=%d: WeightedSumInto[%d] = %v, want %v", tc.k, tc.l, i, got[i], want[i])
+			}
+		}
+	}
+
+	// All-maximal terms: 64 rows of (p−1)·(p−1) exercise the carry chain.
+	const k, l = 64, 33
+	ws := make([]Element, k)
+	rows := make([][]Element, k)
+	for i := range rows {
+		ws[i] = Element(Modulus - 1)
+		rows[i] = make([]Element, l)
+		for j := range rows[i] {
+			rows[i][j] = Element(Modulus - 1)
+		}
+	}
+	want := make([]Element, l)
+	for i := range rows {
+		for j := range want {
+			want[j] = Add(want[j], Mul(ws[i], rows[i][j]))
+		}
+	}
+	got := make([]Element, l)
+	WeightedSumInto(got, ws, rows)
+	for j := range want {
+		if got[j] != want[j] {
+			t.Fatalf("maximal operands: WeightedSumInto[%d] = %v, want %v", j, got[j], want[j])
+		}
+	}
+}

@@ -69,12 +69,16 @@
 package lightsecagg
 
 import (
+	"encoding/binary"
 	"fmt"
 	"io"
+	"runtime"
 	"sort"
+	"sync"
 
 	"repro/internal/aead"
 	"repro/internal/field"
+	"repro/internal/prg"
 )
 
 // Config fixes one LightSecAgg round. All parties must agree on it.
@@ -162,25 +166,33 @@ func (c Config) lagrangeWeights(x field.Element) ([]field.Element, error) {
 }
 
 // lagrangeWeightsAt returns the Lagrange basis weights for interpolating a
-// polynomial of degree < len(xs) at x, given sample abscissas xs.
+// polynomial of degree < len(xs) at x, given sample abscissas xs. The
+// denominators are inverted in one batch (field.BatchInv) instead of one
+// Fermat inversion per weight.
 func lagrangeWeightsAt(xs []field.Element, x field.Element) ([]field.Element, error) {
 	n := len(xs)
-	ws := make([]field.Element, n)
+	num := make([]field.Element, n)
+	den := make([]field.Element, n)
 	for k := 0; k < n; k++ {
-		num := field.New(1)
-		den := field.New(1)
+		nk := field.New(1)
+		dk := field.New(1)
 		for m := 0; m < n; m++ {
 			if m == k {
 				continue
 			}
-			num = field.Mul(num, field.Sub(x, xs[m]))
-			den = field.Mul(den, field.Sub(xs[k], xs[m]))
+			nk = field.Mul(nk, field.Sub(x, xs[m]))
+			dk = field.Mul(dk, field.Sub(xs[k], xs[m]))
 		}
-		inv, err := field.Inv(den)
-		if err != nil {
-			return nil, fmt.Errorf("lightsecagg: coincident abscissas: %w", err)
-		}
-		ws[k] = field.Mul(num, inv)
+		num[k] = nk
+		den[k] = dk
+	}
+	dinv, err := field.BatchInv(den)
+	if err != nil {
+		return nil, fmt.Errorf("lightsecagg: coincident abscissas: %w", err)
+	}
+	ws := make([]field.Element, n)
+	for k := range ws {
+		ws[k] = field.Mul(num[k], dinv[k])
 	}
 	return ws, nil
 }
@@ -301,15 +313,92 @@ func NewSessionClient(cfg Config, id uint64, rand io.Reader, sess *Session) (*Cl
 	}, nil
 }
 
+// uniformChunk is the element count per bulk randomness read: 16 KiB per
+// reader call instead of one call per element.
+const uniformChunk = 2048
+
+// uniformSegMin is the smallest element count worth a dedicated expansion
+// segment on the seekable-PRG fast path (see maskFanOut).
+const uniformSegMin = 16384
+
+// fillUniform draws uniform field elements from rand. The byte-to-element
+// map is field.RandomElement's low-61-bit rule over consecutive 8-byte
+// little-endian words, and the reader is consumed in bulk uniformChunk
+// reads — byte-identical to the historical one-ReadFull-per-element loop
+// for any reader, just without the per-element call overhead. When rand is
+// a seekable prg.Stream and the fill is large, the expansion additionally
+// splits into independently seeked segments across the worker pool
+// (prg.Stream.At — AES-CTR random access), still byte-identical to the
+// sequential expansion.
 func fillUniform(rand io.Reader, out []field.Element) error {
-	var buf [8]byte
-	for i := range out {
-		if _, err := io.ReadFull(rand, buf[:]); err != nil {
+	if s, ok := rand.(*prg.Stream); ok {
+		fillUniformSegmented(s, out)
+		return nil
+	}
+	buf := make([]byte, 8*uniformChunk)
+	for len(out) > 0 {
+		n := len(out)
+		if n > uniformChunk {
+			n = uniformChunk
+		}
+		b := buf[:8*n]
+		if _, err := io.ReadFull(rand, b); err != nil {
 			return fmt.Errorf("lightsecagg: reading mask randomness: %w", err)
 		}
-		out[i] = field.RandomElement(buf)
+		for i := 0; i < n; i++ {
+			out[i] = field.RandomElement([8]byte(b[8*i:]))
+		}
+		out = out[n:]
 	}
 	return nil
+}
+
+// fillUniformSegmented expands out from a seekable PRG stream, splitting
+// the keystream into up to GOMAXPROCS independently expanded segments when
+// the fill is large. The stream is left positioned exactly 8·len(out)
+// bytes past where it started, as if consumed sequentially.
+func fillUniformSegmented(s *prg.Stream, out []field.Element) {
+	workers := runtime.GOMAXPROCS(0)
+	if w := len(out) / uniformSegMin; workers > w {
+		workers = w
+	}
+	if workers <= 1 {
+		fillUniformSpan(s, out)
+		return
+	}
+	base := s.Offset()
+	var wg sync.WaitGroup
+	lo := 0
+	for w := 0; w < workers; w++ {
+		hi := lo + (len(out)-lo)/(workers-w)
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fillUniformSpan(s.At(base+8*uint64(lo)), out[lo:hi])
+		}(lo, hi)
+		lo = hi
+	}
+	wg.Wait()
+	s.Seek(base + 8*uint64(len(out)))
+}
+
+// fillUniformSpan sequentially expands out from s via bulk word draws.
+func fillUniformSpan(s *prg.Stream, out []field.Element) {
+	var words [uniformChunk]uint64
+	for len(out) > 0 {
+		n := len(out)
+		if n > uniformChunk {
+			n = uniformChunk
+		}
+		ws := words[:n]
+		s.FillUint64(ws)
+		for i, w := range ws {
+			var b [8]byte
+			binary.LittleEndian.PutUint64(b[:], w)
+			out[i] = field.RandomElement(b)
+		}
+		out = out[n:]
+	}
 }
 
 // Advertise returns the stage-0 channel-key advertisement.
@@ -317,11 +406,53 @@ func (c *Client) Advertise() AdvertiseMsg {
 	return AdvertiseMsg{From: c.id, Pub: c.session.PublicBytes()}
 }
 
+// encTile is the sub-vector tile of the blocked share encoding: all U
+// piece tiles (U·encTile·8 bytes) stay cache-resident while every rank's
+// weights sweep over them, instead of re-streaming the full U·L piece set
+// from memory once per rank.
+const encTile = 1024
+
 // EncodeShares returns the coded mask share f_i(α_j) for every client j
 // (including self) — the plaintext of the offline-sharing message of step
 // 1. Wire and in-process drivers seal these via SealShares; the plaintext
 // form is exported for white-box tests and the cost model.
+//
+// The n×U Lagrange matrix–vector product is blocked over the sub-vector
+// (encTile) for cache reuse across ranks, and each tile runs through
+// field.WeightedSumInto's deferred-reduction kernel — one reduction per
+// output element instead of one per term.
 func (c *Client) EncodeShares() (map[uint64][]field.Element, error) {
+	enc, err := c.session.matrix(c.cfg)
+	if err != nil {
+		return nil, err
+	}
+	l := c.cfg.SubVectorLen()
+	out := make(map[uint64][]field.Element, len(c.cfg.ClientIDs))
+	shares := make([][]field.Element, len(c.cfg.ClientIDs))
+	for rank, id := range c.cfg.ClientIDs {
+		shares[rank] = make([]field.Element, l)
+		out[id] = shares[rank]
+	}
+	tile := make([][]field.Element, len(c.pieces))
+	for base := 0; base < l; base += encTile {
+		hi := base + encTile
+		if hi > l {
+			hi = l
+		}
+		for k, piece := range c.pieces {
+			tile[k] = piece[base:hi]
+		}
+		for rank := range shares {
+			field.WeightedSumInto(shares[rank][base:hi], enc.w[rank], tile)
+		}
+	}
+	return out, nil
+}
+
+// encodeSharesNaive is the pre-blocking reference implementation (one
+// rank at a time, Mul+Add per term), kept for the equality tests and as
+// the bench ledger's before-side of the blocked kernel.
+func (c *Client) encodeSharesNaive() (map[uint64][]field.Element, error) {
 	enc, err := c.session.matrix(c.cfg)
 	if err != nil {
 		return nil, err
@@ -721,16 +852,12 @@ func (s *Server) SealAggShares() ([]field.Element, error) {
 	l := s.cfg.SubVectorLen()
 	parts := u - s.cfg.PrivacyT
 	maskSum := make([]field.Element, parts*l)
+	rows := make([][]field.Element, len(responders))
+	for i, id := range responders {
+		rows[i] = s.aggShares[id]
+	}
 	for k := 0; k < parts; k++ {
-		row := ws[k]
-		for i, id := range responders {
-			w := row[i]
-			share := s.aggShares[id]
-			for t := 0; t < l; t++ {
-				idx := k*l + t
-				maskSum[idx] = field.Add(maskSum[idx], field.Mul(w, share[t]))
-			}
-		}
+		field.WeightedSumInto(maskSum[k*l:(k+1)*l], ws[k], rows)
 	}
 
 	// Σ x = Σ y − Σ z. The masked inputs were already folded on arrival.

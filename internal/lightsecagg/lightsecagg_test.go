@@ -332,3 +332,57 @@ func BenchmarkEncodeShares16x4096(b *testing.B) {
 		}
 	}
 }
+
+// TestEncodeSharesBlockedMatchesNaive: the cache-blocked deferred-
+// reduction encoding is value-identical to the historical per-rank
+// Mul/Add loop, across sub-vector lengths that straddle the tile sizes.
+func TestEncodeSharesBlockedMatchesNaive(t *testing.T) {
+	for _, tc := range []struct{ n, T, D, dim int }{
+		{5, 1, 1, 7},      // L = 3: tiny tail tile
+		{8, 2, 2, 1024},   // L = 256
+		{10, 3, 3, 4100},  // L straddles weightedSumTile
+		{16, 4, 4, 16384}, // L = 2048: multiple encTile blocks
+	} {
+		cfg := testConfig(tc.n, tc.T, tc.D, tc.dim)
+		c, err := NewClient(cfg, 1, rng(fmt.Sprintf("enc-eq-%d-%d", tc.n, tc.dim)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := c.EncodeShares()
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := c.encodeSharesNaive()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for id, w := range want {
+			g := got[id]
+			if len(g) != len(w) {
+				t.Fatalf("n=%d dim=%d: share %d length %d, want %d", tc.n, tc.dim, id, len(g), len(w))
+			}
+			for i := range w {
+				if g[i] != w[i] {
+					t.Fatalf("n=%d dim=%d: share %d coord %d: blocked %v, naive %v",
+						tc.n, tc.dim, id, i, g[i], w[i])
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkEncodeSharesNaive16x4096 is the before-side of the blocked
+// encoding kernel in the pr7 bench ledger.
+func BenchmarkEncodeSharesNaive16x4096(b *testing.B) {
+	cfg := testConfig(16, 4, 4, 4096)
+	c, err := NewClient(cfg, 1, rng("bench-enc"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.encodeSharesNaive(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

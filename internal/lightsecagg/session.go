@@ -279,13 +279,22 @@ type ServerSession struct {
 	mu        sync.Mutex
 	roster    []AdvertiseMsg
 	rosterIDs []uint64
-	recovery  map[string][][]field.Element // cohort key → weights [parts][u]
-	nextRound uint64                       // rounds served (see NextRatchet)
+	recovery  map[string]recoveryEntry // cohort key → ranks + weights
+	nextRound uint64                   // rounds served (see NextRatchet)
+}
+
+// recoveryEntry is one cached cohort's interpolation weights together
+// with the sorted responder ranks they were computed for — the ranks let
+// a later cohort that differs by a single straggler derive its weights
+// incrementally instead of recomputing from scratch.
+type recoveryEntry struct {
+	ranks []int
+	ws    [][]field.Element // [parts][u]
 }
 
 // NewServerSession returns an empty server session.
 func NewServerSession() *ServerSession {
-	return &ServerSession{recovery: make(map[string][][]field.Element)}
+	return &ServerSession{recovery: make(map[string]recoveryEntry)}
 }
 
 // StoreRoster caches the sealed stage-0 roster together with the client
@@ -452,20 +461,43 @@ func (s *ServerSession) recoveryWeights(cfg Config, responders []uint64) ([][]fi
 		ranks[i] = rank
 	}
 	var key string
+	parts := u - cfg.PrivacyT
 	if s != nil {
 		key = cohortKey(cfg, ranks)
 		s.mu.Lock()
-		ws, ok := s.recovery[key]
+		if e, ok := s.recovery[key]; ok {
+			s.mu.Unlock()
+			return e.ws, nil
+		}
+		// Miss: look for a cached cohort of the same geometry differing
+		// by exactly one straggler — stragglers churn one at a time far
+		// more often than cohorts reshuffle wholesale, and the one-swap
+		// update is O(parts·u) multiplications with a single batched
+		// inversion instead of the O(parts·u²) cold computation.
+		var neighbor recoveryEntry
+		for _, e := range s.recovery {
+			if len(e.ranks) == len(ranks) && len(e.ws) == parts && oneSwapApart(e.ranks, ranks) {
+				neighbor = e
+				break
+			}
+		}
 		s.mu.Unlock()
-		if ok {
-			return ws, nil
+		if neighbor.ranks != nil {
+			ws, err := swapRecoveryWeights(cfg, neighbor, ranks)
+			if err == nil {
+				s.mu.Lock()
+				s.recovery[key] = recoveryEntry{ranks: ranks, ws: ws}
+				s.mu.Unlock()
+				return ws, nil
+			}
+			// Fall through to the cold path on any error (cannot happen
+			// with valid geometries, but the full recompute is always safe).
 		}
 	}
 	xs := make([]field.Element, u)
 	for i, rank := range ranks {
 		xs[i] = cfg.alpha(rank)
 	}
-	parts := u - cfg.PrivacyT
 	ws := make([][]field.Element, parts)
 	for k := 0; k < parts; k++ {
 		row, err := lagrangeWeightsAt(xs, cfg.beta(k+1))
@@ -476,8 +508,125 @@ func (s *ServerSession) recoveryWeights(cfg Config, responders []uint64) ([][]fi
 	}
 	if s != nil {
 		s.mu.Lock()
-		s.recovery[key] = ws
+		s.recovery[key] = recoveryEntry{ranks: ranks, ws: ws}
 		s.mu.Unlock()
+	}
+	return ws, nil
+}
+
+// oneSwapApart reports whether two equal-length sorted rank cohorts
+// differ in exactly one member (one straggler swapped for another).
+func oneSwapApart(a, b []int) bool {
+	i, j, diff := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] == b[j]:
+			i, j = i+1, j+1
+		case a[i] < b[j]:
+			i++
+			diff++
+		default:
+			j++
+			diff++
+		}
+		if diff > 2 {
+			return false
+		}
+	}
+	diff += len(a) - i + len(b) - j
+	return diff == 2
+}
+
+// swapRecoveryWeights derives the interpolation weights of a cohort that
+// differs from the cached one by a single straggler: abscissa α_b (cached
+// only) swapped for α_c (new only). For every shared abscissa α_a the
+// Lagrange weight at evaluation point x updates by two linear factors,
+//
+//	w'(a) = w(a) · (x−α_c)(α_a−α_b) / ((x−α_b)(α_a−α_c)),
+//
+// and only the new member's own weight needs the full product
+// Π_{m≠c}(x−α_m) / Π_{m≠c}(α_c−α_m). The (α_a−α_c) inverses are shared
+// by every evaluation row, so one field.BatchInv covers all u−1 of them
+// plus the per-row (x_k−α_b) and the single denominator of α_c.
+func swapRecoveryWeights(cfg Config, old recoveryEntry, newRanks []int) ([][]field.Element, error) {
+	// Locate the swapped pair and map each new position to its old one.
+	oldPos := make([]int, len(newRanks)) // new position → old position (−1 for c)
+	b, c, cPos := -1, -1, -1
+	i, j := 0, 0
+	for j < len(newRanks) {
+		switch {
+		case i < len(old.ranks) && old.ranks[i] == newRanks[j]:
+			oldPos[j] = i
+			i, j = i+1, j+1
+		case i < len(old.ranks) && old.ranks[i] < newRanks[j]:
+			b = old.ranks[i]
+			i++
+		default:
+			c, cPos = newRanks[j], j
+			oldPos[j] = -1
+			j++
+		}
+	}
+	if i < len(old.ranks) {
+		b = old.ranks[i]
+	}
+	if b < 0 || c < 0 {
+		return nil, fmt.Errorf("lightsecagg: cohorts are not one swap apart")
+	}
+	alphaB, alphaC := cfg.alpha(b), cfg.alpha(c)
+	parts := len(old.ws)
+
+	// One batch inversion for everything: u−1 shared (α_a−α_c), the
+	// per-row (x_k−α_b), and α_c's own denominator Π_{m≠c}(α_c−α_m).
+	dens := make([]field.Element, 0, len(newRanks)+parts+1)
+	denC := field.New(1)
+	for p, r := range newRanks {
+		if p == cPos {
+			continue
+		}
+		alphaA := cfg.alpha(r)
+		dens = append(dens, field.Sub(alphaA, alphaC))
+		denC = field.Mul(denC, field.Sub(alphaC, alphaA))
+	}
+	for k := 0; k < parts; k++ {
+		dens = append(dens, field.Sub(cfg.beta(k+1), alphaB))
+	}
+	dens = append(dens, denC)
+	inv, err := field.BatchInv(dens)
+	if err != nil {
+		return nil, fmt.Errorf("lightsecagg: degenerate straggler swap: %w", err)
+	}
+	invXB := inv[len(newRanks)-1 : len(inv)-1] // per evaluation row k
+	invDenC := inv[len(inv)-1]
+	// Row-independent shared-abscissa factors (α_a−α_b)/(α_a−α_c),
+	// aligned with the shared new positions in order.
+	scaleA := inv[:len(newRanks)-1]
+	shared := 0
+	for p, r := range newRanks {
+		if p == cPos {
+			continue
+		}
+		scaleA[shared] = field.Mul(field.Sub(cfg.alpha(r), alphaB), scaleA[shared])
+		shared++
+	}
+
+	ws := make([][]field.Element, parts)
+	for k := 0; k < parts; k++ {
+		x := cfg.beta(k + 1)
+		rowFactor := field.Mul(field.Sub(x, alphaC), invXB[k])
+		row := make([]field.Element, len(newRanks))
+		numC := field.New(1)
+		shared = 0
+		for p, r := range newRanks {
+			if p == cPos {
+				continue
+			}
+			numC = field.Mul(numC, field.Sub(x, cfg.alpha(r)))
+			row[p] = field.Mul(old.ws[k][oldPos[p]], field.Mul(rowFactor, scaleA[shared]))
+			shared++
+		}
+		row[cPos] = field.Mul(numC, invDenC)
+		ws[k] = row
 	}
 	return ws, nil
 }

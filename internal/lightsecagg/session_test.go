@@ -284,3 +284,123 @@ func TestEnvelopeRoundDomainSeparation(t *testing.T) {
 		t.Fatal("cross-round envelope replay authenticated — AD does not bind the round")
 	}
 }
+
+func TestOneSwapApart(t *testing.T) {
+	cases := []struct {
+		a, b []int
+		want bool
+	}{
+		{[]int{0, 1, 2}, []int{0, 1, 2}, false},       // identical
+		{[]int{0, 1, 2}, []int{0, 1, 3}, true},        // tail swap
+		{[]int{1, 2, 3}, []int{0, 2, 3}, true},        // head swap
+		{[]int{0, 2, 4}, []int{0, 3, 4}, true},        // middle swap
+		{[]int{0, 1, 2}, []int{0, 3, 4}, false},       // two swaps
+		{[]int{0, 1, 2, 3}, []int{4, 5, 6, 7}, false}, // disjoint
+		{[]int{0, 5}, []int{0, 9}, true},              // minimal cohort
+	}
+	for _, tc := range cases {
+		if got := oneSwapApart(tc.a, tc.b); got != tc.want {
+			t.Errorf("oneSwapApart(%v, %v) = %v, want %v", tc.a, tc.b, got, tc.want)
+		}
+		if got := oneSwapApart(tc.b, tc.a); got != tc.want {
+			t.Errorf("oneSwapApart(%v, %v) = %v, want %v", tc.b, tc.a, got, tc.want)
+		}
+	}
+}
+
+// TestRecoveryWeightsIncremental: cohorts one straggler apart take the
+// incremental swap update, and its weights are exactly the fresh
+// computation's — interpolating with either must agree element-wise.
+func TestRecoveryWeightsIncremental(t *testing.T) {
+	cfg := testConfig(10, 3, 3, 64) // U = 7, parts = 4
+	s := NewServerSession()
+	base := []uint64{1, 2, 3, 4, 5, 6, 7}
+	if _, err := s.recoveryWeights(cfg, base); err != nil {
+		t.Fatal(err)
+	}
+	cohorts := [][]uint64{
+		{1, 2, 3, 4, 5, 6, 9},  // one swap from base (7→9)
+		{2, 3, 4, 5, 6, 7, 8},  // one swap from base (1→8)
+		{1, 2, 3, 4, 5, 8, 9},  // one swap from the first derived cohort
+		{1, 2, 4, 5, 6, 8, 10}, // several swaps from everything cached: cold path
+	}
+	for _, cohort := range cohorts {
+		got, err := s.recoveryWeights(cfg, cohort)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := (*ServerSession)(nil).recoveryWeights(cfg, cohort)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k := range want {
+			for i := range want[k] {
+				if got[k][i] != want[k][i] {
+					t.Fatalf("cohort %v: weight [%d][%d] = %v, want %v (fresh)",
+						cohort, k, i, got[k][i], want[k][i])
+				}
+			}
+		}
+	}
+	// The original cohort still hits its cache entry untouched.
+	again, err := s.recoveryWeights(cfg, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := (*ServerSession)(nil).recoveryWeights(cfg, base)
+	for k := range want {
+		for i := range want[k] {
+			if again[k][i] != want[k][i] {
+				t.Fatalf("base cohort corrupted at [%d][%d]", k, i)
+			}
+		}
+	}
+}
+
+// BenchmarkRecoveryWeights compares the cold O(parts·u²) cohort weight
+// computation with the one-straggler incremental update (pr7 ledger).
+func BenchmarkRecoveryWeights(b *testing.B) {
+	cfg := testConfig(64, 16, 16, 4096) // U = 48, parts = 32
+	base := make([]uint64, 48)
+	swapped := make([]uint64, 48)
+	for i := range base {
+		base[i] = uint64(i + 1)
+		swapped[i] = uint64(i + 1)
+	}
+	swapped[47] = 64 // straggler 48 replaced by 64
+
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := (*ServerSession)(nil).recoveryWeights(cfg, base); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("incremental", func(b *testing.B) {
+		s := NewServerSession()
+		if _, err := s.recoveryWeights(cfg, base); err != nil {
+			b.Fatal(err)
+		}
+		ranks := make([]int, len(swapped))
+		for i, id := range swapped {
+			r, err := cfg.rank(id)
+			if err != nil {
+				b.Fatal(err)
+			}
+			ranks[i] = r
+		}
+		baseRanks := make([]int, len(base))
+		for i, id := range base {
+			r, _ := cfg.rank(id)
+			baseRanks[i] = r
+		}
+		old := recoveryEntry{ranks: baseRanks}
+		old.ws, _ = (*ServerSession)(nil).recoveryWeights(cfg, base)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := swapRecoveryWeights(cfg, old, ranks); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -64,13 +64,22 @@ func ToFieldElement(s Seed) field.Element {
 	return field.RandomElement(b)
 }
 
+// BlockSize is the AES-CTR keystream block granularity in bytes. SeekBlock
+// repositions in units of this size; Seek/At accept arbitrary byte offsets.
+const BlockSize = aes.BlockSize
+
 // Stream is a deterministic pseudorandom byte/word stream: AES-128-CTR over
 // a zero plaintext, keyed by the first 16 bytes of the seed with the next
-// 16 bytes as the initial counter block. It is NOT safe for concurrent use.
+// 16 bytes as the initial counter block. It is NOT safe for concurrent use,
+// but At derives independent cursors over the same keystream that may be
+// driven from different goroutines.
 type Stream struct {
-	ctr cipher.Stream
-	buf [512]byte
-	pos int // next unread byte in buf; len(buf) means empty
+	ctr      cipher.Stream
+	block    cipher.Block // AES block, kept for random-access reseeking
+	iv       [16]byte     // initial counter block (keystream offset 0)
+	produced uint64       // keystream bytes drawn from ctr so far
+	buf      [512]byte
+	pos      int // next unread byte in buf; len(buf) means empty
 }
 
 // NewStream constructs a Stream from a seed.
@@ -80,7 +89,8 @@ func NewStream(seed Seed) *Stream {
 		// aes.NewCipher only fails on invalid key length; 16 is valid.
 		panic(fmt.Sprintf("prg: %v", err))
 	}
-	s := &Stream{ctr: cipher.NewCTR(block, seed[16:32])}
+	s := &Stream{ctr: cipher.NewCTR(block, seed[16:32]), block: block}
+	copy(s.iv[:], seed[16:32])
 	s.pos = len(s.buf)
 	return s
 }
@@ -102,6 +112,7 @@ var zeroChunk [bulkChunk]byte
 
 func (s *Stream) refill() {
 	s.ctr.XORKeyStream(s.buf[:], zeroChunk[:len(s.buf)])
+	s.produced += uint64(len(s.buf))
 	s.pos = 0
 }
 
@@ -143,6 +154,7 @@ func (s *Stream) Fill(dst []byte) {
 			n = bulkChunk
 		}
 		s.ctr.XORKeyStream(dst[:n], zeroChunk[:n])
+		s.produced += uint64(n)
 		dst = dst[n:]
 	}
 	if len(dst) > 0 {
@@ -229,6 +241,79 @@ func (s *Stream) FieldElement() field.Element {
 	var b [8]byte
 	s.Read(b[:])
 	return field.RandomElement(b)
+}
+
+// Offset returns the logical byte position of the stream: the number of
+// keystream bytes a caller has consumed through Read/Fill/typed draws.
+// Buffered lookahead does not count — Offset is exactly the index of the
+// next byte the stream will hand out.
+func (s *Stream) Offset() uint64 {
+	return s.produced - uint64(len(s.buf)-s.pos)
+}
+
+// Seek repositions the stream so the next byte served is keystream byte
+// off. AES-CTR is random access: the counter block for byte off is
+// iv + off/BlockSize (a 128-bit big-endian add, wrapping like CTR mode
+// itself), and any intra-block remainder is discarded from the refill
+// lookahead. Seeking is O(1) plus one buffer refill for unaligned offsets;
+// the resulting byte sequence is identical to sequentially consuming the
+// first off bytes — golden-tested at every offset class in prg_test.go.
+func (s *Stream) Seek(off uint64) {
+	blk := off / BlockSize
+	var iv [16]byte
+	ctrAdd(&iv, s.iv, blk)
+	s.ctr = cipher.NewCTR(s.block, iv[:])
+	s.produced = blk * BlockSize
+	s.pos = len(s.buf) // drop any buffered lookahead
+	if rem := int(off % BlockSize); rem > 0 {
+		s.refill()
+		s.pos = rem
+	}
+}
+
+// SeekBlock repositions the stream to the start of keystream block blk,
+// i.e. byte offset blk·BlockSize. See Seek.
+func (s *Stream) SeekBlock(blk uint64) {
+	s.Seek(blk * BlockSize)
+}
+
+// At returns a new independent cursor over the same keystream, positioned
+// at byte offset off. The receiver is not advanced or disturbed, so
+// distinct segments of one logical stream can be expanded concurrently
+// from different goroutines — the basis of segmented mask expansion in
+// packages ring and secagg.
+func (s *Stream) At(off uint64) *Stream {
+	c := &Stream{block: s.block, iv: s.iv}
+	c.pos = len(c.buf)
+	c.Seek(off)
+	return c
+}
+
+// FillAt overwrites dst with len(dst) keystream bytes starting at absolute
+// offset off, without moving the receiver's position. It is byte-identical
+// to Seek(off)+Fill(dst) on a fresh cursor.
+func (s *Stream) FillAt(dst []byte, off uint64) {
+	s.At(off).Fill(dst)
+}
+
+// FillUint64At is FillUint64 reading 8·len(dst) keystream bytes from
+// absolute offset off, without moving the receiver's position.
+func (s *Stream) FillUint64At(dst []uint64, off uint64) {
+	s.At(off).FillUint64(dst)
+}
+
+// ctrAdd computes dst = iv + n interpreting the 16-byte counter block as a
+// big-endian 128-bit integer, wrapping modulo 2^128 — the same carry rule
+// cipher.NewCTR applies when incrementing per block.
+func ctrAdd(dst *[16]byte, iv [16]byte, n uint64) {
+	hi := binary.BigEndian.Uint64(iv[:8])
+	lo := binary.BigEndian.Uint64(iv[8:])
+	sum := lo + n
+	if sum < lo {
+		hi++
+	}
+	binary.BigEndian.PutUint64(dst[:8], hi)
+	binary.BigEndian.PutUint64(dst[8:], sum)
 }
 
 // Fork derives an independent child stream with domain separation, so a

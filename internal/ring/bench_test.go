@@ -76,3 +76,21 @@ func BenchmarkSum(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkMaskInPlaceSegmented measures intra-stream parallel mask
+// expansion at large dim (pr7): one seekable AES-CTR stream split across
+// workers via MaskParallelInPlace, against the sequential single-stream
+// floor. On a 1-core box workers>1 timeshare; the multi-core matrix in
+// the root bench_test.go records the scaling measurements.
+func BenchmarkMaskInPlaceSegmented(b *testing.B) {
+	const dim = 1 << 16
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("dim=%d/workers=%d", dim, workers), func(b *testing.B) {
+			benchMask(b, dim, func(v Vector, s *prg.Stream) {
+				if err := v.MaskParallelInPlace(s, 1, workers); err != nil {
+					b.Fatal(err)
+				}
+			})
+		})
+	}
+}

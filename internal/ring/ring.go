@@ -146,10 +146,41 @@ func (v Vector) MaskInPlace(s *prg.Stream, sign int) error {
 	if sign != 1 && sign != -1 {
 		return fmt.Errorf("ring: mask sign must be ±1, got %d", sign)
 	}
+	maskSpan(v.Data, v.Mask(), s, sign)
+	return nil
+}
+
+// MaskRangeInPlace applies the mask expansion of MaskInPlace to elements
+// [lo, hi) only, reading the exact keystream words a full sequential
+// expansion would read for that range: element i consumes stream bytes
+// [8i, 8i+8) relative to the receiver stream's current offset. The
+// receiver stream is NOT advanced — the range is expanded through an
+// independent prg.Stream.At cursor — so disjoint ranges of one mask can be
+// expanded concurrently from different goroutines and the concatenation is
+// byte-identical to one sequential MaskInPlace (golden-tested at every
+// segment boundary in ring_test.go). This is the intra-stream parallelism
+// primitive behind secagg's segmented mask fan-out.
+func (v Vector) MaskRangeInPlace(s *prg.Stream, sign int, lo, hi int) error {
+	if sign != 1 && sign != -1 {
+		return fmt.Errorf("ring: mask sign must be ±1, got %d", sign)
+	}
+	if lo < 0 || hi > len(v.Data) || lo > hi {
+		return fmt.Errorf("ring: mask range [%d,%d) out of [0,%d)", lo, hi, len(v.Data))
+	}
+	if lo == hi {
+		return nil
+	}
+	c := s.At(s.Offset() + 8*uint64(lo))
+	maskSpan(v.Data[lo:hi], v.Mask(), c, sign)
+	return nil
+}
+
+// maskSpan is the shared bulk expansion loop of MaskInPlace and
+// MaskRangeInPlace: data[i] ±= keystream word i (mod 2^b), in
+// scratch-pooled chunks.
+func maskSpan(data []uint64, m uint64, s *prg.Stream, sign int) {
 	sp := maskScratch.Get().(*[]uint64)
 	full := *sp
-	m := v.Mask()
-	data := v.Data
 	for len(data) > 0 {
 		n := len(data)
 		if n > maskScratchLen {
@@ -186,6 +217,35 @@ func (v Vector) MaskInPlace(s *prg.Stream, sign int) error {
 		data = data[n:]
 	}
 	maskScratch.Put(sp)
+}
+
+// MaskParallelInPlace is MaskInPlace with the single stream split into up
+// to `workers` independently expanded segments (ChunkBounds geometry) — the
+// standalone form of the segmented fan-out, used by benchmarks and by
+// callers that expand one large mask with idle cores available. The result
+// is byte-identical to MaskInPlace; the receiver stream is advanced past
+// the full expansion so subsequent draws continue as if it ran
+// sequentially.
+func (v Vector) MaskParallelInPlace(s *prg.Stream, sign int, workers int) error {
+	if sign != 1 && sign != -1 {
+		return fmt.Errorf("ring: mask sign must be ±1, got %d", sign)
+	}
+	if workers > len(v.Data)/maskScratchLen {
+		workers = len(v.Data) / maskScratchLen
+	}
+	if workers <= 1 {
+		return v.MaskInPlace(s, sign)
+	}
+	var wg sync.WaitGroup
+	for _, b := range ChunkBounds(len(v.Data), workers) {
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			v.MaskRangeInPlace(s, sign, lo, hi) // bounds pre-validated
+		}(b[0], b[1])
+	}
+	wg.Wait()
+	s.Seek(s.Offset() + 8*uint64(len(v.Data)))
 	return nil
 }
 

@@ -385,3 +385,110 @@ func TestAddSubManyInPlace(t *testing.T) {
 		t.Error("dimension mismatch should be rejected")
 	}
 }
+
+// TestMaskRangeInPlaceMatchesSequential: expanding a mask as disjoint
+// ranges — at every split point of several segment counts — is
+// byte-identical to one sequential MaskInPlace, and the base stream is
+// never advanced by range expansion.
+func TestMaskRangeInPlaceMatchesSequential(t *testing.T) {
+	seed := prg.NewSeed([]byte("mask-range"))
+	for _, dim := range []int{1, 7, 2048, 2049, 5000} {
+		for _, sign := range []int{1, -1} {
+			want := NewVector(20, dim)
+			for i := range want.Data {
+				want.Data[i] = uint64(i*31) & want.Mask()
+			}
+			got := want.Clone()
+			if err := want.MaskInPlace(prg.NewStream(seed), sign); err != nil {
+				t.Fatal(err)
+			}
+			for _, nseg := range []int{1, 2, 3, 5} {
+				v := got.Clone()
+				s := prg.NewStream(seed)
+				for _, b := range ChunkBounds(dim, nseg) {
+					if err := v.MaskRangeInPlace(s, sign, b[0], b[1]); err != nil {
+						t.Fatal(err)
+					}
+				}
+				if !Equal(v, want) {
+					t.Fatalf("dim=%d sign=%d nseg=%d: segmented mask differs from sequential", dim, sign, nseg)
+				}
+				if s.Offset() != 0 {
+					t.Fatalf("MaskRangeInPlace advanced the base stream to %d", s.Offset())
+				}
+			}
+		}
+	}
+}
+
+// TestMaskRangeInPlaceAfterOffset: ranges are relative to the stream's
+// current offset, so a pre-advanced stream still expands the exact bytes a
+// sequential expansion from that position would.
+func TestMaskRangeInPlaceAfterOffset(t *testing.T) {
+	seed := prg.NewSeed([]byte("mask-range-skew"))
+	const dim, skew = 3000, 123
+	want := NewVector(20, dim)
+	got := want.Clone()
+
+	sw := prg.NewStream(seed)
+	sw.Fill(make([]byte, skew))
+	if err := want.MaskInPlace(sw, 1); err != nil {
+		t.Fatal(err)
+	}
+	sg := prg.NewStream(seed)
+	sg.Fill(make([]byte, skew))
+	for _, b := range ChunkBounds(dim, 4) {
+		if err := got.MaskRangeInPlace(sg, 1, b[0], b[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !Equal(got, want) {
+		t.Fatal("offset-relative range expansion differs from sequential")
+	}
+}
+
+// TestMaskRangeInPlaceBounds: invalid ranges and signs are rejected.
+func TestMaskRangeInPlaceBounds(t *testing.T) {
+	v := NewVector(20, 10)
+	s := prg.NewStream(prg.NewSeed([]byte("bounds")))
+	for _, r := range [][2]int{{-1, 5}, {0, 11}, {7, 3}} {
+		if err := v.MaskRangeInPlace(s, 1, r[0], r[1]); err == nil {
+			t.Errorf("range [%d,%d) should be rejected", r[0], r[1])
+		}
+	}
+	if err := v.MaskRangeInPlace(s, 2, 0, 5); err == nil {
+		t.Error("sign 2 should be rejected")
+	}
+	if err := v.MaskRangeInPlace(s, 1, 4, 4); err != nil {
+		t.Errorf("empty range should be a no-op, got %v", err)
+	}
+}
+
+// TestMaskParallelInPlaceMatchesSequential: the parallel form equals the
+// sequential expansion for every worker count, and leaves the stream at
+// the sequential position so subsequent draws agree.
+func TestMaskParallelInPlaceMatchesSequential(t *testing.T) {
+	seed := prg.NewSeed([]byte("mask-par"))
+	const dim = 70000
+	want := NewVector(20, dim)
+	base := want.Clone()
+	sw := prg.NewStream(seed)
+	if err := want.MaskInPlace(sw, 1); err != nil {
+		t.Fatal(err)
+	}
+	wantNext := sw.Uint64()
+	for _, workers := range []int{1, 2, 3, 8, 64} {
+		v := base.Clone()
+		s := prg.NewStream(seed)
+		if err := v.MaskParallelInPlace(s, 1, workers); err != nil {
+			t.Fatal(err)
+		}
+		if !Equal(v, want) {
+			t.Fatalf("workers=%d: parallel mask differs from sequential", workers)
+		}
+		if got := s.Uint64(); got != wantNext {
+			t.Fatalf("workers=%d: stream position diverged after parallel mask (next draw %#x, want %#x)",
+				workers, got, wantNext)
+		}
+	}
+}

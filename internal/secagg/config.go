@@ -75,8 +75,19 @@ type Config struct {
 	// enforcement with the given plan. The plan's NumClients and Threshold
 	// must match this config.
 	XNoise *xnoise.Plan
-	// Sampler draws noise components; defaults to xnoise.SkellamSampler.
+	// Sampler draws noise components; when nil the sampler is selected by
+	// NoiseEpoch. Setting it explicitly overrides the epoch (tests,
+	// alternative distributions).
 	Sampler xnoise.Sampler
+
+	// NoiseEpoch versions the noise draw sequence exactly as MaskEpoch
+	// versions mask derivation: epoch 0 is byte-identical to the historical
+	// Knuth/PTRS Skellam sampler, epoch 1 selects CDF inversion
+	// (xnoise.SamplerForEpoch). Client noise addition and server removal
+	// regenerate the same vectors only under the same epoch, so all parties
+	// must agree on it; the handshake pins it per round and persisted
+	// sessions carry it, so resumed peers never mix sequences.
+	NoiseEpoch uint64
 
 	// Graph restricts pairwise masking and secret sharing to each client's
 	// neighborhood, as in SecAgg+ (Bell et al., CCS 2020). nil means the
@@ -149,6 +160,9 @@ func (c *Config) Validate() error {
 	}
 	if c.Dim <= 0 {
 		return fmt.Errorf("secagg: dim must be positive, got %d", c.Dim)
+	}
+	if c.NoiseEpoch > xnoise.MaxNoiseEpoch {
+		return fmt.Errorf("secagg: unknown noise epoch %d (max %d)", c.NoiseEpoch, xnoise.MaxNoiseEpoch)
 	}
 	if c.XNoise != nil {
 		if err := c.XNoise.Validate(); err != nil {
@@ -270,11 +284,16 @@ func (c Config) UnmaskQuorum() int {
 	return c.Threshold
 }
 
-// sampler returns the configured noise sampler or the default.
+// sampler returns the explicitly configured noise sampler, or the frozen
+// sampler of the config's NoiseEpoch.
 func (c Config) sampler() xnoise.Sampler {
 	if c.Sampler != nil {
 		return c.Sampler
 	}
+	if s := xnoise.SamplerForEpoch(c.NoiseEpoch); s != nil {
+		return s
+	}
+	// Unknown epochs are rejected by Validate; default defensively.
 	return xnoise.SkellamSampler
 }
 

@@ -21,17 +21,41 @@ type maskTask struct {
 	make func() (*prg.Stream, error)
 }
 
+// segMinElems is the smallest element count worth handing to a dedicated
+// expansion segment: below it the At-cursor setup and scheduling overhead
+// outweigh the AES work being split.
+const segMinElems = 16384
+
 // applyMaskTasks expands every task and returns Δ = Σ sign_i·PRG_i as a
 // fresh vector. Mask removals/additions are independent and commutative in
 // ℤ_{2^b}, so tasks fan out across a bounded worker pool, each worker
 // accumulating into a private partial vector; the partials are merged once
-// at the end. With a single worker (or a single task) the pool is skipped
-// entirely, so the sequential hot path pays no synchronization.
+// at the end. With a single worker (or a single task at small dim) the
+// pool is skipped entirely, so the sequential hot path pays no
+// synchronization.
+//
+// When there are more workers than tasks and the dimension is large, each
+// task's stream is additionally split into independently expanded segments
+// (ring.MaskRangeInPlace over prg.Stream.At cursors — AES-CTR is random
+// access), so a single large mask saturates the pool instead of pinning
+// one core: intra-stream parallelism on top of across-task parallelism.
+// Each task's stream is built exactly once (sync.Once), so per-task key
+// agreement or share reconstruction is never duplicated across segments.
 func applyMaskTasks(bits uint, dim int, tasks []maskTask) (ring.Vector, error) {
 	delta := ring.NewVector(bits, dim)
 	workers := runtime.GOMAXPROCS(0)
-	if workers > len(tasks) {
-		workers = len(tasks)
+	segs := 1
+	if workers > len(tasks) && dim >= 2*segMinElems {
+		// Enough spare parallelism to split streams: pick the segment count
+		// that spreads tasks×segments over the pool without creating
+		// segments smaller than segMinElems.
+		segs = (workers + len(tasks) - 1) / len(tasks)
+		if max := dim / segMinElems; segs > max {
+			segs = max
+		}
+	}
+	if workers > len(tasks)*segs {
+		workers = len(tasks) * segs
 	}
 	if workers <= 1 {
 		for _, t := range tasks {
@@ -46,6 +70,15 @@ func applyMaskTasks(bits uint, dim int, tasks []maskTask) (ring.Vector, error) {
 		return delta, nil
 	}
 
+	type lazyStream struct {
+		once sync.Once
+		s    *prg.Stream
+		err  error
+	}
+	bounds := ring.ChunkBounds(dim, segs)
+	streams := make([]lazyStream, len(tasks))
+	items := len(tasks) * segs
+
 	var (
 		next    int
 		nextMu  sync.Mutex
@@ -54,6 +87,10 @@ func applyMaskTasks(bits uint, dim int, tasks []maskTask) (ring.Vector, error) {
 		firstEr error
 		failed  atomic.Bool
 	)
+	fail := func(err error) {
+		errOnce.Do(func() { firstEr = err })
+		failed.Store(true)
+	}
 	partials := make([]ring.Vector, workers)
 	for w := 0; w < workers; w++ {
 		partials[w] = ring.NewVector(bits, dim)
@@ -67,16 +104,19 @@ func applyMaskTasks(bits uint, dim int, tasks []maskTask) (ring.Vector, error) {
 				nextMu.Unlock()
 				// Stop claiming work once any worker failed: the round is
 				// aborting, no point burning key agreements and expansions.
-				if i >= len(tasks) || failed.Load() {
+				if i >= items || failed.Load() {
 					return
 				}
-				s, err := tasks[i].make()
-				if err == nil {
-					err = p.MaskInPlace(s, tasks[i].sign)
+				task, seg := i/segs, i%segs
+				ls := &streams[task]
+				ls.once.Do(func() { ls.s, ls.err = tasks[task].make() })
+				if ls.err != nil {
+					fail(ls.err)
+					return
 				}
-				if err != nil {
-					errOnce.Do(func() { firstEr = err })
-					failed.Store(true)
+				b := bounds[seg]
+				if err := p.MaskRangeInPlace(ls.s, tasks[task].sign, b[0], b[1]); err != nil {
+					fail(err)
 					return
 				}
 			}

@@ -1,0 +1,107 @@
+package secagg
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"testing"
+
+	"repro/internal/prg"
+	"repro/internal/ring"
+)
+
+// TestApplyMaskTasksSegmentedMatchesSequential: with more workers than
+// tasks and a large dim, applyMaskTasks splits each stream into segments;
+// the result must be byte-identical to the sequential expansion, and every
+// task's stream must be built exactly once.
+func TestApplyMaskTasksSegmentedMatchesSequential(t *testing.T) {
+	prev := runtime.GOMAXPROCS(8)
+	defer runtime.GOMAXPROCS(prev)
+
+	const bits, dim = 20, 2*segMinElems + 1021
+	seeds := []prg.Seed{
+		prg.NewSeed([]byte("task-a")),
+		prg.NewSeed([]byte("task-b")),
+		prg.NewSeed([]byte("task-c")),
+	}
+	signs := []int{1, -1, 1}
+
+	for _, ntasks := range []int{1, 2, 3} {
+		made := make([]int, ntasks)
+		tasks := make([]maskTask, ntasks)
+		for i := range tasks {
+			i := i
+			tasks[i] = maskTask{sign: signs[i], make: func() (*prg.Stream, error) {
+				made[i]++
+				return prg.NewStream(seeds[i]), nil
+			}}
+		}
+		got, err := applyMaskTasks(bits, dim, tasks)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref := ring.NewVector(bits, dim)
+		for i := 0; i < ntasks; i++ {
+			if err := ref.MaskInPlace(prg.NewStream(seeds[i]), signs[i]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if !ring.Equal(got, ref) {
+			t.Errorf("ntasks=%d: segmented fan-out differs from sequential expansion", ntasks)
+		}
+		for i, n := range made {
+			if n != 1 {
+				t.Errorf("ntasks=%d: task %d stream built %d times, want exactly once", ntasks, i, n)
+			}
+		}
+	}
+}
+
+// TestApplyMaskTasksSegmentedError: a failing stream constructor aborts
+// the segmented fan-out with that error.
+func TestApplyMaskTasksSegmentedError(t *testing.T) {
+	prev := runtime.GOMAXPROCS(8)
+	defer runtime.GOMAXPROCS(prev)
+
+	boom := errors.New("agreement failed")
+	tasks := []maskTask{
+		{sign: 1, make: func() (*prg.Stream, error) {
+			return prg.NewStream(prg.NewSeed([]byte("ok"))), nil
+		}},
+		{sign: 1, make: func() (*prg.Stream, error) { return nil, boom }},
+	}
+	if _, err := applyMaskTasks(20, 3*segMinElems, tasks); !errors.Is(err, boom) {
+		t.Fatalf("got err %v, want %v", err, boom)
+	}
+}
+
+// TestApplyMaskTasksSmallDimUnchanged: below the segmentation threshold
+// the fan-out stays per-task and still matches sequential expansion.
+func TestApplyMaskTasksSmallDimUnchanged(t *testing.T) {
+	prev := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prev)
+
+	const bits, dim = 16, 1000
+	var tasks []maskTask
+	ref := ring.NewVector(bits, dim)
+	for i := 0; i < 5; i++ {
+		seed := prg.NewSeed([]byte(fmt.Sprintf("small-%d", i)))
+		sign := 1
+		if i%2 == 1 {
+			sign = -1
+		}
+		tasks = append(tasks, maskTask{sign: sign, make: func() (*prg.Stream, error) {
+			return prg.NewStream(seed), nil
+		}})
+		if err := ref.MaskInPlace(prg.NewStream(seed), sign); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := applyMaskTasks(bits, dim, tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ring.Equal(got, ref) {
+		t.Error("per-task fan-out differs from sequential expansion")
+	}
+}

@@ -35,9 +35,14 @@ import (
 // the at-rest envelope; see doc.go ("At-rest session state") for what a
 // store leak costs.
 const (
-	persistMagic   = 0xDA
-	persistTag     = 0x53 // 'S': secagg client session
-	persistVersion = 1
+	persistMagic = 0xDA
+	persistTag   = 0x53 // 'S': secagg client session
+	// Version history:
+	//   1 — initial layout (keys, ratchet, taint, roster, secret caches).
+	//   2 — appends the 8-byte NoiseEpoch after the flags byte; v1 blobs
+	//       still decode, restoring as epoch 0 (the only epoch that
+	//       existed when they were written).
+	persistVersion = 2
 
 	// maxPersistEntries caps decoded section counts (roster members, cached
 	// secrets): protocol reality is one entry per sampled client.
@@ -127,6 +132,8 @@ func (s *Session) MarshalBinary() ([]byte, error) {
 		flags |= 1
 	}
 	out = append(out, flags)
+	binary.LittleEndian.PutUint64(b[:], s.noiseEpoch)
+	out = append(out, b[:]...)
 
 	var cnt [4]byte
 	binary.LittleEndian.PutUint32(cnt[:], uint32(len(s.roster)))
@@ -153,8 +160,9 @@ func UnmarshalSession(p []byte) (*Session, error) {
 	if len(p) < 3 || p[0] != persistMagic || p[1] != persistTag {
 		return nil, fmt.Errorf("secagg: not a persisted session")
 	}
-	if p[2] != persistVersion {
-		return nil, fmt.Errorf("secagg: persisted session version %d, want %d", p[2], persistVersion)
+	version := p[2]
+	if version < 1 || version > persistVersion {
+		return nil, fmt.Errorf("secagg: persisted session version %d, want <= %d", version, persistVersion)
 	}
 	src := p[3:]
 	if len(src) < 2*32+8+1 {
@@ -176,6 +184,14 @@ func UnmarshalSession(p []byte) (*Session, error) {
 	s.nextRatchet = binary.LittleEndian.Uint64(src)
 	s.taint = src[8]&1 != 0
 	src = src[9:]
+	if version >= 2 {
+		// v1 blobs predate noise epochs and restore as epoch 0.
+		if len(src) < 8 {
+			return nil, fmt.Errorf("secagg: persisted noise epoch truncated")
+		}
+		s.noiseEpoch = binary.LittleEndian.Uint64(src)
+		src = src[8:]
+	}
 
 	if len(src) < 4 {
 		return nil, fmt.Errorf("secagg: persisted roster header truncated")

@@ -40,6 +40,7 @@ func TestSessionPersistRoundTrip(t *testing.T) {
 	a.StoreRoster(roster)
 	a.MarkRatchetUsed(1)
 	a.Taint()
+	a.SetNoiseEpoch(1)
 
 	blob, err := a.MarshalBinary()
 	if err != nil {
@@ -55,6 +56,9 @@ func TestSessionPersistRoundTrip(t *testing.T) {
 	}
 	if got := restored.NextRatchet(); got != 2 {
 		t.Fatalf("NextRatchet = %d, want 2", got)
+	}
+	if got := restored.NoiseEpoch(); got != 1 {
+		t.Fatalf("NoiseEpoch = %d, want 1", got)
 	}
 	wantHash, ok1 := a.StateHash()
 	gotHash, ok2 := restored.StateHash()
@@ -127,12 +131,48 @@ func TestSessionPersistMalformed(t *testing.T) {
 
 	// A lying section count must be rejected before allocation.
 	lying := append([]byte(nil), blob...)
-	// Roster count lives right after magic(3)+privs(64)+ratchet(8)+flags(1).
-	lying[3+64+8+1] = 0xFF
-	lying[3+64+8+1+1] = 0xFF
-	lying[3+64+8+1+2] = 0x0F
+	// Roster count lives after magic(3)+privs(64)+ratchet(8)+flags(1)+epoch(8).
+	lying[3+64+8+1+8] = 0xFF
+	lying[3+64+8+1+8+1] = 0xFF
+	lying[3+64+8+1+8+2] = 0x0F
 	if _, err := UnmarshalSession(lying); err == nil {
 		t.Error("lying roster count: decode succeeded")
+	}
+}
+
+// TestSessionPersistV1Compat: a version-1 blob (written before noise
+// epochs existed) still decodes and restores as NoiseEpoch 0.
+func TestSessionPersistV1Compat(t *testing.T) {
+	s, err := NewSession(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.StoreRoster([]AdvertiseMsg{{From: 1, CipherPub: make([]byte, 32), MaskPub: make([]byte, 32)}})
+	s.MarkRatchetUsed(4)
+	s.SetNoiseEpoch(1)
+	blob, err := s.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rewrite as v1: drop the 8 epoch bytes after the flags byte and
+	// patch the version.
+	const pre = 3 + 64 + 8 + 1
+	v1 := append(append([]byte(nil), blob[:pre]...), blob[pre+8:]...)
+	v1[2] = 1
+	restored, err := UnmarshalSession(v1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := restored.NoiseEpoch(); got != 0 {
+		t.Fatalf("v1 blob restored NoiseEpoch = %d, want 0", got)
+	}
+	if got := restored.NextRatchet(); got != 5 {
+		t.Fatalf("v1 blob restored NextRatchet = %d, want 5", got)
+	}
+	wantHash, _ := s.StateHash()
+	gotHash, ok := restored.StateHash()
+	if !ok || wantHash != gotHash {
+		t.Fatal("v1 blob lost roster state")
 	}
 }
 

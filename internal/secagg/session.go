@@ -100,6 +100,12 @@ type Session struct {
 	//     handshake refuses offers below it.
 	taint       bool
 	nextRatchet uint64
+	// noiseEpoch is the noise draw-sequence version (Config.NoiseEpoch)
+	// the session last committed to in a handshake. Persisted so a
+	// restored client resumes under the sampler it negotiated rather
+	// than a process default — resumed peers must never mix epoch
+	// sequences within a round.
+	noiseEpoch uint64
 }
 
 // NewSession generates the session's key pairs with randomness from rand.
@@ -274,6 +280,23 @@ func (s *Session) MarkRatchetUsed(step uint64) {
 	if step >= s.nextRatchet {
 		s.nextRatchet = step + 1
 	}
+	s.mu.Unlock()
+}
+
+// NoiseEpoch returns the noise draw-sequence version the session last
+// committed to (zero for a fresh session).
+func (s *Session) NoiseEpoch() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.noiseEpoch
+}
+
+// SetNoiseEpoch records the committed noise draw-sequence version.
+// Drivers call it with Handshake.NoiseEpoch before persisting, so a
+// crash-and-restore resumes under the negotiated sampler.
+func (s *Session) SetNoiseEpoch(epoch uint64) {
+	s.mu.Lock()
+	s.noiseEpoch = epoch
 	s.mu.Unlock()
 }
 

@@ -17,9 +17,40 @@ import (
 // is Skellam, matching the DSkellam instantiation.
 type Sampler func(s *prg.Stream, variance float64, out []int64)
 
-// SkellamSampler is the default integer noise sampler.
+// SkellamSampler is the default integer noise sampler (NoiseEpoch 0): the
+// historical Knuth/PTRS two-Poisson draw sequence.
 func SkellamSampler(s *prg.Stream, variance float64, out []int64) {
 	rng.SkellamVector(s, variance, out)
+}
+
+// SkellamSamplerInv is the NoiseEpoch-1 sampler: CDF inversion, one
+// uniform per draw on the central band (rng.SkellamVectorInv). Same
+// distribution as SkellamSampler, different draw sequence — parties mixing
+// epochs regenerate different noise, so the epoch travels with the round
+// config (secagg.Config.NoiseEpoch) and the handshake.
+func SkellamSamplerInv(s *prg.Stream, variance float64, out []int64) {
+	rng.SkellamVectorInv(s, variance, out)
+}
+
+// MaxNoiseEpoch is the highest noise-sampler epoch this build understands.
+// Epochs are a protocol compatibility contract, not a tuning knob: every
+// epoch's draw sequence is frozen forever once released (golden tests pin
+// epoch 0 to the seed implementation), and a new sampler gets the next
+// number.
+const MaxNoiseEpoch = 1
+
+// SamplerForEpoch maps a NoiseEpoch to its frozen sampler, or nil for
+// epochs this build does not know (callers reject those during config
+// validation / handshake).
+func SamplerForEpoch(epoch uint64) Sampler {
+	switch epoch {
+	case 0:
+		return SkellamSampler
+	case 1:
+		return SkellamSamplerInv
+	default:
+		return nil
+	}
 }
 
 // RoundedGaussianSampler draws Gaussian noise rounded to the nearest
