@@ -9,6 +9,7 @@
 //	dordis-bench -exp table2 -scale paper
 //	dordis-bench -exp all -scale quick
 //	dordis-bench -hotpath -cores 1,2,4
+//	dordis-bench -sharded
 //
 // Protocol-level hot-path microbenchmarks mostly live in the go
 // benchmarks (go test -bench . ./...) with their recorded before/after
@@ -39,11 +40,19 @@ func main() {
 		list    = flag.Bool("list", false, "list experiment ids")
 		hotpath = flag.Bool("hotpath", false, "run the GOMAXPROCS × hot-path matrix instead of an experiment")
 		cores   = flag.String("cores", "1,2,4", "comma-separated GOMAXPROCS values for -hotpath")
+		sharded = flag.Bool("sharded", false, "run the sharded scaling sweep (clients × shard-count matrix, combiner overhead ratio)")
 	)
 	flag.Parse()
 
 	if *hotpath {
 		if err := runHotpath(*cores); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		return
+	}
+	if *sharded {
+		if err := runShardedSweep(); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(2)
 		}

@@ -1,0 +1,109 @@
+package main
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/combine"
+	"repro/internal/hotpath"
+	"repro/internal/prg"
+	"repro/internal/ring"
+)
+
+// runShardedSweep measures the two-level topology's scaling: for each
+// (clients, shards) cell it times one *shard's* round compute over its
+// n/S simulated clients (per-client mask expansion + modular accumulate
+// + the shard's Skellam noise draw — the compute that dominates a shard
+// aggregator's round; the O((n/S)²) key exchange is session-amortized in
+// deployments and excluded here, which only makes the reported overhead
+// ratio conservative) against the root combiner's fold of S partials.
+// The acceptance criterion this records: combiner fold under 10% of the
+// shard round time at S=16 (BENCH_SECAGG_HOTPATH.json, pr8).
+//
+// Real full-protocol shard rounds at small n are measured by
+// BenchmarkShardedRound / BenchmarkCombinerFold16 in internal/core.
+func runShardedSweep() error {
+	const (
+		dim  = 4096
+		bits = 20
+	)
+	fmt.Printf("sharded scaling sweep (dim=%d, simulated shard clients)\n", dim)
+	fmt.Printf("%8s %6s %10s %14s %14s %10s\n",
+		"clients", "shards", "per-shard", "shard ns/round", "fold ns/round", "overhead")
+	for _, n := range []int{1000, 10000} {
+		for _, S := range []int{1, 4, 16} {
+			perShard := n / S
+			shardNs := benchNs(func(b *testing.B) {
+				acc := ring.NewVector(bits, dim)
+				scratch := ring.NewVector(bits, dim)
+				s := prg.NewStream(prg.NewSeed([]byte("sweep-shard")))
+				noise := make([]int64, dim)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					for c := 0; c < perShard; c++ {
+						if err := scratch.MaskInPlace(s, +1); err != nil {
+							b.Fatal(err)
+						}
+						if err := acc.AddInPlace(scratch); err != nil {
+							b.Fatal(err)
+						}
+					}
+					if err := hotpath.Skellam(1, s, 16.0/float64(S), noise); err != nil {
+						b.Fatal(err)
+					}
+					if err := acc.AddSignedInPlace(noise); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+			foldNs := benchNs(func(b *testing.B) {
+				partials := sweepPartials(S, bits, dim)
+				shardIDs := make([]uint64, S)
+				for i := range shardIDs {
+					shardIDs[i] = uint64(i)
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					comb, err := combine.New(1, shardIDs, 0)
+					if err != nil {
+						b.Fatal(err)
+					}
+					for _, p := range partials {
+						if err := comb.Add(p); err != nil {
+							b.Fatal(err)
+						}
+					}
+					if _, err := comb.Seal(); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+			fmt.Printf("%8d %6d %10d %14.0f %14.0f %9.2f%%\n",
+				n, S, perShard, shardNs, foldNs, 100*foldNs/shardNs)
+		}
+	}
+	return nil
+}
+
+func benchNs(fn func(b *testing.B)) float64 {
+	res := testing.Benchmark(fn)
+	return float64(res.T.Nanoseconds()) / float64(res.N)
+}
+
+// sweepPartials builds S well-formed shard partials with disjoint
+// survivor sets, the shape the combiner folds every round.
+func sweepPartials(s int, bits uint, dim int) []combine.Partial {
+	out := make([]combine.Partial, s)
+	for i := range out {
+		v := ring.NewVector(bits, dim)
+		for j := range v.Data {
+			v.Data[j] = uint64(i*dim+j) & v.Mask()
+		}
+		survivors := make([]uint64, 8)
+		for j := range survivors {
+			survivors[j] = uint64(i*100 + j + 1)
+		}
+		out[i] = combine.Partial{Shard: uint64(i), Round: 1, Sum: v, Survivors: survivors}
+	}
+	return out
+}

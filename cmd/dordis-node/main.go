@@ -112,6 +112,19 @@ func main() {
 			"server: Ed25519 seed file for signing handshake offers/commits (created on first use; prints the verification key)")
 		serverPub = flag.String("server-pub", "",
 			"client: hex Ed25519 verification key; when set, unsigned or mis-signed handshakes are rejected")
+
+		shards = flag.Int("shards", 1,
+			"shard count S of the two-level topology; > 1 makes clients derive their shard sub-roster from -clients (roles combiner/shard/shardtest; see sharded.go)")
+		shardID = flag.Uint64("shard-id", 0,
+			"shard: this aggregator's shard id (0..S-1, also its id on the combiner connection)")
+		combinerAddr = flag.String("combiner-addr", "127.0.0.1:7800",
+			"shard: root combiner address to fold the shard partial into")
+		shardQuorum = flag.Int("shard-quorum", 0,
+			"combiner: minimum shard partials to fold (0 = all); missing shards above it degrade the round instead of aborting")
+		combineDeadline = flag.Duration("combine-deadline", 60*time.Second,
+			"combiner: bound for collecting shard partials (must cover a full shard round); shard: bound for the folded report")
+		killShard = flag.Int("kill-shard", -1,
+			"shardtest: crash this shard aggregator mid-round (-1 = none)")
 	)
 	flag.Parse()
 
@@ -120,6 +133,28 @@ func main() {
 		fail(err)
 	}
 	sessionsOn := *rounds > 1 || *sessionDir != ""
+	sf := shardedFlags{
+		shards: *shards, shardID: *shardID, combinerAddr: *combinerAddr,
+		shardQuorum: *shardQuorum, combineDeadline: *combineDeadline, killShard: *killShard,
+	}
+
+	switch *role {
+	case "combiner", "shard", "shardtest":
+		if *protocol != "secagg" {
+			fail(fmt.Errorf("the sharded topology supports -protocol secagg only"))
+		}
+		switch *role {
+		case "combiner":
+			runCombinerRole(sf, *listen, *rounds)
+		case "shard":
+			sub := shardRoster(ids, sf.shards, sf.shardID)
+			scfg := shardSecaggConfig(sub, sf.shards, *threshold, *dim, *tolerance, *targetMu, *noiseEpoch)
+			runShardRole(scfg, sf, *listen, *rounds, *deadline)
+		case "shardtest":
+			shardSelfTest(ids, sf, *threshold, *dim, *tolerance, *targetMu, *noiseEpoch, *deadline)
+		}
+		return
+	}
 
 	if *protocol == "lightsecagg" {
 		lcfg := lightsecagg.Config{
@@ -154,6 +189,15 @@ func main() {
 	}
 	if *protocol != "secagg" {
 		fail(fmt.Errorf("unknown protocol %q", *protocol))
+	}
+	if *shards > 1 && *role == "client" {
+		// A sharded client aggregates inside the shard owning its id: narrow
+		// the roster to that sub-roster and draw the split noise share mu/S.
+		if *id == 0 {
+			fail(fmt.Errorf("client needs -id"))
+		}
+		ids = shardRosterOf(ids, *shards, *id)
+		*targetMu /= float64(*shards)
 	}
 	cfg := secagg.Config{
 		Round:      1,

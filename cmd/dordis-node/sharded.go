@@ -1,0 +1,297 @@
+package main
+
+// Sharded (multi-aggregator) deployment roles. The two-level topology
+// runs each shard as a full dordis aggregation service over its
+// sub-roster — same wire protocol, same engine, same round body the flat
+// server role uses — plus one upward TCP leg to a root combiner that
+// folds the masked shard partials (PROTOCOL.md §combiner). Start the
+// combiner, then one shard aggregator per shard, then the clients:
+//
+//	dordis-node -role combiner -listen :7800 -shards 4 -shard-quorum 3
+//	dordis-node -role shard -shard-id 0 -shards 4 -listen :7700 \
+//	    -combiner-addr host:7800 -clients 1,...,100 -threshold 3
+//	dordis-node -role client -connect shard0:7700 -id 1 -shards 4 -clients 1,...,100
+//
+// Shard aggregators and clients both derive the same contiguous shard
+// plan from (-clients, -shards), so a client only needs the address of
+// the shard that owns its id. With -tolerance > 0 each shard draws
+// independent Skellam noise at mu/S — the XNoise decomposition that
+// makes S shards compose to the central -mu (see package combine).
+//
+// Or run the whole topology in one process over loopback TCP:
+//
+//	dordis-node -role shardtest -shards 4 -clients 1,...,20
+//	dordis-node -role shardtest -shards 4 -kill-shard 3 -shard-quorum 3
+//
+// -kill-shard crashes one shard aggregator mid-round; with a quorum the
+// round completes degraded (the report names the missing shard) instead
+// of aborting — the combiner's core guarantee.
+
+import (
+	"context"
+	"crypto/rand"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"repro/internal/combine"
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/secagg"
+	"repro/internal/transport"
+	"repro/internal/xnoise"
+)
+
+// shardedFlags carries the sharded-topology knobs out of main.
+type shardedFlags struct {
+	shards          int
+	shardID         uint64
+	combinerAddr    string
+	shardQuorum     int
+	combineDeadline time.Duration
+	killShard       int
+}
+
+// shardRoster derives the sub-roster the given shard aggregates — the
+// same contiguous plan every party derives from (-clients, -shards).
+func shardRoster(ids []uint64, shards int, shard uint64) []uint64 {
+	plan, err := core.NewShardPlan(ids, shards)
+	if err != nil {
+		fail(err)
+	}
+	if shard >= uint64(shards) {
+		fail(fmt.Errorf("shard id %d out of range [0, %d)", shard, shards))
+	}
+	return plan.Rosters[shard]
+}
+
+// shardRosterOf narrows the full roster to the sub-roster owning client
+// id — the client-side half of the shared plan derivation.
+func shardRosterOf(ids []uint64, shards int, id uint64) []uint64 {
+	plan, err := core.NewShardPlan(ids, shards)
+	if err != nil {
+		fail(err)
+	}
+	s := plan.ShardOf(id)
+	if s < 0 {
+		fail(fmt.Errorf("client %d not in the sampled set", id))
+	}
+	return plan.Rosters[s]
+}
+
+// shardSecaggConfig builds one shard's round config: the sub-roster, the
+// per-shard threshold/tolerance, and the split noise target mu/S.
+func shardSecaggConfig(sub []uint64, shards, threshold, dim, tolerance int,
+	mu float64, noiseEpoch uint64) secagg.Config {
+
+	cfg := secagg.Config{
+		Round: 1, ClientIDs: sub, Threshold: threshold, Bits: 20, Dim: dim,
+		NoiseEpoch: noiseEpoch,
+	}
+	if tolerance > 0 {
+		cfg.XNoise = &xnoise.Plan{
+			NumClients:       len(sub),
+			DropoutTolerance: tolerance,
+			Threshold:        threshold,
+			TargetVariance:   mu / float64(shards),
+		}
+	}
+	if err := cfg.Validate(); err != nil {
+		fail(fmt.Errorf("shard config (threshold and tolerance apply per shard): %w", err))
+	}
+	return cfg
+}
+
+func runCombinerRole(sf shardedFlags, listen string, rounds int) {
+	srv, err := transport.ListenTCP(listen)
+	if err != nil {
+		fail(err)
+	}
+	defer srv.Close()
+	shardIDs := make([]uint64, sf.shards)
+	for i := range shardIDs {
+		shardIDs[i] = uint64(i)
+	}
+	fmt.Printf("combiner listening on %s for %d shard aggregators (quorum %d)\n",
+		srv.Addr(), sf.shards, sf.shardQuorum)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	// One engine spans every round on this connection, like the session-mode
+	// server: shard partials for round r+1 must not race the round-r report.
+	eng := engine.New(engine.TransportSource(ctx, srv))
+	quorum := sf.shardQuorum
+	if quorum <= 0 {
+		quorum = sf.shards
+	}
+	for r := 1; r <= rounds; r++ {
+		// Round 1 waits for a quorum of shard dials (bring-up); later rounds
+		// reuse the live connections and the hello stage does the waiting.
+		if r == 1 {
+			waitForClients(srv, quorum, 0)
+		}
+		report, err := core.RunCombiner(ctx, core.CombinerConfig{
+			Round: uint64(r), ShardIDs: shardIDs, Quorum: sf.shardQuorum,
+			StageDeadline: sf.combineDeadline, AwaitHellos: true, Engine: eng,
+		}, srv)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("round %d: ", r)
+		printReport(report)
+	}
+}
+
+func printReport(report *combine.RoundReport) {
+	state := "complete"
+	if report.Degraded {
+		state = fmt.Sprintf("DEGRADED (missing shards %v)", report.Missing)
+	}
+	centered := report.Sum.Centered()
+	var mean float64
+	for _, v := range centered {
+		mean += float64(v)
+	}
+	mean /= float64(len(centered))
+	fmt.Printf("%s: shards=%v survivors=%d dropped=%d, folded per-coordinate mean %.2f\n",
+		state, report.Contributing, len(report.Survivors), len(report.Dropped), mean)
+}
+
+func runShardRole(cfg secagg.Config, sf shardedFlags, listen string, rounds int, deadline time.Duration) {
+	srv, err := transport.ListenTCP(listen)
+	if err != nil {
+		fail(err)
+	}
+	defer srv.Close()
+	ctx := context.Background()
+	up := sessionDial(ctx, sf.combinerAddr, sf.shardID)
+	defer up.Close()
+	fmt.Printf("shard %d listening on %s for %d clients, combiner at %s\n",
+		sf.shardID, srv.Addr(), len(cfg.ClientIDs), sf.combinerAddr)
+	for r := 1; r <= rounds; r++ {
+		bound := deadline
+		if r == 1 {
+			bound = 0
+		}
+		waitForClients(srv, len(cfg.ClientIDs), bound)
+		rcfg := cfg
+		rcfg.Round = uint64(r)
+		report, res, err := core.RunShardWire(ctx, core.ShardWireConfig{
+			Shard: sf.shardID, Round: uint64(r),
+			Server:         core.WireServerConfig{SecAgg: rcfg, StageDeadline: deadline},
+			ReportDeadline: sf.combineDeadline,
+		}, srv, up)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("shard %d round %d: %d survivors, partial folded; combiner ", sf.shardID, r, len(res.Survivors))
+		printReport(report)
+	}
+}
+
+// shardSelfTest runs the whole two-level topology in one process over
+// loopback TCP: a combiner, -shards shard aggregators (each a real TCP
+// server), and every client. killShard >= 0 cancels that shard's context
+// mid-round; with a quorum below -shards the round must complete degraded.
+func shardSelfTest(ids []uint64, sf shardedFlags, threshold, dim, tolerance int,
+	mu float64, noiseEpoch uint64, deadline time.Duration) {
+
+	plan, err := core.NewShardPlan(ids, sf.shards)
+	if err != nil {
+		fail(err)
+	}
+	comb, err := transport.ListenTCP("127.0.0.1:0")
+	if err != nil {
+		fail(err)
+	}
+	defer comb.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	shardIDs := make([]uint64, sf.shards)
+	for i := range shardIDs {
+		shardIDs[i] = uint64(i)
+	}
+	var wg sync.WaitGroup
+	for s := 0; s < sf.shards; s++ {
+		s := s
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sub := plan.Rosters[s]
+			scfg := shardSecaggConfig(sub, sf.shards, threshold, dim, tolerance, mu, noiseEpoch)
+			srv, err := transport.ListenTCP("127.0.0.1:0")
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "shard", s, "listen:", err)
+				return
+			}
+			defer srv.Close()
+			up, err := transport.DialTCP(comb.Addr(), uint64(s))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "shard", s, "dial combiner:", err)
+				return
+			}
+			defer up.Close()
+			shardCtx := ctx
+			if s == sf.killShard {
+				var kill context.CancelFunc
+				shardCtx, kill = context.WithCancel(ctx)
+				// Crash after the clients are mid-protocol: presence announced,
+				// round under way — the worst-case loss for the combiner.
+				time.AfterFunc(300*time.Millisecond, kill)
+			}
+			var cwg sync.WaitGroup
+			for _, id := range sub {
+				id := id
+				cwg.Add(1)
+				go func() {
+					defer cwg.Done()
+					conn, err := transport.DialTCP(srv.Addr(), id)
+					if err != nil {
+						fmt.Fprintln(os.Stderr, "client", id, "dial:", err)
+						return
+					}
+					defer conn.Close()
+					// A killed shard strands its clients mid-round; their
+					// errors are expected collateral, not failures.
+					if _, err := core.RunWireClient(shardCtx, core.WireClientConfig{
+						SecAgg: scfg, ID: id, Input: constInput(scfg, 1),
+						DropBefore: core.NoDrop, Rand: rand.Reader,
+					}, conn); err != nil && s != sf.killShard {
+						fmt.Fprintln(os.Stderr, "client", id, ":", err)
+					}
+				}()
+			}
+			waitForClients(srv, len(sub), 0)
+			_, _, err = core.RunShardWire(shardCtx, core.ShardWireConfig{
+				Shard: uint64(s), Round: 1,
+				Server:         core.WireServerConfig{SecAgg: scfg, StageDeadline: deadline},
+				ReportDeadline: sf.combineDeadline,
+			}, srv, up)
+			if err != nil && s != sf.killShard {
+				fmt.Fprintln(os.Stderr, "shard", s, ":", err)
+			}
+			cwg.Wait()
+		}()
+	}
+
+	quorum := sf.shardQuorum
+	if quorum <= 0 {
+		quorum = sf.shards
+	}
+	waitForClients(comb, quorum, 0)
+	report, err := core.RunCombiner(ctx, core.CombinerConfig{
+		Round: 1, ShardIDs: shardIDs, Quorum: sf.shardQuorum,
+		StageDeadline: sf.combineDeadline, AwaitHellos: true,
+	}, comb)
+	if err != nil {
+		fail(err)
+	}
+	wg.Wait() // shards drain the report broadcast before teardown
+	printReport(report)
+	// Every client fed a constant 1, so the folded sum per coordinate is
+	// the survivor count (plus XNoise when -tolerance > 0).
+	want := len(report.Survivors)
+	fmt.Printf("expected per-coordinate mean ~%d over %d contributing shard(s)\n",
+		want, len(report.Contributing))
+}

@@ -1,0 +1,275 @@
+package combine
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"repro/internal/ring"
+	"repro/internal/transport"
+)
+
+// Binary codec for the combiner frame family, following the core/codec.go
+// conventions: magic/tag/version prefix, little-endian length-prefixed
+// sections, count-vs-payload validation before any allocation.
+//
+// Layout (all integers little-endian):
+//
+//	hello:   [magic][tagHello][ver][Round:8][Shard:8]
+//	partial: [magic][tagPartial][ver][Round:8][Shard:8][Bits:1]
+//	         [n:4][Sum: n×8] [n:4][Survivors: n×8] [n:4][Dropped: n×8]
+//	         [n:4][RemovedComponents: n×8, as uint64]
+//	report:  [magic][tagReport][ver][Round:8][Bits:1][flags:1]
+//	         [n:4][Sum: n×8] [n:4][Contributing: n×8] [n:4][Missing: n×8]
+//	         [n:4][Survivors: n×8] [n:4][Dropped: n×8]
+//	         [n:4] n × ([shard:8][k:4][components: k×8])
+//	         (flags bit 0: Degraded)
+//
+// The magic byte (0xDC) keeps the family disjoint from the core codec
+// (0xD0), the persisted sessions (0xDA) and the binary share bundles
+// (0xDB), so a misrouted payload fails loudly. The version byte gates
+// structural evolution the way persistVersion does for sessions: decoders
+// accept versions ≤ theirs and reject the rest, so a new-layout combiner
+// never silently mis-reads an old shard's partial or vice versa.
+const (
+	combineMagic   = 0xDC
+	tagHello       = 0x01
+	tagPartial     = 0x02
+	tagReport      = 0x03
+	combineVersion = 1
+
+	// maxCombineElems caps decoded slice lengths against hostile length
+	// prefixes, mirroring core's maxWireElems (the transport frame cap is
+	// the binding limit near the boundary).
+	maxCombineElems = 1 << 25
+)
+
+func appendSlab(dst []byte, xs []uint64) ([]byte, error) {
+	if len(xs) > maxCombineElems {
+		return nil, fmt.Errorf("combine: slab of %d elements exceeds wire cap", len(xs))
+	}
+	var cnt [4]byte
+	binary.LittleEndian.PutUint32(cnt[:], uint32(len(xs)))
+	dst = append(dst, cnt[:]...)
+	return transport.AppendUint64sLE(dst, xs), nil
+}
+
+func decodeSlab(src []byte) ([]uint64, []byte, error) {
+	if len(src) < 4 {
+		return nil, nil, fmt.Errorf("combine: slab header truncated")
+	}
+	n := int(binary.LittleEndian.Uint32(src))
+	if n > maxCombineElems {
+		return nil, nil, fmt.Errorf("combine: declared slab of %d elements exceeds wire cap", n)
+	}
+	return transport.DecodeUint64sLE(src[4:], n)
+}
+
+func appendHeader(dst []byte, tag byte, round uint64) []byte {
+	dst = append(dst, combineMagic, tag, combineVersion)
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], round)
+	return append(dst, b[:]...)
+}
+
+// decodeHeader validates magic/tag/version and returns (round, rest).
+func decodeHeader(p []byte, tag byte, what string) (uint64, []byte, error) {
+	if len(p) < 11 || p[0] != combineMagic || p[1] != tag {
+		return 0, nil, fmt.Errorf("combine: not a %s payload", what)
+	}
+	if v := p[2]; v < 1 || v > combineVersion {
+		return 0, nil, fmt.Errorf("combine: %s version %d, want <= %d", what, v, combineVersion)
+	}
+	return binary.LittleEndian.Uint64(p[3:]), p[11:], nil
+}
+
+// EncodeHello encodes the shard-online announcement.
+func EncodeHello(round, shard uint64) []byte {
+	out := appendHeader(make([]byte, 0, 19), tagHello, round)
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], shard)
+	return append(out, b[:]...)
+}
+
+// DecodeHello decodes a shard-online announcement, returning (round, shard).
+func DecodeHello(p []byte) (uint64, uint64, error) {
+	round, rest, err := decodeHeader(p, tagHello, "shard hello")
+	if err != nil {
+		return 0, 0, err
+	}
+	if len(rest) != 8 {
+		return 0, 0, fmt.Errorf("combine: shard hello body is %d bytes, want 8", len(rest))
+	}
+	return round, binary.LittleEndian.Uint64(rest), nil
+}
+
+func intsToUint64s(ks []int) []uint64 {
+	out := make([]uint64, len(ks))
+	for i, k := range ks {
+		out[i] = uint64(k)
+	}
+	return out
+}
+
+func uint64sToInts(xs []uint64) []int {
+	if len(xs) == 0 {
+		return nil
+	}
+	out := make([]int, len(xs))
+	for i, x := range xs {
+		out[i] = int(x)
+	}
+	return out
+}
+
+// EncodePartial encodes one shard partial.
+func EncodePartial(p Partial) ([]byte, error) {
+	out := appendHeader(make([]byte, 0, 24+8*(p.Sum.Len()+len(p.Survivors)+len(p.Dropped))), tagPartial, p.Round)
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], p.Shard)
+	out = append(out, b[:]...)
+	out = append(out, byte(p.Sum.Bits))
+	var err error
+	if out, err = appendSlab(out, p.Sum.Data); err != nil {
+		return nil, err
+	}
+	if out, err = appendSlab(out, p.Survivors); err != nil {
+		return nil, err
+	}
+	if out, err = appendSlab(out, p.Dropped); err != nil {
+		return nil, err
+	}
+	return appendSlab(out, intsToUint64s(p.RemovedComponents))
+}
+
+// DecodePartial decodes one shard partial.
+func DecodePartial(p []byte) (Partial, error) {
+	round, rest, err := decodeHeader(p, tagPartial, "shard partial")
+	if err != nil {
+		return Partial{}, err
+	}
+	if len(rest) < 9 {
+		return Partial{}, fmt.Errorf("combine: shard partial truncated")
+	}
+	out := Partial{Round: round, Shard: binary.LittleEndian.Uint64(rest)}
+	bits := rest[8]
+	if bits < 1 || bits > 63 {
+		return Partial{}, fmt.Errorf("combine: shard partial ring width %d out of [1,63]", bits)
+	}
+	rest = rest[9:]
+	var sum []uint64
+	if sum, rest, err = decodeSlab(rest); err != nil {
+		return Partial{}, fmt.Errorf("combine: shard partial sum: %w", err)
+	}
+	out.Sum = ring.Vector{Bits: uint(bits), Data: sum}
+	if out.Survivors, rest, err = decodeSlab(rest); err != nil {
+		return Partial{}, fmt.Errorf("combine: shard partial survivors: %w", err)
+	}
+	if out.Dropped, rest, err = decodeSlab(rest); err != nil {
+		return Partial{}, fmt.Errorf("combine: shard partial dropped: %w", err)
+	}
+	var ks []uint64
+	if ks, rest, err = decodeSlab(rest); err != nil {
+		return Partial{}, fmt.Errorf("combine: shard partial removed components: %w", err)
+	}
+	out.RemovedComponents = uint64sToInts(ks)
+	if len(rest) != 0 {
+		return Partial{}, fmt.Errorf("combine: shard partial: %d trailing bytes", len(rest))
+	}
+	return out, nil
+}
+
+// EncodeReport encodes the combiner's round report.
+func EncodeReport(r *RoundReport) ([]byte, error) {
+	out := appendHeader(make([]byte, 0, 32+8*r.Sum.Len()), tagReport, r.Round)
+	out = append(out, byte(r.Sum.Bits))
+	var flags byte
+	if r.Degraded {
+		flags |= 1
+	}
+	out = append(out, flags)
+	var err error
+	for _, xs := range [][]uint64{r.Sum.Data, r.Contributing, r.Missing, r.Survivors, r.Dropped} {
+		if out, err = appendSlab(out, xs); err != nil {
+			return nil, err
+		}
+	}
+	if len(r.RemovedComponents) > maxCombineElems {
+		return nil, fmt.Errorf("combine: %d removal entries exceed wire cap", len(r.RemovedComponents))
+	}
+	var cnt [4]byte
+	binary.LittleEndian.PutUint32(cnt[:], uint32(len(r.RemovedComponents)))
+	out = append(out, cnt[:]...)
+	shards := make([]uint64, 0, len(r.RemovedComponents))
+	for shard := range r.RemovedComponents {
+		shards = append(shards, shard)
+	}
+	sort.Slice(shards, func(i, j int) bool { return shards[i] < shards[j] }) // deterministic encoding
+	for _, shard := range shards {
+		var b [8]byte
+		binary.LittleEndian.PutUint64(b[:], shard)
+		out = append(out, b[:]...)
+		if out, err = appendSlab(out, intsToUint64s(r.RemovedComponents[shard])); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// DecodeReport decodes a combiner round report.
+func DecodeReport(p []byte) (*RoundReport, error) {
+	round, rest, err := decodeHeader(p, tagReport, "round report")
+	if err != nil {
+		return nil, err
+	}
+	if len(rest) < 2 {
+		return nil, fmt.Errorf("combine: round report truncated")
+	}
+	r := &RoundReport{Round: round, Degraded: rest[1]&1 != 0}
+	bits := rest[0]
+	if bits < 1 || bits > 63 {
+		return nil, fmt.Errorf("combine: round report ring width %d out of [1,63]", bits)
+	}
+	rest = rest[2:]
+	var sum []uint64
+	if sum, rest, err = decodeSlab(rest); err != nil {
+		return nil, fmt.Errorf("combine: round report sum: %w", err)
+	}
+	r.Sum = ring.Vector{Bits: uint(bits), Data: sum}
+	for _, dst := range []*[]uint64{&r.Contributing, &r.Missing, &r.Survivors, &r.Dropped} {
+		if *dst, rest, err = decodeSlab(rest); err != nil {
+			return nil, fmt.Errorf("combine: round report: %w", err)
+		}
+	}
+	if len(rest) < 4 {
+		return nil, fmt.Errorf("combine: round report removal header truncated")
+	}
+	n := int(binary.LittleEndian.Uint32(rest))
+	rest = rest[4:]
+	if n > maxCombineElems {
+		return nil, fmt.Errorf("combine: declared %d removal entries exceed wire cap", n)
+	}
+	// Each entry costs at least a shard id plus an empty slab header.
+	if n > 0 && n > len(rest)/(8+4) {
+		return nil, fmt.Errorf("combine: declared %d removal entries exceed payload", n)
+	}
+	r.RemovedComponents = make(map[uint64][]int, n)
+	for i := 0; i < n; i++ {
+		if len(rest) < 8 {
+			return nil, fmt.Errorf("combine: removal entry %d truncated", i)
+		}
+		shard := binary.LittleEndian.Uint64(rest)
+		if _, dup := r.RemovedComponents[shard]; dup {
+			return nil, fmt.Errorf("combine: duplicate removal entry for shard %d", shard)
+		}
+		var ks []uint64
+		if ks, rest, err = decodeSlab(rest[8:]); err != nil {
+			return nil, fmt.Errorf("combine: removal entry %d: %w", i, err)
+		}
+		r.RemovedComponents[shard] = uint64sToInts(ks)
+	}
+	if len(rest) != 0 {
+		return nil, fmt.Errorf("combine: round report: %d trailing bytes", len(rest))
+	}
+	return r, nil
+}

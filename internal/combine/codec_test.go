@@ -1,0 +1,164 @@
+package combine
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/ring"
+)
+
+func TestHelloCodecRoundTrip(t *testing.T) {
+	p := EncodeHello(42, 3)
+	round, shard, err := DecodeHello(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if round != 42 || shard != 3 {
+		t.Fatalf("decoded (%d, %d), want (42, 3)", round, shard)
+	}
+}
+
+func TestPartialCodecRoundTrip(t *testing.T) {
+	cases := []Partial{
+		{Shard: 2, Round: 9, Sum: vec(16, 1, 2, 3),
+			Survivors: []uint64{1, 2}, Dropped: []uint64{3}, RemovedComponents: []int{0, 4}},
+		{Shard: 0, Round: 0, Sum: vec(63, 1<<62+5)},
+	}
+	for i, in := range cases {
+		p, err := EncodePartial(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := DecodePartial(p)
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		if out.Shard != in.Shard || out.Round != in.Round || out.Sum.Bits != in.Sum.Bits {
+			t.Fatalf("case %d: header mismatch: %+v", i, out)
+		}
+		if !reflect.DeepEqual(out.Sum.Data, in.Sum.Data) {
+			t.Fatalf("case %d: sum mismatch", i)
+		}
+		if len(out.Survivors) != len(in.Survivors) || len(out.Dropped) != len(in.Dropped) ||
+			len(out.RemovedComponents) != len(in.RemovedComponents) {
+			t.Fatalf("case %d: accounting mismatch: %+v", i, out)
+		}
+	}
+}
+
+func TestReportCodecRoundTrip(t *testing.T) {
+	in := &RoundReport{
+		Round: 5, Sum: vec(16, 7, 8), Degraded: true,
+		Contributing: []uint64{0, 2}, Missing: []uint64{1},
+		Survivors: []uint64{10, 11, 30}, Dropped: []uint64{12},
+		RemovedComponents: map[uint64][]int{0: {1, 2}, 2: {3}},
+	}
+	p, err := EncodeReport(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := DecodeReport(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("round trip mismatch:\n in: %+v\nout: %+v", in, out)
+	}
+}
+
+// TestCodecMalformed exercises the hostile-input paths: every truncation
+// boundary, wrong magic/tag, future version, oversized counts, trailing
+// garbage. Decoders must error, never panic or over-allocate.
+func TestCodecMalformed(t *testing.T) {
+	good, err := EncodePartial(Partial{Shard: 1, Round: 2, Sum: vec(16, 1, 2),
+		Survivors: []uint64{1}, Dropped: []uint64{2}, RemovedComponents: []int{0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := 0; cut < len(good); cut++ {
+		if _, err := DecodePartial(good[:cut]); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+	if _, err := DecodePartial(append(good[:len(good):len(good)], 0)); err == nil {
+		t.Fatal("trailing byte accepted")
+	}
+	bad := append([]byte(nil), good...)
+	bad[0] = 0xD0 // core codec magic, not ours
+	if _, err := DecodePartial(bad); err == nil {
+		t.Fatal("wrong magic accepted")
+	}
+	bad = append([]byte(nil), good...)
+	bad[2] = combineVersion + 1
+	if _, err := DecodePartial(bad); err == nil {
+		t.Fatal("future version accepted")
+	}
+	// Hostile sum count: claims 2^25 elements over a tiny payload.
+	bad = append([]byte(nil), good[:20]...)
+	bad[19] = 0xFF
+	bad = append(bad, 0xFF, 0xFF, 0x01)
+	if _, err := DecodePartial(bad); err == nil {
+		t.Fatal("hostile slab count accepted")
+	}
+
+	report, err := EncodeReport(&RoundReport{Round: 1, Sum: vec(16, 1),
+		Contributing: []uint64{0}, RemovedComponents: map[uint64][]int{0: {1}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := 0; cut < len(report); cut++ {
+		if _, err := DecodeReport(report[:cut]); err == nil {
+			t.Fatalf("report truncation at %d accepted", cut)
+		}
+	}
+	for cut := 0; cut < 19; cut++ {
+		if _, _, err := DecodeHello(EncodeHello(1, 2)[:cut]); err == nil {
+			t.Fatalf("hello truncation at %d accepted", cut)
+		}
+	}
+}
+
+// TestCodecFuzzSeeded throws deterministic random bytes at the decoders:
+// they must return errors (or valid values), never panic.
+func TestCodecFuzzSeeded(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for i := 0; i < 5000; i++ {
+		buf := make([]byte, rng.Intn(256))
+		rng.Read(buf)
+		if rng.Intn(2) == 0 { // half the corpus gets a plausible prefix
+			buf = append([]byte{combineMagic, byte(1 + rng.Intn(3)), combineVersion}, buf...)
+		}
+		DecodePartial(buf)
+		DecodeReport(buf)
+		DecodeHello(buf)
+	}
+	// Random valid partials round-trip exactly.
+	for i := 0; i < 200; i++ {
+		in := Partial{
+			Shard: rng.Uint64(), Round: rng.Uint64(),
+			Sum: ring.Vector{Bits: uint(1 + rng.Intn(63)), Data: make([]uint64, 1+rng.Intn(63))},
+		}
+		for j := range in.Sum.Data {
+			in.Sum.Data[j] = rng.Uint64() & in.Sum.Mask()
+		}
+		for j := 0; j < rng.Intn(8); j++ {
+			in.Survivors = append(in.Survivors, rng.Uint64())
+		}
+		for j := 0; j < rng.Intn(4); j++ {
+			in.RemovedComponents = append(in.RemovedComponents, rng.Intn(32))
+		}
+		p, err := EncodePartial(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := DecodePartial(p)
+		if err != nil {
+			t.Fatalf("iter %d: %v", i, err)
+		}
+		if out.Shard != in.Shard || !reflect.DeepEqual(out.Sum.Data, in.Sum.Data) ||
+			!reflect.DeepEqual(out.RemovedComponents, in.RemovedComponents) {
+			t.Fatalf("iter %d: round trip mismatch", i)
+		}
+	}
+}

@@ -1,0 +1,135 @@
+package combine
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/ring"
+)
+
+func vec(bits uint, data ...uint64) ring.Vector {
+	return ring.Vector{Bits: bits, Data: data}
+}
+
+func partial(shard, round uint64, data ...uint64) Partial {
+	return Partial{
+		Shard: shard, Round: round, Sum: vec(16, data...),
+		Survivors: []uint64{shard * 10, shard*10 + 1}, Dropped: []uint64{shard*10 + 2},
+	}
+}
+
+func TestCombinerFoldsAllShards(t *testing.T) {
+	c, err := New(7, []uint64{0, 1, 2}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := uint64(0); s < 3; s++ {
+		p := partial(s, 7, s+1, s+2)
+		p.RemovedComponents = []int{int(s)}
+		if err := c.Add(p); err != nil {
+			t.Fatalf("add shard %d: %v", s, err)
+		}
+	}
+	if !c.QuorumMet() {
+		t.Fatal("quorum not met with all partials")
+	}
+	r, err := c.Seal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Degraded || len(r.Missing) != 0 {
+		t.Fatalf("full fold reported degraded: %+v", r)
+	}
+	if want := []uint64{6, 9}; r.Sum.Data[0] != want[0] || r.Sum.Data[1] != want[1] {
+		t.Fatalf("sum = %v, want %v", r.Sum.Data, want)
+	}
+	if len(r.Survivors) != 6 || r.Survivors[0] != 0 || r.Survivors[5] != 21 {
+		t.Fatalf("merged survivors = %v", r.Survivors)
+	}
+	if len(r.RemovedComponents) != 3 || r.RemovedComponents[2][0] != 2 {
+		t.Fatalf("removal accounting = %v", r.RemovedComponents)
+	}
+}
+
+func TestCombinerDegradedAtQuorum(t *testing.T) {
+	c, err := New(3, []uint64{0, 1, 2, 3}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range []uint64{0, 1} {
+		if err := c.Add(partial(s, 3, 5)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if c.QuorumMet() {
+		t.Fatal("quorum met at 2 of 3")
+	}
+	if _, err := c.Seal(); err == nil {
+		t.Fatal("seal below quorum succeeded")
+	}
+	if err := c.Add(partial(3, 3, 5)); err != nil {
+		t.Fatal(err)
+	}
+	if !c.QuorumMet() {
+		t.Fatal("quorum not met at 3 of 3")
+	}
+	r, err := c.Seal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Degraded {
+		t.Fatal("missing shard did not degrade the report")
+	}
+	if len(r.Missing) != 1 || r.Missing[0] != 2 {
+		t.Fatalf("missing = %v, want [2]", r.Missing)
+	}
+	if len(r.Contributing) != 3 || r.Sum.Data[0] != 15 {
+		t.Fatalf("contributing = %v sum = %v", r.Contributing, r.Sum.Data)
+	}
+}
+
+func TestCombinerRejectsDupStaleUnknown(t *testing.T) {
+	c, err := New(5, []uint64{0, 1}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Add(partial(0, 4, 1)); !errors.Is(err, ErrStalePartial) {
+		t.Fatalf("stale partial: %v", err)
+	}
+	if err := c.Add(partial(9, 5, 1)); !errors.Is(err, ErrUnknownShard) {
+		t.Fatalf("unknown shard: %v", err)
+	}
+	if err := c.Add(partial(0, 5, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Add(partial(0, 5, 2)); !errors.Is(err, ErrDuplicatePartial) {
+		t.Fatalf("duplicate partial: %v", err)
+	}
+	// The rejected duplicate must not have clobbered the first fold.
+	if err := c.Add(partial(1, 5, 10)); err != nil {
+		t.Fatal(err)
+	}
+	r, err := c.Seal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Sum.Data[0] != 11 {
+		t.Fatalf("sum = %d, want 11 (duplicate must be discarded)", r.Sum.Data[0])
+	}
+}
+
+func TestCombinerRejectsGeometryMismatch(t *testing.T) {
+	c, _ := New(1, []uint64{0, 1}, 0)
+	if err := c.Add(Partial{Shard: 0, Round: 1, Sum: vec(16, 1, 2)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Add(Partial{Shard: 1, Round: 1, Sum: vec(16, 1)}); err == nil {
+		t.Fatal("dimension mismatch accepted")
+	}
+	if err := c.Add(Partial{Shard: 1, Round: 1, Sum: vec(8, 1, 2)}); err == nil {
+		t.Fatal("ring width mismatch accepted")
+	}
+	if err := c.Add(Partial{Shard: 1, Round: 1}); err == nil {
+		t.Fatal("empty partial accepted")
+	}
+}

@@ -179,7 +179,44 @@ type RoundResult struct {
 // updates maps sampled client ids to raw model updates (model units,
 // length Codec.Dim). drops lists clients that vanish before uploading
 // (they still complete ShareKeys, matching the §6.1 dropout model).
+//
+// RunRound is the single-aggregator special case of the sharded topology:
+// it runs runRoundRing over the whole roster and decodes. RunShardedRound
+// runs the same ring-level round once per shard and folds the partials
+// with combine.Combiner before the one decode.
 func RunRound(cfg RoundConfig, updates map[uint64][]float64, drops []uint64, rand io.Reader) (*RoundResult, error) {
+	p, err := runRoundRing(cfg, updates, drops, rand)
+	if err != nil {
+		return nil, err
+	}
+	sum, err := skellam.Decode(cfg.Codec, p.Sum)
+	if err != nil {
+		return nil, err
+	}
+	return &RoundResult{Sum: sum, Survivors: p.Survivors, Dropped: p.Dropped,
+		LateDropped: p.LateDropped, Chunks: p.Chunks, Protocol: p.Protocol}, nil
+}
+
+// roundPartial is the ring-level outcome of one engine-backed round: the
+// aggregate *before* Skellam decoding — masks cancelled, dropouts
+// adjusted, excess XNoise components removed — plus the accounting a root
+// combiner folds into a combine.Partial. Keeping the partial in the ring
+// is what makes cross-shard folding exact: modular vector addition
+// commutes with the central decode, while decoded float sums would not.
+type roundPartial struct {
+	Sum                             ring.Vector
+	Survivors, Dropped, LateDropped []uint64
+	// RemovedComponents lists the XNoise component indices removed for
+	// this cohort's dropout count (nil without XNoise).
+	RemovedComponents []int
+	Chunks            int
+	Protocol          Protocol
+}
+
+// runRoundRing is the shared round body: every aggregator — the classic
+// single server and each shard of the two-level topology — is an instance
+// of this, parameterized only by its (sub-)roster and config.
+func runRoundRing(cfg RoundConfig, updates map[uint64][]float64, drops []uint64, rand io.Reader) (*roundPartial, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -444,11 +481,10 @@ func RunRound(cfg RoundConfig, updates map[uint64][]float64, drops []uint64, ran
 	if err != nil {
 		return nil, err
 	}
-	sum, err := skellam.Decode(cfg.Codec, agg)
-	if err != nil {
-		return nil, err
+	res := &roundPartial{Sum: agg, Chunks: m, Protocol: proto}
+	if plan != nil {
+		res.RemovedComponents = plan.RemovalComponents(numDropped)
 	}
-	res := &RoundResult{Sum: sum, Chunks: m, Protocol: proto}
 	for _, id := range ids {
 		if !aggregated(id) {
 			res.Dropped = append(res.Dropped, id)

@@ -1,0 +1,279 @@
+package core
+
+import (
+	"crypto/rand"
+	"testing"
+
+	"repro/internal/prg"
+	"repro/internal/secagg"
+)
+
+func TestShardPlanPartition(t *testing.T) {
+	ids := make([]uint64, 11)
+	for i := range ids {
+		ids[i] = uint64(100 - i) // unsorted on purpose
+	}
+	plan, err := NewShardPlan(ids, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(plan.Rosters); got != 3 {
+		t.Fatalf("rosters = %d, want 3", got)
+	}
+	// Balanced within one, covering every id exactly once, sorted.
+	seen := make(map[uint64]int)
+	for s, roster := range plan.Rosters {
+		if len(roster) < 3 || len(roster) > 4 {
+			t.Fatalf("shard %d holds %d clients, want 3 or 4", s, len(roster))
+		}
+		for i, id := range roster {
+			seen[id]++
+			if i > 0 && roster[i-1] >= id {
+				t.Fatalf("shard %d roster not strictly sorted: %v", s, roster)
+			}
+			if got := plan.ShardOf(id); got != s {
+				t.Fatalf("ShardOf(%d) = %d, want %d", id, got, s)
+			}
+		}
+	}
+	if len(seen) != len(ids) {
+		t.Fatalf("partition covers %d of %d ids", len(seen), len(ids))
+	}
+	if plan.ShardOf(7777) != -1 {
+		t.Fatal("ShardOf accepted a foreign id")
+	}
+	if _, err := NewShardPlan(ids[:5], 3); err == nil {
+		t.Fatal("plan accepted shards it cannot fill")
+	}
+	if _, err := NewShardPlan([]uint64{1, 1, 2, 3}, 2); err == nil {
+		t.Fatal("plan accepted duplicate ids")
+	}
+}
+
+func TestShardedRoundMatchesPlainSum(t *testing.T) {
+	// Without noise, the two-level fold must reproduce the plain sum: the
+	// shard partials are exact ring sums and modular addition commutes
+	// with the central decode.
+	const n, dim, shards = 12, 32, 3
+	cfg := ShardedRoundConfig{
+		RoundConfig: RoundConfig{
+			Round: 4, Protocol: ProtocolSecAgg, Codec: testCodec(dim, n),
+			Threshold: 3, Chunks: 2, Seed: prg.NewSeed([]byte("shard-r4")),
+		},
+		Shards: shards,
+	}
+	updates := randomUpdates(n, dim, 0.8)
+	res, err := RunShardedRound(cfg, updates, nil, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Report.Degraded || len(res.Report.Missing) != 0 || len(res.ShardErrs) != 0 {
+		t.Fatalf("clean round degraded: %+v errs=%v", res.Report, res.ShardErrs)
+	}
+	if len(res.Report.Contributing) != shards || len(res.Report.Survivors) != n {
+		t.Fatalf("accounting: contributing=%v survivors=%v", res.Report.Contributing, res.Report.Survivors)
+	}
+	want := sumUpdates(updates, nil, dim)
+	diff := make([]float64, dim)
+	for i := range diff {
+		diff[i] = res.Sum[i] - want[i]
+	}
+	if l2(diff) > 0.1 {
+		t.Fatalf("sharded decode error %v", l2(diff))
+	}
+}
+
+func TestShardedRoundDegradedShard(t *testing.T) {
+	// Kill one shard (all of its clients drop, so its sub-round falls
+	// below threshold and aborts). With quorum S−1 the round must
+	// complete degraded: the missing shard is named, its clients are in
+	// no accounting set, and the sum covers the surviving shards.
+	const n, dim, shards = 12, 16, 3
+	cfg := ShardedRoundConfig{
+		RoundConfig: RoundConfig{
+			Round: 5, Protocol: ProtocolSecAgg, Codec: testCodec(dim, n),
+			Threshold: 3, Chunks: 1, Seed: prg.NewSeed([]byte("shard-r5")),
+		},
+		Shards: shards, ShardQuorum: shards - 1,
+	}
+	updates := randomUpdates(n, dim, 0.8)
+	plan, err := NewShardPlan(sortedMapKeys(updates), shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dead := plan.Rosters[1]
+	res, err := RunShardedRound(cfg, updates, dead, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Report.Degraded {
+		t.Fatal("dead shard did not degrade the round")
+	}
+	if len(res.Report.Missing) != 1 || res.Report.Missing[0] != 1 {
+		t.Fatalf("missing = %v, want [1]", res.Report.Missing)
+	}
+	if res.ShardErrs[1] == nil {
+		t.Fatal("dead shard's error not recorded")
+	}
+	skip := make(map[uint64]bool, len(dead))
+	for _, id := range dead {
+		skip[id] = true
+	}
+	for _, id := range res.Report.Survivors {
+		if skip[id] {
+			t.Fatalf("dead shard's client %d reported as survivor", id)
+		}
+	}
+	want := sumUpdates(updates, skip, dim)
+	diff := make([]float64, dim)
+	for i := range diff {
+		diff[i] = res.Sum[i] - want[i]
+	}
+	if l2(diff) > 0.1 {
+		t.Fatalf("degraded decode error %v", l2(diff))
+	}
+	// Below quorum the round aborts: kill two shards with quorum 2.
+	cfg.ShardQuorum = 2
+	if _, err := RunShardedRound(cfg, updates,
+		append(append([]uint64(nil), plan.Rosters[0]...), plan.Rosters[1]...), rand.Reader); err == nil {
+		t.Fatal("round sealed below shard quorum")
+	}
+}
+
+func TestShardedRoundXNoiseAccounting(t *testing.T) {
+	// With XNoise on, each shard enforces μ/S and removes its own excess
+	// components; the report's removal map must carry every contributing
+	// shard's accounting. One in-shard dropout (not a whole-shard kill)
+	// must stay shard-local: the round is *not* degraded.
+	const n, dim, shards = 12, 16, 2
+	cfg := ShardedRoundConfig{
+		RoundConfig: RoundConfig{
+			Round: 6, Protocol: ProtocolSecAgg, Codec: testCodec(dim, n),
+			Threshold: 3, Chunks: 1, Tolerance: 2, TargetMu: 4.0,
+			Seed: prg.NewSeed([]byte("shard-r6")),
+		},
+		Shards: shards,
+	}
+	updates := randomUpdates(n, dim, 0.5)
+	plan, err := NewShardPlan(sortedMapKeys(updates), shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	drop := plan.Rosters[0][0]
+	res, err := RunShardedRound(cfg, updates, []uint64{drop}, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Report.Degraded {
+		t.Fatal("an in-shard dropout must not degrade the round")
+	}
+	if len(res.Report.Dropped) != 1 || res.Report.Dropped[0] != drop {
+		t.Fatalf("dropped = %v, want [%d]", res.Report.Dropped, drop)
+	}
+	for s := uint64(0); s < shards; s++ {
+		if len(res.Report.RemovedComponents[s]) == 0 {
+			t.Fatalf("shard %d removal accounting missing: %v", s, res.Report.RemovedComponents)
+		}
+	}
+	// Shard 0 dropped one of six, shard 1 none: their removal sets differ
+	// (|D|=1 removes fewer components than |D|=0).
+	if len(res.Report.RemovedComponents[0]) >= len(res.Report.RemovedComponents[1]) {
+		t.Fatalf("removal accounting ignores per-shard dropout: %v", res.Report.RemovedComponents)
+	}
+	want := sumUpdates(updates, map[uint64]bool{drop: true}, dim)
+	diff := make([]float64, dim)
+	for i := range diff {
+		diff[i] = res.Sum[i] - want[i]
+	}
+	// Noise at central μ=4 over 16 coordinates: generous bound, just
+	// catching gross mask-cancellation failures.
+	if l2(diff) > 50 {
+		t.Fatalf("noised sharded decode error %v", l2(diff))
+	}
+}
+
+func TestShardedRoundPerShardSessions(t *testing.T) {
+	// Session pools are per shard: two consecutive sharded rounds on the
+	// same pools must reuse each shard's ratcheted secrets (no re-agree).
+	const n, dim, shards = 8, 8, 2
+	pools := make([]*SessionPool, shards)
+	for i := range pools {
+		pools[i] = NewSessionPool(8)
+	}
+	updates := randomUpdates(n, dim, 0.5)
+	for round := uint64(1); round <= 2; round++ {
+		cfg := ShardedRoundConfig{
+			RoundConfig: RoundConfig{
+				Round: round, Protocol: ProtocolSecAgg, Codec: testCodec(dim, n),
+				Threshold: 3, Chunks: 1, Seed: prg.NewSeed([]byte("shard-sess")),
+			},
+			Shards: shards, ShardSessions: pools,
+		}
+		res, err := RunShardedRound(cfg, updates, nil, rand.Reader)
+		if err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		if res.Report.Degraded {
+			t.Fatalf("round %d degraded", round)
+		}
+	}
+	// Misconfigurations fail fast.
+	bad := ShardedRoundConfig{
+		RoundConfig: RoundConfig{
+			Round: 3, Protocol: ProtocolSecAgg, Codec: testCodec(dim, n),
+			Threshold: 3, Chunks: 1, Seed: prg.NewSeed([]byte("shard-sess")),
+		},
+		Shards: shards, ShardSessions: pools[:1],
+	}
+	if _, err := RunShardedRound(bad, updates, nil, rand.Reader); err == nil {
+		t.Fatal("pool/shard count mismatch accepted")
+	}
+	bad.ShardSessions = pools
+	bad.Sessions = pools[0]
+	if _, err := RunShardedRound(bad, updates, nil, rand.Reader); err == nil {
+		t.Fatal("global session pool alongside shard pools accepted")
+	}
+}
+
+func TestShardedRoundLateDropSchedule(t *testing.T) {
+	// A per-stage schedule routes to the owning shard: a client dropping
+	// at unmasking is still aggregated by its shard (late drop), and the
+	// other shard never sees the schedule entry.
+	const n, dim, shards = 8, 8, 2
+	updates := randomUpdates(n, dim, 0.5)
+	plan, err := NewShardPlan(sortedMapKeys(updates), shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	late := plan.Rosters[1][0]
+	cfg := ShardedRoundConfig{
+		RoundConfig: RoundConfig{
+			Round: 7, Protocol: ProtocolSecAgg, Codec: testCodec(dim, n),
+			Threshold: 3, Chunks: 1, Seed: prg.NewSeed([]byte("shard-r7")),
+			DropSchedule: secagg.DropSchedule{late: secagg.StageUnmasking},
+		},
+		Shards: shards,
+	}
+	res, err := RunShardedRound(cfg, updates, nil, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Report.Degraded || len(res.Report.Dropped) != 0 {
+		t.Fatalf("late dropper mishandled: %+v", res.Report)
+	}
+	found := false
+	for _, id := range res.Report.Survivors {
+		found = found || id == late
+	}
+	if !found {
+		t.Fatal("late dropper's update missing from the aggregate accounting")
+	}
+	want := sumUpdates(updates, nil, dim)
+	diff := make([]float64, dim)
+	for i := range diff {
+		diff[i] = res.Sum[i] - want[i]
+	}
+	if l2(diff) > 0.1 {
+		t.Fatalf("late-drop decode error %v", l2(diff))
+	}
+}

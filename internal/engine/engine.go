@@ -60,6 +60,20 @@ const (
 	TagRoundHello  = 0x43 // clients → server: ready for the next offer
 )
 
+// Combiner frame tags: the shard-aggregator ↔ root-combiner leg of the
+// two-level sharded topology (core.RunCombiner / core.RunShardWire). Like
+// the handshake family they are reserved above every round-stage space, so
+// a combiner connection can in principle multiplex with round traffic
+// without tag aliasing. The payload codecs live in internal/combine;
+// PROTOCOL.md documents the byte layouts and the degraded-round semantics
+// (a shard whose partial never arrives degrades the fold, it does not
+// abort it).
+const (
+	TagShardHello    = 0x50 // shard aggregator → combiner: shard online for the round
+	TagShardPartial  = 0x51 // shard aggregator → combiner: sealed partial sum + accounting
+	TagCombineReport = 0x52 // combiner → shard aggregators: folded RoundReport
+)
+
 // parkable reports whether a mismatched frame should be parked for a
 // later Collect instead of discarded. Only RoundHello qualifies: a client
 // that bounces mid-round re-dials and sends its next hello immediately,

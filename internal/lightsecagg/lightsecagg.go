@@ -868,6 +868,43 @@ func (s *Server) SealAggShares() ([]field.Element, error) {
 	return out, nil
 }
 
+// PartialSum is the sealed output of one LightSecAgg aggregator in the
+// two-level topology: the recovered field-element sum plus the survivor
+// accounting a root combiner folds (the lightsecagg analogue of
+// secagg.PartialSum). The substrate has no XNoise removal stage, so there
+// is no removed-component accounting; the shard driver reduces Sum into
+// the ring before sealing its combine.Partial, exactly as the
+// single-aggregator path does after recovery.
+type PartialSum struct {
+	// Sum is Σ survivors' inputs in GF(2^61−1) (lossless for ring values
+	// when n·2^Bits < p, checked by the round driver).
+	Sum []field.Element
+	// Survivors and Dropped partition the configured roster by whether
+	// the client's masked input is in Sum.
+	Survivors []uint64
+	Dropped   []uint64
+}
+
+// FinalizePartial performs the one-shot recovery (SealAggShares) and
+// seals this aggregator's partial sum with its survivor accounting.
+func (s *Server) FinalizePartial() (PartialSum, error) {
+	sum, err := s.SealAggShares()
+	if err != nil {
+		return PartialSum{}, err
+	}
+	res := PartialSum{Sum: sum, Survivors: append([]uint64(nil), s.survivors...)}
+	in := make(map[uint64]bool, len(s.survivors))
+	for _, id := range s.survivors {
+		in[id] = true
+	}
+	for _, id := range s.cfg.ClientIDs {
+		if !in[id] {
+			res.Dropped = append(res.Dropped, id)
+		}
+	}
+	return res, nil
+}
+
 // Reconstruct performs the one-shot recovery from a batch of aggregate
 // shares keyed by responder id (batch wrapper over AddAggShare and
 // SealAggShares; it feeds shares in ascending id order, so like the

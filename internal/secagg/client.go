@@ -1,8 +1,6 @@
 package secagg
 
 import (
-	"bytes"
-	"encoding/gob"
 	"fmt"
 	"io"
 	"sort"
@@ -556,22 +554,6 @@ func (c *Client) RevealNoiseShares(req NoiseShareRequest) (NoiseShareMsg, error)
 }
 
 // --- small helpers ---
-
-func encodeBundle(b ShareBundle) ([]byte, error) {
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(b); err != nil {
-		return nil, fmt.Errorf("secagg: encoding bundle: %w", err)
-	}
-	return buf.Bytes(), nil
-}
-
-func decodeBundle(p []byte) (ShareBundle, error) {
-	var b ShareBundle
-	if err := gob.NewDecoder(bytes.NewReader(p)).Decode(&b); err != nil {
-		return ShareBundle{}, fmt.Errorf("secagg: decoding bundle: %w", err)
-	}
-	return b, nil
-}
 
 func sortedIDs[V any](m map[uint64]V) []uint64 {
 	out := make([]uint64, 0, len(m))
