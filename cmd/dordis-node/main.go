@@ -55,6 +55,23 @@
 // -sign-key-file (created on first use; the verification key is printed
 // at startup). Clients pin it with -server-pub <hex>; without the pin
 // they accept unsigned handshakes (semi-honest deployments).
+//
+// # Verifiable round transcripts
+//
+// -transcript makes the server (or each shard aggregator and the root
+// combiner) commit every round to a Merkle transcript — roster,
+// advertise keys, masked-input digests — chain the round root to the
+// previous one, sign it when -sign-key-file is set, and serve every
+// surviving client an inclusion proof for its own contribution
+// (PROTOCOL.md §transcript). Clients opt in with -verify-transcript:
+// the round fails loudly unless the proof verifies against the
+// committed root, the signature checks out under the -server-pub pin,
+// and the root chains from the previous audited round. Clients of a
+// sharded topology additionally audit the combiner tier — the shard
+// root's inclusion in the combiner's own signed tree — pinning the
+// combiner's key with -combiner-pub. Enable -transcript on every
+// aggregator role of a topology together: a shard relays the combiner
+// tier only when both sides emit it.
 package main
 
 import (
@@ -79,6 +96,7 @@ import (
 	"repro/internal/secagg"
 	"repro/internal/sessionstore"
 	"repro/internal/sig"
+	"repro/internal/transcript"
 	"repro/internal/transport"
 	"repro/internal/xnoise"
 )
@@ -113,6 +131,13 @@ func main() {
 		serverPub = flag.String("server-pub", "",
 			"client: hex Ed25519 verification key; when set, unsigned or mis-signed handshakes are rejected")
 
+		transcriptOn = flag.Bool("transcript", false,
+			"server/shard/combiner: commit each round to a Merkle transcript with chained, signed roots (-sign-key-file) and serve clients inclusion proofs; enable on every aggregator role of a topology together")
+		verifyTranscript = flag.Bool("verify-transcript", false,
+			"client: require and verify the round transcript proof for this client's own contribution; pins -server-pub when set (and -combiner-pub for the combiner tier of sharded runs)")
+		combinerPubHex = flag.String("combiner-pub", "",
+			"client: hex Ed25519 verification key of the combiner's transcript signer (sharded runs with -verify-transcript)")
+
 		shards = flag.Int("shards", 1,
 			"shard count S of the two-level topology; > 1 makes clients derive their shard sub-roster from -clients (roles combiner/shard/shardtest; see sharded.go)")
 		shardID = flag.Uint64("shard-id", 0,
@@ -145,18 +170,24 @@ func main() {
 		}
 		switch *role {
 		case "combiner":
-			runCombinerRole(sf, *listen, *rounds)
+			runCombinerRole(sf, *listen, *rounds,
+				transcriptRecorder(*transcriptOn, *signKeyFile, "-combiner-pub"))
 		case "shard":
 			sub := shardRoster(ids, sf.shards, sf.shardID)
 			scfg := shardSecaggConfig(sub, sf.shards, *threshold, *dim, *tolerance, *targetMu, *noiseEpoch)
-			runShardRole(scfg, sf, *listen, *rounds, *deadline)
+			runShardRole(scfg, sf, *listen, *rounds, *deadline,
+				transcriptRecorder(*transcriptOn, *signKeyFile, "-server-pub"))
 		case "shardtest":
-			shardSelfTest(ids, sf, *threshold, *dim, *tolerance, *targetMu, *noiseEpoch, *deadline)
+			shardSelfTest(ids, sf, *threshold, *dim, *tolerance, *targetMu, *noiseEpoch, *deadline,
+				*transcriptOn || *verifyTranscript)
 		}
 		return
 	}
 
 	if *protocol == "lightsecagg" {
+		if *transcriptOn || *verifyTranscript {
+			fail(fmt.Errorf("-transcript/-verify-transcript require -protocol secagg"))
+		}
 		lcfg := lightsecagg.Config{
 			ClientIDs: ids, PrivacyT: *threshold, Dropout: *tolerance, Dim: *dim,
 		}
@@ -166,7 +197,7 @@ func main() {
 		switch *role {
 		case "server":
 			if sessionsOn {
-				runServerSessionsLSA(lcfg, *listen, *deadline, *rounds, *keyRounds, loadSigner(*signKeyFile))
+				runServerSessionsLSA(lcfg, *listen, *deadline, *rounds, *keyRounds, loadSigner(*signKeyFile, "-server-pub"))
 			} else {
 				runServerLSA(lcfg, *listen, *deadline)
 			}
@@ -222,22 +253,29 @@ func main() {
 	switch *role {
 	case "server":
 		if sessionsOn {
-			runServerSessions(cfg, *listen, *deadline, *rounds, *keyRounds, loadSigner(*signKeyFile))
+			// One signer serves both the handshake and the transcript chain,
+			// so clients pin a single -server-pub for both layers.
+			signer := loadSigner(*signKeyFile, "-server-pub")
+			runServerSessions(cfg, *listen, *deadline, *rounds, *keyRounds, signer,
+				recorderFrom(*transcriptOn, signer))
 		} else {
-			runServer(cfg, *listen, *deadline)
+			runServer(cfg, *listen, *deadline,
+				transcriptRecorder(*transcriptOn, *signKeyFile, "-server-pub"))
 		}
 	case "client":
 		if *id == 0 {
 			fail(fmt.Errorf("client needs -id"))
 		}
+		aud, caud := clientAuditors(*verifyTranscript, parsePub(*serverPub),
+			parsePub(*combinerPubHex), *shards > 1)
 		if sessionsOn {
 			runClientSessions(cfg, *connect, *id, *value, *rounds,
-				openStore(*sessionDir, *sessionKeyFile), parsePub(*serverPub))
+				openStore(*sessionDir, *sessionKeyFile), parsePub(*serverPub), aud, caud)
 		} else {
-			runClient(cfg, *connect, *id, *value)
+			runClient(cfg, *connect, *id, *value, aud, caud)
 		}
 	case "selftest":
-		selfTest(cfg, *listen, *deadline)
+		selfTest(cfg, *listen, *deadline, *transcriptOn || *verifyTranscript)
 	default:
 		fail(fmt.Errorf("unknown role %q", *role))
 	}
@@ -263,9 +301,10 @@ func fail(err error) {
 
 // --- session-mode helpers ---
 
-// loadSigner loads (or creates) the server's handshake signing key. An
-// empty path means unsigned handshakes (semi-honest mode).
-func loadSigner(path string) *sig.Signer {
+// loadSigner loads (or creates) the role's Ed25519 signing key, printing
+// the verification key next to the flag clients pin it with. An empty
+// path means unsigned operation (semi-honest mode).
+func loadSigner(path, pinFlag string) *sig.Signer {
 	if path == "" {
 		return nil
 	}
@@ -274,10 +313,81 @@ func loadSigner(path string) *sig.Signer {
 	if err != nil {
 		fail(err)
 	}
-	fmt.Printf("handshake signing enabled; clients pin with -server-pub %s\n",
-		hex.EncodeToString(signer.Public()))
+	fmt.Printf("signing enabled; clients pin with %s %s\n",
+		pinFlag, hex.EncodeToString(signer.Public()))
 	return signer
 }
+
+// recorderFrom wraps an already-loaded signer in a transcript recorder
+// when -transcript is on. One recorder spans every round of the process
+// so the round roots chain.
+func recorderFrom(on bool, signer *sig.Signer) *transcript.Recorder {
+	if !on {
+		return nil
+	}
+	return transcript.NewRecorder(signer)
+}
+
+// transcriptRecorder is recorderFrom for roles that have no other use
+// for the signing key: the key is loaded (or created) only when the
+// transcript layer actually needs it.
+func transcriptRecorder(on bool, signKeyFile, pinFlag string) *transcript.Recorder {
+	if !on {
+		return nil
+	}
+	return transcript.NewRecorder(loadSigner(signKeyFile, pinFlag))
+}
+
+// clientAuditors builds the client's transcript verification state:
+// the flat-tier auditor pinning the server key and, for sharded runs,
+// the combiner-tier auditor pinning the combiner key. Both are nil
+// without -verify-transcript.
+func clientAuditors(on bool, serverPub, combinerPub []byte, sharded bool) (
+	*transcript.Auditor, *transcript.CombineAuditor) {
+
+	if !on {
+		return nil, nil
+	}
+	aud := transcript.NewAuditor(serverPub)
+	if !sharded {
+		return aud, nil
+	}
+	return aud, transcript.NewCombineAuditor(combinerPub)
+}
+
+// printAudit reports the last verified transcript roots after a round
+// (no-op without -verify-transcript).
+func printAudit(id uint64, aud *transcript.Auditor, caud *transcript.CombineAuditor) {
+	if aud == nil {
+		return
+	}
+	if h := aud.History(); len(h) > 0 {
+		last := h[len(h)-1]
+		fmt.Printf("client %d: transcript verified, round %d root %s\n",
+			id, last.Round, shortRoot(last.Root))
+	}
+	if caud == nil {
+		return
+	}
+	if h := caud.History(); len(h) > 0 {
+		last := h[len(h)-1]
+		fmt.Printf("client %d: combiner tier verified, round %d root %s\n",
+			id, last.Round, shortRoot(last.Root))
+	}
+}
+
+// printRecorderTip reports the chained round root after a round (no-op
+// without -transcript).
+func printRecorderTip(rec *transcript.Recorder) {
+	if rec == nil {
+		return
+	}
+	if tip, ok := rec.Tip(); ok {
+		fmt.Printf("transcript root %s (chained)\n", shortRoot(tip))
+	}
+}
+
+func shortRoot(r [32]byte) string { return hex.EncodeToString(r[:8]) }
 
 // loadOrCreateKey reads key material from path, creating the file with 32
 // random bytes (0600) on first use — shared by the handshake signing seed
@@ -350,7 +460,7 @@ func waitForClients(srv *transport.TCPServer, n int, deadline time.Duration) {
 
 // --- single-round roles (no handshake; one process, one round) ---
 
-func runServer(cfg secagg.Config, listen string, deadline time.Duration) {
+func runServer(cfg secagg.Config, listen string, deadline time.Duration, rec *transcript.Recorder) {
 	srv, err := transport.ListenTCP(listen)
 	if err != nil {
 		fail(err)
@@ -359,14 +469,17 @@ func runServer(cfg secagg.Config, listen string, deadline time.Duration) {
 	fmt.Printf("server listening on %s, waiting for %d clients...\n", srv.Addr(), len(cfg.ClientIDs))
 	waitForClients(srv, len(cfg.ClientIDs), 0)
 	res, err := core.RunWireServer(context.Background(),
-		core.WireServerConfig{SecAgg: cfg, StageDeadline: deadline}, srv)
+		core.WireServerConfig{SecAgg: cfg, StageDeadline: deadline, Transcript: rec}, srv)
 	if err != nil {
 		fail(err)
 	}
 	printResult(cfg, res)
+	printRecorderTip(rec)
 }
 
-func runClient(cfg secagg.Config, addr string, id, value uint64) {
+func runClient(cfg secagg.Config, addr string, id, value uint64,
+	aud *transcript.Auditor, caud *transcript.CombineAuditor) {
+
 	conn, err := transport.DialTCP(addr, id)
 	if err != nil {
 		fail(err)
@@ -374,12 +487,14 @@ func runClient(cfg secagg.Config, addr string, id, value uint64) {
 	defer conn.Close()
 	res, err := core.RunWireClient(context.Background(), core.WireClientConfig{
 		SecAgg: cfg, ID: id, Input: constInput(cfg, value), DropBefore: core.NoDrop, Rand: rand.Reader,
+		Transcript: aud, CombineTranscript: caud,
 	}, conn)
 	if err != nil {
 		fail(err)
 	}
 	if res != nil {
 		fmt.Printf("client %d: round complete, %d survivors\n", id, len(res.Survivors))
+		printAudit(id, aud, caud)
 	}
 }
 
@@ -394,7 +509,7 @@ func constInput(cfg secagg.Config, value uint64) ring.Vector {
 // --- session-mode roles (handshake per round, persistent sessions) ---
 
 func runServerSessions(cfg secagg.Config, listen string, deadline time.Duration,
-	rounds, keyRounds int, signer *sig.Signer) {
+	rounds, keyRounds int, signer *sig.Signer, rec *transcript.Recorder) {
 
 	srv, err := transport.ListenTCP(listen)
 	if err != nil {
@@ -434,12 +549,14 @@ func runServerSessions(cfg secagg.Config, listen string, deadline time.Duration,
 		res, err := core.RunWireServer(ctx, core.WireServerConfig{
 			SecAgg: rcfg, StageDeadline: deadline,
 			Session: sess, Resume: hs.Resume, Divergent: hs.Divergent, Engine: eng,
+			Transcript: rec,
 		}, srv)
 		if err != nil {
 			fail(err)
 		}
 		fmt.Printf("round %d (%s): ", r, describe(hs))
 		printResult(rcfg, res)
+		printRecorderTip(rec)
 	}
 }
 
@@ -484,7 +601,8 @@ func redial(ctx context.Context, old *transport.TCPClient, addr string, id uint6
 }
 
 func runClientSessions(cfg secagg.Config, addr string, id, value uint64,
-	rounds int, store *sessionstore.Store, serverPub []byte) {
+	rounds int, store *sessionstore.Store, serverPub []byte,
+	aud *transcript.Auditor, caud *transcript.CombineAuditor) {
 
 	record := fmt.Sprintf("client-%d", id)
 	sess := loadSession(store, record)
@@ -514,6 +632,7 @@ func runClientSessions(cfg secagg.Config, addr string, id, value uint64,
 			SecAgg: rcfg, ID: id, Input: constInput(rcfg, value),
 			DropBefore: core.NoDrop, Rand: rand.Reader,
 			Session: sess, Resume: hs.Resume, Divergent: hs.Divergent,
+			Transcript: aud, CombineTranscript: caud,
 		}, conn)
 		if err != nil {
 			conn = redial(ctx, conn, addr, id, r, err)
@@ -524,6 +643,7 @@ func runClientSessions(cfg secagg.Config, addr string, id, value uint64,
 		if res != nil {
 			fmt.Printf("client %d round %d (%s): complete, %d survivors\n",
 				id, r, describe(hs), len(res.Survivors))
+			printAudit(id, aud, caud)
 		}
 	}
 }
@@ -583,12 +703,26 @@ func saveSession(store *sessionstore.Store, record string, sess *secagg.Session)
 	saveStoredSession(store, record, sess.MarshalBinary)
 }
 
-func selfTest(cfg secagg.Config, listen string, deadline time.Duration) {
+func selfTest(cfg secagg.Config, listen string, deadline time.Duration, transcriptOn bool) {
 	srv, err := transport.ListenTCP("127.0.0.1:0")
 	if err != nil {
 		fail(err)
 	}
 	defer srv.Close()
+	// In-process round: a throwaway signing key and one auditor per client
+	// exercise the full signed-transcript path without any key files.
+	var rec *transcript.Recorder
+	auds := map[uint64]*transcript.Auditor{}
+	if transcriptOn {
+		signer, err := sig.NewSigner(rand.Reader)
+		if err != nil {
+			fail(err)
+		}
+		rec = transcript.NewRecorder(signer)
+		for _, id := range cfg.ClientIDs {
+			auds[id] = transcript.NewAuditor(signer.Public())
+		}
+	}
 	var wg sync.WaitGroup
 	for i, id := range cfg.ClientIDs {
 		id := id
@@ -604,6 +738,7 @@ func selfTest(cfg secagg.Config, listen string, deadline time.Duration) {
 			defer conn.Close()
 			if _, err := core.RunWireClient(context.Background(), core.WireClientConfig{
 				SecAgg: cfg, ID: id, Input: constInput(cfg, value), DropBefore: core.NoDrop, Rand: rand.Reader,
+				Transcript: auds[id],
 			}, conn); err != nil {
 				fmt.Fprintln(os.Stderr, "client", id, ":", err)
 			}
@@ -611,12 +746,22 @@ func selfTest(cfg secagg.Config, listen string, deadline time.Duration) {
 	}
 	waitForClients(srv, len(cfg.ClientIDs), 0)
 	res, err := core.RunWireServer(context.Background(),
-		core.WireServerConfig{SecAgg: cfg, StageDeadline: deadline}, srv)
+		core.WireServerConfig{SecAgg: cfg, StageDeadline: deadline, Transcript: rec}, srv)
 	if err != nil {
 		fail(err)
 	}
 	wg.Wait()
 	printResult(cfg, res)
+	if rec != nil {
+		verified := 0
+		for _, a := range auds {
+			if len(a.History()) > 0 {
+				verified++
+			}
+		}
+		fmt.Printf("transcript verified by %d/%d clients, ", verified, len(auds))
+		printRecorderTip(rec)
+	}
 }
 
 func printResult(cfg secagg.Config, res *secagg.Result) {

@@ -39,6 +39,8 @@ import (
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/secagg"
+	"repro/internal/sig"
+	"repro/internal/transcript"
 	"repro/internal/transport"
 	"repro/internal/xnoise"
 )
@@ -103,7 +105,7 @@ func shardSecaggConfig(sub []uint64, shards, threshold, dim, tolerance int,
 	return cfg
 }
 
-func runCombinerRole(sf shardedFlags, listen string, rounds int) {
+func runCombinerRole(sf shardedFlags, listen string, rounds int, rec *transcript.Recorder) {
 	srv, err := transport.ListenTCP(listen)
 	if err != nil {
 		fail(err)
@@ -133,12 +135,14 @@ func runCombinerRole(sf shardedFlags, listen string, rounds int) {
 		report, err := core.RunCombiner(ctx, core.CombinerConfig{
 			Round: uint64(r), ShardIDs: shardIDs, Quorum: sf.shardQuorum,
 			StageDeadline: sf.combineDeadline, AwaitHellos: true, Engine: eng,
+			Transcript: rec,
 		}, srv)
 		if err != nil {
 			fail(err)
 		}
 		fmt.Printf("round %d: ", r)
 		printReport(report)
+		printRecorderTip(rec)
 	}
 }
 
@@ -157,7 +161,8 @@ func printReport(report *combine.RoundReport) {
 		state, report.Contributing, len(report.Survivors), len(report.Dropped), mean)
 }
 
-func runShardRole(cfg secagg.Config, sf shardedFlags, listen string, rounds int, deadline time.Duration) {
+func runShardRole(cfg secagg.Config, sf shardedFlags, listen string, rounds int,
+	deadline time.Duration, rec *transcript.Recorder) {
 	srv, err := transport.ListenTCP(listen)
 	if err != nil {
 		fail(err)
@@ -178,14 +183,16 @@ func runShardRole(cfg secagg.Config, sf shardedFlags, listen string, rounds int,
 		rcfg.Round = uint64(r)
 		report, res, err := core.RunShardWire(ctx, core.ShardWireConfig{
 			Shard: sf.shardID, Round: uint64(r),
-			Server:         core.WireServerConfig{SecAgg: rcfg, StageDeadline: deadline},
-			ReportDeadline: sf.combineDeadline,
+			Server:                 core.WireServerConfig{SecAgg: rcfg, StageDeadline: deadline, Transcript: rec},
+			ReportDeadline:         sf.combineDeadline,
+			RelayCombineTranscript: rec != nil,
 		}, srv, up)
 		if err != nil {
 			fail(err)
 		}
 		fmt.Printf("shard %d round %d: %d survivors, partial folded; combiner ", sf.shardID, r, len(res.Survivors))
 		printReport(report)
+		printRecorderTip(rec)
 	}
 }
 
@@ -193,8 +200,11 @@ func runShardRole(cfg secagg.Config, sf shardedFlags, listen string, rounds int,
 // loopback TCP: a combiner, -shards shard aggregators (each a real TCP
 // server), and every client. killShard >= 0 cancels that shard's context
 // mid-round; with a quorum below -shards the round must complete degraded.
+// transcriptOn wires the verifiable-transcript layer through both tiers
+// with throwaway signing keys: every client audits its shard's signed
+// root and the shard root's inclusion in the combiner's tree.
 func shardSelfTest(ids []uint64, sf shardedFlags, threshold, dim, tolerance int,
-	mu float64, noiseEpoch uint64, deadline time.Duration) {
+	mu float64, noiseEpoch uint64, deadline time.Duration, transcriptOn bool) {
 
 	plan, err := core.NewShardPlan(ids, sf.shards)
 	if err != nil {
@@ -207,6 +217,19 @@ func shardSelfTest(ids []uint64, sf shardedFlags, threshold, dim, tolerance int,
 	defer comb.Close()
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
+
+	var combRec *transcript.Recorder
+	var combPub []byte
+	if transcriptOn {
+		combSigner, err := sig.NewSigner(rand.Reader)
+		if err != nil {
+			fail(err)
+		}
+		combRec = transcript.NewRecorder(combSigner)
+		combPub = combSigner.Public()
+	}
+	var auditMu sync.Mutex
+	var tierOne, tierTwo, audited int
 
 	shardIDs := make([]uint64, sf.shards)
 	for i := range shardIDs {
@@ -232,6 +255,17 @@ func shardSelfTest(ids []uint64, sf shardedFlags, threshold, dim, tolerance int,
 				return
 			}
 			defer up.Close()
+			var shardRec *transcript.Recorder
+			var shardPub []byte
+			if transcriptOn {
+				shardSigner, err := sig.NewSigner(rand.Reader)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "shard", s, "signer:", err)
+					return
+				}
+				shardRec = transcript.NewRecorder(shardSigner)
+				shardPub = shardSigner.Public()
+			}
 			shardCtx := ctx
 			if s == sf.killShard {
 				var kill context.CancelFunc
@@ -252,21 +286,35 @@ func shardSelfTest(ids []uint64, sf shardedFlags, threshold, dim, tolerance int,
 						return
 					}
 					defer conn.Close()
+					aud, caud := clientAuditors(transcriptOn, shardPub, combPub, true)
 					// A killed shard strands its clients mid-round; their
 					// errors are expected collateral, not failures.
 					if _, err := core.RunWireClient(shardCtx, core.WireClientConfig{
 						SecAgg: scfg, ID: id, Input: constInput(scfg, 1),
 						DropBefore: core.NoDrop, Rand: rand.Reader,
+						Transcript: aud, CombineTranscript: caud,
 					}, conn); err != nil && s != sf.killShard {
 						fmt.Fprintln(os.Stderr, "client", id, ":", err)
+					}
+					if aud != nil {
+						auditMu.Lock()
+						audited++
+						if len(aud.History()) > 0 {
+							tierOne++
+						}
+						if len(caud.History()) > 0 {
+							tierTwo++
+						}
+						auditMu.Unlock()
 					}
 				}()
 			}
 			waitForClients(srv, len(sub), 0)
 			_, _, err = core.RunShardWire(shardCtx, core.ShardWireConfig{
 				Shard: uint64(s), Round: 1,
-				Server:         core.WireServerConfig{SecAgg: scfg, StageDeadline: deadline},
-				ReportDeadline: sf.combineDeadline,
+				Server:                 core.WireServerConfig{SecAgg: scfg, StageDeadline: deadline, Transcript: shardRec},
+				ReportDeadline:         sf.combineDeadline,
+				RelayCombineTranscript: shardRec != nil,
 			}, srv, up)
 			if err != nil && s != sf.killShard {
 				fmt.Fprintln(os.Stderr, "shard", s, ":", err)
@@ -283,6 +331,7 @@ func shardSelfTest(ids []uint64, sf shardedFlags, threshold, dim, tolerance int,
 	report, err := core.RunCombiner(ctx, core.CombinerConfig{
 		Round: 1, ShardIDs: shardIDs, Quorum: sf.shardQuorum,
 		StageDeadline: sf.combineDeadline, AwaitHellos: true,
+		Transcript: combRec,
 	}, comb)
 	if err != nil {
 		fail(err)
@@ -294,4 +343,9 @@ func shardSelfTest(ids []uint64, sf shardedFlags, threshold, dim, tolerance int,
 	want := len(report.Survivors)
 	fmt.Printf("expected per-coordinate mean ~%d over %d contributing shard(s)\n",
 		want, len(report.Contributing))
+	if transcriptOn {
+		fmt.Printf("transcripts: %d/%d clients verified their shard tier, %d the combiner tier, ",
+			tierOne, audited, tierTwo)
+		printRecorderTip(combRec)
+	}
 }

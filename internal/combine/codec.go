@@ -19,10 +19,12 @@ import (
 //	partial: [magic][tagPartial][ver][Round:8][Shard:8][Bits:1]
 //	         [n:4][Sum: n×8] [n:4][Survivors: n×8] [n:4][Dropped: n×8]
 //	         [n:4][RemovedComponents: n×8, as uint64]
+//	         v2+: [hasTranscript:1][TranscriptRoot:32, when set]
 //	report:  [magic][tagReport][ver][Round:8][Bits:1][flags:1]
 //	         [n:4][Sum: n×8] [n:4][Contributing: n×8] [n:4][Missing: n×8]
 //	         [n:4][Survivors: n×8] [n:4][Dropped: n×8]
 //	         [n:4] n × ([shard:8][k:4][components: k×8])
+//	         v2+: [n:4] n × ([shard:8][staleRound:8])
 //	         (flags bit 0: Degraded)
 //
 // The magic byte (0xDC) keeps the family disjoint from the core codec
@@ -30,13 +32,16 @@ import (
 // (0xDB), so a misrouted payload fails loudly. The version byte gates
 // structural evolution the way persistVersion does for sessions: decoders
 // accept versions ≤ theirs and reject the rest, so a new-layout combiner
-// never silently mis-reads an old shard's partial or vice versa.
+// never silently mis-reads an old shard's partial or vice versa. Version
+// 2 (this repo's verifiable-transcript PR) appends the shard transcript
+// root to partials and the stale-round accounting to reports; v1 payloads
+// still decode, with both absent.
 const (
 	combineMagic   = 0xDC
 	tagHello       = 0x01
 	tagPartial     = 0x02
 	tagReport      = 0x03
-	combineVersion = 1
+	combineVersion = 2
 
 	// maxCombineElems caps decoded slice lengths against hostile length
 	// prefixes, mirroring core's maxWireElems (the transport frame cap is
@@ -72,15 +77,17 @@ func appendHeader(dst []byte, tag byte, round uint64) []byte {
 	return append(dst, b[:]...)
 }
 
-// decodeHeader validates magic/tag/version and returns (round, rest).
-func decodeHeader(p []byte, tag byte, what string) (uint64, []byte, error) {
+// decodeHeader validates magic/tag/version and returns (round, version,
+// rest) — the version steers the optional v2+ trailing sections.
+func decodeHeader(p []byte, tag byte, what string) (uint64, byte, []byte, error) {
 	if len(p) < 11 || p[0] != combineMagic || p[1] != tag {
-		return 0, nil, fmt.Errorf("combine: not a %s payload", what)
+		return 0, 0, nil, fmt.Errorf("combine: not a %s payload", what)
 	}
-	if v := p[2]; v < 1 || v > combineVersion {
-		return 0, nil, fmt.Errorf("combine: %s version %d, want <= %d", what, v, combineVersion)
+	v := p[2]
+	if v < 1 || v > combineVersion {
+		return 0, 0, nil, fmt.Errorf("combine: %s version %d, want <= %d", what, v, combineVersion)
 	}
-	return binary.LittleEndian.Uint64(p[3:]), p[11:], nil
+	return binary.LittleEndian.Uint64(p[3:]), v, p[11:], nil
 }
 
 // EncodeHello encodes the shard-online announcement.
@@ -93,7 +100,7 @@ func EncodeHello(round, shard uint64) []byte {
 
 // DecodeHello decodes a shard-online announcement, returning (round, shard).
 func DecodeHello(p []byte) (uint64, uint64, error) {
-	round, rest, err := decodeHeader(p, tagHello, "shard hello")
+	round, _, rest, err := decodeHeader(p, tagHello, "shard hello")
 	if err != nil {
 		return 0, 0, err
 	}
@@ -139,12 +146,21 @@ func EncodePartial(p Partial) ([]byte, error) {
 	if out, err = appendSlab(out, p.Dropped); err != nil {
 		return nil, err
 	}
-	return appendSlab(out, intsToUint64s(p.RemovedComponents))
+	if out, err = appendSlab(out, intsToUint64s(p.RemovedComponents)); err != nil {
+		return nil, err
+	}
+	if p.HasTranscript {
+		out = append(out, 1)
+		out = append(out, p.TranscriptRoot[:]...)
+	} else {
+		out = append(out, 0)
+	}
+	return out, nil
 }
 
 // DecodePartial decodes one shard partial.
 func DecodePartial(p []byte) (Partial, error) {
-	round, rest, err := decodeHeader(p, tagPartial, "shard partial")
+	round, ver, rest, err := decodeHeader(p, tagPartial, "shard partial")
 	if err != nil {
 		return Partial{}, err
 	}
@@ -173,6 +189,24 @@ func DecodePartial(p []byte) (Partial, error) {
 		return Partial{}, fmt.Errorf("combine: shard partial removed components: %w", err)
 	}
 	out.RemovedComponents = uint64sToInts(ks)
+	if ver >= 2 {
+		if len(rest) < 1 {
+			return Partial{}, fmt.Errorf("combine: shard partial transcript flag truncated")
+		}
+		switch rest[0] {
+		case 0:
+			rest = rest[1:]
+		case 1:
+			if len(rest) < 33 {
+				return Partial{}, fmt.Errorf("combine: shard partial transcript root truncated")
+			}
+			out.HasTranscript = true
+			copy(out.TranscriptRoot[:], rest[1:33])
+			rest = rest[33:]
+		default:
+			return Partial{}, fmt.Errorf("combine: shard partial transcript flag %d", rest[0])
+		}
+	}
 	if len(rest) != 0 {
 		return Partial{}, fmt.Errorf("combine: shard partial: %d trailing bytes", len(rest))
 	}
@@ -213,12 +247,29 @@ func EncodeReport(r *RoundReport) ([]byte, error) {
 			return nil, err
 		}
 	}
+	if len(r.StaleRounds) > maxCombineElems {
+		return nil, fmt.Errorf("combine: %d stale entries exceed wire cap", len(r.StaleRounds))
+	}
+	binary.LittleEndian.PutUint32(cnt[:], uint32(len(r.StaleRounds)))
+	out = append(out, cnt[:]...)
+	staleShards := make([]uint64, 0, len(r.StaleRounds))
+	for shard := range r.StaleRounds {
+		staleShards = append(staleShards, shard)
+	}
+	sort.Slice(staleShards, func(i, j int) bool { return staleShards[i] < staleShards[j] })
+	for _, shard := range staleShards {
+		var b [8]byte
+		binary.LittleEndian.PutUint64(b[:], shard)
+		out = append(out, b[:]...)
+		binary.LittleEndian.PutUint64(b[:], r.StaleRounds[shard])
+		out = append(out, b[:]...)
+	}
 	return out, nil
 }
 
 // DecodeReport decodes a combiner round report.
 func DecodeReport(p []byte) (*RoundReport, error) {
-	round, rest, err := decodeHeader(p, tagReport, "round report")
+	round, ver, rest, err := decodeHeader(p, tagReport, "round report")
 	if err != nil {
 		return nil, err
 	}
@@ -267,6 +318,30 @@ func DecodeReport(p []byte) (*RoundReport, error) {
 			return nil, fmt.Errorf("combine: removal entry %d: %w", i, err)
 		}
 		r.RemovedComponents[shard] = uint64sToInts(ks)
+	}
+	if ver >= 2 {
+		if len(rest) < 4 {
+			return nil, fmt.Errorf("combine: round report stale header truncated")
+		}
+		n := int(binary.LittleEndian.Uint32(rest))
+		rest = rest[4:]
+		if n > maxCombineElems {
+			return nil, fmt.Errorf("combine: declared %d stale entries exceed wire cap", n)
+		}
+		if n > len(rest)/16 {
+			return nil, fmt.Errorf("combine: declared %d stale entries exceed payload", n)
+		}
+		if n > 0 {
+			r.StaleRounds = make(map[uint64]uint64, n)
+			for i := 0; i < n; i++ {
+				shard := binary.LittleEndian.Uint64(rest)
+				if _, dup := r.StaleRounds[shard]; dup {
+					return nil, fmt.Errorf("combine: duplicate stale entry for shard %d", shard)
+				}
+				r.StaleRounds[shard] = binary.LittleEndian.Uint64(rest[8:])
+				rest = rest[16:]
+			}
+		}
 	}
 	if len(rest) != 0 {
 		return nil, fmt.Errorf("combine: round report: %d trailing bytes", len(rest))

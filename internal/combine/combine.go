@@ -54,6 +54,12 @@ type Partial struct {
 	// subtracted for its own dropout count (noise-share accounting; empty
 	// without XNoise).
 	RemovedComponents []int
+	// TranscriptRoot, with HasTranscript, carries the shard's signed round
+	// transcript root (internal/transcript): the combiner commits it as a
+	// leaf of its own tree, which is what lets a client proof span both
+	// tiers. Shards without the transcript layer leave it unset.
+	TranscriptRoot [32]byte
+	HasTranscript  bool
 }
 
 // Sentinel errors the drivers classify on. Both are soft at the wire
@@ -63,6 +69,12 @@ var (
 	ErrDuplicatePartial = errors.New("combine: duplicate partial for shard")
 	ErrStalePartial     = errors.New("combine: stale partial (round mismatch)")
 	ErrUnknownShard     = errors.New("combine: partial from unknown shard")
+	// ErrRoundSealed names a partial arriving after Seal produced the
+	// report. Unlike the soft sentinels above it is not a discard-and-move-
+	// on condition for the combiner's own state machine — the report is
+	// final — but wire drivers still classify it as soft (the late shard
+	// already appears in Missing).
+	ErrRoundSealed = errors.New("combine: partial after the round was sealed")
 )
 
 // Combiner folds shard partials for one round. It is not internally
@@ -74,6 +86,15 @@ type Combiner struct {
 	order  []uint64 // expected shard ids, ascending
 	quorum int
 	got    map[uint64]Partial
+	// stale records round-mismatched partials by shard (shard → the round
+	// the partial claimed), so a stale arrival is named in the RoundReport
+	// instead of degrading silently: an operator reading the report can
+	// tell "shard 3 is alive but a round behind" from "shard 3 is dead".
+	stale map[uint64]uint64
+	// sealed is set by Seal; a partial arriving afterwards is a hard
+	// ErrRoundSealed (the report is already out — folding it would fork
+	// the round's history).
+	sealed bool
 }
 
 // New builds a combiner for one round over the given shard aggregator ids.
@@ -105,7 +126,14 @@ func New(round uint64, shardIDs []uint64, quorum int) (*Combiner, error) {
 // mismatches (a shard disagreeing on ring width or dimension) are hard
 // errors.
 func (c *Combiner) Add(p Partial) error {
+	if c.sealed {
+		return fmt.Errorf("%w: shard %d", ErrRoundSealed, p.Shard)
+	}
 	if p.Round != c.round {
+		if c.stale == nil {
+			c.stale = make(map[uint64]uint64)
+		}
+		c.stale[p.Shard] = p.Round
 		return fmt.Errorf("%w %d: got round %d, want %d", ErrStalePartial, p.Shard, p.Round, c.round)
 	}
 	if !c.expect[p.Shard] {
@@ -136,6 +164,32 @@ func (c *Combiner) Contributed() int { return len(c.got) }
 // can end the collection stage the moment the fold is viable-and-complete.
 func (c *Combiner) QuorumMet() bool { return len(c.got) >= c.quorum }
 
+// StaleRounds returns the round-mismatched arrivals recorded so far
+// (shard → the round its stale partial claimed).
+func (c *Combiner) StaleRounds() map[uint64]uint64 {
+	if len(c.stale) == 0 {
+		return nil
+	}
+	out := make(map[uint64]uint64, len(c.stale))
+	for k, v := range c.stale {
+		out[k] = v
+	}
+	return out
+}
+
+// TranscriptRoots returns the transcript roots the contributing shards'
+// partials carried (shard → root) — the leaves of the combiner-tier
+// transcript tree. Shards without the transcript layer are absent.
+func (c *Combiner) TranscriptRoots() map[uint64][32]byte {
+	out := make(map[uint64][32]byte)
+	for id, p := range c.got {
+		if p.HasTranscript {
+			out[id] = p.TranscriptRoot
+		}
+	}
+	return out
+}
+
 // RoundReport is the combiner's output: the folded aggregate plus the
 // shard- and client-level accounting. A Degraded report is a *successful*
 // round over a reduced cohort — the two-level analogue of a client
@@ -158,15 +212,26 @@ type RoundReport struct {
 	// accounting (shard id → component indices), so a DP auditor can
 	// check the per-shard removals compose to the central contract.
 	RemovedComponents map[uint64][]int
+	// StaleRounds names the shards whose partials were discarded for a
+	// round mismatch (shard → the round the stale partial claimed). Such a
+	// shard also appears in Missing unless its real partial arrived later;
+	// naming the mismatch here turns a silent degrade into a diagnosable
+	// condition (ErrStalePartial's report-level counterpart).
+	StaleRounds map[uint64]uint64
 }
 
 // Seal folds the collected partials. It fails only below quorum; missing
 // shards above it degrade the report instead.
 func (c *Combiner) Seal() (*RoundReport, error) {
 	if len(c.got) < c.quorum {
+		if len(c.stale) > 0 {
+			return nil, fmt.Errorf("combine: %d of %d shard partials, quorum %d (%d stale arrivals discarded: %w)",
+				len(c.got), len(c.order), c.quorum, len(c.stale), ErrStalePartial)
+		}
 		return nil, fmt.Errorf("combine: %d of %d shard partials, quorum %d", len(c.got), len(c.order), c.quorum)
 	}
-	r := &RoundReport{Round: c.round, RemovedComponents: make(map[uint64][]int)}
+	c.sealed = true
+	r := &RoundReport{Round: c.round, RemovedComponents: make(map[uint64][]int), StaleRounds: c.StaleRounds()}
 	addends := make([]ring.Vector, 0, len(c.got))
 	for _, id := range c.order {
 		p, ok := c.got[id]

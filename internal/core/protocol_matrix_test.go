@@ -1,0 +1,37 @@
+package core
+
+import "testing"
+
+// TestResolveProtocolMatrix is the exhaustive table for the substrate
+// resolution rule: ProtocolAuto switches exactly at SecAggPlusAutoMin,
+// and every pinned protocol passes through unchanged at any n —
+// including ProtocolLightSecAgg, which auto never resolves to on its own.
+func TestResolveProtocolMatrix(t *testing.T) {
+	cases := []struct {
+		name string
+		p    Protocol
+		n    int
+		want Protocol
+	}{
+		{"auto/n=0", ProtocolAuto, 0, ProtocolSecAgg},
+		{"auto/n=1", ProtocolAuto, 1, ProtocolSecAgg},
+		{"auto/below-boundary", ProtocolAuto, SecAggPlusAutoMin - 1, ProtocolSecAgg},
+		{"auto/at-boundary", ProtocolAuto, SecAggPlusAutoMin, ProtocolSecAggPlus},
+		{"auto/above-boundary", ProtocolAuto, SecAggPlusAutoMin + 1, ProtocolSecAggPlus},
+		{"auto/large", ProtocolAuto, 100000, ProtocolSecAggPlus},
+
+		{"pinned-secagg/small", ProtocolSecAgg, 2, ProtocolSecAgg},
+		{"pinned-secagg/large", ProtocolSecAgg, 100000, ProtocolSecAgg},
+		{"pinned-secagg+/small", ProtocolSecAggPlus, 2, ProtocolSecAggPlus},
+		{"pinned-secagg+/at-boundary", ProtocolSecAggPlus, SecAggPlusAutoMin, ProtocolSecAggPlus},
+		{"pinned-lightsecagg/small", ProtocolLightSecAgg, 2, ProtocolLightSecAgg},
+		{"pinned-lightsecagg/large", ProtocolLightSecAgg, 100000, ProtocolLightSecAgg},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := ResolveProtocol(tc.p, tc.n); got != tc.want {
+				t.Fatalf("ResolveProtocol(%v, %d) = %v, want %v", tc.p, tc.n, got, tc.want)
+			}
+		})
+	}
+}

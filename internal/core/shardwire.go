@@ -10,6 +10,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/ring"
 	"repro/internal/secagg"
+	"repro/internal/transcript"
 	"repro/internal/transport"
 )
 
@@ -36,6 +37,13 @@ type CombinerConfig struct {
 	// message source outlives this call (multi-round combiner
 	// deployments); nil builds one over conn for this round.
 	Engine *engine.Engine
+	// Transcript, when non-nil, builds the combiner-tier transcript after
+	// the report (internal/transcript): each contributing shard's round
+	// root — carried on its partial — becomes a leaf of the combiner's
+	// tree, the tier root is signed and chained, and every contributing
+	// shard receives an engine.TagCombineTranscript frame bundling the
+	// commitment with its own inclusion proof, for relay to its clients.
+	Transcript *transcript.Recorder
 }
 
 // RunCombiner drives the root-combiner side of one two-level round: it
@@ -111,11 +119,14 @@ func RunCombiner(ctx context.Context, cfg CombinerConfig, conn transport.ServerC
 				return nil
 			case errors.Is(err, combine.ErrStalePartial),
 				errors.Is(err, combine.ErrDuplicatePartial),
-				errors.Is(err, combine.ErrUnknownShard):
+				errors.Is(err, combine.ErrUnknownShard),
+				errors.Is(err, combine.ErrRoundSealed):
 				// Soft: the frame is discarded. If it shadowed the
 				// sender's real partial (the engine dedups senders at
 				// admission), that shard ends up missing — degraded, not
-				// aborted.
+				// aborted. Stale rounds are no longer silent: the combiner
+				// records them and the RoundReport names them
+				// (RoundReport.StaleRounds).
 				return nil
 			default:
 				return err // geometry divergence: the fold would be garbage
@@ -135,7 +146,42 @@ func RunCombiner(ctx context.Context, cfg CombinerConfig, conn transport.ServerC
 		return nil, err
 	}
 	broadcast(conn, cfg.ShardIDs, engine.TagCombineReport, payload)
+	if cfg.Transcript != nil {
+		if err := emitCombineTranscript(cfg.Transcript, cfg.Round, comb, conn); err != nil {
+			return nil, fmt.Errorf("core: combiner transcript: %w", err)
+		}
+	}
 	return report, nil
+}
+
+// emitCombineTranscript builds, chains, and ships the combiner-tier
+// transcript after the report: the contributing shards' roots become the
+// tree's leaves and each shard gets one frame bundling the signed
+// commitment with its own inclusion proof.
+func emitCombineTranscript(rec *transcript.Recorder, round uint64, comb *combine.Combiner, conn transport.ServerConn) error {
+	roots := comb.TranscriptRoots()
+	shards := make([]transcript.ShardRoot, 0, len(roots))
+	for id, root := range roots {
+		shards = append(shards, transcript.ShardRoot{Shard: id, Root: root})
+	}
+	ct, err := rec.BuildCombineRound(round, shards)
+	if err != nil {
+		return err
+	}
+	for id := range roots {
+		pr, err := ct.ProofFor(id)
+		if err != nil {
+			continue
+		}
+		payload, err := transcript.EncodeCombineTier(&transcript.CombineTierMsg{
+			Commitment: ct.Commitment, Proof: *pr,
+		})
+		if err != nil {
+			return err
+		}
+		_ = conn.SendTo(id, transport.Frame{Stage: engine.TagCombineTranscript, Payload: payload})
+	}
+	return nil
 }
 
 // ShardWireConfig configures one shard aggregator of the wire topology:
@@ -157,6 +203,13 @@ type ShardWireConfig struct {
 	// ReportDeadline bounds the wait for the combiner's folded report
 	// after the partial is sent (0 = 2s).
 	ReportDeadline time.Duration
+	// RelayCombineTranscript, with Server.Transcript set, makes the shard
+	// block (within ReportDeadline) for the combiner-tier transcript
+	// frame that follows the report and relay it to every surviving
+	// client — completing the two-tier audit path. It requires the
+	// combiner to run its own transcript recorder; enabling it against a
+	// transcript-less combiner times the round out.
+	RelayCombineTranscript bool
 }
 
 // RunShardWire runs the shard-aggregator role of one two-level round:
@@ -178,12 +231,21 @@ func RunShardWire(ctx context.Context, cfg ShardWireConfig, clients transport.Se
 	if err != nil {
 		return nil, nil, fmt.Errorf("core: shard %d round: %w", cfg.Shard, err)
 	}
-	payload, err := combine.EncodePartial(combine.Partial{
+	partial := combine.Partial{
 		Shard: cfg.Shard, Round: cfg.Round,
 		Sum:       ring.Vector{Bits: cfg.Server.SecAgg.Bits, Data: res.Sum},
 		Survivors: res.Survivors, Dropped: res.Dropped,
 		RemovedComponents: res.RemovedComponents,
-	})
+	}
+	if cfg.Server.Transcript != nil {
+		// The shard's chain tip is the round root RunWireServer just
+		// committed; the combiner folds it into its own tree.
+		if tip, ok := cfg.Server.Transcript.Tip(); ok {
+			partial.TranscriptRoot = tip
+			partial.HasTranscript = true
+		}
+	}
+	payload, err := combine.EncodePartial(partial)
 	if err != nil {
 		return nil, res, err
 	}
@@ -192,7 +254,8 @@ func RunShardWire(ctx context.Context, cfg ShardWireConfig, clients transport.Se
 	}
 	waitCtx, cancel := context.WithTimeout(ctx, cfg.ReportDeadline)
 	defer cancel()
-	for {
+	var report *combine.RoundReport
+	for report == nil {
 		f, err := up.Recv(waitCtx)
 		if err != nil {
 			return nil, res, fmt.Errorf("core: shard %d awaiting report: %w", cfg.Shard, err)
@@ -200,13 +263,30 @@ func RunShardWire(ctx context.Context, cfg ShardWireConfig, clients transport.Se
 		if f.Stage != engine.TagCombineReport {
 			continue // stale combiner traffic
 		}
-		report, err := combine.DecodeReport(f.Payload)
+		r, err := combine.DecodeReport(f.Payload)
 		if err != nil {
 			return nil, res, err
 		}
-		if report.Round != cfg.Round {
+		if r.Round != cfg.Round {
 			continue
 		}
-		return report, res, nil
+		report = r
 	}
+	if cfg.RelayCombineTranscript && cfg.Server.Transcript != nil {
+		// The combiner-tier frame follows the report on the same ordered
+		// connection; relay it verbatim to every surviving client so each
+		// can verify its shard's place in the combiner's tree.
+		for {
+			f, err := up.Recv(waitCtx)
+			if err != nil {
+				return report, res, fmt.Errorf("core: shard %d awaiting combiner transcript: %w", cfg.Shard, err)
+			}
+			if f.Stage != engine.TagCombineTranscript {
+				continue
+			}
+			broadcast(clients, res.Survivors, engine.TagCombineTranscript, f.Payload)
+			break
+		}
+	}
+	return report, res, nil
 }

@@ -1,0 +1,641 @@
+package core
+
+import (
+	"context"
+	"crypto/rand"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/combine"
+	"repro/internal/engine"
+	"repro/internal/ring"
+	"repro/internal/secagg"
+	"repro/internal/sig"
+	"repro/internal/transcript"
+	"repro/internal/transport"
+)
+
+// TestTranscriptWireVerifyTCP is the flat-deployment acceptance test for
+// the verifiable-transcript layer: a round over real TCP in which every
+// surviving client receives the signed round commitment plus its own
+// inclusion proof and verifies both before RunWireClient returns. A
+// client that dropped mid-round gets no proof and audits nothing. Run
+// under -race in CI (transcript step).
+func TestTranscriptWireVerifyTCP(t *testing.T) {
+	const n, dim = 5, 16
+	signer, err := sig.NewSigner(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	saCfg := secagg.Config{
+		Round: 41, ClientIDs: []uint64{1, 2, 3, 4, 5}, Threshold: 3, Bits: 16, Dim: dim,
+	}
+
+	srv, err := transport.ListenTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	conns := make(map[uint64]transport.ClientConn, n)
+	for i := 1; i <= n; i++ {
+		c, err := transport.DialTCP(srv.Addr(), uint64(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		conns[uint64(i)] = c
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for len(srv.Clients()) < n && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	auditors := make(map[uint64]*transcript.Auditor, n)
+	var wg sync.WaitGroup
+	for i := 1; i <= n; i++ {
+		id := uint64(i)
+		auditors[id] = transcript.NewAuditor(signer.Public())
+		input := ring.NewVector(16, dim)
+		for j := range input.Data {
+			input.Data[j] = id
+		}
+		cfg := WireClientConfig{
+			SecAgg: saCfg, ID: id, Input: input, DropBefore: NoDrop, Rand: rand.Reader,
+			Transcript: auditors[id],
+		}
+		if id == 4 {
+			cfg.DropBefore = secagg.StageMaskedInput
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := RunWireClient(ctx, cfg, conns[id]); err != nil && id != 4 {
+				t.Errorf("client %d: %v", id, err)
+			}
+		}()
+	}
+
+	rec := transcript.NewRecorder(signer)
+	res, err := RunWireServer(ctx, WireServerConfig{
+		SecAgg: saCfg, StageDeadline: 2 * time.Second, Transcript: rec,
+	}, srv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+
+	survivors := []uint64{1, 2, 3, 5}
+	if len(res.Survivors) != len(survivors) {
+		t.Fatalf("survivors = %v, want %v", res.Survivors, survivors)
+	}
+	for i, v := range res.Sum {
+		if v != 1+2+3+5 {
+			t.Fatalf("sum[%d] = %d, want %d", i, v, 1+2+3+5)
+		}
+	}
+	tip, ok := rec.Tip()
+	if !ok {
+		t.Fatal("server recorder has no chain tip after the round")
+	}
+	for _, id := range survivors {
+		h := auditors[id].History()
+		if len(h) != 1 {
+			t.Fatalf("client %d audited %d rounds, want 1", id, len(h))
+		}
+		if h[0].Round != saCfg.Round {
+			t.Fatalf("client %d audited round %d, want %d", id, h[0].Round, saCfg.Round)
+		}
+		if h[0].Root != tip {
+			t.Fatalf("client %d verified root diverges from the server's chain tip", id)
+		}
+	}
+	if h := auditors[4].History(); len(h) != 0 {
+		t.Fatalf("dropped client audited %d rounds, want 0", len(h))
+	}
+}
+
+// TestTranscriptWireWrongKeyFailsRound pins the failure mode over the
+// wire: a client whose auditor pins the wrong server key must fail its
+// round with ErrBadSignature — a round whose transcript the client cannot
+// verify is not a clean completion — while everyone else completes.
+func TestTranscriptWireWrongKeyFailsRound(t *testing.T) {
+	const n, dim = 3, 8
+	signer, err := sig.NewSigner(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrong, err := sig.NewSigner(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	saCfg := secagg.Config{
+		Round: 42, ClientIDs: []uint64{1, 2, 3}, Threshold: 2, Bits: 16, Dim: dim,
+	}
+	net := transport.NewMemoryNetwork(256)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	var wg sync.WaitGroup
+	for i := 1; i <= n; i++ {
+		id := uint64(i)
+		conn, err := net.Connect(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pub := signer.Public()
+		if id == 3 {
+			pub = wrong.Public()
+		}
+		aud := transcript.NewAuditor(pub)
+		input := ring.NewVector(16, dim)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, err := RunWireClient(ctx, WireClientConfig{
+				SecAgg: saCfg, ID: id, Input: input, DropBefore: NoDrop, Rand: rand.Reader,
+				Transcript: aud,
+			}, conn)
+			if id == 3 {
+				if !errors.Is(err, transcript.ErrBadSignature) {
+					t.Errorf("wrong-key client error = %v, want ErrBadSignature", err)
+				}
+				return
+			}
+			if err != nil {
+				t.Errorf("client %d: %v", id, err)
+			}
+		}()
+	}
+	if _, err := RunWireServer(ctx, WireServerConfig{
+		SecAgg: saCfg, StageDeadline: 2 * time.Second, Transcript: transcript.NewRecorder(signer),
+	}, net.Server()); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+}
+
+// transcriptRig is the multi-round transcript harness: a handshake-driven
+// wire deployment (modeled on handshakeRig) in which the server chains
+// rounds through one Recorder and every client audits through its own
+// Auditor, with restart hooks on both sides.
+type transcriptRig struct {
+	t         *testing.T
+	ids       []uint64
+	threshold int
+	dim       int
+	net       *transport.MemoryNetwork
+	srv       transport.ServerConn
+	eng       *engine.Engine
+	ctx       context.Context
+	cancel    context.CancelFunc
+
+	signer     *sig.Signer
+	serverSess *secagg.ServerSession
+	recorder   *transcript.Recorder
+	clientSess map[uint64]*secagg.Session
+	auditors   map[uint64]*transcript.Auditor
+	conns      map[uint64]transport.ClientConn
+}
+
+func newTranscriptRig(t *testing.T, ids []uint64, threshold, dim int) *transcriptRig {
+	t.Helper()
+	signer, err := sig.NewSigner(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := transport.NewMemoryNetwork(256)
+	srv := net.Server()
+	ctx, cancel := context.WithCancel(context.Background())
+	t.Cleanup(cancel)
+	rig := &transcriptRig{
+		t: t, ids: ids, threshold: threshold, dim: dim,
+		net: net, srv: srv,
+		eng: engine.New(engine.TransportSource(ctx, srv)),
+		ctx: ctx, cancel: cancel,
+		signer:     signer,
+		serverSess: secagg.NewServerSession(),
+		recorder:   transcript.NewRecorder(signer),
+		clientSess: make(map[uint64]*secagg.Session),
+		auditors:   make(map[uint64]*transcript.Auditor),
+		conns:      make(map[uint64]transport.ClientConn),
+	}
+	for _, id := range ids {
+		sess, err := secagg.NewSession(rand.Reader)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rig.clientSess[id] = sess
+		rig.auditors[id] = transcript.NewAuditor(signer.Public())
+		rig.connect(id)
+	}
+	return rig
+}
+
+func (r *transcriptRig) connect(id uint64) {
+	conn, err := r.net.Connect(id)
+	if err != nil {
+		r.t.Fatal(err)
+	}
+	r.conns[id] = conn
+}
+
+// restartServer simulates an aggregator process restart: the session and
+// the transcript chain go through their binary persistence round trip,
+// everything else in server memory is notionally lost. The signer is key
+// material the deployment manages separately.
+func (r *transcriptRig) restartServer() {
+	r.t.Helper()
+	sessBlob, err := r.serverSess.MarshalBinary()
+	if err != nil {
+		r.t.Fatal(err)
+	}
+	restored, err := secagg.UnmarshalServerSession(sessBlob)
+	if err != nil {
+		r.t.Fatal(err)
+	}
+	r.serverSess = restored
+	chainBlob, err := r.recorder.MarshalBinary()
+	if err != nil {
+		r.t.Fatal(err)
+	}
+	rec, err := transcript.UnmarshalRecorder(chainBlob, r.signer)
+	if err != nil {
+		r.t.Fatal(err)
+	}
+	r.recorder = rec
+}
+
+// restartClient kills a client between rounds: session AND audit history
+// are lost (a process kill without a store loses both) and it re-dials,
+// which downgrades the next handshake to a per-edge re-key of exactly
+// this client.
+func (r *transcriptRig) restartClient(id uint64) {
+	r.t.Helper()
+	r.conns[id].Close()
+	sess, err := secagg.NewSession(rand.Reader)
+	if err != nil {
+		r.t.Fatal(err)
+	}
+	r.clientSess[id] = sess
+	r.auditors[id] = transcript.NewAuditor(r.signer.Public())
+	r.connect(id)
+}
+
+func (r *transcriptRig) config(round, ratchet uint64) secagg.Config {
+	return secagg.Config{
+		Round: round, ClientIDs: r.ids, Threshold: r.threshold,
+		Bits: 16, Dim: r.dim, KeyRatchet: ratchet,
+	}
+}
+
+func (r *transcriptRig) round(round uint64) (Handshake, *secagg.Result) {
+	r.t.Helper()
+	var wg sync.WaitGroup
+	for _, id := range r.ids {
+		id := id
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sess := r.clientSess[id]
+			conn := r.conns[id]
+			hs, err := RunHandshakeClient(r.ctx, ClientHandshakeConfig{
+				ID: id, Protocol: ProtocolSecAgg, ServerPub: r.signer.Public(), Rand: rand.Reader,
+			}, sess, conn)
+			if err != nil {
+				r.t.Errorf("client %d handshake: %v", id, err)
+				return
+			}
+			input := ring.NewVector(16, r.dim)
+			for i := range input.Data {
+				input.Data[i] = id
+			}
+			_, err = RunWireClient(r.ctx, WireClientConfig{
+				SecAgg: r.config(hs.Round, hs.Ratchet), ID: id, Input: input,
+				DropBefore: NoDrop, Rand: rand.Reader,
+				Session: sess, Resume: hs.Resume, Divergent: hs.Divergent,
+				Transcript: r.auditors[id],
+			}, conn)
+			if err != nil {
+				r.t.Errorf("client %d round: %v", id, err)
+			}
+		}()
+	}
+
+	hs, err := RunHandshakeServer(r.ctx, HandshakeConfig{
+		Round: round, Protocol: ProtocolSecAgg, ClientIDs: r.ids,
+		KeyRounds: 16, Deadline: 10 * time.Second, Signer: r.signer,
+	}, r.serverSess, r.eng, r.srv)
+	if err != nil {
+		r.cancel()
+		wg.Wait()
+		r.t.Fatalf("server handshake %d: %v", round, err)
+	}
+	res, err := RunWireServer(r.ctx, WireServerConfig{
+		SecAgg: r.config(hs.Round, hs.Ratchet), StageDeadline: 5 * time.Second,
+		Session: r.serverSess, Resume: hs.Resume, Divergent: hs.Divergent, Engine: r.eng,
+		Transcript: r.recorder,
+	}, r.srv)
+	if err != nil {
+		r.cancel()
+		wg.Wait()
+		r.t.Fatalf("server round %d: %v", round, err)
+	}
+	wg.Wait()
+	return hs, res
+}
+
+func (r *transcriptRig) checkSum(res *secagg.Result, survivors []uint64) {
+	r.t.Helper()
+	var want uint64
+	for _, id := range survivors {
+		want += id
+	}
+	for i, v := range res.Sum {
+		if v != want {
+			r.t.Fatalf("sum[%d] = %d, want %d (survivors %v)", i, v, want, survivors)
+		}
+	}
+}
+
+// TestTranscriptChainAuditRestartRekey is the multi-round acceptance
+// test: three chained rounds in which the aggregator restarts between
+// rounds 1 and 2 (chain persisted through MarshalBinary/UnmarshalRecorder,
+// so the restarted server keeps extending the same history) and a client
+// restarts between rounds 2 and 3 (downgrading round 3 to a per-edge
+// partial re-key of exactly that client). Every surviving auditor must
+// hold three chained roots agreeing with the server's tip; the restarted
+// client re-joins the chain from its divergent round. Run under -race in
+// CI (transcript step).
+func TestTranscriptChainAuditRestartRekey(t *testing.T) {
+	ids := []uint64{1, 2, 3, 4, 5}
+	rig := newTranscriptRig(t, ids, 3, 8)
+
+	// Round 1: no shared state — full re-key, first chain link.
+	hs, res := rig.round(1)
+	if hs.Resume {
+		t.Fatal("round 1 resumed with no prior state")
+	}
+	rig.checkSum(res, ids)
+	tip1, ok := rig.recorder.Tip()
+	if !ok {
+		t.Fatal("no chain tip after round 1")
+	}
+
+	// The aggregator restarts; the persisted chain must keep the roots
+	// linking across the gap.
+	rig.restartServer()
+
+	// Round 2: full resume (the restored session answers the state hash),
+	// and the new root chains to round 1's.
+	hs, res = rig.round(2)
+	if !hs.Resume || hs.Partial() {
+		t.Fatalf("round 2 = resume %v partial %v, want a full resume", hs.Resume, hs.Partial())
+	}
+	rig.checkSum(res, ids)
+
+	// Client 5 process-restarts: session and audit history both lost.
+	rig.restartClient(5)
+
+	// Round 3: per-edge partial re-key of exactly the churned client.
+	hs, res = rig.round(3)
+	if !hs.Partial() || len(hs.Divergent) != 1 || hs.Divergent[0] != 5 {
+		t.Fatalf("round 3 = resume %v divergent %v, want a partial re-key of [5]", hs.Resume, hs.Divergent)
+	}
+	rig.checkSum(res, ids)
+
+	// Audit: clients 1-4 hold three chained roots (chain continuity was
+	// enforced by each VerifyRound), starting at the round-1 tip, with
+	// strictly increasing rounds, and all agreeing with each other.
+	ref := rig.auditors[1].History()
+	if len(ref) != 3 {
+		t.Fatalf("client 1 audited %d rounds, want 3", len(ref))
+	}
+	if ref[0].Root != tip1 {
+		t.Fatal("client 1 round-1 root diverges from the pre-restart server tip")
+	}
+	for i := 1; i < len(ref); i++ {
+		if ref[i].Round <= ref[i-1].Round {
+			t.Fatalf("audit history rounds not increasing: %+v", ref)
+		}
+	}
+	for _, id := range []uint64{2, 3, 4} {
+		h := rig.auditors[id].History()
+		if len(h) != 3 {
+			t.Fatalf("client %d audited %d rounds, want 3", id, len(h))
+		}
+		for i := range h {
+			if h[i] != ref[i] {
+				t.Fatalf("client %d history[%d] = %+v, client 1 saw %+v", id, i, h[i], ref[i])
+			}
+		}
+	}
+	// The restarted client audits only the round it rejoined, and it
+	// verified the same root everyone else did.
+	h5 := rig.auditors[5].History()
+	if len(h5) != 1 || h5[0] != ref[2] {
+		t.Fatalf("restarted client history = %+v, want exactly %+v", h5, ref[2])
+	}
+	// The server's post-restart tip is the last audited root.
+	tip, _ := rig.recorder.Tip()
+	if tip != ref[2].Root {
+		t.Fatal("server chain tip diverges from the audited round-3 root")
+	}
+}
+
+// TestTranscriptMissingTierBoundedWait pins the liveness contract of the
+// post-result audit: the wait for transcript frames is bounded by
+// TranscriptDeadline. A shard whose partial misses the combiner's quorum
+// holds no place in the fold, so no combiner-tier proof ever reaches its
+// clients — they must fail the audit loudly (their contribution is NOT in
+// the global aggregate) instead of hanging the round, which is exactly
+// what an unbounded wait did to shardtest when one shard missed quorum.
+func TestTranscriptMissingTierBoundedWait(t *testing.T) {
+	const dim = 8
+	signer, err := sig.NewSigner(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	saCfg := secagg.Config{
+		Round: 43, ClientIDs: []uint64{1, 2, 3}, Threshold: 2, Bits: 16, Dim: dim,
+	}
+	net := transport.NewMemoryNetwork(256)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	var wg sync.WaitGroup
+	for i := 1; i <= 3; i++ {
+		id := uint64(i)
+		conn, err := net.Connect(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		aud := transcript.NewAuditor(signer.Public())
+		caud := transcript.NewCombineAuditor(signer.Public())
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// The server sends the tier-1 frames but, like a shard whose
+			// partial missed the fold, never relays a combiner tier.
+			_, err := RunWireClient(ctx, WireClientConfig{
+				SecAgg: saCfg, ID: id, Input: ring.NewVector(16, dim),
+				DropBefore: NoDrop, Rand: rand.Reader,
+				Transcript: aud, CombineTranscript: caud,
+				TranscriptDeadline: 500 * time.Millisecond,
+			}, conn)
+			if !errors.Is(err, context.DeadlineExceeded) {
+				t.Errorf("client %d error = %v, want context.DeadlineExceeded", id, err)
+			}
+			// Tier 1 verified before the bounded wait expired; tier 2 never did.
+			if len(aud.History()) != 1 {
+				t.Errorf("client %d tier-1 history = %d rounds, want 1", id, len(aud.History()))
+			}
+			if len(caud.History()) != 0 {
+				t.Errorf("client %d tier-2 history = %d rounds, want 0", id, len(caud.History()))
+			}
+		}()
+	}
+	if _, err := RunWireServer(ctx, WireServerConfig{
+		SecAgg: saCfg, StageDeadline: 2 * time.Second, Transcript: transcript.NewRecorder(signer),
+	}, net.Server()); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+}
+
+// TestTranscriptTwoTierShardedVerify is the sharded acceptance test: two
+// shard aggregators each run a transcripted round, their roots ride the
+// partials into the combiner's tree, and every client verifies BOTH tiers
+// — its own inclusion in the shard transcript, then the shard root's
+// inclusion in the combiner-signed tier commitment relayed back down.
+func TestTranscriptTwoTierShardedVerify(t *testing.T) {
+	const shards, perShard, dim = 2, 4, 8
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	combSigner, err := sig.NewSigner(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	combRec := transcript.NewRecorder(combSigner)
+	combNet := transport.NewMemoryNetwork(64)
+
+	type shardState struct {
+		rec      *transcript.Recorder
+		auditors map[uint64]*transcript.Auditor
+		tier2    map[uint64]*transcript.CombineAuditor
+		reports  chan *combine.RoundReport
+		errs     chan error
+		wg       *sync.WaitGroup
+	}
+	states := make([]*shardState, shards)
+	for s := 0; s < shards; s++ {
+		up, err := combNet.Connect(uint64(s))
+		if err != nil {
+			t.Fatal(err)
+		}
+		shardSigner, err := sig.NewSigner(rand.Reader)
+		if err != nil {
+			t.Fatal(err)
+		}
+		saCfg := secagg.Config{
+			Round: 7100 + uint64(s), ClientIDs: shardRoster(s, perShard),
+			Threshold: 3, Bits: 16, Dim: dim,
+		}
+		st := &shardState{
+			rec:      transcript.NewRecorder(shardSigner),
+			auditors: make(map[uint64]*transcript.Auditor),
+			tier2:    make(map[uint64]*transcript.CombineAuditor),
+			reports:  make(chan *combine.RoundReport, 1),
+			errs:     make(chan error, 1),
+			wg:       &sync.WaitGroup{},
+		}
+		states[s] = st
+		net := transport.NewMemoryNetwork(256)
+		for _, id := range saCfg.ClientIDs {
+			conn, err := net.Connect(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			id := id
+			aud := transcript.NewAuditor(shardSigner.Public())
+			tier2 := transcript.NewCombineAuditor(combSigner.Public())
+			st.auditors[id] = aud
+			st.tier2[id] = tier2
+			st.wg.Add(1)
+			go func() {
+				defer st.wg.Done()
+				input := ring.NewVector(16, dim)
+				for j := range input.Data {
+					input.Data[j] = 1
+				}
+				_, err := RunWireClient(ctx, WireClientConfig{
+					SecAgg: saCfg, ID: id, Input: input, DropBefore: NoDrop, Rand: rand.Reader,
+					Transcript: aud, CombineTranscript: tier2,
+				}, conn)
+				if err != nil {
+					t.Errorf("client %d: %v", id, err)
+				}
+			}()
+		}
+		shard := uint64(s)
+		st.wg.Add(1)
+		go func() {
+			defer st.wg.Done()
+			report, _, err := RunShardWire(ctx, ShardWireConfig{
+				Shard: shard, Round: 71,
+				Server: WireServerConfig{
+					SecAgg: saCfg, StageDeadline: 2 * time.Second, Transcript: st.rec,
+				},
+				ReportDeadline:         10 * time.Second,
+				RelayCombineTranscript: true,
+			}, net.Server(), up)
+			st.reports <- report
+			st.errs <- err
+		}()
+	}
+
+	report, err := RunCombiner(ctx, CombinerConfig{
+		Round: 71, ShardIDs: []uint64{0, 1}, AwaitHellos: true,
+		StageDeadline: 10 * time.Second, Transcript: combRec,
+	}, combNet.Server())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Degraded || len(report.Survivors) != shards*perShard {
+		t.Fatalf("clean sharded round degraded: %+v", report)
+	}
+	for _, st := range states {
+		st.wg.Wait()
+		if err := <-st.errs; err != nil {
+			t.Fatal(err)
+		}
+		if r := <-st.reports; r == nil || r.Round != 71 {
+			t.Fatalf("shard saw report %+v", r)
+		}
+	}
+
+	combTip, ok := combRec.Tip()
+	if !ok {
+		t.Fatal("combiner recorder has no tip")
+	}
+	for s, st := range states {
+		shardTip, ok := st.rec.Tip()
+		if !ok {
+			t.Fatalf("shard %d recorder has no tip", s)
+		}
+		for id, aud := range st.auditors {
+			h := aud.History()
+			if len(h) != 1 || h[0].Root != shardTip {
+				t.Fatalf("shard %d client %d tier-1 history = %+v, want the shard tip", s, id, h)
+			}
+			h2 := st.tier2[id].History()
+			if len(h2) != 1 || h2[0].Root != combTip {
+				t.Fatalf("shard %d client %d tier-2 history = %+v, want the combiner tip", s, id, h2)
+			}
+		}
+	}
+}

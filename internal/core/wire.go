@@ -11,6 +11,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/ring"
 	"repro/internal/secagg"
+	"repro/internal/transcript"
 	"repro/internal/transport"
 )
 
@@ -91,6 +92,16 @@ type WireServerConfig struct {
 	// the reference path for the straggler-tail benchmarks; deployments
 	// have no reason to set it.
 	NoUnmaskQuorum bool
+
+	// Transcript, when non-nil, turns on the verifiable-transcript layer
+	// (internal/transcript): masked-input digests are captured during the
+	// round (SecAgg.TranscriptDigests is forced on), and after the result
+	// broadcast the recorder builds, signs, and chains the round
+	// transcript, broadcasting the Commitment (engine.TagTranscriptCommit)
+	// to every survivor followed by each survivor's inclusion Proof
+	// (engine.TagTranscriptProof). Multi-round deployments share one
+	// Recorder across rounds so the roots chain.
+	Transcript *transcript.Recorder
 }
 
 // broadcast sends the same payload to every id.
@@ -120,6 +131,9 @@ func RunWireServer(ctx context.Context, cfg WireServerConfig, conn transport.Ser
 	}
 	if cfg.Resume && cfg.Session == nil {
 		return nil, fmt.Errorf("core: resume requires a server session")
+	}
+	if cfg.Transcript != nil {
+		cfg.SecAgg.TranscriptDigests = true
 	}
 	server, err := secagg.NewSessionServer(cfg.SecAgg, cfg.Session)
 	if err != nil {
@@ -333,7 +347,46 @@ func RunWireServer(ctx context.Context, cfg WireServerConfig, conn transport.Ser
 		return nil, err
 	}
 	broadcast(conn, res.Survivors, wireResult, resPayload)
+	if cfg.Transcript != nil {
+		if err := emitTranscript(cfg.Transcript, cfg.SecAgg.Round, roster, server, &res, conn); err != nil {
+			return nil, fmt.Errorf("core: round transcript: %w", err)
+		}
+	}
 	return &res, nil
+}
+
+// emitTranscript builds, chains, and ships the round transcript after the
+// result: the signed Commitment broadcast to every survivor, then each
+// survivor's own inclusion proof. A build or chain failure is a hard
+// error — the server's integrity state is wrong, not a client's problem
+// to degrade around — while a send failure is the usual vanished-client
+// soft case.
+func emitTranscript(rec *transcript.Recorder, round uint64, roster []secagg.AdvertiseMsg,
+	server *secagg.Server, res *secagg.Result, conn transport.ServerConn) error {
+	t, err := rec.BuildRound(round, secagg.RosterEntries(roster), server.MaskedDigests())
+	if err != nil {
+		return err
+	}
+	commit, err := transcript.EncodeCommitment(&t.Commitment)
+	if err != nil {
+		return err
+	}
+	broadcast(conn, res.Survivors, engine.TagTranscriptCommit, commit)
+	for _, id := range res.Survivors {
+		pr, err := t.ProofFor(id)
+		if err != nil {
+			// A survivor without a committed digest cannot happen in a
+			// well-formed round (U5 ⊆ U3); skipping keeps the round alive
+			// and that client's own verification will fail loudly.
+			continue
+		}
+		payload, err := transcript.EncodeProof(pr)
+		if err != nil {
+			return err
+		}
+		_ = conn.SendTo(id, transport.Frame{Stage: engine.TagTranscriptProof, Payload: payload})
+	}
+	return nil
 }
 
 // NoDrop marks a wire client that never drops out.
@@ -361,6 +414,29 @@ type WireClientConfig struct {
 	// a re-keyed one; every other client skips advertise but waits for the
 	// merged roster broadcast instead of reusing its cached copy.
 	Divergent []uint64
+
+	// Transcript, when non-nil, turns on client-side transcript
+	// verification (internal/transcript): the client records its own
+	// masked-upload digest (SecAgg.TranscriptDigests is forced on) and,
+	// after the result, blocks for the round Commitment and its own
+	// inclusion Proof, verifying the root signature, its roster and input
+	// inclusion, and chain continuity before RunWireClient returns. A
+	// verification failure fails the round loudly — the aggregate cannot
+	// be trusted. Multi-round deployments share one Auditor so the roots
+	// chain.
+	Transcript *transcript.Auditor
+	// CombineTranscript, with Transcript, additionally blocks for the
+	// combiner-tier frame (engine.TagCombineTranscript, relayed by the
+	// shard aggregator) and verifies this shard's root in the combiner's
+	// tree — the second hop of the two-tier audit.
+	CombineTranscript *transcript.CombineAuditor
+	// TranscriptDeadline bounds the post-result wait for the transcript
+	// frames (0 = 10s). A shard whose partial missed the combiner's
+	// quorum holds no place in the fold, so no combiner-tier proof ever
+	// arrives for its clients — the bounded wait turns that into a loud
+	// audit failure instead of a hung round. (Correctly so: such a
+	// client's contribution is NOT in the global aggregate.)
+	TranscriptDeadline time.Duration
 }
 
 // RunWireClient drives the client side of one round. It returns the
@@ -372,6 +448,9 @@ func RunWireClient(ctx context.Context, cfg WireClientConfig, conn transport.Cli
 	}
 	if cfg.Resume && cfg.Session == nil {
 		return nil, fmt.Errorf("core: resume requires a client session")
+	}
+	if cfg.Transcript != nil {
+		cfg.SecAgg.TranscriptDigests = true
 	}
 	client, err := secagg.NewSessionClient(cfg.SecAgg, cfg.ID, cfg.Input, nil, cfg.Rand, cfg.Session)
 	if err != nil {
@@ -558,6 +637,36 @@ func RunWireClient(ctx context.Context, cfg WireClientConfig, conn transport.Cli
 			if err != nil {
 				return nil, err
 			}
+			// The transcript frames follow the result on the same ordered
+			// connection; a failed audit fails the round before the taint
+			// is cleared — a round whose aggregate the client cannot
+			// verify is not a clean completion. The wait is bounded: an
+			// aggregator that never sends the frames (transcripts off, or
+			// this shard's partial missed the fold) fails the audit
+			// instead of hanging the client.
+			if cfg.Transcript != nil {
+				td := cfg.TranscriptDeadline
+				if td <= 0 {
+					td = 10 * time.Second
+				}
+				tctx, tcancel := context.WithTimeout(ctx, td)
+				recvTranscript := func(stage int) ([]byte, error) {
+					for {
+						f, err := conn.Recv(tctx)
+						if err != nil {
+							return nil, err
+						}
+						if f.Stage == stage {
+							return f.Payload, nil
+						}
+					}
+				}
+				err := verifyClientTranscript(cfg, client, roster, recvTranscript)
+				tcancel()
+				if err != nil {
+					return nil, err
+				}
+			}
 			// Clean completion: the server cannot have reconstructed this
 			// client's mask key, so the session may resume at the next
 			// handshake (the handshake set the taint when the round began).
@@ -567,4 +676,61 @@ func RunWireClient(ctx context.Context, cfg WireClientConfig, conn transport.Cli
 			return &res, nil
 		}
 	}
+}
+
+// verifyClientTranscript runs the client's post-result audit: receive the
+// round Commitment and this client's Proof, check signature + inclusion +
+// chain through the auditor, and (for sharded deployments) the
+// combiner-tier frame through the combine auditor.
+func verifyClientTranscript(cfg WireClientConfig, client *secagg.Client,
+	roster []secagg.AdvertiseMsg, recvFrame func(int) ([]byte, error)) error {
+	commitPayload, err := recvFrame(engine.TagTranscriptCommit)
+	if err != nil {
+		return fmt.Errorf("core: client %d awaiting transcript commitment: %w", cfg.ID, err)
+	}
+	commit, err := transcript.DecodeCommitment(commitPayload)
+	if err != nil {
+		return fmt.Errorf("core: client %d transcript commitment: %w", cfg.ID, err)
+	}
+	proofPayload, err := recvFrame(engine.TagTranscriptProof)
+	if err != nil {
+		return fmt.Errorf("core: client %d awaiting inclusion proof: %w", cfg.ID, err)
+	}
+	proof, err := transcript.DecodeProof(proofPayload)
+	if err != nil {
+		return fmt.Errorf("core: client %d inclusion proof: %w", cfg.ID, err)
+	}
+	var self transcript.RosterEntry
+	found := false
+	for _, m := range roster {
+		if m.From == cfg.ID {
+			self = transcript.RosterEntry{ID: m.From, CipherPub: m.CipherPub, MaskPub: m.MaskPub}
+			found = true
+			break
+		}
+	}
+	if !found {
+		return fmt.Errorf("core: client %d has no roster entry to audit against", cfg.ID)
+	}
+	digest, ok := client.MaskedDigest()
+	if !ok {
+		return fmt.Errorf("core: client %d recorded no masked digest", cfg.ID)
+	}
+	if err := cfg.Transcript.VerifyRound(commit, proof, self, digest); err != nil {
+		return fmt.Errorf("core: client %d transcript audit: %w", cfg.ID, err)
+	}
+	if cfg.CombineTranscript != nil {
+		tierPayload, err := recvFrame(engine.TagCombineTranscript)
+		if err != nil {
+			return fmt.Errorf("core: client %d awaiting combiner-tier transcript: %w", cfg.ID, err)
+		}
+		tier, err := transcript.DecodeCombineTier(tierPayload)
+		if err != nil {
+			return fmt.Errorf("core: client %d combiner-tier transcript: %w", cfg.ID, err)
+		}
+		if err := cfg.CombineTranscript.VerifyTier(&tier.Commitment, &tier.Proof, commit.Root()); err != nil {
+			return fmt.Errorf("core: client %d combiner-tier audit: %w", cfg.ID, err)
+		}
+	}
+	return nil
 }

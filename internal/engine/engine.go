@@ -74,6 +74,18 @@ const (
 	TagCombineReport = 0x52 // combiner → shard aggregators: folded RoundReport
 )
 
+// Transcript frame tags: the verifiable-round integrity layer
+// (internal/transcript). All three are server→client pushes that follow
+// the round result — they never enter a Collect, so they share the
+// reserved space above the round stages purely to keep tag allocation
+// uniform. The payload codecs live in internal/transcript; PROTOCOL.md
+// documents the byte layouts and the audit flow.
+const (
+	TagTranscriptCommit  = 0x60 // server → survivors: signed round Commitment
+	TagTranscriptProof   = 0x61 // server → one survivor: its inclusion Proof
+	TagCombineTranscript = 0x62 // combiner → shard → survivors: combiner-tier commitment + shard proof
+)
+
 // parkable reports whether a mismatched frame should be parked for a
 // later Collect instead of discarded. Only RoundHello qualifies: a client
 // that bounces mid-round re-dials and sends its next hello immediately,

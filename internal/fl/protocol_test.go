@@ -58,3 +58,59 @@ func TestRecommendedProtocolUnderDropout(t *testing.T) {
 		t.Fatalf("small n: got %v, want secagg fallback", p)
 	}
 }
+
+// TestRecommendedProtocolUnderDropoutMatrix is the boundary table for the
+// dropout-aware resolution layer: every inequality in the rule — the
+// dropout-pressure floor, the tolerance ceiling D/n, the share-expansion
+// cap, and the feasibility preconditions — is pinned from both sides,
+// along with the substrate each fallback lands on around the
+// SecAggPlusMinClients boundary.
+func TestRecommendedProtocolUnderDropoutMatrix(t *testing.T) {
+	cases := []struct {
+		name string
+		n, t int
+		frac float64
+		want core.Protocol
+	}{
+		// n=64, t=48: parts = 2t−n = 32, D = 16, D/n = 0.25, expansion
+		// n/parts = 2 ≤ 16. The workable reference geometry.
+		{"pressure/at-floor", 64, 48, LightSecAggMinDropoutFrac, core.ProtocolLightSecAgg},
+		{"pressure/below-floor", 64, 48, LightSecAggMinDropoutFrac - 0.001, core.ProtocolSecAggPlus},
+		{"tolerance/at-ceiling", 64, 48, 0.25, core.ProtocolLightSecAgg},
+		{"tolerance/above-ceiling", 64, 48, 0.2501, core.ProtocolSecAggPlus},
+
+		// Share-expansion cap: parts = 2, cap = 16·2 = 32. n = 32 sits
+		// exactly at it; n = 34 (t moves to keep parts = 2) exceeds it.
+		{"expansion/at-cap", 32, 17, 0.25, core.ProtocolLightSecAgg},
+		{"expansion/above-cap", 34, 18, 0.25, core.ProtocolSecAggPlus},
+
+		// Feasibility preconditions. parts ≤ 0 (t ≤ n/2) leaves no coded
+		// data pieces; t < 2 cannot Shamir-share at all.
+		{"infeasible/parts-zero", 64, 32, 0.25, core.ProtocolSecAggPlus},
+		{"infeasible/threshold-1", 2, 1, 0.25, core.ProtocolSecAgg},
+
+		// The smallest workable geometry: n=3, t=2 → parts=1, D=1,
+		// D/n ≈ 0.33, expansion 3 ≤ 16.
+		{"small-n/lightsecagg", 3, 2, 0.3, core.ProtocolLightSecAgg},
+		{"small-n/dropout-beyond-D", 3, 2, 0.4, core.ProtocolSecAgg},
+
+		// Fallback substrate tracks the auto boundary: classic SecAgg
+		// below SecAggPlusMinClients, SecAgg+ at it.
+		{"fallback/below-boundary", SecAggPlusMinClients - 1, 20, 0.0, core.ProtocolSecAgg},
+		{"fallback/at-boundary", SecAggPlusMinClients, 20, 0.0, core.ProtocolSecAggPlus},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p, deg := RecommendedProtocolUnderDropout(tc.n, tc.t, tc.frac)
+			if p != tc.want {
+				t.Fatalf("(n=%d t=%d frac=%v) = %v, want %v", tc.n, tc.t, tc.frac, p, tc.want)
+			}
+			if p == core.ProtocolLightSecAgg && deg != 0 {
+				t.Fatalf("lightsecagg recommendation carries degree %d, want 0", deg)
+			}
+			if p == core.ProtocolSecAggPlus && deg == 0 {
+				t.Fatalf("secagg+ recommendation carries no degree")
+			}
+		})
+	}
+}

@@ -79,7 +79,19 @@ import (
 	"repro/internal/aead"
 	"repro/internal/field"
 	"repro/internal/prg"
+	"repro/internal/transcript"
 )
+
+// transcriptDigest adapts a field-element vector to the transcript
+// layer's canonical masked-input digest (transcript.Digest over the
+// little-endian uint64 representation).
+func transcriptDigest(y []field.Element) [32]byte {
+	u := make([]uint64, len(y))
+	for i, v := range y {
+		u[i] = uint64(v)
+	}
+	return transcript.Digest(u)
+}
 
 // Config fixes one LightSecAgg round. All parties must agree on it.
 type Config struct {
@@ -94,6 +106,14 @@ type Config struct {
 	// share table. Drivers running several sub-rounds on one session set
 	// (core.RunRound's chunks) must give each a distinct Round.
 	Round uint64
+
+	// TranscriptDigests, when true, has both sides record SHA-256 digests
+	// of masked inputs for the verifiable-transcript layer (the
+	// LightSecAgg mirror of secagg.Config.TranscriptDigests): the server
+	// captures each arrival's digest in AddMasked, the client its own
+	// upload's in MaskedInput. Off by default; changes no wire bytes. See
+	// internal/transcript.
+	TranscriptDigests bool
 }
 
 // Validate checks the LightSecAgg feasibility constraints: n − D > T ≥ 1
@@ -252,6 +272,11 @@ type Client struct {
 
 	// roster maps peer id → channel public key once SealShares ran.
 	roster map[uint64][]byte
+
+	// maskedDigest is the transcript digest of this client's own masked
+	// upload (only with cfg.TranscriptDigests).
+	maskedDigest    [32]byte
+	hasMaskedDigest bool
 
 	// received accumulates f_i(α_self) from every client i (including
 	// self).
@@ -579,7 +604,18 @@ func (c *Client) MaskedInput(input []field.Element) ([]field.Element, error) {
 	for i := range out {
 		out[i] = field.Add(input[i], c.mask[i])
 	}
+	if c.cfg.TranscriptDigests {
+		c.maskedDigest = transcriptDigest(out)
+		c.hasMaskedDigest = true
+	}
 	return out, nil
+}
+
+// MaskedDigest returns the transcript digest of this client's own masked
+// upload, with ok=false before MaskedInput or without
+// cfg.TranscriptDigests.
+func (c *Client) MaskedDigest() ([32]byte, bool) {
+	return c.maskedDigest, c.hasMaskedDigest
 }
 
 // AggregateShare returns s_j = Σ_{i∈survivors} f_i(α_j), the one-shot
@@ -630,6 +666,9 @@ type Server struct {
 	maskedSet map[uint64]struct{}
 	maskedSum []field.Element
 	survivors []uint64
+	// maskedDigests records each arrival's transcript digest (only with
+	// cfg.TranscriptDigests).
+	maskedDigests map[uint64][32]byte
 
 	// One-shot recovery state: shares in admission order.
 	aggShares map[uint64][]field.Element
@@ -760,10 +799,31 @@ func (s *Server) AddMasked(m MaskedMsg) error {
 		return fmt.Errorf("lightsecagg: duplicate masked input from %d", m.From)
 	}
 	s.maskedSet[m.From] = struct{}{}
+	if s.cfg.TranscriptDigests {
+		if s.maskedDigests == nil {
+			s.maskedDigests = make(map[uint64][32]byte, len(s.cfg.ClientIDs))
+		}
+		s.maskedDigests[m.From] = transcriptDigest(m.Y)
+	}
 	for i, y := range m.Y {
 		s.maskedSum[i] = field.Add(s.maskedSum[i], y)
 	}
 	return nil
+}
+
+// MaskedDigests returns the transcript digests of every masked input
+// ingested so far, as id-sorted leaves for transcript.Build. Empty unless
+// cfg.TranscriptDigests.
+func (s *Server) MaskedDigests() []transcript.InputDigest {
+	if len(s.maskedDigests) == 0 {
+		return nil
+	}
+	out := make([]transcript.InputDigest, 0, len(s.maskedDigests))
+	for id, d := range s.maskedDigests {
+		out = append(out, transcript.InputDigest{ID: id, Digest: d})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
 }
 
 // CollectMasked stores a client's masked input (batch wrapper over

@@ -1,7 +1,6 @@
 package lightsecagg
 
 import (
-	"crypto/sha256"
 	"encoding/binary"
 	"fmt"
 	"io"
@@ -10,6 +9,7 @@ import (
 	"repro/internal/aead"
 	"repro/internal/dh"
 	"repro/internal/field"
+	"repro/internal/transcript"
 )
 
 // Session amortization for LightSecAgg, mirroring secagg.Session. The
@@ -119,21 +119,26 @@ func (s *Session) Roster() []AdvertiseMsg {
 	return s.roster
 }
 
-// RosterHash returns the canonical digest of a sealed stage-0 roster: a
-// SHA-256 over every member's (id, channel pub) in roster order — the
-// LightSecAgg half of the re-key handshake's shared-state check.
-func RosterHash(roster []AdvertiseMsg) [32]byte {
-	h := sha256.New()
-	h.Write([]byte("dordis/lightsecagg/roster/v1"))
-	var b [8]byte
-	for _, m := range roster {
-		binary.LittleEndian.PutUint64(b[:], m.From)
-		h.Write(b[:])
-		h.Write(m.Pub)
+// RosterEntries converts a stage-0 roster into the transcript layer's
+// leaf form. LightSecAgg advertises a single channel key, carried as the
+// entry's CipherPub with an empty MaskPub — the length-prefixed leaf
+// encoding keeps the two shapes from ever aliasing.
+func RosterEntries(roster []AdvertiseMsg) []transcript.RosterEntry {
+	out := make([]transcript.RosterEntry, len(roster))
+	for i, m := range roster {
+		out[i] = transcript.RosterEntry{ID: m.From, CipherPub: m.Pub}
 	}
-	var out [32]byte
-	h.Sum(out[:0])
 	return out
+}
+
+// RosterHash returns the canonical digest of a sealed stage-0 roster: the
+// Merkle root of the transcript layer's roster subtree
+// (transcript.RosterRoot) over every member's (id, channel pub) in roster
+// order — the LightSecAgg half of the re-key handshake's shared-state
+// check, and the roster commitment a round transcript's inclusion proofs
+// verify against (see internal/transcript).
+func RosterHash(roster []AdvertiseMsg) [32]byte {
+	return transcript.RosterRoot(RosterEntries(roster))
 }
 
 // StateHash returns the digest of the roster this session could resume on,

@@ -12,6 +12,7 @@ import (
 	"repro/internal/ring"
 	"repro/internal/shamir"
 	"repro/internal/sig"
+	"repro/internal/transcript"
 	"repro/internal/xnoise"
 )
 
@@ -36,6 +37,12 @@ type Client struct {
 	session *Session
 
 	noise *xnoise.ClientNoise // nil without XNoise
+
+	// maskedDigest is the transcript digest of this client's own masked
+	// upload (only with cfg.TranscriptDigests) — the leaf preimage it will
+	// check an inclusion proof against.
+	maskedDigest    [32]byte
+	hasMaskedDigest bool
 
 	roster     map[uint64]AdvertiseMsg // U1 view
 	u1         []uint64
@@ -336,7 +343,20 @@ func (c *Client) MaskedInput(ciphertexts []EncryptedShareMsg) (MaskedInputMsg, e
 	if err := y.AddInPlace(delta); err != nil {
 		return MaskedInputMsg{}, err
 	}
+	if c.cfg.TranscriptDigests {
+		c.maskedDigest = transcript.Digest(y.Data)
+		c.hasMaskedDigest = true
+	}
 	return MaskedInputMsg{From: c.id, Y: y.Data}, nil
+}
+
+// MaskedDigest returns the transcript digest of this client's own masked
+// upload, with ok=false before MaskedInput or without
+// cfg.TranscriptDigests. The digest is what the server must have
+// committed under its input subtree for this client's inclusion proof to
+// verify.
+func (c *Client) MaskedDigest() ([32]byte, bool) {
+	return c.maskedDigest, c.hasMaskedDigest
 }
 
 // maskSecret returns the (ratcheted) pairwise-mask secret with the peer

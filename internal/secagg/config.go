@@ -104,6 +104,17 @@ type Config struct {
 	// same shared secret via dh.Expand. All parties must agree on it.
 	MaskEpoch uint64
 
+	// TranscriptDigests, when true, has both sides record SHA-256 digests
+	// of masked inputs for the verifiable-transcript layer: the server
+	// captures each arrival's digest in AddMasked (before the batch fold
+	// consumes the vector) and the client records its own upload's digest
+	// in MaskedInput. Off by default — the digest pass is one SHA-256 over
+	// the dominant payload per client, so the classic hot path pays
+	// nothing. All parties need not agree on it (it changes no wire
+	// bytes), but a client can only verify an inclusion proof if its own
+	// flag was set. See internal/transcript.
+	TranscriptDigests bool
+
 	// KeyRatchet is the number of dh.Ratchet steps applied to every
 	// pairwise shared secret (mask and channel) before use. Drivers that
 	// reuse key agreements across consecutive rounds advance it by one per

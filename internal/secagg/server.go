@@ -2,12 +2,14 @@ package secagg
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/dh"
 	"repro/internal/field"
 	"repro/internal/prg"
 	"repro/internal/ring"
 	"repro/internal/shamir"
+	"repro/internal/transcript"
 	"repro/internal/xnoise"
 )
 
@@ -59,6 +61,9 @@ type Server struct {
 	u3set         map[uint64]struct{}
 	maskedSum     ring.Vector
 	pendingMasked []ring.Vector
+	// maskedDigests records each arrival's transcript digest (only with
+	// cfg.TranscriptDigests), captured before the fold consumes the vector.
+	maskedDigests map[uint64][32]byte
 
 	// Unmasking state.
 	u5set          map[uint64]struct{}
@@ -243,6 +248,12 @@ func (s *Server) AddMasked(m MaskedInputMsg) error {
 		return fmt.Errorf("secagg: masked input from %d has dim %d, want %d", m.From, len(m.Y), s.cfg.Dim)
 	}
 	s.u3set[m.From] = struct{}{}
+	if s.cfg.TranscriptDigests {
+		if s.maskedDigests == nil {
+			s.maskedDigests = make(map[uint64][32]byte, len(s.u2))
+		}
+		s.maskedDigests[m.From] = transcript.Digest(m.Y)
+	}
 	s.pendingMasked = append(s.pendingMasked, ring.Vector{Bits: s.cfg.Bits, Data: m.Y})
 	if len(s.pendingMasked) >= maskedFoldBatch {
 		return s.foldPendingMasked()
@@ -260,6 +271,22 @@ func (s *Server) foldPendingMasked() error {
 	}
 	s.pendingMasked = s.pendingMasked[:0]
 	return nil
+}
+
+// MaskedDigests returns the transcript digests of every masked input
+// ingested so far, as id-sorted leaves for transcript.Build. Empty unless
+// cfg.TranscriptDigests; drivers read it after SealMasked so the digest
+// set matches U3.
+func (s *Server) MaskedDigests() []transcript.InputDigest {
+	if len(s.maskedDigests) == 0 {
+		return nil
+	}
+	out := make([]transcript.InputDigest, 0, len(s.maskedDigests))
+	for id, d := range s.maskedDigests {
+		out = append(out, transcript.InputDigest{ID: id, Digest: d})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
 }
 
 // SealMasked closes stage 2: the senders form U3.

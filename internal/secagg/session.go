@@ -1,7 +1,6 @@
 package secagg
 
 import (
-	"crypto/sha256"
 	"encoding/binary"
 	"fmt"
 	"io"
@@ -10,6 +9,7 @@ import (
 	"repro/internal/aead"
 	"repro/internal/dh"
 	"repro/internal/prg"
+	"repro/internal/transcript"
 )
 
 // Key-agreement amortization (the "agree once, fork per-chunk streams"
@@ -204,26 +204,30 @@ func (s *Session) Roster() []AdvertiseMsg {
 	return s.roster
 }
 
-// RosterHash returns the canonical digest of a sealed stage-0 roster: a
-// SHA-256 over every member's (id, cipher pub, mask pub) in roster order.
-// Server and clients cache the identical broadcast roster, so equal hashes
-// mean both sides hold the same key generation for the same client set —
-// the shared-state check of the re-key handshake. Signatures are excluded:
-// they authenticate the advertisement but do not change the key material a
-// resumed round derives from.
-func RosterHash(roster []AdvertiseMsg) [32]byte {
-	h := sha256.New()
-	h.Write([]byte("dordis/secagg/roster/v1"))
-	var b [8]byte
-	for _, m := range roster {
-		binary.LittleEndian.PutUint64(b[:], m.From)
-		h.Write(b[:])
-		h.Write(m.CipherPub)
-		h.Write(m.MaskPub)
+// RosterEntries converts a sealed stage-0 roster into the transcript
+// layer's leaf form: every member's (id, cipher pub, mask pub).
+// Signatures are excluded: they authenticate the advertisement but do not
+// change the key material a resumed round derives from.
+func RosterEntries(roster []AdvertiseMsg) []transcript.RosterEntry {
+	out := make([]transcript.RosterEntry, len(roster))
+	for i, m := range roster {
+		out[i] = transcript.RosterEntry{ID: m.From, CipherPub: m.CipherPub, MaskPub: m.MaskPub}
 	}
-	var out [32]byte
-	h.Sum(out[:0])
 	return out
+}
+
+// RosterHash returns the canonical digest of a sealed stage-0 roster: the
+// Merkle root of the transcript layer's roster subtree
+// (transcript.RosterRoot), one leaf per member's (id, cipher pub, mask
+// pub) in roster order. Server and clients cache the identical broadcast
+// roster, so equal hashes mean both sides hold the same key generation
+// for the same client set — the shared-state check of the re-key
+// handshake. Because the handshake pins this exact root, a round
+// transcript's roster commitment is the same value the client already
+// agreed to at offer time, and an inclusion proof for the client's own
+// advertise keys verifies against it (see internal/transcript).
+func RosterHash(roster []AdvertiseMsg) [32]byte {
+	return transcript.RosterRoot(RosterEntries(roster))
 }
 
 // StateHash returns the digest of the roster this session could resume on,

@@ -1,0 +1,286 @@
+package transcript
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Fixed binary codec for the 0x60 frame family, in the 0xDB/0xDC style:
+// a magic byte naming the family, a frame tag, a version byte, then
+// little-endian fixed-width fields. See PROTOCOL.md ("Transcript frames
+// (0x60 family)") for the byte-level layouts.
+const (
+	codecMagic   = 0xDD
+	codecVersion = 1
+
+	tagCommitment = 0x01
+	tagProof      = 0x02
+	tagCombine    = 0x03
+	tagChain      = 0x04
+
+	// maxPathLen bounds an audit path: 255 levels ≍ 2^255 leaves, far
+	// beyond any roster, and keeps the length field one byte.
+	maxPathLen = 255
+)
+
+func appendTranscriptHeader(out []byte, tag byte) []byte {
+	return append(out, codecMagic, tag, codecVersion)
+}
+
+func decodeTranscriptHeader(p []byte, tag byte, what string) ([]byte, error) {
+	if len(p) < 3 || p[0] != codecMagic || p[1] != tag {
+		return nil, fmt.Errorf("transcript: not a %s frame", what)
+	}
+	if p[2] != codecVersion {
+		return nil, fmt.Errorf("transcript: %s frame version %d, want %d", what, p[2], codecVersion)
+	}
+	return p[3:], nil
+}
+
+func appendU64(out []byte, v uint64) []byte {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	return append(out, b[:]...)
+}
+
+func appendU32(out []byte, v uint32) []byte {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], v)
+	return append(out, b[:]...)
+}
+
+func appendSig(out, sig []byte) ([]byte, error) {
+	if len(sig) > 0xFFFF {
+		return nil, fmt.Errorf("transcript: signature of %d bytes", len(sig))
+	}
+	var b [2]byte
+	binary.LittleEndian.PutUint16(b[:], uint16(len(sig)))
+	out = append(out, b[:]...)
+	return append(out, sig...), nil
+}
+
+func decodeSig(p []byte) ([]byte, []byte, error) {
+	if len(p) < 2 {
+		return nil, nil, fmt.Errorf("transcript: truncated signature length")
+	}
+	n := int(binary.LittleEndian.Uint16(p))
+	p = p[2:]
+	if len(p) < n {
+		return nil, nil, fmt.Errorf("transcript: truncated signature")
+	}
+	if n == 0 {
+		return nil, p, nil
+	}
+	return append([]byte(nil), p[:n]...), p[n:], nil
+}
+
+func appendPath(out []byte, path [][32]byte) ([]byte, error) {
+	if len(path) > maxPathLen {
+		return nil, fmt.Errorf("transcript: audit path of %d levels", len(path))
+	}
+	out = append(out, byte(len(path)))
+	for _, h := range path {
+		out = append(out, h[:]...)
+	}
+	return out, nil
+}
+
+func decodePath(p []byte) ([][32]byte, []byte, error) {
+	if len(p) < 1 {
+		return nil, nil, fmt.Errorf("transcript: truncated path length")
+	}
+	n := int(p[0])
+	p = p[1:]
+	if len(p) < n*32 {
+		return nil, nil, fmt.Errorf("transcript: truncated audit path")
+	}
+	var path [][32]byte
+	if n > 0 {
+		path = make([][32]byte, n)
+		for i := range path {
+			copy(path[i][:], p[i*32:])
+		}
+	}
+	return path, p[n*32:], nil
+}
+
+func decodeHash(p []byte) ([32]byte, []byte, error) {
+	var h [32]byte
+	if len(p) < 32 {
+		return h, nil, fmt.Errorf("transcript: truncated hash")
+	}
+	copy(h[:], p)
+	return h, p[32:], nil
+}
+
+func decodeU64(p []byte) (uint64, []byte, error) {
+	if len(p) < 8 {
+		return 0, nil, fmt.Errorf("transcript: truncated u64")
+	}
+	return binary.LittleEndian.Uint64(p), p[8:], nil
+}
+
+func decodeU32(p []byte) (uint32, []byte, error) {
+	if len(p) < 4 {
+		return 0, nil, fmt.Errorf("transcript: truncated u32")
+	}
+	return binary.LittleEndian.Uint32(p), p[4:], nil
+}
+
+// EncodeCommitment serializes a round commitment (the TagTranscriptCommit
+// payload, broadcast to every survivor).
+func EncodeCommitment(c *Commitment) ([]byte, error) {
+	out := appendTranscriptHeader(nil, tagCommitment)
+	out = appendU64(out, c.Round)
+	out = append(out, c.Prev[:]...)
+	out = append(out, c.RosterRoot[:]...)
+	out = appendU32(out, c.RosterCount)
+	out = append(out, c.InputRoot[:]...)
+	out = appendU32(out, c.InputCount)
+	return appendSig(out, c.Signature)
+}
+
+// DecodeCommitment parses an EncodeCommitment payload.
+func DecodeCommitment(p []byte) (*Commitment, error) {
+	p, err := decodeTranscriptHeader(p, tagCommitment, "commitment")
+	if err != nil {
+		return nil, err
+	}
+	var c Commitment
+	if c.Round, p, err = decodeU64(p); err != nil {
+		return nil, err
+	}
+	if c.Prev, p, err = decodeHash(p); err != nil {
+		return nil, err
+	}
+	if c.RosterRoot, p, err = decodeHash(p); err != nil {
+		return nil, err
+	}
+	if c.RosterCount, p, err = decodeU32(p); err != nil {
+		return nil, err
+	}
+	if c.InputRoot, p, err = decodeHash(p); err != nil {
+		return nil, err
+	}
+	if c.InputCount, p, err = decodeU32(p); err != nil {
+		return nil, err
+	}
+	if c.Signature, p, err = decodeSig(p); err != nil {
+		return nil, err
+	}
+	if len(p) != 0 {
+		return nil, fmt.Errorf("transcript: %d trailing bytes after commitment", len(p))
+	}
+	return &c, nil
+}
+
+// EncodeProof serializes a per-client inclusion proof (the
+// TagTranscriptProof payload, sent to that survivor only).
+func EncodeProof(pr *Proof) ([]byte, error) {
+	out := appendTranscriptHeader(nil, tagProof)
+	out = appendU64(out, pr.Round)
+	out = appendU64(out, pr.ID)
+	out = appendU32(out, pr.RosterIndex)
+	out, err := appendPath(out, pr.RosterPath)
+	if err != nil {
+		return nil, err
+	}
+	out = appendU32(out, pr.InputIndex)
+	return appendPath(out, pr.InputPath)
+}
+
+// DecodeProof parses an EncodeProof payload.
+func DecodeProof(p []byte) (*Proof, error) {
+	p, err := decodeTranscriptHeader(p, tagProof, "proof")
+	if err != nil {
+		return nil, err
+	}
+	var pr Proof
+	if pr.Round, p, err = decodeU64(p); err != nil {
+		return nil, err
+	}
+	if pr.ID, p, err = decodeU64(p); err != nil {
+		return nil, err
+	}
+	if pr.RosterIndex, p, err = decodeU32(p); err != nil {
+		return nil, err
+	}
+	if pr.RosterPath, p, err = decodePath(p); err != nil {
+		return nil, err
+	}
+	if pr.InputIndex, p, err = decodeU32(p); err != nil {
+		return nil, err
+	}
+	if pr.InputPath, p, err = decodePath(p); err != nil {
+		return nil, err
+	}
+	if len(p) != 0 {
+		return nil, fmt.Errorf("transcript: %d trailing bytes after proof", len(p))
+	}
+	return &pr, nil
+}
+
+// CombineTierMsg is the TagCombineTranscript payload: the combiner-tier
+// commitment bundled with the receiving shard's inclusion proof, so one
+// frame gives a shard's clients the whole second hop of the audit.
+type CombineTierMsg struct {
+	Commitment CombineCommitment
+	Proof      ShardProof
+}
+
+// EncodeCombineTier serializes a combiner-tier frame.
+func EncodeCombineTier(m *CombineTierMsg) ([]byte, error) {
+	out := appendTranscriptHeader(nil, tagCombine)
+	out = appendU64(out, m.Commitment.Round)
+	out = append(out, m.Commitment.Prev[:]...)
+	out = append(out, m.Commitment.ShardRoot[:]...)
+	out = appendU32(out, m.Commitment.ShardCount)
+	out, err := appendSig(out, m.Commitment.Signature)
+	if err != nil {
+		return nil, err
+	}
+	out = appendU64(out, m.Proof.Round)
+	out = appendU64(out, m.Proof.Shard)
+	out = appendU32(out, m.Proof.Index)
+	return appendPath(out, m.Proof.Path)
+}
+
+// DecodeCombineTier parses an EncodeCombineTier payload.
+func DecodeCombineTier(p []byte) (*CombineTierMsg, error) {
+	p, err := decodeTranscriptHeader(p, tagCombine, "combine-tier")
+	if err != nil {
+		return nil, err
+	}
+	var m CombineTierMsg
+	if m.Commitment.Round, p, err = decodeU64(p); err != nil {
+		return nil, err
+	}
+	if m.Commitment.Prev, p, err = decodeHash(p); err != nil {
+		return nil, err
+	}
+	if m.Commitment.ShardRoot, p, err = decodeHash(p); err != nil {
+		return nil, err
+	}
+	if m.Commitment.ShardCount, p, err = decodeU32(p); err != nil {
+		return nil, err
+	}
+	if m.Commitment.Signature, p, err = decodeSig(p); err != nil {
+		return nil, err
+	}
+	if m.Proof.Round, p, err = decodeU64(p); err != nil {
+		return nil, err
+	}
+	if m.Proof.Shard, p, err = decodeU64(p); err != nil {
+		return nil, err
+	}
+	if m.Proof.Index, p, err = decodeU32(p); err != nil {
+		return nil, err
+	}
+	if m.Proof.Path, p, err = decodePath(p); err != nil {
+		return nil, err
+	}
+	if len(p) != 0 {
+		return nil, fmt.Errorf("transcript: %d trailing bytes after combine-tier frame", len(p))
+	}
+	return &m, nil
+}
